@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Baseline replication protocols the paper compares against (§8), each a
+//! clean-room implementation of the protocol *as the paper describes it*,
+//! instrumented with the same [`Costs`](epidb_common::Costs) counters as
+//! the paper's protocol so overheads are directly comparable:
+//!
+//! * [`PerItemVvCluster`] — classic per-item version-vector anti-entropy
+//!   (Ficus/Locus reconciliation, §8.3): correct, but O(N) comparisons per
+//!   round.
+//! * [`LotusCluster`] — the Lotus Notes protocol (§8.1): sequence numbers +
+//!   last-propagation times; O(N) scans whenever the source changed, and
+//!   silent lost updates under conflicts.
+//! * [`OracleCluster`] — Oracle Symmetric Replication (§8.2): originator
+//!   push with no forwarding; efficient but vulnerable to originator
+//!   failure.
+//! * [`WuuBernsteinCluster`] — log-based gossip with a 2-D version matrix
+//!   (§8.3): scans the whole uncompacted log per gossip message.
+//!
+//! All are driven through the [`SyncProtocol`] trait; the simulator adds an
+//! adapter for the paper's protocol itself, so every experiment runs the
+//! same workload through the same interface.
+
+pub mod lotus;
+pub mod oracle;
+pub mod per_item_vv;
+pub mod protocol;
+pub mod wuu_bernstein;
+
+pub use lotus::LotusCluster;
+pub use oracle::OracleCluster;
+pub use per_item_vv::PerItemVvCluster;
+pub use protocol::{SyncProtocol, SyncReport};
+pub use wuu_bernstein::WuuBernsteinCluster;

@@ -1,0 +1,289 @@
+//! Baseline: the Lotus Notes replication protocol as the paper describes it
+//! (§8.1).
+//!
+//! Every item copy carries a *sequence number* (count of updates it has
+//! seen) and a modification time; every server records the last time it
+//! propagated updates to each peer. Anti-entropy from `j` to `i`:
+//!
+//! 1. `j` checks whether anything in its replica changed since its last
+//!    propagation to `i`. If not — constant time — nothing happens. If so,
+//!    `j` scans **all** items and builds the list of `(item, seqno)` pairs
+//!    modified since that time.
+//! 2. `i` compares each listed seqno with its own copy's and copies the
+//!    items where `j`'s is greater.
+//!
+//! The two weaknesses the paper identifies are reproduced faithfully:
+//!
+//! * after *indirect* propagation the replicas may be identical while
+//!   `j`'s database has changed since the last direct propagation, so the
+//!   full O(N) scan and a useless list exchange still happen;
+//! * sequence numbers cannot represent concurrency, so when copies
+//!   conflict, the copy with more updates silently wins and the other
+//!   side's updates are **lost**. This cluster instruments exactly that
+//!   with shadow update-id histories (`lost_updates` in [`Costs`]).
+
+use std::collections::HashSet;
+
+use epidb_common::costs::wire;
+use epidb_common::{Costs, Error, ItemId, NodeId, Result};
+use epidb_store::{ItemValue, UpdateOp};
+
+use crate::protocol::{SyncProtocol, SyncReport};
+
+#[derive(Clone, Debug)]
+struct LotusItem {
+    value: ItemValue,
+    /// Updates this copy has seen (Lotus's per-item version info).
+    seqno: u64,
+    /// Logical time of the last local modification or adoption.
+    modtime: u64,
+    /// Shadow instrumentation (not part of the protocol): ids of the user
+    /// updates reflected in this copy, for counting silently lost updates.
+    history: HashSet<u64>,
+}
+
+#[derive(Clone, Debug)]
+struct LotusNode {
+    items: Vec<LotusItem>,
+    /// Logical time anything in this replica last changed (for the
+    /// constant-time "nothing changed" fast path).
+    db_modtime: u64,
+    /// `last_prop[i]`: when this node last propagated updates to node `i`.
+    last_prop: Vec<u64>,
+}
+
+/// A cluster of replicas running the Lotus Notes protocol.
+pub struct LotusCluster {
+    nodes: Vec<LotusNode>,
+    costs: Vec<Costs>,
+    clock: u64,
+    next_update_id: u64,
+}
+
+impl LotusCluster {
+    /// Create `n_nodes` empty replicas of an `n_items` database.
+    pub fn new(n_nodes: usize, n_items: usize) -> LotusCluster {
+        let item = LotusItem {
+            value: ItemValue::new(),
+            seqno: 0,
+            modtime: 0,
+            history: HashSet::new(),
+        };
+        LotusCluster {
+            nodes: (0..n_nodes)
+                .map(|_| LotusNode {
+                    items: vec![item.clone(); n_items],
+                    db_modtime: 0,
+                    last_prop: vec![0; n_nodes],
+                })
+                .collect(),
+            costs: vec![Costs::ZERO; n_nodes],
+            clock: 0,
+            next_update_id: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+impl SyncProtocol for LotusCluster {
+    fn name(&self) -> &'static str {
+        "lotus"
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn n_items(&self) -> usize {
+        self.nodes[0].items.len()
+    }
+
+    fn update(&mut self, node: NodeId, item: ItemId, op: UpdateOp) -> Result<()> {
+        let now = self.tick();
+        self.next_update_id += 1;
+        let id = self.next_update_id;
+        let n = self.nodes.get_mut(node.index()).ok_or(Error::UnknownNode(node))?;
+        let it = n.items.get_mut(item.index()).ok_or(Error::UnknownItem(item))?;
+        op.apply(&mut it.value);
+        it.seqno += 1;
+        it.modtime = now;
+        it.history.insert(id);
+        n.db_modtime = now;
+        Ok(())
+    }
+
+    fn sync(&mut self, recipient: NodeId, source: NodeId) -> Result<SyncReport> {
+        if recipient == source {
+            return Ok(SyncReport { up_to_date: true, ..SyncReport::default() });
+        }
+        let now = self.tick();
+        let i = recipient.index();
+        let j = source.index();
+        let mut report = SyncReport::default();
+
+        // Step 1 fast path: nothing in j's replica changed since the last
+        // propagation to i — detected in constant time.
+        let since = self.nodes[j].last_prop[i];
+        self.costs[j].items_scanned += 1; // the db_modtime check
+        if self.nodes[j].db_modtime <= since {
+            self.costs[j].charge_message(wire::MSG_HEADER, 0);
+            report.up_to_date = true;
+            return Ok(report);
+        }
+
+        // Step 1: scan ALL items for ones modified since `since` — the
+        // linear overhead the paper criticizes.
+        let mut list: Vec<(ItemId, u64)> = Vec::new();
+        for (idx, it) in self.nodes[j].items.iter().enumerate() {
+            self.costs[j].items_scanned += 1;
+            if it.modtime > since {
+                list.push((ItemId::from_index(idx), it.seqno));
+            }
+        }
+        self.costs[j].charge_message(
+            wire::MSG_HEADER + list.len() as u64 * (wire::ITEM_ID + wire::SEQNO),
+            0,
+        );
+        self.nodes[j].last_prop[i] = now;
+
+        // Step 2: i compares seqnos and copies where j's is greater.
+        let mut payload = 0u64;
+        let mut control = 0u64;
+        for (x, j_seqno) in list {
+            self.costs[i].items_scanned += 1;
+            let i_seqno = self.nodes[i].items[x.index()].seqno;
+            if j_seqno > i_seqno {
+                let (value, history) = {
+                    let src = &self.nodes[j].items[x.index()];
+                    (src.value.clone(), src.history.clone())
+                };
+                let dst = &mut self.nodes[i].items[x.index()];
+                // Instrumentation: any local update not reflected in the
+                // adopted copy is silently lost — Lotus cannot tell
+                // "newer" from "conflicting" (§8.1).
+                let lost = dst.history.difference(&history).count() as u64;
+                self.costs[i].lost_updates += lost;
+                payload += value.len() as u64;
+                control += wire::ITEM_ID;
+                dst.value = value;
+                dst.seqno = j_seqno;
+                dst.history = history;
+                dst.modtime = now;
+                self.nodes[i].db_modtime = now;
+                self.costs[i].items_copied += 1;
+                report.items_copied += 1;
+            }
+            // When seqnos are equal but histories diverged, Lotus sees
+            // nothing at all — the divergence is permanent and silent.
+        }
+        if report.items_copied > 0 {
+            self.costs[j].charge_message(wire::MSG_HEADER + control, payload);
+        }
+        report.up_to_date = report.items_copied == 0;
+        Ok(report)
+    }
+
+    fn value(&self, node: NodeId, item: ItemId) -> Vec<u8> {
+        self.nodes[node.index()].items[item.index()].value.as_bytes().to_vec()
+    }
+
+    fn costs(&self) -> Costs {
+        self.costs.iter().copied().fold(Costs::ZERO, |a, b| a + b)
+    }
+
+    fn node_costs(&self, node: NodeId) -> Costs {
+        self.costs[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagates_and_converges() {
+        let mut c = LotusCluster::new(2, 10);
+        c.update(NodeId(0), ItemId(2), UpdateOp::set(&b"doc"[..])).unwrap();
+        let rep = c.sync(NodeId(1), NodeId(0)).unwrap();
+        assert_eq!(rep.items_copied, 1);
+        assert!(c.converged());
+    }
+
+    #[test]
+    fn fast_path_when_source_unchanged() {
+        let mut c = LotusCluster::new(2, 1000);
+        c.update(NodeId(0), ItemId(0), UpdateOp::set(&b"v"[..])).unwrap();
+        c.sync(NodeId(1), NodeId(0)).unwrap();
+        let before = c.costs();
+        let rep = c.sync(NodeId(1), NodeId(0)).unwrap();
+        assert!(rep.up_to_date);
+        // Constant work: only the db_modtime check.
+        assert_eq!((c.costs() - before).items_scanned, 1);
+    }
+
+    #[test]
+    fn indirect_propagation_defeats_the_fast_path() {
+        // A updates; B and C both pull from A. B and C are now identical,
+        // but a C->B sync scans all of C's items because C's replica
+        // changed since C last propagated to B.
+        let n_items = 500;
+        let mut c = LotusCluster::new(3, n_items);
+        c.update(NodeId(0), ItemId(0), UpdateOp::set(&b"v"[..])).unwrap();
+        c.sync(NodeId(1), NodeId(0)).unwrap();
+        c.sync(NodeId(2), NodeId(0)).unwrap();
+        assert!(c.converged());
+
+        let before = c.node_costs(NodeId(2));
+        let rep = c.sync(NodeId(1), NodeId(2)).unwrap();
+        // Nothing to copy (identical replicas)...
+        assert_eq!(rep.items_copied, 0);
+        // ...but the source still scanned every item.
+        let delta = c.node_costs(NodeId(2)) - before;
+        assert_eq!(delta.items_scanned as usize, n_items + 1);
+    }
+
+    #[test]
+    fn conflicting_update_is_silently_lost() {
+        let mut c = LotusCluster::new(2, 4);
+        // i makes two updates, j makes one conflicting update (the paper's
+        // exact example): i's copy gets seqno 2, j's seqno 1, so i's copy
+        // is declared "newer" and overrides j's update.
+        c.update(NodeId(0), ItemId(0), UpdateOp::set(&b"i1"[..])).unwrap();
+        c.update(NodeId(0), ItemId(0), UpdateOp::set(&b"i2"[..])).unwrap();
+        c.update(NodeId(1), ItemId(0), UpdateOp::set(&b"j1"[..])).unwrap();
+
+        let rep = c.sync(NodeId(1), NodeId(0)).unwrap();
+        assert_eq!(rep.items_copied, 1);
+        assert_eq!(c.value(NodeId(1), ItemId(0)), b"i2");
+        // j's update vanished without any conflict report.
+        assert_eq!(c.node_costs(NodeId(1)).lost_updates, 1);
+        assert_eq!(c.costs().conflicts_detected, 0);
+    }
+
+    #[test]
+    fn equal_seqno_divergence_is_silent_and_permanent() {
+        let mut c = LotusCluster::new(2, 2);
+        c.update(NodeId(0), ItemId(0), UpdateOp::set(&b"a"[..])).unwrap();
+        c.update(NodeId(1), ItemId(0), UpdateOp::set(&b"b"[..])).unwrap();
+        c.sync(NodeId(1), NodeId(0)).unwrap();
+        c.sync(NodeId(0), NodeId(1)).unwrap();
+        // Same seqno on both sides: neither copies; replicas diverge
+        // forever with no conflict detected.
+        assert!(!c.converged());
+        assert_eq!(c.divergent_items(), vec![ItemId(0)]);
+        assert_eq!(c.costs().conflicts_detected, 0);
+    }
+
+    #[test]
+    fn forwarding_works_through_intermediaries() {
+        let mut c = LotusCluster::new(3, 4);
+        c.update(NodeId(0), ItemId(1), UpdateOp::set(&b"v"[..])).unwrap();
+        c.sync(NodeId(1), NodeId(0)).unwrap();
+        c.sync(NodeId(2), NodeId(1)).unwrap();
+        assert_eq!(c.value(NodeId(2), ItemId(1)), b"v");
+    }
+}

@@ -1,0 +1,267 @@
+//! Baseline: Oracle Symmetric Replication as the paper describes it
+//! (§8.2 and the Introduction's "simple solution" dilemma).
+//!
+//! Every server keeps track of the updates it performs and periodically
+//! ships them to all other servers. Recipients apply them but **never
+//! forward them** — full responsibility for propagation lies with the
+//! originating server. In the absence of failures this is very efficient
+//! (only the changed data moves, no comparison work at all); but if the
+//! originator fails mid-push, the servers it did not reach stay obsolete
+//! until the originator recovers — the vulnerability experiment T3
+//! measures.
+
+use epidb_common::costs::wire;
+use epidb_common::{Costs, Error, ItemId, NodeId, Result};
+use epidb_store::{ItemValue, UpdateOp};
+
+use crate::protocol::{SyncProtocol, SyncReport};
+
+/// One update record in an originator's outbound log.
+#[derive(Clone, Debug)]
+struct PendingUpdate {
+    seq: u64,
+    item: ItemId,
+    op: UpdateOp,
+}
+
+#[derive(Clone, Debug)]
+struct OracleNode {
+    values: Vec<ItemValue>,
+    /// Updates originated here, in order.
+    outbound: Vec<PendingUpdate>,
+    /// `sent_upto[d]`: sequence number up to which this node's updates have
+    /// been delivered to destination `d`.
+    sent_upto: Vec<u64>,
+    /// `applied_from[o]`: sequence number up to which updates from origin
+    /// `o` have been applied here (in-order delivery).
+    applied_from: Vec<u64>,
+}
+
+/// A cluster of replicas running Oracle-style originator push.
+pub struct OracleCluster {
+    nodes: Vec<OracleNode>,
+    costs: Vec<Costs>,
+}
+
+impl OracleCluster {
+    /// Create `n_nodes` empty replicas of an `n_items` database.
+    pub fn new(n_nodes: usize, n_items: usize) -> OracleCluster {
+        OracleCluster {
+            nodes: (0..n_nodes)
+                .map(|_| OracleNode {
+                    values: vec![ItemValue::new(); n_items],
+                    outbound: Vec::new(),
+                    sent_upto: vec![0; n_nodes],
+                    applied_from: vec![0; n_nodes],
+                })
+                .collect(),
+            costs: vec![Costs::ZERO; n_nodes],
+        }
+    }
+
+    /// Push `origin`'s pending updates to a single destination (used by the
+    /// failure experiment to model a crash part-way through the
+    /// destination list). Both ends must be alive.
+    pub fn push_to(&mut self, origin: NodeId, dest: NodeId) -> Result<usize> {
+        if origin == dest {
+            return Ok(0);
+        }
+        let o = origin.index();
+        let d = dest.index();
+        if o >= self.nodes.len() {
+            return Err(Error::UnknownNode(origin));
+        }
+        if d >= self.nodes.len() {
+            return Err(Error::UnknownNode(dest));
+        }
+        let from_seq = self.nodes[o].sent_upto[d];
+        let to_send: Vec<PendingUpdate> = self.nodes[o]
+            .outbound
+            .iter()
+            .filter(|u| u.seq > from_seq)
+            .cloned()
+            .collect();
+        if to_send.is_empty() {
+            return Ok(0);
+        }
+        let payload: u64 = to_send.iter().map(|u| u.op.payload_len() as u64).sum();
+        let control = to_send.len() as u64 * wire::LOG_RECORD;
+        self.costs[o].charge_message(wire::MSG_HEADER + control, payload);
+        self.costs[o].log_records_examined += to_send.len() as u64;
+
+        let mut applied = 0;
+        let last_seq = to_send.last().map(|u| u.seq).unwrap_or(from_seq);
+        for u in to_send {
+            // In-order, exactly-once application per origin.
+            if u.seq == self.nodes[d].applied_from[o] + 1 {
+                u.op.apply(&mut self.nodes[d].values[u.item.index()]);
+                self.nodes[d].applied_from[o] = u.seq;
+                self.costs[d].items_copied += 1;
+                applied += 1;
+            }
+        }
+        self.nodes[o].sent_upto[d] = last_seq;
+        Ok(applied)
+    }
+
+    /// Garbage-collect an originator's outbound log entries that every
+    /// destination has received.
+    pub fn gc_outbound(&mut self, origin: NodeId) {
+        let o = origin.index();
+        let min_sent = (0..self.nodes.len())
+            .filter(|&d| d != o)
+            .map(|d| self.nodes[o].sent_upto[d])
+            .min()
+            .unwrap_or(u64::MAX);
+        self.nodes[o].outbound.retain(|u| u.seq > min_sent);
+    }
+
+    /// Outbound log length at `origin` (diagnostics).
+    pub fn outbound_len(&self, origin: NodeId) -> usize {
+        self.nodes[origin.index()].outbound.len()
+    }
+}
+
+impl SyncProtocol for OracleCluster {
+    fn name(&self) -> &'static str {
+        "oracle-push"
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn n_items(&self) -> usize {
+        self.nodes[0].values.len()
+    }
+
+    fn update(&mut self, node: NodeId, item: ItemId, op: UpdateOp) -> Result<()> {
+        let n = self.nodes.get_mut(node.index()).ok_or(Error::UnknownNode(node))?;
+        let v = n.values.get_mut(item.index()).ok_or(Error::UnknownItem(item))?;
+        op.apply(v);
+        let seq = n.applied_from[node.index()] + 1;
+        n.applied_from[node.index()] = seq;
+        n.outbound.push(PendingUpdate { seq, item, op });
+        Ok(())
+    }
+
+    fn sync(&mut self, _recipient: NodeId, _source: NodeId) -> Result<SyncReport> {
+        Err(Error::Network(
+            "Oracle symmetric replication does not perform pairwise anti-entropy".into(),
+        ))
+    }
+
+    fn supports_pull(&self) -> bool {
+        false
+    }
+
+    fn push(&mut self, origin: NodeId, alive: &[bool]) -> Result<SyncReport> {
+        let mut report = SyncReport::default();
+        if !alive.get(origin.index()).copied().unwrap_or(false) {
+            return Err(Error::NodeDown(origin));
+        }
+        for d in NodeId::all(self.n_nodes()) {
+            if d == origin || !alive[d.index()] {
+                continue;
+            }
+            report.items_copied += self.push_to(origin, d)?;
+        }
+        self.gc_outbound(origin);
+        report.up_to_date = report.items_copied == 0;
+        Ok(report)
+    }
+
+    fn value(&self, node: NodeId, item: ItemId) -> Vec<u8> {
+        self.nodes[node.index()].values[item.index()].as_bytes().to_vec()
+    }
+
+    fn costs(&self) -> Costs {
+        self.costs.iter().copied().fold(Costs::ZERO, |a, b| a + b)
+    }
+
+    fn node_costs(&self, node: NodeId) -> Costs {
+        self.costs[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_reaches_all_alive_nodes() {
+        let mut c = OracleCluster::new(3, 4);
+        c.update(NodeId(0), ItemId(1), UpdateOp::set(&b"v"[..])).unwrap();
+        let rep = c.push(NodeId(0), &[true, true, true]).unwrap();
+        assert_eq!(rep.items_copied, 2);
+        assert!(c.converged());
+    }
+
+    #[test]
+    fn no_forwarding_leaves_unreached_nodes_stale() {
+        // Originator reaches node 1, then "crashes" before reaching node 2.
+        let mut c = OracleCluster::new(3, 2);
+        c.update(NodeId(0), ItemId(0), UpdateOp::set(&b"v"[..])).unwrap();
+        c.push_to(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(c.value(NodeId(1), ItemId(0)), b"v");
+        assert_eq!(c.value(NodeId(2), ItemId(0)), b"");
+
+        // Node 1 has the data but *cannot* forward it: only origin pushes.
+        // Pull is unsupported; a push from node 1 ships nothing (node 1
+        // originated nothing).
+        let rep = c.push(NodeId(1), &[false, true, true]).unwrap();
+        assert_eq!(rep.items_copied, 0);
+        assert_eq!(c.value(NodeId(2), ItemId(0)), b"");
+        assert!(!c.converged());
+
+        // Only the originator's recovery completes propagation.
+        let rep = c.push(NodeId(0), &[true, true, true]).unwrap();
+        assert_eq!(rep.items_copied, 1);
+        assert!(c.converged());
+    }
+
+    #[test]
+    fn push_is_incremental_and_in_order() {
+        let mut c = OracleCluster::new(2, 1);
+        c.update(NodeId(0), ItemId(0), UpdateOp::set(&b"a"[..])).unwrap();
+        c.push(NodeId(0), &[true, true]).unwrap();
+        c.update(NodeId(0), ItemId(0), UpdateOp::append(&b"b"[..])).unwrap();
+        c.update(NodeId(0), ItemId(0), UpdateOp::append(&b"c"[..])).unwrap();
+        let rep = c.push(NodeId(0), &[true, true]).unwrap();
+        assert_eq!(rep.items_copied, 2);
+        assert_eq!(c.value(NodeId(1), ItemId(0)), b"abc");
+        // Nothing further to send.
+        let rep = c.push(NodeId(0), &[true, true]).unwrap();
+        assert!(rep.up_to_date);
+    }
+
+    #[test]
+    fn outbound_log_is_gced_after_full_delivery() {
+        let mut c = OracleCluster::new(3, 1);
+        c.update(NodeId(0), ItemId(0), UpdateOp::set(&b"x"[..])).unwrap();
+        assert_eq!(c.outbound_len(NodeId(0)), 1);
+        c.push(NodeId(0), &[true, true, true]).unwrap();
+        assert_eq!(c.outbound_len(NodeId(0)), 0);
+        // Partial delivery keeps the log.
+        c.update(NodeId(0), ItemId(0), UpdateOp::append(&b"y"[..])).unwrap();
+        c.push(NodeId(0), &[true, true, false]).unwrap();
+        assert_eq!(c.outbound_len(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn pull_is_rejected() {
+        let mut c = OracleCluster::new(2, 1);
+        assert!(c.sync(NodeId(0), NodeId(1)).is_err());
+        assert!(!c.supports_pull());
+    }
+
+    #[test]
+    fn push_from_crashed_origin_fails() {
+        let mut c = OracleCluster::new(2, 1);
+        c.update(NodeId(0), ItemId(0), UpdateOp::set(&b"x"[..])).unwrap();
+        assert!(matches!(
+            c.push(NodeId(0), &[false, true]),
+            Err(Error::NodeDown(NodeId(0)))
+        ));
+    }
+}

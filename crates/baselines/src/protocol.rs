@@ -1,0 +1,93 @@
+//! The common driver interface for replication protocols.
+//!
+//! The experiment harness drives the paper's protocol and every baseline
+//! through this one trait so that their overhead counters are directly
+//! comparable: same workload, same sync schedule, same accounting.
+
+use epidb_common::{Costs, ItemId, NodeId, Result};
+use epidb_store::UpdateOp;
+
+/// What one synchronization (anti-entropy round between a pair, or one
+/// push) accomplished.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Item copies transferred to the recipient(s).
+    pub items_copied: usize,
+    /// Conflicts detected during this synchronization.
+    pub conflicts: usize,
+    /// True if the protocol decided no transfer was needed.
+    pub up_to_date: bool,
+}
+
+/// A replicated-database protocol under test: `n_nodes` replicas of an
+/// `n_items` database, user updates applied at single replicas, and some
+/// form of update propagation.
+pub trait SyncProtocol {
+    /// Short name for tables ("epidb", "per-item-vv", "lotus", ...).
+    fn name(&self) -> &'static str;
+
+    /// Number of servers.
+    fn n_nodes(&self) -> usize;
+
+    /// Number of data items.
+    fn n_items(&self) -> usize;
+
+    /// Apply a user update at `node`.
+    fn update(&mut self, node: NodeId, item: ItemId, op: UpdateOp) -> Result<()>;
+
+    /// One anti-entropy exchange: `recipient` brings itself up to date with
+    /// respect to `source` (pull). Protocols that do not support pairwise
+    /// pull (Oracle-style push) return an error.
+    fn sync(&mut self, recipient: NodeId, source: NodeId) -> Result<SyncReport>;
+
+    /// For push-based propagation (Oracle Symmetric Replication): `origin`
+    /// ships its accumulated updates to every *alive* peer. Pull-based
+    /// protocols may leave this unimplemented.
+    fn push(&mut self, _origin: NodeId, _alive: &[bool]) -> Result<SyncReport> {
+        Err(epidb_common::Error::Network("push not supported by this protocol".into()))
+    }
+
+    /// True if the protocol propagates via pairwise pull.
+    fn supports_pull(&self) -> bool {
+        true
+    }
+
+    /// The user-visible value of `item` at `node`.
+    fn value(&self, node: NodeId, item: ItemId) -> Vec<u8>;
+
+    /// Cumulative costs across all nodes.
+    fn costs(&self) -> Costs;
+
+    /// Cumulative costs charged at one node.
+    fn node_costs(&self, node: NodeId) -> Costs;
+
+    /// True if all replicas hold identical values for every item.
+    fn converged(&self) -> bool {
+        let n = self.n_nodes();
+        if n <= 1 {
+            return true;
+        }
+        for x in ItemId::all(self.n_items()) {
+            let v0 = self.value(NodeId(0), x);
+            for node in NodeId::all(n).skip(1) {
+                if self.value(node, x) != v0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Items whose replicas are not all identical (diagnostics).
+    fn divergent_items(&self) -> Vec<ItemId> {
+        let n = self.n_nodes();
+        let mut out = Vec::new();
+        for x in ItemId::all(self.n_items()) {
+            let v0 = self.value(NodeId(0), x);
+            if NodeId::all(n).skip(1).any(|node| self.value(node, x) != v0) {
+                out.push(x);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,76 @@
+//! Ablation: the `IsSelected` flag trick for computing `S` in O(m) (§6).
+//!
+//! The paper attaches an `IsSelected` flag to every item so that, while
+//! building the tail vector, the union `S` of referenced items is computed
+//! with O(1) work per record and O(|S|) reset work — versus the obvious
+//! hash-set dedup. This bench isolates exactly that design choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epidb_common::ItemId;
+use epidb_log::LogRecord;
+use std::collections::HashSet;
+use std::hint::black_box;
+
+/// Build n_tails tails whose records overlap heavily (each item appears in
+/// every tail), the worst case for dedup work.
+fn make_tails(n_tails: usize, m: usize) -> Vec<Vec<LogRecord>> {
+    (0..n_tails)
+        .map(|t| {
+            (0..m)
+                .map(|i| LogRecord { item: ItemId::from_index(i), m: (t * m + i) as u64 + 1 })
+                .collect()
+        })
+        .collect()
+}
+
+fn union_with_flags(tails: &[Vec<LogRecord>], flags: &mut [bool]) -> Vec<ItemId> {
+    let mut s = Vec::new();
+    for tail in tails {
+        for rec in tail {
+            let f = &mut flags[rec.item.index()];
+            if !*f {
+                *f = true;
+                s.push(rec.item);
+            }
+        }
+    }
+    for x in &s {
+        flags[x.index()] = false;
+    }
+    s
+}
+
+fn union_with_hashset(tails: &[Vec<LogRecord>]) -> Vec<ItemId> {
+    let mut seen = HashSet::new();
+    let mut s = Vec::new();
+    for tail in tails {
+        for rec in tail {
+            if seen.insert(rec.item) {
+                s.push(rec.item);
+            }
+        }
+    }
+    s
+}
+
+fn bench_s_computation(c: &mut Criterion) {
+    const N_ITEMS: usize = 1_000_000;
+    const N_TAILS: usize = 8;
+    let mut g = c.benchmark_group("s_union_ablation");
+    g.sample_size(20);
+    let mut flags = vec![false; N_ITEMS];
+    for m in [100usize, 10_000] {
+        let tails = make_tails(N_TAILS, m);
+        g.throughput(Throughput::Elements((N_TAILS * m) as u64));
+        g.bench_with_input(BenchmarkId::new("is_selected_flags", m), &m, |bench, _| {
+            bench.iter(|| black_box(union_with_flags(&tails, &mut flags)));
+        });
+        g.bench_with_input(BenchmarkId::new("hashset", m), &m, |bench, _| {
+            bench.iter(|| black_box(union_with_hashset(&tails)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_s_computation);
+criterion_main!(benches);

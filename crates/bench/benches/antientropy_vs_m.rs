@@ -1,0 +1,32 @@
+//! T2 (wall-clock) — one pull as the number of changed items m grows, at
+//! fixed N: epidb's cost is O(m).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use epidb_bench::prepared_pair;
+use epidb_core::pull;
+use std::hint::black_box;
+
+const N_ITEMS: usize = 100_000;
+
+fn bench_pull_vs_m(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pull_epidb_vs_m");
+    g.sample_size(10);
+    for m in [10usize, 100, 1_000, 10_000] {
+        let (src, dst) = prepared_pair(4, N_ITEMS, m);
+        g.throughput(Throughput::Elements(m as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, _| {
+            bench.iter_batched(
+                || (src.clone(), dst.clone()),
+                |(mut s, mut d)| {
+                    let out = black_box(pull(&mut d, &mut s).unwrap());
+                    (out, s, d) // returned so drops fall outside the timing
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pull_vs_m);
+criterion_main!(benches);

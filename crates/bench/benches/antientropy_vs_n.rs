@@ -1,0 +1,59 @@
+//! T1 (wall-clock) — one anti-entropy pull transferring m = 100 items, as
+//! database size N grows: epidb flat, per-item version vectors linear.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use epidb_baselines::{PerItemVvCluster, SyncProtocol};
+use epidb_bench::prepared_pair;
+use epidb_common::{ItemId, NodeId};
+use epidb_core::pull;
+use epidb_store::UpdateOp;
+use std::hint::black_box;
+
+const M: usize = 100;
+
+fn bench_epidb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pull_epidb_vs_N");
+    g.sample_size(10);
+    for n_items in [1_000usize, 10_000, 100_000] {
+        let (src, dst) = prepared_pair(4, n_items, M);
+        g.bench_with_input(BenchmarkId::from_parameter(n_items), &n_items, |bench, _| {
+            bench.iter_batched(
+                || (src.clone(), dst.clone()),
+                |(mut s, mut d)| {
+                    let out = black_box(pull(&mut d, &mut s).unwrap());
+                    (out, s, d) // returned so drops fall outside the timing
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_per_item_vv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pull_per_item_vv_vs_N");
+    g.sample_size(10);
+    for n_items in [1_000usize, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n_items), &n_items, |bench, &n| {
+            bench.iter_batched(
+                || {
+                    let mut c = PerItemVvCluster::new(4, n);
+                    for i in 0..M {
+                        c.update(NodeId(0), ItemId::from_index(i), UpdateOp::set(vec![0xAB; 64]))
+                            .unwrap();
+                    }
+                    c
+                },
+                |mut c| {
+                    let out = black_box(c.sync(NodeId(1), NodeId(0)).unwrap());
+                    (out, c) // returned so the drop falls outside the timing
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_epidb, bench_per_item_vv);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Codec and snapshot throughput: encoding/decoding protocol messages and
+//! persisting replica state.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epidb_bench::prepared_pair;
+use epidb_common::NodeId;
+use epidb_core::codec::{decode_message, encode_message, WireMessage};
+use epidb_core::{PropagationResponse, Replica};
+use std::hint::black_box;
+
+fn bench_message_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec_pull_response");
+    g.sample_size(20);
+    for m in [10usize, 1_000] {
+        // A realistic pull response carrying m shipped items.
+        let (mut src, dst) = prepared_pair(4, 10_000, m);
+        let response = src.prepare_propagation(&dst.dbvv().clone());
+        let msg = WireMessage::PullResponse { from: NodeId(0), response };
+        let encoded = encode_message(&msg);
+        g.throughput(Throughput::Bytes(encoded.len() as u64));
+        g.bench_with_input(BenchmarkId::new("encode", m), &m, |bench, _| {
+            bench.iter(|| black_box(encode_message(black_box(&msg))));
+        });
+        g.bench_with_input(BenchmarkId::new("decode", m), &m, |bench, _| {
+            bench.iter(|| black_box(decode_message(black_box(&encoded)).unwrap()));
+        });
+        // Sanity: the decoded payload matches the original item count.
+        if let WireMessage::PullResponse {
+            response: PropagationResponse::Payload(p), ..
+        } = decode_message(&encoded).unwrap()
+        {
+            assert_eq!(p.items.len(), m);
+        }
+    }
+    g.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot");
+    g.sample_size(10);
+    for n_items in [1_000usize, 100_000] {
+        let (src, _) = prepared_pair(4, n_items, 100.min(n_items));
+        let buf = src.to_snapshot();
+        g.throughput(Throughput::Bytes(buf.len() as u64));
+        g.bench_with_input(BenchmarkId::new("save", n_items), &n_items, |bench, _| {
+            bench.iter(|| black_box(src.to_snapshot()));
+        });
+        g.bench_with_input(BenchmarkId::new("restore", n_items), &n_items, |bench, _| {
+            bench.iter_batched(
+                || (),
+                // The restored replica is returned so its drop falls
+                // outside the timing.
+                |()| black_box(Replica::from_snapshot(black_box(&buf)).unwrap()),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_message_roundtrip, bench_snapshot);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! T8 (wall-clock) — whole-item vs. delta propagation for small edits on
+//! large values.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use epidb_common::{ItemId, NodeId};
+use epidb_core::{pull, pull_delta, Replica};
+use epidb_store::UpdateOp;
+use std::hint::black_box;
+
+const M: usize = 50;
+
+/// Source/destination already sharing a base of M items of `value_size`
+/// bytes; the source then applies one small edit per item.
+fn edited_pair(value_size: usize) -> (Replica, Replica) {
+    let mut src = Replica::new(NodeId(0), 2, 1_000);
+    let mut dst = Replica::new(NodeId(1), 2, 1_000);
+    src.enable_delta(8 << 20);
+    dst.enable_delta(8 << 20);
+    for i in 0..M {
+        src.update(ItemId::from_index(i), UpdateOp::set(vec![0x22; value_size])).unwrap();
+    }
+    pull(&mut dst, &mut src).unwrap();
+    for i in 0..M {
+        src.update(ItemId::from_index(i), UpdateOp::write_range(8, &b"edited!!"[..])).unwrap();
+    }
+    (src, dst)
+}
+
+fn bench_modes(c: &mut Criterion) {
+    for value_size in [1_024usize, 16_384] {
+        let mut g = c.benchmark_group(format!("sync_after_small_edits_{value_size}B"));
+        g.sample_size(10);
+        let (src, dst) = edited_pair(value_size);
+        g.bench_with_input(BenchmarkId::new("whole_item", value_size), &(), |bench, _| {
+            bench.iter_batched(
+                || (src.clone(), dst.clone()),
+                |(mut s, mut d)| {
+                    let out = black_box(pull(&mut d, &mut s).unwrap());
+                    (out, s, d) // returned so drops fall outside the timing
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        g.bench_with_input(BenchmarkId::new("delta", value_size), &(), |bench, _| {
+            bench.iter_batched(
+                || (src.clone(), dst.clone()),
+                |(mut s, mut d)| {
+                    let out = black_box(pull_delta(&mut d, &mut s).unwrap());
+                    (out, s, d) // returned so drops fall outside the timing
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

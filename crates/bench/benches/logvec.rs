@@ -1,0 +1,77 @@
+//! F1 — the log vector's O(1) `AddLogRecord` (paper Fig. 1 / §6).
+//!
+//! The add rate must be flat as the retained log grows from 10² to 10⁶
+//! records, and computing a propagation tail must cost O(|tail|).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epidb_common::{ItemId, NodeId};
+use epidb_log::{AuxLog, LogRecord, LogVector};
+use epidb_store::UpdateOp;
+use epidb_vv::VersionVector;
+use std::hint::black_box;
+
+fn bench_add_record_flat_in_log_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("logvec_add_record");
+    g.sample_size(20);
+    for prefill in [100usize, 10_000, 1_000_000] {
+        // One component holding `prefill` records; adds replace existing
+        // records (the steady-state path).
+        let mut log = LogVector::new(1, prefill + 1);
+        let mut m = 0u64;
+        for i in 0..prefill {
+            m += 1;
+            log.add_record(NodeId(0), LogRecord { item: ItemId::from_index(i), m });
+        }
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::from_parameter(prefill), &prefill, |bench, _| {
+            bench.iter(|| {
+                m += 1;
+                log.add_record(
+                    NodeId(0),
+                    LogRecord { item: ItemId::from_index((m % prefill as u64) as usize), m },
+                );
+                black_box(log.total_len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_tail_after(c: &mut Criterion) {
+    let mut g = c.benchmark_group("logvec_tail_after");
+    g.sample_size(20);
+    // A 100k-record component; tails of different lengths must cost
+    // proportionally to their own size, not the component's.
+    let total = 100_000usize;
+    let mut log = LogVector::new(1, total);
+    for i in 0..total {
+        log.add_record(NodeId(0), LogRecord { item: ItemId::from_index(i), m: i as u64 + 1 });
+    }
+    for tail_len in [10u64, 1_000, 100_000] {
+        let threshold = total as u64 - tail_len;
+        g.throughput(Throughput::Elements(tail_len));
+        g.bench_with_input(BenchmarkId::from_parameter(tail_len), &tail_len, |bench, _| {
+            bench.iter(|| {
+                let mut examined = 0;
+                black_box(log.tail_after(NodeId(0), threshold, &mut examined))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_auxlog_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("auxlog_push_pop");
+    g.sample_size(20);
+    let mut log = AuxLog::new();
+    g.bench_function("push_then_pop", |bench| {
+        bench.iter(|| {
+            log.push(ItemId(3), VersionVector::zero(4), UpdateOp::set(vec![0u8; 32]));
+            black_box(log.pop_earliest(ItemId(3)))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_add_record_flat_in_log_size, bench_tail_after, bench_auxlog_ops);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! T4 (wall-clock) — out-of-bound copying and the intra-node replay path:
+//! the OOB fetch itself is constant time; replay costs O(pending updates).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use epidb_common::{ItemId, NodeId};
+use epidb_core::{oob_copy, pull, Replica};
+use epidb_store::UpdateOp;
+use std::hint::black_box;
+
+fn bench_oob_fetch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oob_fetch");
+    g.sample_size(20);
+    // Fetch cost must be independent of database size.
+    for n_items in [1_000usize, 100_000] {
+        let mut src = Replica::new(NodeId(0), 2, n_items);
+        src.update(ItemId(0), UpdateOp::set(vec![0xEE; 256])).unwrap();
+        let dst = Replica::new(NodeId(1), 2, n_items);
+        g.bench_with_input(BenchmarkId::from_parameter(n_items), &n_items, |bench, _| {
+            bench.iter_batched(
+                || dst.clone(),
+                |mut d| {
+                    let out = black_box(oob_copy(&mut d, &mut src, ItemId(0)).unwrap());
+                    (out, d) // returned so the drop falls outside the timing
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_intranode_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("intranode_replay");
+    g.sample_size(10);
+    for pending in [1usize, 10, 100] {
+        // B fetches an item out-of-bound and queues `pending` aux updates;
+        // the measured step is the pull that replays them all.
+        let setup = || {
+            let mut a = Replica::new(NodeId(0), 2, 100);
+            a.update(ItemId(0), UpdateOp::set(vec![1u8; 64])).unwrap();
+            let mut b = Replica::new(NodeId(1), 2, 100);
+            oob_copy(&mut b, &mut a, ItemId(0)).unwrap();
+            for k in 0..pending {
+                b.update(ItemId(0), UpdateOp::append(vec![k as u8])).unwrap();
+            }
+            (a, b)
+        };
+        g.throughput(Throughput::Elements(pending as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(pending), &pending, |bench, _| {
+            bench.iter_batched(
+                setup,
+                |(mut a, mut b)| {
+                    let out = black_box(pull(&mut b, &mut a).unwrap());
+                    (out, a, b) // returned so drops fall outside the timing
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_oob_fetch, bench_intranode_replay);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! F5 (wall-clock) — one pull (m = 100 items) as the server count n grows:
+//! the cost is O(n·m) control work, independent of N.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use epidb_bench::prepared_pair;
+use epidb_core::pull;
+use std::hint::black_box;
+
+const N_ITEMS: usize = 20_000;
+const M: usize = 100;
+
+fn bench_pull_vs_servers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pull_epidb_vs_servers");
+    g.sample_size(10);
+    for n in [2usize, 8, 32, 64] {
+        let (src, dst) = prepared_pair(n, N_ITEMS, M);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter_batched(
+                || (src.clone(), dst.clone()),
+                |(mut s, mut d)| {
+                    let out = black_box(pull(&mut d, &mut s).unwrap());
+                    (out, s, d) // returned so drops fall outside the timing
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pull_vs_servers);
+criterion_main!(benches);

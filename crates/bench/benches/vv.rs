@@ -1,0 +1,57 @@
+//! Micro-benchmarks for the version-vector algebra: comparison and merge
+//! cost O(n) in the server count, independent of everything else.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epidb_common::NodeId;
+use epidb_vv::{DbVersionVector, VersionVector};
+use std::hint::black_box;
+
+fn bench_compare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vv_compare");
+    g.sample_size(20);
+    for n in [4usize, 16, 64, 256] {
+        let a = VersionVector::from_entries((0..n as u64).collect());
+        let mut b = a.clone();
+        b.bump(NodeId((n - 1) as u16));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.compare(black_box(&b))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vv_merge_max");
+    g.sample_size(20);
+    for n in [4usize, 64, 256] {
+        let a = VersionVector::from_entries((0..n as u64).collect());
+        let b = VersionVector::from_entries((0..n as u64).rev().collect());
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut m = a.clone();
+                m.merge_max(black_box(&b)).unwrap();
+                black_box(m)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_dbvv_identical_detection(c: &mut Criterion) {
+    // The headline O(n) constant-time check: one DBVV comparison decides
+    // that no propagation is needed.
+    let mut g = c.benchmark_group("dbvv_identical_detection");
+    g.sample_size(20);
+    for n in [4usize, 16, 64] {
+        let mut a = DbVersionVector::zero(n);
+        a.record_local_update(NodeId(0));
+        let b = a.clone();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.compare(black_box(&b))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compare, bench_merge, bench_dbvv_identical_detection);
+criterion_main!(benches);

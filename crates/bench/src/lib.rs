@@ -1,0 +1,45 @@
+//! Shared setup helpers for the Criterion benchmarks and the `experiments`
+//! binary.
+
+use epidb_common::{ItemId, NodeId};
+use epidb_core::Replica;
+use epidb_store::UpdateOp;
+
+/// Build a source/destination replica pair where the source has applied
+/// `m` updates to distinct items (the standard T1/T2 measurement setup).
+pub fn prepared_pair(n_nodes: usize, n_items: usize, m: usize) -> (Replica, Replica) {
+    assert!(m <= n_items);
+    let mut src = Replica::new(NodeId(0), n_nodes, n_items);
+    let dst = Replica::new(NodeId(1), n_nodes, n_items);
+    for i in 0..m {
+        src.update(ItemId::from_index(i), UpdateOp::set(vec![0xAB; 64])).expect("update");
+    }
+    (src, dst)
+}
+
+/// Build a pair that is already identical (dst pulled once), for the
+/// constant-time detection benchmarks.
+pub fn identical_pair(n_nodes: usize, n_items: usize, m: usize) -> (Replica, Replica) {
+    let (mut src, mut dst) = prepared_pair(n_nodes, n_items, m);
+    epidb_core::pull(&mut dst, &mut src).expect("pull");
+    (src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidb_core::PullOutcome;
+
+    #[test]
+    fn prepared_pair_transfers_m_items() {
+        let (mut src, mut dst) = prepared_pair(2, 1000, 10);
+        let out = epidb_core::pull(&mut dst, &mut src).unwrap();
+        assert_eq!(out.copied().len(), 10);
+    }
+
+    #[test]
+    fn identical_pair_is_up_to_date() {
+        let (mut src, mut dst) = identical_pair(2, 1000, 10);
+        assert!(matches!(epidb_core::pull(&mut dst, &mut src).unwrap(), PullOutcome::UpToDate));
+    }
+}

@@ -1,0 +1,114 @@
+//! Conflict (inconsistency) events.
+//!
+//! Correctness criterion 1 of the paper (§2.1) requires that inconsistent
+//! replicas of a data item are eventually detected. The protocol "declares"
+//! inconsistency at three distinct sites (§5.1–§5.3); the event type below
+//! records which one fired, so the test-suite can assert *where* detection
+//! happened, not merely that it happened.
+
+use std::fmt;
+
+use crate::ids::{ItemId, NodeId};
+
+/// Where in the protocol an inconsistency was detected.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConflictSite {
+    /// `AcceptPropagation` found the received copy's IVV concurrent with the
+    /// local regular copy's IVV (Fig. 3).
+    Propagation,
+    /// Out-of-bound copying found the received IVV concurrent with the local
+    /// (auxiliary or regular) IVV (§5.2).
+    OutOfBound,
+    /// `IntraNodePropagation` found the regular copy's IVV concurrent with
+    /// the IVV stored in the earliest auxiliary log record (Fig. 4), or the
+    /// final regular/auxiliary IVV comparison conflicted.
+    IntraNode,
+}
+
+impl fmt::Display for ConflictSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConflictSite::Propagation => "propagation",
+            ConflictSite::OutOfBound => "out-of-bound",
+            ConflictSite::IntraNode => "intra-node",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A declared inconsistency between replicas of one data item.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConflictEvent {
+    /// The data item whose replicas are inconsistent.
+    pub item: ItemId,
+    /// The node that detected (declared) the inconsistency.
+    pub detected_at: NodeId,
+    /// The peer whose copy conflicted with the local one, when the conflict
+    /// arose from an exchange with a specific peer (`None` for intra-node
+    /// detection, where the conflicting histories live on the same node).
+    pub peer: Option<NodeId>,
+    /// Which protocol procedure detected it.
+    pub site: ConflictSite,
+    /// The pair of origin servers whose version-vector components were found
+    /// mutually inconsistent, when pinpointed. The paper (footnote 3) notes
+    /// that if the vectors conflict in components `k` and `l`, then nodes
+    /// `k` and `l` performed the offending updates.
+    pub offending: Option<(NodeId, NodeId)>,
+}
+
+impl fmt::Display for ConflictEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conflict on {} detected at {} via {}",
+            self.item, self.detected_at, self.site
+        )?;
+        if let Some(p) = self.peer {
+            write!(f, " (peer {p})")?;
+        }
+        if let Some((k, l)) = self.offending {
+            write!(f, " [offending updates from {k} and {l}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_site_and_peer() {
+        let ev = ConflictEvent {
+            item: ItemId(3),
+            detected_at: NodeId(1),
+            peer: Some(NodeId(2)),
+            site: ConflictSite::Propagation,
+            offending: Some((NodeId(0), NodeId(2))),
+        };
+        let s = ev.to_string();
+        assert!(s.contains("x3"));
+        assert!(s.contains("n1"));
+        assert!(s.contains("propagation"));
+        assert!(s.contains("peer n2"));
+        assert!(s.contains("offending updates from n0 and n2"));
+    }
+
+    #[test]
+    fn display_without_optionals() {
+        let ev = ConflictEvent {
+            item: ItemId(0),
+            detected_at: NodeId(0),
+            peer: None,
+            site: ConflictSite::IntraNode,
+            offending: None,
+        };
+        assert_eq!(ev.to_string(), "conflict on x0 detected at n0 via intra-node");
+    }
+
+    #[test]
+    fn sites_are_distinct() {
+        assert_ne!(ConflictSite::Propagation, ConflictSite::OutOfBound);
+        assert_ne!(ConflictSite::OutOfBound, ConflictSite::IntraNode);
+    }
+}

@@ -1,0 +1,102 @@
+//! The shared error type for the workspace.
+
+use std::fmt;
+
+use crate::ids::{ItemId, NodeId};
+
+/// Errors surfaced by the replication machinery.
+///
+/// Most protocol-internal situations (older copy received, identical
+/// replicas, conflicts) are *outcomes*, not errors; `Error` is reserved for
+/// genuine misuse or environmental failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Error {
+    /// An item id outside the database's fixed item universe.
+    UnknownItem(ItemId),
+    /// A node id outside the fixed server set.
+    UnknownNode(NodeId),
+    /// Two version vectors (or replicas) sized for different server counts
+    /// were combined.
+    DimensionMismatch {
+        /// Dimension of the left-hand operand.
+        left: usize,
+        /// Dimension of the right-hand operand.
+        right: usize,
+    },
+    /// An operation addressed a node that is currently crashed in the
+    /// simulation.
+    NodeDown(NodeId),
+    /// An update required the item's token but the node does not hold it
+    /// (pessimistic mode, §2).
+    TokenNotHeld {
+        /// The item whose token was required.
+        item: ItemId,
+        /// The node currently holding it.
+        holder: NodeId,
+    },
+    /// The network (simulated or threaded) failed to deliver a message.
+    Network(String),
+    /// A database with this name already exists on the server.
+    DatabaseExists(String),
+    /// No database with this name exists on the server.
+    UnknownDatabase(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownItem(x) => write!(f, "unknown item {x}"),
+            Error::UnknownNode(n) => write!(f, "unknown node {n}"),
+            Error::DimensionMismatch { left, right } => {
+                write!(f, "version vector dimension mismatch: {left} vs {right}")
+            }
+            Error::NodeDown(n) => write!(f, "node {n} is down"),
+            Error::TokenNotHeld { item, holder } => {
+                write!(f, "token for {item} is held by {holder}")
+            }
+            Error::Network(msg) => write!(f, "network error: {msg}"),
+            Error::DatabaseExists(name) => write!(f, "database {name:?} already exists"),
+            Error::UnknownDatabase(name) => write!(f, "unknown database {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(Error::UnknownItem(ItemId(5)).to_string(), "unknown item x5");
+        assert_eq!(Error::UnknownNode(NodeId(2)).to_string(), "unknown node n2");
+        assert_eq!(
+            Error::DimensionMismatch { left: 3, right: 4 }.to_string(),
+            "version vector dimension mismatch: 3 vs 4"
+        );
+        assert_eq!(Error::NodeDown(NodeId(1)).to_string(), "node n1 is down");
+        assert_eq!(
+            Error::TokenNotHeld { item: ItemId(1), holder: NodeId(0) }.to_string(),
+            "token for x1 is held by n0"
+        );
+        assert!(Error::Network("boom".into()).to_string().contains("boom"));
+        assert_eq!(
+            Error::DatabaseExists("mail".into()).to_string(),
+            "database \"mail\" already exists"
+        );
+        assert_eq!(
+            Error::UnknownDatabase("mail".into()).to_string(),
+            "unknown database \"mail\""
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::UnknownItem(ItemId(0)));
+    }
+}

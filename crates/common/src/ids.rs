@@ -1,0 +1,136 @@
+//! Strongly typed identifiers for servers and data items.
+//!
+//! The paper's system model (§2) fixes the set of servers across which a
+//! database is replicated, and treats the database as a collection of data
+//! items. Both sets are dense `0..n` ranges here, which lets every data
+//! structure in the workspace (version vectors, log-vector pointer arrays,
+//! `IsSelected` flags) be a flat array indexed by these ids — exactly the
+//! constant-time access the paper's complexity arguments rely on (§6).
+
+use std::fmt;
+
+/// Identifier of a server (a *node*) holding a replica of the database.
+///
+/// Nodes are numbered densely `0..n` where `n` is the (fixed) number of
+/// servers replicating the database.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The dense index of this node, usable directly as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterate over all node ids in a system of `n` servers.
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> + Clone {
+        (0..n).map(NodeId::from_index)
+    }
+
+    /// Build a `NodeId` from a dense index.
+    ///
+    /// # Panics
+    /// Panics if `index` exceeds `u16::MAX` (65 535 servers is far beyond
+    /// the paper's target scale).
+    #[inline]
+    pub fn from_index(index: usize) -> NodeId {
+        assert!(index <= u16::MAX as usize, "node index {index} out of range");
+        NodeId(index as u16)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a data item in the replicated database.
+///
+/// Items are numbered densely `0..N`. The paper presents update propagation
+/// in the "whole data item copying" style (§2); an item id names the unit of
+/// copying and of replica-consistency maintenance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// The dense index of this item, usable directly as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterate over all item ids in a database of `n` items.
+    pub fn all(n: usize) -> impl Iterator<Item = ItemId> + Clone {
+        (0..n).map(ItemId::from_index)
+    }
+
+    /// Build an `ItemId` from a dense index.
+    ///
+    /// # Panics
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(index: usize) -> ItemId {
+        assert!(index <= u32::MAX as usize, "item index {index} out of range");
+        ItemId(index as u32)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<u32> for ItemId {
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::from_index(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(n, NodeId(7));
+        assert_eq!(n.to_string(), "n7");
+    }
+
+    #[test]
+    fn item_id_roundtrip() {
+        let x = ItemId::from_index(123_456);
+        assert_eq!(x.index(), 123_456);
+        assert_eq!(x.to_string(), "x123456");
+    }
+
+    #[test]
+    fn all_enumerates_dense_range() {
+        let nodes: Vec<NodeId> = NodeId::all(3).collect();
+        assert_eq!(nodes, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let items: Vec<ItemId> = ItemId::all(2).collect();
+        assert_eq!(items, vec![ItemId(0), ItemId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "node index")]
+    fn node_id_overflow_panics() {
+        let _ = NodeId::from_index(usize::from(u16::MAX) + 1);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(ItemId(1) < ItemId(2));
+    }
+}

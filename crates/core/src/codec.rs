@@ -1,0 +1,604 @@
+//! Binary wire codec for the protocol's messages and state.
+//!
+//! A compact, versioned, little-endian format. The byte-accounting
+//! constants in `epidb_common::costs::wire` model this encoding; the codec
+//! makes them real: what `Costs` charges is (up to small rounding in the
+//! envelope) what these functions produce.
+//!
+//! The same primitives back the snapshot (persistence) format in
+//! [`crate::snapshot`] and the TCP framing in `epidb-net`.
+
+use bytes::Bytes;
+use epidb_common::{Error, ItemId, NodeId, Result};
+use epidb_log::LogRecord;
+use epidb_store::{ItemValue, UpdateOp};
+use epidb_vv::{DbVersionVector, VersionVector};
+
+use crate::messages::{OobReply, PropagationPayload, PropagationResponse, ShippedItem};
+
+/// Format version byte embedded in framed messages and snapshots.
+pub const CODEC_VERSION: u8 = 1;
+
+/// Growable output buffer with primitive writers.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh, empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write a raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a little-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Zero-copy input cursor with primitive readers.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error if any input is left unconsumed (strict decoding).
+    pub fn finish(self) -> Result<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(decode_err(format!("{} trailing bytes", self.remaining())))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(decode_err(format!(
+                "need {n} bytes, {} remaining",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian u16.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len")))
+    }
+
+    /// Read a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len")))
+    }
+
+    /// Read a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+}
+
+fn decode_err(msg: impl Into<String>) -> Error {
+    Error::Network(format!("decode: {}", msg.into()))
+}
+
+// --- version vectors ------------------------------------------------------
+
+/// Encode a version vector.
+pub fn put_vv(w: &mut Writer, vv: &VersionVector) {
+    w.u16(vv.len() as u16);
+    for (_, v) in vv.iter() {
+        w.u64(v);
+    }
+}
+
+/// Decode a version vector.
+pub fn get_vv(r: &mut Reader<'_>) -> Result<VersionVector> {
+    let n = r.u16()? as usize;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(r.u64()?);
+    }
+    Ok(VersionVector::from_entries(entries))
+}
+
+/// Encode a database version vector.
+pub fn put_dbvv(w: &mut Writer, vv: &DbVersionVector) {
+    put_vv(w, vv.as_vector());
+}
+
+/// Decode a database version vector.
+pub fn get_dbvv(r: &mut Reader<'_>) -> Result<DbVersionVector> {
+    Ok(DbVersionVector::from_vector(get_vv(r)?))
+}
+
+// --- operations -----------------------------------------------------------
+
+const OP_SET: u8 = 0;
+const OP_WRITE_RANGE: u8 = 1;
+const OP_APPEND: u8 = 2;
+
+/// Encode an update operation.
+pub fn put_op(w: &mut Writer, op: &UpdateOp) {
+    match op {
+        UpdateOp::Set(d) => {
+            w.u8(OP_SET);
+            w.bytes(d);
+        }
+        UpdateOp::WriteRange { offset, data } => {
+            w.u8(OP_WRITE_RANGE);
+            w.u64(*offset as u64);
+            w.bytes(data);
+        }
+        UpdateOp::Append(d) => {
+            w.u8(OP_APPEND);
+            w.bytes(d);
+        }
+    }
+}
+
+/// Decode an update operation.
+pub fn get_op(r: &mut Reader<'_>) -> Result<UpdateOp> {
+    match r.u8()? {
+        OP_SET => Ok(UpdateOp::Set(Bytes::copy_from_slice(r.bytes()?))),
+        OP_WRITE_RANGE => {
+            let offset = r.u64()? as usize;
+            let data = Bytes::copy_from_slice(r.bytes()?);
+            Ok(UpdateOp::WriteRange { offset, data })
+        }
+        OP_APPEND => Ok(UpdateOp::Append(Bytes::copy_from_slice(r.bytes()?))),
+        t => Err(decode_err(format!("unknown op tag {t}"))),
+    }
+}
+
+// --- propagation messages ---------------------------------------------------
+
+/// Encode a log record.
+pub fn put_log_record(w: &mut Writer, rec: &LogRecord) {
+    w.u32(rec.item.0);
+    w.u64(rec.m);
+}
+
+/// Decode a log record.
+pub fn get_log_record(r: &mut Reader<'_>) -> Result<LogRecord> {
+    Ok(LogRecord { item: ItemId(r.u32()?), m: r.u64()? })
+}
+
+/// Encode a shipped item (id + IVV + value).
+pub fn put_shipped_item(w: &mut Writer, s: &ShippedItem) {
+    w.u32(s.item.0);
+    put_vv(w, &s.ivv);
+    w.bytes(s.value.as_bytes());
+}
+
+/// Decode a shipped item.
+pub fn get_shipped_item(r: &mut Reader<'_>) -> Result<ShippedItem> {
+    let item = ItemId(r.u32()?);
+    let ivv = get_vv(r)?;
+    let value = ItemValue::from_slice(r.bytes()?);
+    Ok(ShippedItem { item, ivv, value })
+}
+
+/// Encode a whole propagation payload.
+pub fn put_payload(w: &mut Writer, p: &PropagationPayload) {
+    w.u16(p.tails.len() as u16);
+    for tail in &p.tails {
+        w.u32(tail.len() as u32);
+        for rec in tail {
+            put_log_record(w, rec);
+        }
+    }
+    w.u32(p.items.len() as u32);
+    for item in &p.items {
+        put_shipped_item(w, item);
+    }
+}
+
+/// Decode a propagation payload.
+pub fn get_payload(r: &mut Reader<'_>) -> Result<PropagationPayload> {
+    let n_tails = r.u16()? as usize;
+    let mut tails = Vec::with_capacity(n_tails);
+    for _ in 0..n_tails {
+        let len = r.u32()? as usize;
+        let mut tail = Vec::with_capacity(len);
+        for _ in 0..len {
+            tail.push(get_log_record(r)?);
+        }
+        tails.push(tail);
+    }
+    let n_items = r.u32()? as usize;
+    let mut items = Vec::with_capacity(n_items);
+    for _ in 0..n_items {
+        items.push(get_shipped_item(r)?);
+    }
+    Ok(PropagationPayload { tails, items })
+}
+
+const RESP_CURRENT: u8 = 0;
+const RESP_PAYLOAD: u8 = 1;
+
+/// Encode a propagation response.
+pub fn put_response(w: &mut Writer, resp: &PropagationResponse) {
+    match resp {
+        PropagationResponse::YouAreCurrent => w.u8(RESP_CURRENT),
+        PropagationResponse::Payload(p) => {
+            w.u8(RESP_PAYLOAD);
+            put_payload(w, p);
+        }
+    }
+}
+
+/// Decode a propagation response.
+pub fn get_response(r: &mut Reader<'_>) -> Result<PropagationResponse> {
+    match r.u8()? {
+        RESP_CURRENT => Ok(PropagationResponse::YouAreCurrent),
+        RESP_PAYLOAD => Ok(PropagationResponse::Payload(get_payload(r)?)),
+        t => Err(decode_err(format!("unknown response tag {t}"))),
+    }
+}
+
+/// Encode an out-of-bound reply.
+pub fn put_oob_reply(w: &mut Writer, reply: &OobReply) {
+    w.u32(reply.item.0);
+    put_vv(w, &reply.ivv);
+    w.bytes(reply.value.as_bytes());
+    w.u8(reply.from_aux as u8);
+}
+
+/// Decode an out-of-bound reply.
+pub fn get_oob_reply(r: &mut Reader<'_>) -> Result<OobReply> {
+    let item = ItemId(r.u32()?);
+    let ivv = get_vv(r)?;
+    let value = ItemValue::from_slice(r.bytes()?);
+    let from_aux = match r.u8()? {
+        0 => false,
+        1 => true,
+        b => return Err(decode_err(format!("bad bool {b}"))),
+    };
+    Ok(OobReply { item, ivv, value, from_aux })
+}
+
+// --- framed protocol messages (for real transports) ------------------------
+
+/// A complete, self-describing protocol message as it travels over a real
+/// transport (e.g. the TCP runtime).
+#[derive(Debug)]
+pub enum WireMessage {
+    /// Pull request: the recipient's node id and DBVV.
+    PullRequest {
+        /// Requesting node.
+        from: NodeId,
+        /// Its database version vector.
+        dbvv: DbVersionVector,
+    },
+    /// Pull response from a source node.
+    PullResponse {
+        /// Replying node.
+        from: NodeId,
+        /// The decision/payload.
+        response: PropagationResponse,
+    },
+    /// Out-of-bound request for one item.
+    OobRequest {
+        /// Requesting node.
+        from: NodeId,
+        /// Wanted item.
+        item: ItemId,
+    },
+    /// Out-of-bound reply.
+    OobResponse {
+        /// Replying node.
+        from: NodeId,
+        /// The item copy.
+        reply: OobReply,
+    },
+}
+
+const MSG_PULL_REQ: u8 = 1;
+const MSG_PULL_RESP: u8 = 2;
+const MSG_OOB_REQ: u8 = 3;
+const MSG_OOB_RESP: u8 = 4;
+
+/// Encode a framed message (version byte + tag + body). The length prefix
+/// is the transport's job.
+pub fn encode_message(msg: &WireMessage) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(CODEC_VERSION);
+    match msg {
+        WireMessage::PullRequest { from, dbvv } => {
+            w.u8(MSG_PULL_REQ);
+            w.u16(from.0);
+            put_dbvv(&mut w, dbvv);
+        }
+        WireMessage::PullResponse { from, response } => {
+            w.u8(MSG_PULL_RESP);
+            w.u16(from.0);
+            put_response(&mut w, response);
+        }
+        WireMessage::OobRequest { from, item } => {
+            w.u8(MSG_OOB_REQ);
+            w.u16(from.0);
+            w.u32(item.0);
+        }
+        WireMessage::OobResponse { from, reply } => {
+            w.u8(MSG_OOB_RESP);
+            w.u16(from.0);
+            put_oob_reply(&mut w, reply);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode a framed message, rejecting unknown versions/tags and trailing
+/// garbage.
+pub fn decode_message(buf: &[u8]) -> Result<WireMessage> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != CODEC_VERSION {
+        return Err(decode_err(format!("unsupported codec version {version}")));
+    }
+    let tag = r.u8()?;
+    let msg = match tag {
+        MSG_PULL_REQ => {
+            let from = NodeId(r.u16()?);
+            let dbvv = get_dbvv(&mut r)?;
+            WireMessage::PullRequest { from, dbvv }
+        }
+        MSG_PULL_RESP => {
+            let from = NodeId(r.u16()?);
+            let response = get_response(&mut r)?;
+            WireMessage::PullResponse { from, response }
+        }
+        MSG_OOB_REQ => {
+            let from = NodeId(r.u16()?);
+            let item = ItemId(r.u32()?);
+            WireMessage::OobRequest { from, item }
+        }
+        MSG_OOB_RESP => {
+            let from = NodeId(r.u16()?);
+            let reply = get_oob_reply(&mut r)?;
+            WireMessage::OobResponse { from, reply }
+        }
+        t => return Err(decode_err(format!("unknown message tag {t}"))),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vv(e: &[u64]) -> VersionVector {
+        VersionVector::from_entries(e.to_vec())
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(1996);
+        w.u32(123_456);
+        w.u64(u64::MAX - 3);
+        w.bytes(b"hello");
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 1996);
+        assert_eq!(r.u32().unwrap(), 123_456);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let mut w = Writer::new();
+        w.u64(42);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf[..5]);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut w = Writer::new();
+        w.u8(CODEC_VERSION);
+        w.u8(3); // OobRequest
+        w.u16(0);
+        w.u32(9);
+        w.u8(0xFF); // garbage
+        assert!(decode_message(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn vv_roundtrip() {
+        let v = vv(&[0, 5, u64::MAX, 7]);
+        let mut w = Writer::new();
+        put_vv(&mut w, &v);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(get_vv(&mut r).unwrap(), v);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn ops_roundtrip() {
+        for op in [
+            UpdateOp::set(&b"whole"[..]),
+            UpdateOp::write_range(17, &b"patch"[..]),
+            UpdateOp::append(&b""[..]),
+        ] {
+            let mut w = Writer::new();
+            put_op(&mut w, &op);
+            let buf = w.into_bytes();
+            let mut r = Reader::new(&buf);
+            assert_eq!(get_op(&mut r).unwrap(), op);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let payload = PropagationPayload {
+            tails: vec![
+                vec![LogRecord { item: ItemId(1), m: 3 }, LogRecord { item: ItemId(2), m: 9 }],
+                vec![],
+            ],
+            items: vec![ShippedItem {
+                item: ItemId(1),
+                ivv: vv(&[3, 0]),
+                value: ItemValue::from_slice(b"contents"),
+            }],
+        };
+        let mut w = Writer::new();
+        put_payload(&mut w, &payload);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let back = get_payload(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.tails, payload.tails);
+        assert_eq!(back.items.len(), 1);
+        assert_eq!(back.items[0].item, ItemId(1));
+        assert_eq!(back.items[0].ivv, vv(&[3, 0]));
+        assert_eq!(back.items[0].value.as_bytes(), b"contents");
+    }
+
+    #[test]
+    fn messages_roundtrip() {
+        let mut dbvv = DbVersionVector::zero(3);
+        dbvv.record_local_update(NodeId(2));
+        let msgs = vec![
+            WireMessage::PullRequest { from: NodeId(1), dbvv: dbvv.clone() },
+            WireMessage::PullResponse {
+                from: NodeId(0),
+                response: PropagationResponse::YouAreCurrent,
+            },
+            WireMessage::OobRequest { from: NodeId(2), item: ItemId(77) },
+            WireMessage::OobResponse {
+                from: NodeId(0),
+                reply: OobReply {
+                    item: ItemId(77),
+                    ivv: vv(&[1, 2, 3]),
+                    value: ItemValue::from_slice(b"v"),
+                    from_aux: true,
+                },
+            },
+        ];
+        for msg in msgs {
+            let buf = encode_message(&msg);
+            let back = decode_message(&buf).unwrap();
+            match (&msg, &back) {
+                (
+                    WireMessage::PullRequest { from: f1, dbvv: d1 },
+                    WireMessage::PullRequest { from: f2, dbvv: d2 },
+                ) => {
+                    assert_eq!(f1, f2);
+                    assert_eq!(d1, d2);
+                }
+                (
+                    WireMessage::PullResponse { from: f1, response: r1 },
+                    WireMessage::PullResponse { from: f2, response: r2 },
+                ) => {
+                    assert_eq!(f1, f2);
+                    assert!(matches!(
+                        (r1, r2),
+                        (PropagationResponse::YouAreCurrent, PropagationResponse::YouAreCurrent)
+                    ));
+                }
+                (
+                    WireMessage::OobRequest { from: f1, item: i1 },
+                    WireMessage::OobRequest { from: f2, item: i2 },
+                ) => {
+                    assert_eq!(f1, f2);
+                    assert_eq!(i1, i2);
+                }
+                (
+                    WireMessage::OobResponse { from: f1, reply: r1 },
+                    WireMessage::OobResponse { from: f2, reply: r2 },
+                ) => {
+                    assert_eq!(f1, f2);
+                    assert_eq!(r1.item, r2.item);
+                    assert_eq!(r1.ivv, r2.ivv);
+                    assert_eq!(r1.value, r2.value);
+                    assert_eq!(r1.from_aux, r2.from_aux);
+                }
+                _ => panic!("message kind changed in roundtrip"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut buf = encode_message(&WireMessage::OobRequest { from: NodeId(0), item: ItemId(0) });
+        buf[0] = 99;
+        assert!(decode_message(&buf).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut buf = encode_message(&WireMessage::OobRequest { from: NodeId(0), item: ItemId(0) });
+        buf[1] = 200;
+        assert!(decode_message(&buf).is_err());
+    }
+}

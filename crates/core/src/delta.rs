@@ -1,0 +1,359 @@
+//! Delta (update-record) propagation — the paper's other shipping mode.
+//!
+//! §2: "Update propagation can be done by either copying the entire data
+//! item, or by obtaining and applying log records for missing updates. …
+//! The ideas described in this paper are applicable for both these
+//! methods. We chose whole data copying as the presentation context."
+//!
+//! This module implements the other choice, on top of the same DBVV/log
+//! machinery. Because the source does not know the recipient's per-item
+//! state up front, the exchange gains one round trip:
+//!
+//! 1. recipient → source: DBVV (identical to the whole-item mode; the
+//!    constant-time "you are current" fast path is unchanged);
+//! 2. source → recipient: the tail vector plus an **offer** — the ids and
+//!    IVVs of the items the recipient misses, *without values*;
+//! 3. recipient → source: the subset it actually wants, each with the
+//!    recipient's current IVV;
+//! 4. source → recipient: per item, either the contiguous **operation
+//!    chain** from the recipient's IVV to the source's (when the source's
+//!    [`OpCache`](crate::opcache::OpCache) still holds it) or the whole
+//!    value (fallback — replicas without a cache interoperate seamlessly).
+//!
+//! Once data is applied, everything else (DBVV rule 3, tail appending,
+//! conflict handling, intra-node propagation) is exactly the whole-item
+//! protocol, so the §2.1 correctness criteria carry over unchanged.
+
+use std::collections::HashSet;
+
+use epidb_common::costs::wire;
+use epidb_common::{ConflictEvent, ConflictSite, ItemId, NodeId, Result};
+use epidb_log::LogRecord;
+use epidb_vv::{DbVersionVector, VersionVector, VvOrd};
+
+use crate::messages::request_bytes;
+use crate::opcache::CachedOp;
+use crate::policy::ConflictPolicy;
+use crate::propagation::{AcceptOutcome, PullOutcome};
+use crate::replica::Replica;
+use crate::ShippedItem;
+
+/// Message 2: what the recipient misses — tails plus per-item IVVs, no
+/// values.
+#[derive(Clone, Debug)]
+pub struct DeltaOffer {
+    /// The tail vector `D` (as in the whole-item mode).
+    pub tails: Vec<Vec<LogRecord>>,
+    /// `(item, source IVV)` for every item referenced by `D`.
+    pub offers: Vec<(ItemId, VersionVector)>,
+}
+
+impl DeltaOffer {
+    /// Control bytes of the offer message body.
+    pub fn control_bytes(&self, n: usize) -> u64 {
+        self.tails.iter().map(Vec::len).sum::<usize>() as u64 * wire::LOG_RECORD
+            + self.offers.len() as u64 * (wire::ITEM_ID + wire::vv(n))
+    }
+}
+
+/// Message 2 envelope.
+#[derive(Clone, Debug)]
+pub enum DeltaOfferResponse {
+    /// Recipient's DBVV dominates or equals — nothing to do (O(n)).
+    YouAreCurrent,
+    /// Items on offer.
+    Offer(DeltaOffer),
+}
+
+/// Message 3: the items the recipient wants, with its current IVVs.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaRequest {
+    /// `(item, recipient IVV)` pairs.
+    pub wants: Vec<(ItemId, VersionVector)>,
+}
+
+impl DeltaRequest {
+    /// Control bytes of the request message body.
+    pub fn control_bytes(&self, n: usize) -> u64 {
+        self.wants.len() as u64 * (wire::ITEM_ID + wire::vv(n))
+    }
+}
+
+/// Message 4: one item's data, as an operation chain or a whole value.
+#[derive(Clone, Debug)]
+pub enum DeltaItem {
+    /// The contiguous operation chain from the recipient's IVV to
+    /// `final_ivv`.
+    Ops {
+        /// The item.
+        item: ItemId,
+        /// The chain, oldest first; `ops[i]`'s post-state is
+        /// `ops[i+1].pre_vv`, the last op's post-state is `final_ivv`.
+        ops: Vec<CachedOp>,
+        /// The source's current IVV for the item.
+        final_ivv: VersionVector,
+    },
+    /// Whole-item fallback (cache miss at the source).
+    Whole(ShippedItem),
+}
+
+impl DeltaItem {
+    fn control_bytes(&self, n: usize) -> u64 {
+        match self {
+            DeltaItem::Ops { ops, .. } => {
+                wire::ITEM_ID
+                    + wire::vv(n)
+                    + ops.len() as u64 * (wire::vv(n) + 9 /* op tag + length */)
+            }
+            DeltaItem::Whole(s) => s.control_bytes(),
+        }
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        match self {
+            DeltaItem::Ops { ops, .. } => {
+                ops.iter().map(|c| c.op.payload_len() as u64).sum()
+            }
+            DeltaItem::Whole(s) => s.value.len() as u64,
+        }
+    }
+}
+
+/// Message 4 body.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaPayload {
+    /// One entry per requested item.
+    pub items: Vec<DeltaItem>,
+}
+
+impl DeltaPayload {
+    /// Control bytes of the data message body.
+    pub fn control_bytes(&self, n: usize) -> u64 {
+        self.items.iter().map(|i| i.control_bytes(n)).sum()
+    }
+
+    /// Payload bytes of the data message body.
+    pub fn payload_bytes(&self) -> u64 {
+        self.items.iter().map(DeltaItem::payload_bytes).sum()
+    }
+
+    /// How many items travel as operation chains.
+    pub fn ops_items(&self) -> usize {
+        self.items.iter().filter(|i| matches!(i, DeltaItem::Ops { .. })).count()
+    }
+}
+
+/// The recipient's evaluation of an offer, carried into the apply step.
+#[derive(Clone, Debug, Default)]
+pub struct OfferEvaluation {
+    tails: Vec<Vec<LogRecord>>,
+    refused: HashSet<ItemId>,
+    conflicts: usize,
+}
+
+impl Replica {
+    /// Step 2 at the source: like
+    /// [`prepare_propagation`](Replica::prepare_propagation) but offering
+    /// item IVVs instead of shipping values.
+    pub fn prepare_delta_offer(&mut self, recipient_dbvv: &DbVersionVector) -> DeltaOfferResponse {
+        match self.prepare_propagation(recipient_dbvv) {
+            crate::PropagationResponse::YouAreCurrent => DeltaOfferResponse::YouAreCurrent,
+            crate::PropagationResponse::Payload(p) => DeltaOfferResponse::Offer(DeltaOffer {
+                tails: p.tails,
+                offers: p.items.into_iter().map(|s| (s.item, s.ivv)).collect(),
+            }),
+        }
+    }
+
+    /// Step 3 at the recipient: compare offered IVVs with local state,
+    /// declare conflicts, and build the want-list.
+    pub fn evaluate_delta_offer(
+        &mut self,
+        source: NodeId,
+        offer: DeltaOffer,
+    ) -> Result<(DeltaRequest, OfferEvaluation)> {
+        let mut request = DeltaRequest::default();
+        let mut eval = OfferEvaluation { tails: offer.tails, ..OfferEvaluation::default() };
+        for (x, remote_ivv) in offer.offers {
+            self.check_item(x)?;
+            let local_ivv = self.store.get(x)?.ivv.clone();
+            let mut cmps = 0;
+            let ord = remote_ivv.compare_counted(&local_ivv, &mut cmps);
+            self.costs.vv_entry_cmps += cmps;
+            match ord {
+                VvOrd::Dominates => request.wants.push((x, local_ivv)),
+                VvOrd::Equal => self.counters.equal_receipts += 1,
+                VvOrd::DominatedBy => self.counters.stale_receipts += 1,
+                VvOrd::Concurrent => {
+                    eval.conflicts += 1;
+                    let offending = remote_ivv.offending_pair(&local_ivv);
+                    self.report_conflict(ConflictEvent {
+                        item: x,
+                        detected_at: self.id,
+                        peer: Some(source),
+                        site: ConflictSite::Propagation,
+                        offending,
+                    });
+                    // In delta mode the LWW policy still needs the remote
+                    // value, so the item is requested like a dominating
+                    // one; under Report it is refused and stripped.
+                    match self.policy {
+                        ConflictPolicy::Report => {
+                            eval.refused.insert(x);
+                        }
+                        ConflictPolicy::ResolveLww => request.wants.push((x, local_ivv)),
+                    }
+                }
+            }
+        }
+        Ok((request, eval))
+    }
+
+    /// Step 4 at the source: answer each want with the operation chain
+    /// when the cache still holds it, else the whole value.
+    pub fn serve_delta_request(&mut self, request: &DeltaRequest) -> Result<DeltaPayload> {
+        let mut payload = DeltaPayload::default();
+        for (x, from_vv) in &request.wants {
+            self.check_item(*x)?;
+            let item = self.store.get(*x)?;
+            // Ship the chain only when it is actually cheaper than the
+            // whole value (e.g. a chain of full overwrites is not).
+            let chain = self.op_cache.chain_from_cloned(*x, from_vv).filter(|ops| {
+                ops.iter().map(|c| c.op.payload_len()).sum::<usize>() <= item.value.len()
+            });
+            if let Some(ops) = chain {
+                self.costs.log_records_examined += ops.len() as u64;
+                payload.items.push(DeltaItem::Ops {
+                    item: *x,
+                    ops,
+                    final_ivv: item.ivv.clone(),
+                });
+            } else {
+                self.costs.items_scanned += 1;
+                payload.items.push(DeltaItem::Whole(ShippedItem {
+                    item: *x,
+                    ivv: item.ivv.clone(),
+                    value: item.value.clone(),
+                }));
+            }
+        }
+        Ok(payload)
+    }
+
+    /// Final step at the recipient: apply the data, then append the
+    /// (surviving) tails and run intra-node propagation — identical
+    /// semantics to `AcceptPropagation` from here on.
+    pub fn apply_delta(
+        &mut self,
+        source: NodeId,
+        payload: DeltaPayload,
+        eval: OfferEvaluation,
+    ) -> Result<AcceptOutcome> {
+        let mut outcome = AcceptOutcome { conflicts: eval.conflicts, ..AcceptOutcome::default() };
+        let mut refused = eval.refused;
+
+        for item in payload.items {
+            match item {
+                DeltaItem::Whole(shipped) => {
+                    let x = shipped.item;
+                    let sub = self.accept_propagation(
+                        source,
+                        crate::PropagationPayload {
+                            tails: vec![Vec::new(); self.n_nodes()],
+                            items: vec![shipped],
+                        },
+                    )?;
+                    outcome.conflicts += sub.conflicts;
+                    outcome.replayed += sub.replayed;
+                    outcome.aux_discarded.extend(sub.aux_discarded);
+                    if sub.copied.contains(&x) {
+                        outcome.copied.push(x);
+                    } else if sub.conflicts > 0 {
+                        refused.insert(x);
+                    }
+                }
+                DeltaItem::Ops { item: x, ops, final_ivv } => {
+                    self.check_item(x)?;
+                    let local_ivv = self.store.get(x)?.ivv.clone();
+                    // Chain must start exactly at the local state and end
+                    // strictly ahead of it; anything else means the states
+                    // raced between messages 3 and 4 — fall back by
+                    // refusing now, a later pull repairs it.
+                    let chain_ok = ops.first().map(|c| c.pre_vv == local_ivv).unwrap_or(false)
+                        && final_ivv.compare(&local_ivv) == VvOrd::Dominates;
+                    if !chain_ok {
+                        self.counters.stale_receipts += 1;
+                        refused.insert(x);
+                        continue;
+                    }
+                    let record_cache = self.op_cache.is_enabled();
+                    {
+                        let stored = self.store.get_mut(x)?;
+                        for c in &ops {
+                            c.op.apply(&mut stored.value);
+                        }
+                        stored.ivv = final_ivv.clone();
+                    }
+                    if record_cache {
+                        // Extend the local chain so this replica can relay
+                        // deltas onward: op i's post-state is op i+1's
+                        // pre-state.
+                        for c in ops {
+                            self.op_cache.record(x, c.pre_vv, c.op);
+                        }
+                    }
+                    self.dbvv.absorb_item_copy(&local_ivv, &final_ivv)?;
+                    self.costs.items_copied += 1;
+                    outcome.copied.push(x);
+                }
+            }
+        }
+
+        // Append surviving tails, as AcceptPropagation does.
+        for (k, tail) in eval.tails.iter().enumerate() {
+            let k = NodeId::from_index(k);
+            for rec in tail {
+                if refused.contains(&rec.item) {
+                    continue;
+                }
+                self.log.add_record(k, *rec);
+                self.costs.log_records_examined += 1;
+            }
+        }
+
+        let intra = self.intra_node_propagation(&outcome.copied);
+        outcome.replayed += intra.replayed;
+        outcome.aux_discarded.extend(intra.discarded);
+        outcome.conflicts += intra.conflicts;
+        Ok(outcome)
+    }
+}
+
+/// One complete delta-mode pull: `recipient` from `source`, with full
+/// message/byte accounting across the four messages.
+pub fn pull_delta(recipient: &mut Replica, source: &mut Replica) -> Result<PullOutcome> {
+    debug_assert_eq!(recipient.n_nodes(), source.n_nodes());
+    let n = recipient.n_nodes();
+    let recipient_dbvv = recipient.dbvv().clone();
+    recipient.charge_message(request_bytes(&recipient_dbvv), 0);
+
+    let offer = source.prepare_delta_offer(&recipient_dbvv);
+    match offer {
+        DeltaOfferResponse::YouAreCurrent => {
+            source.charge_message(wire::MSG_HEADER, 0);
+            Ok(PullOutcome::UpToDate)
+        }
+        DeltaOfferResponse::Offer(offer) => {
+            source.charge_message(wire::MSG_HEADER + offer.control_bytes(n), 0);
+            let (request, eval) = recipient.evaluate_delta_offer(source.id(), offer)?;
+            recipient.charge_message(wire::MSG_HEADER + request.control_bytes(n), 0);
+            let payload = source.serve_delta_request(&request)?;
+            source.charge_message(
+                wire::MSG_HEADER + payload.control_bytes(n),
+                payload.payload_bytes(),
+            );
+            let outcome = recipient.apply_delta(source.id(), payload, eval)?;
+            Ok(PullOutcome::Propagated(outcome))
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Messages exchanged by the protocol, with wire-size accounting.
+//!
+//! The protocol is a two-message pull (§5.1): the recipient sends its DBVV;
+//! the source replies either "you are current" or with a *tail vector* `D`
+//! (per-origin log-record tails) plus the set `S` of data items those
+//! records refer to, each item carrying its IVV. Out-of-bound copying (§5.2)
+//! is a one-item request/reply.
+
+use epidb_common::costs::wire;
+use epidb_common::{ItemId, NodeId};
+use epidb_log::LogRecord;
+use epidb_store::ItemValue;
+use epidb_vv::{DbVersionVector, VersionVector};
+
+/// One data item shipped during propagation: the member of `S` together
+/// with its IVV (the source "includes its IVV with every data item in S").
+#[derive(Clone, Debug)]
+pub struct ShippedItem {
+    /// The item's id.
+    pub item: ItemId,
+    /// The source's (regular) IVV for the item.
+    pub ivv: VersionVector,
+    /// The source's (regular) value — whole-item copying (§2).
+    pub value: ItemValue,
+}
+
+impl ShippedItem {
+    /// Control bytes this entry adds to the message (id + IVV); the value
+    /// is payload.
+    pub fn control_bytes(&self) -> u64 {
+        wire::ITEM_ID + wire::vv(self.ivv.len())
+    }
+}
+
+/// The source's reply when propagation is required: the tail vector `D`
+/// (component `k` holds records of `k`-originated updates the recipient
+/// missed, in the order `k` performed them) and the item set `S`.
+#[derive(Clone, Debug, Default)]
+pub struct PropagationPayload {
+    /// `D`: one (possibly empty) tail per origin server.
+    pub tails: Vec<Vec<LogRecord>>,
+    /// `S`: the items referred to by records in `D`, with IVVs and values.
+    pub items: Vec<ShippedItem>,
+}
+
+impl PropagationPayload {
+    /// Total records across all tails.
+    pub fn record_count(&self) -> usize {
+        self.tails.iter().map(Vec::len).sum()
+    }
+
+    /// Control bytes: log records + per-item id and IVV.
+    pub fn control_bytes(&self) -> u64 {
+        self.record_count() as u64 * wire::LOG_RECORD
+            + self.items.iter().map(ShippedItem::control_bytes).sum::<u64>()
+    }
+
+    /// Payload bytes: the item values being copied.
+    pub fn payload_bytes(&self) -> u64 {
+        self.items.iter().map(|s| s.value.len() as u64).sum()
+    }
+}
+
+/// The source's reply to a propagation request.
+#[derive(Clone, Debug)]
+pub enum PropagationResponse {
+    /// The recipient's DBVV dominates or equals the source's: nothing to do.
+    /// This is the paper's constant-time "identical (or newer) replica"
+    /// detection.
+    YouAreCurrent,
+    /// Updates to propagate.
+    Payload(PropagationPayload),
+}
+
+impl PropagationResponse {
+    /// Control bytes of the response message (excluding the envelope).
+    pub fn control_bytes(&self) -> u64 {
+        match self {
+            PropagationResponse::YouAreCurrent => 0,
+            PropagationResponse::Payload(p) => p.control_bytes(),
+        }
+    }
+
+    /// Payload bytes of the response message.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            PropagationResponse::YouAreCurrent => 0,
+            PropagationResponse::Payload(p) => p.payload_bytes(),
+        }
+    }
+}
+
+/// Request message of the two-message pull: the recipient's DBVV.
+pub fn request_bytes(dbvv: &DbVersionVector) -> u64 {
+    wire::MSG_HEADER + wire::vv(dbvv.len())
+}
+
+/// Reply to an out-of-bound request for one item (§5.2): the source's
+/// auxiliary copy if it has one, else its regular copy, with the matching
+/// IVV. No log records travel.
+#[derive(Clone, Debug)]
+pub struct OobReply {
+    /// The requested item.
+    pub item: ItemId,
+    /// IVV of the returned copy (auxiliary or regular).
+    pub ivv: VersionVector,
+    /// Value of the returned copy.
+    pub value: ItemValue,
+    /// Whether the source answered from its auxiliary copy (an
+    /// optimization: the auxiliary copy is never older than the regular
+    /// one).
+    pub from_aux: bool,
+}
+
+impl OobReply {
+    /// Control bytes (id + IVV + flag byte).
+    pub fn control_bytes(&self) -> u64 {
+        wire::ITEM_ID + wire::vv(self.ivv.len()) + 1
+    }
+}
+
+/// Bytes of an out-of-bound request (just the item id).
+pub fn oob_request_bytes() -> u64 {
+    wire::MSG_HEADER + wire::ITEM_ID
+}
+
+/// Identifies the source a payload came from (for conflict events).
+#[derive(Clone, Copy, Debug)]
+pub struct FromNode(pub NodeId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_byte_accounting() {
+        let n = 4;
+        let payload = PropagationPayload {
+            tails: vec![
+                vec![LogRecord { item: ItemId(0), m: 1 }, LogRecord { item: ItemId(1), m: 2 }],
+                vec![],
+                vec![LogRecord { item: ItemId(1), m: 1 }],
+                vec![],
+            ],
+            items: vec![
+                ShippedItem {
+                    item: ItemId(0),
+                    ivv: VersionVector::zero(n),
+                    value: ItemValue::from_slice(b"0123456789"),
+                },
+                ShippedItem {
+                    item: ItemId(1),
+                    ivv: VersionVector::zero(n),
+                    value: ItemValue::from_slice(b"abc"),
+                },
+            ],
+        };
+        assert_eq!(payload.record_count(), 3);
+        assert_eq!(payload.control_bytes(), 3 * 12 + 2 * (4 + 32));
+        assert_eq!(payload.payload_bytes(), 13);
+        let resp = PropagationResponse::Payload(payload);
+        assert!(resp.control_bytes() > 0);
+        assert_eq!(resp.payload_bytes(), 13);
+    }
+
+    #[test]
+    fn you_are_current_is_constant_size() {
+        let resp = PropagationResponse::YouAreCurrent;
+        assert_eq!(resp.control_bytes(), 0);
+        assert_eq!(resp.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn request_scales_with_n_only() {
+        let small = DbVersionVector::zero(2);
+        let large = DbVersionVector::zero(64);
+        assert_eq!(request_bytes(&small), 16 + 16);
+        assert_eq!(request_bytes(&large), 16 + 512);
+    }
+
+    #[test]
+    fn oob_reply_control_bytes() {
+        let r = OobReply {
+            item: ItemId(1),
+            ivv: VersionVector::zero(3),
+            value: ItemValue::from_slice(b"v"),
+            from_aux: true,
+        };
+        assert_eq!(r.control_bytes(), 4 + 24 + 1);
+        assert_eq!(oob_request_bytes(), 20);
+    }
+}

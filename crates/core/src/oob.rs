@@ -1,0 +1,96 @@
+//! Out-of-bound data copying (§5.2): obtaining a newer version of an
+//! individual data item at any time, outside scheduled update propagation.
+
+use epidb_common::costs::wire;
+use epidb_common::{ConflictEvent, ConflictSite, ItemId, NodeId, Result};
+use epidb_vv::VvOrd;
+
+use crate::messages::{oob_request_bytes, OobReply};
+use crate::replica::{AuxItem, Replica};
+
+/// What an out-of-bound copy attempt did at the recipient.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OobOutcome {
+    /// The received copy was newer and became the (new) auxiliary copy.
+    Adopted {
+        /// Whether the source answered from its own auxiliary copy.
+        from_aux: bool,
+    },
+    /// The received copy was the same as, or older than, the local one;
+    /// nothing changed.
+    AlreadyCurrent,
+    /// The received IVV conflicted with the local one; inconsistency was
+    /// declared and nothing changed.
+    Conflict,
+}
+
+impl Replica {
+    /// Serve an out-of-bound request for item `x` (§5.2): reply with the
+    /// auxiliary copy if one exists (it is never older than the regular
+    /// copy — an optimization, not a correctness requirement), else the
+    /// regular copy. No log records travel.
+    pub fn serve_oob(&self, x: ItemId) -> Result<OobReply> {
+        if let Some(aux) = self.aux_items.get(&x) {
+            return Ok(OobReply {
+                item: x,
+                ivv: aux.ivv.clone(),
+                value: aux.value.clone(),
+                from_aux: true,
+            });
+        }
+        let it = self.store.get(x)?;
+        Ok(OobReply { item: x, ivv: it.ivv.clone(), value: it.value.clone(), from_aux: false })
+    }
+
+    /// Accept an out-of-bound reply (§5.2). The received IVV is compared
+    /// against the local *auxiliary* IVV if an auxiliary copy exists, else
+    /// the regular IVV:
+    ///
+    /// * received dominates → the received value and IVV become the new
+    ///   auxiliary copy and auxiliary IVV. The auxiliary log is **not**
+    ///   modified — any pending records still replay onto the regular copy
+    ///   later.
+    /// * equal or dominated → no action (the local copy is already as new).
+    /// * concurrent → inconsistency is declared; no action.
+    pub fn accept_oob(&mut self, from: NodeId, reply: OobReply) -> Result<OobOutcome> {
+        self.check_item(reply.item)?;
+        let x = reply.item;
+        let local_ivv = match self.aux_items.get(&x) {
+            Some(aux) => aux.ivv.clone(),
+            None => self.store.get(x)?.ivv.clone(),
+        };
+        let mut cmps = 0;
+        let ord = reply.ivv.compare_counted(&local_ivv, &mut cmps);
+        self.costs.vv_entry_cmps += cmps;
+        match ord {
+            VvOrd::Dominates => {
+                let from_aux = reply.from_aux;
+                self.aux_items.insert(x, AuxItem { value: reply.value, ivv: reply.ivv });
+                Ok(OobOutcome::Adopted { from_aux })
+            }
+            VvOrd::Equal | VvOrd::DominatedBy => Ok(OobOutcome::AlreadyCurrent),
+            VvOrd::Concurrent => {
+                let offending = reply.ivv.offending_pair(&local_ivv);
+                self.report_conflict(ConflictEvent {
+                    item: x,
+                    detected_at: self.id,
+                    peer: Some(from),
+                    site: ConflictSite::OutOfBound,
+                    offending,
+                });
+                Ok(OobOutcome::Conflict)
+            }
+        }
+    }
+}
+
+/// Perform one out-of-bound copy of item `x`: `recipient` obtains the
+/// source's newest copy of `x`, with message/byte accounting.
+pub fn oob_copy(recipient: &mut Replica, source: &mut Replica, x: ItemId) -> Result<OobOutcome> {
+    recipient.costs.charge_message(oob_request_bytes(), 0);
+    let reply = source.serve_oob(x)?;
+    source
+        .costs
+        .charge_message(wire::MSG_HEADER + reply.control_bytes(), reply.value.len() as u64);
+    recipient.accept_oob(source.id(), reply)
+}

@@ -1,0 +1,214 @@
+//! The operation cache backing delta (update-record) propagation.
+//!
+//! The paper (§2) notes update propagation can ship either whole data
+//! items or "log records for missing updates" (Oracle-style), and that its
+//! ideas apply to both. The whole-item mode needs no update payloads; this
+//! cache is the extra state the *delta* mode needs: recent re-doable
+//! operations per item, each tagged with the IVV the regular copy had just
+//! before the operation applied — so a contiguous chain of operations can
+//! be shipped to a recipient whose copy matches the chain's start.
+//!
+//! Chains are contiguous **by construction**: operations are recorded in
+//! the order they executed on the regular copy, and the item's chain is
+//! cleared whenever the copy changes by any other means (whole-item
+//! adoption, conflict resolution), because those breaks would invalidate
+//! the linkage.
+//!
+//! The cache is bounded by a payload-byte budget; eviction is oldest-first
+//! across all items (an evicted prefix just means falling back to
+//! whole-item shipping for the affected item).
+
+use std::collections::{HashMap, VecDeque};
+
+use epidb_common::ItemId;
+use epidb_store::UpdateOp;
+use epidb_vv::VersionVector;
+
+/// One cached operation: the op plus the regular IVV immediately before it
+/// applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedOp {
+    /// Regular-copy IVV before the operation (exclusive).
+    pub pre_vv: VersionVector,
+    /// The operation.
+    pub op: UpdateOp,
+}
+
+/// Bounded per-item operation history.
+#[derive(Clone, Debug, Default)]
+pub struct OpCache {
+    per_item: HashMap<ItemId, VecDeque<CachedOp>>,
+    /// Global arrival order, for oldest-first eviction.
+    order: VecDeque<ItemId>,
+    payload_bytes: usize,
+    budget_bytes: usize,
+}
+
+impl OpCache {
+    /// A cache retaining up to `budget_bytes` of operation payload.
+    pub fn new(budget_bytes: usize) -> OpCache {
+        OpCache { budget_bytes, ..OpCache::default() }
+    }
+
+    /// A disabled cache (records nothing; every chain lookup misses).
+    pub fn disabled() -> OpCache {
+        OpCache::new(0)
+    }
+
+    /// True if the cache records operations.
+    pub fn is_enabled(&self) -> bool {
+        self.budget_bytes > 0
+    }
+
+    /// Total operations retained.
+    pub fn len(&self) -> usize {
+        self.per_item.values().map(VecDeque::len).sum()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Retained operation payload bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.payload_bytes
+    }
+
+    /// Record an operation just applied to the regular copy of `item`
+    /// whose IVV was `pre_vv` beforehand.
+    pub fn record(&mut self, item: ItemId, pre_vv: VersionVector, op: UpdateOp) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.payload_bytes += op.payload_len();
+        self.per_item.entry(item).or_default().push_back(CachedOp { pre_vv, op });
+        self.order.push_back(item);
+        while self.payload_bytes > self.budget_bytes {
+            let Some(oldest_item) = self.order.pop_front() else { break };
+            // The oldest entry in `order` is the front of that item's
+            // deque (per-item order is a subsequence of global order, and
+            // clears purge `order` lazily via the emptiness check below).
+            if let Some(q) = self.per_item.get_mut(&oldest_item) {
+                if let Some(evicted) = q.pop_front() {
+                    self.payload_bytes -= evicted.op.payload_len();
+                }
+                if q.is_empty() {
+                    self.per_item.remove(&oldest_item);
+                }
+            }
+        }
+    }
+
+    /// Drop `item`'s chain (the regular copy changed by whole-item
+    /// adoption or resolution — linkage broken).
+    pub fn clear_item(&mut self, item: ItemId) {
+        if let Some(q) = self.per_item.remove(&item) {
+            self.payload_bytes -= q.iter().map(|c| c.op.payload_len()).sum::<usize>();
+            // Stale `order` entries for this item are purged lazily in
+            // `record`'s eviction loop.
+            self.order.retain(|x| *x != item);
+        }
+    }
+
+    /// The contiguous operation chain for `item` starting exactly at
+    /// `from_vv` (the requester's current IVV), if the cache still holds
+    /// it. Returns the suffix of cached ops whose first `pre_vv` equals
+    /// `from_vv`.
+    pub fn chain_from(&self, item: ItemId, from_vv: &VersionVector) -> Option<&[CachedOp]> {
+        let q = self.per_item.get(&item)?;
+        let (slices, _) = q.as_slices();
+        // Make the deque contiguous view cheaply: VecDeque::as_slices may
+        // split; fall back to position search over an iterator index.
+        let start = q.iter().position(|c| &c.pre_vv == from_vv)?;
+        // Safe re-slice: we need a contiguous slice; if the deque wrapped,
+        // slices[start..] may not exist — handle by checking bounds.
+        if start < slices.len() && slices.len() == q.len() {
+            Some(&slices[start..])
+        } else {
+            // Rare wrapped case: no zero-copy slice available; signal a
+            // miss so the caller ships the whole item. (Chains are short
+            // and deques rarely wrap; correctness is unaffected.)
+            None
+        }
+    }
+
+    /// Clone the chain (always succeeds when a chain exists, wrapped or
+    /// not).
+    pub fn chain_from_cloned(&self, item: ItemId, from_vv: &VersionVector) -> Option<Vec<CachedOp>> {
+        let q = self.per_item.get(&item)?;
+        let start = q.iter().position(|c| &c.pre_vv == from_vv)?;
+        Some(q.iter().skip(start).cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vv(e: &[u64]) -> VersionVector {
+        VersionVector::from_entries(e.to_vec())
+    }
+
+    fn op(n: usize) -> UpdateOp {
+        UpdateOp::set(vec![0xAA; n])
+    }
+
+    #[test]
+    fn disabled_cache_records_nothing() {
+        let mut c = OpCache::disabled();
+        c.record(ItemId(0), vv(&[0]), op(8));
+        assert!(c.is_empty());
+        assert!(c.chain_from_cloned(ItemId(0), &vv(&[0])).is_none());
+    }
+
+    #[test]
+    fn chain_lookup_finds_suffix() {
+        let mut c = OpCache::new(1024);
+        c.record(ItemId(0), vv(&[0, 0]), op(4));
+        c.record(ItemId(0), vv(&[1, 0]), op(4));
+        c.record(ItemId(0), vv(&[2, 0]), op(4));
+        let full = c.chain_from_cloned(ItemId(0), &vv(&[0, 0])).unwrap();
+        assert_eq!(full.len(), 3);
+        let suffix = c.chain_from_cloned(ItemId(0), &vv(&[1, 0])).unwrap();
+        assert_eq!(suffix.len(), 2);
+        assert_eq!(suffix[0].pre_vv, vv(&[1, 0]));
+        assert!(c.chain_from_cloned(ItemId(0), &vv(&[9, 0])).is_none());
+    }
+
+    #[test]
+    fn eviction_is_oldest_first_and_budgeted() {
+        let mut c = OpCache::new(20);
+        c.record(ItemId(0), vv(&[0]), op(8)); // 8
+        c.record(ItemId(1), vv(&[0]), op(8)); // 16
+        c.record(ItemId(0), vv(&[1]), op(8)); // 24 -> evict item0's first
+        assert!(c.payload_bytes() <= 20);
+        // Item 0's chain now starts at vv [1].
+        assert!(c.chain_from_cloned(ItemId(0), &vv(&[0])).is_none());
+        assert!(c.chain_from_cloned(ItemId(0), &vv(&[1])).is_some());
+        assert!(c.chain_from_cloned(ItemId(1), &vv(&[0])).is_some());
+    }
+
+    #[test]
+    fn clear_item_drops_chain_and_bytes() {
+        let mut c = OpCache::new(1024);
+        c.record(ItemId(0), vv(&[0]), op(10));
+        c.record(ItemId(1), vv(&[0]), op(10));
+        c.clear_item(ItemId(0));
+        assert_eq!(c.payload_bytes(), 10);
+        assert!(c.chain_from_cloned(ItemId(0), &vv(&[0])).is_none());
+        assert!(c.chain_from_cloned(ItemId(1), &vv(&[0])).is_some());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_copy_chain_matches_cloned_when_unwrapped() {
+        let mut c = OpCache::new(1024);
+        for k in 0..5u64 {
+            c.record(ItemId(0), vv(&[k]), op(4));
+        }
+        let a = c.chain_from(ItemId(0), &vv(&[2])).map(<[CachedOp]>::to_vec);
+        let b = c.chain_from_cloned(ItemId(0), &vv(&[2]));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,114 @@
+//! Conflict handling policies.
+//!
+//! The paper leaves conflict *resolution* to the application ("resolved in
+//! an application-specific manner, which often involves manual
+//! intervention", §2). The default [`ConflictPolicy::Report`] is exactly the
+//! paper's behaviour: declare the inconsistency, refuse the copy, and strip
+//! the conflicting item's records from the received tail vector so the
+//! refusal is remembered (Fig. 3).
+//!
+//! [`ConflictPolicy::ResolveLww`] is the common application-level resolver
+//! (deterministic last-writer-wins merge) offered so that long-running
+//! randomized simulations converge after injected conflicts; it is built on
+//! the standard version-vector technique of adopting the component-wise
+//! maximum of the two vectors and then performing the resolution as a fresh
+//! local update, so the merged copy dominates both parents and wins
+//! everywhere through normal propagation.
+
+use epidb_store::ItemValue;
+use epidb_vv::VersionVector;
+
+/// What a replica does when `AcceptPropagation` detects inconsistent
+/// copies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ConflictPolicy {
+    /// Declare the conflict and refuse the copy (the paper's behaviour).
+    /// Propagation for the item is suspended until the conflict is resolved
+    /// externally; the conflict keeps being re-detected on later rounds.
+    #[default]
+    Report,
+    /// Declare the conflict, then auto-resolve: merge version vectors
+    /// (component-wise max), pick the winning value deterministically, and
+    /// record the resolution as a new local update.
+    ResolveLww,
+}
+
+/// Deterministically choose the surviving value between two conflicting
+/// copies: the copy that reflects more updates wins; ties break on the
+/// value bytes (larger lexicographically), then in favour of the local
+/// copy. Any deterministic rule works — resolution is installed as a fresh
+/// update that dominates both parents.
+pub fn lww_winner(
+    local_value: &ItemValue,
+    local_ivv: &VersionVector,
+    remote_value: &ItemValue,
+    remote_ivv: &VersionVector,
+) -> ItemValue {
+    let lt = local_ivv.total();
+    let rt = remote_ivv.total();
+    if rt > lt || (rt == lt && remote_value.as_bytes() > local_value.as_bytes()) {
+        remote_value.clone()
+    } else {
+        local_value.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vv(e: &[u64]) -> VersionVector {
+        VersionVector::from_entries(e.to_vec())
+    }
+
+    #[test]
+    fn more_updates_wins() {
+        let w = lww_winner(
+            &ItemValue::from_slice(b"local"),
+            &vv(&[1, 0]),
+            &ItemValue::from_slice(b"remote"),
+            &vv(&[0, 3]),
+        );
+        assert_eq!(w.as_bytes(), b"remote");
+    }
+
+    #[test]
+    fn tie_breaks_on_bytes() {
+        let w = lww_winner(
+            &ItemValue::from_slice(b"bbb"),
+            &vv(&[1, 0]),
+            &ItemValue::from_slice(b"aaa"),
+            &vv(&[0, 1]),
+        );
+        assert_eq!(w.as_bytes(), b"bbb");
+        let w = lww_winner(
+            &ItemValue::from_slice(b"aaa"),
+            &vv(&[1, 0]),
+            &ItemValue::from_slice(b"bbb"),
+            &vv(&[0, 1]),
+        );
+        assert_eq!(w.as_bytes(), b"bbb");
+    }
+
+    #[test]
+    fn full_tie_keeps_local() {
+        let w = lww_winner(
+            &ItemValue::from_slice(b"same"),
+            &vv(&[1, 0]),
+            &ItemValue::from_slice(b"same"),
+            &vv(&[0, 1]),
+        );
+        assert_eq!(w.as_bytes(), b"same");
+    }
+
+    #[test]
+    fn winner_is_symmetric_under_swap() {
+        // Whatever one side picks, the other side must pick the same value
+        // when roles are swapped — determinism across replicas.
+        let a = (ItemValue::from_slice(b"alpha"), vv(&[2, 0]));
+        let b = (ItemValue::from_slice(b"beta"), vv(&[0, 2]));
+        let w1 = lww_winner(&a.0, &a.1, &b.0, &b.1);
+        let w2 = lww_winner(&b.0, &b.1, &a.0, &a.1);
+        assert_eq!(w1, w2);
+    }
+}

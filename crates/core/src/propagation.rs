@@ -1,0 +1,252 @@
+//! Scheduled update propagation — `SendPropagation` and
+//! `AcceptPropagation` (§5.1, Figs. 2–3) plus the two-message pull
+//! orchestration.
+
+use std::collections::HashSet;
+
+use epidb_common::costs::wire;
+use epidb_common::{ConflictEvent, ConflictSite, ItemId, NodeId, Result};
+use epidb_log::LogRecord;
+use epidb_vv::DbVersionVector;
+
+use crate::messages::{
+    request_bytes, PropagationPayload, PropagationResponse, ShippedItem,
+};
+use crate::policy::{lww_winner, ConflictPolicy};
+use crate::replica::Replica;
+
+/// What `AcceptPropagation` (plus the follow-up intra-node propagation)
+/// did with a received payload.
+#[derive(Clone, Debug, Default)]
+pub struct AcceptOutcome {
+    /// Items whose regular copy was brought up to date (adopted or, under
+    /// the LWW policy, merged).
+    pub copied: Vec<ItemId>,
+    /// Conflicts declared while processing the payload.
+    pub conflicts: usize,
+    /// Auxiliary-log records replayed onto regular copies by the
+    /// intra-node propagation step.
+    pub replayed: u64,
+    /// Auxiliary copies discarded because the regular copy caught up.
+    pub aux_discarded: Vec<ItemId>,
+}
+
+/// Result of one anti-entropy pull.
+#[derive(Clone, Debug)]
+pub enum PullOutcome {
+    /// The source replied "you are current": the recipient's DBVV dominates
+    /// or equals the source's. Detected in O(n) — constant in the number of
+    /// data items.
+    UpToDate,
+    /// Updates were propagated.
+    Propagated(AcceptOutcome),
+}
+
+impl PullOutcome {
+    /// Items copied by this pull (empty when up to date).
+    pub fn copied(&self) -> &[ItemId] {
+        match self {
+            PullOutcome::UpToDate => &[],
+            PullOutcome::Propagated(o) => &o.copied,
+        }
+    }
+}
+
+impl Replica {
+    /// The paper's `SendPropagation(i, V_i)` (Fig. 2), executed at the
+    /// *source* `j = self` when recipient `i` asks to propagate.
+    ///
+    /// Compares the recipient's DBVV with the local one; if the recipient
+    /// dominates or equals, answers [`PropagationResponse::YouAreCurrent`]
+    /// — the constant-time identical-replica detection. Otherwise builds
+    /// the tail vector `D` (per-origin records the recipient missed) and
+    /// the item set `S` (via the `IsSelected` flags, O(m)) and ships both.
+    ///
+    /// Only regular copies are ever included in `S`; auxiliary state never
+    /// participates in scheduled propagation (§5.1).
+    pub fn prepare_propagation(&mut self, recipient_dbvv: &DbVersionVector) -> PropagationResponse {
+        let mut cmps = 0;
+        let ord = recipient_dbvv.compare_counted(&self.dbvv, &mut cmps);
+        self.costs.vv_entry_cmps += cmps;
+        if ord.dominates_or_equal() {
+            return PropagationResponse::YouAreCurrent;
+        }
+
+        let n = self.n_nodes();
+        let mut tails: Vec<Vec<LogRecord>> = vec![Vec::new(); n];
+        let mut examined = 0;
+        for k in NodeId::all(n) {
+            if self.dbvv.get(k) > recipient_dbvv.get(k) {
+                tails[k.index()] = self.log.tail_after(k, recipient_dbvv.get(k), &mut examined);
+            }
+        }
+        self.costs.log_records_examined += examined;
+
+        // Compute S = union of items referenced by D, in O(total records),
+        // using the IsSelected flags (§6).
+        let mut s_items: Vec<ItemId> = Vec::new();
+        for tail in &tails {
+            for rec in tail {
+                let flag = &mut self.is_selected[rec.item.index()];
+                if !*flag {
+                    *flag = true;
+                    s_items.push(rec.item);
+                }
+            }
+        }
+        // Flip the flags back and materialize the shipped items.
+        let mut items = Vec::with_capacity(s_items.len());
+        for &x in &s_items {
+            self.is_selected[x.index()] = false;
+            let it = self.store.get(x).expect("logged item exists");
+            items.push(ShippedItem { item: x, ivv: it.ivv.clone(), value: it.value.clone() });
+        }
+        self.costs.items_scanned += s_items.len() as u64;
+
+        PropagationResponse::Payload(PropagationPayload { tails, items })
+    }
+
+    /// The paper's `AcceptPropagation(D, S)` (Fig. 3), executed at the
+    /// *recipient* `i = self`, followed by `IntraNodePropagation` (Fig. 4)
+    /// for the items copied.
+    ///
+    /// For each shipped item: adopt it if its IVV dominates the local
+    /// regular copy's; declare a conflict (and strip its records from the
+    /// tail vector) if the IVVs are concurrent. Then append the surviving
+    /// tails to the local log vector via `AddLogRecord`.
+    pub fn accept_propagation(
+        &mut self,
+        source: NodeId,
+        payload: PropagationPayload,
+    ) -> Result<AcceptOutcome> {
+        let mut outcome = AcceptOutcome::default();
+        let mut refused: HashSet<ItemId> = HashSet::new();
+
+        for shipped in payload.items {
+            self.check_item(shipped.item)?;
+            let x = shipped.item;
+            let (local_ivv, ord) = {
+                let local = self.store.get(x).expect("checked");
+                let mut cmps = 0;
+                let ord = shipped.ivv.compare_counted(&local.ivv, &mut cmps);
+                self.costs.vv_entry_cmps += cmps;
+                (local.ivv.clone(), ord)
+            };
+            match ord {
+                epidb_vv::VvOrd::Dominates => {
+                    // Received copy is strictly newer: adopt it and apply
+                    // DBVV maintenance rule 3. Whole-item adoption breaks
+                    // the local operation chain for delta propagation.
+                    self.dbvv.absorb_item_copy(&local_ivv, &shipped.ivv)?;
+                    self.store.adopt(x, shipped.value, shipped.ivv)?;
+                    self.op_cache.clear_item(x);
+                    self.costs.items_copied += 1;
+                    outcome.copied.push(x);
+                }
+                epidb_vv::VvOrd::Equal => {
+                    // Unreachable in conflict-free operation; harmless no-op
+                    // when a previously refused item is re-shipped.
+                    self.counters.equal_receipts += 1;
+                }
+                epidb_vv::VvOrd::DominatedBy => {
+                    // "vi(x) dominates vj(x) cannot happen" (§5.1) in
+                    // conflict-free operation; reachable only after an
+                    // external conflict resolution. Ignore the stale copy.
+                    self.counters.stale_receipts += 1;
+                }
+                epidb_vv::VvOrd::Concurrent => {
+                    outcome.conflicts += 1;
+                    let offending = shipped.ivv.offending_pair(&local_ivv);
+                    self.report_conflict(ConflictEvent {
+                        item: x,
+                        detected_at: self.id,
+                        peer: Some(source),
+                        site: ConflictSite::Propagation,
+                        offending,
+                    });
+                    match self.policy {
+                        ConflictPolicy::Report => {
+                            // Strip this item's records from the tail
+                            // vector (Fig. 3) and refuse the copy.
+                            refused.insert(x);
+                        }
+                        ConflictPolicy::ResolveLww => {
+                            self.resolve_lww(x, &shipped)?;
+                            outcome.copied.push(x);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Append the (surviving) tails to the local log vector, head to
+        // tail, via AddLogRecord.
+        for (k, tail) in payload.tails.iter().enumerate() {
+            let k = NodeId::from_index(k);
+            for rec in tail {
+                if refused.contains(&rec.item) {
+                    continue;
+                }
+                self.log.add_record(k, *rec);
+                self.costs.log_records_examined += 1;
+            }
+        }
+
+        // Step 3: intra-node propagation for the copied items (Fig. 4).
+        let intra = self.intra_node_propagation(&outcome.copied);
+        outcome.replayed = intra.replayed;
+        outcome.aux_discarded = intra.discarded;
+        outcome.conflicts += intra.conflicts;
+
+        Ok(outcome)
+    }
+
+    /// Resolve a propagation conflict under [`ConflictPolicy::ResolveLww`]:
+    /// merge the IVVs (component-wise max), absorb the merge into the DBVV
+    /// (the generalized rule 3), install the deterministic winner value,
+    /// and record the resolution as a fresh local update so it dominates
+    /// both parents.
+    fn resolve_lww(&mut self, x: ItemId, shipped: &ShippedItem) -> Result<()> {
+        let (local_value, local_ivv) = {
+            let it = self.store.get(x)?;
+            (it.value.clone(), it.ivv.clone())
+        };
+        let mut merged = local_ivv.clone();
+        merged.merge_max(&shipped.ivv)?;
+        self.dbvv.absorb_item_copy(&local_ivv, &merged)?;
+        let winner = lww_winner(&local_value, &local_ivv, &shipped.value, &shipped.ivv);
+        self.store.adopt(x, winner, merged)?;
+        self.op_cache.clear_item(x);
+        // The resolution is a new update performed here.
+        let it = self.store.get_mut(x)?;
+        it.ivv.bump(self.id);
+        let m = self.dbvv.record_local_update(self.id);
+        self.log.add_record(self.id, LogRecord { item: x, m });
+        self.counters.lww_resolutions += 1;
+        Ok(())
+    }
+}
+
+/// Perform one anti-entropy pull: `recipient` propagates updates from
+/// `source` (§5.1), with full message/byte accounting.
+///
+/// Message 1 (recipient → source): the recipient's DBVV.
+/// Message 2 (source → recipient): "you are current" or `(D, S)`.
+pub fn pull(recipient: &mut Replica, source: &mut Replica) -> Result<PullOutcome> {
+    debug_assert_eq!(recipient.n_nodes(), source.n_nodes());
+    let recipient_dbvv = recipient.dbvv().clone();
+    recipient.costs.charge_message(request_bytes(&recipient_dbvv), 0);
+
+    let response = source.prepare_propagation(&recipient_dbvv);
+    source
+        .costs
+        .charge_message(wire::MSG_HEADER + response.control_bytes(), response.payload_bytes());
+
+    match response {
+        PropagationResponse::YouAreCurrent => Ok(PullOutcome::UpToDate),
+        PropagationResponse::Payload(payload) => {
+            let outcome = recipient.accept_propagation(source.id(), payload)?;
+            Ok(PullOutcome::Propagated(outcome))
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Multi-database servers.
+//!
+//! The paper's model (§2): "For simplicity, we will assume that there is a
+//! single database in the system. When the system maintains multiple
+//! databases, a separate instance of the protocol runs for each database."
+//! [`Server`] is that multiplexer: a node hosting any number of named
+//! databases, each an independent [`Replica`] with its own DBVV, log
+//! vector, and auxiliary state. Anti-entropy between two servers runs the
+//! protocol once per database they share.
+
+use std::collections::BTreeMap;
+
+use epidb_common::{Costs, Error, ItemId, NodeId, Result};
+use epidb_store::{ItemValue, UpdateOp};
+
+use crate::policy::ConflictPolicy;
+use crate::propagation::{pull, PullOutcome};
+use crate::replica::Replica;
+
+/// A server hosting one protocol instance per named database.
+#[derive(Clone, Debug)]
+pub struct Server {
+    id: NodeId,
+    n_nodes: usize,
+    databases: BTreeMap<String, Replica>,
+}
+
+impl Server {
+    /// A server with no databases yet, in a system of `n_nodes` servers.
+    pub fn new(id: NodeId, n_nodes: usize) -> Server {
+        assert!(id.index() < n_nodes, "server id out of range");
+        Server { id, n_nodes, databases: BTreeMap::new() }
+    }
+
+    /// This server's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Create a database replica on this server. Every server replicating
+    /// the database must create it with the same `n_items` and policy.
+    pub fn create_database(
+        &mut self,
+        name: impl Into<String>,
+        n_items: usize,
+        policy: ConflictPolicy,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.databases.contains_key(&name) {
+            return Err(Error::DatabaseExists(name));
+        }
+        self.databases
+            .insert(name, Replica::with_policy(self.id, self.n_nodes, n_items, policy));
+        Ok(())
+    }
+
+    /// Drop a database replica from this server.
+    pub fn drop_database(&mut self, name: &str) -> Result<()> {
+        self.databases
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| Error::UnknownDatabase(name.to_string()))
+    }
+
+    /// Names of the databases hosted here, sorted.
+    pub fn database_names(&self) -> Vec<&str> {
+        self.databases.keys().map(String::as_str).collect()
+    }
+
+    /// Shared access to one database's replica.
+    pub fn database(&self, name: &str) -> Result<&Replica> {
+        self.databases.get(name).ok_or_else(|| Error::UnknownDatabase(name.to_string()))
+    }
+
+    /// Mutable access to one database's replica.
+    pub fn database_mut(&mut self, name: &str) -> Result<&mut Replica> {
+        self.databases.get_mut(name).ok_or_else(|| Error::UnknownDatabase(name.to_string()))
+    }
+
+    /// Apply a user update in one database.
+    pub fn update(&mut self, db: &str, item: ItemId, op: UpdateOp) -> Result<()> {
+        self.database_mut(db)?.update(item, op)
+    }
+
+    /// Read the user-visible value of an item in one database.
+    pub fn read(&self, db: &str, item: ItemId) -> Result<&ItemValue> {
+        self.database(db)?.read(item)
+    }
+
+    /// Total protocol costs across all hosted databases.
+    pub fn costs(&self) -> Costs {
+        self.databases.values().map(Replica::costs).fold(Costs::ZERO, |a, b| a + b)
+    }
+
+    /// Check invariants of every hosted database.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        for (name, replica) in &self.databases {
+            replica
+                .check_invariants()
+                .map_err(|e| format!("database {name:?}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Serialize the whole server (every hosted database) to bytes.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        use crate::codec::Writer;
+        let mut w = Writer::new();
+        w.bytes(b"EPDBSRV");
+        w.u16(self.id.0);
+        w.u16(self.n_nodes as u16);
+        w.u32(self.databases.len() as u32);
+        for (name, replica) in &self.databases {
+            w.bytes(name.as_bytes());
+            w.bytes(&replica.to_snapshot());
+        }
+        w.into_bytes()
+    }
+
+    /// Recover a server (all its databases) from a snapshot.
+    pub fn from_snapshot(buf: &[u8]) -> Result<Server> {
+        use crate::codec::Reader;
+        let mut r = Reader::new(buf);
+        if r.bytes()? != b"EPDBSRV" {
+            return Err(Error::Network("server snapshot: bad magic".into()));
+        }
+        let id = NodeId(r.u16()?);
+        let n_nodes = r.u16()? as usize;
+        if id.index() >= n_nodes {
+            return Err(Error::UnknownNode(id));
+        }
+        let count = r.u32()? as usize;
+        let mut server = Server::new(id, n_nodes);
+        for _ in 0..count {
+            let name = String::from_utf8(r.bytes()?.to_vec())
+                .map_err(|e| Error::Network(format!("server snapshot: bad name: {e}")))?;
+            let replica = Replica::from_snapshot(r.bytes()?)?;
+            if replica.id() != id || replica.n_nodes() != n_nodes {
+                return Err(Error::Network("server snapshot: inconsistent replica".into()));
+            }
+            server.databases.insert(name, replica);
+        }
+        r.finish()?;
+        Ok(server)
+    }
+}
+
+/// What a server-level anti-entropy session did, per database.
+#[derive(Debug)]
+pub struct ServerPullOutcome {
+    /// `(database, outcome)` for every database both servers host.
+    pub per_database: Vec<(String, PullOutcome)>,
+    /// Databases the source hosts but the recipient does not (candidates
+    /// for database-level replication, outside the protocol's scope).
+    pub missing_at_recipient: Vec<String>,
+}
+
+/// One anti-entropy session between two servers: runs the protocol once
+/// for every database they share (a separate instance per database, §2).
+pub fn pull_server(recipient: &mut Server, source: &mut Server) -> Result<ServerPullOutcome> {
+    let mut outcome =
+        ServerPullOutcome { per_database: Vec::new(), missing_at_recipient: Vec::new() };
+    for (name, src_replica) in &mut source.databases {
+        match recipient.databases.get_mut(name) {
+            Some(dst_replica) => {
+                let o = pull(dst_replica, src_replica)?;
+                outcome.per_database.push((name.clone(), o));
+            }
+            None => outcome.missing_at_recipient.push(name.clone()),
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidb_vv::VvOrd;
+
+    fn two_servers() -> (Server, Server) {
+        let mut a = Server::new(NodeId(0), 2);
+        let mut b = Server::new(NodeId(1), 2);
+        for s in [&mut a, &mut b] {
+            s.create_database("mail", 100, ConflictPolicy::Report).unwrap();
+            s.create_database("docs", 50, ConflictPolicy::Report).unwrap();
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn databases_are_independent_protocol_instances() {
+        let (mut a, mut b) = two_servers();
+        a.update("mail", ItemId(1), UpdateOp::set(&b"inbox"[..])).unwrap();
+        a.update("docs", ItemId(2), UpdateOp::set(&b"spec"[..])).unwrap();
+
+        // Each database has its own DBVV.
+        assert_eq!(a.database("mail").unwrap().dbvv().total(), 1);
+        assert_eq!(a.database("docs").unwrap().dbvv().total(), 1);
+
+        let out = pull_server(&mut b, &mut a).unwrap();
+        assert_eq!(out.per_database.len(), 2);
+        assert!(out.missing_at_recipient.is_empty());
+        assert_eq!(b.read("mail", ItemId(1)).unwrap().as_bytes(), b"inbox");
+        assert_eq!(b.read("docs", ItemId(2)).unwrap().as_bytes(), b"spec");
+        b.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn identical_databases_detected_per_instance() {
+        let (mut a, mut b) = two_servers();
+        a.update("mail", ItemId(0), UpdateOp::set(&b"x"[..])).unwrap();
+        pull_server(&mut b, &mut a).unwrap();
+        let out = pull_server(&mut b, &mut a).unwrap();
+        for (_, o) in &out.per_database {
+            assert!(matches!(o, PullOutcome::UpToDate));
+        }
+        assert_eq!(
+            a.database("mail").unwrap().dbvv().compare(b.database("mail").unwrap().dbvv()),
+            VvOrd::Equal
+        );
+    }
+
+    #[test]
+    fn unshared_databases_are_reported_not_synced() {
+        let (mut a, mut b) = two_servers();
+        a.create_database("private", 10, ConflictPolicy::Report).unwrap();
+        a.update("private", ItemId(0), UpdateOp::set(&b"secret"[..])).unwrap();
+        let out = pull_server(&mut b, &mut a).unwrap();
+        assert_eq!(out.missing_at_recipient, vec!["private".to_string()]);
+        assert!(b.database("private").is_err());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_database_errors() {
+        let mut s = Server::new(NodeId(0), 2);
+        s.create_database("db", 10, ConflictPolicy::Report).unwrap();
+        assert!(matches!(
+            s.create_database("db", 10, ConflictPolicy::Report),
+            Err(Error::DatabaseExists(_))
+        ));
+        assert!(matches!(s.read("nope", ItemId(0)), Err(Error::UnknownDatabase(_))));
+        assert!(s.drop_database("db").is_ok());
+        assert!(matches!(s.drop_database("db"), Err(Error::UnknownDatabase(_))));
+    }
+
+    #[test]
+    fn server_snapshot_roundtrips_all_databases() {
+        let (mut a, mut b) = two_servers();
+        a.update("mail", ItemId(1), UpdateOp::set(&b"msg"[..])).unwrap();
+        a.update("docs", ItemId(0), UpdateOp::set(&b"doc"[..])).unwrap();
+        pull_server(&mut b, &mut a).unwrap();
+
+        let buf = b.to_snapshot();
+        let restored = Server::from_snapshot(&buf).unwrap();
+        assert_eq!(restored.id(), b.id());
+        assert_eq!(restored.database_names(), b.database_names());
+        assert_eq!(restored.read("mail", ItemId(1)).unwrap().as_bytes(), b"msg");
+        assert_eq!(restored.read("docs", ItemId(0)).unwrap().as_bytes(), b"doc");
+        restored.check_invariants().unwrap();
+
+        // The restored server keeps replicating.
+        let mut restored = restored;
+        a.update("mail", ItemId(2), UpdateOp::set(&b"post-crash"[..])).unwrap();
+        pull_server(&mut restored, &mut a).unwrap();
+        assert_eq!(restored.read("mail", ItemId(2)).unwrap().as_bytes(), b"post-crash");
+    }
+
+    #[test]
+    fn corrupt_server_snapshot_rejected() {
+        let (a, _) = two_servers();
+        let buf = a.to_snapshot();
+        let mut bad = buf.clone();
+        bad[4] = b'X';
+        assert!(Server::from_snapshot(&bad).is_err());
+        assert!(Server::from_snapshot(&buf[..buf.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn server_costs_aggregate_databases() {
+        let (mut a, mut b) = two_servers();
+        a.update("mail", ItemId(0), UpdateOp::set(&b"x"[..])).unwrap();
+        a.update("docs", ItemId(0), UpdateOp::set(&b"y"[..])).unwrap();
+        pull_server(&mut b, &mut a).unwrap();
+        assert!(a.costs().messages_sent >= 2); // one response per database
+        assert_eq!(b.costs().items_copied, 2);
+        assert_eq!(a.database_names(), vec!["docs", "mail"]);
+    }
+}

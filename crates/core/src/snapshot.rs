@@ -1,0 +1,271 @@
+//! Snapshot persistence: serialize a replica's durable state to bytes and
+//! recover it.
+//!
+//! The epidemic model tolerates long outages — a recovering server simply
+//! resumes anti-entropy from its last durable state and catches up (the
+//! very property the Oracle comparison in §8.2 turns on). A snapshot
+//! captures everything the protocol needs across a crash:
+//!
+//! * every regular item copy (value + IVV),
+//! * the DBVV,
+//! * the log vector (all retained records, in order),
+//! * the auxiliary copies and the auxiliary log (pending out-of-bound
+//!   updates carry re-doable operations and must survive).
+//!
+//! Ephemeral state is deliberately excluded: cost counters, pending
+//! conflict reports (re-detected by the next propagation), the
+//! `IsSelected` flags (always clear between propagations), and the
+//! delta-mode op cache (an optimization, rebuilt warm over time).
+
+use epidb_common::{Error, ItemId, NodeId, Result};
+use epidb_store::ItemValue;
+
+use crate::codec::{
+    get_dbvv, get_op, get_vv, put_dbvv, put_op, put_vv, Reader, Writer, CODEC_VERSION,
+};
+use crate::policy::ConflictPolicy;
+use crate::replica::{AuxItem, Replica};
+
+/// Magic prefix of snapshot files.
+pub const SNAPSHOT_MAGIC: &[u8; 4] = b"EPDB";
+
+impl Replica {
+    /// Serialize the replica's durable state.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(SNAPSHOT_MAGIC);
+        w.u8(CODEC_VERSION);
+        w.u16(self.id.0);
+        w.u16(self.n_nodes() as u16);
+        w.u32(self.n_items() as u32);
+        w.u8(match self.policy {
+            ConflictPolicy::Report => 0,
+            ConflictPolicy::ResolveLww => 1,
+        });
+        put_dbvv(&mut w, &self.dbvv);
+
+        // Regular copies.
+        for x in ItemId::all(self.n_items()) {
+            let item = self.store.get(x).expect("dense items");
+            w.bytes(item.value.as_bytes());
+            put_vv(&mut w, &item.ivv);
+        }
+
+        // Log vector, per origin, head-to-tail.
+        for j in NodeId::all(self.n_nodes()) {
+            w.u32(self.log.component_len(j) as u32);
+            for rec in self.log.iter_component(j) {
+                w.u32(rec.item.0);
+                w.u64(rec.m);
+            }
+        }
+
+        // Auxiliary copies (sorted for deterministic output).
+        let mut aux: Vec<(&ItemId, &AuxItem)> = self.aux_items.iter().collect();
+        aux.sort_by_key(|(x, _)| **x);
+        w.u32(aux.len() as u32);
+        for (x, item) in aux {
+            w.u32(x.0);
+            w.bytes(item.value.as_bytes());
+            put_vv(&mut w, &item.ivv);
+        }
+
+        // Auxiliary log, arrival order.
+        w.u32(self.aux_log.len() as u32);
+        for rec in self.aux_log.iter() {
+            w.u32(rec.item.0);
+            put_vv(&mut w, &rec.vv);
+            put_op(&mut w, &rec.op);
+        }
+
+        w.into_bytes()
+    }
+
+    /// Recover a replica from a snapshot.
+    pub fn from_snapshot(buf: &[u8]) -> Result<Replica> {
+        let mut r = Reader::new(buf);
+        let magic = r.bytes()?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(Error::Network("snapshot: bad magic".into()));
+        }
+        let version = r.u8()?;
+        if version != CODEC_VERSION {
+            return Err(Error::Network(format!("snapshot: unsupported version {version}")));
+        }
+        let id = NodeId(r.u16()?);
+        let n_nodes = r.u16()? as usize;
+        let n_items = r.u32()? as usize;
+        let policy = match r.u8()? {
+            0 => ConflictPolicy::Report,
+            1 => ConflictPolicy::ResolveLww,
+            p => return Err(Error::Network(format!("snapshot: unknown policy {p}"))),
+        };
+        if id.index() >= n_nodes {
+            return Err(Error::UnknownNode(id));
+        }
+
+        let mut replica = Replica::with_policy(id, n_nodes, n_items, policy);
+        replica.dbvv = get_dbvv(&mut r)?;
+        if replica.dbvv.len() != n_nodes {
+            return Err(Error::DimensionMismatch { left: n_nodes, right: replica.dbvv.len() });
+        }
+
+        for x in ItemId::all(n_items) {
+            let value = ItemValue::from_slice(r.bytes()?);
+            let ivv = get_vv(&mut r)?;
+            if ivv.len() != n_nodes {
+                return Err(Error::DimensionMismatch { left: n_nodes, right: ivv.len() });
+            }
+            replica.store.adopt(x, value, ivv)?;
+        }
+
+        for j in NodeId::all(n_nodes) {
+            let count = r.u32()? as usize;
+            for _ in 0..count {
+                let item = ItemId(r.u32()?);
+                let m = r.u64()?;
+                if item.index() >= n_items {
+                    return Err(Error::UnknownItem(item));
+                }
+                replica.log.add_record(j, epidb_log::LogRecord { item, m });
+            }
+        }
+
+        let aux_count = r.u32()? as usize;
+        for _ in 0..aux_count {
+            let x = ItemId(r.u32()?);
+            let value = ItemValue::from_slice(r.bytes()?);
+            let ivv = get_vv(&mut r)?;
+            if x.index() >= n_items {
+                return Err(Error::UnknownItem(x));
+            }
+            replica.aux_items.insert(x, AuxItem { value, ivv });
+        }
+
+        let aux_log_count = r.u32()? as usize;
+        for _ in 0..aux_log_count {
+            let x = ItemId(r.u32()?);
+            let vv = get_vv(&mut r)?;
+            let op = get_op(&mut r)?;
+            if x.index() >= n_items {
+                return Err(Error::UnknownItem(x));
+            }
+            replica.aux_log.push(x, vv, op);
+        }
+
+        r.finish()?;
+        replica
+            .check_invariants()
+            .map_err(|e| Error::Network(format!("snapshot: corrupt state: {e}")))?;
+        Ok(replica)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{oob_copy, pull};
+    use epidb_store::UpdateOp;
+    use epidb_vv::VvOrd;
+
+    fn populated_replica() -> Replica {
+        let mut a = Replica::new(NodeId(0), 3, 20);
+        let mut b = Replica::new(NodeId(1), 3, 20);
+        for i in 0..8u32 {
+            a.update(ItemId(i), UpdateOp::set(vec![i as u8; 32])).unwrap();
+        }
+        b.update(ItemId(9), UpdateOp::set(&b"from-b"[..])).unwrap();
+        pull(&mut b, &mut a).unwrap();
+        // Give b some auxiliary state too.
+        a.update(ItemId(0), UpdateOp::append(&b"+new"[..])).unwrap();
+        oob_copy(&mut b, &mut a, ItemId(0)).unwrap();
+        b.update(ItemId(0), UpdateOp::append(&b"+aux-edit"[..])).unwrap();
+        b
+    }
+
+    fn assert_replicas_equal(a: &Replica, b: &Replica) {
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.dbvv().compare(b.dbvv()), VvOrd::Equal);
+        for x in ItemId::all(a.n_items()) {
+            assert_eq!(a.read_regular(x).unwrap(), b.read_regular(x).unwrap());
+            assert_eq!(a.item_ivv(x).unwrap(), b.item_ivv(x).unwrap());
+            assert_eq!(a.read(x).unwrap(), b.read(x).unwrap());
+        }
+        assert_eq!(a.aux_item_count(), b.aux_item_count());
+        assert_eq!(a.aux_log().len(), b.aux_log().len());
+        for j in NodeId::all(a.n_nodes()) {
+            let ra: Vec<_> = a.log().iter_component(j).collect();
+            let rb: Vec<_> = b.log().iter_component(j).collect();
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let original = populated_replica();
+        let buf = original.to_snapshot();
+        let restored = Replica::from_snapshot(&buf).unwrap();
+        assert_replicas_equal(&original, &restored);
+        restored.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn restored_replica_keeps_propagating() {
+        let b = populated_replica();
+        let buf = b.to_snapshot();
+        drop(b); // the crash
+
+        let mut restored = Replica::from_snapshot(&buf).unwrap();
+        // A peer with newer data: recovery is just normal anti-entropy.
+        let mut a = Replica::new(NodeId(0), 3, 20);
+        for i in 0..8u32 {
+            a.update(ItemId(i), UpdateOp::set(vec![i as u8; 32])).unwrap();
+        }
+        a.update(ItemId(0), UpdateOp::append(&b"+new"[..])).unwrap();
+        a.update(ItemId(15), UpdateOp::set(&b"post-crash"[..])).unwrap();
+        let out = pull(&mut restored, &mut a).unwrap();
+        assert!(!out.copied().is_empty());
+        assert_eq!(restored.read(ItemId(15)).unwrap().as_bytes(), b"post-crash");
+        // The pending aux update survived the crash and replays.
+        assert!(restored
+            .read(ItemId(0))
+            .unwrap()
+            .as_bytes()
+            .ends_with(b"+aux-edit"));
+        restored.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_replica_roundtrips() {
+        let r = Replica::new(NodeId(2), 4, 5);
+        let restored = Replica::from_snapshot(&r.to_snapshot()).unwrap();
+        assert_replicas_equal(&r, &restored);
+    }
+
+    #[test]
+    fn corrupt_snapshots_rejected() {
+        let r = populated_replica();
+        let buf = r.to_snapshot();
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[4] = b'X';
+        assert!(Replica::from_snapshot(&bad).is_err());
+        // Truncated.
+        assert!(Replica::from_snapshot(&buf[..buf.len() / 2]).is_err());
+        // Trailing garbage.
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(Replica::from_snapshot(&long).is_err());
+        // Bad version.
+        let mut badv = buf;
+        badv[8] = 99;
+        assert!(Replica::from_snapshot(&badv).is_err());
+    }
+
+    #[test]
+    fn policy_survives() {
+        let r = Replica::with_policy(NodeId(0), 2, 3, ConflictPolicy::ResolveLww);
+        let restored = Replica::from_snapshot(&r.to_snapshot()).unwrap();
+        assert_eq!(restored.policy(), ConflictPolicy::ResolveLww);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the wire codec: arbitrary messages round-trip, and
+//! arbitrary byte soup never panics the decoder.
+
+use bytes::Bytes;
+use epidb_common::{ItemId, NodeId};
+use epidb_core::codec::{
+    decode_message, encode_message, get_op, get_payload, get_vv, put_op, put_payload, put_vv,
+    Reader, WireMessage, Writer,
+};
+use epidb_core::{OobReply, PropagationPayload, PropagationResponse, ShippedItem};
+use epidb_log::LogRecord;
+use epidb_store::{ItemValue, UpdateOp};
+use epidb_vv::{DbVersionVector, VersionVector};
+use proptest::prelude::*;
+
+fn arb_vv() -> impl Strategy<Value = VersionVector> {
+    prop::collection::vec(any::<u64>(), 1..8).prop_map(VersionVector::from_entries)
+}
+
+fn arb_op() -> impl Strategy<Value = UpdateOp> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(|d| UpdateOp::Set(Bytes::from(d))),
+        (any::<u16>(), prop::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(o, d)| UpdateOp::WriteRange { offset: o as usize, data: Bytes::from(d) }),
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(|d| UpdateOp::Append(Bytes::from(d))),
+    ]
+}
+
+fn arb_payload() -> impl Strategy<Value = PropagationPayload> {
+    let tails = prop::collection::vec(
+        prop::collection::vec(
+            (any::<u32>(), any::<u64>()).prop_map(|(i, m)| LogRecord { item: ItemId(i), m }),
+            0..6,
+        ),
+        1..5,
+    );
+    let items = prop::collection::vec(
+        (any::<u32>(), arb_vv(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(
+            |(i, ivv, v)| ShippedItem {
+                item: ItemId(i),
+                ivv,
+                value: ItemValue::from_slice(&v),
+            },
+        ),
+        0..5,
+    );
+    (tails, items).prop_map(|(tails, items)| PropagationPayload { tails, items })
+}
+
+proptest! {
+    #[test]
+    fn vv_roundtrips(vv in arb_vv()) {
+        let mut w = Writer::new();
+        put_vv(&mut w, &vv);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(get_vv(&mut r).unwrap(), vv);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn op_roundtrips(op in arb_op()) {
+        let mut w = Writer::new();
+        put_op(&mut w, &op);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(get_op(&mut r).unwrap(), op);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn payload_roundtrips(p in arb_payload()) {
+        let mut w = Writer::new();
+        put_payload(&mut w, &p);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let back = get_payload(&mut r).unwrap();
+        r.finish().unwrap();
+        prop_assert_eq!(&back.tails, &p.tails);
+        prop_assert_eq!(back.items.len(), p.items.len());
+        for (a, b) in back.items.iter().zip(&p.items) {
+            prop_assert_eq!(a.item, b.item);
+            prop_assert_eq!(&a.ivv, &b.ivv);
+            prop_assert_eq!(&a.value, &b.value);
+        }
+    }
+
+    #[test]
+    fn pull_messages_roundtrip(node in any::<u16>(), dbvv in arb_vv(), p in arb_payload()) {
+        let msg = WireMessage::PullRequest {
+            from: NodeId(node),
+            dbvv: DbVersionVector::from_vector(dbvv.clone()),
+        };
+        match decode_message(&encode_message(&msg)).unwrap() {
+            WireMessage::PullRequest { from, dbvv: d } => {
+                prop_assert_eq!(from, NodeId(node));
+                prop_assert_eq!(d.as_vector(), &dbvv);
+            }
+            _ => prop_assert!(false, "kind changed"),
+        }
+        let msg = WireMessage::PullResponse {
+            from: NodeId(node),
+            response: PropagationResponse::Payload(p.clone()),
+        };
+        match decode_message(&encode_message(&msg)).unwrap() {
+            WireMessage::PullResponse { response: PropagationResponse::Payload(back), .. } => {
+                prop_assert_eq!(&back.tails, &p.tails);
+            }
+            _ => prop_assert!(false, "kind changed"),
+        }
+    }
+
+    #[test]
+    fn oob_messages_roundtrip(node in any::<u16>(), item in any::<u32>(), ivv in arb_vv(),
+                              value in prop::collection::vec(any::<u8>(), 0..128),
+                              from_aux in any::<bool>()) {
+        let msg = WireMessage::OobResponse {
+            from: NodeId(node),
+            reply: OobReply {
+                item: ItemId(item),
+                ivv: ivv.clone(),
+                value: ItemValue::from_slice(&value),
+                from_aux,
+            },
+        };
+        match decode_message(&encode_message(&msg)).unwrap() {
+            WireMessage::OobResponse { from, reply } => {
+                prop_assert_eq!(from, NodeId(node));
+                prop_assert_eq!(reply.item, ItemId(item));
+                prop_assert_eq!(reply.ivv, ivv);
+                prop_assert_eq!(reply.value.as_bytes(), &value[..]);
+                prop_assert_eq!(reply.from_aux, from_aux);
+            }
+            _ => prop_assert!(false, "kind changed"),
+        }
+    }
+
+    /// Fuzz: the decoder must reject or accept arbitrary bytes without
+    /// panicking.
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_message(&bytes);
+    }
+
+    /// Fuzz: snapshot restore must never panic on corrupt input.
+    #[test]
+    fn snapshot_restore_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = epidb_core::Replica::from_snapshot(&bytes);
+    }
+}

@@ -1,0 +1,209 @@
+//! Tests of the delta (update-record) propagation extension: equivalence
+//! with whole-item pulls, byte savings for small edits on large items,
+//! fallback behaviour, conflicts, and out-of-bound interplay.
+
+use epidb_common::{ItemId, NodeId};
+use epidb_core::{oob_copy, pull, pull_delta, PullOutcome, Replica};
+use epidb_store::UpdateOp;
+use epidb_vv::VvOrd;
+
+fn pair(n_items: usize, delta_budget: usize) -> (Replica, Replica) {
+    let mut a = Replica::new(NodeId(0), 2, n_items);
+    let mut b = Replica::new(NodeId(1), 2, n_items);
+    if delta_budget > 0 {
+        a.enable_delta(delta_budget);
+        b.enable_delta(delta_budget);
+    }
+    (a, b)
+}
+
+#[test]
+fn delta_pull_matches_whole_pull_state() {
+    // Run the same history through both modes; final states must agree.
+    let run = |use_delta: bool| -> (Vec<u8>, Vec<u8>) {
+        let (mut a, mut b) = pair(100, 1 << 20);
+        a.update(ItemId(0), UpdateOp::set(vec![7u8; 512])).unwrap();
+        a.update(ItemId(0), UpdateOp::write_range(10, &b"patch"[..])).unwrap();
+        a.update(ItemId(1), UpdateOp::set(&b"second"[..])).unwrap();
+        if use_delta {
+            pull_delta(&mut b, &mut a).unwrap();
+        } else {
+            pull(&mut b, &mut a).unwrap();
+        }
+        b.check_invariants().unwrap();
+        (
+            b.read(ItemId(0)).unwrap().as_bytes().to_vec(),
+            b.read(ItemId(1)).unwrap().as_bytes().to_vec(),
+        )
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn cold_cache_falls_back_to_whole_item() {
+    // Source never enabled delta: every item ships whole, still correct.
+    let (mut a, mut b) = pair(50, 0);
+    a.update(ItemId(3), UpdateOp::set(&b"no cache"[..])).unwrap();
+    let out = pull_delta(&mut b, &mut a).unwrap();
+    assert_eq!(out.copied(), &[ItemId(3)]);
+    assert_eq!(b.read(ItemId(3)).unwrap().as_bytes(), b"no cache");
+    b.check_invariants().unwrap();
+}
+
+#[test]
+fn warm_chain_ships_ops_and_saves_bytes() {
+    // Large value, then small edits; the recipient already has the large
+    // base, so delta mode ships only the edits.
+    let (mut a, mut b) = pair(50, 1 << 20);
+    a.update(ItemId(0), UpdateOp::set(vec![1u8; 8192])).unwrap();
+    pull(&mut b, &mut a).unwrap(); // base synced (8 KiB travels once)
+
+    a.update(ItemId(0), UpdateOp::write_range(100, &b"tiny edit 1"[..])).unwrap();
+    a.update(ItemId(0), UpdateOp::write_range(200, &b"tiny edit 2"[..])).unwrap();
+
+    let before = a.costs();
+    let out = pull_delta(&mut b, &mut a).unwrap();
+    let d = a.costs() - before;
+    assert_eq!(out.copied(), &[ItemId(0)]);
+    let payload = d.bytes_sent - d.control_bytes;
+    assert!(payload < 100, "delta payload should be the edits, got {payload}");
+    assert_eq!(b.read(ItemId(0)).unwrap(), a.read(ItemId(0)).unwrap());
+    assert_eq!(b.dbvv().compare(a.dbvv()), VvOrd::Equal);
+    b.check_invariants().unwrap();
+
+    // Contrast: the same situation via whole-item pull re-ships 8 KiB.
+    let (mut a2, mut b2) = pair(50, 1 << 20);
+    a2.update(ItemId(0), UpdateOp::set(vec![1u8; 8192])).unwrap();
+    pull(&mut b2, &mut a2).unwrap();
+    a2.update(ItemId(0), UpdateOp::write_range(100, &b"tiny edit 1"[..])).unwrap();
+    a2.update(ItemId(0), UpdateOp::write_range(200, &b"tiny edit 2"[..])).unwrap();
+    let before = a2.costs();
+    pull(&mut b2, &mut a2).unwrap();
+    let d2 = a2.costs() - before;
+    assert!(d2.bytes_sent - d2.control_bytes >= 8192);
+}
+
+#[test]
+fn delta_recipient_can_relay_the_chain() {
+    // a -> b via delta, then b -> c via delta: b's cache must have
+    // extended so the relay also ships ops.
+    let mut a = Replica::new(NodeId(0), 3, 20);
+    let mut b = Replica::new(NodeId(1), 3, 20);
+    let mut c = Replica::new(NodeId(2), 3, 20);
+    for r in [&mut a, &mut b, &mut c] {
+        r.enable_delta(1 << 20);
+    }
+    a.update(ItemId(0), UpdateOp::set(vec![9u8; 4096])).unwrap();
+    pull(&mut b, &mut a).unwrap();
+    pull(&mut c, &mut b).unwrap(); // base everywhere
+
+    a.update(ItemId(0), UpdateOp::append(&b"+edit"[..])).unwrap();
+    pull_delta(&mut b, &mut a).unwrap();
+
+    let before = b.costs();
+    let out = pull_delta(&mut c, &mut b).unwrap();
+    let d = b.costs() - before;
+    assert_eq!(out.copied(), &[ItemId(0)]);
+    assert!(d.bytes_sent - d.control_bytes < 100, "relay should ship ops, not 4 KiB");
+    assert_eq!(c.read(ItemId(0)).unwrap(), a.read(ItemId(0)).unwrap());
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn evicted_chain_falls_back_to_whole() {
+    let (mut a, mut b) = pair(10, 32); // tiny budget
+    a.update(ItemId(0), UpdateOp::set(vec![5u8; 512])).unwrap();
+    pull(&mut b, &mut a).unwrap();
+    // Enough edits to evict the chain start.
+    for k in 0..16u8 {
+        a.update(ItemId(0), UpdateOp::append(vec![k; 8])).unwrap();
+    }
+    let out = pull_delta(&mut b, &mut a).unwrap();
+    assert_eq!(out.copied(), &[ItemId(0)]);
+    assert_eq!(b.read(ItemId(0)).unwrap(), a.read(ItemId(0)).unwrap());
+    b.check_invariants().unwrap();
+}
+
+#[test]
+fn up_to_date_fast_path_unchanged() {
+    let (mut a, mut b) = pair(1000, 1 << 16);
+    a.update(ItemId(0), UpdateOp::set(&b"x"[..])).unwrap();
+    pull_delta(&mut b, &mut a).unwrap();
+    let before = a.costs();
+    assert!(matches!(pull_delta(&mut b, &mut a).unwrap(), PullOutcome::UpToDate));
+    let d = a.costs() - before;
+    assert_eq!(d.vv_entry_cmps, 2); // one DBVV comparison
+    assert_eq!(d.bytes_sent, 16); // header-only reply
+}
+
+#[test]
+fn conflicts_detected_in_delta_mode() {
+    let (mut a, mut b) = pair(10, 1 << 16);
+    a.update(ItemId(4), UpdateOp::set(&b"from-a"[..])).unwrap();
+    b.update(ItemId(4), UpdateOp::set(&b"from-b"[..])).unwrap();
+    let PullOutcome::Propagated(out) = pull_delta(&mut b, &mut a).unwrap() else { panic!() };
+    assert_eq!(out.conflicts, 1);
+    assert!(out.copied.is_empty());
+    assert_eq!(b.conflicts().len(), 1);
+    // Local value preserved.
+    assert_eq!(b.read(ItemId(4)).unwrap().as_bytes(), b"from-b");
+}
+
+#[test]
+fn delta_and_whole_pulls_interleave() {
+    let (mut a, mut b) = pair(30, 1 << 16);
+    for round in 0..6u8 {
+        a.update(ItemId((round % 3) as u32), UpdateOp::append(vec![round; 4])).unwrap();
+        if round % 2 == 0 {
+            pull_delta(&mut b, &mut a).unwrap();
+        } else {
+            pull(&mut b, &mut a).unwrap();
+        }
+        a.check_invariants().unwrap();
+        b.check_invariants().unwrap();
+    }
+    assert_eq!(a.dbvv().compare(b.dbvv()), VvOrd::Equal);
+    for x in 0..3u32 {
+        assert_eq!(a.read(ItemId(x)).unwrap(), b.read(ItemId(x)).unwrap());
+    }
+}
+
+#[test]
+fn delta_pull_replays_aux_updates_too() {
+    // OOB + aux replay interoperates with delta pulls: same Fig. 4 path.
+    let (mut a, mut b) = pair(10, 1 << 16);
+    a.update(ItemId(0), UpdateOp::set(&b"v1"[..])).unwrap();
+    oob_copy(&mut b, &mut a, ItemId(0)).unwrap();
+    b.update(ItemId(0), UpdateOp::append(&b"+aux"[..])).unwrap();
+    let PullOutcome::Propagated(out) = pull_delta(&mut b, &mut a).unwrap() else { panic!() };
+    assert_eq!(out.replayed, 1);
+    assert_eq!(out.aux_discarded, vec![ItemId(0)]);
+    assert_eq!(b.read(ItemId(0)).unwrap().as_bytes(), b"v1+aux");
+    assert_eq!(b.read_regular(ItemId(0)).unwrap().as_bytes(), b"v1+aux");
+    b.check_invariants().unwrap();
+}
+
+#[test]
+fn chain_extends_through_aux_replay() {
+    // Replayed aux updates are regular updates and must extend the local
+    // delta chain so they can be relayed as ops.
+    let (mut a, mut b) = pair(10, 1 << 16);
+    a.update(ItemId(0), UpdateOp::set(vec![3u8; 2048])).unwrap();
+    pull(&mut b, &mut a).unwrap();
+    pull(&mut a, &mut b).unwrap();
+    // b OOB-fetches nothing newer — instead b just edits regularly and a
+    // delta-pulls; then a edits via aux replay path: simulate with oob.
+    b.update(ItemId(0), UpdateOp::append(&b"e1"[..])).unwrap();
+    oob_copy(&mut a, &mut b, ItemId(0)).unwrap();
+    a.update(ItemId(0), UpdateOp::append(&b"e2"[..])).unwrap(); // aux update at a
+    pull(&mut a, &mut b).unwrap(); // replays e2 onto a's regular copy
+    assert_eq!(a.read_regular(ItemId(0)).unwrap().len(), 2048 + 4);
+
+    // Now b delta-pulls from a: the replayed op must ship as a delta.
+    let before = a.costs();
+    let out = pull_delta(&mut b, &mut a).unwrap();
+    let d = a.costs() - before;
+    assert_eq!(out.copied(), &[ItemId(0)]);
+    assert!(d.bytes_sent - d.control_bytes < 100, "replayed edit should ship as ops");
+    assert_eq!(b.read(ItemId(0)).unwrap(), a.read(ItemId(0)).unwrap());
+}

@@ -1,0 +1,410 @@
+//! The auxiliary log `AUX_i` (§4.4).
+//!
+//! Stores the updates node `i` applied to out-of-bound (auxiliary) item
+//! copies. Unlike log-vector records, auxiliary records carry enough
+//! information to **re-do** the update — the operation itself and the IVV
+//! the auxiliary copy had *at the time the update was applied (excluding
+//! it)* — because intra-node propagation replays them onto the regular copy
+//! (Fig. 4). Auxiliary records are never sent between nodes.
+//!
+//! The structure supports, in constant time (§4.4):
+//! * `Earliest(x)` — the earliest record referring to item `x`;
+//! * removal of a record from the middle of the log.
+//!
+//! Implementation: a slot arena threaded by **two** doubly linked lists —
+//! the global arrival-order list and a per-item list — so both operations
+//! are O(1) unlinks.
+
+use std::collections::HashMap;
+
+use epidb_common::ItemId;
+use epidb_store::UpdateOp;
+use epidb_vv::VersionVector;
+
+const NIL: u32 = u32::MAX;
+
+/// One auxiliary log record `(m, x, v_i(x), op)` (§4.4).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AuxRecord {
+    /// Arrival sequence number within this node's auxiliary log (the `m` of
+    /// §4.4's record format; purely diagnostic — ordering is structural).
+    pub seq: u64,
+    /// The data item the update was applied to.
+    pub item: ItemId,
+    /// The IVV the auxiliary copy had when the update was applied,
+    /// **excluding** this update. Intra-node propagation applies the record
+    /// exactly when the regular copy's IVV equals this vector.
+    pub vv: VersionVector,
+    /// The re-doable operation.
+    pub op: UpdateOp,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    rec: AuxRecord,
+    prev: u32,
+    next: u32,
+    prev_item: u32,
+    next_item: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ItemEnds {
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+/// The auxiliary log of one node.
+#[derive(Clone, Debug, Default)]
+pub struct AuxLog {
+    slots: Vec<Option<Slot>>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+    per_item: HashMap<ItemId, ItemEnds>,
+    next_seq: u64,
+}
+
+impl AuxLog {
+    /// An empty auxiliary log.
+    pub fn new() -> AuxLog {
+        AuxLog { head: NIL, tail: NIL, ..AuxLog::default() }
+    }
+
+    /// Total records in the log.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the log holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Records referring to item `x`.
+    pub fn item_len(&self, x: ItemId) -> usize {
+        self.per_item.get(&x).map_or(0, |e| e.len)
+    }
+
+    /// Append a record for an update just applied to `x`'s auxiliary copy.
+    /// `vv` is the auxiliary IVV *before* the update. Returns the record's
+    /// arrival sequence number.
+    pub fn push(&mut self, item: ItemId, vv: VersionVector, op: UpdateOp) -> u64 {
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        let rec = AuxRecord { seq, item, vv, op };
+
+        let slot = self.alloc(Slot { rec, prev: self.tail, next: NIL, prev_item: NIL, next_item: NIL });
+
+        // Global list tail link.
+        if self.tail == NIL {
+            self.head = slot;
+        } else {
+            self.slot_mut(self.tail).next = slot;
+        }
+        self.tail = slot;
+
+        // Per-item list tail link.
+        let ends = self.per_item.entry(item).or_insert(ItemEnds { head: NIL, tail: NIL, len: 0 });
+        let item_tail = ends.tail;
+        if item_tail == NIL {
+            ends.head = slot;
+        } else {
+            ends.tail = slot; // set below after borrow juggling
+        }
+        ends.tail = slot;
+        ends.len += 1;
+        if item_tail != NIL {
+            self.slot_mut(slot).prev_item = item_tail;
+            self.slot_mut(item_tail).next_item = slot;
+        }
+
+        self.len += 1;
+        seq
+    }
+
+    /// The paper's `Earliest(x)`: the earliest record referring to `x`,
+    /// in O(1).
+    pub fn earliest(&self, x: ItemId) -> Option<&AuxRecord> {
+        let ends = self.per_item.get(&x)?;
+        if ends.head == NIL {
+            None
+        } else {
+            Some(&self.slots[ends.head as usize].as_ref().expect("live slot").rec)
+        }
+    }
+
+    /// Remove and return the earliest record for `x` — the operation Fig. 4
+    /// performs after applying it ("remove e from AUX_i"). O(1).
+    pub fn pop_earliest(&mut self, x: ItemId) -> Option<AuxRecord> {
+        let ends = *self.per_item.get(&x)?;
+        if ends.head == NIL {
+            return None;
+        }
+        Some(self.remove_slot(ends.head))
+    }
+
+    /// Iterate all records in arrival order (diagnostics/tests).
+    pub fn iter(&self) -> AuxIter<'_> {
+        AuxIter { log: self, cur: self.head }
+    }
+
+    /// Sum of operation payload bytes retained — the storage price of
+    /// out-of-bound copying the paper discusses in §6.
+    pub fn payload_bytes(&self) -> usize {
+        self.iter().map(|r| r.op.payload_len()).sum()
+    }
+
+    /// Structural invariant check (test helper): both lists consistent,
+    /// per-item lists ordered by seq, lengths agree.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Global walk.
+        let mut count = 0;
+        let mut prev = NIL;
+        let mut last_seq = 0;
+        let mut cur = self.head;
+        while cur != NIL {
+            let s = self.slots[cur as usize].as_ref().ok_or("freed slot in global list")?;
+            if s.prev != prev {
+                return Err(format!("broken global prev at {cur}"));
+            }
+            if s.rec.seq <= last_seq {
+                return Err("global list not in arrival order".into());
+            }
+            last_seq = s.rec.seq;
+            count += 1;
+            prev = cur;
+            cur = s.next;
+        }
+        if prev != self.tail {
+            return Err("stale global tail".into());
+        }
+        if count != self.len {
+            return Err(format!("len {} != walked {count}", self.len));
+        }
+        // Per-item walks.
+        let mut item_total = 0;
+        for (&x, ends) in &self.per_item {
+            let mut prev = NIL;
+            let mut walked = 0;
+            let mut cur = ends.head;
+            let mut last = 0;
+            while cur != NIL {
+                let s = self.slots[cur as usize].as_ref().ok_or("freed slot in item list")?;
+                if s.rec.item != x {
+                    return Err(format!("foreign record in item list of {x}"));
+                }
+                if s.prev_item != prev {
+                    return Err(format!("broken item prev at {cur}"));
+                }
+                if s.rec.seq <= last {
+                    return Err("item list not in arrival order".into());
+                }
+                last = s.rec.seq;
+                walked += 1;
+                prev = cur;
+                cur = s.next_item;
+            }
+            if prev != ends.tail {
+                return Err(format!("stale item tail for {x}"));
+            }
+            if walked != ends.len {
+                return Err(format!("item len {} != walked {walked} for {x}", ends.len));
+            }
+            item_total += walked;
+        }
+        if item_total != self.len {
+            return Err("per-item lengths do not sum to total".into());
+        }
+        Ok(())
+    }
+
+    fn alloc(&mut self, slot: Slot) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Some(slot);
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            assert!(idx != NIL, "aux log slot arena exhausted");
+            self.slots.push(Some(slot));
+            idx
+        }
+    }
+
+    fn slot_mut(&mut self, idx: u32) -> &mut Slot {
+        self.slots[idx as usize].as_mut().expect("live slot")
+    }
+
+    fn remove_slot(&mut self, idx: u32) -> AuxRecord {
+        let slot = self.slots[idx as usize].take().expect("live slot");
+        // Global unlink.
+        if slot.prev == NIL {
+            self.head = slot.next;
+        } else {
+            self.slot_mut(slot.prev).next = slot.next;
+        }
+        if slot.next == NIL {
+            self.tail = slot.prev;
+        } else {
+            self.slot_mut(slot.next).prev = slot.prev;
+        }
+        // Item unlink.
+        let item = slot.rec.item;
+        {
+            let ends = self.per_item.get_mut(&item).expect("item ends");
+            if slot.prev_item == NIL {
+                ends.head = slot.next_item;
+            }
+            if slot.next_item == NIL {
+                ends.tail = slot.prev_item;
+            }
+            ends.len -= 1;
+            if ends.len == 0 {
+                self.per_item.remove(&item);
+            }
+        }
+        if slot.prev_item != NIL {
+            self.slot_mut(slot.prev_item).next_item = slot.next_item;
+        }
+        if slot.next_item != NIL {
+            self.slot_mut(slot.next_item).prev_item = slot.prev_item;
+        }
+
+        self.free.push(idx);
+        self.len -= 1;
+        slot.rec
+    }
+}
+
+/// Iterator over the auxiliary log in arrival order.
+pub struct AuxIter<'a> {
+    log: &'a AuxLog,
+    cur: u32,
+}
+
+impl<'a> Iterator for AuxIter<'a> {
+    type Item = &'a AuxRecord;
+
+    fn next(&mut self) -> Option<&'a AuxRecord> {
+        if self.cur == NIL {
+            return None;
+        }
+        let s = self.log.slots[self.cur as usize].as_ref().expect("live slot");
+        self.cur = s.next;
+        Some(&s.rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vv(entries: &[u64]) -> VersionVector {
+        VersionVector::from_entries(entries.to_vec())
+    }
+
+    fn op(tag: u8) -> UpdateOp {
+        UpdateOp::set(vec![tag])
+    }
+
+    #[test]
+    fn push_and_earliest() {
+        let mut log = AuxLog::new();
+        log.push(ItemId(1), vv(&[0, 0]), op(1));
+        log.push(ItemId(2), vv(&[1, 0]), op(2));
+        log.push(ItemId(1), vv(&[2, 0]), op(3));
+
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.item_len(ItemId(1)), 2);
+        assert_eq!(log.earliest(ItemId(1)).unwrap().op, op(1));
+        assert_eq!(log.earliest(ItemId(2)).unwrap().op, op(2));
+        assert!(log.earliest(ItemId(9)).is_none());
+        log.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pop_earliest_removes_in_fifo_order_per_item() {
+        let mut log = AuxLog::new();
+        log.push(ItemId(0), vv(&[0]), op(1));
+        log.push(ItemId(1), vv(&[0]), op(2));
+        log.push(ItemId(0), vv(&[1]), op(3));
+
+        let r = log.pop_earliest(ItemId(0)).unwrap();
+        assert_eq!(r.op, op(1));
+        log.check_invariants().unwrap();
+        let r = log.pop_earliest(ItemId(0)).unwrap();
+        assert_eq!(r.op, op(3));
+        assert!(log.pop_earliest(ItemId(0)).is_none());
+        assert_eq!(log.len(), 1);
+        // Item 1's record untouched.
+        assert_eq!(log.earliest(ItemId(1)).unwrap().op, op(2));
+        log.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn removal_from_middle_of_global_log() {
+        let mut log = AuxLog::new();
+        log.push(ItemId(0), vv(&[0]), op(1));
+        log.push(ItemId(1), vv(&[0]), op(2)); // middle of global list
+        log.push(ItemId(2), vv(&[0]), op(3));
+        log.pop_earliest(ItemId(1)).unwrap();
+        let order: Vec<u8> = log.iter().map(|r| r.op.payload_len() as u8).collect();
+        assert_eq!(order.len(), 2);
+        let items: Vec<ItemId> = log.iter().map(|r| r.item).collect();
+        assert_eq!(items, vec![ItemId(0), ItemId(2)]);
+        log.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotone() {
+        let mut log = AuxLog::new();
+        let s1 = log.push(ItemId(0), vv(&[0]), op(1));
+        let s2 = log.push(ItemId(0), vv(&[1]), op(2));
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    fn record_stores_pre_update_vv() {
+        let mut log = AuxLog::new();
+        log.push(ItemId(3), vv(&[4, 2]), op(9));
+        let r = log.earliest(ItemId(3)).unwrap();
+        assert_eq!(r.vv, vv(&[4, 2]));
+        assert_eq!(r.item, ItemId(3));
+    }
+
+    #[test]
+    fn slots_recycled_after_pop() {
+        let mut log = AuxLog::new();
+        for round in 0..50 {
+            log.push(ItemId(0), vv(&[round]), op(1));
+            log.pop_earliest(ItemId(0)).unwrap();
+        }
+        assert!(log.slots.len() <= 2, "arena grew to {}", log.slots.len());
+        assert!(log.is_empty());
+        log.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn payload_bytes_sums_ops() {
+        let mut log = AuxLog::new();
+        log.push(ItemId(0), vv(&[0]), UpdateOp::set(vec![0; 10]));
+        log.push(ItemId(1), vv(&[0]), UpdateOp::append(vec![0; 5]));
+        assert_eq!(log.payload_bytes(), 15);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stress() {
+        let mut log = AuxLog::new();
+        for i in 0..200u64 {
+            log.push(ItemId((i % 7) as u32), vv(&[i]), op((i % 250) as u8));
+            if i % 3 == 0 {
+                log.pop_earliest(ItemId((i % 5) as u32));
+            }
+            log.check_invariants().unwrap();
+        }
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! The paper's log machinery: the log vector (§4.2) and the auxiliary log
+//! (§4.4).
+//!
+//! * [`LogVector`] — node `i`'s vector of logs `L_i`, one component `L_ij`
+//!   per origin server `j`. Each record `(x, m)` says "origin `j`'s `m`-th
+//!   update touched item `x`"; of all updates by `j` to a given item that
+//!   `i` knows about, **only the latest record is retained**, which is what
+//!   bounds the log by `n·N` records and makes propagation O(m). Records
+//!   live in per-origin doubly linked lists with the per-item pointer array
+//!   `P(x)` giving O(1) `AddLogRecord` (Fig. 1).
+//! * [`AuxLog`] — the auxiliary log `AUX_i` holding *re-doable* updates
+//!   applied to out-of-bound (auxiliary) item copies, with O(1)
+//!   `Earliest(x)` and O(1) removal from the middle of the log.
+
+pub mod aux;
+pub mod logvec;
+
+pub use aux::{AuxLog, AuxRecord};
+pub use logvec::{LogRecord, LogVector};

@@ -1,0 +1,85 @@
+//! Property tests for the log structures.
+
+use epidb_common::{ItemId, NodeId};
+use epidb_log::{AuxLog, LogRecord, LogVector};
+use epidb_store::UpdateOp;
+use epidb_vv::VersionVector;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// Random add sequences (each origin's m strictly increasing, items
+    /// random) preserve the structural invariants, keep exactly the latest
+    /// record per (origin, item), and never exceed n*N records.
+    #[test]
+    fn logvec_retains_latest_record_per_item(
+        ops in prop::collection::vec((0u16..3, 0u32..8), 1..200)
+    ) {
+        const N_NODES: usize = 3;
+        const N_ITEMS: usize = 8;
+        let mut log = LogVector::new(N_NODES, N_ITEMS);
+        let mut next_m = [0u64; N_NODES];
+        let mut latest: HashMap<(u16, u32), u64> = HashMap::new();
+
+        for (j, x) in ops {
+            next_m[j as usize] += 1;
+            let m = next_m[j as usize];
+            log.add_record(NodeId(j), LogRecord { item: ItemId(x), m });
+            latest.insert((j, x), m);
+        }
+
+        log.check_invariants().unwrap();
+        prop_assert!(log.total_len() <= N_NODES * N_ITEMS);
+        for ((j, x), m) in &latest {
+            let rec = log.retained(NodeId(*j), ItemId(*x)).expect("record retained");
+            prop_assert_eq!(rec.m, *m);
+        }
+        let retained_count: usize = (0..N_NODES).map(|j| log.component_len(NodeId(j as u16))).sum();
+        prop_assert_eq!(retained_count, latest.len());
+    }
+
+    /// tail_after returns exactly the retained records above the threshold,
+    /// ascending, and examines at most |selected|+1 records.
+    #[test]
+    fn tail_after_matches_filter(
+        ops in prop::collection::vec(0u32..6, 1..100),
+        threshold in 0u64..120
+    ) {
+        let mut log = LogVector::new(1, 6);
+        for (i, x) in ops.iter().enumerate() {
+            log.add_record(NodeId(0), LogRecord { item: ItemId(*x), m: i as u64 + 1 });
+        }
+        let mut examined = 0;
+        let tail = log.tail_after(NodeId(0), threshold, &mut examined);
+        let expected: Vec<LogRecord> =
+            log.iter_component(NodeId(0)).filter(|r| r.m > threshold).collect();
+        prop_assert_eq!(&tail, &expected);
+        prop_assert!(examined as usize <= tail.len() + 1);
+        for w in tail.windows(2) {
+            prop_assert!(w[0].m < w[1].m);
+        }
+    }
+
+    /// AuxLog: per-item FIFO order is preserved under interleaved
+    /// push/pop_earliest, and invariants hold throughout.
+    #[test]
+    fn auxlog_fifo_per_item(
+        script in prop::collection::vec((0u32..4, prop::bool::ANY), 1..120)
+    ) {
+        let mut log = AuxLog::new();
+        let mut shadow: HashMap<u32, Vec<u64>> = HashMap::new();
+        for (x, is_pop) in script {
+            if is_pop {
+                let popped = log.pop_earliest(ItemId(x));
+                let expect = shadow.get_mut(&x).and_then(|v| if v.is_empty() { None } else { Some(v.remove(0)) });
+                prop_assert_eq!(popped.map(|r| r.seq), expect);
+            } else {
+                let seq = log.push(ItemId(x), VersionVector::zero(2), UpdateOp::set(vec![x as u8]));
+                shadow.entry(x).or_default().push(seq);
+            }
+            log.check_invariants().unwrap();
+        }
+        let total: usize = shadow.values().map(Vec::len).sum();
+        prop_assert_eq!(log.len(), total);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! `epidb-net` — a multi-threaded runtime for `epidb` replicas.
+//!
+//! The experiment suite (`epidb-sim`) measures protocol overhead in a
+//! deterministic single-process simulation; this crate complements it with
+//! a *live* runtime: each replica runs on its own OS thread, servicing user
+//! operations locally and gossiping asynchronously over crossbeam channels
+//! — the paper's deployment picture (user operations at a single server,
+//! anti-entropy "at a convenient time", §1–§2).
+//!
+//! The runtime injects the failures the protocol is designed to survive:
+//! message loss, added latency, and node crashes/recoveries.
+//!
+//! ```
+//! use epidb_net::{ClusterConfig, ThreadedCluster};
+//! use epidb_common::{ItemId, NodeId};
+//! use epidb_store::UpdateOp;
+//! use std::time::Duration;
+//!
+//! let cluster = ThreadedCluster::spawn(3, 100, ClusterConfig {
+//!     gossip_interval: Duration::from_millis(2),
+//!     ..ClusterConfig::default()
+//! });
+//! cluster.update(NodeId(0), ItemId(7), UpdateOp::set(&b"hello"[..])).unwrap();
+//! assert!(cluster.quiesce(Duration::from_secs(10)));
+//! assert_eq!(cluster.read(NodeId(2), ItemId(7)).unwrap(), b"hello");
+//! cluster.shutdown();
+//! ```
+
+pub mod message;
+pub mod runtime;
+pub mod tcp;
+
+pub use message::NetMessage;
+pub use runtime::{ClusterConfig, ThreadedCluster};
+pub use tcp::{TcpCluster, TcpConfig};

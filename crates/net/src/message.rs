@@ -1,0 +1,55 @@
+//! Messages carried by the threaded runtime.
+
+use epidb_common::NodeId;
+use epidb_core::{OobReply, PropagationResponse};
+use epidb_vv::DbVersionVector;
+
+/// A network message between replica threads.
+///
+/// The protocol's two-message pull (§5.1) maps to
+/// [`PullRequest`](NetMessage::PullRequest) /
+/// [`PullResponse`](NetMessage::PullResponse); out-of-bound copying (§5.2)
+/// to the OOB pair.
+#[derive(Debug)]
+pub enum NetMessage {
+    /// Recipient `from` asks the destination to run `SendPropagation`
+    /// against this DBVV.
+    PullRequest {
+        /// The requesting (recipient) node.
+        from: NodeId,
+        /// The recipient's database version vector.
+        dbvv: DbVersionVector,
+    },
+    /// The source's reply: "you are current" or the tail vector + items.
+    PullResponse {
+        /// The replying (source) node.
+        from: NodeId,
+        /// The propagation decision/payload.
+        response: PropagationResponse,
+    },
+    /// `from` asks for the destination's newest copy of one item.
+    OobRequest {
+        /// The requesting node.
+        from: NodeId,
+        /// The wanted item.
+        item: epidb_common::ItemId,
+    },
+    /// Reply to an out-of-bound request.
+    OobResponse {
+        /// The replying node.
+        from: NodeId,
+        /// The item copy and its IVV.
+        reply: OobReply,
+    },
+    /// Stop the receiving thread.
+    Shutdown,
+}
+
+/// An addressed message in flight.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Destination node.
+    pub to: NodeId,
+    /// The message.
+    pub msg: NetMessage,
+}

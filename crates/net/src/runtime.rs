@@ -1,0 +1,370 @@
+//! The threaded cluster runtime: one OS thread per replica, crossbeam
+//! channels for the network, parking_lot mutexes guarding replica state.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use epidb_common::costs::wire;
+use epidb_common::{Error, ItemId, NodeId, Result};
+use epidb_core::{messages::request_bytes, OobOutcome, PropagationResponse, Replica};
+use epidb_store::UpdateOp;
+use epidb_vv::VvOrd;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::message::NetMessage;
+
+/// Tuning and fault-injection knobs for the threaded cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// How often each node initiates an anti-entropy pull from a random
+    /// peer.
+    pub gossip_interval: Duration,
+    /// Probability that any message is silently dropped in transit.
+    pub loss_probability: f64,
+    /// Fixed delay added to every message delivery.
+    pub latency: Duration,
+    /// Seed for the per-node RNGs (peer choice, loss).
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            gossip_interval: Duration::from_millis(5),
+            loss_probability: 0.0,
+            latency: Duration::ZERO,
+            seed: 0xE51D,
+        }
+    }
+}
+
+struct NodeShared {
+    replica: Mutex<Replica>,
+    alive: AtomicBool,
+}
+
+/// A running cluster of replica threads.
+pub struct ThreadedCluster {
+    nodes: Vec<Arc<NodeShared>>,
+    senders: Vec<Sender<NetMessage>>,
+    handles: Vec<JoinHandle<()>>,
+    config: ClusterConfig,
+}
+
+impl ThreadedCluster {
+    /// Spawn `n_nodes` replica threads over an `n_items` database.
+    pub fn spawn(n_nodes: usize, n_items: usize, config: ClusterConfig) -> ThreadedCluster {
+        assert!(n_nodes >= 2, "a cluster needs at least two nodes");
+        let nodes: Vec<Arc<NodeShared>> = (0..n_nodes)
+            .map(|i| {
+                Arc::new(NodeShared {
+                    replica: Mutex::new(Replica::new(NodeId::from_index(i), n_nodes, n_items)),
+                    alive: AtomicBool::new(true),
+                })
+            })
+            .collect();
+        let channels: Vec<(Sender<NetMessage>, Receiver<NetMessage>)> =
+            (0..n_nodes).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<NetMessage>> = channels.iter().map(|(s, _)| s.clone()).collect();
+
+        let mut handles = Vec::with_capacity(n_nodes);
+        for (i, (_, rx)) in channels.into_iter().enumerate() {
+            let me = NodeId::from_index(i);
+            let shared = nodes[i].clone();
+            let all_nodes = nodes.clone();
+            let all_senders = senders.clone();
+            let cfg = config;
+            handles.push(std::thread::spawn(move || {
+                node_loop(me, shared, all_nodes, all_senders, rx, cfg);
+            }));
+        }
+        ThreadedCluster { nodes, senders, handles, config }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Apply a user update at `node` (serviced by that single server, §2).
+    pub fn update(&self, node: NodeId, item: ItemId, op: UpdateOp) -> Result<()> {
+        let shared = self.nodes.get(node.index()).ok_or(Error::UnknownNode(node))?;
+        if !shared.alive.load(Ordering::SeqCst) {
+            return Err(Error::NodeDown(node));
+        }
+        shared.replica.lock().update(item, op)
+    }
+
+    /// Read the user-visible value of `item` at `node`.
+    pub fn read(&self, node: NodeId, item: ItemId) -> Result<Vec<u8>> {
+        let shared = self.nodes.get(node.index()).ok_or(Error::UnknownNode(node))?;
+        Ok(shared.replica.lock().read(item)?.as_bytes().to_vec())
+    }
+
+    /// Synchronous out-of-bound fetch: `recipient` obtains `source`'s
+    /// newest copy of `item` right now (the on-demand RPC of §5.2).
+    pub fn oob_fetch(&self, recipient: NodeId, source: NodeId, item: ItemId) -> Result<OobOutcome> {
+        if recipient == source {
+            return Ok(OobOutcome::AlreadyCurrent);
+        }
+        let src = self.nodes.get(source.index()).ok_or(Error::UnknownNode(source))?;
+        if !src.alive.load(Ordering::SeqCst) {
+            return Err(Error::NodeDown(source));
+        }
+        let reply = src.replica.lock().serve_oob(item)?;
+        let dst = self.nodes.get(recipient.index()).ok_or(Error::UnknownNode(recipient))?;
+        if !dst.alive.load(Ordering::SeqCst) {
+            return Err(Error::NodeDown(recipient));
+        }
+        dst.replica.lock().accept_oob(source, reply)
+    }
+
+    /// Crash a node: it drops all traffic and initiates nothing until
+    /// revived. Its durable state (the replica) survives, as a recovering
+    /// server's disk would.
+    pub fn crash(&self, node: NodeId) {
+        self.nodes[node.index()].alive.store(false, Ordering::SeqCst);
+    }
+
+    /// Revive a crashed node; anti-entropy brings it back up to date.
+    pub fn revive(&self, node: NodeId) {
+        self.nodes[node.index()].alive.store(true, Ordering::SeqCst);
+    }
+
+    /// Run a closure over a locked replica (inspection).
+    pub fn with_replica<T>(&self, node: NodeId, f: impl FnOnce(&Replica) -> T) -> T {
+        f(&self.nodes[node.index()].replica.lock())
+    }
+
+    /// Wait until all *alive* replicas have identical DBVVs and no
+    /// auxiliary state (identical databases, by the paper's Theorem 3
+    /// corollary), or the deadline passes. Returns whether quiescence was
+    /// reached.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.is_quiescent() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(self.config.gossip_interval.min(Duration::from_millis(5)));
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        let alive: Vec<&Arc<NodeShared>> =
+            self.nodes.iter().filter(|n| n.alive.load(Ordering::SeqCst)).collect();
+        if alive.len() < 2 {
+            return true;
+        }
+        let first = alive[0].replica.lock();
+        let reference = first.dbvv().clone();
+        if first.aux_item_count() > 0 {
+            return false;
+        }
+        drop(first);
+        alive[1..].iter().all(|n| {
+            let r = n.replica.lock();
+            r.aux_item_count() == 0 && r.dbvv().compare(&reference) == VvOrd::Equal
+        })
+    }
+
+    /// Stop all threads and return the final replicas.
+    pub fn shutdown(mut self) -> Vec<Replica> {
+        for s in &self.senders {
+            let _ = s.send(NetMessage::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        self.nodes
+            .iter()
+            .map(|n| n.replica.lock().clone())
+            .collect()
+    }
+}
+
+impl Drop for ThreadedCluster {
+    fn drop(&mut self) {
+        for s in &self.senders {
+            let _ = s.send(NetMessage::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn node_loop(
+    me: NodeId,
+    shared: Arc<NodeShared>,
+    nodes: Vec<Arc<NodeShared>>,
+    senders: Vec<Sender<NetMessage>>,
+    rx: Receiver<NetMessage>,
+    cfg: ClusterConfig,
+) {
+    let n = nodes.len();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (me.index() as u64).wrapping_mul(0x9E37_79B9));
+    let send = |rng: &mut StdRng, to: NodeId, msg: NetMessage| {
+        if cfg.loss_probability > 0.0 && rng.gen_bool(cfg.loss_probability) {
+            return; // dropped in transit
+        }
+        if cfg.latency > Duration::ZERO {
+            std::thread::sleep(cfg.latency);
+        }
+        let _ = senders[to.index()].send(msg);
+    };
+
+    loop {
+        match rx.recv_timeout(cfg.gossip_interval) {
+            Err(RecvTimeoutError::Timeout) => {
+                // Time for scheduled anti-entropy: pull from a random peer.
+                if !shared.alive.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let mut peer = rng.gen_range(0..n);
+                if peer == me.index() {
+                    peer = (peer + 1) % n;
+                }
+                let dbvv = {
+                    let mut r = shared.replica.lock();
+                    let dbvv = r.dbvv().clone();
+                    r.charge_message(request_bytes(&dbvv), 0);
+                    dbvv
+                };
+                send(&mut rng, NodeId::from_index(peer), NetMessage::PullRequest { from: me, dbvv });
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+            Ok(NetMessage::Shutdown) => return,
+            Ok(msg) => {
+                if !shared.alive.load(Ordering::SeqCst) {
+                    continue; // a crashed node drops everything
+                }
+                match msg {
+                    NetMessage::PullRequest { from, dbvv } => {
+                        let response = {
+                            let mut r = shared.replica.lock();
+                            let response = r.prepare_propagation(&dbvv);
+                            r.charge_message(
+                                wire::MSG_HEADER + response.control_bytes(),
+                                response.payload_bytes(),
+                            );
+                            response
+                        };
+                        send(&mut rng, from, NetMessage::PullResponse { from: me, response });
+                    }
+                    NetMessage::PullResponse { from, response } => {
+                        if let PropagationResponse::Payload(payload) = response {
+                            let mut r = shared.replica.lock();
+                            // Errors here mean a malformed payload; the
+                            // runtime just drops it (as a codec layer
+                            // would).
+                            let _ = r.accept_propagation(from, payload);
+                        }
+                    }
+                    NetMessage::OobRequest { from, item } => {
+                        let reply = shared.replica.lock().serve_oob(item);
+                        if let Ok(reply) = reply {
+                            send(&mut rng, from, NetMessage::OobResponse { from: me, reply });
+                        }
+                    }
+                    NetMessage::OobResponse { from, reply } => {
+                        let _ = shared.replica.lock().accept_oob(from, reply);
+                    }
+                    NetMessage::Shutdown => return,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> ClusterConfig {
+        ClusterConfig { gossip_interval: Duration::from_millis(1), ..ClusterConfig::default() }
+    }
+
+    #[test]
+    fn updates_spread_to_all_nodes() {
+        let cluster = ThreadedCluster::spawn(4, 50, fast_config());
+        for i in 0..10u32 {
+            cluster
+                .update(NodeId((i % 4) as u16), ItemId(i), UpdateOp::set(vec![i as u8]))
+                .unwrap();
+        }
+        assert!(cluster.quiesce(Duration::from_secs(20)), "did not quiesce");
+        for i in 0..10u32 {
+            for node in 0..4u16 {
+                assert_eq!(cluster.read(NodeId(node), ItemId(i)).unwrap(), vec![i as u8]);
+            }
+        }
+        let replicas = cluster.shutdown();
+        for r in &replicas {
+            r.check_invariants().unwrap();
+            assert_eq!(r.costs().conflicts_detected, 0);
+        }
+    }
+
+    #[test]
+    fn survives_message_loss() {
+        let cluster = ThreadedCluster::spawn(
+            3,
+            20,
+            ClusterConfig {
+                gossip_interval: Duration::from_millis(1),
+                loss_probability: 0.3,
+                ..ClusterConfig::default()
+            },
+        );
+        cluster.update(NodeId(0), ItemId(3), UpdateOp::set(&b"lossy"[..])).unwrap();
+        assert!(cluster.quiesce(Duration::from_secs(30)), "did not converge under loss");
+        assert_eq!(cluster.read(NodeId(2), ItemId(3)).unwrap(), b"lossy");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crashed_node_catches_up_after_revival() {
+        let cluster = ThreadedCluster::spawn(3, 20, fast_config());
+        cluster.crash(NodeId(2));
+        assert!(matches!(
+            cluster.update(NodeId(2), ItemId(0), UpdateOp::set(&b"x"[..])),
+            Err(Error::NodeDown(NodeId(2)))
+        ));
+        cluster.update(NodeId(0), ItemId(0), UpdateOp::set(&b"while-down"[..])).unwrap();
+        assert!(cluster.quiesce(Duration::from_secs(20)));
+        // The crashed node is excluded from quiescence and still stale.
+        assert_eq!(cluster.read(NodeId(2), ItemId(0)).unwrap(), b"");
+        cluster.revive(NodeId(2));
+        assert!(cluster.quiesce(Duration::from_secs(20)));
+        assert_eq!(cluster.read(NodeId(2), ItemId(0)).unwrap(), b"while-down");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn oob_fetch_works_live() {
+        let cluster = ThreadedCluster::spawn(2, 10, ClusterConfig {
+            // Slow gossip so the OOB fetch happens before anti-entropy.
+            gossip_interval: Duration::from_secs(60),
+            ..ClusterConfig::default()
+        });
+        cluster.update(NodeId(0), ItemId(1), UpdateOp::set(&b"urgent"[..])).unwrap();
+        let out = cluster.oob_fetch(NodeId(1), NodeId(0), ItemId(1)).unwrap();
+        assert_eq!(out, OobOutcome::Adopted { from_aux: false });
+        assert_eq!(cluster.read(NodeId(1), ItemId(1)).unwrap(), b"urgent");
+        // Regular copy still old — it's an auxiliary copy.
+        cluster.with_replica(NodeId(1), |r| {
+            assert_eq!(r.aux_item_count(), 1);
+            assert_eq!(r.read_regular(ItemId(1)).unwrap().as_bytes(), b"");
+        });
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,397 @@
+//! A TCP runtime: the same protocol, over real sockets on localhost.
+//!
+//! Each replica gets a listener thread (serving pull and out-of-bound
+//! requests as framed request/response exchanges) and a gossip thread
+//! (periodically connecting to a random peer and pulling). Frames are a
+//! 4-byte little-endian length followed by a [`codec`]-encoded message —
+//! the byte counts charged by [`Costs`](epidb_common::Costs) correspond to
+//! what actually crosses the socket.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use epidb_common::costs::wire;
+use epidb_common::{Error, ItemId, NodeId, Result};
+use epidb_core::codec::{decode_message, encode_message, WireMessage};
+use epidb_core::messages::request_bytes;
+use epidb_core::{OobOutcome, PropagationResponse, Replica};
+use epidb_store::UpdateOp;
+use epidb_vv::VvOrd;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum accepted frame size (64 MiB) — guards against corrupt length
+/// prefixes.
+const MAX_FRAME: u32 = 64 << 20;
+
+/// Tuning for the TCP cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpConfig {
+    /// How often each node initiates a pull from a random peer.
+    pub gossip_interval: Duration,
+    /// Seed for peer selection.
+    pub seed: u64,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig { gossip_interval: Duration::from_millis(5), seed: 0x7C9 }
+    }
+}
+
+struct TcpNode {
+    replica: Mutex<Replica>,
+    alive: AtomicBool,
+}
+
+/// A cluster of replicas gossiping over localhost TCP.
+pub struct TcpCluster {
+    nodes: Vec<Arc<TcpNode>>,
+    addrs: Vec<SocketAddr>,
+    running: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+    config: TcpConfig,
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(stream: &mut TcpStream, msg: &WireMessage) -> std::io::Result<()> {
+    let body = encode_message(msg);
+    stream.write_all(&(body.len() as u32).to_le_bytes())?;
+    stream.write_all(&body)?;
+    stream.flush()
+}
+
+/// Read one length-prefixed frame.
+pub fn read_frame(stream: &mut TcpStream) -> Result<WireMessage> {
+    let mut len_buf = [0u8; 4];
+    stream
+        .read_exact(&mut len_buf)
+        .map_err(|e| Error::Network(format!("read frame length: {e}")))?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(Error::Network(format!("frame of {len} bytes exceeds limit")));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| Error::Network(format!("read frame body: {e}")))?;
+    decode_message(&body)
+}
+
+impl TcpCluster {
+    /// Bind `n_nodes` listeners on localhost and start gossiping.
+    pub fn spawn(n_nodes: usize, n_items: usize, config: TcpConfig) -> Result<TcpCluster> {
+        assert!(n_nodes >= 2);
+        let running = Arc::new(AtomicBool::new(true));
+        let nodes: Vec<Arc<TcpNode>> = (0..n_nodes)
+            .map(|i| {
+                Arc::new(TcpNode {
+                    replica: Mutex::new(Replica::new(NodeId::from_index(i), n_nodes, n_items)),
+                    alive: AtomicBool::new(true),
+                })
+            })
+            .collect();
+
+        // Bind all listeners first so every gossip thread knows every addr.
+        let listeners: Vec<TcpListener> = (0..n_nodes)
+            .map(|_| TcpListener::bind("127.0.0.1:0"))
+            .collect::<std::io::Result<_>>()
+            .map_err(|e| Error::Network(format!("bind: {e}")))?;
+        let addrs: Vec<SocketAddr> = listeners
+            .iter()
+            .map(|l| l.local_addr())
+            .collect::<std::io::Result<_>>()
+            .map_err(|e| Error::Network(format!("local_addr: {e}")))?;
+
+        let mut handles = Vec::new();
+        for (i, listener) in listeners.into_iter().enumerate() {
+            // Server thread.
+            let node = nodes[i].clone();
+            let run = running.clone();
+            handles.push(std::thread::spawn(move || server_loop(listener, node, run)));
+            // Gossip thread.
+            let node = nodes[i].clone();
+            let run = running.clone();
+            let peer_addrs = addrs.clone();
+            let me = NodeId::from_index(i);
+            let cfg = config;
+            handles.push(std::thread::spawn(move || {
+                gossip_loop(me, node, peer_addrs, run, cfg)
+            }));
+        }
+        Ok(TcpCluster { nodes, addrs, running, handles, config })
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The socket address a node's replica server listens on.
+    pub fn addr(&self, node: NodeId) -> SocketAddr {
+        self.addrs[node.index()]
+    }
+
+    /// Apply a user update at `node`.
+    pub fn update(&self, node: NodeId, item: ItemId, op: UpdateOp) -> Result<()> {
+        let n = self.nodes.get(node.index()).ok_or(Error::UnknownNode(node))?;
+        if !n.alive.load(Ordering::SeqCst) {
+            return Err(Error::NodeDown(node));
+        }
+        n.replica.lock().update(item, op)
+    }
+
+    /// Read the user-visible value at `node`.
+    pub fn read(&self, node: NodeId, item: ItemId) -> Result<Vec<u8>> {
+        let n = self.nodes.get(node.index()).ok_or(Error::UnknownNode(node))?;
+        Ok(n.replica.lock().read(item)?.as_bytes().to_vec())
+    }
+
+    /// Out-of-bound fetch over TCP: connect to the source's server, send
+    /// the request frame, apply the reply.
+    pub fn oob_fetch(&self, recipient: NodeId, source: NodeId, item: ItemId) -> Result<OobOutcome> {
+        let addr = self.addr(source);
+        let mut stream = TcpStream::connect(addr)
+            .map_err(|e| Error::Network(format!("connect {addr}: {e}")))?;
+        write_frame(&mut stream, &WireMessage::OobRequest { from: recipient, item })
+            .map_err(|e| Error::Network(format!("send oob request: {e}")))?;
+        match read_frame(&mut stream)? {
+            WireMessage::OobResponse { from, reply } => {
+                let node =
+                    self.nodes.get(recipient.index()).ok_or(Error::UnknownNode(recipient))?;
+                node.replica.lock().accept_oob(from, reply)
+            }
+            other => Err(Error::Network(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Crash / revive a node (it refuses connections and stops gossiping
+    /// while down; durable state survives).
+    pub fn crash(&self, node: NodeId) {
+        self.nodes[node.index()].alive.store(false, Ordering::SeqCst);
+    }
+
+    /// Revive a crashed node.
+    pub fn revive(&self, node: NodeId) {
+        self.nodes[node.index()].alive.store(true, Ordering::SeqCst);
+    }
+
+    /// Run a closure over a locked replica.
+    pub fn with_replica<T>(&self, node: NodeId, f: impl FnOnce(&Replica) -> T) -> T {
+        f(&self.nodes[node.index()].replica.lock())
+    }
+
+    /// Wait until all alive replicas hold equal DBVVs and no auxiliary
+    /// state remains, or the deadline passes.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let alive: Vec<&Arc<TcpNode>> =
+                self.nodes.iter().filter(|n| n.alive.load(Ordering::SeqCst)).collect();
+            let quiet = if alive.len() < 2 {
+                true
+            } else {
+                let first = alive[0].replica.lock();
+                let reference = first.dbvv().clone();
+                let head_ok = first.aux_item_count() == 0;
+                drop(first);
+                head_ok
+                    && alive[1..].iter().all(|n| {
+                        let r = n.replica.lock();
+                        r.aux_item_count() == 0 && r.dbvv().compare(&reference) == VvOrd::Equal
+                    })
+            };
+            if quiet {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(self.config.gossip_interval.min(Duration::from_millis(5)));
+        }
+    }
+
+    /// Stop all threads and return the final replicas.
+    pub fn shutdown(mut self) -> Vec<Replica> {
+        self.stop();
+        self.nodes.iter().map(|n| n.replica.lock().clone()).collect()
+    }
+
+    fn stop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        // Unblock every accept loop with a dummy connection.
+        for addr in &self.addrs {
+            let _ = TcpStream::connect_timeout(addr, Duration::from_millis(200));
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpCluster {
+    fn drop(&mut self) {
+        if self.running.load(Ordering::SeqCst) {
+            self.stop();
+        }
+    }
+}
+
+fn server_loop(listener: TcpListener, node: Arc<TcpNode>, running: Arc<AtomicBool>) {
+    while running.load(Ordering::SeqCst) {
+        let Ok((mut stream, _)) = listener.accept() else { continue };
+        if !running.load(Ordering::SeqCst) {
+            return;
+        }
+        if !node.alive.load(Ordering::SeqCst) {
+            continue; // crashed: drop the connection
+        }
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let Ok(msg) = read_frame(&mut stream) else { continue };
+        match msg {
+            WireMessage::PullRequest { from: _, dbvv } => {
+                let (me, response) = {
+                    let mut r = node.replica.lock();
+                    let response = r.prepare_propagation(&dbvv);
+                    r.charge_message(
+                        wire::MSG_HEADER + response.control_bytes(),
+                        response.payload_bytes(),
+                    );
+                    (r.id(), response)
+                };
+                let _ = write_frame(&mut stream, &WireMessage::PullResponse { from: me, response });
+            }
+            WireMessage::OobRequest { from: _, item } => {
+                let (me, reply) = {
+                    let r = node.replica.lock();
+                    (r.id(), r.serve_oob(item))
+                };
+                if let Ok(reply) = reply {
+                    let _ = write_frame(&mut stream, &WireMessage::OobResponse { from: me, reply });
+                }
+            }
+            // Requests only; responses arrive on the initiating connection.
+            WireMessage::PullResponse { .. } | WireMessage::OobResponse { .. } => {}
+        }
+    }
+}
+
+fn gossip_loop(
+    me: NodeId,
+    node: Arc<TcpNode>,
+    addrs: Vec<SocketAddr>,
+    running: Arc<AtomicBool>,
+    cfg: TcpConfig,
+) {
+    let n = addrs.len();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (me.index() as u64).wrapping_mul(0x51_7C_C1));
+    while running.load(Ordering::SeqCst) {
+        // Sleep the gossip interval in small slices so shutdown is prompt
+        // even with long intervals.
+        let wake = Instant::now() + cfg.gossip_interval;
+        while Instant::now() < wake {
+            if !running.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep((wake - Instant::now()).min(Duration::from_millis(20)));
+        }
+        if !node.alive.load(Ordering::SeqCst) {
+            continue;
+        }
+        let mut peer = rng.gen_range(0..n);
+        if peer == me.index() {
+            peer = (peer + 1) % n;
+        }
+        let dbvv = {
+            let mut r = node.replica.lock();
+            let dbvv = r.dbvv().clone();
+            r.charge_message(request_bytes(&dbvv), 0);
+            dbvv
+        };
+        let Ok(mut stream) =
+            TcpStream::connect_timeout(&addrs[peer], Duration::from_millis(500))
+        else {
+            continue;
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        if write_frame(&mut stream, &WireMessage::PullRequest { from: me, dbvv }).is_err() {
+            continue;
+        }
+        let Ok(WireMessage::PullResponse { from, response }) = read_frame(&mut stream) else {
+            continue;
+        };
+        if let PropagationResponse::Payload(payload) = response {
+            let mut r = node.replica.lock();
+            let _ = r.accept_propagation(from, payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updates_converge_over_real_sockets() {
+        let cluster = TcpCluster::spawn(
+            3,
+            50,
+            TcpConfig { gossip_interval: Duration::from_millis(2), ..TcpConfig::default() },
+        )
+        .unwrap();
+        for i in 0..12u32 {
+            cluster
+                .update(NodeId((i % 3) as u16), ItemId(i), UpdateOp::set(vec![i as u8 + 1]))
+                .unwrap();
+        }
+        assert!(cluster.quiesce(Duration::from_secs(30)), "no quiescence over TCP");
+        for i in 0..12u32 {
+            for node in 0..3u16 {
+                assert_eq!(cluster.read(NodeId(node), ItemId(i)).unwrap(), vec![i as u8 + 1]);
+            }
+        }
+        let replicas = cluster.shutdown();
+        for r in &replicas {
+            r.check_invariants().unwrap();
+            assert_eq!(r.costs().conflicts_detected, 0);
+        }
+    }
+
+    #[test]
+    fn oob_fetch_over_tcp() {
+        let cluster = TcpCluster::spawn(
+            2,
+            10,
+            TcpConfig { gossip_interval: Duration::from_secs(60), ..TcpConfig::default() },
+        )
+        .unwrap();
+        cluster.update(NodeId(0), ItemId(1), UpdateOp::set(&b"wire"[..])).unwrap();
+        let out = cluster.oob_fetch(NodeId(1), NodeId(0), ItemId(1)).unwrap();
+        assert_eq!(out, OobOutcome::Adopted { from_aux: false });
+        assert_eq!(cluster.read(NodeId(1), ItemId(1)).unwrap(), b"wire");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crashed_node_refuses_and_recovers() {
+        let cluster = TcpCluster::spawn(
+            3,
+            20,
+            TcpConfig { gossip_interval: Duration::from_millis(2), ..TcpConfig::default() },
+        )
+        .unwrap();
+        cluster.crash(NodeId(2));
+        cluster.update(NodeId(0), ItemId(0), UpdateOp::set(&b"while-down"[..])).unwrap();
+        assert!(cluster.quiesce(Duration::from_secs(30)));
+        assert_eq!(cluster.read(NodeId(2), ItemId(0)).unwrap(), b"");
+        cluster.revive(NodeId(2));
+        assert!(cluster.quiesce(Duration::from_secs(30)));
+        assert_eq!(cluster.read(NodeId(2), ItemId(0)).unwrap(), b"while-down");
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,213 @@
+//! Adapter driving the paper's protocol through the common
+//! [`SyncProtocol`] interface, so every experiment runs the paper's
+//! protocol and the baselines over identical workloads and schedules.
+
+use epidb_baselines::{SyncProtocol, SyncReport};
+use epidb_common::{Costs, Error, ItemId, NodeId, Result};
+use epidb_core::{oob_copy, pull, ConflictPolicy, OobOutcome, PullOutcome, Replica};
+use epidb_store::UpdateOp;
+
+/// A cluster of [`Replica`]s running the paper's protocol.
+pub struct EpidbCluster {
+    replicas: Vec<Replica>,
+}
+
+impl EpidbCluster {
+    /// Create `n_nodes` replicas of an `n_items` database (conflicts
+    /// reported, as in the paper).
+    pub fn new(n_nodes: usize, n_items: usize) -> EpidbCluster {
+        EpidbCluster::with_policy(n_nodes, n_items, ConflictPolicy::Report)
+    }
+
+    /// As [`new`](Self::new) with an explicit conflict policy.
+    pub fn with_policy(n_nodes: usize, n_items: usize, policy: ConflictPolicy) -> EpidbCluster {
+        EpidbCluster {
+            replicas: (0..n_nodes)
+                .map(|i| Replica::with_policy(NodeId::from_index(i), n_nodes, n_items, policy))
+                .collect(),
+        }
+    }
+
+    /// Shared access to one replica.
+    pub fn replica(&self, node: NodeId) -> &Replica {
+        &self.replicas[node.index()]
+    }
+
+    /// Mutable access to one replica.
+    pub fn replica_mut(&mut self, node: NodeId) -> &mut Replica {
+        &mut self.replicas[node.index()]
+    }
+
+    /// Borrow two distinct replicas mutably.
+    fn pair_mut(&mut self, a: NodeId, b: NodeId) -> (&mut Replica, &mut Replica) {
+        assert_ne!(a, b, "need two distinct replicas");
+        let (ai, bi) = (a.index(), b.index());
+        if ai < bi {
+            let (lo, hi) = self.replicas.split_at_mut(bi);
+            (&mut lo[ai], &mut hi[0])
+        } else {
+            let (lo, hi) = self.replicas.split_at_mut(ai);
+            let (x, y) = (&mut hi[0], &mut lo[bi]);
+            (x, y)
+        }
+    }
+
+    /// One anti-entropy pull: `recipient` from `source` (§5.1).
+    pub fn pull_pair(&mut self, recipient: NodeId, source: NodeId) -> Result<PullOutcome> {
+        let (r, s) = self.pair_mut(recipient, source);
+        pull(r, s)
+    }
+
+    /// One out-of-bound copy of `item`: `recipient` from `source` (§5.2).
+    pub fn oob(&mut self, recipient: NodeId, source: NodeId, item: ItemId) -> Result<OobOutcome> {
+        let (r, s) = self.pair_mut(recipient, source);
+        oob_copy(r, s, item)
+    }
+
+    /// One delta-mode pull (§2's update-record shipping, see
+    /// `epidb_core::delta`): `recipient` from `source`.
+    pub fn pull_delta_pair(&mut self, recipient: NodeId, source: NodeId) -> Result<PullOutcome> {
+        let (r, s) = self.pair_mut(recipient, source);
+        epidb_core::pull_delta(r, s)
+    }
+
+    /// Enable the delta op cache on every replica.
+    pub fn enable_delta(&mut self, budget_bytes: usize) {
+        for r in &mut self.replicas {
+            r.enable_delta(budget_bytes);
+        }
+    }
+
+    /// Check every replica's invariants (panics with the report on
+    /// failure — test/driver helper). While no conflict has been declared
+    /// anywhere, the stricter conflict-free invariants apply as well.
+    pub fn assert_invariants(&self) {
+        let clean = self.conflicts_declared() == 0;
+        for r in &self.replicas {
+            let result = if clean { r.check_invariants_clean() } else { r.check_invariants() };
+            if let Err(e) = result {
+                panic!("invariant violated at {}: {e}", r.id());
+            }
+        }
+    }
+
+    /// Total conflict events declared across the cluster so far.
+    pub fn conflicts_declared(&self) -> u64 {
+        self.replicas.iter().map(|r| r.costs().conflicts_detected).sum()
+    }
+
+    /// Total auxiliary copies currently held across the cluster.
+    pub fn aux_items_total(&self) -> usize {
+        self.replicas.iter().map(Replica::aux_item_count).sum()
+    }
+
+    /// Total bytes currently held in auxiliary logs (the storage price of
+    /// out-of-bound copying, §6).
+    pub fn aux_log_bytes(&self) -> usize {
+        self.replicas.iter().map(|r| r.aux_log().payload_bytes()).sum()
+    }
+
+    /// Total log-vector records retained across the cluster (bounded by
+    /// `n² · N`, and per node by `n · N`, §4.2).
+    pub fn log_records_total(&self) -> usize {
+        self.replicas.iter().map(|r| r.log().total_len()).sum()
+    }
+
+    /// True when, additionally to value convergence, no auxiliary state
+    /// remains anywhere (every out-of-bound copy was reabsorbed).
+    pub fn fully_converged(&self) -> bool {
+        self.converged() && self.aux_items_total() == 0
+    }
+}
+
+impl SyncProtocol for EpidbCluster {
+    fn name(&self) -> &'static str {
+        "epidb"
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn n_items(&self) -> usize {
+        self.replicas[0].n_items()
+    }
+
+    fn update(&mut self, node: NodeId, item: ItemId, op: UpdateOp) -> Result<()> {
+        self.replicas
+            .get_mut(node.index())
+            .ok_or(Error::UnknownNode(node))?
+            .update(item, op)
+    }
+
+    fn sync(&mut self, recipient: NodeId, source: NodeId) -> Result<SyncReport> {
+        if recipient == source {
+            return Ok(SyncReport { up_to_date: true, ..SyncReport::default() });
+        }
+        let outcome = self.pull_pair(recipient, source)?;
+        Ok(match outcome {
+            PullOutcome::UpToDate => SyncReport { up_to_date: true, ..SyncReport::default() },
+            PullOutcome::Propagated(o) => SyncReport {
+                items_copied: o.copied.len(),
+                conflicts: o.conflicts,
+                up_to_date: false,
+            },
+        })
+    }
+
+    fn value(&self, node: NodeId, item: ItemId) -> Vec<u8> {
+        self.replicas[node.index()]
+            .read_regular(item)
+            .expect("item exists")
+            .as_bytes()
+            .to_vec()
+    }
+
+    fn costs(&self) -> Costs {
+        self.replicas.iter().map(|r| r.costs()).fold(Costs::ZERO, |a, b| a + b)
+    }
+
+    fn node_costs(&self, node: NodeId) -> Costs {
+        self.replicas[node.index()].costs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_drives_protocol_through_trait() {
+        let mut c = EpidbCluster::new(3, 10);
+        c.update(NodeId(0), ItemId(1), UpdateOp::set(&b"v"[..])).unwrap();
+        let rep = c.sync(NodeId(1), NodeId(0)).unwrap();
+        assert_eq!(rep.items_copied, 1);
+        let rep = c.sync(NodeId(2), NodeId(1)).unwrap();
+        assert_eq!(rep.items_copied, 1);
+        assert!(c.converged());
+        let rep = c.sync(NodeId(2), NodeId(1)).unwrap();
+        assert!(rep.up_to_date);
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn oob_tracked_in_aux_accounting() {
+        let mut c = EpidbCluster::new(2, 10);
+        c.update(NodeId(0), ItemId(0), UpdateOp::set(&b"hot"[..])).unwrap();
+        c.oob(NodeId(1), NodeId(0), ItemId(0)).unwrap();
+        assert_eq!(c.aux_items_total(), 1);
+        assert!(!c.fully_converged());
+        c.sync(NodeId(1), NodeId(0)).unwrap();
+        assert_eq!(c.aux_items_total(), 0);
+        assert!(c.fully_converged());
+    }
+
+    #[test]
+    fn pair_mut_both_orders() {
+        let mut c = EpidbCluster::new(3, 2);
+        c.update(NodeId(2), ItemId(0), UpdateOp::set(&b"z"[..])).unwrap();
+        c.pull_pair(NodeId(0), NodeId(2)).unwrap();
+        c.pull_pair(NodeId(2), NodeId(0)).unwrap();
+        assert_eq!(c.value(NodeId(0), ItemId(0)), b"z");
+    }
+}

@@ -1,0 +1,287 @@
+//! The simulation driver: applies a workload, runs a propagation schedule,
+//! and measures convergence — with optional failure injection.
+
+use epidb_baselines::SyncProtocol;
+use epidb_common::{NodeId, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::schedule::Schedule;
+use crate::workload::GeneratedUpdate;
+
+/// Controls one simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct DriverConfig {
+    /// Schedule used for propagation rounds.
+    pub schedule: Schedule,
+    /// RNG seed for the schedule (independent of the workload's seed).
+    pub seed: u64,
+    /// Hard cap on rounds when driving to convergence.
+    pub max_rounds: usize,
+    /// Probability that any individual pull/push silently fails (lossy
+    /// network).
+    pub loss_probability: f64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            schedule: Schedule::RandomPairwise,
+            seed: 0xEB1D,
+            max_rounds: 10_000,
+            loss_probability: 0.0,
+        }
+    }
+}
+
+/// A driver bound to one protocol instance.
+pub struct Driver<'a, P: SyncProtocol + ?Sized> {
+    protocol: &'a mut P,
+    alive: Vec<bool>,
+    /// Partition id per node; exchanges only succeed within a partition.
+    partition: Vec<u32>,
+    rng: StdRng,
+    schedule: Schedule,
+    max_rounds: usize,
+    loss_probability: f64,
+    rounds_run: usize,
+}
+
+impl<'a, P: SyncProtocol + ?Sized> Driver<'a, P> {
+    /// Wrap a protocol instance.
+    pub fn new(protocol: &'a mut P, config: DriverConfig) -> Driver<'a, P> {
+        let n = protocol.n_nodes();
+        Driver {
+            protocol,
+            alive: vec![true; n],
+            partition: vec![0; n],
+            rng: StdRng::seed_from_u64(config.seed),
+            schedule: config.schedule,
+            max_rounds: config.max_rounds,
+            loss_probability: config.loss_probability,
+            rounds_run: 0,
+        }
+    }
+
+    /// The wrapped protocol.
+    pub fn protocol(&mut self) -> &mut P {
+        self.protocol
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds_run(&self) -> usize {
+        self.rounds_run
+    }
+
+    /// Crash a node: it stops pulling and serving until revived.
+    pub fn crash(&mut self, node: NodeId) {
+        self.alive[node.index()] = false;
+    }
+
+    /// Revive a crashed node.
+    pub fn revive(&mut self, node: NodeId) {
+        self.alive[node.index()] = true;
+    }
+
+    /// Split the network: assign each node a partition id; pulls only
+    /// succeed between nodes sharing an id.
+    pub fn partition(&mut self, assignment: &[u32]) {
+        assert_eq!(assignment.len(), self.partition.len());
+        self.partition.copy_from_slice(assignment);
+    }
+
+    /// Heal all partitions.
+    pub fn heal_partitions(&mut self) {
+        self.partition.fill(0);
+    }
+
+    /// True if `node` is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// Apply a batch of generated updates at their target nodes (skipping
+    /// crashed nodes — a dead server accepts no user operations).
+    pub fn apply_updates(&mut self, updates: &[GeneratedUpdate]) -> Result<usize> {
+        let mut applied = 0;
+        for u in updates {
+            if self.alive[u.node.index()] {
+                self.protocol.update(u.node, u.item, u.op.clone())?;
+                applied += 1;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Run one propagation round per the schedule. Returns the number of
+    /// item copies moved.
+    pub fn round(&mut self) -> Result<usize> {
+        self.rounds_run += 1;
+        let n = self.protocol.n_nodes();
+        let mut moved = 0;
+        if self.protocol.supports_pull() {
+            for (recipient, source) in self.schedule.round(n, &self.alive, &mut self.rng) {
+                if self.partition[recipient.index()] != self.partition[source.index()] {
+                    continue; // severed link
+                }
+                if self.loss_probability > 0.0 && self.rng.gen_bool(self.loss_probability) {
+                    continue; // lost exchange
+                }
+                moved += self.protocol.sync(recipient, source)?.items_copied;
+            }
+        } else {
+            // Push-based protocol: every alive node pushes its accumulated
+            // updates.
+            let alive = self.alive.clone();
+            for origin in NodeId::all(n) {
+                if alive[origin.index()] {
+                    moved += self.protocol.push(origin, &alive)?.items_copied;
+                }
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Run rounds until the *alive* part of the cluster converges (or the
+    /// round cap is hit). Returns the number of rounds taken, or `None` if
+    /// the cap was reached without convergence.
+    pub fn run_to_convergence(&mut self) -> Result<Option<usize>> {
+        for round in 1..=self.max_rounds {
+            self.round()?;
+            if self.alive_converged() {
+                return Ok(Some(round));
+            }
+        }
+        Ok(None)
+    }
+
+    /// True if all *alive* replicas hold identical values for every item.
+    pub fn alive_converged(&self) -> bool {
+        let n = self.protocol.n_nodes();
+        let alive: Vec<NodeId> = NodeId::all(n).filter(|x| self.alive[x.index()]).collect();
+        if alive.len() <= 1 {
+            return true;
+        }
+        for x in (0..self.protocol.n_items()).map(epidb_common::ItemId::from_index) {
+            let v0 = self.protocol.value(alive[0], x);
+            if alive[1..].iter().any(|&node| self.protocol.value(node, x) != v0) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Count `(node, item)` pairs at alive nodes whose value differs from
+    /// the most-replicated value of that item — a staleness measure for
+    /// convergence plots.
+    pub fn stale_copy_count(&self) -> usize {
+        let n = self.protocol.n_nodes();
+        let alive: Vec<NodeId> = NodeId::all(n).filter(|x| self.alive[x.index()]).collect();
+        let mut stale = 0;
+        for x in (0..self.protocol.n_items()).map(epidb_common::ItemId::from_index) {
+            // Majority value = the consensus candidate.
+            let values: Vec<Vec<u8>> = alive.iter().map(|&a| self.protocol.value(a, x)).collect();
+            let mut best = 0;
+            for (i, v) in values.iter().enumerate() {
+                let count = values.iter().filter(|w| *w == v).count();
+                if count > values.iter().filter(|w| *w == &values[best]).count() {
+                    best = i;
+                }
+            }
+            stale += values.iter().filter(|v| *v != &values[best]).count();
+        }
+        stale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::EpidbCluster;
+    use crate::workload::{Workload, WorkloadKind};
+
+    #[test]
+    fn drives_epidb_to_convergence() {
+        let mut cluster = EpidbCluster::new(4, 50);
+        let mut wl = Workload::new(WorkloadKind::SingleWriter, 4, 50, 16, 3);
+        let updates = wl.take(100);
+        let mut driver = Driver::new(&mut cluster, DriverConfig::default());
+        driver.apply_updates(&updates).unwrap();
+        let rounds = driver.run_to_convergence().unwrap();
+        assert!(rounds.is_some(), "did not converge");
+        assert!(driver.alive_converged());
+        cluster.assert_invariants();
+        assert_eq!(cluster.conflicts_declared(), 0);
+    }
+
+    #[test]
+    fn crashed_node_excluded_from_rounds_and_updates() {
+        let mut cluster = EpidbCluster::new(3, 10);
+        let mut driver = Driver::new(&mut cluster, DriverConfig::default());
+        driver.crash(NodeId(2));
+        let updates = vec![GeneratedUpdate {
+            node: NodeId(2),
+            item: epidb_common::ItemId(0),
+            op: epidb_store::UpdateOp::set(&b"x"[..]),
+        }];
+        assert_eq!(driver.apply_updates(&updates).unwrap(), 0);
+        assert!(driver.alive_converged());
+        driver.revive(NodeId(2));
+        assert!(driver.is_alive(NodeId(2)));
+    }
+
+    #[test]
+    fn partition_blocks_propagation_until_healed() {
+        let mut cluster = EpidbCluster::new(4, 10);
+        let mut driver = Driver::new(&mut cluster, DriverConfig::default());
+        driver.partition(&[0, 0, 1, 1]);
+        let updates = vec![GeneratedUpdate {
+            node: NodeId(0),
+            item: epidb_common::ItemId(0),
+            op: epidb_store::UpdateOp::set(&b"side-a"[..]),
+        }];
+        driver.apply_updates(&updates).unwrap();
+        for _ in 0..20 {
+            driver.round().unwrap();
+        }
+        // Nodes 2 and 3 cannot have the update.
+        assert_eq!(driver.protocol().value(NodeId(1), epidb_common::ItemId(0)), b"side-a");
+        assert_eq!(driver.protocol().value(NodeId(2), epidb_common::ItemId(0)), b"");
+        assert!(!driver.alive_converged());
+
+        driver.heal_partitions();
+        assert!(driver.run_to_convergence().unwrap().is_some());
+        assert_eq!(driver.protocol().value(NodeId(3), epidb_common::ItemId(0)), b"side-a");
+    }
+
+    #[test]
+    fn lossy_rounds_still_converge() {
+        let mut cluster = EpidbCluster::new(4, 20);
+        let mut wl = Workload::new(WorkloadKind::SingleWriter, 4, 20, 8, 2);
+        let updates = wl.take(40);
+        let mut driver = Driver::new(
+            &mut cluster,
+            DriverConfig { loss_probability: 0.5, max_rounds: 2000, ..DriverConfig::default() },
+        );
+        driver.apply_updates(&updates).unwrap();
+        assert!(driver.run_to_convergence().unwrap().is_some(), "loss must only delay");
+        cluster.assert_invariants();
+    }
+
+    #[test]
+    fn stale_copy_count_decreases_with_rounds() {
+        let mut cluster = EpidbCluster::new(8, 40);
+        let mut wl = Workload::new(WorkloadKind::SingleNode(NodeId(0)), 8, 40, 8, 5);
+        let updates = wl.take(40);
+        let mut driver = Driver::new(&mut cluster, DriverConfig::default());
+        driver.apply_updates(&updates).unwrap();
+        let s0 = driver.stale_copy_count();
+        assert!(s0 > 0);
+        driver.round().unwrap();
+        driver.round().unwrap();
+        driver.round().unwrap();
+        driver.round().unwrap();
+        driver.round().unwrap();
+        assert!(driver.stale_copy_count() < s0);
+    }
+}

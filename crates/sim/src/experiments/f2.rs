@@ -1,0 +1,122 @@
+//! F2 — detecting identical replicas after *indirect* propagation.
+//!
+//! Paper claim (§8.1): the protocol "always recognizes that two database
+//! replicas are identical in constant time, by simply comparing their
+//! DBVVs" — even when both replicas changed since they last talked to each
+//! other. Lotus's fast path only works if the source is unmodified since
+//! the last *direct* propagation, so after indirect propagation it pays a
+//! full O(N) scan (and ships a useless list); per-item VV anti-entropy
+//! always pays O(N·n).
+//!
+//! Setup: node 0 applies m updates; nodes 1 and 2 each pull from node 0
+//! (indirect propagation makes them identical); then node 1 pulls from
+//! node 2 and we measure the cost of discovering there is nothing to do.
+
+use epidb_common::NodeId;
+
+use crate::table::{fmt_count, Table};
+
+use super::{apply_distinct_updates, pull_protocols};
+
+/// Servers.
+pub const N_NODES: usize = 3;
+/// Items updated at the origin.
+pub const M: usize = 50;
+
+/// Database sizes swept.
+pub fn sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1_000, 10_000]
+    } else {
+        vec![1_000, 10_000, 100_000, 500_000]
+    }
+}
+
+/// Run F2.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        format!("F2: cost of syncing identical replicas after indirect propagation (m = {M}, n = {N_NODES})"),
+        "Paper §8.1: epidb detects identical replicas in O(n) via one DBVV comparison; Lotus \
+         re-scans all N items because its per-destination fast path is defeated by indirect \
+         propagation; per-item VV always compares all N IVVs.",
+    )
+    .headers(vec!["N", "protocol", "cmp work", "scans", "bytes", "copied"]);
+
+    for n_items in sizes(quick) {
+        for mut proto in pull_protocols(N_NODES, n_items) {
+            apply_distinct_updates(proto.as_mut(), NodeId(0), M, 1, 64);
+            proto.sync(NodeId(1), NodeId(0)).expect("sync");
+            proto.sync(NodeId(2), NodeId(0)).expect("sync");
+            debug_assert!(proto.converged());
+
+            // The measured exchange: node 1 <- node 2, identical replicas.
+            let before = proto.costs();
+            let report = proto.sync(NodeId(1), NodeId(2)).expect("sync");
+            let d = proto.costs() - before;
+            assert_eq!(report.items_copied, 0, "{}: copied from an identical replica", proto.name());
+            table.row(vec![
+                fmt_count(n_items as u64),
+                proto.name().to_string(),
+                fmt_count(d.comparison_work()),
+                fmt_count(d.items_scanned),
+                fmt_count(d.bytes_sent),
+                d.items_copied.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epidb_constant_lotus_linear() {
+        let measure = |n_items: usize| -> Vec<(String, u64)> {
+            pull_protocols(N_NODES, n_items)
+                .into_iter()
+                .map(|mut p| {
+                    apply_distinct_updates(p.as_mut(), NodeId(0), M, 1, 16);
+                    p.sync(NodeId(1), NodeId(0)).unwrap();
+                    p.sync(NodeId(2), NodeId(0)).unwrap();
+                    let before = p.costs();
+                    p.sync(NodeId(1), NodeId(2)).unwrap();
+                    (p.name().to_string(), (p.costs() - before).comparison_work())
+                })
+                .collect()
+        };
+        let small = measure(1_000);
+        let large = measure(16_000);
+        let get = |v: &[(String, u64)], name: &str| {
+            v.iter().find(|(n, _)| n == name).map(|(_, w)| *w).unwrap()
+        };
+        // epidb: exactly one DBVV comparison (n entries), size-independent.
+        assert_eq!(get(&small, "epidb"), N_NODES as u64);
+        assert_eq!(get(&large, "epidb"), N_NODES as u64);
+        // Lotus: the indirect-propagation trap — full scan.
+        assert!(get(&large, "lotus") >= 16_000);
+        // per-item VV: N IVV comparisons.
+        assert!(get(&large, "per-item-vv") >= 16_000);
+    }
+
+    #[test]
+    fn epidb_ships_zero_payload_between_identical_replicas() {
+        let mut protos = pull_protocols(N_NODES, 5_000);
+        let p = &mut protos[0];
+        apply_distinct_updates(p.as_mut(), NodeId(0), M, 1, 64);
+        p.sync(NodeId(1), NodeId(0)).unwrap();
+        p.sync(NodeId(2), NodeId(0)).unwrap();
+        let before = p.costs();
+        p.sync(NodeId(1), NodeId(2)).unwrap();
+        let d = p.costs() - before;
+        assert_eq!(d.bytes_sent - d.control_bytes, 0);
+        // Just the DBVV request + the constant-size reply.
+        assert_eq!(d.messages_sent, 2);
+    }
+
+    #[test]
+    fn table_renders() {
+        assert_eq!(run(true).rows.len(), sizes(true).len() * 4);
+    }
+}

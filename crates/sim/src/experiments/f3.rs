@@ -1,0 +1,131 @@
+//! F3 — epidemic convergence: rounds to converge and total overhead.
+//!
+//! Paper context (§1, §7): epidemic protocols converge in O(log n) random
+//! pairwise rounds; the paper's contribution is not faster convergence but
+//! *cheaper rounds*. This experiment shows both: all pull protocols
+//! converge in essentially the same number of rounds, while the total
+//! comparison work to reach convergence differs by orders of magnitude —
+//! and it also produces the staleness-vs-round series.
+
+use crate::driver::{Driver, DriverConfig};
+use crate::schedule::Schedule;
+use crate::table::{fmt_count, Table};
+use crate::workload::{Workload, WorkloadKind};
+
+use super::pull_protocols;
+
+/// Updates applied before propagation starts.
+pub const UPDATES: usize = 200;
+
+/// Node counts swept.
+pub fn node_counts(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![4, 8]
+    } else {
+        vec![4, 8, 16, 32]
+    }
+}
+
+/// Database size.
+pub fn n_items(quick: bool) -> usize {
+    if quick {
+        500
+    } else {
+        2_000
+    }
+}
+
+/// F3a: rounds to convergence and total work, per protocol and n.
+pub fn run_rounds(quick: bool) -> Table {
+    let n_items = n_items(quick);
+    let mut table = Table::new(
+        format!("F3a: random-pairwise convergence (N = {n_items}, {UPDATES} updates)"),
+        "All pull protocols converge in ~O(log n) rounds; the paper's protocol makes each round \
+         cheap. 'total work' is comparison work summed until convergence.",
+    )
+    .headers(vec!["n", "protocol", "rounds", "total work", "total bytes"]);
+
+    for n in node_counts(quick) {
+        for mut proto in pull_protocols(n, n_items) {
+            let mut wl = Workload::new(WorkloadKind::SingleWriter, n, n_items, 64, 11);
+            let updates = wl.take(UPDATES);
+            let mut driver = Driver::new(
+                proto.as_mut(),
+                DriverConfig { schedule: Schedule::RandomPairwise, seed: 21, max_rounds: 500, ..DriverConfig::default() },
+            );
+            driver.apply_updates(&updates).expect("updates");
+            let rounds = driver.run_to_convergence().expect("run").expect("converged");
+            let costs = proto.costs();
+            table.row(vec![
+                n.to_string(),
+                proto.name().to_string(),
+                rounds.to_string(),
+                fmt_count(costs.comparison_work()),
+                fmt_count(costs.bytes_sent),
+            ]);
+        }
+    }
+    table
+}
+
+/// F3b: stale replica copies after each round (n = 16, all protocols).
+pub fn run_staleness(quick: bool) -> Table {
+    let n = if quick { 8 } else { 16 };
+    let n_items = n_items(quick);
+    let mut table = Table::new(
+        format!("F3b: stale item copies vs round (n = {n}, N = {n_items}, {UPDATES} updates)"),
+        "The epidemic die-down: the number of obsolete item copies per round, per protocol.",
+    )
+    .headers(vec!["round", "epidb", "per-item-vv", "lotus", "wuu-bernstein"]);
+
+    let mut series: Vec<Vec<usize>> = Vec::new();
+    for mut proto in pull_protocols(n, n_items) {
+        let mut wl = Workload::new(WorkloadKind::SingleWriter, n, n_items, 64, 11);
+        let updates = wl.take(UPDATES);
+        let mut driver = Driver::new(
+            proto.as_mut(),
+            DriverConfig { schedule: Schedule::RandomPairwise, seed: 21, max_rounds: 100, ..DriverConfig::default() },
+        );
+        driver.apply_updates(&updates).expect("updates");
+        let mut stale = vec![driver.stale_copy_count()];
+        for _ in 0..(if quick { 6 } else { 10 }) {
+            driver.round().expect("round");
+            stale.push(driver.stale_copy_count());
+        }
+        series.push(stale);
+    }
+    for r in 0..series[0].len() {
+        let mut row = vec![r.to_string()];
+        row.extend(series.iter().map(|s| s[r].to_string()));
+        table.row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_protocols_converge_with_comparable_rounds_but_different_work() {
+        let t = run_rounds(true);
+        // Extract epidb vs per-item-vv at the largest n.
+        let rows: Vec<&Vec<String>> =
+            t.rows.iter().filter(|r| r[0] == "8").collect();
+        let find = |name: &str| rows.iter().find(|r| r[1] == name).unwrap();
+        let epidb_rounds: usize = find("epidb")[2].parse().unwrap();
+        let pivv_rounds: usize = find("per-item-vv")[2].parse().unwrap();
+        // Same epidemic dynamics: rounds within a small factor.
+        assert!(epidb_rounds <= pivv_rounds * 3 + 3);
+        assert!(pivv_rounds <= epidb_rounds * 3 + 3);
+    }
+
+    #[test]
+    fn staleness_is_monotonically_cleared_for_epidb() {
+        let t = run_staleness(true);
+        let first: usize = t.rows.first().unwrap()[1].parse().unwrap();
+        let last: usize = t.rows.last().unwrap()[1].parse().unwrap();
+        assert!(first > 0);
+        assert_eq!(last, 0, "epidb did not drain staleness: {t}");
+    }
+}

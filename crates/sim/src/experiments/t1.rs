@@ -1,0 +1,107 @@
+//! T1 — anti-entropy overhead vs. database size N.
+//!
+//! Paper claim (§6, §8): the protocol's propagation overhead is linear in
+//! the number of items actually copied (m), *independent of N*, while
+//! per-item anti-entropy and Lotus pay at least O(N) per round.
+//!
+//! Setup: node 0 applies updates to `m` distinct items in an N-item
+//! database (n = 4 servers); node 1 then performs one anti-entropy pull
+//! from node 0. We report the comparison work (vv entry comparisons + log
+//! records examined + item scans) and the bytes shipped, per protocol, as
+//! N sweeps with m fixed.
+
+use epidb_common::NodeId;
+
+use crate::table::{fmt_count, Table};
+
+use super::{apply_distinct_updates, pull_protocols};
+
+/// Fixed number of changed items.
+pub const M: usize = 100;
+/// Servers.
+pub const N_NODES: usize = 4;
+
+/// Database sizes swept.
+pub fn sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1_000, 10_000]
+    } else {
+        vec![1_000, 10_000, 100_000, 500_000]
+    }
+}
+
+/// Run T1.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "T1: anti-entropy overhead vs database size N (m = 100 changed items, n = 4)",
+        "Paper §6/§8: epidb's per-sync work stays O(m) while per-item VV and Lotus grow O(N); \
+         Wuu-Bernstein scales with outstanding updates.",
+    )
+    .headers(vec![
+        "N", "protocol", "cmp work", "scans", "vv cmps", "log recs", "copied", "ctl bytes",
+        "payload B",
+    ]);
+
+    for n_items in sizes(quick) {
+        for mut proto in pull_protocols(N_NODES, n_items) {
+            apply_distinct_updates(proto.as_mut(), NodeId(0), M, 1, 64);
+            let before = proto.costs();
+            let report = proto.sync(NodeId(1), NodeId(0)).expect("sync");
+            let d = proto.costs() - before;
+            assert_eq!(report.items_copied, M, "{}: wrong copy count", proto.name());
+            table.row(vec![
+                fmt_count(n_items as u64),
+                proto.name().to_string(),
+                fmt_count(d.comparison_work()),
+                fmt_count(d.items_scanned),
+                fmt_count(d.vv_entry_cmps),
+                fmt_count(d.log_records_examined),
+                d.items_copied.to_string(),
+                fmt_count(d.control_bytes),
+                fmt_count(d.bytes_sent - d.control_bytes),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The quantitative shape the experiment must reproduce: epidb's work
+    /// is flat in N; per-item VV and Lotus grow linearly.
+    #[test]
+    fn epidb_flat_baselines_linear() {
+        let work = |n_items: usize| -> Vec<(String, u64)> {
+            pull_protocols(N_NODES, n_items)
+                .into_iter()
+                .map(|mut p| {
+                    apply_distinct_updates(p.as_mut(), NodeId(0), M, 1, 16);
+                    let before = p.costs();
+                    p.sync(NodeId(1), NodeId(0)).unwrap();
+                    (p.name().to_string(), (p.costs() - before).comparison_work())
+                })
+                .collect()
+        };
+        let small = work(1_000);
+        let large = work(16_000);
+        let get = |v: &[(String, u64)], name: &str| {
+            v.iter().find(|(n, _)| n == name).map(|(_, w)| *w).unwrap()
+        };
+        // epidb: identical work at both sizes.
+        assert_eq!(get(&small, "epidb"), get(&large, "epidb"));
+        // per-item VV: ~16x work.
+        let ratio = get(&large, "per-item-vv") as f64 / get(&small, "per-item-vv") as f64;
+        assert!(ratio > 12.0, "per-item-vv ratio {ratio}");
+        // Lotus: grows with N too (full scan at the source).
+        let ratio = get(&large, "lotus") as f64 / get(&small, "lotus") as f64;
+        assert!(ratio > 8.0, "lotus ratio {ratio}");
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), sizes(true).len() * 4);
+    }
+}

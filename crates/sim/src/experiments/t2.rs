@@ -1,0 +1,117 @@
+//! T2 — propagation overhead vs. number of changed items m.
+//!
+//! Paper claim (§6): when propagation is required, it completes in time
+//! linear in m (the items to be copied), examining only a constant number
+//! of log records per copied item — even when each item was updated many
+//! times (the log vector retains only the latest record per item, §4.2).
+//!
+//! Setup: N fixed; node 0 updates m distinct items, 3 times each; node 1
+//! pulls once. epidb's work grows with m and is insensitive to the repeat
+//! count, while Wuu-Bernstein's grows with the raw update count.
+
+use epidb_common::NodeId;
+
+use crate::table::{fmt_count, Table};
+
+use super::{apply_distinct_updates, pull_protocols};
+
+/// Updates applied per changed item (stresses log compaction).
+pub const UPDATES_PER_ITEM: usize = 3;
+/// Servers.
+pub const N_NODES: usize = 4;
+
+/// Database size.
+pub fn n_items(quick: bool) -> usize {
+    if quick {
+        20_000
+    } else {
+        100_000
+    }
+}
+
+/// Changed-item counts swept.
+pub fn ms(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![10, 100, 1_000]
+    } else {
+        vec![10, 100, 1_000, 10_000]
+    }
+}
+
+/// Run T2.
+pub fn run(quick: bool) -> Table {
+    let n = n_items(quick);
+    let mut table = Table::new(
+        format!("T2: propagation overhead vs changed items m (N = {n}, 3 updates/item, n = 4)"),
+        "Paper §6: epidb's work is O(m) and insensitive to updates-per-item; Wuu-Bernstein \
+         ships every update record (3m).",
+    )
+    .headers(vec!["m", "protocol", "cmp work", "log recs", "copied", "ctl bytes", "payload B"]);
+
+    for m in ms(quick) {
+        for mut proto in pull_protocols(N_NODES, n) {
+            apply_distinct_updates(proto.as_mut(), NodeId(0), m, UPDATES_PER_ITEM, 64);
+            let before = proto.costs();
+            let report = proto.sync(NodeId(1), NodeId(0)).expect("sync");
+            let d = proto.costs() - before;
+            assert!(report.items_copied <= m * UPDATES_PER_ITEM);
+            table.row(vec![
+                fmt_count(m as u64),
+                proto.name().to_string(),
+                fmt_count(d.comparison_work()),
+                fmt_count(d.log_records_examined),
+                fmt_count(d.items_copied),
+                fmt_count(d.control_bytes),
+                fmt_count(d.bytes_sent - d.control_bytes),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epidb_work_linear_in_m_not_updates() {
+        let measure = |m: usize, per_item: usize| -> (u64, u64) {
+            let mut protos = pull_protocols(N_NODES, 20_000);
+            let p = &mut protos[0];
+            assert_eq!(p.name(), "epidb");
+            apply_distinct_updates(p.as_mut(), NodeId(0), m, per_item, 16);
+            let before = p.costs();
+            p.sync(NodeId(1), NodeId(0)).unwrap();
+            let d = p.costs() - before;
+            (d.comparison_work(), d.items_copied)
+        };
+        let (w100, c100) = measure(100, 1);
+        let (w100x5, c100x5) = measure(100, 5);
+        let (w1000, _) = measure(1_000, 1);
+        // Same m, 5x the updates: same items copied, nearly same work.
+        assert_eq!(c100, c100x5);
+        assert!(w100x5 <= w100 + 16, "compaction failed: {w100} -> {w100x5}");
+        // 10x the items: roughly 10x the work.
+        let ratio = w1000 as f64 / w100 as f64;
+        assert!((6.0..14.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn wuu_bernstein_pays_per_update() {
+        let mut protos = pull_protocols(N_NODES, 20_000);
+        let p = &mut protos[3];
+        assert_eq!(p.name(), "wuu-bernstein");
+        apply_distinct_updates(p.as_mut(), NodeId(0), 100, 5, 16);
+        let before = p.costs();
+        p.sync(NodeId(1), NodeId(0)).unwrap();
+        let d = p.costs() - before;
+        // 500 raw update records scanned, not 100.
+        assert!(d.log_records_examined >= 500);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), ms(true).len() * 4);
+    }
+}

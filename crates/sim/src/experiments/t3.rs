@@ -1,0 +1,121 @@
+//! T3 — originator failure during propagation.
+//!
+//! Paper claim (§8.2): Oracle Symmetric Replication ships updates from the
+//! originator to all peers with **no forwarding**, so if the originator
+//! fails after reaching only some peers, the rest stay obsolete until it
+//! recovers. The epidemic protocol forwards: the survivors that received
+//! the data propagate it onward, and the system converges without the
+//! originator.
+//!
+//! Setup: n = 8 servers, node 0 applies updates to `M` items and begins
+//! propagation; it reaches exactly `REACHED` peers, then crashes. We then
+//! run propagation rounds among the survivors and report the number of
+//! stale item copies after each round.
+
+use epidb_baselines::{OracleCluster, SyncProtocol};
+use epidb_common::{ItemId, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cluster::EpidbCluster;
+use crate::driver::{Driver, DriverConfig};
+use crate::schedule::Schedule;
+use crate::table::Table;
+
+use super::apply_distinct_updates;
+
+/// Servers.
+pub const N_NODES: usize = 8;
+/// Items updated by the originator.
+pub const M: usize = 50;
+/// Peers the originator reaches before crashing.
+pub const REACHED: usize = 3;
+
+/// Count alive nodes still missing the originator's data.
+fn stale_nodes(proto: &dyn SyncProtocol, alive: &[bool]) -> usize {
+    let reference = proto.value(NodeId(1), ItemId(0)); // node 1 was reached
+    assert!(!reference.is_empty());
+    NodeId::all(proto.n_nodes())
+        .filter(|node| alive[node.index()] && proto.value(*node, ItemId(0)) != reference)
+        .count()
+}
+
+/// Run T3.
+pub fn run(quick: bool) -> Table {
+    let rounds = if quick { 6 } else { 12 };
+    let n_items = if quick { 500 } else { 2_000 };
+    let mut table = Table::new(
+        format!(
+            "T3: originator fails after reaching {REACHED} of {} peers (n = {N_NODES}, m = {M})",
+            N_NODES - 1
+        ),
+        "Paper §8.2: with no forwarding (Oracle) the unreached nodes stay obsolete until the \
+         originator recovers; the epidemic protocol forwards and converges among survivors.",
+    )
+    .headers(vec!["round", "oracle stale nodes", "epidb stale nodes"]);
+
+    // --- Oracle: originator pushes to REACHED peers, then crashes. ---
+    let mut oracle = OracleCluster::new(N_NODES, n_items);
+    apply_distinct_updates(&mut oracle, NodeId(0), M, 1, 64);
+    for d in 1..=REACHED {
+        oracle.push_to(NodeId(0), NodeId::from_index(d)).expect("push");
+    }
+    let mut alive = vec![true; N_NODES];
+    alive[0] = false; // crash
+
+    // --- epidb: the same REACHED peers pull from node 0, then it crashes.
+    let mut epidb = EpidbCluster::new(N_NODES, n_items);
+    apply_distinct_updates(&mut epidb, NodeId(0), M, 1, 64);
+    for d in 1..=REACHED {
+        epidb.pull_pair(NodeId::from_index(d), NodeId(0)).expect("pull");
+    }
+    let mut driver = Driver::new(
+        &mut epidb,
+        DriverConfig { schedule: Schedule::RandomPairwise, seed: 42, max_rounds: 1000, ..DriverConfig::default() },
+    );
+    driver.crash(NodeId(0));
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut rows: Vec<(usize, usize, usize)> = Vec::new();
+    rows.push((0, stale_nodes(&oracle, &alive), {
+        let p: &EpidbCluster = driver.protocol();
+        stale_nodes(p, &alive)
+    }));
+    for round in 1..=rounds {
+        // Oracle survivors push whatever they originated (nothing relevant)
+        // — no forwarding is possible.
+        for origin in 1..N_NODES {
+            let _ = oracle.push(NodeId::from_index(origin), &alive);
+        }
+        let _ = &mut rng;
+        // Epidemic survivors keep anti-entropy going.
+        driver.round().expect("round");
+        let epidb_stale = stale_nodes(driver.protocol(), &alive);
+        rows.push((round, stale_nodes(&oracle, &alive), epidb_stale));
+    }
+
+    for (round, o, e) in rows {
+        table.row(vec![round.to_string(), o.to_string(), e.to_string()]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_stays_stale_epidb_converges() {
+        let t = run(true);
+        let last = t.rows.last().unwrap();
+        let oracle_stale: usize = last[1].parse().unwrap();
+        let epidb_stale: usize = last[2].parse().unwrap();
+        // Oracle: the 4 unreached survivors remain stale forever.
+        assert_eq!(oracle_stale, N_NODES - 1 - REACHED);
+        // Epidemic forwarding: everyone alive caught up.
+        assert_eq!(epidb_stale, 0);
+        // And both started equally stale.
+        let first = &t.rows[0];
+        assert_eq!(first[1], first[2]);
+    }
+}

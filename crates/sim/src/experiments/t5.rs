@@ -1,0 +1,128 @@
+//! T5 — log size: the n·N bound vs. per-update logs.
+//!
+//! Paper claim (§4.2): because each log component retains only the latest
+//! record per data item, the whole log vector holds at most n·N records —
+//! *regardless of how many updates occurred*. Log-based gossip
+//! (Wuu–Bernstein) retains one record per update until every node is known
+//! to have received it, so its log grows with update volume whenever any
+//! node lags.
+//!
+//! Setup: n = 4 servers, N items; node 0 applies U hotspot-distributed
+//! updates while node 3 stays unreachable (no sync touches it), then node 1
+//! syncs from node 0 once. We report the records retained at nodes 0 and 1
+//! for both protocols, against the paper's bound.
+
+use epidb_baselines::{SyncProtocol, WuuBernsteinCluster};
+use epidb_common::{ItemId, NodeId};
+use epidb_store::UpdateOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cluster::EpidbCluster;
+use crate::table::{fmt_count, Table};
+
+/// Servers.
+pub const N_NODES: usize = 4;
+
+/// Database size.
+pub fn n_items(quick: bool) -> usize {
+    if quick {
+        1_000
+    } else {
+        5_000
+    }
+}
+
+/// Update volumes swept.
+pub fn volumes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1_000, 10_000]
+    } else {
+        vec![1_000, 10_000, 100_000, 1_000_000]
+    }
+}
+
+/// Hotspot item choice: 80% of updates to 5% of items.
+fn pick_item(rng: &mut StdRng, n: usize) -> ItemId {
+    let hot = (n / 20).max(1);
+    if rng.gen_bool(0.8) {
+        ItemId::from_index(rng.gen_range(0..hot))
+    } else {
+        ItemId::from_index(rng.gen_range(0..n))
+    }
+}
+
+/// Run T5.
+pub fn run(quick: bool) -> Table {
+    let n = n_items(quick);
+    let mut table = Table::new(
+        format!("T5: retained log records vs update volume U (N = {n}, n = {N_NODES}, one node lagging)"),
+        "Paper §4.2: the log vector is bounded by n*N records no matter how many updates occur; \
+         an uncompacted per-update log grows with U while any node lags.",
+    )
+    .headers(vec![
+        "U",
+        "epidb recs @origin",
+        "epidb recs @peer",
+        "epidb bound (n*N)",
+        "wuu-b recs @origin",
+        "wuu-b recs @peer",
+    ]);
+
+    for u in volumes(quick) {
+        let mut epidb = EpidbCluster::new(N_NODES, n);
+        let mut wb = WuuBernsteinCluster::new(N_NODES, n);
+        let mut rng = StdRng::seed_from_u64(13);
+        for k in 0..u {
+            let x = pick_item(&mut rng, n);
+            let op = UpdateOp::set((k as u64).to_le_bytes().to_vec());
+            epidb.update(NodeId(0), x, op.clone()).expect("update");
+            wb.update(NodeId(0), x, op).expect("update");
+        }
+        epidb.sync(NodeId(1), NodeId(0)).expect("sync");
+        wb.sync(NodeId(1), NodeId(0)).expect("sync");
+
+        table.row(vec![
+            fmt_count(u as u64),
+            fmt_count(epidb.replica(NodeId(0)).log().total_len() as u64),
+            fmt_count(epidb.replica(NodeId(1)).log().total_len() as u64),
+            fmt_count((N_NODES * n) as u64),
+            fmt_count(wb.log_len(NodeId(0)) as u64),
+            fmt_count(wb.log_len(NodeId(1)) as u64),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epidb_log_bounded_wuu_grows() {
+        let n = 500;
+        let mut epidb = EpidbCluster::new(N_NODES, n);
+        let mut wb = WuuBernsteinCluster::new(N_NODES, n);
+        let mut rng = StdRng::seed_from_u64(13);
+        let u = 20_000;
+        for k in 0..u {
+            let x = pick_item(&mut rng, n);
+            let op = UpdateOp::set((k as u64).to_le_bytes().to_vec());
+            epidb.update(NodeId(0), x, op.clone()).unwrap();
+            wb.update(NodeId(0), x, op).unwrap();
+        }
+        // epidb: at most one record per item at the origin.
+        assert!(epidb.replica(NodeId(0)).log().total_len() <= n);
+        // Wuu-Bernstein: every update retained while peers lag.
+        assert_eq!(wb.log_len(NodeId(0)), u);
+        // After one sync the recipient is bounded too.
+        epidb.sync(NodeId(1), NodeId(0)).unwrap();
+        assert!(epidb.replica(NodeId(1)).log().total_len() <= N_NODES * n);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), volumes(true).len());
+    }
+}

@@ -1,0 +1,105 @@
+//! T6 — bytes on the wire per propagation.
+//!
+//! Paper claim (§6): the propagation message contains the data items being
+//! copied "plus a constant amount of information per data item" (the item's
+//! IVV and one retained log record per origin). The baselines ship more
+//! control state: per-item VV anti-entropy ships every item's IVV; Lotus
+//! ships the full modified-since list; Wuu–Bernstein ships one record per
+//! raw update plus the n² matrix.
+//!
+//! Setup: same as T1's single measurement point (N fixed, m changed items,
+//! one pull), reporting the byte breakdown.
+
+use epidb_common::NodeId;
+
+use crate::table::{fmt_count, Table};
+
+use super::{apply_distinct_updates, pull_protocols};
+
+/// Servers.
+pub const N_NODES: usize = 4;
+/// Changed items.
+pub const M: usize = 100;
+/// Updates per changed item (shows compaction in bytes too).
+pub const UPDATES_PER_ITEM: usize = 3;
+/// Payload size per item value.
+pub const VALUE_SIZE: usize = 256;
+
+/// Database size.
+pub fn n_items(quick: bool) -> usize {
+    if quick {
+        20_000
+    } else {
+        100_000
+    }
+}
+
+/// Run T6.
+pub fn run(quick: bool) -> Table {
+    let n = n_items(quick);
+    let mut table = Table::new(
+        format!(
+            "T6: wire bytes for one propagation (N = {n}, m = {M} items x {UPDATES_PER_ITEM} updates, {VALUE_SIZE}B values, n = {N_NODES})"
+        ),
+        "Paper §6: epidb ships the copied values plus constant control info per item; baselines \
+         ship O(N) or O(updates) control state.",
+    )
+    .headers(vec!["protocol", "messages", "control B", "payload B", "total B", "ctl/item B"]);
+
+    for mut proto in pull_protocols(N_NODES, n) {
+        apply_distinct_updates(proto.as_mut(), NodeId(0), M, UPDATES_PER_ITEM, VALUE_SIZE);
+        let before = proto.costs();
+        proto.sync(NodeId(1), NodeId(0)).expect("sync");
+        let d = proto.costs() - before;
+        table.row(vec![
+            proto.name().to_string(),
+            d.messages_sent.to_string(),
+            fmt_count(d.control_bytes),
+            fmt_count(d.bytes_sent - d.control_bytes),
+            fmt_count(d.bytes_sent),
+            format!("{:.1}", d.control_bytes as f64 / M as f64),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epidb_control_bytes_are_constant_per_item() {
+        // Measure at two database sizes: epidb's control bytes depend on m
+        // and n only.
+        let measure = |n_items: usize| -> u64 {
+            let mut protos = pull_protocols(N_NODES, n_items);
+            let p = &mut protos[0];
+            apply_distinct_updates(p.as_mut(), NodeId(0), M, 1, 64);
+            let before = p.costs();
+            p.sync(NodeId(1), NodeId(0)).unwrap();
+            (p.costs() - before).control_bytes
+        };
+        assert_eq!(measure(2_000), measure(50_000));
+    }
+
+    #[test]
+    fn per_item_vv_control_scales_with_n() {
+        let measure = |n_items: usize| -> u64 {
+            let mut protos = pull_protocols(N_NODES, n_items);
+            let p = &mut protos[1];
+            assert_eq!(p.name(), "per-item-vv");
+            apply_distinct_updates(p.as_mut(), NodeId(0), M, 1, 64);
+            let before = p.costs();
+            p.sync(NodeId(1), NodeId(0)).unwrap();
+            (p.costs() - before).control_bytes
+        };
+        let small = measure(2_000);
+        let large = measure(20_000);
+        assert!(large > small * 8, "control bytes did not scale: {small} -> {large}");
+    }
+
+    #[test]
+    fn table_renders() {
+        assert_eq!(run(true).rows.len(), 4);
+    }
+}

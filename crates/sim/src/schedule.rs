@@ -1,0 +1,150 @@
+//! Anti-entropy schedulers: which pairs exchange updates each round.
+//!
+//! The paper's correctness theorem (§7) requires only that every node
+//! eventually performs update propagation *transitively* from every other
+//! node; the schedules below all satisfy that (over enough rounds, for the
+//! random one with probability 1) while stressing different topologies.
+
+use epidb_common::NodeId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A propagation schedule.
+#[derive(Clone, Copy, Debug)]
+pub enum Schedule {
+    /// Every node pulls from one uniformly random other node each round —
+    /// the classic epidemic schedule.
+    RandomPairwise,
+    /// Node `i` pulls from node `i − 1 (mod n)` each round.
+    Ring,
+    /// Spokes pull from the hub, then the hub pulls from one random spoke.
+    Star {
+        /// The hub node.
+        hub: NodeId,
+    },
+}
+
+impl Schedule {
+    /// The `(recipient, source)` pulls of one round, in execution order.
+    /// Nodes marked dead in `alive` neither pull nor serve.
+    pub fn round(&self, n: usize, alive: &[bool], rng: &mut StdRng) -> Vec<(NodeId, NodeId)> {
+        assert_eq!(alive.len(), n);
+        let alive_nodes: Vec<NodeId> =
+            NodeId::all(n).filter(|node| alive[node.index()]).collect();
+        if alive_nodes.len() < 2 {
+            return Vec::new();
+        }
+        match *self {
+            Schedule::RandomPairwise => {
+                let mut pairs = Vec::with_capacity(alive_nodes.len());
+                for &r in &alive_nodes {
+                    loop {
+                        let s = alive_nodes[rng.gen_range(0..alive_nodes.len())];
+                        if s != r {
+                            pairs.push((r, s));
+                            break;
+                        }
+                    }
+                }
+                pairs
+            }
+            Schedule::Ring => {
+                // Ring over the alive nodes, in id order.
+                let k = alive_nodes.len();
+                (0..k).map(|i| (alive_nodes[i], alive_nodes[(i + k - 1) % k])).collect()
+            }
+            Schedule::Star { hub } => {
+                if !alive[hub.index()] {
+                    // Hub down: fall back to a ring so the schedule stays
+                    // transitive.
+                    return Schedule::Ring.round(n, alive, rng);
+                }
+                let mut pairs: Vec<(NodeId, NodeId)> = alive_nodes
+                    .iter()
+                    .filter(|&&s| s != hub)
+                    .map(|&s| (s, hub))
+                    .collect();
+                let spokes: Vec<NodeId> =
+                    alive_nodes.iter().copied().filter(|&s| s != hub).collect();
+                if !spokes.is_empty() {
+                    pairs.push((hub, spokes[rng.gen_range(0..spokes.len())]));
+                }
+                pairs
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn random_pairwise_every_alive_node_pulls_once() {
+        let alive = vec![true; 6];
+        let pairs = Schedule::RandomPairwise.round(6, &alive, &mut rng());
+        assert_eq!(pairs.len(), 6);
+        for (r, s) in &pairs {
+            assert_ne!(r, s);
+        }
+        let mut recipients: Vec<u16> = pairs.iter().map(|(r, _)| r.0).collect();
+        recipients.sort_unstable();
+        assert_eq!(recipients, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn dead_nodes_are_excluded() {
+        let mut alive = vec![true; 4];
+        alive[2] = false;
+        for sched in [Schedule::RandomPairwise, Schedule::Ring, Schedule::Star { hub: NodeId(0) }] {
+            for (r, s) in sched.round(4, &alive, &mut rng()) {
+                assert_ne!(r, NodeId(2));
+                assert_ne!(s, NodeId(2));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_is_a_cycle() {
+        let alive = vec![true; 4];
+        let pairs = Schedule::Ring.round(4, &alive, &mut rng());
+        assert_eq!(
+            pairs,
+            vec![
+                (NodeId(0), NodeId(3)),
+                (NodeId(1), NodeId(0)),
+                (NodeId(2), NodeId(1)),
+                (NodeId(3), NodeId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn star_spokes_pull_hub() {
+        let alive = vec![true; 4];
+        let pairs = Schedule::Star { hub: NodeId(1) }.round(4, &alive, &mut rng());
+        // 3 spoke pulls + 1 hub pull.
+        assert_eq!(pairs.len(), 4);
+        assert!(pairs[..3].iter().all(|&(_, s)| s == NodeId(1)));
+        assert_eq!(pairs[3].0, NodeId(1));
+    }
+
+    #[test]
+    fn star_with_dead_hub_degrades_to_ring() {
+        let mut alive = vec![true; 4];
+        alive[0] = false;
+        let pairs = Schedule::Star { hub: NodeId(0) }.round(4, &alive, &mut rng());
+        assert_eq!(pairs.len(), 3); // ring over 3 alive nodes
+    }
+
+    #[test]
+    fn single_alive_node_yields_no_pairs() {
+        let alive = vec![true, false, false];
+        assert!(Schedule::RandomPairwise.round(3, &alive, &mut rng()).is_empty());
+    }
+}

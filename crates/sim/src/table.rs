@@ -1,0 +1,124 @@
+//! Plain-text result tables for the experiment harness. The `experiments`
+//! binary prints these; EXPERIMENTS.md records them.
+
+use std::fmt;
+
+/// A rendered experiment result: a title, a caption tying it to the paper's
+//  claim, column headers, and string rows.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id and name, e.g. "T1: anti-entropy overhead vs N".
+    pub title: String,
+    /// Which claim of the paper this regenerates.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (same arity as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, caption: impl Into<String>) -> Table {
+        Table { title: title.into(), caption: caption.into(), headers: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Set the headers.
+    pub fn headers<S: Into<String>>(mut self, headers: Vec<S>) -> Table {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append a row.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        if !self.caption.is_empty() {
+            writeln!(f, "   {}", self.caption)?;
+        }
+        let w = self.widths();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "  ")?;
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{cell:>width$}", width = w[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "  ")?;
+        for (i, width) in w.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-+-")?;
+            }
+            write!(f, "{}", "-".repeat(*width))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Human-friendly large-number formatting (`12_345` → `12.3k`).
+pub fn fmt_count(v: u64) -> String {
+    if v >= 10_000_000 {
+        format!("{:.1}M", v as f64 / 1_000_000.0)
+    } else if v >= 10_000 {
+        format!("{:.1}k", v as f64 / 1_000.0)
+    } else {
+        v.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T0: demo", "demo caption").headers(vec!["N", "work"]);
+        t.row(vec!["1000", "42"]);
+        t.row(vec!["10", "123456"]);
+        let s = t.to_string();
+        assert!(s.contains("T0: demo"));
+        assert!(s.contains("demo caption"));
+        assert!(s.lines().count() >= 5);
+        // Cells right-aligned to the widest entry.
+        assert!(s.contains("  1000 |     42"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("x", "").headers(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn fmt_count_scales() {
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(12_345), "12.3k");
+        assert_eq!(fmt_count(12_345_678), "12.3M");
+    }
+}

@@ -1,0 +1,176 @@
+//! Workload generators.
+//!
+//! The paper's target regime (§2): "the fraction of data items updated on a
+//! database replica between consecutive update propagations is in general
+//! small", and "relatively few data items are copied out-of-bound". The
+//! generators below parameterize exactly those knobs — and let experiments
+//! leave the regime to see where the assumptions matter.
+
+use epidb_common::{ItemId, NodeId};
+use epidb_store::UpdateOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How updates choose their (node, item) pair.
+#[derive(Clone, Copy, Debug)]
+pub enum WorkloadKind {
+    /// Any node updates any item — conflict-prone (optimistic replication
+    /// with no tokens).
+    Uniform,
+    /// Item `x` is only ever updated at node `x mod n` — conflict-free, as
+    /// if per-item tokens were statically partitioned (§2's pessimistic
+    /// option).
+    SingleWriter,
+    /// All updates originate at one designated node (the dial-up /
+    /// publisher scenario of the introduction).
+    SingleNode(NodeId),
+    /// 80/20 hotspot over a single-writer partition: `hot_fraction` of the
+    /// items receive `hot_probability` of the updates.
+    Hotspot {
+        /// Fraction of the item universe that is hot (e.g. 0.05).
+        hot_fraction: f64,
+        /// Probability an update lands in the hot set (e.g. 0.8).
+        hot_probability: f64,
+    },
+}
+
+/// A seeded update-stream generator.
+pub struct Workload {
+    kind: WorkloadKind,
+    n_nodes: usize,
+    n_items: usize,
+    value_size: usize,
+    rng: StdRng,
+    counter: u64,
+}
+
+/// One generated update.
+#[derive(Clone, Debug)]
+pub struct GeneratedUpdate {
+    /// Node the user operation arrives at.
+    pub node: NodeId,
+    /// Item updated.
+    pub item: ItemId,
+    /// The operation (a full overwrite carrying a unique payload, so value
+    /// equality across replicas implies update equality).
+    pub op: UpdateOp,
+}
+
+impl Workload {
+    /// Create a generator.
+    pub fn new(
+        kind: WorkloadKind,
+        n_nodes: usize,
+        n_items: usize,
+        value_size: usize,
+        seed: u64,
+    ) -> Workload {
+        assert!(n_nodes > 0 && n_items > 0);
+        Workload { kind, n_nodes, n_items, value_size, rng: StdRng::seed_from_u64(seed), counter: 0 }
+    }
+
+    /// Generate the next update.
+    pub fn next_update(&mut self) -> GeneratedUpdate {
+        self.counter += 1;
+        let item = self.pick_item();
+        let node = self.pick_node(item);
+        GeneratedUpdate { node, item, op: self.op_for(item) }
+    }
+
+    /// Generate `count` updates.
+    pub fn take(&mut self, count: usize) -> Vec<GeneratedUpdate> {
+        (0..count).map(|_| self.next_update()).collect()
+    }
+
+    fn pick_item(&mut self) -> ItemId {
+        match self.kind {
+            WorkloadKind::Hotspot { hot_fraction, hot_probability } => {
+                let hot_items = ((self.n_items as f64 * hot_fraction).ceil() as usize).max(1);
+                if self.rng.gen_bool(hot_probability) {
+                    ItemId::from_index(self.rng.gen_range(0..hot_items))
+                } else if hot_items < self.n_items {
+                    ItemId::from_index(self.rng.gen_range(hot_items..self.n_items))
+                } else {
+                    ItemId::from_index(self.rng.gen_range(0..self.n_items))
+                }
+            }
+            _ => ItemId::from_index(self.rng.gen_range(0..self.n_items)),
+        }
+    }
+
+    fn pick_node(&mut self, item: ItemId) -> NodeId {
+        match self.kind {
+            WorkloadKind::Uniform => NodeId::from_index(self.rng.gen_range(0..self.n_nodes)),
+            WorkloadKind::SingleWriter | WorkloadKind::Hotspot { .. } => {
+                NodeId::from_index(item.index() % self.n_nodes)
+            }
+            WorkloadKind::SingleNode(n) => n,
+        }
+    }
+
+    /// A full-overwrite op with a unique, fixed-size payload: the update
+    /// counter followed by zero padding to `value_size`.
+    fn op_for(&mut self, item: ItemId) -> UpdateOp {
+        let mut payload = Vec::with_capacity(self.value_size.max(12));
+        payload.extend_from_slice(&self.counter.to_le_bytes());
+        payload.extend_from_slice(&item.0.to_le_bytes());
+        if payload.len() < self.value_size {
+            payload.resize(self.value_size, 0);
+        }
+        UpdateOp::set(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_writer_partitions_items() {
+        let mut w = Workload::new(WorkloadKind::SingleWriter, 4, 100, 16, 1);
+        for u in w.take(200) {
+            assert_eq!(u.node.index(), u.item.index() % 4);
+        }
+    }
+
+    #[test]
+    fn single_node_pins_origin() {
+        let mut w = Workload::new(WorkloadKind::SingleNode(NodeId(2)), 4, 10, 16, 1);
+        assert!(w.take(50).iter().all(|u| u.node == NodeId(2)));
+    }
+
+    #[test]
+    fn hotspot_skews_items() {
+        let mut w = Workload::new(
+            WorkloadKind::Hotspot { hot_fraction: 0.1, hot_probability: 0.9 },
+            2,
+            1000,
+            16,
+            42,
+        );
+        let updates = w.take(2000);
+        let hot = updates.iter().filter(|u| u.item.index() < 100).count();
+        assert!(hot > 1500, "hot fraction too low: {hot}/2000");
+    }
+
+    #[test]
+    fn payloads_are_unique_and_sized() {
+        let mut w = Workload::new(WorkloadKind::Uniform, 2, 10, 32, 7);
+        let a = w.next_update();
+        let b = w.next_update();
+        assert_eq!(a.op.payload_len(), 32);
+        assert_ne!(a.op, b.op);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let mut w1 = Workload::new(WorkloadKind::Uniform, 3, 50, 8, 9);
+        let mut w2 = Workload::new(WorkloadKind::Uniform, 3, 50, 8, 9);
+        for _ in 0..20 {
+            let (a, b) = (w1.next_update(), w2.next_update());
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.item, b.item);
+            assert_eq!(a.op, b.op);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Re-doable update operations (§4.4).
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::value::ItemValue;
+
+/// An update operation applied to a single data item.
+///
+/// Operations carry the data needed to re-execute them, because the
+/// auxiliary log replays them onto the regular copy during intra-node
+/// propagation (§5.1 step 3). The paper's example is a byte-range write;
+/// `Set` (full overwrite) and `Append` round out a realistic document-store
+/// update vocabulary (Lotus Notes-style documents).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum UpdateOp {
+    /// Replace the whole value.
+    Set(Bytes),
+    /// Overwrite `data.len()` bytes starting at `offset`, extending the
+    /// value with zero-fill if it is shorter than `offset`.
+    WriteRange {
+        /// Byte offset the write starts at.
+        offset: usize,
+        /// The bytes written.
+        data: Bytes,
+    },
+    /// Append bytes at the end of the value.
+    Append(Bytes),
+}
+
+impl UpdateOp {
+    /// Apply the operation to a value in place.
+    pub fn apply(&self, value: &mut ItemValue) {
+        match self {
+            UpdateOp::Set(data) => value.set(data.clone()),
+            UpdateOp::WriteRange { offset, data } => value.write_range(*offset, data),
+            UpdateOp::Append(data) => value.append(data),
+        }
+    }
+
+    /// Payload bytes this operation carries (for wire accounting when
+    /// operations are shipped, as the Oracle baseline and the auxiliary
+    /// machinery do).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            UpdateOp::Set(d) | UpdateOp::Append(d) => d.len(),
+            UpdateOp::WriteRange { data, .. } => data.len(),
+        }
+    }
+
+    /// Convenience constructor: full overwrite from a slice.
+    pub fn set(data: impl Into<Bytes>) -> UpdateOp {
+        UpdateOp::Set(data.into())
+    }
+
+    /// Convenience constructor: byte-range write.
+    pub fn write_range(offset: usize, data: impl Into<Bytes>) -> UpdateOp {
+        UpdateOp::WriteRange { offset, data: data.into() }
+    }
+
+    /// Convenience constructor: append.
+    pub fn append(data: impl Into<Bytes>) -> UpdateOp {
+        UpdateOp::Append(data.into())
+    }
+}
+
+impl fmt::Display for UpdateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateOp::Set(d) => write!(f, "set[{}B]", d.len()),
+            UpdateOp::WriteRange { offset, data } => {
+                write!(f, "write[{}..+{}B]", offset, data.len())
+            }
+            UpdateOp::Append(d) => write!(f, "append[{}B]", d.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_replaces_value() {
+        let mut v = ItemValue::from_slice(b"old");
+        UpdateOp::set(&b"new value"[..]).apply(&mut v);
+        assert_eq!(v.as_bytes(), b"new value");
+    }
+
+    #[test]
+    fn write_range_overwrites_middle() {
+        let mut v = ItemValue::from_slice(b"hello world");
+        UpdateOp::write_range(6, &b"earth"[..]).apply(&mut v);
+        assert_eq!(v.as_bytes(), b"hello earth");
+    }
+
+    #[test]
+    fn write_range_extends_with_zero_fill() {
+        let mut v = ItemValue::from_slice(b"ab");
+        UpdateOp::write_range(4, &b"cd"[..]).apply(&mut v);
+        assert_eq!(v.as_bytes(), b"ab\0\0cd");
+    }
+
+    #[test]
+    fn append_extends() {
+        let mut v = ItemValue::from_slice(b"log:");
+        UpdateOp::append(&b" entry"[..]).apply(&mut v);
+        assert_eq!(v.as_bytes(), b"log: entry");
+    }
+
+    #[test]
+    fn payload_len_counts_data() {
+        assert_eq!(UpdateOp::set(&b"abc"[..]).payload_len(), 3);
+        assert_eq!(UpdateOp::write_range(9, &b"ab"[..]).payload_len(), 2);
+        assert_eq!(UpdateOp::append(&b""[..]).payload_len(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(UpdateOp::set(&b"abc"[..]).to_string(), "set[3B]");
+        assert_eq!(UpdateOp::write_range(5, &b"xy"[..]).to_string(), "write[5..+2B]");
+        assert_eq!(UpdateOp::append(&b"x"[..]).to_string(), "append[1B]");
+    }
+}

@@ -1,0 +1,132 @@
+//! Data item values.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+/// The value of a data item: an owned, growable byte buffer.
+///
+/// Whole-item copying (the paper's presentation context, §2) clones this
+/// buffer; byte-range updates mutate it in place.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct ItemValue {
+    bytes: Vec<u8>,
+}
+
+impl ItemValue {
+    /// An empty value (all items start empty at initialization).
+    pub fn new() -> ItemValue {
+        ItemValue::default()
+    }
+
+    /// Build from a byte slice.
+    pub fn from_slice(data: &[u8]) -> ItemValue {
+        ItemValue { bytes: data.to_vec() }
+    }
+
+    /// Current length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the value is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Read access to the raw bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Replace the whole value.
+    pub fn set(&mut self, data: Bytes) {
+        self.bytes.clear();
+        self.bytes.extend_from_slice(&data);
+    }
+
+    /// Overwrite bytes at `offset`, zero-filling any gap.
+    pub fn write_range(&mut self, offset: usize, data: &[u8]) {
+        let end = offset + data.len();
+        if self.bytes.len() < end {
+            self.bytes.resize(end, 0);
+        }
+        self.bytes[offset..end].copy_from_slice(data);
+    }
+
+    /// Append bytes at the end.
+    pub fn append(&mut self, data: &[u8]) {
+        self.bytes.extend_from_slice(data);
+    }
+
+    /// Copy the value into a freshly shared buffer (what goes on the wire
+    /// when a whole item is shipped).
+    pub fn to_bytes(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.bytes)
+    }
+}
+
+impl fmt::Display for ItemValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match std::str::from_utf8(&self.bytes) {
+            Ok(s) if s.len() <= 64 => write!(f, "{s:?}"),
+            _ => write!(f, "[{} bytes]", self.bytes.len()),
+        }
+    }
+}
+
+impl From<&[u8]> for ItemValue {
+    fn from(data: &[u8]) -> Self {
+        ItemValue::from_slice(data)
+    }
+}
+
+impl From<Vec<u8>> for ItemValue {
+    fn from(bytes: Vec<u8>) -> Self {
+        ItemValue { bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let v = ItemValue::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut v = ItemValue::from_slice(b"aaaa");
+        v.set(Bytes::from_static(b"bb"));
+        assert_eq!(v.as_bytes(), b"bb");
+    }
+
+    #[test]
+    fn write_range_in_bounds_and_extending() {
+        let mut v = ItemValue::from_slice(b"0123456789");
+        v.write_range(2, b"AB");
+        assert_eq!(v.as_bytes(), b"01AB456789");
+        v.write_range(12, b"Z");
+        assert_eq!(v.as_bytes(), b"01AB456789\0\0Z");
+    }
+
+    #[test]
+    fn to_bytes_round_trips() {
+        let v = ItemValue::from_slice(b"payload");
+        assert_eq!(&v.to_bytes()[..], b"payload");
+    }
+
+    #[test]
+    fn display_short_utf8_and_binary() {
+        assert_eq!(ItemValue::from_slice(b"hi").to_string(), "\"hi\"");
+        let big = ItemValue::from(vec![0u8; 100]);
+        assert_eq!(big.to_string(), "[100 bytes]");
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for update-operation semantics — the substrate the
+//! auxiliary log's replay correctness rests on: applying the same operation
+//! sequence to equal values yields equal values (determinism), and
+//! whole-value copying commutes with replay.
+
+use bytes::Bytes;
+use epidb_store::{ItemValue, UpdateOp};
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = UpdateOp> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..32).prop_map(|d| UpdateOp::Set(Bytes::from(d))),
+        (0usize..64, prop::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(offset, d)| UpdateOp::WriteRange { offset, data: Bytes::from(d) }),
+        prop::collection::vec(any::<u8>(), 0..32).prop_map(|d| UpdateOp::Append(Bytes::from(d))),
+    ]
+}
+
+proptest! {
+    /// Determinism: the same op sequence on equal starting values produces
+    /// equal results.
+    #[test]
+    fn application_is_deterministic(
+        start in prop::collection::vec(any::<u8>(), 0..64),
+        ops in prop::collection::vec(arb_op(), 0..20),
+    ) {
+        let mut a = ItemValue::from_slice(&start);
+        let mut b = ItemValue::from_slice(&start);
+        for op in &ops {
+            op.apply(&mut a);
+            op.apply(&mut b);
+        }
+        prop_assert_eq!(a, b);
+    }
+
+    /// Copy-then-replay equals replay-then-copy: adopting a whole value and
+    /// then applying pending ops gives the same result as applying the ops
+    /// at the source and copying — the fact that makes whole-item shipping
+    /// and delta shipping interchangeable.
+    #[test]
+    fn copy_commutes_with_replay(
+        base in prop::collection::vec(any::<u8>(), 0..64),
+        ops in prop::collection::vec(arb_op(), 0..12),
+    ) {
+        // Path 1: apply at the source, then copy.
+        let mut source = ItemValue::from_slice(&base);
+        for op in &ops {
+            op.apply(&mut source);
+        }
+        let copied_after = ItemValue::from_slice(source.as_bytes());
+
+        // Path 2: copy the base, then replay.
+        let mut replayed = ItemValue::from_slice(&base);
+        for op in &ops {
+            op.apply(&mut replayed);
+        }
+        prop_assert_eq!(copied_after, replayed);
+    }
+
+    /// Set is absorbing: anything before the last Set is irrelevant.
+    #[test]
+    fn set_absorbs_history(
+        prefix in prop::collection::vec(arb_op(), 0..8),
+        data in prop::collection::vec(any::<u8>(), 0..32),
+        suffix in prop::collection::vec(arb_op(), 0..8),
+    ) {
+        let run = |with_prefix: bool| {
+            let mut v = ItemValue::new();
+            if with_prefix {
+                for op in &prefix {
+                    op.apply(&mut v);
+                }
+            }
+            UpdateOp::Set(Bytes::from(data.clone())).apply(&mut v);
+            for op in &suffix {
+                op.apply(&mut v);
+            }
+            v
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    /// WriteRange leaves bytes outside the range intact and installs the
+    /// data inside it.
+    #[test]
+    fn write_range_is_surgical(
+        base in prop::collection::vec(any::<u8>(), 1..64),
+        offset in 0usize..80,
+        data in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut v = ItemValue::from_slice(&base);
+        UpdateOp::WriteRange { offset, data: Bytes::from(data.clone()) }.apply(&mut v);
+        let out = v.as_bytes();
+        // Written region.
+        prop_assert_eq!(&out[offset..offset + data.len()], &data[..]);
+        // Prefix intact (up to the original length).
+        let keep = offset.min(base.len());
+        prop_assert_eq!(&out[..keep], &base[..keep]);
+        // Suffix intact where the original extended beyond the write.
+        if base.len() > offset + data.len() {
+            prop_assert_eq!(&out[offset + data.len()..base.len()], &base[offset + data.len()..]);
+        }
+        // Gap (if any) zero-filled.
+        for &b in &out[keep..offset.min(out.len())] {
+            prop_assert_eq!(b, 0);
+        }
+    }
+
+    /// Append preserves the old value as a strict prefix — the property the
+    /// correctness auditor's history encoding relies on.
+    #[test]
+    fn append_extends_prefix(
+        base in prop::collection::vec(any::<u8>(), 0..64),
+        data in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut v = ItemValue::from_slice(&base);
+        UpdateOp::Append(Bytes::from(data.clone())).apply(&mut v);
+        prop_assert_eq!(&v.as_bytes()[..base.len()], &base[..]);
+        prop_assert_eq!(v.len(), base.len() + data.len());
+    }
+
+    /// payload_len matches the data the op carries.
+    #[test]
+    fn payload_len_is_exact(op in arb_op()) {
+        let expected = match &op {
+            UpdateOp::Set(d) | UpdateOp::Append(d) => d.len(),
+            UpdateOp::WriteRange { data, .. } => data.len(),
+        };
+        prop_assert_eq!(op.payload_len(), expected);
+    }
+}

@@ -1,0 +1,328 @@
+//! The per-item version vector (IVV) and its comparison algebra (§3).
+
+use std::fmt;
+
+use epidb_common::{Error, NodeId, Result};
+
+/// Outcome of comparing two version vectors.
+///
+/// These are exactly the four mutually exclusive cases of the paper's
+/// Theorem 3 corollaries: identical copies, one copy strictly newer
+/// (its vector *dominates*), or inconsistent copies (*concurrent* vectors —
+/// each reflects an update the other misses).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VvOrd {
+    /// Component-wise identical vectors: the copies are identical.
+    Equal,
+    /// `self` dominates `other`: `self`'s copy is strictly newer.
+    Dominates,
+    /// `other` dominates `self`: `self`'s copy is strictly older.
+    DominatedBy,
+    /// Mutually inconsistent vectors: the copies conflict.
+    Concurrent,
+}
+
+impl VvOrd {
+    /// The comparison seen from the other side.
+    pub fn flip(self) -> VvOrd {
+        match self {
+            VvOrd::Dominates => VvOrd::DominatedBy,
+            VvOrd::DominatedBy => VvOrd::Dominates,
+            other => other,
+        }
+    }
+
+    /// True for `Equal` or `Dominates`.
+    pub fn dominates_or_equal(self) -> bool {
+        matches!(self, VvOrd::Equal | VvOrd::Dominates)
+    }
+}
+
+impl fmt::Display for VvOrd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VvOrd::Equal => "equal",
+            VvOrd::Dominates => "dominates",
+            VvOrd::DominatedBy => "dominated-by",
+            VvOrd::Concurrent => "concurrent",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A version vector over a fixed set of `n` servers.
+///
+/// Entry `j` counts the updates originally performed by server `j` that are
+/// reflected in the associated replica (Theorem 3). The server set is fixed
+/// (§2), so the vector is a dense array.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct VersionVector {
+    entries: Vec<u64>,
+}
+
+impl VersionVector {
+    /// An all-zero vector for a system of `n` servers (maintenance rule:
+    /// "upon initialization, every component is 0").
+    pub fn zero(n: usize) -> VersionVector {
+        VersionVector { entries: vec![0; n] }
+    }
+
+    /// Build from explicit entries (mainly for tests and tools).
+    pub fn from_entries(entries: Vec<u64>) -> VersionVector {
+        VersionVector { entries }
+    }
+
+    /// Number of servers this vector covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the vector covers zero servers (degenerate).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry for server `j`: how many of `j`'s updates this replica reflects.
+    #[inline]
+    pub fn get(&self, j: NodeId) -> u64 {
+        self.entries[j.index()]
+    }
+
+    /// Set entry for server `j` (used by log/replay machinery; ordinary
+    /// protocol code uses [`bump`](Self::bump) and
+    /// [`merge_max`](Self::merge_max)).
+    #[inline]
+    pub fn set(&mut self, j: NodeId, v: u64) {
+        self.entries[j.index()] = v;
+    }
+
+    /// Record one more local update by server `i`
+    /// (`v_ii(x) := v_ii(x) + 1`), returning the new entry value — the
+    /// update's sequence number at `i`.
+    #[inline]
+    pub fn bump(&mut self, i: NodeId) -> u64 {
+        let e = &mut self.entries[i.index()];
+        *e += 1;
+        *e
+    }
+
+    /// Component-wise maximum with `other`
+    /// (`v_ik := max(v_ik, v_jk)` for all `k`) — the rule applied when a
+    /// replica obtains missing updates (§3).
+    pub fn merge_max(&mut self, other: &VersionVector) -> Result<()> {
+        self.check_dims(other)?;
+        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Compare against `other`, charging `n` entry comparisons to `cmps`.
+    ///
+    /// Every caller in the workspace that models protocol overhead passes
+    /// its comparison counter here, so the experiments count exactly the
+    /// work the paper's complexity analysis charges.
+    pub fn compare_counted(&self, other: &VersionVector, cmps: &mut u64) -> VvOrd {
+        *cmps += self.entries.len() as u64;
+        self.compare(other)
+    }
+
+    /// Compare against `other`.
+    ///
+    /// # Panics
+    /// Panics if the vectors have different dimensions; vectors of one
+    /// database instance always share the fixed server count.
+    pub fn compare(&self, other: &VersionVector) -> VvOrd {
+        assert_eq!(
+            self.entries.len(),
+            other.entries.len(),
+            "comparing version vectors of different dimensions"
+        );
+        let mut less = false;
+        let mut greater = false;
+        for (a, b) in self.entries.iter().zip(&other.entries) {
+            if a < b {
+                less = true;
+            } else if a > b {
+                greater = true;
+            }
+            if less && greater {
+                return VvOrd::Concurrent;
+            }
+        }
+        match (less, greater) {
+            (false, false) => VvOrd::Equal,
+            (false, true) => VvOrd::Dominates,
+            (true, false) => VvOrd::DominatedBy,
+            (true, true) => unreachable!("early-returned above"),
+        }
+    }
+
+    /// True iff `self` dominates or equals `other`.
+    pub fn dominates_or_equal(&self, other: &VersionVector) -> bool {
+        self.compare(other).dominates_or_equal()
+    }
+
+    /// For two *concurrent* vectors, pinpoint a pair of origin servers whose
+    /// updates are mutually missing — the paper's footnote 3: if the vectors
+    /// conflict in components `k` and `l`, nodes `k` and `l` hold the
+    /// offending updates. Returns `None` when the vectors do not conflict.
+    pub fn offending_pair(&self, other: &VersionVector) -> Option<(NodeId, NodeId)> {
+        let mut below = None; // a component where self < other
+        let mut above = None; // a component where self > other
+        for (idx, (a, b)) in self.entries.iter().zip(&other.entries).enumerate() {
+            if a < b && below.is_none() {
+                below = Some(NodeId::from_index(idx));
+            } else if a > b && above.is_none() {
+                above = Some(NodeId::from_index(idx));
+            }
+            if let (Some(k), Some(l)) = (below, above) {
+                return Some((k, l));
+            }
+        }
+        None
+    }
+
+    /// Sum of all entries: the total number of updates (across all origins)
+    /// reflected in the replica.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().sum()
+    }
+
+    /// Iterate `(origin, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (NodeId::from_index(i), v))
+    }
+
+    /// Raw entries, in server order.
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
+
+    fn check_dims(&self, other: &VersionVector) -> Result<()> {
+        if self.entries.len() != other.entries.len() {
+            return Err(Error::DimensionMismatch {
+                left: self.entries.len(),
+                right: other.entries.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for VersionVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vv(entries: &[u64]) -> VersionVector {
+        VersionVector::from_entries(entries.to_vec())
+    }
+
+    #[test]
+    fn zero_is_all_zeroes() {
+        let v = VersionVector::zero(4);
+        assert_eq!(v.entries(), &[0, 0, 0, 0]);
+        assert_eq!(v.total(), 0);
+    }
+
+    #[test]
+    fn bump_returns_sequence_number() {
+        let mut v = VersionVector::zero(3);
+        assert_eq!(v.bump(NodeId(1)), 1);
+        assert_eq!(v.bump(NodeId(1)), 2);
+        assert_eq!(v.get(NodeId(1)), 2);
+        assert_eq!(v.get(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn compare_equal() {
+        assert_eq!(vv(&[1, 2]).compare(&vv(&[1, 2])), VvOrd::Equal);
+    }
+
+    #[test]
+    fn compare_dominates() {
+        assert_eq!(vv(&[2, 2]).compare(&vv(&[1, 2])), VvOrd::Dominates);
+        assert_eq!(vv(&[1, 2]).compare(&vv(&[2, 2])), VvOrd::DominatedBy);
+    }
+
+    #[test]
+    fn compare_concurrent() {
+        assert_eq!(vv(&[2, 1]).compare(&vv(&[1, 2])), VvOrd::Concurrent);
+    }
+
+    #[test]
+    fn compare_counted_charges_n() {
+        let mut c = 0;
+        let _ = vv(&[1, 2, 3]).compare_counted(&vv(&[1, 2, 3]), &mut c);
+        assert_eq!(c, 3);
+    }
+
+    #[test]
+    fn merge_max_takes_componentwise_max() {
+        let mut a = vv(&[3, 1, 0]);
+        a.merge_max(&vv(&[1, 4, 0])).unwrap();
+        assert_eq!(a.entries(), &[3, 4, 0]);
+    }
+
+    #[test]
+    fn merge_max_rejects_dimension_mismatch() {
+        let mut a = vv(&[1]);
+        assert!(matches!(
+            a.merge_max(&vv(&[1, 2])),
+            Err(Error::DimensionMismatch { left: 1, right: 2 })
+        ));
+    }
+
+    #[test]
+    fn flip_swaps_direction() {
+        assert_eq!(VvOrd::Dominates.flip(), VvOrd::DominatedBy);
+        assert_eq!(VvOrd::DominatedBy.flip(), VvOrd::Dominates);
+        assert_eq!(VvOrd::Equal.flip(), VvOrd::Equal);
+        assert_eq!(VvOrd::Concurrent.flip(), VvOrd::Concurrent);
+    }
+
+    #[test]
+    fn offending_pair_pinpoints_origins() {
+        // self ahead at n0, behind at n2.
+        let a = vv(&[5, 3, 1]);
+        let b = vv(&[2, 3, 4]);
+        let (k, l) = a.offending_pair(&b).unwrap();
+        // k is where self < other (n2), l where self > other (n0).
+        assert_eq!((k, l), (NodeId(2), NodeId(0)));
+        assert!(a.compare(&b) == VvOrd::Concurrent);
+        assert!(vv(&[1, 1]).offending_pair(&vv(&[1, 1])).is_none());
+        assert!(vv(&[2, 1]).offending_pair(&vv(&[1, 1])).is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(vv(&[1, 0, 7]).to_string(), "<1,0,7>");
+        assert_eq!(VvOrd::Concurrent.to_string(), "concurrent");
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimensions")]
+    fn compare_panics_on_dim_mismatch() {
+        let _ = vv(&[1]).compare(&vv(&[1, 2]));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the version-vector algebra.
+//!
+//! Domination must be a strict partial order, comparison must be
+//! antisymmetric under `flip`, and `merge_max` must be the least upper bound
+//! — these are the algebraic facts the paper's Theorem 3 corollaries rest on.
+
+use epidb_common::NodeId;
+use epidb_vv::{DbVersionVector, VersionVector, VvOrd};
+use proptest::prelude::*;
+
+const DIM: usize = 6;
+
+fn arb_vv() -> impl Strategy<Value = VersionVector> {
+    prop::collection::vec(0u64..32, DIM).prop_map(VersionVector::from_entries)
+}
+
+proptest! {
+    #[test]
+    fn compare_is_antisymmetric(a in arb_vv(), b in arb_vv()) {
+        prop_assert_eq!(a.compare(&b), b.compare(&a).flip());
+    }
+
+    #[test]
+    fn compare_reflexive(a in arb_vv()) {
+        prop_assert_eq!(a.compare(&a), VvOrd::Equal);
+    }
+
+    #[test]
+    fn domination_is_transitive(a in arb_vv(), b in arb_vv(), c in arb_vv()) {
+        if a.compare(&b) == VvOrd::Dominates && b.compare(&c) == VvOrd::Dominates {
+            prop_assert_eq!(a.compare(&c), VvOrd::Dominates);
+        }
+    }
+
+    #[test]
+    fn equality_matches_componentwise(a in arb_vv(), b in arb_vv()) {
+        prop_assert_eq!(a.compare(&b) == VvOrd::Equal, a.entries() == b.entries());
+    }
+
+    #[test]
+    fn merge_max_is_least_upper_bound(a in arb_vv(), b in arb_vv()) {
+        let mut m = a.clone();
+        m.merge_max(&b).unwrap();
+        // Upper bound of both.
+        prop_assert!(m.dominates_or_equal(&a));
+        prop_assert!(m.dominates_or_equal(&b));
+        // Least: every entry comes from a or b.
+        for i in 0..DIM {
+            let n = NodeId::from_index(i);
+            prop_assert_eq!(m.get(n), a.get(n).max(b.get(n)));
+        }
+    }
+
+    #[test]
+    fn merge_max_is_idempotent_commutative(a in arb_vv(), b in arb_vv()) {
+        let mut ab = a.clone();
+        ab.merge_max(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge_max(&a).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        let mut abb = ab.clone();
+        abb.merge_max(&b).unwrap();
+        prop_assert_eq!(&abb, &ab);
+    }
+
+    #[test]
+    fn concurrent_iff_offending_pair_exists(a in arb_vv(), b in arb_vv()) {
+        let conflict = a.compare(&b) == VvOrd::Concurrent;
+        prop_assert_eq!(conflict, a.offending_pair(&b).is_some());
+        if let Some((k, l)) = a.offending_pair(&b) {
+            // k: where self < other; l: where self > other.
+            prop_assert!(a.get(k) < b.get(k));
+            prop_assert!(a.get(l) > b.get(l));
+        }
+    }
+
+    #[test]
+    fn total_is_monotone_under_merge(a in arb_vv(), b in arb_vv()) {
+        let mut m = a.clone();
+        m.merge_max(&b).unwrap();
+        prop_assert!(m.total() >= a.total());
+        prop_assert!(m.total() >= b.total());
+    }
+
+    /// DBVV rule 3 must add exactly the number of "extra" updates the
+    /// incoming copy has seen (the intuition paragraph under rule 3 in
+    /// §4.1), so the DBVV total advances by the IVV total difference.
+    #[test]
+    fn dbvv_rule3_adds_exact_difference(local in arb_vv(), extra in prop::collection::vec(0u64..8, DIM)) {
+        let mut remote = local.clone();
+        for (i, e) in extra.iter().enumerate() {
+            let n = NodeId::from_index(i);
+            remote.set(n, remote.get(n) + e);
+        }
+        let mut dbvv = DbVersionVector::zero(DIM);
+        let before = dbvv.total();
+        dbvv.absorb_item_copy(&local, &remote).unwrap();
+        prop_assert_eq!(dbvv.total() - before, remote.total() - local.total());
+    }
+}

@@ -1,0 +1,59 @@
+//! The originator-failure scenario of §8.2, live: an originating server
+//! crashes mid-propagation, and the epidemic protocol's forwarding lets the
+//! survivors converge anyway — the property Oracle-style push lacks.
+//!
+//! Run with: `cargo run --example failure_recovery`
+
+use epidb::baselines::{OracleCluster, SyncProtocol};
+use epidb::prelude::*;
+use epidb::sim::{Driver, DriverConfig, EpidbCluster, Schedule};
+
+const N_NODES: usize = 6;
+const DOC: ItemId = ItemId(0);
+
+fn main() -> Result<()> {
+    println!("--- epidemic protocol (forwards) ---");
+    let mut cluster = EpidbCluster::new(N_NODES, 100);
+    cluster.update(NodeId(0), DOC, UpdateOp::set(&b"critical patch"[..]))?;
+    // The originator reaches only node 1, then crashes.
+    cluster.pull_pair(NodeId(1), NodeId(0))?;
+    let mut driver = Driver::new(
+        &mut cluster,
+        DriverConfig { schedule: Schedule::RandomPairwise, seed: 7, max_rounds: 100, ..DriverConfig::default() },
+    );
+    driver.crash(NodeId(0));
+    println!("originator crashed after reaching 1 of {} peers", N_NODES - 1);
+    let rounds = driver.run_to_convergence()?.expect("survivors converge");
+    println!("survivors converged after {rounds} gossip rounds (no originator)");
+    for node in 1..N_NODES {
+        assert_eq!(
+            driver.protocol().value(NodeId::from_index(node), DOC),
+            b"critical patch"
+        );
+    }
+
+    println!("\n--- Oracle-style push (no forwarding) ---");
+    let mut oracle = OracleCluster::new(N_NODES, 100);
+    oracle.update(NodeId(0), DOC, UpdateOp::set(&b"critical patch"[..]))?;
+    oracle.push_to(NodeId(0), NodeId(1))?; // reaches one peer, then crashes
+    let alive: Vec<bool> = (0..N_NODES).map(|i| i != 0).collect();
+    // Survivors push for 10 "rounds" — but only originators ship their own
+    // updates, so nothing moves.
+    for _ in 0..10 {
+        for origin in 1..N_NODES {
+            oracle.push(NodeId::from_index(origin), &alive)?;
+        }
+    }
+    let stale = (1..N_NODES)
+        .filter(|&i| oracle.value(NodeId::from_index(i), DOC) != b"critical patch")
+        .count();
+    println!("after 10 rounds without the originator: {stale} of {} peers still stale", N_NODES - 1);
+    assert_eq!(stale, N_NODES - 2);
+
+    // Only the originator's recovery completes propagation.
+    let all_alive = vec![true; N_NODES];
+    oracle.push(NodeId(0), &all_alive)?;
+    println!("originator recovered and completed the push; converged = {}", oracle.converged());
+    assert!(oracle.converged());
+    Ok(())
+}

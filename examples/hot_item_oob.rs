@@ -1,0 +1,75 @@
+//! Out-of-bound copying (§5.2): a key data item is fetched on demand,
+//! ahead of the normal propagation schedule, and the auxiliary machinery
+//! later reconciles everything without breaking the protocol's ordering.
+//!
+//! Scenario: a shared "release checklist" document is updated at the
+//! coordinator; a release engineer needs it *now*, fetches it out-of-bound,
+//! ticks a box (updating the auxiliary copy), and the next scheduled
+//! propagation folds everything back together.
+//!
+//! Run with: `cargo run --example hot_item_oob`
+
+use epidb::prelude::*;
+
+const CHECKLIST: ItemId = ItemId(7);
+
+fn main() -> Result<()> {
+    let mut coordinator = Replica::new(NodeId(0), 3, 1_000);
+    let mut engineer = Replica::new(NodeId(1), 3, 1_000);
+    let mut mirror = Replica::new(NodeId(2), 3, 1_000);
+
+    coordinator.update(CHECKLIST, UpdateOp::set(&b"[ ] build [ ] sign "[..]))?;
+    println!("coordinator wrote the checklist");
+
+    // The engineer can't wait for the nightly sync: out-of-bound fetch.
+    let outcome = oob_copy(&mut engineer, &mut coordinator, CHECKLIST)?;
+    println!("engineer OOB-fetched the checklist: {outcome:?}");
+    assert_eq!(outcome, OobOutcome::Adopted { from_aux: false });
+
+    // The engineer sees (and edits) the auxiliary copy; the regular copy
+    // and the DBVV are untouched, so scheduled propagation stays sound.
+    engineer.update(CHECKLIST, UpdateOp::append(&b"[x] tests "[..]))?;
+    println!(
+        "engineer reads: {:?} (regular copy still {:?}, {} aux log records)",
+        String::from_utf8_lossy(engineer.read(CHECKLIST)?.as_bytes()),
+        String::from_utf8_lossy(engineer.read_regular(CHECKLIST)?.as_bytes()),
+        engineer.aux_log().len(),
+    );
+    assert_eq!(engineer.dbvv().total(), 0);
+
+    // The mirror can get the newest version too — the OOB server prefers
+    // its auxiliary copy ("never older than the regular copy").
+    let outcome = oob_copy(&mut mirror, &mut engineer, CHECKLIST)?;
+    assert_eq!(outcome, OobOutcome::Adopted { from_aux: true });
+    println!("mirror OOB-fetched from the engineer (served from aux)");
+
+    // Nightly propagation: the engineer's regular copy catches up with the
+    // coordinator's, intra-node propagation replays the aux edit as a
+    // regular update, and the auxiliary copy is discarded.
+    let outcome = pull(&mut engineer, &mut coordinator)?;
+    if let PullOutcome::Propagated(o) = &outcome {
+        println!(
+            "engineer <- coordinator: copied {:?}, replayed {} aux updates, discarded aux {:?}",
+            o.copied, o.replayed, o.aux_discarded
+        );
+        assert_eq!(o.replayed, 1);
+        assert_eq!(o.aux_discarded, vec![CHECKLIST]);
+    }
+    assert_eq!(engineer.aux_item_count(), 0);
+    assert_eq!(
+        engineer.read(CHECKLIST)?.as_bytes(),
+        b"[ ] build [ ] sign [x] tests "
+    );
+
+    // The replayed edit is now a regular update and propagates everywhere.
+    pull(&mut coordinator, &mut engineer)?;
+    pull(&mut mirror, &mut coordinator)?;
+    assert_eq!(mirror.aux_item_count(), 0, "mirror's aux reconciled too");
+    assert_eq!(coordinator.read(CHECKLIST)?, mirror.read(CHECKLIST)?);
+    for r in [&coordinator, &engineer, &mirror] {
+        r.check_invariants().expect("invariants");
+        assert_eq!(r.costs().conflicts_detected, 0);
+    }
+    println!("everyone converged on: {:?}", String::from_utf8_lossy(mirror.read(CHECKLIST)?.as_bytes()));
+    Ok(())
+}

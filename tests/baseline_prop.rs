@@ -1,0 +1,131 @@
+//! Property tests for the baselines: under single-writer workloads every
+//! pull-based baseline must converge to the same final state as the
+//! paper's protocol (they are all *correct* there — the paper's case
+//! against them is cost and conflict handling, not safety), and Oracle
+//! push must converge whenever the originators stay up.
+
+use epidb::baselines::{
+    LotusCluster, OracleCluster, PerItemVvCluster, SyncProtocol, WuuBernsteinCluster,
+};
+use epidb::prelude::*;
+use epidb::sim::EpidbCluster;
+use proptest::prelude::*;
+
+const N_NODES: usize = 3;
+const N_ITEMS: usize = 8;
+
+#[derive(Clone, Debug)]
+enum Step {
+    Update { x: u8 },
+    Sync { r: u8, s: u8 },
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        2 => (0u8..N_ITEMS as u8).prop_map(|x| Step::Update { x }),
+        3 => (0u8..N_NODES as u8, 0u8..N_NODES as u8).prop_map(|(r, s)| Step::Sync { r, s }),
+    ]
+}
+
+fn run_steps<P: SyncProtocol>(proto: &mut P, steps: &[Step]) {
+    let mut counter = 0u64;
+    for step in steps {
+        match step {
+            Step::Update { x } => {
+                counter += 1;
+                let item = ItemId(*x as u32);
+                let node = NodeId((item.index() % N_NODES) as u16);
+                proto
+                    .update(node, item, UpdateOp::set(counter.to_le_bytes().to_vec()))
+                    .expect("update");
+            }
+            Step::Sync { r, s } => {
+                if r != s {
+                    proto.sync(NodeId(*r as u16), NodeId(*s as u16)).expect("sync");
+                }
+            }
+        }
+    }
+    // Quiesce: full mesh sweeps.
+    for _ in 0..N_NODES + 1 {
+        for r in 0..N_NODES {
+            for s in 0..N_NODES {
+                if r != s {
+                    proto.sync(NodeId::from_index(r), NodeId::from_index(s)).expect("sync");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_pull_baselines_match_epidb_final_state(
+        steps in prop::collection::vec(arb_step(), 1..60)
+    ) {
+        let mut epidb = EpidbCluster::new(N_NODES, N_ITEMS);
+        let mut pivv = PerItemVvCluster::new(N_NODES, N_ITEMS);
+        let mut lotus = LotusCluster::new(N_NODES, N_ITEMS);
+        let mut wb = WuuBernsteinCluster::new(N_NODES, N_ITEMS);
+        run_steps(&mut epidb, &steps);
+        run_steps(&mut pivv, &steps);
+        run_steps(&mut lotus, &steps);
+        run_steps(&mut wb, &steps);
+
+        prop_assert!(epidb.converged());
+        for x in ItemId::all(N_ITEMS) {
+            let reference = epidb.value(NodeId(0), x);
+            prop_assert_eq!(&pivv.value(NodeId(0), x), &reference, "per-item-vv at {}", x);
+            prop_assert_eq!(&lotus.value(NodeId(0), x), &reference, "lotus at {}", x);
+            prop_assert_eq!(&wb.value(NodeId(0), x), &reference, "wuu-bernstein at {}", x);
+            prop_assert!(pivv.converged() && lotus.converged() && wb.converged());
+        }
+        // No conflicts and nothing lost under single-writer.
+        prop_assert_eq!(epidb.conflicts_declared(), 0);
+        prop_assert_eq!(lotus.costs().lost_updates, 0);
+        epidb.assert_invariants();
+    }
+
+    #[test]
+    fn oracle_push_converges_without_failures(
+        updates in prop::collection::vec((0u8..N_ITEMS as u8, 0u8..N_NODES as u8), 1..40)
+    ) {
+        let mut oracle = OracleCluster::new(N_NODES, N_ITEMS);
+        let alive = vec![true; N_NODES];
+        let mut counter = 0u64;
+        for (x, node) in &updates {
+            counter += 1;
+            oracle
+                .update(
+                    NodeId(*node as u16),
+                    ItemId(*x as u32),
+                    UpdateOp::set(counter.to_le_bytes().to_vec()),
+                )
+                .expect("update");
+            // Occasional pushes interleaved with updates.
+            if counter.is_multiple_of(3) {
+                oracle.push(NodeId(*node as u16), &alive).expect("push");
+            }
+        }
+        for origin in NodeId::all(N_NODES) {
+            oracle.push(origin, &alive).expect("push");
+        }
+        // Single-writer per (item, last writer)? Not guaranteed here; with
+        // multiple writers Oracle can diverge (its documented weakness), so
+        // only assert convergence when each item had a single writer.
+        let mut single_writer = true;
+        let mut writer_of = [None::<u8>; N_ITEMS];
+        for (x, node) in &updates {
+            match writer_of[*x as usize] {
+                None => writer_of[*x as usize] = Some(*node),
+                Some(w) if w == *node => {}
+                Some(_) => single_writer = false,
+            }
+        }
+        if single_writer {
+            prop_assert!(oracle.converged(), "divergent: {:?}", oracle.divergent_items());
+        }
+    }
+}

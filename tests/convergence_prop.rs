@@ -1,0 +1,119 @@
+//! Property-based convergence tests: random single-writer operation
+//! schedules, random pull orders, and random out-of-bound copies must
+//! always leave the cluster convergent with intact invariants — the §7
+//! theorem, falsification-tested.
+
+use epidb::prelude::*;
+use epidb::sim::EpidbCluster;
+use proptest::prelude::*;
+
+/// One scripted action in a randomized run.
+#[derive(Clone, Debug)]
+enum Action {
+    /// Update item `x` (at its single writer, `x mod n`).
+    Update { x: u8 },
+    /// Pull: `r` from `s`.
+    Pull { r: u8, s: u8 },
+    /// Out-of-bound copy of `x`: `r` from `s`.
+    Oob { r: u8, s: u8, x: u8 },
+}
+
+const N_NODES: usize = 4;
+const N_ITEMS: usize = 12;
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (0u8..N_ITEMS as u8).prop_map(|x| Action::Update { x }),
+        3 => (0u8..N_NODES as u8, 0u8..N_NODES as u8).prop_map(|(r, s)| Action::Pull { r, s }),
+        1 => (0u8..N_NODES as u8, 0u8..N_NODES as u8, 0u8..N_ITEMS as u8)
+            .prop_map(|(r, s, x)| Action::Oob { r, s, x }),
+    ]
+}
+
+fn run_script(script: &[Action]) -> EpidbCluster {
+    let mut cluster = EpidbCluster::new(N_NODES, N_ITEMS);
+    let mut counter: u64 = 0;
+    for action in script {
+        match action {
+            Action::Update { x } => {
+                counter += 1;
+                let item = ItemId(*x as u32);
+                let node = NodeId((item.index() % N_NODES) as u16);
+                let mut payload = counter.to_le_bytes().to_vec();
+                payload.push(b'.');
+                cluster
+                    .replica_mut(node)
+                    .update(item, UpdateOp::append(payload))
+                    .expect("update");
+            }
+            Action::Pull { r, s } => {
+                if r != s {
+                    cluster.pull_pair(NodeId(*r as u16), NodeId(*s as u16)).expect("pull");
+                }
+            }
+            Action::Oob { r, s, x } => {
+                if r != s {
+                    cluster
+                        .oob(NodeId(*r as u16), NodeId(*s as u16), ItemId(*x as u32))
+                        .expect("oob");
+                }
+            }
+        }
+        cluster.assert_invariants();
+    }
+    cluster
+}
+
+fn quiesce(cluster: &mut EpidbCluster) {
+    for _ in 0..(2 * N_NODES + 2) {
+        for r in 0..N_NODES {
+            for s in 0..N_NODES {
+                if r != s {
+                    cluster
+                        .pull_pair(NodeId::from_index(r), NodeId::from_index(s))
+                        .expect("pull");
+                }
+            }
+        }
+        if cluster.fully_converged() {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Single-writer runs: zero conflicts, full convergence, invariants
+    /// intact — regardless of the schedule.
+    #[test]
+    fn random_schedules_converge(script in prop::collection::vec(arb_action(), 1..120)) {
+        let mut cluster = run_script(&script);
+        quiesce(&mut cluster);
+        prop_assert_eq!(cluster.conflicts_declared(), 0);
+        prop_assert!(cluster.fully_converged(), "cluster failed to converge");
+        cluster.assert_invariants();
+        // No rare-path counters fired.
+        for node in 0..N_NODES {
+            let c = cluster.replica(NodeId::from_index(node)).counters();
+            prop_assert_eq!(c.equal_receipts, 0);
+            prop_assert_eq!(c.stale_receipts, 0);
+        }
+    }
+
+    /// Every replica's user-visible value is always a prefix chain member:
+    /// after quiescing, all replicas agree exactly.
+    #[test]
+    fn values_identical_after_quiesce(script in prop::collection::vec(arb_action(), 1..80)) {
+        let mut cluster = run_script(&script);
+        quiesce(&mut cluster);
+        for x in 0..N_ITEMS {
+            let x = ItemId::from_index(x);
+            let v0 = cluster.replica(NodeId(0)).read(x).unwrap().clone();
+            for node in 1..N_NODES {
+                let v = cluster.replica(NodeId::from_index(node)).read(x).unwrap();
+                prop_assert_eq!(v, &v0);
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! T7 — the paper's correctness criteria (§2.1), checked by the auditor
+//! over randomized executions (multiple seeds, with and without
+//! out-of-bound copying, conflict-free and conflict-prone).
+//!
+//! Criterion 1: inconsistent replicas are eventually detected.
+//! Criterion 2: propagation never introduces new inconsistency (a replica
+//!   only acquires updates from a strictly newer replica).
+//! Criterion 3: when update activity stops, every obsolete replica
+//!   eventually catches up (and auxiliary state drains).
+
+use epidb::sim::{run_audit, AuditConfig};
+
+#[test]
+fn conflict_free_runs_satisfy_all_criteria_across_seeds() {
+    for seed in [1, 7, 42, 1996, 0xDEAD] {
+        let report = run_audit(AuditConfig { seed, ..AuditConfig::default() });
+        assert_eq!(report.adoption_violations, 0, "criterion 2 violated (seed {seed})");
+        assert!(
+            report.conflicted_items.is_empty(),
+            "single-writer workload produced conflicts (seed {seed})"
+        );
+        assert!(report.undetected_divergences.is_empty(), "criterion 1 violated (seed {seed})");
+        assert!(report.converged_clean, "criterion 3 violated (seed {seed}): {report:?}");
+        assert_eq!(report.aux_leftovers, 0, "auxiliary state leaked (seed {seed})");
+    }
+}
+
+#[test]
+fn heavy_oob_traffic_still_satisfies_criteria() {
+    let report = run_audit(AuditConfig {
+        oob_per_round: 8,
+        rounds: 40,
+        seed: 12,
+        ..AuditConfig::default()
+    });
+    assert!(report.all_criteria_hold(), "{report:?}");
+    assert_eq!(report.aux_leftovers, 0);
+}
+
+#[test]
+fn larger_cluster_satisfies_criteria() {
+    let report = run_audit(AuditConfig {
+        n_nodes: 8,
+        n_items: 60,
+        updates_per_round: 16,
+        rounds: 25,
+        oob_per_round: 4,
+        seed: 3,
+        ..AuditConfig::default()
+    });
+    assert!(report.all_criteria_hold(), "{report:?}");
+}
+
+#[test]
+fn crash_window_does_not_break_criteria() {
+    // One node is down for the middle third of the run; after revival and
+    // transitive propagation every criterion must still hold — the
+    // recovery property the §8.2 comparison turns on.
+    for seed in [2, 44] {
+        let report = run_audit(AuditConfig {
+            crash_window: true,
+            rounds: 36,
+            seed,
+            ..AuditConfig::default()
+        });
+        assert!(report.all_criteria_hold(), "seed {seed}: {report:?}");
+        assert_eq!(report.aux_leftovers, 0);
+    }
+}
+
+#[test]
+fn conflict_prone_runs_detect_every_divergence() {
+    for seed in [5, 99, 12345] {
+        let report = run_audit(AuditConfig {
+            conflict_prone: true,
+            oob_per_round: 0,
+            rounds: 25,
+            seed,
+            ..AuditConfig::default()
+        });
+        assert_eq!(report.adoption_violations, 0, "criterion 2 violated (seed {seed})");
+        assert!(
+            !report.conflicted_items.is_empty(),
+            "conflict-prone workload produced no conflicts (seed {seed})"
+        );
+        // Criterion 1: every divergence that survived was declared.
+        assert!(
+            report.undetected_divergences.is_empty(),
+            "undetected divergence (seed {seed}): {report:?}"
+        );
+    }
+}

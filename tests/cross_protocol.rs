@@ -1,0 +1,122 @@
+//! Cross-protocol integration: the paper's protocol and the correct
+//! baseline (per-item version vectors) must agree on final states under
+//! identical workloads, while their overheads separate exactly as §6/§8
+//! predict.
+
+use epidb::baselines::{
+    LotusCluster, PerItemVvCluster, SyncProtocol, WuuBernsteinCluster,
+};
+use epidb::prelude::*;
+use epidb::sim::{Driver, DriverConfig, EpidbCluster, Schedule, Workload, WorkloadKind};
+
+const N_NODES: usize = 5;
+const N_ITEMS: usize = 300;
+
+fn drive<P: SyncProtocol>(proto: &mut P, seed: u64) -> Option<usize> {
+    let mut wl = Workload::new(WorkloadKind::SingleWriter, N_NODES, N_ITEMS, 24, seed);
+    let updates = wl.take(150);
+    let mut driver = Driver::new(
+        proto,
+        DriverConfig { schedule: Schedule::RandomPairwise, seed: 77, max_rounds: 200, ..DriverConfig::default() },
+    );
+    driver.apply_updates(&updates).expect("updates");
+    driver.run_to_convergence().expect("run")
+}
+
+#[test]
+fn all_pull_protocols_reach_identical_final_states() {
+    let mut epidb = EpidbCluster::new(N_NODES, N_ITEMS);
+    let mut pivv = PerItemVvCluster::new(N_NODES, N_ITEMS);
+    let mut lotus = LotusCluster::new(N_NODES, N_ITEMS);
+    let mut wb = WuuBernsteinCluster::new(N_NODES, N_ITEMS);
+
+    assert!(drive(&mut epidb, 9).is_some());
+    assert!(drive(&mut pivv, 9).is_some());
+    assert!(drive(&mut lotus, 9).is_some());
+    assert!(drive(&mut wb, 9).is_some());
+
+    // Same deterministic workload => same converged values, protocol by
+    // protocol, item by item.
+    for x in ItemId::all(N_ITEMS) {
+        let reference = epidb.value(NodeId(0), x);
+        assert_eq!(pivv.value(NodeId(0), x), reference, "per-item-vv differs at {x}");
+        assert_eq!(lotus.value(NodeId(0), x), reference, "lotus differs at {x}");
+        assert_eq!(wb.value(NodeId(0), x), reference, "wuu-bernstein differs at {x}");
+    }
+    epidb.assert_invariants();
+    assert_eq!(epidb.conflicts_declared(), 0);
+}
+
+#[test]
+fn epidb_total_overhead_is_smallest_once_database_is_large() {
+    // Same convergence run over a larger database: total comparison work
+    // to convergence must rank epidb far below the O(N)-per-round
+    // baselines.
+    let n_items = 3_000;
+    let seed = 4;
+    let measure = |proto: &mut dyn SyncProtocol| -> u64 {
+        let mut wl = Workload::new(WorkloadKind::SingleWriter, N_NODES, n_items, 24, seed);
+        let updates = wl.take(100);
+        let mut driver = Driver::new(
+            proto,
+            DriverConfig { schedule: Schedule::RandomPairwise, seed: 77, max_rounds: 200, ..DriverConfig::default() },
+        );
+        driver.apply_updates(&updates).expect("updates");
+        driver.run_to_convergence().expect("run").expect("converged");
+        proto.costs().comparison_work()
+    };
+
+    let mut epidb = EpidbCluster::new(N_NODES, n_items);
+    let mut pivv = PerItemVvCluster::new(N_NODES, n_items);
+    let mut lotus = LotusCluster::new(N_NODES, n_items);
+    let epidb_work = measure(&mut epidb);
+    let pivv_work = measure(&mut pivv);
+    let lotus_work = measure(&mut lotus);
+
+    assert!(
+        epidb_work * 10 < pivv_work,
+        "epidb {epidb_work} not ≪ per-item-vv {pivv_work}"
+    );
+    assert!(
+        epidb_work * 10 < lotus_work,
+        "epidb {epidb_work} not ≪ lotus {lotus_work}"
+    );
+}
+
+#[test]
+fn hotspot_workload_converges_everywhere() {
+    let mut epidb = EpidbCluster::new(N_NODES, N_ITEMS);
+    let mut wl = Workload::new(
+        WorkloadKind::Hotspot { hot_fraction: 0.05, hot_probability: 0.8 },
+        N_NODES,
+        N_ITEMS,
+        24,
+        31,
+    );
+    let updates = wl.take(400);
+    let mut driver = Driver::new(
+        &mut epidb,
+        DriverConfig { schedule: Schedule::Ring, seed: 5, max_rounds: 300, ..DriverConfig::default() },
+    );
+    driver.apply_updates(&updates).expect("updates");
+    assert!(driver.run_to_convergence().expect("run").is_some());
+    epidb.assert_invariants();
+}
+
+#[test]
+fn star_schedule_converges_too() {
+    let mut epidb = EpidbCluster::new(N_NODES, N_ITEMS);
+    let mut wl = Workload::new(WorkloadKind::SingleWriter, N_NODES, N_ITEMS, 24, 8);
+    let updates = wl.take(100);
+    let mut driver = Driver::new(
+        &mut epidb,
+        DriverConfig {
+            schedule: Schedule::Star { hub: NodeId(0) },
+            seed: 6,
+            max_rounds: 300,
+            ..DriverConfig::default()
+        },
+    );
+    driver.apply_updates(&updates).expect("updates");
+    assert!(driver.run_to_convergence().expect("run").is_some());
+}

@@ -1,0 +1,105 @@
+//! Property test: whole-item and delta (update-record) propagation are
+//! observationally equivalent — the same random schedule of updates,
+//! out-of-bound copies, and pulls yields byte-identical replicas and equal
+//! DBVVs in both modes (the paper's §2 claim that its ideas apply to both
+//! shipping methods, falsification-tested).
+
+use epidb::prelude::*;
+use epidb::sim::EpidbCluster;
+use epidb::vv::VvOrd;
+use proptest::prelude::*;
+
+const N_NODES: usize = 3;
+const N_ITEMS: usize = 10;
+
+#[derive(Clone, Debug)]
+enum Action {
+    Update { x: u8, append: bool },
+    Pull { r: u8, s: u8 },
+    Oob { r: u8, s: u8, x: u8 },
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (0u8..N_ITEMS as u8, any::<bool>()).prop_map(|(x, append)| Action::Update { x, append }),
+        3 => (0u8..N_NODES as u8, 0u8..N_NODES as u8).prop_map(|(r, s)| Action::Pull { r, s }),
+        1 => (0u8..N_NODES as u8, 0u8..N_NODES as u8, 0u8..N_ITEMS as u8)
+            .prop_map(|(r, s, x)| Action::Oob { r, s, x }),
+    ]
+}
+
+fn run(script: &[Action], use_delta: bool) -> EpidbCluster {
+    let mut cluster = EpidbCluster::new(N_NODES, N_ITEMS);
+    cluster.enable_delta(1 << 16);
+    let mut counter: u64 = 0;
+    for action in script {
+        match action {
+            Action::Update { x, append } => {
+                counter += 1;
+                let item = ItemId(*x as u32);
+                let node = NodeId((item.index() % N_NODES) as u16); // single-writer
+                let payload = counter.to_le_bytes().to_vec();
+                let op = if *append {
+                    UpdateOp::append(payload)
+                } else {
+                    UpdateOp::set(payload)
+                };
+                cluster.replica_mut(node).update(item, op).expect("update");
+            }
+            Action::Pull { r, s } => {
+                if r != s {
+                    let (r, s) = (NodeId(*r as u16), NodeId(*s as u16));
+                    if use_delta {
+                        cluster.pull_delta_pair(r, s).expect("pull_delta");
+                    } else {
+                        cluster.pull_pair(r, s).expect("pull");
+                    }
+                }
+            }
+            Action::Oob { r, s, x } => {
+                if r != s {
+                    cluster
+                        .oob(NodeId(*r as u16), NodeId(*s as u16), ItemId(*x as u32))
+                        .expect("oob");
+                }
+            }
+        }
+        cluster.assert_invariants();
+    }
+    cluster
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn whole_and_delta_modes_are_equivalent(script in prop::collection::vec(arb_action(), 1..80)) {
+        let whole = run(&script, false);
+        let delta = run(&script, true);
+        for node in 0..N_NODES {
+            let node = NodeId::from_index(node);
+            prop_assert_eq!(
+                whole.replica(node).dbvv().compare(delta.replica(node).dbvv()),
+                VvOrd::Equal,
+                "DBVV diverged at {}", node
+            );
+            for x in 0..N_ITEMS {
+                let x = ItemId::from_index(x);
+                prop_assert_eq!(
+                    whole.replica(node).read(x).unwrap(),
+                    delta.replica(node).read(x).unwrap(),
+                    "value diverged at {} {}", node, x
+                );
+                prop_assert_eq!(
+                    whole.replica(node).item_ivv(x).unwrap(),
+                    delta.replica(node).item_ivv(x).unwrap()
+                );
+            }
+            prop_assert_eq!(
+                whole.replica(node).aux_item_count(),
+                delta.replica(node).aux_item_count()
+            );
+        }
+        prop_assert_eq!(whole.conflicts_declared(), delta.conflicts_declared());
+    }
+}
