@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally. Mirrors .github/workflows/ci.yml.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== format =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "CI green."

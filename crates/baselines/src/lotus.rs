@@ -63,12 +63,8 @@ pub struct LotusCluster {
 impl LotusCluster {
     /// Create `n_nodes` empty replicas of an `n_items` database.
     pub fn new(n_nodes: usize, n_items: usize) -> LotusCluster {
-        let item = LotusItem {
-            value: ItemValue::new(),
-            seqno: 0,
-            modtime: 0,
-            history: HashSet::new(),
-        };
+        let item =
+            LotusItem { value: ItemValue::new(), seqno: 0, modtime: 0, history: HashSet::new() };
         LotusCluster {
             nodes: (0..n_nodes)
                 .map(|_| LotusNode {

@@ -75,12 +75,8 @@ impl OracleCluster {
             return Err(Error::UnknownNode(dest));
         }
         let from_seq = self.nodes[o].sent_upto[d];
-        let to_send: Vec<PendingUpdate> = self.nodes[o]
-            .outbound
-            .iter()
-            .filter(|u| u.seq > from_seq)
-            .cloned()
-            .collect();
+        let to_send: Vec<PendingUpdate> =
+            self.nodes[o].outbound.iter().filter(|u| u.seq > from_seq).cloned().collect();
         if to_send.is_empty() {
             return Ok(0);
         }
@@ -259,9 +255,6 @@ mod tests {
     fn push_from_crashed_origin_fails() {
         let mut c = OracleCluster::new(2, 1);
         c.update(NodeId(0), ItemId(0), UpdateOp::set(&b"x"[..])).unwrap();
-        assert!(matches!(
-            c.push(NodeId(0), &[false, true]),
-            Err(Error::NodeDown(NodeId(0)))
-        ));
+        assert!(matches!(c.push(NodeId(0), &[false, true]), Err(Error::NodeDown(NodeId(0)))));
     }
 }

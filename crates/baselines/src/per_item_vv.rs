@@ -45,8 +45,7 @@ impl SyncProtocol for PerItemVvCluster {
     }
 
     fn update(&mut self, node: NodeId, item: ItemId, op: UpdateOp) -> Result<()> {
-        let store =
-            self.nodes.get_mut(node.index()).ok_or(Error::UnknownNode(node))?;
+        let store = self.nodes.get_mut(node.index()).ok_or(Error::UnknownNode(node))?;
         store.apply_local_update(node, item, &op)?;
         Ok(())
     }

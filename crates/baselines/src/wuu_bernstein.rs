@@ -84,9 +84,8 @@ impl WuuBernsteinCluster {
         let n = self.nodes.len();
         let tt = &self.nodes[node].tt;
         // A record is removable once every node is known to have seen it.
-        let min_known: Vec<u64> = (0..n)
-            .map(|l| (0..n).map(|k| tt[k][l]).min().unwrap_or(0))
-            .collect();
+        let min_known: Vec<u64> =
+            (0..n).map(|l| (0..n).map(|k| tt[k][l]).min().unwrap_or(0)).collect();
         self.nodes[node].log.retain(|e| e.seq > min_known[e.origin.index()]);
     }
 }

@@ -25,9 +25,8 @@ fn bench_message_roundtrip(c: &mut Criterion) {
             bench.iter(|| black_box(decode_message(black_box(&encoded)).unwrap()));
         });
         // Sanity: the decoded payload matches the original item count.
-        if let WireMessage::PullResponse {
-            response: PropagationResponse::Payload(p), ..
-        } = decode_message(&encoded).unwrap()
+        if let WireMessage::PullResponse { response: PropagationResponse::Payload(p), .. } =
+            decode_message(&encoded).unwrap()
         {
             assert_eq!(p.items.len(), m);
         }

@@ -17,9 +17,7 @@ const M: usize = 50;
 
 fn prime<P: SyncProtocol>(proto: &mut P) {
     for i in 0..M {
-        proto
-            .update(NodeId(0), ItemId::from_index(i), UpdateOp::set(vec![0xCD; 64]))
-            .unwrap();
+        proto.update(NodeId(0), ItemId::from_index(i), UpdateOp::set(vec![0xCD; 64])).unwrap();
     }
     proto.sync(NodeId(1), NodeId(0)).unwrap();
     proto.sync(NodeId(2), NodeId(0)).unwrap();

@@ -2,9 +2,14 @@
 //! EXPERIMENTS.md.
 //!
 //! Usage:
-//!   cargo run --release -p epidb-bench --bin experiments            # full sweeps
-//!   cargo run --release -p epidb-bench --bin experiments -- --quick # small sweeps
-//!   cargo run --release -p epidb-bench --bin experiments -- t1 f2   # a subset
+//!   cargo run --release -p epidb-bench --bin experiments              # full sweeps
+//!   cargo run --release -p epidb-bench --bin experiments -- --quick   # small sweeps
+//!   cargo run --release -p epidb-bench --bin experiments -- t1 f2     # a subset
+//!   cargo run --release -p epidb-bench --bin experiments -- --paranoid # audited T7
+//!
+//! `--paranoid` runs the T7 correctness audits with per-step replica
+//! invariant auditing on (every protocol step verified; a violation
+//! panics with the protocol trace).
 
 use epidb_sim::experiments;
 use epidb_sim::Table;
@@ -12,11 +17,9 @@ use epidb_sim::Table;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .map(String::as_str)
-        .collect();
+    let paranoid = args.iter().any(|a| a == "--paranoid");
+    let selected: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with('-')).map(String::as_str).collect();
 
     let run = |id: &str| selected.is_empty() || selected.iter().any(|s| s.eq_ignore_ascii_case(id));
 
@@ -65,32 +68,36 @@ fn main() {
     if run("t7") || run("audit") {
         let report = epidb_sim::run_audit(epidb_sim::AuditConfig {
             rounds: if quick { 20 } else { 60 },
+            paranoid,
             ..epidb_sim::AuditConfig::default()
         });
         println!("## T7: correctness audit (conflict-free run)");
         println!(
-            "   updates={} pulls={} adoption_violations={} undetected_divergences={} converged_clean={}",
+            "   updates={} pulls={} adoption_violations={} undetected_divergences={} converged_clean={} paranoid_audits={}",
             report.updates_applied,
             report.pulls,
             report.adoption_violations,
             report.undetected_divergences.len(),
-            report.converged_clean
+            report.converged_clean,
+            report.paranoid_audits
         );
         let report = epidb_sim::run_audit(epidb_sim::AuditConfig {
             conflict_prone: true,
             oob_per_round: 0,
             rounds: if quick { 15 } else { 40 },
             seed: 99,
+            paranoid,
             ..epidb_sim::AuditConfig::default()
         });
         println!("## T7b: correctness audit (conflict-prone run)");
         println!(
-            "   updates={} pulls={} conflicted_items={} adoption_violations={} undetected_divergences={}\n",
+            "   updates={} pulls={} conflicted_items={} adoption_violations={} undetected_divergences={} paranoid_audits={}\n",
             report.updates_applied,
             report.pulls,
             report.conflicted_items.len(),
             report.adoption_violations,
-            report.undetected_divergences.len()
+            report.undetected_divergences.len(),
+            report.paranoid_audits
         );
     }
 

@@ -58,11 +58,7 @@ pub struct ConflictEvent {
 
 impl fmt::Display for ConflictEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "conflict on {} detected at {} via {}",
-            self.item, self.detected_at, self.site
-        )?;
+        write!(f, "conflict on {} detected at {} via {}", self.item, self.detected_at, self.site)?;
         if let Some(p) = self.peer {
             write!(f, " (peer {p})")?;
         }

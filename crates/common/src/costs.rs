@@ -194,10 +194,7 @@ mod tests {
     #[test]
     fn add_and_sub_are_inverse() {
         let a = sample();
-        let b = Costs {
-            vv_entry_cmps: 5,
-            ..Costs::ZERO
-        };
+        let b = Costs { vv_entry_cmps: 5, ..Costs::ZERO };
         assert_eq!((a + b) - b, a);
     }
 

@@ -88,10 +88,7 @@ mod tests {
             Error::DatabaseExists("mail".into()).to_string(),
             "database \"mail\" already exists"
         );
-        assert_eq!(
-            Error::UnknownDatabase("mail".into()).to_string(),
-            "unknown database \"mail\""
-        );
+        assert_eq!(Error::UnknownDatabase("mail".into()).to_string(), "unknown database \"mail\"");
     }
 
     #[test]

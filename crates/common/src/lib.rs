@@ -20,8 +20,10 @@ pub mod conflict;
 pub mod costs;
 pub mod error;
 pub mod ids;
+pub mod trace;
 
 pub use conflict::{ConflictEvent, ConflictSite};
 pub use costs::Costs;
 pub use error::{Error, Result};
 pub use ids::{ItemId, NodeId};
+pub use trace::{OrdTag, TraceEvent, TraceRing, TraceStep};

@@ -1,0 +1,349 @@
+//! Structured protocol tracing: a bounded ring buffer of per-step events.
+//!
+//! Every protocol step a replica executes (user update, propagation
+//! send/accept, out-of-bound copy, intra-node replay, delta exchange) can
+//! record one compact [`TraceEvent`] into a per-replica [`TraceRing`].
+//! The ring is disabled by default and recording behind a disabled ring is
+//! a single branch, so production paths pay nothing. When the paranoid
+//! auditor (or a test assertion) trips, [`TraceRing::dump`] renders the
+//! recent protocol history as a table — the last event names the offending
+//! step.
+//!
+//! This crate has no dependency on `epidb-vv`, so the version-vector
+//! ordering outcome travels as the mirror enum [`OrdTag`].
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::{ItemId, NodeId};
+
+/// Default ring capacity when tracing is enabled without an explicit size.
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+
+/// The kind of protocol step an event describes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceStep {
+    /// A user update applied to the regular copy (`detail` = the new
+    /// `V_ii` the log record carries).
+    LocalUpdate,
+    /// A user update applied to an auxiliary copy (`detail` = auxiliary
+    /// log length after the append).
+    AuxUpdate,
+    /// `SendPropagation` built a payload (`detail` = items shipped).
+    SendPropagation,
+    /// `SendPropagation` answered "you are current".
+    SendUpToDate,
+    /// `AcceptPropagation` processed one shipped item; `ord` is the
+    /// IVV comparison outcome that routed it.
+    AcceptItem,
+    /// A concurrent shipped item was refused under the report policy and
+    /// its records stripped from the received tails.
+    RefuseItem,
+    /// A concurrent shipped item was merged by the last-writer-wins
+    /// policy (`detail` = the `m` of the resolution's log record).
+    LwwResolve,
+    /// Surviving received tails were appended to the local log vector
+    /// (`detail` = records appended).
+    AppendTails,
+    /// Intra-node propagation replayed one auxiliary record onto the
+    /// regular copy (`detail` = the `m` of the replay's log record).
+    IntraReplay,
+    /// Intra-node propagation discarded a caught-up auxiliary copy.
+    IntraDiscard,
+    /// Intra-node propagation found the regular copy and an auxiliary
+    /// record inconsistent.
+    IntraConflict,
+    /// This replica served an out-of-bound request (`detail` = 1 when the
+    /// reply came from the auxiliary copy, 0 from the regular copy).
+    OobServe,
+    /// This replica received an out-of-bound reply; `ord` is the IVV
+    /// comparison outcome.
+    OobAccept,
+    /// Delta mode: an offer was evaluated (`detail` = items wanted).
+    DeltaOffer,
+    /// Delta mode: an operation chain was applied (`detail` = chain
+    /// length).
+    DeltaOps,
+}
+
+impl TraceStep {
+    /// Stable kebab-case name (used in dumps and panic messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceStep::LocalUpdate => "local-update",
+            TraceStep::AuxUpdate => "aux-update",
+            TraceStep::SendPropagation => "send-propagation",
+            TraceStep::SendUpToDate => "send-up-to-date",
+            TraceStep::AcceptItem => "accept-item",
+            TraceStep::RefuseItem => "refuse-item",
+            TraceStep::LwwResolve => "lww-resolve",
+            TraceStep::AppendTails => "append-tails",
+            TraceStep::IntraReplay => "intra-replay",
+            TraceStep::IntraDiscard => "intra-discard",
+            TraceStep::IntraConflict => "intra-conflict",
+            TraceStep::OobServe => "oob-serve",
+            TraceStep::OobAccept => "oob-accept",
+            TraceStep::DeltaOffer => "delta-offer",
+            TraceStep::DeltaOps => "delta-ops",
+        }
+    }
+}
+
+impl fmt::Display for TraceStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Version-vector comparison outcome attached to an event (mirror of
+/// `epidb_vv::VvOrd`, plus "no comparison happened at this step").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OrdTag {
+    /// No version-vector comparison is associated with the step.
+    #[default]
+    NoCompare,
+    /// The remote vector strictly dominated the local one.
+    Dominates,
+    /// The vectors were equal.
+    Equal,
+    /// The remote vector was strictly dominated by the local one.
+    DominatedBy,
+    /// The vectors were concurrent (a conflict).
+    Concurrent,
+}
+
+impl fmt::Display for OrdTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OrdTag::NoCompare => "-",
+            OrdTag::Dominates => "dominates",
+            OrdTag::Equal => "equal",
+            OrdTag::DominatedBy => "dominated-by",
+            OrdTag::Concurrent => "concurrent",
+        })
+    }
+}
+
+/// One recorded protocol step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Monotonic per-replica sequence number (counts all events ever
+    /// recorded, including ones the ring has since evicted).
+    pub seq: u64,
+    /// The replica that executed the step.
+    pub node: NodeId,
+    /// What the step was.
+    pub step: TraceStep,
+    /// The item involved, when the step concerns a single item.
+    pub item: Option<ItemId>,
+    /// The remote peer involved, when any.
+    pub peer: Option<NodeId>,
+    /// The version-vector comparison outcome, when one routed the step.
+    pub ord: OrdTag,
+    /// Step-specific detail (see the [`TraceStep`] variants).
+    pub detail: u64,
+    /// The replica's DBVV total *after* the step — the quantity the
+    /// DBVV-equals-sum-of-IVVs invariant constrains.
+    pub dbvv_total: u64,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:06} {:<3} {:<16}", self.seq, self.node, self.step.name())?;
+        match self.item {
+            Some(x) => write!(f, " item={:<6}", x.to_string())?,
+            None => write!(f, " item=-     ")?,
+        }
+        match self.peer {
+            Some(p) => write!(f, " peer={:<4}", p.to_string())?,
+            None => write!(f, " peer=-   ")?,
+        }
+        write!(f, " ord={:<12} detail={:<6} dbvv_total={}", self.ord, self.detail, self.dbvv_total)
+    }
+}
+
+/// A bounded ring of [`TraceEvent`]s with an enable flag.
+///
+/// Recording against a disabled ring is a no-op (one branch); enabling
+/// costs nothing until events arrive. When full, the oldest event is
+/// evicted — `seq` keeps counting, so dumps show how much history was
+/// dropped.
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    enabled: bool,
+    capacity: usize,
+    next_seq: u64,
+    events: VecDeque<TraceEvent>,
+}
+
+impl TraceRing {
+    /// A disabled ring (the default state of every replica).
+    pub fn disabled() -> TraceRing {
+        TraceRing {
+            enabled: false,
+            capacity: DEFAULT_TRACE_CAPACITY,
+            next_seq: 0,
+            events: VecDeque::new(),
+        }
+    }
+
+    /// An enabled ring holding up to `capacity` events.
+    pub fn with_capacity(capacity: usize) -> TraceRing {
+        assert!(capacity > 0, "trace ring needs a positive capacity");
+        TraceRing { enabled: true, capacity, next_seq: 0, events: VecDeque::new() }
+    }
+
+    /// Turn recording on (retains any previously recorded events).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Turn recording off (retains the recorded events for dumping).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Is recording currently on?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one event, assigning its sequence number. No-op when the
+    /// ring is disabled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        node: NodeId,
+        step: TraceStep,
+        item: Option<ItemId>,
+        peer: Option<NodeId>,
+        ord: OrdTag,
+        detail: u64,
+        dbvv_total: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push_back(TraceEvent { seq, node, step, item, peer, ord, detail, dbvv_total });
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// The most recently recorded event, if any.
+    pub fn last(&self) -> Option<&TraceEvent> {
+        self.events.back()
+    }
+
+    /// Number of events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever recorded, including evicted ones.
+    pub fn recorded_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Maximum number of events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drop all held events (sequence numbering continues).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Render the held events as a table, most recent last. This is what
+    /// the paranoid auditor prints when an invariant trips.
+    pub fn dump(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        let dropped = self.next_seq - self.events.len() as u64;
+        let _ = writeln!(
+            out,
+            "--- protocol trace ({} events held, {} recorded, {} evicted; most recent last) ---",
+            self.events.len(),
+            self.next_seq,
+            dropped
+        );
+        for ev in &self.events {
+            let _ = writeln!(out, "{ev}");
+        }
+        let _ = write!(out, "--- end of trace ---");
+        out
+    }
+}
+
+impl Default for TraceRing {
+    fn default() -> TraceRing {
+        TraceRing::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ring: &mut TraceRing, step: TraceStep) {
+        ring.record(NodeId(0), step, Some(ItemId(3)), Some(NodeId(1)), OrdTag::Dominates, 7, 9);
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut r = TraceRing::disabled();
+        ev(&mut r, TraceStep::LocalUpdate);
+        assert!(r.is_empty());
+        assert_eq!(r.recorded_total(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_seq() {
+        let mut r = TraceRing::with_capacity(2);
+        ev(&mut r, TraceStep::LocalUpdate);
+        ev(&mut r, TraceStep::AcceptItem);
+        ev(&mut r, TraceStep::OobAccept);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.recorded_total(), 3);
+        let seqs: Vec<u64> = r.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+        assert_eq!(r.last().unwrap().step, TraceStep::OobAccept);
+    }
+
+    #[test]
+    fn dump_names_steps_and_counts() {
+        let mut r = TraceRing::with_capacity(8);
+        ev(&mut r, TraceStep::LocalUpdate);
+        ev(&mut r, TraceStep::RefuseItem);
+        let dump = r.dump();
+        assert!(dump.contains("local-update"));
+        assert!(dump.contains("refuse-item"));
+        assert!(dump.contains("2 events held"));
+        assert!(dump.contains("ord=dominates"));
+    }
+
+    #[test]
+    fn enable_disable_toggle() {
+        let mut r = TraceRing::disabled();
+        r.enable();
+        assert!(r.is_enabled());
+        ev(&mut r, TraceStep::IntraReplay);
+        r.disable();
+        ev(&mut r, TraceStep::IntraReplay);
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -101,10 +101,7 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
-            return Err(decode_err(format!(
-                "need {n} bytes, {} remaining",
-                self.remaining()
-            )));
+            return Err(decode_err(format!("need {n} bytes, {} remaining", self.remaining())));
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;

@@ -27,6 +27,7 @@
 use std::collections::HashSet;
 
 use epidb_common::costs::wire;
+use epidb_common::trace::{OrdTag, TraceStep};
 use epidb_common::{ConflictEvent, ConflictSite, ItemId, NodeId, Result};
 use epidb_log::LogRecord;
 use epidb_vv::{DbVersionVector, VersionVector, VvOrd};
@@ -103,7 +104,7 @@ impl DeltaItem {
             DeltaItem::Ops { ops, .. } => {
                 wire::ITEM_ID
                     + wire::vv(n)
-                    + ops.len() as u64 * (wire::vv(n) + 9 /* op tag + length */)
+                    + ops.len() as u64 * (wire::vv(n) + 9/* op tag + length */)
             }
             DeltaItem::Whole(s) => s.control_bytes(),
         }
@@ -111,9 +112,7 @@ impl DeltaItem {
 
     fn payload_bytes(&self) -> u64 {
         match self {
-            DeltaItem::Ops { ops, .. } => {
-                ops.iter().map(|c| c.op.payload_len() as u64).sum()
-            }
+            DeltaItem::Ops { ops, .. } => ops.iter().map(|c| c.op.payload_len() as u64).sum(),
             DeltaItem::Whole(s) => s.value.len() as u64,
         }
     }
@@ -206,6 +205,8 @@ impl Replica {
                 }
             }
         }
+        let wanted = request.wants.len() as u64;
+        self.trace_record(TraceStep::DeltaOffer, None, Some(source), OrdTag::NoCompare, wanted);
         Ok((request, eval))
     }
 
@@ -223,11 +224,7 @@ impl Replica {
             });
             if let Some(ops) = chain {
                 self.costs.log_records_examined += ops.len() as u64;
-                payload.items.push(DeltaItem::Ops {
-                    item: *x,
-                    ops,
-                    final_ivv: item.ivv.clone(),
-                });
+                payload.items.push(DeltaItem::Ops { item: *x, ops, final_ivv: item.ivv.clone() });
             } else {
                 self.costs.items_scanned += 1;
                 payload.items.push(DeltaItem::Whole(ShippedItem {
@@ -286,6 +283,7 @@ impl Replica {
                         refused.insert(x);
                         continue;
                     }
+                    let chain_len = ops.len() as u64;
                     let record_cache = self.op_cache.is_enabled();
                     {
                         let stored = self.store.get_mut(x)?;
@@ -305,6 +303,13 @@ impl Replica {
                     self.dbvv.absorb_item_copy(&local_ivv, &final_ivv)?;
                     self.costs.items_copied += 1;
                     outcome.copied.push(x);
+                    self.trace_record(
+                        TraceStep::DeltaOps,
+                        Some(x),
+                        Some(source),
+                        OrdTag::Dominates,
+                        chain_len,
+                    );
                 }
             }
         }
@@ -325,6 +330,7 @@ impl Replica {
         outcome.replayed += intra.replayed;
         outcome.aux_discarded.extend(intra.discarded);
         outcome.conflicts += intra.conflicts;
+        self.post_step_audit("apply-delta");
         Ok(outcome)
     }
 }

@@ -2,6 +2,7 @@
 //! records onto regular copies once the regular copy has caught up to the
 //! state each update was originally applied on.
 
+use epidb_common::trace::{OrdTag, TraceStep};
 use epidb_common::{ConflictEvent, ConflictSite, ItemId};
 use epidb_log::LogRecord;
 use epidb_vv::VvOrd;
@@ -50,6 +51,13 @@ impl Replica {
                     if ord.dominates_or_equal() {
                         self.aux_items.remove(&x);
                         out.discarded.push(x);
+                        self.trace_record(
+                            TraceStep::IntraDiscard,
+                            Some(x),
+                            None,
+                            OrdTag::NoCompare,
+                            0,
+                        );
                     }
                     break;
                 };
@@ -80,6 +88,7 @@ impl Replica {
                         }
                         self.costs.aux_replays += 1;
                         out.replayed += 1;
+                        self.trace_record(TraceStep::IntraReplay, Some(x), None, OrdTag::Equal, m);
                     }
                     VvOrd::Concurrent => {
                         // There exist inconsistent replicas of x (Fig. 4).
@@ -95,6 +104,13 @@ impl Replica {
                             offending,
                         });
                         out.conflicts += 1;
+                        self.trace_record(
+                            TraceStep::IntraConflict,
+                            Some(x),
+                            None,
+                            OrdTag::Concurrent,
+                            0,
+                        );
                         break;
                     }
                     VvOrd::DominatedBy => {
@@ -120,6 +136,13 @@ impl Replica {
                             offending: None,
                         });
                         out.conflicts += 1;
+                        self.trace_record(
+                            TraceStep::IntraConflict,
+                            Some(x),
+                            None,
+                            OrdTag::Dominates,
+                            0,
+                        );
                         break;
                     }
                 }

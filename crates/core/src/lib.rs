@@ -53,6 +53,7 @@ pub mod delta;
 pub mod messages;
 pub mod oob;
 pub mod opcache;
+pub mod paranoid;
 pub mod policy;
 pub mod propagation;
 pub mod replica;
@@ -66,6 +67,7 @@ pub use delta::{pull_delta, DeltaItem, DeltaOffer, DeltaPayload, DeltaRequest};
 pub use messages::{OobReply, PropagationPayload, PropagationResponse, ShippedItem};
 pub use oob::{oob_copy, OobOutcome};
 pub use opcache::{CachedOp, OpCache};
+pub use paranoid::{AuditCheck, AuditViolation, ParanoidReport, ReplicaAuditor};
 pub use policy::ConflictPolicy;
 pub use propagation::{pull, AcceptOutcome, PullOutcome};
 pub use replica::{AuxItem, ProtocolCounters, Replica};

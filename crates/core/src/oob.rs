@@ -2,6 +2,7 @@
 //! individual data item at any time, outside scheduled update propagation.
 
 use epidb_common::costs::wire;
+use epidb_common::trace::{OrdTag, TraceStep};
 use epidb_common::{ConflictEvent, ConflictSite, ItemId, NodeId, Result};
 use epidb_vv::VvOrd;
 
@@ -62,13 +63,18 @@ impl Replica {
         let mut cmps = 0;
         let ord = reply.ivv.compare_counted(&local_ivv, &mut cmps);
         self.costs.vv_entry_cmps += cmps;
-        match ord {
+        let outcome = match ord {
             VvOrd::Dominates => {
                 let from_aux = reply.from_aux;
                 self.aux_items.insert(x, AuxItem { value: reply.value, ivv: reply.ivv });
-                Ok(OobOutcome::Adopted { from_aux })
+                self.trace_record(TraceStep::OobAccept, Some(x), Some(from), OrdTag::Dominates, 0);
+                OobOutcome::Adopted { from_aux }
             }
-            VvOrd::Equal | VvOrd::DominatedBy => Ok(OobOutcome::AlreadyCurrent),
+            VvOrd::Equal | VvOrd::DominatedBy => {
+                let tag = if ord == VvOrd::Equal { OrdTag::Equal } else { OrdTag::DominatedBy };
+                self.trace_record(TraceStep::OobAccept, Some(x), Some(from), tag, 0);
+                OobOutcome::AlreadyCurrent
+            }
             VvOrd::Concurrent => {
                 let offending = reply.ivv.offending_pair(&local_ivv);
                 self.report_conflict(ConflictEvent {
@@ -78,9 +84,12 @@ impl Replica {
                     site: ConflictSite::OutOfBound,
                     offending,
                 });
-                Ok(OobOutcome::Conflict)
+                self.trace_record(TraceStep::OobAccept, Some(x), Some(from), OrdTag::Concurrent, 0);
+                OobOutcome::Conflict
             }
-        }
+        };
+        self.post_step_audit("accept-oob");
+        Ok(outcome)
     }
 }
 
@@ -89,8 +98,16 @@ impl Replica {
 pub fn oob_copy(recipient: &mut Replica, source: &mut Replica, x: ItemId) -> Result<OobOutcome> {
     recipient.costs.charge_message(oob_request_bytes(), 0);
     let reply = source.serve_oob(x)?;
-    source
-        .costs
-        .charge_message(wire::MSG_HEADER + reply.control_bytes(), reply.value.len() as u64);
+    source.costs.charge_message(wire::MSG_HEADER + reply.control_bytes(), reply.value.len() as u64);
+    // `serve_oob` itself is read-only (shared-borrow callers exist in the
+    // network runtimes), so the serve side of the exchange is traced here
+    // where the source is exclusively borrowed.
+    source.trace_record(
+        TraceStep::OobServe,
+        Some(x),
+        Some(recipient.id()),
+        OrdTag::NoCompare,
+        reply.from_aux as u64,
+    );
     recipient.accept_oob(source.id(), reply)
 }

@@ -85,7 +85,9 @@ impl OpCache {
         self.per_item.entry(item).or_default().push_back(CachedOp { pre_vv, op });
         self.order.push_back(item);
         while self.payload_bytes > self.budget_bytes {
-            let Some(oldest_item) = self.order.pop_front() else { break };
+            let Some(oldest_item) = self.order.pop_front() else {
+                break;
+            };
             // The oldest entry in `order` is the front of that item's
             // deque (per-item order is a subsequence of global order, and
             // clears purge `order` lazily via the emptiness check below).
@@ -135,7 +137,11 @@ impl OpCache {
 
     /// Clone the chain (always succeeds when a chain exists, wrapped or
     /// not).
-    pub fn chain_from_cloned(&self, item: ItemId, from_vv: &VersionVector) -> Option<Vec<CachedOp>> {
+    pub fn chain_from_cloned(
+        &self,
+        item: ItemId,
+        from_vv: &VersionVector,
+    ) -> Option<Vec<CachedOp>> {
         let q = self.per_item.get(&item)?;
         let start = q.iter().position(|c| &c.pre_vv == from_vv)?;
         Some(q.iter().skip(start).cloned().collect())

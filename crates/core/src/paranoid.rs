@@ -1,0 +1,278 @@
+//! Paranoid mode: an always-available replica-level invariant auditor.
+//!
+//! The protocol's correctness rests on a small set of state invariants
+//! (DESIGN §4, §7). The [`ReplicaAuditor`] re-derives each of them from
+//! first principles against a replica's live state, so a test — or a
+//! replica running with [`Replica::set_paranoid`] — can verify after *any*
+//! protocol step that nothing has silently drifted:
+//!
+//! 1. **DBVV = Σ IVV** — the database version vector equals the
+//!    component-wise sum of all regular item version vectors (the defining
+//!    property of maintenance rules 1–3, §4.1).
+//! 2. **Log structure** — the log vector's slot/pointer invariants hold
+//!    (each origin's list is intact, `P(x)` pointers agree, §4.2).
+//! 3. **m-monotonicity** — within each origin's log component, records are
+//!    strictly increasing in `m` and retain at most one record per item.
+//! 4. **Selection flags** — the `IsSelected` scratch flags are all clear
+//!    between propagations (§6's O(m) set computation cleans up).
+//! 5. **Aux structure** — the auxiliary log's invariants hold and every
+//!    auxiliary log record belongs to an item with an auxiliary copy
+//!    (§4.3–4.4).
+//! 6. **Aux dominance** — while this replica has never declared a
+//!    conflict, no auxiliary copy is *older* than the regular copy
+//!    (out-of-bound copies are only ever adopted when strictly newer, and
+//!    intra-node propagation discards them once the regular copy catches
+//!    up — §4.4, §5.2). A declared conflict legitimately freezes auxiliary
+//!    state, so the check is skipped from then on — and likewise after
+//!    crash recovery, because conflict reports are ephemeral: a replica
+//!    restored from a snapshot taken mid-conflict holds frozen auxiliary
+//!    state with a reset conflict counter.
+//!
+//! When a paranoid replica's post-step audit finds a violation it panics
+//! with the audit report **and** the structured protocol trace
+//! ([`epidb_common::TraceRing`]), whose last event names the offending
+//! step.
+
+use std::fmt;
+
+use epidb_vv::VvOrd;
+
+use epidb_common::NodeId;
+
+use crate::replica::Replica;
+
+/// Which invariant a violation belongs to (stable names for counters and
+/// assertions).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AuditCheck {
+    /// DBVV equals the component-wise sum of regular IVVs.
+    DbvvSum,
+    /// Log-vector structural invariants.
+    LogStructure,
+    /// Per-origin strict `m` monotonicity and latest-per-item retention.
+    MMonotonicity,
+    /// `IsSelected` flags clear between propagations.
+    SelectionFlags,
+    /// Auxiliary log structure and aux-log/aux-copy agreement.
+    AuxStructure,
+    /// Auxiliary copies never older than regular copies (conflict-free).
+    AuxDominance,
+}
+
+impl AuditCheck {
+    /// Stable kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AuditCheck::DbvvSum => "dbvv-sum",
+            AuditCheck::LogStructure => "log-structure",
+            AuditCheck::MMonotonicity => "m-monotonicity",
+            AuditCheck::SelectionFlags => "selection-flags",
+            AuditCheck::AuxStructure => "aux-structure",
+            AuditCheck::AuxDominance => "aux-dominance",
+        }
+    }
+
+    /// All checks, in the order the auditor runs them.
+    pub const ALL: [AuditCheck; 6] = [
+        AuditCheck::DbvvSum,
+        AuditCheck::LogStructure,
+        AuditCheck::MMonotonicity,
+        AuditCheck::SelectionFlags,
+        AuditCheck::AuxStructure,
+        AuditCheck::AuxDominance,
+    ];
+}
+
+impl fmt::Display for AuditCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One invariant violation found by an audit.
+#[derive(Clone, Debug)]
+pub struct AuditViolation {
+    /// The invariant that failed.
+    pub check: AuditCheck,
+    /// Human-readable specifics (which item / origin / values).
+    pub detail: String,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.check.name(), self.detail)
+    }
+}
+
+/// The outcome of auditing one replica.
+#[derive(Clone, Debug)]
+pub struct ParanoidReport {
+    /// The audited replica.
+    pub node: NodeId,
+    /// Every violation found (empty = all invariants hold).
+    pub violations: Vec<AuditViolation>,
+}
+
+impl ParanoidReport {
+    /// True iff no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations of one specific check.
+    pub fn count(&self, check: AuditCheck) -> usize {
+        self.violations.iter().filter(|v| v.check == check).count()
+    }
+
+    /// One-line-per-violation summary.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            return format!("{}: all invariants hold", self.node);
+        }
+        let lines: Vec<String> = self.violations.iter().map(|v| v.to_string()).collect();
+        format!("{}: {} violation(s)\n{}", self.node, self.violations.len(), lines.join("\n"))
+    }
+}
+
+/// The auditor itself — a stateless bundle of checks over a [`Replica`].
+pub struct ReplicaAuditor;
+
+impl ReplicaAuditor {
+    /// Run every check against `replica` and collect the violations.
+    pub fn audit(replica: &Replica) -> ParanoidReport {
+        let mut violations = Vec::new();
+
+        // 1. DBVV = Σ IVV.
+        let sum = replica.store.ivv_sum();
+        if replica.dbvv.as_vector() != &sum {
+            violations.push(AuditViolation {
+                check: AuditCheck::DbvvSum,
+                detail: format!("{} != sum of regular IVVs {}", replica.dbvv, sum),
+            });
+        }
+
+        // 2. Log structural invariants.
+        if let Err(e) = replica.log.check_invariants() {
+            violations.push(AuditViolation { check: AuditCheck::LogStructure, detail: e });
+        }
+
+        // 3. Per-origin m-monotonicity and latest-per-item retention.
+        for j in NodeId::all(replica.n_nodes()) {
+            let mut prev_m: Option<u64> = None;
+            let mut seen = std::collections::HashSet::new();
+            for rec in replica.log.iter_component(j) {
+                if let Some(p) = prev_m {
+                    if rec.m <= p {
+                        violations.push(AuditViolation {
+                            check: AuditCheck::MMonotonicity,
+                            detail: format!(
+                                "log component {j}: record ({}, m={}) follows m={p}",
+                                rec.item, rec.m
+                            ),
+                        });
+                    }
+                }
+                prev_m = Some(rec.m);
+                if !seen.insert(rec.item) {
+                    violations.push(AuditViolation {
+                        check: AuditCheck::MMonotonicity,
+                        detail: format!(
+                            "log component {j}: item {} retained more than once",
+                            rec.item
+                        ),
+                    });
+                }
+            }
+        }
+
+        // 4. IsSelected flags all clear.
+        if let Some(idx) = replica.is_selected.iter().position(|&f| f) {
+            violations.push(AuditViolation {
+                check: AuditCheck::SelectionFlags,
+                detail: format!("IsSelected flag left set for item index {idx}"),
+            });
+        }
+
+        // 5. Aux-log structure and aux-log/aux-copy agreement.
+        if let Err(e) = replica.aux_log.check_invariants() {
+            violations.push(AuditViolation { check: AuditCheck::AuxStructure, detail: e });
+        }
+        for rec in replica.aux_log.iter() {
+            if !replica.aux_items.contains_key(&rec.item) {
+                violations.push(AuditViolation {
+                    check: AuditCheck::AuxStructure,
+                    detail: format!(
+                        "auxiliary log holds records for {} without an auxiliary copy",
+                        rec.item
+                    ),
+                });
+            }
+        }
+
+        // 6. Aux dominance — only meaningful while this replica has never
+        // seen a conflict: a declared conflict can legitimately freeze an
+        // auxiliary copy behind the regular one. Conflict detection is
+        // ephemeral state, so a replica recovered from a snapshot may hold
+        // frozen aux state with a zero counter — skip the check there too.
+        if replica.costs.conflicts_detected == 0 && !replica.restored {
+            for (&x, aux) in &replica.aux_items {
+                let reg = &replica.store.get(x).expect("aux item exists in store").ivv;
+                if reg.compare(&aux.ivv) == VvOrd::Dominates {
+                    violations.push(AuditViolation {
+                        check: AuditCheck::AuxDominance,
+                        detail: format!(
+                            "auxiliary copy of {x} (IVV {}) is older than the regular copy \
+                             (IVV {}) with no conflict declared",
+                            aux.ivv, reg
+                        ),
+                    });
+                }
+            }
+        }
+
+        ParanoidReport { node: replica.id, violations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidb_common::{ItemId, NodeId};
+    use epidb_store::UpdateOp;
+
+    #[test]
+    fn clean_replica_audits_clean() {
+        let mut r = Replica::new(NodeId(0), 3, 8);
+        r.update(ItemId(1), UpdateOp::set(&b"v"[..])).unwrap();
+        let report = ReplicaAuditor::audit(&r);
+        assert!(report.is_clean(), "{}", report.summary());
+        assert!(report.summary().contains("all invariants hold"));
+    }
+
+    #[test]
+    fn dbvv_corruption_is_reported() {
+        let mut r = Replica::new(NodeId(0), 3, 8);
+        r.update(ItemId(0), UpdateOp::set(&b"v"[..])).unwrap();
+        r.debug_corrupt_dbvv();
+        let report = ReplicaAuditor::audit(&r);
+        assert!(!report.is_clean());
+        assert_eq!(report.count(AuditCheck::DbvvSum), 1);
+        assert!(report.summary().contains("dbvv-sum"));
+    }
+
+    #[test]
+    fn check_names_are_stable() {
+        let names: Vec<&str> = AuditCheck::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "dbvv-sum",
+                "log-structure",
+                "m-monotonicity",
+                "selection-flags",
+                "aux-structure",
+                "aux-dominance"
+            ]
+        );
+    }
+}

@@ -5,13 +5,12 @@
 use std::collections::HashSet;
 
 use epidb_common::costs::wire;
+use epidb_common::trace::{OrdTag, TraceStep};
 use epidb_common::{ConflictEvent, ConflictSite, ItemId, NodeId, Result};
 use epidb_log::LogRecord;
 use epidb_vv::DbVersionVector;
 
-use crate::messages::{
-    request_bytes, PropagationPayload, PropagationResponse, ShippedItem,
-};
+use crate::messages::{request_bytes, PropagationPayload, PropagationResponse, ShippedItem};
 use crate::policy::{lww_winner, ConflictPolicy};
 use crate::replica::Replica;
 
@@ -69,6 +68,8 @@ impl Replica {
         let ord = recipient_dbvv.compare_counted(&self.dbvv, &mut cmps);
         self.costs.vv_entry_cmps += cmps;
         if ord.dominates_or_equal() {
+            self.trace_record(TraceStep::SendUpToDate, None, None, OrdTag::NoCompare, 0);
+            self.post_step_audit("send-up-to-date");
             return PropagationResponse::YouAreCurrent;
         }
 
@@ -103,6 +104,9 @@ impl Replica {
         }
         self.costs.items_scanned += s_items.len() as u64;
 
+        let shipped = items.len() as u64;
+        self.trace_record(TraceStep::SendPropagation, None, None, OrdTag::NoCompare, shipped);
+        self.post_step_audit("send-propagation");
         PropagationResponse::Payload(PropagationPayload { tails, items })
     }
 
@@ -142,17 +146,38 @@ impl Replica {
                     self.op_cache.clear_item(x);
                     self.costs.items_copied += 1;
                     outcome.copied.push(x);
+                    self.trace_record(
+                        TraceStep::AcceptItem,
+                        Some(x),
+                        Some(source),
+                        OrdTag::Dominates,
+                        0,
+                    );
                 }
                 epidb_vv::VvOrd::Equal => {
                     // Unreachable in conflict-free operation; harmless no-op
                     // when a previously refused item is re-shipped.
                     self.counters.equal_receipts += 1;
+                    self.trace_record(
+                        TraceStep::AcceptItem,
+                        Some(x),
+                        Some(source),
+                        OrdTag::Equal,
+                        0,
+                    );
                 }
                 epidb_vv::VvOrd::DominatedBy => {
                     // "vi(x) dominates vj(x) cannot happen" (§5.1) in
                     // conflict-free operation; reachable only after an
                     // external conflict resolution. Ignore the stale copy.
                     self.counters.stale_receipts += 1;
+                    self.trace_record(
+                        TraceStep::AcceptItem,
+                        Some(x),
+                        Some(source),
+                        OrdTag::DominatedBy,
+                        0,
+                    );
                 }
                 epidb_vv::VvOrd::Concurrent => {
                     outcome.conflicts += 1;
@@ -169,10 +194,24 @@ impl Replica {
                             // Strip this item's records from the tail
                             // vector (Fig. 3) and refuse the copy.
                             refused.insert(x);
+                            self.trace_record(
+                                TraceStep::RefuseItem,
+                                Some(x),
+                                Some(source),
+                                OrdTag::Concurrent,
+                                0,
+                            );
                         }
                         ConflictPolicy::ResolveLww => {
-                            self.resolve_lww(x, &shipped)?;
+                            let m = self.resolve_lww(x, &shipped)?;
                             outcome.copied.push(x);
+                            self.trace_record(
+                                TraceStep::LwwResolve,
+                                Some(x),
+                                Some(source),
+                                OrdTag::Concurrent,
+                                m,
+                            );
                         }
                     }
                 }
@@ -181,6 +220,7 @@ impl Replica {
 
         // Append the (surviving) tails to the local log vector, head to
         // tail, via AddLogRecord.
+        let mut appended: u64 = 0;
         for (k, tail) in payload.tails.iter().enumerate() {
             let k = NodeId::from_index(k);
             for rec in tail {
@@ -189,8 +229,10 @@ impl Replica {
                 }
                 self.log.add_record(k, *rec);
                 self.costs.log_records_examined += 1;
+                appended += 1;
             }
         }
+        self.trace_record(TraceStep::AppendTails, None, Some(source), OrdTag::NoCompare, appended);
 
         // Step 3: intra-node propagation for the copied items (Fig. 4).
         let intra = self.intra_node_propagation(&outcome.copied);
@@ -198,6 +240,7 @@ impl Replica {
         outcome.aux_discarded = intra.discarded;
         outcome.conflicts += intra.conflicts;
 
+        self.post_step_audit("accept-propagation");
         Ok(outcome)
     }
 
@@ -205,8 +248,8 @@ impl Replica {
     /// merge the IVVs (component-wise max), absorb the merge into the DBVV
     /// (the generalized rule 3), install the deterministic winner value,
     /// and record the resolution as a fresh local update so it dominates
-    /// both parents.
-    fn resolve_lww(&mut self, x: ItemId, shipped: &ShippedItem) -> Result<()> {
+    /// both parents. Returns the `m` of the resolution's log record.
+    fn resolve_lww(&mut self, x: ItemId, shipped: &ShippedItem) -> Result<u64> {
         let (local_value, local_ivv) = {
             let it = self.store.get(x)?;
             (it.value.clone(), it.ivv.clone())
@@ -223,7 +266,7 @@ impl Replica {
         let m = self.dbvv.record_local_update(self.id);
         self.log.add_record(self.id, LogRecord { item: x, m });
         self.counters.lww_resolutions += 1;
-        Ok(())
+        Ok(m)
     }
 }
 

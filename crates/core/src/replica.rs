@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use epidb_common::trace::{OrdTag, TraceRing, TraceStep};
 use epidb_common::{ConflictEvent, Costs, Error, ItemId, NodeId, Result};
 use epidb_log::{AuxLog, LogRecord, LogVector};
 use epidb_store::{ItemStore, ItemValue, UpdateOp};
@@ -60,6 +61,23 @@ pub struct Replica {
     /// shipping mode). Disabled (empty, zero-cost) unless
     /// [`enable_delta`](Self::enable_delta) is called.
     pub(crate) op_cache: OpCache,
+    /// Paranoid mode: when set, every protocol step ends with a full
+    /// invariant audit ([`crate::paranoid::ReplicaAuditor`]), panicking
+    /// with the protocol trace on any violation. Off (a single branch per
+    /// step) by default.
+    pub(crate) paranoid: bool,
+    /// Structured protocol trace ring (disabled, zero-cost, by default;
+    /// enabled together with paranoid mode or via
+    /// [`enable_tracing`](Self::enable_tracing)).
+    pub(crate) trace: TraceRing,
+    /// Number of post-step audits run in paranoid mode.
+    pub(crate) audits_run: u64,
+    /// Set when this replica was recovered from a snapshot. Conflict
+    /// reports are ephemeral (re-detected by the next propagation), so a
+    /// restored replica may legitimately hold conflict-frozen auxiliary
+    /// state with a zero conflict counter; the paranoid auditor uses this
+    /// flag to avoid a false aux-dominance alarm in that window.
+    pub(crate) restored: bool,
 }
 
 impl Replica {
@@ -91,6 +109,10 @@ impl Replica {
             conflicts: Vec::new(),
             counters: ProtocolCounters::default(),
             op_cache: OpCache::disabled(),
+            paranoid: false,
+            trace: TraceRing::disabled(),
+            audits_run: 0,
+            restored: false,
         }
     }
 
@@ -147,6 +169,9 @@ impl Replica {
             op.apply(&mut aux.value);
             self.aux_log.push(x, pre_vv, op);
             aux.ivv.bump(self.id);
+            let aux_len = self.aux_log.len() as u64;
+            self.trace_record(TraceStep::AuxUpdate, Some(x), None, OrdTag::NoCompare, aux_len);
+            self.post_step_audit("aux-update");
             return Ok(());
         }
         let pre_vv = if self.op_cache.is_enabled() {
@@ -161,6 +186,8 @@ impl Replica {
         if let Some(pre_vv) = pre_vv {
             self.op_cache.record(x, pre_vv, op);
         }
+        self.trace_record(TraceStep::LocalUpdate, Some(x), None, OrdTag::NoCompare, m);
+        self.post_step_audit("local-update");
         Ok(())
     }
 
@@ -239,6 +266,91 @@ impl Replica {
         self.policy
     }
 
+    /// Turn paranoid mode on or off. While on, every protocol step ends
+    /// with a full invariant audit (see [`crate::paranoid`]); a violation
+    /// panics with the audit report and the protocol trace, whose last
+    /// event names the offending step. Enabling paranoid mode also enables
+    /// tracing. Off, both cost a single branch per step.
+    pub fn set_paranoid(&mut self, on: bool) {
+        self.paranoid = on;
+        if on {
+            self.trace.enable();
+        }
+    }
+
+    /// Whether paranoid mode is on.
+    pub fn is_paranoid(&self) -> bool {
+        self.paranoid
+    }
+
+    /// Enable protocol tracing alone (without per-step audits), retaining
+    /// up to `capacity` events.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = TraceRing::with_capacity(capacity);
+    }
+
+    /// The protocol trace ring (empty unless tracing or paranoid mode was
+    /// enabled).
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Number of paranoid post-step audits this replica has run.
+    pub fn audits_run(&self) -> u64 {
+        self.audits_run
+    }
+
+    /// Audit this replica's invariants right now, regardless of the
+    /// paranoid flag, and return the findings without panicking.
+    pub fn audit(&self) -> crate::paranoid::ParanoidReport {
+        crate::paranoid::ReplicaAuditor::audit(self)
+    }
+
+    /// Test hook: corrupt the DBVV by counting a local update that never
+    /// happened (breaks DBVV = Σ IVV). Public so integration tests can
+    /// prove the auditor catches real corruption; never call it otherwise.
+    #[doc(hidden)]
+    pub fn debug_corrupt_dbvv(&mut self) {
+        let _ = self.dbvv.record_local_update(self.id);
+    }
+
+    /// Internal: record one trace event (single branch when disabled).
+    #[inline]
+    pub(crate) fn trace_record(
+        &mut self,
+        step: TraceStep,
+        item: Option<ItemId>,
+        peer: Option<NodeId>,
+        ord: OrdTag,
+        detail: u64,
+    ) {
+        if self.trace.is_enabled() {
+            let dbvv_total = self.dbvv.total();
+            self.trace.record(self.id, step, item, peer, ord, detail, dbvv_total);
+        }
+    }
+
+    /// Internal: the paranoid post-step hook. A single branch when
+    /// paranoid mode is off; otherwise audits everything and panics with
+    /// the trace dump on the first violation, naming the step that
+    /// produced it.
+    #[inline]
+    pub(crate) fn post_step_audit(&mut self, step: &'static str) {
+        if !self.paranoid {
+            return;
+        }
+        self.audits_run += 1;
+        let report = crate::paranoid::ReplicaAuditor::audit(self);
+        if !report.is_clean() {
+            panic!(
+                "paranoid: invariant violation at {} after step `{step}`\n{}\n{}",
+                self.id,
+                report.summary(),
+                self.trace.dump()
+            );
+        }
+    }
+
     /// Validate the replica's global invariants. Cheap enough for tests,
     /// not meant for the hot path:
     ///
@@ -252,10 +364,7 @@ impl Replica {
     pub fn check_invariants(&self) -> std::result::Result<(), String> {
         let sum = self.store.ivv_sum();
         if self.dbvv.as_vector() != &sum {
-            return Err(format!(
-                "DBVV {} != sum of IVVs {} at {}",
-                self.dbvv, sum, self.id
-            ));
+            return Err(format!("DBVV {} != sum of IVVs {} at {}", self.dbvv, sum, self.id));
         }
         self.log.check_invariants()?;
         if self.is_selected.iter().any(|&f| f) {

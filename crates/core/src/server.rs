@@ -49,8 +49,7 @@ impl Server {
         if self.databases.contains_key(&name) {
             return Err(Error::DatabaseExists(name));
         }
-        self.databases
-            .insert(name, Replica::with_policy(self.id, self.n_nodes, n_items, policy));
+        self.databases.insert(name, Replica::with_policy(self.id, self.n_nodes, n_items, policy));
         Ok(())
     }
 
@@ -95,9 +94,7 @@ impl Server {
     /// Check invariants of every hosted database.
     pub fn check_invariants(&self) -> std::result::Result<(), String> {
         for (name, replica) in &self.databases {
-            replica
-                .check_invariants()
-                .map_err(|e| format!("database {name:?}: {e}"))?;
+            replica.check_invariants().map_err(|e| format!("database {name:?}: {e}"))?;
         }
         Ok(())
     }

@@ -154,6 +154,7 @@ impl Replica {
         }
 
         r.finish()?;
+        replica.restored = true;
         replica
             .check_invariants()
             .map_err(|e| Error::Network(format!("snapshot: corrupt state: {e}")))?;
@@ -227,11 +228,7 @@ mod tests {
         assert!(!out.copied().is_empty());
         assert_eq!(restored.read(ItemId(15)).unwrap().as_bytes(), b"post-crash");
         // The pending aux update survived the crash and replays.
-        assert!(restored
-            .read(ItemId(0))
-            .unwrap()
-            .as_bytes()
-            .ends_with(b"+aux-edit"));
+        assert!(restored.read(ItemId(0)).unwrap().as_bytes().ends_with(b"+aux-edit"));
         restored.check_invariants().unwrap();
     }
 

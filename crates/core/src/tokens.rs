@@ -23,9 +23,7 @@ impl TokenManager {
 
     /// Tokens assigned per item by `f` (e.g. partitioned ownership).
     pub fn with_assignment(n_items: usize, f: impl Fn(ItemId) -> NodeId) -> TokenManager {
-        TokenManager {
-            holders: (0..n_items).map(|i| f(ItemId::from_index(i))).collect(),
-        }
+        TokenManager { holders: (0..n_items).map(|i| f(ItemId::from_index(i))).collect() }
     }
 
     /// Number of items managed.

@@ -20,8 +20,9 @@ fn arb_vv() -> impl Strategy<Value = VersionVector> {
 fn arb_op() -> impl Strategy<Value = UpdateOp> {
     prop_oneof![
         prop::collection::vec(any::<u8>(), 0..64).prop_map(|d| UpdateOp::Set(Bytes::from(d))),
-        (any::<u16>(), prop::collection::vec(any::<u8>(), 0..64))
-            .prop_map(|(o, d)| UpdateOp::WriteRange { offset: o as usize, data: Bytes::from(d) }),
+        (any::<u16>(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(o, d)| {
+            UpdateOp::WriteRange { offset: o as usize, data: Bytes::from(d) }
+        }),
         prop::collection::vec(any::<u8>(), 0..64).prop_map(|d| UpdateOp::Append(Bytes::from(d))),
     ]
 }
@@ -36,11 +37,7 @@ fn arb_payload() -> impl Strategy<Value = PropagationPayload> {
     );
     let items = prop::collection::vec(
         (any::<u32>(), arb_vv(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(
-            |(i, ivv, v)| ShippedItem {
-                item: ItemId(i),
-                ivv,
-                value: ItemValue::from_slice(&v),
-            },
+            |(i, ivv, v)| ShippedItem { item: ItemId(i), ivv, value: ItemValue::from_slice(&v) },
         ),
         0..5,
     );

@@ -64,8 +64,7 @@ fn send_propagation_can_be_repeated_flags_reset() {
     let recipient_dbvv = DbVersionVector::zero(2);
     let first = source.prepare_propagation(&recipient_dbvv);
     let second = source.prepare_propagation(&recipient_dbvv);
-    let (PropagationResponse::Payload(a), PropagationResponse::Payload(b)) = (first, second)
-    else {
+    let (PropagationResponse::Payload(a), PropagationResponse::Payload(b)) = (first, second) else {
         panic!()
     };
     assert_eq!(a.items.len(), 4);

@@ -10,9 +10,7 @@ use epidb_store::UpdateOp;
 use epidb_vv::VvOrd;
 
 fn cluster(n_nodes: usize, n_items: usize) -> Vec<Replica> {
-    (0..n_nodes)
-        .map(|i| Replica::new(NodeId::from_index(i), n_nodes, n_items))
-        .collect()
+    (0..n_nodes).map(|i| Replica::new(NodeId::from_index(i), n_nodes, n_items)).collect()
 }
 
 fn pull_pair(replicas: &mut [Replica], recipient: usize, source: usize) -> PullOutcome {
@@ -476,4 +474,111 @@ fn log_vector_stays_bounded_under_heavy_updates() {
     assert!(c[1].log().total_len() <= 2 * 8);
     assert_identical(&c);
     assert_all_invariants(&c);
+}
+
+#[test]
+fn lww_resolution_re_syncs_cleanly_with_third_node() {
+    // Regression for the resolve_lww / DBVV bookkeeping interaction: a
+    // last-writer-wins resolution is logged as a fresh local update whose
+    // IVV dominates both parents, so re-syncing with a third node (and
+    // back with the losing writer) must converge with DBVV == Σ IVV at
+    // every step.
+    let mut c: Vec<Replica> = (0..3)
+        .map(|i| Replica::with_policy(NodeId::from_index(i), 3, 4, ConflictPolicy::ResolveLww))
+        .collect();
+    for r in &mut c {
+        r.set_paranoid(true); // per-step invariant audits throughout
+    }
+    let x = ItemId(0);
+    c[0].update(x, UpdateOp::set(&b"from-a"[..])).unwrap();
+    c[1].update(x, UpdateOp::set(&b"from-b"[..])).unwrap();
+
+    // B pulls from A: the copies are concurrent, and B's policy resolves.
+    pull_pair(&mut c, 1, 0);
+    assert_eq!(c[1].counters().lww_resolutions, 1);
+    // The resolution strictly dominates both parents.
+    assert_eq!(c[1].item_ivv(x).unwrap().compare(c[0].item_ivv(x).unwrap()), VvOrd::Dominates);
+    let resolved = c[1].read_regular(x).unwrap().as_bytes().to_vec();
+
+    // A third node syncs from the resolver and adopts the resolved copy.
+    let PullOutcome::Propagated(out) = pull_pair(&mut c, 2, 1) else { panic!("expected copy") };
+    assert_eq!(out.copied, vec![x]);
+    assert_eq!(out.conflicts, 0);
+    assert_eq!(c[2].read_regular(x).unwrap().as_bytes(), resolved);
+
+    // Against the losing writer the third node is already current.
+    assert!(matches!(pull_pair(&mut c, 2, 0), PullOutcome::UpToDate));
+
+    // The losing writer re-syncs: its copy is strictly dominated, so this
+    // is a plain adoption — no new conflict, no second resolution.
+    let PullOutcome::Propagated(out) = pull_pair(&mut c, 0, 2) else { panic!("expected copy") };
+    assert_eq!(out.copied, vec![x]);
+    assert_eq!(out.conflicts, 0);
+    assert_eq!(c[0].counters().lww_resolutions, 0);
+
+    assert_identical(&c);
+    assert_all_invariants(&c);
+    for r in &c {
+        let report = r.audit();
+        assert!(report.is_clean(), "{}", report.summary());
+    }
+}
+
+#[test]
+fn refused_conflicts_reship_until_resolved() {
+    // Regression for refused-update handling in accept_propagation: a
+    // report-policy recipient strips the refused item's records from the
+    // shipped tails, so its DBVV never advances past the refused update and
+    // the source keeps re-shipping it on every pull until the conflict is
+    // resolved out of band (here: via a third, LWW-resolving node).
+    let mut c = vec![
+        Replica::with_policy(NodeId(0), 3, 4, ConflictPolicy::Report),
+        Replica::with_policy(NodeId(1), 3, 4, ConflictPolicy::Report),
+        Replica::with_policy(NodeId(2), 3, 4, ConflictPolicy::ResolveLww),
+    ];
+    for r in &mut c {
+        r.set_paranoid(true);
+    }
+    let x = ItemId(0);
+    c[0].update(x, UpdateOp::set(&b"a."[..])).unwrap();
+    c[1].update(x, UpdateOp::set(&b"b."[..])).unwrap();
+
+    // Every pull re-ships the refused item and re-declares the conflict.
+    for round in 1..=3u64 {
+        let PullOutcome::Propagated(out) = pull_pair(&mut c, 1, 0) else {
+            panic!("round {round}: refused update must keep the replicas unequal")
+        };
+        assert_eq!(out.conflicts, 1, "round {round}");
+        assert!(out.copied.is_empty(), "round {round}");
+        assert_eq!(c[1].costs().conflicts_detected, round);
+    }
+    // B's DBVV never advanced past A's refused update, no record for it
+    // entered B's log, and B's own copy is untouched.
+    assert_eq!(c[1].dbvv().get(NodeId(0)), 0);
+    assert_eq!(c[1].log().component_len(NodeId(0)), 0);
+    assert_eq!(c[1].read_regular(x).unwrap().as_bytes(), b"b.");
+
+    // Resolution via the third node: it adopts A's copy, then pulls B's
+    // concurrent copy and resolves last-writer-wins.
+    let PullOutcome::Propagated(out) = pull_pair(&mut c, 2, 0) else { panic!("expected copy") };
+    assert_eq!(out.copied, vec![x]);
+    pull_pair(&mut c, 2, 1);
+    assert_eq!(c[2].counters().lww_resolutions, 1);
+
+    // The resolved copy dominates both sides, so it flows back to the
+    // conflicted replicas as plain adoptions and the stall clears.
+    let PullOutcome::Propagated(out) = pull_pair(&mut c, 1, 2) else { panic!("expected copy") };
+    assert_eq!(out.copied, vec![x]);
+    assert_eq!(out.conflicts, 0);
+    assert_eq!(c[1].dbvv().get(NodeId(0)), 1, "resolution finally covered A's refused update");
+    pull_pair(&mut c, 0, 2);
+
+    // Quiet afterwards: the formerly stalled pair is in sync.
+    assert!(matches!(pull_pair(&mut c, 1, 0), PullOutcome::UpToDate));
+    assert_identical(&c);
+    assert_all_invariants(&c);
+    for r in &c {
+        let report = r.audit();
+        assert!(report.is_clean(), "{}", report.summary());
+    }
 }

@@ -98,7 +98,8 @@ impl AuxLog {
         let seq = self.next_seq;
         let rec = AuxRecord { seq, item, vv, op };
 
-        let slot = self.alloc(Slot { rec, prev: self.tail, next: NIL, prev_item: NIL, next_item: NIL });
+        let slot =
+            self.alloc(Slot { rec, prev: self.tail, next: NIL, prev_item: NIL, next_item: NIL });
 
         // Global list tail link.
         if self.tail == NIL {

@@ -135,11 +135,8 @@ impl LogVector {
         }
 
         let slot = self.alloc(rec);
-        let next = if after == NIL {
-            self.components[jj].head
-        } else {
-            self.slots[after as usize].next
-        };
+        let next =
+            if after == NIL { self.components[jj].head } else { self.slots[after as usize].next };
         self.slots[slot as usize].prev = after;
         self.slots[slot as usize].next = next;
         if after == NIL {
@@ -176,7 +173,12 @@ impl LogVector {
     ///
     /// `records_examined` is charged with the number of records touched
     /// (selected + the one that stopped the walk, if any).
-    pub fn tail_after(&self, k: NodeId, threshold: u64, records_examined: &mut u64) -> Vec<LogRecord> {
+    pub fn tail_after(
+        &self,
+        k: NodeId,
+        threshold: u64,
+        records_examined: &mut u64,
+    ) -> Vec<LogRecord> {
         let mut out = Vec::new();
         let mut cur = self.components[k.index()].tail;
         while cur != NIL {
@@ -227,13 +229,19 @@ impl LogVector {
                     return Err(format!("component {node}: broken prev link at slot {cur}"));
                 }
                 if count > 0 && s.m <= last_m {
-                    return Err(format!("component {node}: m not ascending ({} after {last_m})", s.m));
+                    return Err(format!(
+                        "component {node}: m not ascending ({} after {last_m})",
+                        s.m
+                    ));
                 }
                 if !seen.insert(s.item) {
                     return Err(format!("component {node}: duplicate record for {}", s.item));
                 }
                 if self.p[j][s.item.index()] != cur {
-                    return Err(format!("component {node}: P({}) does not point at its record", s.item));
+                    return Err(format!(
+                        "component {node}: P({}) does not point at its record",
+                        s.item
+                    ));
                 }
                 last_m = s.m;
                 count += 1;
@@ -244,7 +252,10 @@ impl LogVector {
                 return Err(format!("component {node}: tail pointer stale"));
             }
             if count != self.components[j].len {
-                return Err(format!("component {node}: len {} != walked {count}", self.components[j].len));
+                return Err(format!(
+                    "component {node}: len {} != walked {count}",
+                    self.components[j].len
+                ));
             }
             // Every P entry that is set must be reachable (i.e., counted).
             let p_set = self.p[j].iter().filter(|&&s| s != NIL).count();

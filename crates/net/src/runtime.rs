@@ -184,10 +184,7 @@ impl ThreadedCluster {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
-        self.nodes
-            .iter()
-            .map(|n| n.replica.lock().clone())
-            .collect()
+        self.nodes.iter().map(|n| n.replica.lock().clone()).collect()
     }
 }
 
@@ -239,7 +236,11 @@ fn node_loop(
                     r.charge_message(request_bytes(&dbvv), 0);
                     dbvv
                 };
-                send(&mut rng, NodeId::from_index(peer), NetMessage::PullRequest { from: me, dbvv });
+                send(
+                    &mut rng,
+                    NodeId::from_index(peer),
+                    NetMessage::PullRequest { from: me, dbvv },
+                );
             }
             Err(RecvTimeoutError::Disconnected) => return,
             Ok(NetMessage::Shutdown) => return,
@@ -351,11 +352,15 @@ mod tests {
 
     #[test]
     fn oob_fetch_works_live() {
-        let cluster = ThreadedCluster::spawn(2, 10, ClusterConfig {
-            // Slow gossip so the OOB fetch happens before anti-entropy.
-            gossip_interval: Duration::from_secs(60),
-            ..ClusterConfig::default()
-        });
+        let cluster = ThreadedCluster::spawn(
+            2,
+            10,
+            ClusterConfig {
+                // Slow gossip so the OOB fetch happens before anti-entropy.
+                gossip_interval: Duration::from_secs(60),
+                ..ClusterConfig::default()
+            },
+        );
         cluster.update(NodeId(0), ItemId(1), UpdateOp::set(&b"urgent"[..])).unwrap();
         let out = cluster.oob_fetch(NodeId(1), NodeId(0), ItemId(1)).unwrap();
         assert_eq!(out, OobOutcome::Adopted { from_aux: false });

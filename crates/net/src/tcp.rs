@@ -77,9 +77,7 @@ pub fn read_frame(stream: &mut TcpStream) -> Result<WireMessage> {
         return Err(Error::Network(format!("frame of {len} bytes exceeds limit")));
     }
     let mut body = vec![0u8; len as usize];
-    stream
-        .read_exact(&mut body)
-        .map_err(|e| Error::Network(format!("read frame body: {e}")))?;
+    stream.read_exact(&mut body).map_err(|e| Error::Network(format!("read frame body: {e}")))?;
     decode_message(&body)
 }
 
@@ -120,9 +118,7 @@ impl TcpCluster {
             let peer_addrs = addrs.clone();
             let me = NodeId::from_index(i);
             let cfg = config;
-            handles.push(std::thread::spawn(move || {
-                gossip_loop(me, node, peer_addrs, run, cfg)
-            }));
+            handles.push(std::thread::spawn(move || gossip_loop(me, node, peer_addrs, run, cfg)));
         }
         Ok(TcpCluster { nodes, addrs, running, handles, config })
     }
@@ -156,8 +152,8 @@ impl TcpCluster {
     /// the request frame, apply the reply.
     pub fn oob_fetch(&self, recipient: NodeId, source: NodeId, item: ItemId) -> Result<OobOutcome> {
         let addr = self.addr(source);
-        let mut stream = TcpStream::connect(addr)
-            .map_err(|e| Error::Network(format!("connect {addr}: {e}")))?;
+        let mut stream =
+            TcpStream::connect(addr).map_err(|e| Error::Network(format!("connect {addr}: {e}")))?;
         write_frame(&mut stream, &WireMessage::OobRequest { from: recipient, item })
             .map_err(|e| Error::Network(format!("send oob request: {e}")))?;
         match read_frame(&mut stream)? {
@@ -244,7 +240,9 @@ impl Drop for TcpCluster {
 
 fn server_loop(listener: TcpListener, node: Arc<TcpNode>, running: Arc<AtomicBool>) {
     while running.load(Ordering::SeqCst) {
-        let Ok((mut stream, _)) = listener.accept() else { continue };
+        let Ok((mut stream, _)) = listener.accept() else {
+            continue;
+        };
         if !running.load(Ordering::SeqCst) {
             return;
         }
@@ -252,7 +250,9 @@ fn server_loop(listener: TcpListener, node: Arc<TcpNode>, running: Arc<AtomicBoo
             continue; // crashed: drop the connection
         }
         let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-        let Ok(msg) = read_frame(&mut stream) else { continue };
+        let Ok(msg) = read_frame(&mut stream) else {
+            continue;
+        };
         match msg {
             WireMessage::PullRequest { from: _, dbvv } => {
                 let (me, response) = {
@@ -313,8 +313,7 @@ fn gossip_loop(
             r.charge_message(request_bytes(&dbvv), 0);
             dbvv
         };
-        let Ok(mut stream) =
-            TcpStream::connect_timeout(&addrs[peer], Duration::from_millis(500))
+        let Ok(mut stream) = TcpStream::connect_timeout(&addrs[peer], Duration::from_millis(500))
         else {
             continue;
         };

@@ -47,6 +47,10 @@ pub struct AuditConfig {
     /// phase (no updates arrive there, no pulls touch it), then revived
     /// before quiescence — criterion 3 must still hold.
     pub crash_window: bool,
+    /// If true (the default, so every audited test run gets it), each
+    /// replica runs in paranoid mode: a full invariant audit after every
+    /// protocol step, panicking with the protocol trace on a violation.
+    pub paranoid: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -61,6 +65,7 @@ impl Default for AuditConfig {
             oob_per_round: 2,
             conflict_prone: false,
             crash_window: false,
+            paranoid: true,
             seed: 1,
         }
     }
@@ -88,6 +93,9 @@ pub struct AuditReport {
     pub updates_applied: u64,
     /// Pulls executed in total.
     pub pulls: u64,
+    /// Paranoid post-step audits run across the cluster (0 when paranoid
+    /// mode was off; each one passed, or the run would have panicked).
+    pub paranoid_audits: u64,
 }
 
 impl AuditReport {
@@ -111,19 +119,19 @@ pub fn histories_conflict(a: &[u8], b: &[u8]) -> bool {
 /// Run one audited execution of the paper's protocol.
 pub fn run_audit(cfg: AuditConfig) -> AuditReport {
     let mut cluster = EpidbCluster::with_policy(cfg.n_nodes, cfg.n_items, ConflictPolicy::Report);
+    cluster.set_paranoid(cfg.paranoid);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut report = AuditReport::default();
     let mut update_counter: u64 = 0;
 
     let do_pull = |cluster: &mut EpidbCluster,
-                       report: &mut AuditReport,
-                       recipient: NodeId,
-                       source: NodeId| {
+                   report: &mut AuditReport,
+                   recipient: NodeId,
+                   source: NodeId| {
         // Snapshot the recipient's regular values for the criterion-2
         // prefix check.
-        let before: Vec<Vec<u8>> = (0..cfg.n_items)
-            .map(|x| cluster.value(recipient, ItemId::from_index(x)))
-            .collect();
+        let before: Vec<Vec<u8>> =
+            (0..cfg.n_items).map(|x| cluster.value(recipient, ItemId::from_index(x))).collect();
         let outcome = cluster.pull_pair(recipient, source).expect("pull");
         report.pulls += 1;
         if let PullOutcome::Propagated(out) = outcome {
@@ -217,6 +225,7 @@ pub fn run_audit(cfg: AuditConfig) -> AuditReport {
     cluster.assert_invariants();
 
     // Final judgement.
+    report.paranoid_audits = cluster.paranoid_audits_total();
     report.aux_leftovers = cluster.aux_items_total();
     let mut divergent_ok = true;
     for x in ItemId::all(cfg.n_items) {
@@ -272,6 +281,16 @@ mod tests {
         assert!(report.undetected_divergences.is_empty());
         assert!(report.converged_clean, "criterion 3 failed: {report:?}");
         assert_eq!(report.aux_leftovers, 0);
+        assert!(report.all_criteria_hold());
+        // Paranoid mode is on by default: every step was audited (and
+        // passed, or the run would have panicked with a trace dump).
+        assert!(report.paranoid_audits > 0);
+    }
+
+    #[test]
+    fn paranoid_off_runs_no_audits() {
+        let report = run_audit(AuditConfig { paranoid: false, ..AuditConfig::default() });
+        assert_eq!(report.paranoid_audits, 0);
         assert!(report.all_criteria_hold());
     }
 

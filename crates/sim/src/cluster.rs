@@ -78,6 +78,20 @@ impl EpidbCluster {
         }
     }
 
+    /// Turn paranoid mode (per-step invariant audits + protocol tracing)
+    /// on or off at every replica. A violation anywhere panics with that
+    /// replica's trace, whose last event names the offending step.
+    pub fn set_paranoid(&mut self, on: bool) {
+        for r in &mut self.replicas {
+            r.set_paranoid(on);
+        }
+    }
+
+    /// Total paranoid post-step audits run across the cluster.
+    pub fn paranoid_audits_total(&self) -> u64 {
+        self.replicas.iter().map(Replica::audits_run).sum()
+    }
+
     /// Check every replica's invariants (panics with the report on
     /// failure — test/driver helper). While no conflict has been declared
     /// anywhere, the stricter conflict-free invariants apply as well.
@@ -134,10 +148,7 @@ impl SyncProtocol for EpidbCluster {
     }
 
     fn update(&mut self, node: NodeId, item: ItemId, op: UpdateOp) -> Result<()> {
-        self.replicas
-            .get_mut(node.index())
-            .ok_or(Error::UnknownNode(node))?
-            .update(item, op)
+        self.replicas.get_mut(node.index()).ok_or(Error::UnknownNode(node))?.update(item, op)
     }
 
     fn sync(&mut self, recipient: NodeId, source: NodeId) -> Result<SyncReport> {
@@ -156,11 +167,7 @@ impl SyncProtocol for EpidbCluster {
     }
 
     fn value(&self, node: NodeId, item: ItemId) -> Vec<u8> {
-        self.replicas[node.index()]
-            .read_regular(item)
-            .expect("item exists")
-            .as_bytes()
-            .to_vec()
+        self.replicas[node.index()].read_regular(item).expect("item exists").as_bytes().to_vec()
     }
 
     fn costs(&self) -> Costs {

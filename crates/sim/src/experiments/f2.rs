@@ -53,7 +53,12 @@ pub fn run(quick: bool) -> Table {
             let before = proto.costs();
             let report = proto.sync(NodeId(1), NodeId(2)).expect("sync");
             let d = proto.costs() - before;
-            assert_eq!(report.items_copied, 0, "{}: copied from an identical replica", proto.name());
+            assert_eq!(
+                report.items_copied,
+                0,
+                "{}: copied from an identical replica",
+                proto.name()
+            );
             table.row(vec![
                 fmt_count(n_items as u64),
                 proto.name().to_string(),

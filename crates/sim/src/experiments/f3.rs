@@ -51,7 +51,12 @@ pub fn run_rounds(quick: bool) -> Table {
             let updates = wl.take(UPDATES);
             let mut driver = Driver::new(
                 proto.as_mut(),
-                DriverConfig { schedule: Schedule::RandomPairwise, seed: 21, max_rounds: 500, ..DriverConfig::default() },
+                DriverConfig {
+                    schedule: Schedule::RandomPairwise,
+                    seed: 21,
+                    max_rounds: 500,
+                    ..DriverConfig::default()
+                },
             );
             driver.apply_updates(&updates).expect("updates");
             let rounds = driver.run_to_convergence().expect("run").expect("converged");
@@ -84,7 +89,12 @@ pub fn run_staleness(quick: bool) -> Table {
         let updates = wl.take(UPDATES);
         let mut driver = Driver::new(
             proto.as_mut(),
-            DriverConfig { schedule: Schedule::RandomPairwise, seed: 21, max_rounds: 100, ..DriverConfig::default() },
+            DriverConfig {
+                schedule: Schedule::RandomPairwise,
+                seed: 21,
+                max_rounds: 100,
+                ..DriverConfig::default()
+            },
         );
         driver.apply_updates(&updates).expect("updates");
         let mut stale = vec![driver.stale_copy_count()];
@@ -110,8 +120,7 @@ mod tests {
     fn all_protocols_converge_with_comparable_rounds_but_different_work() {
         let t = run_rounds(true);
         // Extract epidb vs per-item-vv at the largest n.
-        let rows: Vec<&Vec<String>> =
-            t.rows.iter().filter(|r| r[0] == "8").collect();
+        let rows: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == "8").collect();
         let find = |name: &str| rows.iter().find(|r| r[1] == name).unwrap();
         let epidb_rounds: usize = find("epidb")[2].parse().unwrap();
         let pivv_rounds: usize = find("per-item-vv")[2].parse().unwrap();

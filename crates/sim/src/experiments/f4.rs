@@ -37,7 +37,12 @@ fn run_one(proto: &mut dyn SyncProtocol, rounds: usize, per_round: usize) -> Out
     let mut wl = Workload::new(WorkloadKind::Uniform, N_NODES, N_ITEMS, 32, 17);
     let mut driver = Driver::new(
         proto,
-        DriverConfig { schedule: Schedule::RandomPairwise, seed: 23, max_rounds: 500, ..DriverConfig::default() },
+        DriverConfig {
+            schedule: Schedule::RandomPairwise,
+            seed: 23,
+            max_rounds: 500,
+            ..DriverConfig::default()
+        },
     );
     for _ in 0..rounds {
         let updates = wl.take(per_round);
@@ -49,9 +54,7 @@ fn run_one(proto: &mut dyn SyncProtocol, rounds: usize, per_round: usize) -> Out
         for r in 0..N_NODES {
             for s in 0..N_NODES {
                 if r != s {
-                    let _ = driver
-                        .protocol()
-                        .sync(NodeId::from_index(r), NodeId::from_index(s));
+                    let _ = driver.protocol().sync(NodeId::from_index(r), NodeId::from_index(s));
                 }
             }
         }

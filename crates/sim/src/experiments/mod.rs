@@ -34,9 +34,7 @@ pub mod t5;
 pub mod t6;
 pub mod t8;
 
-use epidb_baselines::{
-    LotusCluster, PerItemVvCluster, SyncProtocol, WuuBernsteinCluster,
-};
+use epidb_baselines::{LotusCluster, PerItemVvCluster, SyncProtocol, WuuBernsteinCluster};
 use epidb_common::{ItemId, NodeId};
 use epidb_store::UpdateOp;
 
@@ -69,9 +67,7 @@ pub(crate) fn apply_distinct_updates(
             let mut payload = vec![0u8; value_size.max(8)];
             payload[..4].copy_from_slice(&(i as u32).to_le_bytes());
             payload[4..8].copy_from_slice(&(round as u32).to_le_bytes());
-            proto
-                .update(node, ItemId::from_index(i), UpdateOp::set(payload))
-                .expect("update");
+            proto.update(node, ItemId::from_index(i), UpdateOp::set(payload)).expect("update");
         }
     }
 }

@@ -38,7 +38,14 @@ pub fn run(quick: bool) -> Table {
          Wuu-Bernstein scales with outstanding updates.",
     )
     .headers(vec![
-        "N", "protocol", "cmp work", "scans", "vv cmps", "log recs", "copied", "ctl bytes",
+        "N",
+        "protocol",
+        "cmp work",
+        "scans",
+        "vv cmps",
+        "log recs",
+        "copied",
+        "ctl bytes",
         "payload B",
     ]);
 

@@ -71,7 +71,12 @@ pub fn run(quick: bool) -> Table {
     }
     let mut driver = Driver::new(
         &mut epidb,
-        DriverConfig { schedule: Schedule::RandomPairwise, seed: 42, max_rounds: 1000, ..DriverConfig::default() },
+        DriverConfig {
+            schedule: Schedule::RandomPairwise,
+            seed: 42,
+            max_rounds: 1000,
+            ..DriverConfig::default()
+        },
     );
     driver.crash(NodeId(0));
 

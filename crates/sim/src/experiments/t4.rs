@@ -76,16 +76,12 @@ fn run_one(hot: usize, n_items: usize, seed: u64) -> Outcome {
         for b in 0..BG {
             let x = ItemId::from_index(b);
             let owner = NodeId::from_index(b % N_NODES);
-            cluster
-                .update(owner, x, UpdateOp::set(vec![round as u8; 64]))
-                .expect("update");
+            cluster.update(owner, x, UpdateOp::set(vec![round as u8; 64])).expect("update");
         }
         for (h, current_writer) in writer.iter_mut().enumerate() {
             let x = ItemId::from_index(BG + h);
             let owner = *current_writer;
-            cluster
-                .update(owner, x, UpdateOp::set(vec![round as u8; 64]))
-                .expect("update");
+            cluster.update(owner, x, UpdateOp::set(vec![round as u8; 64])).expect("update");
             // Another node urgently needs the newest version now, fetches
             // it out-of-bound, edits it, and takes over as writer.
             let mut r = rng.gen_range(0..N_NODES);
@@ -94,9 +90,7 @@ fn run_one(hot: usize, n_items: usize, seed: u64) -> Outcome {
             }
             let next = NodeId::from_index(r);
             cluster.oob(next, owner, x).expect("oob");
-            cluster
-                .update(next, x, UpdateOp::append(vec![round as u8, h as u8]))
-                .expect("update");
+            cluster.update(next, x, UpdateOp::append(vec![round as u8, h as u8])).expect("update");
             *current_writer = next;
         }
         aux_peak = aux_peak.max(cluster.aux_items_total());

@@ -80,7 +80,11 @@ fn measure(value_size: usize, range_edits: bool, use_delta: bool) -> Measured {
         let x = ItemId::from_index(i);
         assert_eq!(src.read(x).expect("read"), dst.read(x).expect("read"));
     }
-    Measured { payload: d.bytes_sent - d.control_bytes, control: d.control_bytes, messages: d.messages_sent }
+    Measured {
+        payload: d.bytes_sent - d.control_bytes,
+        control: d.control_bytes,
+        messages: d.messages_sent,
+    }
 }
 
 /// Run T8.

@@ -29,8 +29,7 @@ impl Schedule {
     /// Nodes marked dead in `alive` neither pull nor serve.
     pub fn round(&self, n: usize, alive: &[bool], rng: &mut StdRng) -> Vec<(NodeId, NodeId)> {
         assert_eq!(alive.len(), n);
-        let alive_nodes: Vec<NodeId> =
-            NodeId::all(n).filter(|node| alive[node.index()]).collect();
+        let alive_nodes: Vec<NodeId> = NodeId::all(n).filter(|node| alive[node.index()]).collect();
         if alive_nodes.len() < 2 {
             return Vec::new();
         }
@@ -59,11 +58,8 @@ impl Schedule {
                     // transitive.
                     return Schedule::Ring.round(n, alive, rng);
                 }
-                let mut pairs: Vec<(NodeId, NodeId)> = alive_nodes
-                    .iter()
-                    .filter(|&&s| s != hub)
-                    .map(|&s| (s, hub))
-                    .collect();
+                let mut pairs: Vec<(NodeId, NodeId)> =
+                    alive_nodes.iter().filter(|&&s| s != hub).map(|&s| (s, hub)).collect();
                 let spokes: Vec<NodeId> =
                     alive_nodes.iter().copied().filter(|&s| s != hub).collect();
                 if !spokes.is_empty() {

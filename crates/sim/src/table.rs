@@ -20,7 +20,12 @@ pub struct Table {
 impl Table {
     /// Start a table.
     pub fn new(title: impl Into<String>, caption: impl Into<String>) -> Table {
-        Table { title: title.into(), caption: caption.into(), headers: Vec::new(), rows: Vec::new() }
+        Table {
+            title: title.into(),
+            caption: caption.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Set the headers.

@@ -66,7 +66,14 @@ impl Workload {
         seed: u64,
     ) -> Workload {
         assert!(n_nodes > 0 && n_items > 0);
-        Workload { kind, n_nodes, n_items, value_size, rng: StdRng::seed_from_u64(seed), counter: 0 }
+        Workload {
+            kind,
+            n_nodes,
+            n_items,
+            value_size,
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+        }
     }
 
     /// Generate the next update.

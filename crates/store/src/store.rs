@@ -38,10 +38,7 @@ pub struct ItemStore {
 impl ItemStore {
     /// Create a store of `n_items` empty items for `n_nodes` servers.
     pub fn new(n_nodes: usize, n_items: usize) -> ItemStore {
-        ItemStore {
-            n_nodes,
-            items: (0..n_items).map(|_| StoredItem::new(n_nodes)).collect(),
-        }
+        ItemStore { n_nodes, items: (0..n_items).map(|_| StoredItem::new(n_nodes)).collect() }
     }
 
     /// Number of items in the database.
@@ -86,10 +83,7 @@ impl ItemStore {
 
     /// Iterate all items with their ids.
     pub fn iter(&self) -> impl Iterator<Item = (ItemId, &StoredItem)> {
-        self.items
-            .iter()
-            .enumerate()
-            .map(|(i, it)| (ItemId::from_index(i), it))
+        self.items.iter().enumerate().map(|(i, it)| (ItemId::from_index(i), it))
     }
 
     /// Component-wise sum of all IVVs — the quantity the DBVV must equal at
@@ -135,9 +129,7 @@ mod tests {
     #[test]
     fn local_update_applies_and_bumps() {
         let mut s = ItemStore::new(2, 2);
-        let seq = s
-            .apply_local_update(NodeId(1), ItemId(0), &UpdateOp::set(&b"v1"[..]))
-            .unwrap();
+        let seq = s.apply_local_update(NodeId(1), ItemId(0), &UpdateOp::set(&b"v1"[..])).unwrap();
         assert_eq!(seq, 1);
         let item = s.get(ItemId(0)).unwrap();
         assert_eq!(item.value.as_bytes(), b"v1");
@@ -151,8 +143,7 @@ mod tests {
     fn adopt_replaces_value_and_ivv() {
         let mut s = ItemStore::new(2, 1);
         let ivv = VersionVector::from_entries(vec![0, 3]);
-        s.adopt(ItemId(0), ItemValue::from_slice(b"remote"), ivv.clone())
-            .unwrap();
+        s.adopt(ItemId(0), ItemValue::from_slice(b"remote"), ivv.clone()).unwrap();
         let item = s.get(ItemId(0)).unwrap();
         assert_eq!(item.value.as_bytes(), b"remote");
         assert_eq!(&item.ivv, &ivv);

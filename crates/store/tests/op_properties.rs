@@ -11,7 +11,7 @@ fn arb_op() -> impl Strategy<Value = UpdateOp> {
     prop_oneof![
         prop::collection::vec(any::<u8>(), 0..32).prop_map(|d| UpdateOp::Set(Bytes::from(d))),
         (0usize..64, prop::collection::vec(any::<u8>(), 0..32))
-            .prop_map(|(offset, d)| UpdateOp::WriteRange { offset, data: Bytes::from(d) }),
+            .prop_map(|(offset, d)| { UpdateOp::WriteRange { offset, data: Bytes::from(d) } }),
         prop::collection::vec(any::<u8>(), 0..32).prop_map(|d| UpdateOp::Append(Bytes::from(d))),
     ]
 }

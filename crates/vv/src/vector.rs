@@ -195,10 +195,7 @@ impl VersionVector {
 
     /// Iterate `(origin, count)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
-        self.entries
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (NodeId::from_index(i), v))
+        self.entries.iter().enumerate().map(|(i, &v)| (NodeId::from_index(i), v))
     }
 
     /// Raw entries, in server order.

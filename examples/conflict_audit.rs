@@ -68,10 +68,7 @@ fn main() -> Result<()> {
     a.update(DOC, UpdateOp::set(&b"tokened edit"[..]))?;
     // b must acquire the token first; the transfer pairs with an
     // out-of-bound copy so b starts from the newest version.
-    assert!(matches!(
-        tokens.check(DOC, b.id()),
-        Err(Error::TokenNotHeld { .. })
-    ));
+    assert!(matches!(tokens.check(DOC, b.id()), Err(Error::TokenNotHeld { .. })));
     oob_copy(&mut b, &mut a, DOC)?;
     tokens.transfer(DOC, b.id())?;
     tokens.check(DOC, b.id())?;
@@ -81,6 +78,9 @@ fn main() -> Result<()> {
     pull(&mut a, &mut b)?;
     assert_eq!(a.read(DOC)?.as_bytes(), b"tokened edit + b's turn");
     assert_eq!(a.costs().conflicts_detected + b.costs().conflicts_detected, 0);
-    println!("  serialized through the token: {:?}", String::from_utf8_lossy(a.read(DOC)?.as_bytes()));
+    println!(
+        "  serialized through the token: {:?}",
+        String::from_utf8_lossy(a.read(DOC)?.as_bytes())
+    );
     Ok(())
 }

@@ -19,17 +19,19 @@ fn main() -> Result<()> {
     cluster.pull_pair(NodeId(1), NodeId(0))?;
     let mut driver = Driver::new(
         &mut cluster,
-        DriverConfig { schedule: Schedule::RandomPairwise, seed: 7, max_rounds: 100, ..DriverConfig::default() },
+        DriverConfig {
+            schedule: Schedule::RandomPairwise,
+            seed: 7,
+            max_rounds: 100,
+            ..DriverConfig::default()
+        },
     );
     driver.crash(NodeId(0));
     println!("originator crashed after reaching 1 of {} peers", N_NODES - 1);
     let rounds = driver.run_to_convergence()?.expect("survivors converge");
     println!("survivors converged after {rounds} gossip rounds (no originator)");
     for node in 1..N_NODES {
-        assert_eq!(
-            driver.protocol().value(NodeId::from_index(node), DOC),
-            b"critical patch"
-        );
+        assert_eq!(driver.protocol().value(NodeId::from_index(node), DOC), b"critical patch");
     }
 
     println!("\n--- Oracle-style push (no forwarding) ---");
@@ -47,7 +49,10 @@ fn main() -> Result<()> {
     let stale = (1..N_NODES)
         .filter(|&i| oracle.value(NodeId::from_index(i), DOC) != b"critical patch")
         .count();
-    println!("after 10 rounds without the originator: {stale} of {} peers still stale", N_NODES - 1);
+    println!(
+        "after 10 rounds without the originator: {stale} of {} peers still stale",
+        N_NODES - 1
+    );
     assert_eq!(stale, N_NODES - 2);
 
     // Only the originator's recovery completes propagation.

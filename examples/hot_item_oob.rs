@@ -56,10 +56,7 @@ fn main() -> Result<()> {
         assert_eq!(o.aux_discarded, vec![CHECKLIST]);
     }
     assert_eq!(engineer.aux_item_count(), 0);
-    assert_eq!(
-        engineer.read(CHECKLIST)?.as_bytes(),
-        b"[ ] build [ ] sign [x] tests "
-    );
+    assert_eq!(engineer.read(CHECKLIST)?.as_bytes(), b"[ ] build [ ] sign [x] tests ");
 
     // The replayed edit is now a regular update and propagates everywhere.
     pull(&mut coordinator, &mut engineer)?;
@@ -70,6 +67,9 @@ fn main() -> Result<()> {
         r.check_invariants().expect("invariants");
         assert_eq!(r.costs().conflicts_detected, 0);
     }
-    println!("everyone converged on: {:?}", String::from_utf8_lossy(mirror.read(CHECKLIST)?.as_bytes()));
+    println!(
+        "everyone converged on: {:?}",
+        String::from_utf8_lossy(mirror.read(CHECKLIST)?.as_bytes())
+    );
     Ok(())
 }

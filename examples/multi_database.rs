@@ -39,11 +39,7 @@ fn main() -> Result<()> {
     assert_eq!(mail.1.copied(), &[ItemId(99)]);
 
     // Per-database DBVVs: mail has 2 updates total, docs 1.
-    println!(
-        "hq DBVVs: mail {} docs {}",
-        hq.database("mail")?.dbvv(),
-        hq.database("docs")?.dbvv()
-    );
+    println!("hq DBVVs: mail {} docs {}", hq.database("mail")?.dbvv(), hq.database("docs")?.dbvv());
     assert_eq!(hq.database("mail")?.dbvv().total(), 2);
     assert_eq!(hq.database("docs")?.dbvv().total(), 1);
     hq.check_invariants().expect("invariants");

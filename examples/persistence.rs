@@ -46,10 +46,7 @@ fn main() -> Result<()> {
             o.copied, o.replayed
         );
     }
-    assert_eq!(
-        laptop.read(ItemId(1))?.as_bytes(),
-        b"chapter one, revised + margin note"
-    );
+    assert_eq!(laptop.read(ItemId(1))?.as_bytes(), b"chapter one, revised + margin note");
     assert_eq!(laptop.read(ItemId(2))?.as_bytes(), b"chapter two");
     assert_eq!(laptop.aux_item_count(), 0);
 
@@ -58,6 +55,9 @@ fn main() -> Result<()> {
     assert_eq!(server.read(ItemId(1))?, laptop.read(ItemId(1))?);
     server.check_invariants().expect("invariants");
     laptop.check_invariants().expect("invariants");
-    println!("server and laptop reconciled: {:?}", String::from_utf8_lossy(server.read(ItemId(1))?.as_bytes()));
+    println!(
+        "server and laptop reconciled: {:?}",
+        String::from_utf8_lossy(server.read(ItemId(1))?.as_bytes())
+    );
     Ok(())
 }

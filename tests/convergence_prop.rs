@@ -41,10 +41,7 @@ fn run_script(script: &[Action]) -> EpidbCluster {
                 let node = NodeId((item.index() % N_NODES) as u16);
                 let mut payload = counter.to_le_bytes().to_vec();
                 payload.push(b'.');
-                cluster
-                    .replica_mut(node)
-                    .update(item, UpdateOp::append(payload))
-                    .expect("update");
+                cluster.replica_mut(node).update(item, UpdateOp::append(payload)).expect("update");
             }
             Action::Pull { r, s } => {
                 if r != s {
@@ -69,9 +66,7 @@ fn quiesce(cluster: &mut EpidbCluster) {
         for r in 0..N_NODES {
             for s in 0..N_NODES {
                 if r != s {
-                    cluster
-                        .pull_pair(NodeId::from_index(r), NodeId::from_index(s))
-                        .expect("pull");
+                    cluster.pull_pair(NodeId::from_index(r), NodeId::from_index(s)).expect("pull");
                 }
             }
         }

@@ -27,12 +27,8 @@ fn conflict_free_runs_satisfy_all_criteria_across_seeds() {
 
 #[test]
 fn heavy_oob_traffic_still_satisfies_criteria() {
-    let report = run_audit(AuditConfig {
-        oob_per_round: 8,
-        rounds: 40,
-        seed: 12,
-        ..AuditConfig::default()
-    });
+    let report =
+        run_audit(AuditConfig { oob_per_round: 8, rounds: 40, seed: 12, ..AuditConfig::default() });
     assert!(report.all_criteria_hold(), "{report:?}");
     assert_eq!(report.aux_leftovers, 0);
 }

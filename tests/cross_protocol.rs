@@ -3,9 +3,7 @@
 //! identical workloads, while their overheads separate exactly as §6/§8
 //! predict.
 
-use epidb::baselines::{
-    LotusCluster, PerItemVvCluster, SyncProtocol, WuuBernsteinCluster,
-};
+use epidb::baselines::{LotusCluster, PerItemVvCluster, SyncProtocol, WuuBernsteinCluster};
 use epidb::prelude::*;
 use epidb::sim::{Driver, DriverConfig, EpidbCluster, Schedule, Workload, WorkloadKind};
 
@@ -17,7 +15,12 @@ fn drive<P: SyncProtocol>(proto: &mut P, seed: u64) -> Option<usize> {
     let updates = wl.take(150);
     let mut driver = Driver::new(
         proto,
-        DriverConfig { schedule: Schedule::RandomPairwise, seed: 77, max_rounds: 200, ..DriverConfig::default() },
+        DriverConfig {
+            schedule: Schedule::RandomPairwise,
+            seed: 77,
+            max_rounds: 200,
+            ..DriverConfig::default()
+        },
     );
     driver.apply_updates(&updates).expect("updates");
     driver.run_to_convergence().expect("run")
@@ -59,7 +62,12 @@ fn epidb_total_overhead_is_smallest_once_database_is_large() {
         let updates = wl.take(100);
         let mut driver = Driver::new(
             proto,
-            DriverConfig { schedule: Schedule::RandomPairwise, seed: 77, max_rounds: 200, ..DriverConfig::default() },
+            DriverConfig {
+                schedule: Schedule::RandomPairwise,
+                seed: 77,
+                max_rounds: 200,
+                ..DriverConfig::default()
+            },
         );
         driver.apply_updates(&updates).expect("updates");
         driver.run_to_convergence().expect("run").expect("converged");
@@ -73,14 +81,8 @@ fn epidb_total_overhead_is_smallest_once_database_is_large() {
     let pivv_work = measure(&mut pivv);
     let lotus_work = measure(&mut lotus);
 
-    assert!(
-        epidb_work * 10 < pivv_work,
-        "epidb {epidb_work} not ≪ per-item-vv {pivv_work}"
-    );
-    assert!(
-        epidb_work * 10 < lotus_work,
-        "epidb {epidb_work} not ≪ lotus {lotus_work}"
-    );
+    assert!(epidb_work * 10 < pivv_work, "epidb {epidb_work} not ≪ per-item-vv {pivv_work}");
+    assert!(epidb_work * 10 < lotus_work, "epidb {epidb_work} not ≪ lotus {lotus_work}");
 }
 
 #[test]
@@ -96,7 +98,12 @@ fn hotspot_workload_converges_everywhere() {
     let updates = wl.take(400);
     let mut driver = Driver::new(
         &mut epidb,
-        DriverConfig { schedule: Schedule::Ring, seed: 5, max_rounds: 300, ..DriverConfig::default() },
+        DriverConfig {
+            schedule: Schedule::Ring,
+            seed: 5,
+            max_rounds: 300,
+            ..DriverConfig::default()
+        },
     );
     driver.apply_updates(&updates).expect("updates");
     assert!(driver.run_to_convergence().expect("run").is_some());

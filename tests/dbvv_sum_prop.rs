@@ -1,0 +1,80 @@
+//! Property test for the central bookkeeping invariant (DESIGN §7): after
+//! *every* protocol step — local update, anti-entropy pull, out-of-bound
+//! copy, delta-mode pull, intra-node replay, crash/recovery — each
+//! replica's DBVV equals the component-wise sum of its regular item IVVs
+//! (the defining property of maintenance rules 1–3, §4.1).
+//!
+//! The whole invariant battery is one line per step thanks to the
+//! [`ReplicaAuditor`](epidb::core::ReplicaAuditor) behind `Replica::audit`.
+
+use epidb::prelude::*;
+use proptest::prelude::*;
+
+const N_NODES: usize = 3;
+const N_ITEMS: usize = 6;
+
+/// Borrow two distinct replicas mutably.
+fn pair_mut(replicas: &mut [Replica], a: usize, b: usize) -> (&mut Replica, &mut Replica) {
+    assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = replicas.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = replicas.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// `steps` is a random schedule: (kind, node, item, payload byte).
+    /// Kinds 0–1 are updates (double weight), 2 pull, 3 out-of-bound copy,
+    /// 4 delta pull, 5 crash/recovery.
+    #[test]
+    fn dbvv_equals_ivv_sum_after_every_step(
+        steps in prop::collection::vec(
+            (0u8..6, 0usize..N_NODES, 0usize..N_ITEMS, any::<u8>()),
+            1..100,
+        ),
+        lww in any::<bool>(),
+    ) {
+        let policy = if lww { ConflictPolicy::ResolveLww } else { ConflictPolicy::Report };
+        let mut replicas: Vec<Replica> = (0..N_NODES)
+            .map(|i| Replica::with_policy(NodeId::from_index(i), N_NODES, N_ITEMS, policy))
+            .collect();
+
+        for (i, &(kind, node, item, byte)) in steps.iter().enumerate() {
+            let peer = (node + 1 + (byte as usize) % (N_NODES - 1)) % N_NODES;
+            match kind {
+                0 | 1 => {
+                    let payload = vec![byte, b';'];
+                    replicas[node].update(ItemId::from_index(item), UpdateOp::append(payload)).unwrap();
+                }
+                2 => {
+                    let (r, s) = pair_mut(&mut replicas, node, peer);
+                    pull(r, s).unwrap();
+                    r.drain_conflicts();
+                }
+                3 => {
+                    let (r, s) = pair_mut(&mut replicas, node, peer);
+                    oob_copy(r, s, ItemId::from_index(item)).unwrap();
+                    r.drain_conflicts();
+                }
+                4 => {
+                    let (r, s) = pair_mut(&mut replicas, node, peer);
+                    pull_delta(r, s).unwrap();
+                    r.drain_conflicts();
+                }
+                _ => {
+                    let snapshot = replicas[node].to_snapshot();
+                    replicas[node] = Replica::from_snapshot(&snapshot).unwrap();
+                }
+            }
+            for r in &replicas {
+                let report = r.audit();
+                prop_assert!(report.is_clean(), "after step {i} ({kind}): {}", report.summary());
+            }
+        }
+    }
+}

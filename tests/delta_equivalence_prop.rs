@@ -39,11 +39,7 @@ fn run(script: &[Action], use_delta: bool) -> EpidbCluster {
                 let item = ItemId(*x as u32);
                 let node = NodeId((item.index() % N_NODES) as u16); // single-writer
                 let payload = counter.to_le_bytes().to_vec();
-                let op = if *append {
-                    UpdateOp::append(payload)
-                } else {
-                    UpdateOp::set(payload)
-                };
+                let op = if *append { UpdateOp::append(payload) } else { UpdateOp::set(payload) };
                 cluster.replica_mut(node).update(item, op).expect("update");
             }
             Action::Pull { r, s } => {

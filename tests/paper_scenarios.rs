@@ -109,10 +109,7 @@ fn oob_makes_new_version_immediately_visible() {
     let mut c = EpidbCluster::new(4, 50);
     c.update(NodeId(0), ItemId(10), UpdateOp::set(&b"breaking news"[..])).unwrap();
     c.oob(NodeId(3), NodeId(0), ItemId(10)).unwrap();
-    assert_eq!(
-        c.replica(NodeId(3)).read(ItemId(10)).unwrap().as_bytes(),
-        b"breaking news"
-    );
+    assert_eq!(c.replica(NodeId(3)).read(ItemId(10)).unwrap().as_bytes(), b"breaking news");
     // Other replicas are unaffected until scheduled propagation.
     assert_eq!(c.replica(NodeId(1)).read(ItemId(10)).unwrap().as_bytes(), b"");
 }

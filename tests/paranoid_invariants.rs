@@ -1,0 +1,232 @@
+//! Paranoid-mode integration tests: randomized schedules of updates,
+//! anti-entropy pulls, out-of-bound copies, crash/recovery, and LWW
+//! conflict resolution, with per-step invariant auditing on at every
+//! replica. Any drift from the DESIGN §4/§7 invariants panics immediately
+//! with the structured protocol trace naming the offending step.
+//!
+//! Also the acceptance check for the auditor itself: a deliberately
+//! injected DBVV corruption must be caught at the very next protocol step,
+//! and the panic must carry the trace dump.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use epidb::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Borrow two distinct replicas mutably.
+fn pair_mut(replicas: &mut [Replica], a: usize, b: usize) -> (&mut Replica, &mut Replica) {
+    assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = replicas.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = replicas.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+fn paranoid_cluster(n_nodes: usize, n_items: usize, policy: ConflictPolicy) -> Vec<Replica> {
+    let mut replicas: Vec<Replica> = (0..n_nodes)
+        .map(|i| Replica::with_policy(NodeId::from_index(i), n_nodes, n_items, policy))
+        .collect();
+    for r in &mut replicas {
+        r.set_paranoid(true);
+    }
+    replicas
+}
+
+/// One randomized schedule. `conflict_prone` lets any node update any item;
+/// otherwise items are single-writer partitioned. `with_crashes` mixes in
+/// snapshot/restore cycles (the paranoid flag is ephemeral, so recovery
+/// re-enables it — exactly what a paranoid deployment would do).
+fn run_schedule(
+    policy: ConflictPolicy,
+    seed: u64,
+    conflict_prone: bool,
+    with_crashes: bool,
+) -> Vec<Replica> {
+    const N_NODES: usize = 4;
+    const N_ITEMS: usize = 12;
+    const STEPS: usize = 400;
+
+    let mut replicas = paranoid_cluster(N_NODES, N_ITEMS, policy);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut payload_counter: u64 = 0;
+
+    for _ in 0..STEPS {
+        let kind = rng.gen_range(0u32..100);
+        match kind {
+            // Local update.
+            0..=44 => {
+                let item = ItemId::from_index(rng.gen_range(0..N_ITEMS));
+                let node =
+                    if conflict_prone { rng.gen_range(0..N_NODES) } else { item.index() % N_NODES };
+                payload_counter += 1;
+                let mut payload = payload_counter.to_le_bytes().to_vec();
+                payload.push(b';');
+                replicas[node].update(item, UpdateOp::append(payload)).unwrap();
+            }
+            // Anti-entropy pull between a random pair.
+            45..=74 => {
+                let r = rng.gen_range(0..N_NODES);
+                let s = (r + rng.gen_range(1..N_NODES)) % N_NODES;
+                let (recipient, source) = pair_mut(&mut replicas, r, s);
+                pull(recipient, source).unwrap();
+                recipient.drain_conflicts();
+            }
+            // Out-of-bound copy of a random item.
+            75..=84 => {
+                let r = rng.gen_range(0..N_NODES);
+                let s = (r + rng.gen_range(1..N_NODES)) % N_NODES;
+                let item = ItemId::from_index(rng.gen_range(0..N_ITEMS));
+                let (recipient, source) = pair_mut(&mut replicas, r, s);
+                oob_copy(recipient, source, item).unwrap();
+                recipient.drain_conflicts();
+            }
+            // Delta-mode pull (update-record shipping).
+            85..=92 => {
+                let r = rng.gen_range(0..N_NODES);
+                let s = (r + rng.gen_range(1..N_NODES)) % N_NODES;
+                let (recipient, source) = pair_mut(&mut replicas, r, s);
+                pull_delta(recipient, source).unwrap();
+                recipient.drain_conflicts();
+            }
+            // Crash + recovery: snapshot, drop, restore, re-arm paranoia.
+            _ => {
+                if !with_crashes {
+                    continue;
+                }
+                let victim = rng.gen_range(0..N_NODES);
+                let snapshot = replicas[victim].to_snapshot();
+                let mut revived = Replica::from_snapshot(&snapshot).unwrap();
+                revived.set_paranoid(true);
+                replicas[victim] = revived;
+            }
+        }
+    }
+
+    // Quiescence: all-pairs sweeps so everything propagates transitively.
+    for _sweep in 0..(2 * N_NODES + 2) {
+        for r in 0..N_NODES {
+            for s in 0..N_NODES {
+                if r != s {
+                    let (recipient, source) = pair_mut(&mut replicas, r, s);
+                    pull(recipient, source).unwrap();
+                    recipient.drain_conflicts();
+                }
+            }
+        }
+    }
+    replicas
+}
+
+fn assert_audited_and_clean(replicas: &[Replica]) {
+    for r in replicas {
+        // Every step was audited live (a violation would have panicked)...
+        assert!(r.audits_run() > 0, "{}: paranoid mode ran no audits", r.id());
+        assert!(!r.trace().is_empty(), "{}: no protocol trace recorded", r.id());
+        // ...and a final explicit audit agrees.
+        let report = r.audit();
+        assert!(report.is_clean(), "{}", report.summary());
+    }
+}
+
+#[test]
+fn conflict_free_schedules_hold_invariants_and_converge() {
+    for seed in [1, 42, 1996] {
+        let replicas = run_schedule(ConflictPolicy::Report, seed, false, false);
+        assert_audited_and_clean(&replicas);
+        // Single-writer workload: no conflicts, full convergence.
+        for r in &replicas {
+            assert_eq!(r.costs().conflicts_detected, 0, "seed {seed}");
+            assert_eq!(
+                r.dbvv().compare(replicas[0].dbvv()),
+                VvOrd::Equal,
+                "seed {seed}: {} did not converge",
+                r.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_recovery_schedules_hold_invariants() {
+    for seed in [7, 2024] {
+        let replicas = run_schedule(ConflictPolicy::Report, seed, false, true);
+        assert_audited_and_clean(&replicas);
+        for r in &replicas {
+            assert_eq!(
+                r.dbvv().compare(replicas[0].dbvv()),
+                VvOrd::Equal,
+                "seed {seed}: {} did not converge after crashes",
+                r.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn conflict_prone_report_schedules_hold_invariants() {
+    // Concurrent writers with the report-only policy: conflicts are
+    // declared and left frozen, but every per-replica invariant must hold
+    // at every step regardless.
+    for seed in [5, 99] {
+        let replicas = run_schedule(ConflictPolicy::Report, seed, true, true);
+        assert_audited_and_clean(&replicas);
+    }
+}
+
+#[test]
+fn lww_schedules_hold_invariants_through_resolutions() {
+    // Concurrent writers with last-writer-wins: resolutions are logged as
+    // fresh local updates and must keep DBVV == Σ IVV like any other step.
+    for seed in [3, 77] {
+        let replicas = run_schedule(ConflictPolicy::ResolveLww, seed, true, true);
+        assert_audited_and_clean(&replicas);
+        let resolutions: u64 = replicas.iter().map(|r| r.counters().lww_resolutions).sum();
+        assert!(resolutions > 0, "seed {seed}: conflict-prone LWW run resolved nothing");
+    }
+}
+
+#[test]
+fn injected_dbvv_corruption_is_caught_with_trace() {
+    let mut r = Replica::new(NodeId(0), 3, 8);
+    r.set_paranoid(true);
+    r.update(ItemId(1), UpdateOp::set(&b"healthy"[..])).unwrap();
+
+    // Corrupt the DBVV behind the protocol's back (rule-3 bookkeeping
+    // drifts from the item IVVs), then take one normal protocol step.
+    r.debug_corrupt_dbvv();
+    let panic = catch_unwind(AssertUnwindSafe(|| {
+        r.update(ItemId(2), UpdateOp::set(&b"next step"[..])).unwrap();
+    }))
+    .expect_err("paranoid mode must catch the corrupted DBVV");
+
+    let msg = panic
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload is a string");
+    assert!(msg.contains("paranoid: invariant violation"), "message: {msg}");
+    // The violated invariant is named...
+    assert!(msg.contains("dbvv-sum"), "message: {msg}");
+    // ...the offending step is named...
+    assert!(msg.contains("local-update"), "message: {msg}");
+    // ...and the structured trace dump rides along.
+    assert!(msg.contains("protocol trace"), "message: {msg}");
+}
+
+#[test]
+fn paranoid_off_is_inert_but_explicit_audit_still_reports() {
+    let mut r = Replica::new(NodeId(0), 3, 8);
+    r.update(ItemId(1), UpdateOp::set(&b"v"[..])).unwrap();
+    r.debug_corrupt_dbvv();
+    // No paranoia: the corruption goes unnoticed by normal operation.
+    r.update(ItemId(2), UpdateOp::set(&b"w"[..])).unwrap();
+    assert_eq!(r.audits_run(), 0);
+    // But an on-demand audit still finds it.
+    let report = r.audit();
+    assert!(!report.is_clean());
+    assert!(report.summary().contains("dbvv-sum"));
+}

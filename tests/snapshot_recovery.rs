@@ -35,10 +35,7 @@ fn restored_replica_rejoins_simulated_cluster() {
     // ...and ordinary anti-entropy completes the recovery.
     let out = cluster.pull_pair(NodeId(2), NodeId(0)).unwrap();
     assert_eq!(out.copied(), &[ItemId(99)]);
-    assert_eq!(
-        cluster.replica(NodeId(2)).read(ItemId(99)).unwrap().as_bytes(),
-        b"while-down"
-    );
+    assert_eq!(cluster.replica(NodeId(2)).read(ItemId(99)).unwrap().as_bytes(), b"while-down");
     cluster.assert_invariants();
 }
 

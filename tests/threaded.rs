@@ -24,9 +24,7 @@ fn concurrent_writers_converge_under_loss_and_latency() {
     // Single-writer partition: node = item mod 5.
     for i in 0..100u32 {
         let node = NodeId((i % 5) as u16);
-        cluster
-            .update(node, ItemId(i), UpdateOp::set(format!("v{i}").into_bytes()))
-            .unwrap();
+        cluster.update(node, ItemId(i), UpdateOp::set(format!("v{i}").into_bytes())).unwrap();
     }
     assert!(cluster.quiesce(Duration::from_secs(60)), "no quiescence under loss");
     for i in (0..100u32).step_by(13) {
@@ -70,9 +68,7 @@ fn repeated_crash_revive_cycles_stay_consistent() {
         cluster.crash(victim);
         // Updates continue at a surviving node.
         let writer = NodeId(((cycle + 1) % 4) as u16);
-        cluster
-            .update(writer, ItemId(cycle as u32), UpdateOp::set(vec![cycle + 1]))
-            .unwrap();
+        cluster.update(writer, ItemId(cycle as u32), UpdateOp::set(vec![cycle + 1])).unwrap();
         assert!(cluster.quiesce(Duration::from_secs(30)));
         cluster.revive(victim);
         assert!(cluster.quiesce(Duration::from_secs(30)));

@@ -1,0 +1,319 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of Criterion's API its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `BatchSize`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up briefly,
+//! then timed over enough iterations to cover a fixed measurement window,
+//! and the mean ns/iter is printed. There are no statistical reports, HTML
+//! output, or comparisons — the point is that `cargo bench` compiles, runs,
+//! and prints honest wall-clock numbers offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for API compatibility; the shim
+/// times per-batch either way).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per measurement batch.
+    SmallInput,
+    /// Large inputs: one per measurement batch.
+    LargeInput,
+    /// Explicit batch size.
+    NumBatches(u64),
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name and/or parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    elapsed_ns_per_iter: f64,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly; the routine's return value is black-boxed
+    /// so its computation cannot be optimized away.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up & calibration: estimate per-iter cost.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < self.measurement_time / 10 {
+            std::hint::black_box(routine());
+            calib_iters += 1;
+            if calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed().as_nanos().max(1) as f64 / calib_iters as f64;
+        let target = self.measurement_time.as_nanos() as f64;
+        let iters = ((target / per_iter) as u64).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Time `routine` over fresh inputs built by `setup`; setup time and
+    /// drop time of the routine's output are excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline && iters < 1_000_000 {
+            let input = setup();
+            let start = Instant::now();
+            let out = std::hint::black_box(routine(input));
+            total += start.elapsed();
+            drop(out);
+            iters += 1;
+        }
+        self.elapsed_ns_per_iter = total.as_nanos().max(1) as f64 / iters.max(1) as f64;
+    }
+
+    /// As [`iter_batched`](Self::iter_batched), passing the input by
+    /// reference.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        size: BatchSize,
+    ) {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sampling is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement window for benches in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Shorten warm-up (accepted for API compatibility).
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benches with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        routine: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher =
+            Bencher { elapsed_ns_per_iter: 0.0, measurement_time: self.criterion.measurement_time };
+        routine(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher =
+            Bencher { elapsed_ns_per_iter: 0.0, measurement_time: self.criterion.measurement_time };
+        routine(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Finish the group (prints nothing extra; provided for parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let ns = bencher.elapsed_ns_per_iter;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!("  ({:.1} MiB/s)", b as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(e)) => {
+                format!("  ({:.1} Melem/s)", e as f64 / ns * 1e9 / 1e6)
+            }
+            None => String::new(),
+        };
+        println!("{}/{:<32} {:>14.1} ns/iter{}", self.name, id.to_string(), ns, rate);
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { measurement_time: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, routine: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let name_owned = name.to_string();
+        let mut group = self.benchmark_group(name_owned);
+        group.bench_function(BenchmarkId::from("bench"), routine);
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Parse CLI args (no-op in the shim; accepted so `configure_from_args`
+    /// call sites compile).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Final summary hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Prevent the optimizer from eliding a value's computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion { measurement_time: Duration::from_millis(5) };
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10).throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function(BenchmarkId::new("batched", 1), |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

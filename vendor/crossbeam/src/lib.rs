@@ -1,0 +1,52 @@
+//! Offline, API-compatible subset of the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `crossbeam` it uses: unbounded MPSC channels with
+//! `recv_timeout`, delegated to `std::sync::mpsc` (which has the same
+//! semantics for every operation this workspace performs — single consumer
+//! per receiver, clonable senders, disconnect detection).
+
+pub mod channel {
+    //! Multi-producer channels (subset of `crossbeam::channel`).
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+    /// The receiving half. A thin wrapper over `std::sync::mpsc::Receiver`
+    /// (kept as a distinct type so the API matches crossbeam's paths).
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn send_recv_and_timeout() {
+            let (tx, rx) = unbounded();
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+            assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Timeout));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn senders_clone() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(1).unwrap()).join().unwrap();
+            tx.send(2).unwrap();
+            let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+            got.sort();
+            assert_eq!(got, vec![1, 2]);
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the proptest API it actually uses: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
+//! `prop_oneof!`, `prop::collection::vec`, `any::<T>()`, integer-range
+//! strategies, tuple strategies, and `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics immediately; the runner
+//!   prints the test name, case index, and the deterministic per-case seed
+//!   before propagating the panic, so the failure is reproducible (set
+//!   `PROPTEST_CASES` to raise the case count, and the printed seed
+//!   pins the exact inputs).
+//! * **Deterministic by default.** Case seeds derive from the test name
+//!   and case index, so a failure in CI reproduces locally with no
+//!   persistence files.
+//! * `prop_assert!` family panics (like `assert!`) instead of returning
+//!   `Err(TestCaseError)` — observationally identical for test outcomes.
+
+pub mod strategy;
+
+pub mod arbitrary {
+    //! `Arbitrary` — default strategies per type.
+
+    use crate::strategy::{AnyBool, AnyInt, Strategy};
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy [`any`] returns.
+        type Strategy: Strategy<Value = Self>;
+        /// The canonical strategy generating arbitrary values of `Self`.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = AnyInt<$t>;
+                fn arbitrary() -> AnyInt<$t> {
+                    AnyInt::new()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Size specification for collection strategies: a fixed length or a
+    /// half-open range of lengths.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)` — vectors whose length is
+    /// drawn from `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies (`prop::bool`).
+
+    pub use crate::strategy::AnyBool;
+
+    /// Either boolean, equiprobable.
+    pub const ANY: AnyBool = AnyBool;
+}
+
+pub mod num {
+    //! Numeric strategy helpers (`prop::num`). Range syntax (`0u64..10`)
+    //! is the supported entry point; this module exists for path
+    //! compatibility.
+}
+
+pub mod test_runner {
+    //! The test runner and its configuration.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// Runner configuration (subset of the real crate's fields).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Unused by this shim (kept for struct-literal compatibility).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+            ProptestConfig { cases, max_shrink_iters: 0 }
+        }
+    }
+
+    /// Drives one property: `cases` deterministic executions.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// A runner for `config`.
+        pub fn new(config: ProptestConfig) -> TestRunner {
+            TestRunner { config }
+        }
+
+        /// Run `body` once per case with a deterministically seeded RNG.
+        /// On panic, report the case index and seed, then re-panic.
+        pub fn run(&mut self, name: &str, mut body: impl FnMut(&mut TestRng)) {
+            for case in 0..self.config.cases {
+                let seed = Self::case_seed(name, case);
+                let mut rng = TestRng::seed_from_u64(seed);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    body(&mut rng);
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest: property `{name}` failed at case {case}/{} (seed \
+                         {seed:#018x}); no shrinking in the offline shim — the seed \
+                         reproduces the inputs exactly",
+                        self.config.cases
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+
+        /// FNV-1a over the test name, mixed with the case index.
+        fn case_seed(name: &str, case: u32) -> u64 {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            h ^ ((case as u64).wrapping_mul(0x9E3779B97F4A7C15))
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop` module path (`prop::collection::vec`, `prop::bool::ANY`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::strategy;
+    }
+}
+
+/// Assert a condition inside a property (panics on failure, like
+/// `assert!` — the offline shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Choose among strategies, optionally weighted
+/// (`prop_oneof![3 => a, 1 => b]` or `prop_oneof![a, b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`] — one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run(concat!(module_path!(), "::", stringify!($name)), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|n| n * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 5u32..17, b in 0usize..3) {
+            prop_assert!((5..17).contains(&a));
+            prop_assert!(b < 3);
+        }
+
+        #[test]
+        fn map_applies(n in arb_even()) {
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in prop::collection::vec((any::<u8>(), 0u16..9), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&(_, b)| b < 9));
+        }
+
+        #[test]
+        fn oneof_weighted(x in prop_oneof![4 => 0u8..10, 1 => 200u8..210]) {
+            prop_assert!(x < 10 || (200..210).contains(&x));
+        }
+
+        #[test]
+        fn bool_any(b in prop::bool::ANY, flag in any::<bool>()) {
+            prop_assert!(usize::from(b) + usize::from(flag) <= 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+        /// Doc comments and low case counts parse.
+        #[test]
+        fn config_override_parses(_x in 0u8..2) {}
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{TestRng, TestRunner};
+        let strat = crate::collection::vec(0u32..100, 3..8);
+        let mut first: Vec<Vec<u32>> = Vec::new();
+        let mut runner =
+            TestRunner::new(crate::test_runner::ProptestConfig { cases: 5, ..Default::default() });
+        runner.run("det", |rng: &mut TestRng| {
+            first.push(strat.generate(rng));
+        });
+        let mut second: Vec<Vec<u32>> = Vec::new();
+        let mut runner =
+            TestRunner::new(crate::test_runner::ProptestConfig { cases: 5, ..Default::default() });
+        runner.run("det", |rng: &mut TestRng| {
+            second.push(strat.generate(rng));
+        });
+        assert_eq!(first, second);
+    }
+}
