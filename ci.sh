@@ -12,6 +12,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== build (release) =="
 cargo build --release --workspace
 
+echo "== docs =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "== tests =="
 cargo test -q --workspace
 

@@ -3,9 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use epidb_bench::prepared_pair;
-use epidb_common::NodeId;
-use epidb_core::codec::{decode_message, encode_message, WireMessage};
-use epidb_core::{PropagationResponse, Replica};
+use epidb_core::codec::{decode_response, encode_response};
+use epidb_core::{PropagationResponse, ProtocolResponse, Replica};
 use std::hint::black_box;
 
 fn bench_message_roundtrip(c: &mut Criterion) {
@@ -15,18 +14,18 @@ fn bench_message_roundtrip(c: &mut Criterion) {
         // A realistic pull response carrying m shipped items.
         let (mut src, dst) = prepared_pair(4, 10_000, m);
         let response = src.prepare_propagation(&dst.dbvv().clone());
-        let msg = WireMessage::PullResponse { from: NodeId(0), response };
-        let encoded = encode_message(&msg);
+        let msg = ProtocolResponse::Pull(response);
+        let encoded = encode_response(&msg);
         g.throughput(Throughput::Bytes(encoded.len() as u64));
         g.bench_with_input(BenchmarkId::new("encode", m), &m, |bench, _| {
-            bench.iter(|| black_box(encode_message(black_box(&msg))));
+            bench.iter(|| black_box(encode_response(black_box(&msg))));
         });
         g.bench_with_input(BenchmarkId::new("decode", m), &m, |bench, _| {
-            bench.iter(|| black_box(decode_message(black_box(&encoded)).unwrap()));
+            bench.iter(|| black_box(decode_response(black_box(&encoded)).unwrap()));
         });
         // Sanity: the decoded payload matches the original item count.
-        if let WireMessage::PullResponse { response: PropagationResponse::Payload(p), .. } =
-            decode_message(&encoded).unwrap()
+        if let ProtocolResponse::Pull(PropagationResponse::Payload(p)) =
+            decode_response(&encoded).unwrap()
         {
             assert_eq!(p.items.len(), m);
         }

@@ -14,7 +14,10 @@ use epidb_log::LogRecord;
 use epidb_store::{ItemValue, UpdateOp};
 use epidb_vv::{DbVersionVector, VersionVector};
 
+use crate::delta::{DeltaItem, DeltaOffer, DeltaOfferResponse, DeltaPayload, DeltaRequest};
+use crate::engine::{ProtocolRequest, ProtocolResponse};
 use crate::messages::{OobReply, PropagationPayload, PropagationResponse, ShippedItem};
+use crate::opcache::CachedOp;
 
 /// Format version byte embedded in framed messages and snapshots.
 pub const CODEC_VERSION: u8 = 1;
@@ -315,111 +318,349 @@ pub fn get_oob_reply(r: &mut Reader<'_>) -> Result<OobReply> {
     Ok(OobReply { item, ivv, value, from_aux })
 }
 
-// --- framed protocol messages (for real transports) ------------------------
+// --- delta messages ---------------------------------------------------------
 
-/// A complete, self-describing protocol message as it travels over a real
-/// transport (e.g. the TCP runtime).
-#[derive(Debug)]
-pub enum WireMessage {
-    /// Pull request: the recipient's node id and DBVV.
-    PullRequest {
-        /// Requesting node.
-        from: NodeId,
-        /// Its database version vector.
-        dbvv: DbVersionVector,
-    },
-    /// Pull response from a source node.
-    PullResponse {
-        /// Replying node.
-        from: NodeId,
-        /// The decision/payload.
-        response: PropagationResponse,
-    },
-    /// Out-of-bound request for one item.
-    OobRequest {
-        /// Requesting node.
-        from: NodeId,
-        /// Wanted item.
-        item: ItemId,
-    },
-    /// Out-of-bound reply.
-    OobResponse {
-        /// Replying node.
-        from: NodeId,
-        /// The item copy.
-        reply: OobReply,
-    },
+/// Encode a cached operation (pre-state IVV + the op).
+pub fn put_cached_op(w: &mut Writer, c: &CachedOp) {
+    put_vv(w, &c.pre_vv);
+    put_op(w, &c.op);
 }
 
-const MSG_PULL_REQ: u8 = 1;
-const MSG_PULL_RESP: u8 = 2;
-const MSG_OOB_REQ: u8 = 3;
-const MSG_OOB_RESP: u8 = 4;
+/// Decode a cached operation.
+pub fn get_cached_op(r: &mut Reader<'_>) -> Result<CachedOp> {
+    let pre_vv = get_vv(r)?;
+    let op = get_op(r)?;
+    Ok(CachedOp { pre_vv, op })
+}
 
-/// Encode a framed message (version byte + tag + body). The length prefix
-/// is the transport's job.
-pub fn encode_message(msg: &WireMessage) -> Vec<u8> {
-    let mut w = Writer::new();
-    w.u8(CODEC_VERSION);
-    match msg {
-        WireMessage::PullRequest { from, dbvv } => {
-            w.u8(MSG_PULL_REQ);
-            w.u16(from.0);
-            put_dbvv(&mut w, dbvv);
+/// Encode a delta offer (tails + per-item IVVs).
+pub fn put_delta_offer(w: &mut Writer, o: &DeltaOffer) {
+    w.u16(o.tails.len() as u16);
+    for tail in &o.tails {
+        w.u32(tail.len() as u32);
+        for rec in tail {
+            put_log_record(w, rec);
         }
-        WireMessage::PullResponse { from, response } => {
-            w.u8(MSG_PULL_RESP);
-            w.u16(from.0);
-            put_response(&mut w, response);
+    }
+    w.u32(o.offers.len() as u32);
+    for (item, ivv) in &o.offers {
+        w.u32(item.0);
+        put_vv(w, ivv);
+    }
+}
+
+/// Decode a delta offer.
+pub fn get_delta_offer(r: &mut Reader<'_>) -> Result<DeltaOffer> {
+    let n_tails = r.u16()? as usize;
+    let mut tails = Vec::with_capacity(n_tails);
+    for _ in 0..n_tails {
+        let len = r.u32()? as usize;
+        let mut tail = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            tail.push(get_log_record(r)?);
         }
-        WireMessage::OobRequest { from, item } => {
-            w.u8(MSG_OOB_REQ);
+        tails.push(tail);
+    }
+    let n_offers = r.u32()? as usize;
+    let mut offers = Vec::with_capacity(n_offers.min(4096));
+    for _ in 0..n_offers {
+        let item = ItemId(r.u32()?);
+        offers.push((item, get_vv(r)?));
+    }
+    Ok(DeltaOffer { tails, offers })
+}
+
+/// Encode a delta want-list.
+pub fn put_delta_request(w: &mut Writer, req: &DeltaRequest) {
+    w.u32(req.wants.len() as u32);
+    for (item, ivv) in &req.wants {
+        w.u32(item.0);
+        put_vv(w, ivv);
+    }
+}
+
+/// Decode a delta want-list.
+pub fn get_delta_request(r: &mut Reader<'_>) -> Result<DeltaRequest> {
+    let n = r.u32()? as usize;
+    let mut wants = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let item = ItemId(r.u32()?);
+        wants.push((item, get_vv(r)?));
+    }
+    Ok(DeltaRequest { wants })
+}
+
+const DELTA_OPS: u8 = 0;
+const DELTA_WHOLE: u8 = 1;
+
+/// Encode one delta payload entry (op chain or whole-item fallback).
+pub fn put_delta_item(w: &mut Writer, item: &DeltaItem) {
+    match item {
+        DeltaItem::Ops { item, ops, final_ivv } => {
+            w.u8(DELTA_OPS);
+            w.u32(item.0);
+            put_vv(w, final_ivv);
+            w.u32(ops.len() as u32);
+            for c in ops {
+                put_cached_op(w, c);
+            }
+        }
+        DeltaItem::Whole(s) => {
+            w.u8(DELTA_WHOLE);
+            put_shipped_item(w, s);
+        }
+    }
+}
+
+/// Decode one delta payload entry.
+pub fn get_delta_item(r: &mut Reader<'_>) -> Result<DeltaItem> {
+    match r.u8()? {
+        DELTA_OPS => {
+            let item = ItemId(r.u32()?);
+            let final_ivv = get_vv(r)?;
+            let n = r.u32()? as usize;
+            let mut ops = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                ops.push(get_cached_op(r)?);
+            }
+            Ok(DeltaItem::Ops { item, ops, final_ivv })
+        }
+        DELTA_WHOLE => Ok(DeltaItem::Whole(get_shipped_item(r)?)),
+        t => Err(decode_err(format!("unknown delta item tag {t}"))),
+    }
+}
+
+/// Encode a delta data message.
+pub fn put_delta_payload(w: &mut Writer, p: &DeltaPayload) {
+    w.u32(p.items.len() as u32);
+    for item in &p.items {
+        put_delta_item(w, item);
+    }
+}
+
+/// Decode a delta data message.
+pub fn get_delta_payload(r: &mut Reader<'_>) -> Result<DeltaPayload> {
+    let n = r.u32()? as usize;
+    let mut items = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        items.push(get_delta_item(r)?);
+    }
+    Ok(DeltaPayload { items })
+}
+
+// --- framed protocol messages (for real transports) ------------------------
+
+const REQ_PULL: u8 = 1;
+const REQ_DELTA_PULL: u8 = 2;
+const REQ_DELTA_FETCH: u8 = 3;
+const REQ_OOB: u8 = 4;
+const REQ_LIST_DBS: u8 = 5;
+const REQ_DB: u8 = 6;
+
+const RESP_PULL: u8 = 1;
+const RESP_DELTA_OFFER: u8 = 2;
+const RESP_DELTA_PAYLOAD: u8 = 3;
+const RESP_OOB: u8 = 4;
+const RESP_DBS: u8 = 5;
+const RESP_DB: u8 = 6;
+const RESP_ERROR: u8 = 7;
+
+const OFFER_CURRENT: u8 = 0;
+const OFFER_OFFER: u8 = 1;
+
+/// One level of database routing is legal (a [`ProtocolRequest::Db`]
+/// envelope around a replica-level message); deeper nesting is rejected.
+const MAX_ROUTE_DEPTH: u8 = 1;
+
+fn put_string(w: &mut Writer, s: &str) {
+    w.bytes(s.as_bytes());
+}
+
+fn get_string(r: &mut Reader<'_>) -> Result<String> {
+    String::from_utf8(r.bytes()?.to_vec()).map_err(|e| decode_err(format!("bad utf-8: {e}")))
+}
+
+fn put_request_body(w: &mut Writer, req: &ProtocolRequest) {
+    match req {
+        ProtocolRequest::Pull { from, dbvv } => {
+            w.u8(REQ_PULL);
+            w.u16(from.0);
+            put_dbvv(w, dbvv);
+        }
+        ProtocolRequest::DeltaPull { from, dbvv } => {
+            w.u8(REQ_DELTA_PULL);
+            w.u16(from.0);
+            put_dbvv(w, dbvv);
+        }
+        ProtocolRequest::DeltaFetch { from, wants } => {
+            w.u8(REQ_DELTA_FETCH);
+            w.u16(from.0);
+            put_delta_request(w, wants);
+        }
+        ProtocolRequest::Oob { from, item } => {
+            w.u8(REQ_OOB);
             w.u16(from.0);
             w.u32(item.0);
         }
-        WireMessage::OobResponse { from, reply } => {
-            w.u8(MSG_OOB_RESP);
+        ProtocolRequest::ListDatabases { from } => {
+            w.u8(REQ_LIST_DBS);
             w.u16(from.0);
-            put_oob_reply(&mut w, reply);
+        }
+        ProtocolRequest::Db { name, req } => {
+            w.u8(REQ_DB);
+            put_string(w, name);
+            put_request_body(w, req);
         }
     }
+}
+
+fn get_request_body(r: &mut Reader<'_>, depth: u8) -> Result<ProtocolRequest> {
+    match r.u8()? {
+        REQ_PULL => {
+            let from = NodeId(r.u16()?);
+            Ok(ProtocolRequest::Pull { from, dbvv: get_dbvv(r)? })
+        }
+        REQ_DELTA_PULL => {
+            let from = NodeId(r.u16()?);
+            Ok(ProtocolRequest::DeltaPull { from, dbvv: get_dbvv(r)? })
+        }
+        REQ_DELTA_FETCH => {
+            let from = NodeId(r.u16()?);
+            Ok(ProtocolRequest::DeltaFetch { from, wants: get_delta_request(r)? })
+        }
+        REQ_OOB => {
+            let from = NodeId(r.u16()?);
+            Ok(ProtocolRequest::Oob { from, item: ItemId(r.u32()?) })
+        }
+        REQ_LIST_DBS => Ok(ProtocolRequest::ListDatabases { from: NodeId(r.u16()?) }),
+        REQ_DB => {
+            if depth >= MAX_ROUTE_DEPTH {
+                return Err(decode_err("nested db routing"));
+            }
+            let name = get_string(r)?;
+            let req = get_request_body(r, depth + 1)?;
+            Ok(ProtocolRequest::Db { name, req: Box::new(req) })
+        }
+        t => Err(decode_err(format!("unknown request tag {t}"))),
+    }
+}
+
+fn put_response_body(w: &mut Writer, resp: &ProtocolResponse) {
+    match resp {
+        ProtocolResponse::Pull(r) => {
+            w.u8(RESP_PULL);
+            put_response(w, r);
+        }
+        ProtocolResponse::DeltaOffer(DeltaOfferResponse::YouAreCurrent) => {
+            w.u8(RESP_DELTA_OFFER);
+            w.u8(OFFER_CURRENT);
+        }
+        ProtocolResponse::DeltaOffer(DeltaOfferResponse::Offer(o)) => {
+            w.u8(RESP_DELTA_OFFER);
+            w.u8(OFFER_OFFER);
+            put_delta_offer(w, o);
+        }
+        ProtocolResponse::DeltaPayload(p) => {
+            w.u8(RESP_DELTA_PAYLOAD);
+            put_delta_payload(w, p);
+        }
+        ProtocolResponse::Oob(reply) => {
+            w.u8(RESP_OOB);
+            put_oob_reply(w, reply);
+        }
+        ProtocolResponse::Databases(names) => {
+            w.u8(RESP_DBS);
+            w.u32(names.len() as u32);
+            for name in names {
+                put_string(w, name);
+            }
+        }
+        ProtocolResponse::Db { name, resp } => {
+            w.u8(RESP_DB);
+            put_string(w, name);
+            put_response_body(w, resp);
+        }
+        ProtocolResponse::Error(msg) => {
+            w.u8(RESP_ERROR);
+            put_string(w, msg);
+        }
+    }
+}
+
+fn get_response_body(r: &mut Reader<'_>, depth: u8) -> Result<ProtocolResponse> {
+    match r.u8()? {
+        RESP_PULL => Ok(ProtocolResponse::Pull(get_response(r)?)),
+        RESP_DELTA_OFFER => match r.u8()? {
+            OFFER_CURRENT => Ok(ProtocolResponse::DeltaOffer(DeltaOfferResponse::YouAreCurrent)),
+            OFFER_OFFER => {
+                Ok(ProtocolResponse::DeltaOffer(DeltaOfferResponse::Offer(get_delta_offer(r)?)))
+            }
+            t => Err(decode_err(format!("unknown offer tag {t}"))),
+        },
+        RESP_DELTA_PAYLOAD => Ok(ProtocolResponse::DeltaPayload(get_delta_payload(r)?)),
+        RESP_OOB => Ok(ProtocolResponse::Oob(get_oob_reply(r)?)),
+        RESP_DBS => {
+            let n = r.u32()? as usize;
+            let mut names = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                names.push(get_string(r)?);
+            }
+            Ok(ProtocolResponse::Databases(names))
+        }
+        RESP_DB => {
+            if depth >= MAX_ROUTE_DEPTH {
+                return Err(decode_err("nested db routing"));
+            }
+            let name = get_string(r)?;
+            let resp = get_response_body(r, depth + 1)?;
+            Ok(ProtocolResponse::Db { name, resp: Box::new(resp) })
+        }
+        RESP_ERROR => Ok(ProtocolResponse::Error(get_string(r)?)),
+        t => Err(decode_err(format!("unknown response tag {t}"))),
+    }
+}
+
+/// Encode a framed protocol request (version byte + tagged body). The
+/// length prefix is the transport's job.
+pub fn encode_request(req: &ProtocolRequest) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(CODEC_VERSION);
+    put_request_body(&mut w, req);
     w.into_bytes()
 }
 
-/// Decode a framed message, rejecting unknown versions/tags and trailing
-/// garbage.
-pub fn decode_message(buf: &[u8]) -> Result<WireMessage> {
+/// Decode a framed protocol request, rejecting unknown versions/tags,
+/// over-deep routing, and trailing garbage.
+pub fn decode_request(buf: &[u8]) -> Result<ProtocolRequest> {
     let mut r = Reader::new(buf);
     let version = r.u8()?;
     if version != CODEC_VERSION {
         return Err(decode_err(format!("unsupported codec version {version}")));
     }
-    let tag = r.u8()?;
-    let msg = match tag {
-        MSG_PULL_REQ => {
-            let from = NodeId(r.u16()?);
-            let dbvv = get_dbvv(&mut r)?;
-            WireMessage::PullRequest { from, dbvv }
-        }
-        MSG_PULL_RESP => {
-            let from = NodeId(r.u16()?);
-            let response = get_response(&mut r)?;
-            WireMessage::PullResponse { from, response }
-        }
-        MSG_OOB_REQ => {
-            let from = NodeId(r.u16()?);
-            let item = ItemId(r.u32()?);
-            WireMessage::OobRequest { from, item }
-        }
-        MSG_OOB_RESP => {
-            let from = NodeId(r.u16()?);
-            let reply = get_oob_reply(&mut r)?;
-            WireMessage::OobResponse { from, reply }
-        }
-        t => return Err(decode_err(format!("unknown message tag {t}"))),
-    };
+    let req = get_request_body(&mut r, 0)?;
     r.finish()?;
-    Ok(msg)
+    Ok(req)
+}
+
+/// Encode a framed protocol response (version byte + tagged body).
+pub fn encode_response(resp: &ProtocolResponse) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(CODEC_VERSION);
+    put_response_body(&mut w, resp);
+    w.into_bytes()
+}
+
+/// Decode a framed protocol response, rejecting unknown versions/tags,
+/// over-deep routing, and trailing garbage.
+pub fn decode_response(buf: &[u8]) -> Result<ProtocolResponse> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != CODEC_VERSION {
+        return Err(decode_err(format!("unsupported codec version {version}")));
+    }
+    let resp = get_response_body(&mut r, 0)?;
+    r.finish()?;
+    Ok(resp)
 }
 
 #[cfg(test)]
@@ -461,11 +702,11 @@ mod tests {
     fn trailing_garbage_rejected() {
         let mut w = Writer::new();
         w.u8(CODEC_VERSION);
-        w.u8(3); // OobRequest
+        w.u8(REQ_OOB);
         w.u16(0);
         w.u32(9);
         w.u8(0xFF); // garbage
-        assert!(decode_message(&w.into_bytes()).is_err());
+        assert!(decode_request(&w.into_bytes()).is_err());
     }
 
     #[test]
@@ -522,80 +763,102 @@ mod tests {
     }
 
     #[test]
-    fn messages_roundtrip() {
+    fn requests_roundtrip() {
         let mut dbvv = DbVersionVector::zero(3);
         dbvv.record_local_update(NodeId(2));
-        let msgs = vec![
-            WireMessage::PullRequest { from: NodeId(1), dbvv: dbvv.clone() },
-            WireMessage::PullResponse {
+        let reqs = vec![
+            ProtocolRequest::Pull { from: NodeId(1), dbvv: dbvv.clone() },
+            ProtocolRequest::DeltaPull { from: NodeId(1), dbvv },
+            ProtocolRequest::DeltaFetch {
                 from: NodeId(0),
-                response: PropagationResponse::YouAreCurrent,
+                wants: DeltaRequest { wants: vec![(ItemId(3), vv(&[1, 0, 2]))] },
             },
-            WireMessage::OobRequest { from: NodeId(2), item: ItemId(77) },
-            WireMessage::OobResponse {
-                from: NodeId(0),
-                reply: OobReply {
-                    item: ItemId(77),
-                    ivv: vv(&[1, 2, 3]),
-                    value: ItemValue::from_slice(b"v"),
-                    from_aux: true,
-                },
+            ProtocolRequest::Oob { from: NodeId(2), item: ItemId(77) },
+            ProtocolRequest::ListDatabases { from: NodeId(0) },
+            ProtocolRequest::Db {
+                name: "mail".into(),
+                req: Box::new(ProtocolRequest::Oob { from: NodeId(2), item: ItemId(5) }),
             },
         ];
-        for msg in msgs {
-            let buf = encode_message(&msg);
-            let back = decode_message(&buf).unwrap();
-            match (&msg, &back) {
-                (
-                    WireMessage::PullRequest { from: f1, dbvv: d1 },
-                    WireMessage::PullRequest { from: f2, dbvv: d2 },
-                ) => {
-                    assert_eq!(f1, f2);
-                    assert_eq!(d1, d2);
-                }
-                (
-                    WireMessage::PullResponse { from: f1, response: r1 },
-                    WireMessage::PullResponse { from: f2, response: r2 },
-                ) => {
-                    assert_eq!(f1, f2);
-                    assert!(matches!(
-                        (r1, r2),
-                        (PropagationResponse::YouAreCurrent, PropagationResponse::YouAreCurrent)
-                    ));
-                }
-                (
-                    WireMessage::OobRequest { from: f1, item: i1 },
-                    WireMessage::OobRequest { from: f2, item: i2 },
-                ) => {
-                    assert_eq!(f1, f2);
-                    assert_eq!(i1, i2);
-                }
-                (
-                    WireMessage::OobResponse { from: f1, reply: r1 },
-                    WireMessage::OobResponse { from: f2, reply: r2 },
-                ) => {
-                    assert_eq!(f1, f2);
-                    assert_eq!(r1.item, r2.item);
-                    assert_eq!(r1.ivv, r2.ivv);
-                    assert_eq!(r1.value, r2.value);
-                    assert_eq!(r1.from_aux, r2.from_aux);
-                }
-                _ => panic!("message kind changed in roundtrip"),
-            }
+        for req in reqs {
+            let buf = encode_request(&req);
+            let back = decode_request(&buf).unwrap();
+            assert_eq!(format!("{req:?}"), format!("{back:?}"));
         }
     }
 
     #[test]
+    fn responses_roundtrip() {
+        let resps = vec![
+            ProtocolResponse::Pull(PropagationResponse::YouAreCurrent),
+            ProtocolResponse::DeltaOffer(DeltaOfferResponse::YouAreCurrent),
+            ProtocolResponse::DeltaOffer(DeltaOfferResponse::Offer(DeltaOffer {
+                tails: vec![vec![LogRecord { item: ItemId(1), m: 4 }], vec![]],
+                offers: vec![(ItemId(1), vv(&[4, 0]))],
+            })),
+            ProtocolResponse::DeltaPayload(DeltaPayload {
+                items: vec![
+                    DeltaItem::Ops {
+                        item: ItemId(1),
+                        ops: vec![CachedOp {
+                            pre_vv: vv(&[3, 0]),
+                            op: UpdateOp::append(&b"x"[..]),
+                        }],
+                        final_ivv: vv(&[4, 0]),
+                    },
+                    DeltaItem::Whole(ShippedItem {
+                        item: ItemId(2),
+                        ivv: vv(&[0, 1]),
+                        value: ItemValue::from_slice(b"whole"),
+                    }),
+                ],
+            }),
+            ProtocolResponse::Oob(OobReply {
+                item: ItemId(77),
+                ivv: vv(&[1, 2, 3]),
+                value: ItemValue::from_slice(b"v"),
+                from_aux: true,
+            }),
+            ProtocolResponse::Databases(vec!["docs".into(), "mail".into()]),
+            ProtocolResponse::Db {
+                name: "mail".into(),
+                resp: Box::new(ProtocolResponse::Pull(PropagationResponse::YouAreCurrent)),
+            },
+            ProtocolResponse::Error("remote failure".into()),
+        ];
+        for resp in resps {
+            let buf = encode_response(&resp);
+            let back = decode_response(&buf).unwrap();
+            assert_eq!(format!("{resp:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn nested_db_routing_rejected() {
+        let req = ProtocolRequest::Db {
+            name: "outer".into(),
+            req: Box::new(ProtocolRequest::Db {
+                name: "inner".into(),
+                req: Box::new(ProtocolRequest::ListDatabases { from: NodeId(0) }),
+            }),
+        };
+        assert!(decode_request(&encode_request(&req)).is_err());
+    }
+
+    #[test]
     fn unknown_version_rejected() {
-        let mut buf = encode_message(&WireMessage::OobRequest { from: NodeId(0), item: ItemId(0) });
+        let mut buf = encode_request(&ProtocolRequest::Oob { from: NodeId(0), item: ItemId(0) });
         buf[0] = 99;
-        assert!(decode_message(&buf).is_err());
+        assert!(decode_request(&buf).is_err());
     }
 
     #[test]
     fn unknown_tag_rejected() {
-        let mut buf = encode_message(&WireMessage::OobRequest { from: NodeId(0), item: ItemId(0) });
+        let mut buf = encode_request(&ProtocolRequest::Oob { from: NodeId(0), item: ItemId(0) });
         buf[1] = 200;
-        assert!(decode_message(&buf).is_err());
+        assert!(decode_request(&buf).is_err());
+        let mut buf = encode_response(&ProtocolResponse::Error("e".into()));
+        buf[1] = 200;
+        assert!(decode_response(&buf).is_err());
     }
 }

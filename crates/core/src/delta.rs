@@ -32,7 +32,7 @@ use epidb_common::{ConflictEvent, ConflictSite, ItemId, NodeId, Result};
 use epidb_log::LogRecord;
 use epidb_vv::{DbVersionVector, VersionVector, VvOrd};
 
-use crate::messages::request_bytes;
+use crate::engine::{Engine, LocalTransport};
 use crate::opcache::CachedOp;
 use crate::policy::ConflictPolicy;
 use crate::propagation::{AcceptOutcome, PullOutcome};
@@ -50,10 +50,11 @@ pub struct DeltaOffer {
 }
 
 impl DeltaOffer {
-    /// Control bytes of the offer message body.
-    pub fn control_bytes(&self, n: usize) -> u64 {
+    /// Control bytes of the offer message body (each offered IVV sizes
+    /// itself).
+    pub fn control_bytes(&self) -> u64 {
         self.tails.iter().map(Vec::len).sum::<usize>() as u64 * wire::LOG_RECORD
-            + self.offers.len() as u64 * (wire::ITEM_ID + wire::vv(n))
+            + self.offers.iter().map(|(_, ivv)| wire::ITEM_ID + wire::vv(ivv.len())).sum::<u64>()
     }
 }
 
@@ -66,6 +67,16 @@ pub enum DeltaOfferResponse {
     Offer(DeltaOffer),
 }
 
+impl DeltaOfferResponse {
+    /// Control bytes of the response message body.
+    pub fn control_bytes(&self) -> u64 {
+        match self {
+            DeltaOfferResponse::YouAreCurrent => 0,
+            DeltaOfferResponse::Offer(o) => o.control_bytes(),
+        }
+    }
+}
+
 /// Message 3: the items the recipient wants, with its current IVVs.
 #[derive(Clone, Debug, Default)]
 pub struct DeltaRequest {
@@ -75,8 +86,8 @@ pub struct DeltaRequest {
 
 impl DeltaRequest {
     /// Control bytes of the request message body.
-    pub fn control_bytes(&self, n: usize) -> u64 {
-        self.wants.len() as u64 * (wire::ITEM_ID + wire::vv(n))
+    pub fn control_bytes(&self) -> u64 {
+        self.wants.iter().map(|(_, ivv)| wire::ITEM_ID + wire::vv(ivv.len())).sum()
     }
 }
 
@@ -99,9 +110,10 @@ pub enum DeltaItem {
 }
 
 impl DeltaItem {
-    fn control_bytes(&self, n: usize) -> u64 {
+    fn control_bytes(&self) -> u64 {
         match self {
-            DeltaItem::Ops { ops, .. } => {
+            DeltaItem::Ops { ops, final_ivv, .. } => {
+                let n = final_ivv.len();
                 wire::ITEM_ID
                     + wire::vv(n)
                     + ops.len() as u64 * (wire::vv(n) + 9/* op tag + length */)
@@ -127,8 +139,8 @@ pub struct DeltaPayload {
 
 impl DeltaPayload {
     /// Control bytes of the data message body.
-    pub fn control_bytes(&self, n: usize) -> u64 {
-        self.items.iter().map(|i| i.control_bytes(n)).sum()
+    pub fn control_bytes(&self) -> u64 {
+        self.items.iter().map(DeltaItem::control_bytes).sum()
     }
 
     /// Payload bytes of the data message body.
@@ -337,29 +349,10 @@ impl Replica {
 
 /// One complete delta-mode pull: `recipient` from `source`, with full
 /// message/byte accounting across the four messages.
+///
+/// A thin wrapper over [`Engine::pull_delta`] with the in-process
+/// [`LocalTransport`] — the same dispatch path every other runtime uses.
 pub fn pull_delta(recipient: &mut Replica, source: &mut Replica) -> Result<PullOutcome> {
     debug_assert_eq!(recipient.n_nodes(), source.n_nodes());
-    let n = recipient.n_nodes();
-    let recipient_dbvv = recipient.dbvv().clone();
-    recipient.charge_message(request_bytes(&recipient_dbvv), 0);
-
-    let offer = source.prepare_delta_offer(&recipient_dbvv);
-    match offer {
-        DeltaOfferResponse::YouAreCurrent => {
-            source.charge_message(wire::MSG_HEADER, 0);
-            Ok(PullOutcome::UpToDate)
-        }
-        DeltaOfferResponse::Offer(offer) => {
-            source.charge_message(wire::MSG_HEADER + offer.control_bytes(n), 0);
-            let (request, eval) = recipient.evaluate_delta_offer(source.id(), offer)?;
-            recipient.charge_message(wire::MSG_HEADER + request.control_bytes(n), 0);
-            let payload = source.serve_delta_request(&request)?;
-            source.charge_message(
-                wire::MSG_HEADER + payload.control_bytes(n),
-                payload.payload_bytes(),
-            );
-            let outcome = recipient.apply_delta(source.id(), payload, eval)?;
-            Ok(PullOutcome::Propagated(outcome))
-        }
-    }
+    Engine::pull_delta(recipient, &mut LocalTransport::new(source))
 }

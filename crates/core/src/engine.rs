@@ -1,0 +1,498 @@
+//! The transport-agnostic protocol engine: one dispatch surface for every
+//! runtime.
+//!
+//! The paper's protocol is a handful of request/response exchanges — the
+//! two-message pull (§5.1, Figs. 2–3), the four-message delta variant
+//! (§2's update-record shipping), and the one-item out-of-bound copy
+//! (§5.2). This module gives those exchanges a single vocabulary
+//! ([`ProtocolRequest`] / [`ProtocolResponse`]), a single responder entry
+//! point ([`Engine::handle`]), and initiator-side drivers
+//! ([`Engine::pull`], [`Engine::pull_delta`], [`Engine::oob`]) that run a
+//! full sync round against any [`Transport`].
+//!
+//! Every runtime is a thin adapter over this module:
+//!
+//! * the in-process helpers (`pull`, `pull_delta`, `oob_copy`) use
+//!   [`LocalTransport`] — two replicas in one address space;
+//! * `epidb-net`'s `ThreadedCluster` moves the same enums over channels;
+//! * `epidb-net`'s `TcpCluster` frames them with [`crate::codec`] — the
+//!   wire codec serializes exactly the values the engine executes.
+//!
+//! Cost accounting ([`Costs::charge_message`](epidb_common::Costs)),
+//! protocol tracing, and paranoid post-step audits all live at this
+//! dispatch boundary, so every transport gets them uniformly and for free.
+
+use epidb_common::costs::wire;
+use epidb_common::trace::{OrdTag, TraceStep};
+use epidb_common::{Error, ItemId, NodeId, Result};
+use epidb_vv::DbVersionVector;
+
+use crate::delta::{DeltaOfferResponse, DeltaPayload, DeltaRequest};
+use crate::messages::{OobReply, PropagationResponse};
+use crate::oob::OobOutcome;
+use crate::propagation::PullOutcome;
+use crate::replica::Replica;
+
+/// A request message of the protocol, as executed by [`Engine::handle`]
+/// and serialized by [`crate::codec`].
+#[derive(Clone, Debug)]
+pub enum ProtocolRequest {
+    /// Message 1 of the two-message pull (§5.1): the recipient's DBVV.
+    Pull {
+        /// The requesting (recipient) node.
+        from: NodeId,
+        /// The recipient's database version vector.
+        dbvv: DbVersionVector,
+    },
+    /// Message 1 of the delta-mode pull: same DBVV, but the source answers
+    /// with an offer instead of values.
+    DeltaPull {
+        /// The requesting (recipient) node.
+        from: NodeId,
+        /// The recipient's database version vector.
+        dbvv: DbVersionVector,
+    },
+    /// Message 3 of the delta-mode pull: the want-list.
+    DeltaFetch {
+        /// The requesting (recipient) node.
+        from: NodeId,
+        /// The items wanted, each with the recipient's current IVV.
+        wants: DeltaRequest,
+    },
+    /// An out-of-bound request for one item (§5.2).
+    Oob {
+        /// The requesting node.
+        from: NodeId,
+        /// The wanted item.
+        item: ItemId,
+    },
+    /// Ask a multi-database server which databases it hosts (the prelude
+    /// to server-level anti-entropy, §2's one-instance-per-database rule).
+    ListDatabases {
+        /// The requesting node.
+        from: NodeId,
+    },
+    /// Route a request to one named database of a multi-database server.
+    Db {
+        /// The database the inner request addresses.
+        name: String,
+        /// The request to run against that database's replica.
+        req: Box<ProtocolRequest>,
+    },
+}
+
+/// A response message of the protocol, paired with [`ProtocolRequest`].
+#[derive(Clone, Debug)]
+pub enum ProtocolResponse {
+    /// Message 2 of the pull: "you are current" or the tails + items.
+    Pull(PropagationResponse),
+    /// Message 2 of the delta pull: "you are current" or the offer.
+    DeltaOffer(DeltaOfferResponse),
+    /// Message 4 of the delta pull: the requested data.
+    DeltaPayload(DeltaPayload),
+    /// Reply to an out-of-bound request.
+    Oob(OobReply),
+    /// The database names a server hosts, sorted.
+    Databases(Vec<String>),
+    /// A routed response from one named database.
+    Db {
+        /// The database the inner response came from.
+        name: String,
+        /// The response from that database's replica.
+        resp: Box<ProtocolResponse>,
+    },
+    /// The responder failed to execute the request. Real transports carry
+    /// the error back in-band; [`Transport::exchange`] implementations
+    /// convert it into an [`Error`] so drivers never observe it directly.
+    Error(String),
+}
+
+impl ProtocolRequest {
+    /// The node that initiated this request (the routing envelope is
+    /// transparent).
+    pub fn from(&self) -> NodeId {
+        match self {
+            ProtocolRequest::Pull { from, .. }
+            | ProtocolRequest::DeltaPull { from, .. }
+            | ProtocolRequest::DeltaFetch { from, .. }
+            | ProtocolRequest::Oob { from, .. }
+            | ProtocolRequest::ListDatabases { from } => *from,
+            ProtocolRequest::Db { req, .. } => req.from(),
+        }
+    }
+
+    /// Short kind name, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtocolRequest::Pull { .. } => "pull",
+            ProtocolRequest::DeltaPull { .. } => "delta-pull",
+            ProtocolRequest::DeltaFetch { .. } => "delta-fetch",
+            ProtocolRequest::Oob { .. } => "oob",
+            ProtocolRequest::ListDatabases { .. } => "list-databases",
+            ProtocolRequest::Db { .. } => "db",
+        }
+    }
+
+    /// Control bytes of the whole request message, envelope included. The
+    /// [`Db`](ProtocolRequest::Db) routing envelope is modeled by the
+    /// message header (its name travels in the header's budget), so routed
+    /// and unrouted requests charge identically — a requirement for the
+    /// cost-parity guarantee across transports.
+    pub fn control_bytes(&self) -> u64 {
+        wire::MSG_HEADER + self.body_control_bytes()
+    }
+
+    fn body_control_bytes(&self) -> u64 {
+        match self {
+            ProtocolRequest::Pull { dbvv, .. } | ProtocolRequest::DeltaPull { dbvv, .. } => {
+                wire::vv(dbvv.len())
+            }
+            ProtocolRequest::DeltaFetch { wants, .. } => wants.control_bytes(),
+            ProtocolRequest::Oob { .. } => wire::ITEM_ID,
+            ProtocolRequest::ListDatabases { .. } => 0,
+            ProtocolRequest::Db { req, .. } => req.body_control_bytes(),
+        }
+    }
+
+    /// Payload bytes of the request message (always zero: requests carry
+    /// version information only, never item values).
+    pub fn payload_bytes(&self) -> u64 {
+        0
+    }
+}
+
+impl ProtocolResponse {
+    /// Short kind name, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtocolResponse::Pull(_) => "pull",
+            ProtocolResponse::DeltaOffer(_) => "delta-offer",
+            ProtocolResponse::DeltaPayload(_) => "delta-payload",
+            ProtocolResponse::Oob(_) => "oob",
+            ProtocolResponse::Databases(_) => "databases",
+            ProtocolResponse::Db { .. } => "db",
+            ProtocolResponse::Error(_) => "error",
+        }
+    }
+
+    /// Control bytes of the whole response message, envelope included (the
+    /// [`Db`](ProtocolResponse::Db) envelope is header-budget, as on the
+    /// request side).
+    pub fn control_bytes(&self) -> u64 {
+        wire::MSG_HEADER + self.body_control_bytes()
+    }
+
+    fn body_control_bytes(&self) -> u64 {
+        match self {
+            ProtocolResponse::Pull(r) => r.control_bytes(),
+            ProtocolResponse::DeltaOffer(r) => r.control_bytes(),
+            ProtocolResponse::DeltaPayload(p) => p.control_bytes(),
+            ProtocolResponse::Oob(r) => r.control_bytes(),
+            ProtocolResponse::Databases(names) => names.iter().map(|n| 4 + n.len() as u64).sum(),
+            ProtocolResponse::Db { resp, .. } => resp.body_control_bytes(),
+            ProtocolResponse::Error(msg) => msg.len() as u64,
+        }
+    }
+
+    /// Payload bytes of the response message (item values being copied).
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            ProtocolResponse::Pull(r) => r.payload_bytes(),
+            ProtocolResponse::DeltaPayload(p) => p.payload_bytes(),
+            ProtocolResponse::Oob(r) => r.value.len() as u64,
+            ProtocolResponse::Db { resp, .. } => resp.payload_bytes(),
+            ProtocolResponse::DeltaOffer(_)
+            | ProtocolResponse::Databases(_)
+            | ProtocolResponse::Error(_) => 0,
+        }
+    }
+}
+
+/// How bytes move: one request out, one response back.
+///
+/// Implementations decide the medium — a direct function call
+/// ([`LocalTransport`]), a channel pair, a framed socket — and surface
+/// delivery failure (loss, timeout, a crashed peer) as [`Error`]. A remote
+/// [`ProtocolResponse::Error`] must also be converted to `Err`, so drivers
+/// only ever see successful, well-typed responses.
+pub trait Transport {
+    /// The node id of the peer this transport reaches.
+    fn peer(&self) -> NodeId;
+
+    /// Send one request and await the peer's response.
+    fn exchange(&mut self, req: ProtocolRequest) -> Result<ProtocolResponse>;
+}
+
+/// Access to the initiating replica between exchanges.
+///
+/// Drivers never hold the replica across a blocking
+/// [`Transport::exchange`] — under a threaded runtime that would hold the
+/// replica's lock while waiting on a peer that may be waiting on us
+/// (mutual pulls would deadlock). Implementations scope each borrow to one
+/// local protocol step.
+pub trait ReplicaHost {
+    /// Run `f` over the replica, holding it only for the duration of `f`.
+    fn with<R>(&mut self, f: impl FnOnce(&mut Replica) -> R) -> R;
+}
+
+impl ReplicaHost for Replica {
+    fn with<R>(&mut self, f: impl FnOnce(&mut Replica) -> R) -> R {
+        f(self)
+    }
+}
+
+/// The in-process transport: the "peer" is another replica in the same
+/// address space, and an exchange is a direct call to [`Engine::handle`].
+pub struct LocalTransport<'a> {
+    source: &'a mut Replica,
+}
+
+impl<'a> LocalTransport<'a> {
+    /// Wrap the source replica of an in-process exchange.
+    pub fn new(source: &'a mut Replica) -> LocalTransport<'a> {
+        LocalTransport { source }
+    }
+}
+
+impl Transport for LocalTransport<'_> {
+    fn peer(&self) -> NodeId {
+        self.source.id()
+    }
+
+    fn exchange(&mut self, req: ProtocolRequest) -> Result<ProtocolResponse> {
+        Engine::handle(self.source, req)
+    }
+}
+
+/// A transport that reaches one named database of a multi-database server
+/// by wrapping every exchange in the [`ProtocolRequest::Db`] routing
+/// envelope.
+pub struct DbTransport<'a, T: Transport> {
+    inner: &'a mut T,
+    name: &'a str,
+}
+
+impl<'a, T: Transport> DbTransport<'a, T> {
+    /// Route exchanges on `inner` to the peer server's database `name`.
+    pub fn new(inner: &'a mut T, name: &'a str) -> DbTransport<'a, T> {
+        DbTransport { inner, name }
+    }
+}
+
+impl<T: Transport> Transport for DbTransport<'_, T> {
+    fn peer(&self) -> NodeId {
+        self.inner.peer()
+    }
+
+    fn exchange(&mut self, req: ProtocolRequest) -> Result<ProtocolResponse> {
+        let envelope = ProtocolRequest::Db { name: self.name.to_string(), req: Box::new(req) };
+        match self.inner.exchange(envelope)? {
+            ProtocolResponse::Db { resp, .. } => Ok(*resp),
+            other => Err(unexpected("db-routed exchange", &other)),
+        }
+    }
+}
+
+/// Which shipping mode a sync round uses (§2: whole data copying vs.
+/// applying log records for missing updates).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncMode {
+    /// Whole-item copying — the paper's presentation context.
+    WholeItem,
+    /// Update-record (delta) shipping via the op cache.
+    Delta,
+}
+
+/// Build the error for a response of the wrong shape (or a remote error a
+/// transport let through).
+pub(crate) fn unexpected(context: &str, resp: &ProtocolResponse) -> Error {
+    match resp {
+        ProtocolResponse::Error(msg) => Error::Network(format!("{context}: peer error: {msg}")),
+        other => Error::Network(format!("{context}: unexpected {} response", other.kind())),
+    }
+}
+
+/// The protocol engine. A unit type: all state lives in the replicas; the
+/// engine is the single dispatch surface over them.
+pub struct Engine;
+
+impl Engine {
+    /// Execute one request against the responder's replica — the single
+    /// entry point every runtime serves requests through.
+    ///
+    /// Charges the responder for the response message and runs the
+    /// paranoid post-step audit at this boundary, so accounting and
+    /// auditing are uniform across transports. Database-routed requests
+    /// ([`ProtocolRequest::Db`] / [`ProtocolRequest::ListDatabases`]) are
+    /// a [`Server`](crate::Server)-level concern — see
+    /// [`Engine::handle_server`](crate::server) — and fail here.
+    pub fn handle(replica: &mut Replica, req: ProtocolRequest) -> Result<ProtocolResponse> {
+        let from = req.from();
+        let resp = match req {
+            ProtocolRequest::Pull { dbvv, .. } => {
+                ProtocolResponse::Pull(replica.prepare_propagation(&dbvv))
+            }
+            ProtocolRequest::DeltaPull { dbvv, .. } => {
+                ProtocolResponse::DeltaOffer(replica.prepare_delta_offer(&dbvv))
+            }
+            ProtocolRequest::DeltaFetch { wants, .. } => {
+                ProtocolResponse::DeltaPayload(replica.serve_delta_request(&wants)?)
+            }
+            ProtocolRequest::Oob { item, .. } => {
+                let reply = replica.serve_oob(item)?;
+                replica.trace_record(
+                    TraceStep::OobServe,
+                    Some(item),
+                    Some(from),
+                    OrdTag::NoCompare,
+                    reply.from_aux as u64,
+                );
+                replica.post_step_audit("serve-oob");
+                ProtocolResponse::Oob(reply)
+            }
+            ProtocolRequest::ListDatabases { .. } | ProtocolRequest::Db { .. } => {
+                return Err(Error::Network(format!(
+                    "request {:?} requires server-level dispatch",
+                    req.kind()
+                )));
+            }
+        };
+        replica.charge_message(resp.control_bytes(), resp.payload_bytes());
+        Ok(resp)
+    }
+
+    /// Drive one whole-item anti-entropy pull (§5.1) as the recipient,
+    /// against any transport.
+    pub fn pull<H, T>(recipient: &mut H, transport: &mut T) -> Result<PullOutcome>
+    where
+        H: ReplicaHost,
+        T: Transport,
+    {
+        let source = transport.peer();
+        let req = recipient.with(|r| {
+            let req = ProtocolRequest::Pull { from: r.id(), dbvv: r.dbvv().clone() };
+            r.charge_message(req.control_bytes(), req.payload_bytes());
+            req
+        });
+        match transport.exchange(req)? {
+            ProtocolResponse::Pull(PropagationResponse::YouAreCurrent) => Ok(PullOutcome::UpToDate),
+            ProtocolResponse::Pull(PropagationResponse::Payload(payload)) => {
+                let outcome = recipient.with(|r| r.accept_propagation(source, payload))?;
+                Ok(PullOutcome::Propagated(outcome))
+            }
+            other => Err(unexpected("pull", &other)),
+        }
+    }
+
+    /// Drive one delta-mode pull (§2's update-record shipping; messages
+    /// 1–4) as the recipient, against any transport.
+    pub fn pull_delta<H, T>(recipient: &mut H, transport: &mut T) -> Result<PullOutcome>
+    where
+        H: ReplicaHost,
+        T: Transport,
+    {
+        let source = transport.peer();
+        let req = recipient.with(|r| {
+            let req = ProtocolRequest::DeltaPull { from: r.id(), dbvv: r.dbvv().clone() };
+            r.charge_message(req.control_bytes(), req.payload_bytes());
+            req
+        });
+        let offer = match transport.exchange(req)? {
+            ProtocolResponse::DeltaOffer(DeltaOfferResponse::YouAreCurrent) => {
+                return Ok(PullOutcome::UpToDate);
+            }
+            ProtocolResponse::DeltaOffer(DeltaOfferResponse::Offer(offer)) => offer,
+            other => return Err(unexpected("delta-pull", &other)),
+        };
+        let (fetch, eval) = recipient.with(|r| -> Result<_> {
+            let (wants, eval) = r.evaluate_delta_offer(source, offer)?;
+            let fetch = ProtocolRequest::DeltaFetch { from: r.id(), wants };
+            r.charge_message(fetch.control_bytes(), fetch.payload_bytes());
+            Ok((fetch, eval))
+        })?;
+        match transport.exchange(fetch)? {
+            ProtocolResponse::DeltaPayload(payload) => {
+                let outcome = recipient.with(|r| r.apply_delta(source, payload, eval))?;
+                Ok(PullOutcome::Propagated(outcome))
+            }
+            other => Err(unexpected("delta-fetch", &other)),
+        }
+    }
+
+    /// Drive one out-of-bound copy of `item` (§5.2) as the recipient,
+    /// against any transport.
+    pub fn oob<H, T>(recipient: &mut H, transport: &mut T, item: ItemId) -> Result<OobOutcome>
+    where
+        H: ReplicaHost,
+        T: Transport,
+    {
+        let source = transport.peer();
+        let req = recipient.with(|r| {
+            let req = ProtocolRequest::Oob { from: r.id(), item };
+            r.charge_message(req.control_bytes(), req.payload_bytes());
+            req
+        });
+        match transport.exchange(req)? {
+            ProtocolResponse::Oob(reply) => recipient.with(|r| r.accept_oob(source, reply)),
+            other => Err(unexpected("oob", &other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidb_store::UpdateOp;
+
+    fn pair() -> (Replica, Replica) {
+        (Replica::new(NodeId(0), 2, 10), Replica::new(NodeId(1), 2, 10))
+    }
+
+    #[test]
+    fn handle_rejects_server_level_requests() {
+        let (mut a, _) = pair();
+        let err = Engine::handle(&mut a, ProtocolRequest::ListDatabases { from: NodeId(1) });
+        assert!(err.is_err());
+        let routed = ProtocolRequest::Db {
+            name: "db".into(),
+            req: Box::new(ProtocolRequest::ListDatabases { from: NodeId(1) }),
+        };
+        assert!(Engine::handle(&mut a, routed).is_err());
+    }
+
+    #[test]
+    fn engine_pull_equals_wrapper_semantics() {
+        let (mut a, mut b) = pair();
+        a.update(ItemId(3), UpdateOp::set(&b"x"[..])).unwrap();
+        let out = Engine::pull(&mut b, &mut LocalTransport::new(&mut a)).unwrap();
+        assert_eq!(out.copied(), &[ItemId(3)]);
+        assert!(matches!(
+            Engine::pull(&mut b, &mut LocalTransport::new(&mut a)).unwrap(),
+            PullOutcome::UpToDate
+        ));
+        assert_eq!(b.read(ItemId(3)).unwrap().as_bytes(), b"x");
+    }
+
+    #[test]
+    fn db_envelope_is_cost_transparent() {
+        let dbvv = DbVersionVector::zero(3);
+        let plain = ProtocolRequest::Pull { from: NodeId(0), dbvv: dbvv.clone() };
+        let routed =
+            ProtocolRequest::Db { name: "a-database".into(), req: Box::new(plain.clone()) };
+        assert_eq!(plain.control_bytes(), routed.control_bytes());
+
+        let plain = ProtocolResponse::Pull(PropagationResponse::YouAreCurrent);
+        let routed =
+            ProtocolResponse::Db { name: "a-database".into(), resp: Box::new(plain.clone()) };
+        assert_eq!(plain.control_bytes(), routed.control_bytes());
+        assert_eq!(plain.payload_bytes(), routed.payload_bytes());
+    }
+
+    #[test]
+    fn unexpected_response_reports_kind() {
+        let err = unexpected("pull", &ProtocolResponse::Databases(vec![]));
+        assert!(matches!(err, Error::Network(ref m) if m.contains("databases")));
+        let err = unexpected("pull", &ProtocolResponse::Error("boom".into()));
+        assert!(matches!(err, Error::Network(ref m) if m.contains("boom")));
+    }
+}

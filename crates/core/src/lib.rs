@@ -50,6 +50,7 @@
 
 pub mod codec;
 pub mod delta;
+pub mod engine;
 pub mod messages;
 pub mod oob;
 pub mod opcache;
@@ -63,7 +64,13 @@ pub mod tokens;
 
 mod intranode;
 
-pub use delta::{pull_delta, DeltaItem, DeltaOffer, DeltaPayload, DeltaRequest};
+pub use delta::{
+    pull_delta, DeltaItem, DeltaOffer, DeltaOfferResponse, DeltaPayload, DeltaRequest,
+};
+pub use engine::{
+    DbTransport, Engine, LocalTransport, ProtocolRequest, ProtocolResponse, ReplicaHost, SyncMode,
+    Transport,
+};
 pub use messages::{OobReply, PropagationPayload, PropagationResponse, ShippedItem};
 pub use oob::{oob_copy, OobOutcome};
 pub use opcache::{CachedOp, OpCache};
@@ -71,5 +78,5 @@ pub use paranoid::{AuditCheck, AuditViolation, ParanoidReport, ReplicaAuditor};
 pub use policy::ConflictPolicy;
 pub use propagation::{pull, AcceptOutcome, PullOutcome};
 pub use replica::{AuxItem, ProtocolCounters, Replica};
-pub use server::{pull_server, Server, ServerPullOutcome};
+pub use server::{pull_server, pull_server_delta, LocalServerTransport, Server, ServerPullOutcome};
 pub use tokens::TokenManager;

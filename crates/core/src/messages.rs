@@ -7,7 +7,7 @@
 //! is a one-item request/reply.
 
 use epidb_common::costs::wire;
-use epidb_common::{ItemId, NodeId};
+use epidb_common::ItemId;
 use epidb_log::LogRecord;
 use epidb_store::ItemValue;
 use epidb_vv::{DbVersionVector, VersionVector};
@@ -123,10 +123,6 @@ impl OobReply {
 pub fn oob_request_bytes() -> u64 {
     wire::MSG_HEADER + wire::ITEM_ID
 }
-
-/// Identifies the source a payload came from (for conflict events).
-#[derive(Clone, Copy, Debug)]
-pub struct FromNode(pub NodeId);
 
 #[cfg(test)]
 mod tests {

@@ -1,12 +1,12 @@
 //! Out-of-bound data copying (§5.2): obtaining a newer version of an
 //! individual data item at any time, outside scheduled update propagation.
 
-use epidb_common::costs::wire;
 use epidb_common::trace::{OrdTag, TraceStep};
 use epidb_common::{ConflictEvent, ConflictSite, ItemId, NodeId, Result};
 use epidb_vv::VvOrd;
 
-use crate::messages::{oob_request_bytes, OobReply};
+use crate::engine::{Engine, LocalTransport};
+use crate::messages::OobReply;
 use crate::replica::{AuxItem, Replica};
 
 /// What an out-of-bound copy attempt did at the recipient.
@@ -95,19 +95,9 @@ impl Replica {
 
 /// Perform one out-of-bound copy of item `x`: `recipient` obtains the
 /// source's newest copy of `x`, with message/byte accounting.
+///
+/// A thin wrapper over [`Engine::oob`] with the in-process
+/// [`LocalTransport`] — the same dispatch path every other runtime uses.
 pub fn oob_copy(recipient: &mut Replica, source: &mut Replica, x: ItemId) -> Result<OobOutcome> {
-    recipient.costs.charge_message(oob_request_bytes(), 0);
-    let reply = source.serve_oob(x)?;
-    source.costs.charge_message(wire::MSG_HEADER + reply.control_bytes(), reply.value.len() as u64);
-    // `serve_oob` itself is read-only (shared-borrow callers exist in the
-    // network runtimes), so the serve side of the exchange is traced here
-    // where the source is exclusively borrowed.
-    source.trace_record(
-        TraceStep::OobServe,
-        Some(x),
-        Some(recipient.id()),
-        OrdTag::NoCompare,
-        reply.from_aux as u64,
-    );
-    recipient.accept_oob(source.id(), reply)
+    Engine::oob(recipient, &mut LocalTransport::new(source), x)
 }

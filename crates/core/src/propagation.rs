@@ -4,13 +4,13 @@
 
 use std::collections::HashSet;
 
-use epidb_common::costs::wire;
 use epidb_common::trace::{OrdTag, TraceStep};
 use epidb_common::{ConflictEvent, ConflictSite, ItemId, NodeId, Result};
 use epidb_log::LogRecord;
 use epidb_vv::DbVersionVector;
 
-use crate::messages::{request_bytes, PropagationPayload, PropagationResponse, ShippedItem};
+use crate::engine::{Engine, LocalTransport};
+use crate::messages::{PropagationPayload, PropagationResponse, ShippedItem};
 use crate::policy::{lww_winner, ConflictPolicy};
 use crate::replica::Replica;
 
@@ -275,21 +275,10 @@ impl Replica {
 ///
 /// Message 1 (recipient → source): the recipient's DBVV.
 /// Message 2 (source → recipient): "you are current" or `(D, S)`.
+///
+/// A thin wrapper over [`Engine::pull`] with the in-process
+/// [`LocalTransport`] — the same dispatch path every other runtime uses.
 pub fn pull(recipient: &mut Replica, source: &mut Replica) -> Result<PullOutcome> {
     debug_assert_eq!(recipient.n_nodes(), source.n_nodes());
-    let recipient_dbvv = recipient.dbvv().clone();
-    recipient.costs.charge_message(request_bytes(&recipient_dbvv), 0);
-
-    let response = source.prepare_propagation(&recipient_dbvv);
-    source
-        .costs
-        .charge_message(wire::MSG_HEADER + response.control_bytes(), response.payload_bytes());
-
-    match response {
-        PropagationResponse::YouAreCurrent => Ok(PullOutcome::UpToDate),
-        PropagationResponse::Payload(payload) => {
-            let outcome = recipient.accept_propagation(source.id(), payload)?;
-            Ok(PullOutcome::Propagated(outcome))
-        }
-    }
+    Engine::pull(recipient, &mut LocalTransport::new(source))
 }

@@ -383,8 +383,9 @@ impl Replica {
     }
 
     /// The stricter invariant that holds only in *cluster-wide*
-    /// conflict-free operation, on top of [`check_invariants`]
-    /// (Self::check_invariants): every logged record is covered by the
+    /// conflict-free operation, on top of
+    /// [`check_invariants`](Self::check_invariants): every logged record
+    /// is covered by the
     /// DBVV (`m <= V_ij`). A refused conflicting item anywhere in the
     /// cluster legitimately breaks this — the DBVV lags records of items
     /// adopted in the same round, and the lag spreads through forwarded

@@ -13,8 +13,11 @@ use std::collections::BTreeMap;
 use epidb_common::{Costs, Error, ItemId, NodeId, Result};
 use epidb_store::{ItemValue, UpdateOp};
 
+use crate::engine::{
+    unexpected, DbTransport, Engine, ProtocolRequest, ProtocolResponse, SyncMode, Transport,
+};
 use crate::policy::ConflictPolicy;
-use crate::propagation::{pull, PullOutcome};
+use crate::propagation::PullOutcome;
 use crate::replica::Replica;
 
 /// A server hosting one protocol instance per named database.
@@ -23,13 +26,16 @@ pub struct Server {
     id: NodeId,
     n_nodes: usize,
     databases: BTreeMap<String, Replica>,
+    /// Costs of server-level (non-database) exchanges: the database-list
+    /// prelude of a server sync session.
+    meta_costs: Costs,
 }
 
 impl Server {
     /// A server with no databases yet, in a system of `n_nodes` servers.
     pub fn new(id: NodeId, n_nodes: usize) -> Server {
         assert!(id.index() < n_nodes, "server id out of range");
-        Server { id, n_nodes, databases: BTreeMap::new() }
+        Server { id, n_nodes, databases: BTreeMap::new(), meta_costs: Costs::ZERO }
     }
 
     /// This server's node id.
@@ -86,9 +92,10 @@ impl Server {
         self.database(db)?.read(item)
     }
 
-    /// Total protocol costs across all hosted databases.
+    /// Total protocol costs across all hosted databases, plus the
+    /// server-level exchanges (the database-list prelude).
     pub fn costs(&self) -> Costs {
-        self.databases.values().map(Replica::costs).fold(Costs::ZERO, |a, b| a + b)
+        self.databases.values().map(Replica::costs).fold(self.meta_costs, |a, b| a + b)
     }
 
     /// Check invariants of every hosted database.
@@ -143,7 +150,7 @@ impl Server {
 }
 
 /// What a server-level anti-entropy session did, per database.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct ServerPullOutcome {
     /// `(database, outcome)` for every database both servers host.
     pub per_database: Vec<(String, PullOutcome)>,
@@ -152,21 +159,100 @@ pub struct ServerPullOutcome {
     pub missing_at_recipient: Vec<String>,
 }
 
-/// One anti-entropy session between two servers: runs the protocol once
-/// for every database they share (a separate instance per database, §2).
-pub fn pull_server(recipient: &mut Server, source: &mut Server) -> Result<ServerPullOutcome> {
-    let mut outcome =
-        ServerPullOutcome { per_database: Vec::new(), missing_at_recipient: Vec::new() };
-    for (name, src_replica) in &mut source.databases {
-        match recipient.databases.get_mut(name) {
-            Some(dst_replica) => {
-                let o = pull(dst_replica, src_replica)?;
-                outcome.per_database.push((name.clone(), o));
+impl Engine {
+    /// Execute one request against a multi-database server: answer the
+    /// database-list prelude here, route [`ProtocolRequest::Db`] envelopes
+    /// to the named database's replica via [`Engine::handle`].
+    pub fn handle_server(server: &mut Server, req: ProtocolRequest) -> Result<ProtocolResponse> {
+        match req {
+            ProtocolRequest::ListDatabases { .. } => {
+                let resp = ProtocolResponse::Databases(server.databases.keys().cloned().collect());
+                server.meta_costs.charge_message(resp.control_bytes(), resp.payload_bytes());
+                Ok(resp)
             }
-            None => outcome.missing_at_recipient.push(name.clone()),
+            ProtocolRequest::Db { name, req } => {
+                let replica = server
+                    .databases
+                    .get_mut(&name)
+                    .ok_or_else(|| Error::UnknownDatabase(name.clone()))?;
+                let resp = Engine::handle(replica, *req)?;
+                Ok(ProtocolResponse::Db { name, resp: Box::new(resp) })
+            }
+            other => Err(Error::Network(format!(
+                "server dispatch needs database routing, got {} request",
+                other.kind()
+            ))),
         }
     }
-    Ok(outcome)
+
+    /// Drive one anti-entropy session between two servers over any
+    /// transport: ask the source which databases it hosts, then run the
+    /// protocol once per shared database (a separate instance per
+    /// database, §2) in the chosen shipping mode.
+    pub fn pull_server<T: Transport>(
+        recipient: &mut Server,
+        transport: &mut T,
+        mode: SyncMode,
+    ) -> Result<ServerPullOutcome> {
+        let list = ProtocolRequest::ListDatabases { from: recipient.id };
+        recipient.meta_costs.charge_message(list.control_bytes(), list.payload_bytes());
+        let names = match transport.exchange(list)? {
+            ProtocolResponse::Databases(names) => names,
+            other => return Err(unexpected("list-databases", &other)),
+        };
+
+        let mut outcome = ServerPullOutcome::default();
+        for name in names {
+            let Some(replica) = recipient.databases.get_mut(&name) else {
+                outcome.missing_at_recipient.push(name);
+                continue;
+            };
+            let mut routed = DbTransport::new(transport, &name);
+            let o = match mode {
+                SyncMode::WholeItem => Engine::pull(replica, &mut routed)?,
+                SyncMode::Delta => Engine::pull_delta(replica, &mut routed)?,
+            };
+            outcome.per_database.push((name, o));
+        }
+        Ok(outcome)
+    }
+}
+
+/// The in-process transport between two multi-database servers: an
+/// exchange is a direct call to [`Engine::handle_server`].
+pub struct LocalServerTransport<'a> {
+    source: &'a mut Server,
+}
+
+impl<'a> LocalServerTransport<'a> {
+    /// Wrap the source server of an in-process exchange.
+    pub fn new(source: &'a mut Server) -> LocalServerTransport<'a> {
+        LocalServerTransport { source }
+    }
+}
+
+impl Transport for LocalServerTransport<'_> {
+    fn peer(&self) -> NodeId {
+        self.source.id
+    }
+
+    fn exchange(&mut self, req: ProtocolRequest) -> Result<ProtocolResponse> {
+        Engine::handle_server(self.source, req)
+    }
+}
+
+/// One anti-entropy session between two servers: runs the protocol once
+/// for every database they share (a separate instance per database, §2),
+/// copying whole items.
+pub fn pull_server(recipient: &mut Server, source: &mut Server) -> Result<ServerPullOutcome> {
+    Engine::pull_server(recipient, &mut LocalServerTransport::new(source), SyncMode::WholeItem)
+}
+
+/// As [`pull_server`], but shipping update records (delta mode) for every
+/// shared database. Databases whose replicas have no op cache fall back to
+/// whole values per item, exactly as replica-level delta pulls do.
+pub fn pull_server_delta(recipient: &mut Server, source: &mut Server) -> Result<ServerPullOutcome> {
+    Engine::pull_server(recipient, &mut LocalServerTransport::new(source), SyncMode::Delta)
 }
 
 #[cfg(test)]
@@ -270,6 +356,47 @@ mod tests {
         bad[4] = b'X';
         assert!(Server::from_snapshot(&bad).is_err());
         assert!(Server::from_snapshot(&buf[..buf.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn server_sync_in_delta_mode_ships_ops() {
+        let (mut a, mut b) = two_servers();
+        for s in [&mut a, &mut b] {
+            s.database_mut("mail").unwrap().enable_delta(1 << 20);
+            s.database_mut("docs").unwrap().enable_delta(1 << 20);
+        }
+        a.update("mail", ItemId(0), UpdateOp::set(vec![7u8; 4096])).unwrap();
+        pull_server_delta(&mut b, &mut a).unwrap();
+
+        // A small edit on the big item plus a fresh small item: the second
+        // delta session must ship operations, not the 4 KiB value again.
+        a.update("mail", ItemId(0), UpdateOp::append(&b"tail"[..])).unwrap();
+        a.update("docs", ItemId(1), UpdateOp::set(&b"doc"[..])).unwrap();
+        let before = a.costs();
+        let out = pull_server_delta(&mut b, &mut a).unwrap();
+        assert_eq!(out.per_database.len(), 2);
+        let d = a.costs() - before;
+        assert!(d.bytes_sent - d.control_bytes < 100, "delta session re-shipped whole values");
+        assert_eq!(b.read("mail", ItemId(0)).unwrap().len(), 4096 + 4);
+        assert_eq!(b.read("docs", ItemId(1)).unwrap().as_bytes(), b"doc");
+        b.check_invariants().unwrap();
+
+        // A third session detects "you are current" per database from the
+        // DBVVs alone.
+        let out = pull_server_delta(&mut b, &mut a).unwrap();
+        for (_, o) in &out.per_database {
+            assert!(matches!(o, PullOutcome::UpToDate));
+        }
+    }
+
+    #[test]
+    fn routed_request_to_unknown_database_errors() {
+        let (mut a, _) = two_servers();
+        let req = ProtocolRequest::Db {
+            name: "nope".into(),
+            req: Box::new(ProtocolRequest::ListDatabases { from: NodeId(1) }),
+        };
+        assert!(matches!(Engine::handle_server(&mut a, req), Err(Error::UnknownDatabase(_))));
     }
 
     #[test]

@@ -1,13 +1,17 @@
-//! Property tests for the wire codec: arbitrary messages round-trip, and
-//! arbitrary byte soup never panics the decoder.
+//! Property tests for the wire codec: arbitrary engine requests and
+//! responses round-trip, truncated buffers are rejected, and arbitrary
+//! byte soup never panics the decoder.
 
 use bytes::Bytes;
 use epidb_common::{ItemId, NodeId};
 use epidb_core::codec::{
-    decode_message, encode_message, get_op, get_payload, get_vv, put_op, put_payload, put_vv,
-    Reader, WireMessage, Writer,
+    decode_request, decode_response, encode_request, encode_response, get_op, get_payload, get_vv,
+    put_op, put_payload, put_vv, Reader, Writer,
 };
-use epidb_core::{OobReply, PropagationPayload, PropagationResponse, ShippedItem};
+use epidb_core::{
+    CachedOp, DeltaItem, DeltaOffer, DeltaOfferResponse, DeltaPayload, DeltaRequest, OobReply,
+    PropagationPayload, PropagationResponse, ProtocolRequest, ProtocolResponse, ShippedItem,
+};
 use epidb_log::LogRecord;
 use epidb_store::{ItemValue, UpdateOp};
 use epidb_vv::{DbVersionVector, VersionVector};
@@ -15,6 +19,15 @@ use proptest::prelude::*;
 
 fn arb_vv() -> impl Strategy<Value = VersionVector> {
     prop::collection::vec(any::<u64>(), 1..8).prop_map(VersionVector::from_entries)
+}
+
+fn arb_dbvv() -> impl Strategy<Value = DbVersionVector> {
+    arb_vv().prop_map(DbVersionVector::from_vector)
+}
+
+/// The vendored proptest has no `String` strategy; build names from ASCII.
+fn arb_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(0x61u8..0x7Bu8, 0..12).prop_map(|b| String::from_utf8(b).expect("ascii"))
 }
 
 fn arb_op() -> impl Strategy<Value = UpdateOp> {
@@ -27,21 +40,118 @@ fn arb_op() -> impl Strategy<Value = UpdateOp> {
     ]
 }
 
-fn arb_payload() -> impl Strategy<Value = PropagationPayload> {
-    let tails = prop::collection::vec(
+/// Tail vectors, deliberately including empty per-origin tails and the
+/// all-empty case (the `D = ∅` "you are current by tails" shape).
+fn arb_tails() -> impl Strategy<Value = Vec<Vec<LogRecord>>> {
+    prop::collection::vec(
         prop::collection::vec(
             (any::<u32>(), any::<u64>()).prop_map(|(i, m)| LogRecord { item: ItemId(i), m }),
             0..6,
         ),
         1..5,
-    );
-    let items = prop::collection::vec(
-        (any::<u32>(), arb_vv(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(
-            |(i, ivv, v)| ShippedItem { item: ItemId(i), ivv, value: ItemValue::from_slice(&v) },
+    )
+}
+
+fn arb_shipped() -> impl Strategy<Value = ShippedItem> {
+    (any::<u32>(), arb_vv(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(i, ivv, v)| {
+        ShippedItem { item: ItemId(i), ivv, value: ItemValue::from_slice(&v) }
+    })
+}
+
+fn arb_payload() -> impl Strategy<Value = PropagationPayload> {
+    (arb_tails(), prop::collection::vec(arb_shipped(), 0..5))
+        .prop_map(|(tails, items)| PropagationPayload { tails, items })
+}
+
+fn arb_cached_op() -> impl Strategy<Value = CachedOp> {
+    (arb_vv(), arb_op()).prop_map(|(pre_vv, op)| CachedOp { pre_vv, op })
+}
+
+fn arb_delta_item() -> impl Strategy<Value = DeltaItem> {
+    prop_oneof![
+        (any::<u32>(), prop::collection::vec(arb_cached_op(), 0..4), arb_vv()).prop_map(
+            |(item, ops, final_ivv)| DeltaItem::Ops { item: ItemId(item), ops, final_ivv },
         ),
-        0..5,
-    );
-    (tails, items).prop_map(|(tails, items)| PropagationPayload { tails, items })
+        arb_shipped().prop_map(DeltaItem::Whole),
+    ]
+}
+
+fn arb_delta_offer() -> impl Strategy<Value = DeltaOfferResponse> {
+    prop_oneof![
+        Just(DeltaOfferResponse::YouAreCurrent),
+        (
+            arb_tails(),
+            prop::collection::vec((any::<u32>(), arb_vv()), 0..5)
+                .prop_map(|v| v.into_iter().map(|(i, ivv)| (ItemId(i), ivv)).collect()),
+        )
+            .prop_map(|(tails, offers)| DeltaOfferResponse::Offer(DeltaOffer { tails, offers })),
+    ]
+}
+
+fn arb_delta_request() -> impl Strategy<Value = DeltaRequest> {
+    prop::collection::vec((any::<u32>(), arb_vv()), 0..5).prop_map(|v| DeltaRequest {
+        wants: v.into_iter().map(|(i, ivv)| (ItemId(i), ivv)).collect(),
+    })
+}
+
+fn arb_oob_reply() -> impl Strategy<Value = OobReply> {
+    (any::<u32>(), arb_vv(), prop::collection::vec(any::<u8>(), 0..128), any::<bool>()).prop_map(
+        |(item, ivv, value, from_aux)| OobReply {
+            item: ItemId(item),
+            ivv,
+            value: ItemValue::from_slice(&value),
+            from_aux,
+        },
+    )
+}
+
+/// Every request variant except the routing envelope.
+fn arb_flat_request() -> impl Strategy<Value = ProtocolRequest> {
+    prop_oneof![
+        (any::<u16>(), arb_dbvv())
+            .prop_map(|(n, dbvv)| ProtocolRequest::Pull { from: NodeId(n), dbvv }),
+        (any::<u16>(), arb_dbvv())
+            .prop_map(|(n, dbvv)| ProtocolRequest::DeltaPull { from: NodeId(n), dbvv }),
+        (any::<u16>(), arb_delta_request())
+            .prop_map(|(n, wants)| ProtocolRequest::DeltaFetch { from: NodeId(n), wants }),
+        (any::<u16>(), any::<u32>())
+            .prop_map(|(n, i)| ProtocolRequest::Oob { from: NodeId(n), item: ItemId(i) }),
+        any::<u16>().prop_map(|n| ProtocolRequest::ListDatabases { from: NodeId(n) }),
+    ]
+}
+
+/// Any request, including a depth-1 `Db` routing envelope (the codec
+/// rejects deeper nesting, so the strategy builds exactly one level).
+fn arb_request() -> impl Strategy<Value = ProtocolRequest> {
+    prop_oneof![
+        3 => arb_flat_request(),
+        1 => (arb_name(), arb_flat_request())
+            .prop_map(|(name, req)| ProtocolRequest::Db { name, req: Box::new(req) }),
+    ]
+}
+
+fn arb_flat_response() -> impl Strategy<Value = ProtocolResponse> {
+    prop_oneof![
+        prop_oneof![
+            Just(PropagationResponse::YouAreCurrent),
+            arb_payload().prop_map(PropagationResponse::Payload),
+        ]
+        .prop_map(ProtocolResponse::Pull),
+        arb_delta_offer().prop_map(ProtocolResponse::DeltaOffer),
+        prop::collection::vec(arb_delta_item(), 0..4)
+            .prop_map(|items| ProtocolResponse::DeltaPayload(DeltaPayload { items })),
+        arb_oob_reply().prop_map(ProtocolResponse::Oob),
+        prop::collection::vec(arb_name(), 0..4).prop_map(ProtocolResponse::Databases),
+        arb_name().prop_map(ProtocolResponse::Error),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = ProtocolResponse> {
+    prop_oneof![
+        3 => arb_flat_response(),
+        1 => (arb_name(), arb_flat_response())
+            .prop_map(|(name, resp)| ProtocolResponse::Db { name, resp: Box::new(resp) }),
+    ]
 }
 
 proptest! {
@@ -82,61 +192,58 @@ proptest! {
         }
     }
 
+    /// Every engine request — including empty delta-fetch lists, empty
+    /// database names, and depth-1 routing envelopes — round-trips
+    /// structurally intact.
     #[test]
-    fn pull_messages_roundtrip(node in any::<u16>(), dbvv in arb_vv(), p in arb_payload()) {
-        let msg = WireMessage::PullRequest {
-            from: NodeId(node),
-            dbvv: DbVersionVector::from_vector(dbvv.clone()),
-        };
-        match decode_message(&encode_message(&msg)).unwrap() {
-            WireMessage::PullRequest { from, dbvv: d } => {
-                prop_assert_eq!(from, NodeId(node));
-                prop_assert_eq!(d.as_vector(), &dbvv);
-            }
-            _ => prop_assert!(false, "kind changed"),
-        }
-        let msg = WireMessage::PullResponse {
-            from: NodeId(node),
-            response: PropagationResponse::Payload(p.clone()),
-        };
-        match decode_message(&encode_message(&msg)).unwrap() {
-            WireMessage::PullResponse { response: PropagationResponse::Payload(back), .. } => {
-                prop_assert_eq!(&back.tails, &p.tails);
-            }
-            _ => prop_assert!(false, "kind changed"),
+    fn requests_roundtrip(req in arb_request()) {
+        let back = decode_request(&encode_request(&req)).unwrap();
+        prop_assert_eq!(format!("{back:?}"), format!("{req:?}"));
+    }
+
+    /// Every engine response — empty tails, empty offers, whole-item
+    /// fallbacks, error strings — round-trips structurally intact.
+    #[test]
+    fn responses_roundtrip(resp in arb_response()) {
+        let back = decode_response(&encode_response(&resp)).unwrap();
+        prop_assert_eq!(format!("{back:?}"), format!("{resp:?}"));
+    }
+
+    /// Chopping any amount off the end of a valid frame must yield a clean
+    /// decode error (frames are self-describing: a decoder that "succeeds"
+    /// on a prefix would silently drop protocol state).
+    #[test]
+    fn truncated_requests_rejected(req in arb_request(), cut in 0u32..100) {
+        let buf = encode_request(&req);
+        let keep = buf.len() * cut as usize / 100;
+        if keep < buf.len() {
+            prop_assert!(decode_request(&buf[..keep]).is_err());
         }
     }
 
     #[test]
-    fn oob_messages_roundtrip(node in any::<u16>(), item in any::<u32>(), ivv in arb_vv(),
-                              value in prop::collection::vec(any::<u8>(), 0..128),
-                              from_aux in any::<bool>()) {
-        let msg = WireMessage::OobResponse {
-            from: NodeId(node),
-            reply: OobReply {
-                item: ItemId(item),
-                ivv: ivv.clone(),
-                value: ItemValue::from_slice(&value),
-                from_aux,
-            },
-        };
-        match decode_message(&encode_message(&msg)).unwrap() {
-            WireMessage::OobResponse { from, reply } => {
-                prop_assert_eq!(from, NodeId(node));
-                prop_assert_eq!(reply.item, ItemId(item));
-                prop_assert_eq!(reply.ivv, ivv);
-                prop_assert_eq!(reply.value.as_bytes(), &value[..]);
-                prop_assert_eq!(reply.from_aux, from_aux);
-            }
-            _ => prop_assert!(false, "kind changed"),
+    fn truncated_responses_rejected(resp in arb_response(), cut in 0u32..100) {
+        let buf = encode_response(&resp);
+        let keep = buf.len() * cut as usize / 100;
+        if keep < buf.len() {
+            prop_assert!(decode_response(&buf[..keep]).is_err());
         }
     }
 
-    /// Fuzz: the decoder must reject or accept arbitrary bytes without
+    /// Trailing garbage after a valid frame must also be rejected.
+    #[test]
+    fn padded_requests_rejected(req in arb_request(), pad in 1usize..8) {
+        let mut buf = encode_request(&req);
+        buf.extend(std::iter::repeat_n(0xAB, pad));
+        prop_assert!(decode_request(&buf).is_err());
+    }
+
+    /// Fuzz: the decoders must reject or accept arbitrary bytes without
     /// panicking.
     #[test]
     fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
-        let _ = decode_message(&bytes);
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
     }
 
     /// Fuzz: snapshot restore must never panic on corrupt input.
@@ -144,4 +251,38 @@ proptest! {
     fn snapshot_restore_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
         let _ = epidb_core::Replica::from_snapshot(&bytes);
     }
+}
+
+/// A megabyte-sized item value survives the round trip (length fields are
+/// u32 throughout; this exercises the large-payload path without the cost
+/// of a proptest case).
+#[test]
+fn max_size_value_roundtrips() {
+    let value = vec![0x5Au8; 1 << 20];
+    let resp = ProtocolResponse::Oob(OobReply {
+        item: ItemId(7),
+        ivv: VersionVector::from_entries(vec![3, 0, 9]),
+        value: ItemValue::from_slice(&value),
+        from_aux: true,
+    });
+    let buf = encode_response(&resp);
+    assert!(buf.len() > 1 << 20);
+    match decode_response(&buf).unwrap() {
+        ProtocolResponse::Oob(reply) => {
+            assert_eq!(reply.value.as_bytes(), &value[..]);
+            assert!(reply.from_aux);
+        }
+        other => panic!("kind changed: {other:?}"),
+    }
+}
+
+/// The all-empty offer (empty tails, no offered items) is a legal frame.
+#[test]
+fn empty_delta_offer_roundtrips() {
+    let resp = ProtocolResponse::DeltaOffer(DeltaOfferResponse::Offer(DeltaOffer {
+        tails: vec![vec![], vec![]],
+        offers: vec![],
+    }));
+    let back = decode_response(&encode_response(&resp)).unwrap();
+    assert_eq!(format!("{back:?}"), format!("{resp:?}"));
 }

@@ -1,15 +1,19 @@
 #![warn(missing_docs)]
 
-//! `epidb-net` — a multi-threaded runtime for `epidb` replicas.
+//! `epidb-net` — live runtimes for `epidb` replicas.
 //!
 //! The experiment suite (`epidb-sim`) measures protocol overhead in a
 //! deterministic single-process simulation; this crate complements it with
-//! a *live* runtime: each replica runs on its own OS thread, servicing user
-//! operations locally and gossiping asynchronously over crossbeam channels
-//! — the paper's deployment picture (user operations at a single server,
-//! anti-entropy "at a convenient time", §1–§2).
+//! two *live* runtimes: [`ThreadedCluster`] (one OS thread pair per
+//! replica, exchanges over crossbeam channels) and [`TcpCluster`] (the
+//! same protocol over framed localhost sockets). Both are thin adapters
+//! over the transport-agnostic engine in `epidb-core`: every pull, delta,
+//! and out-of-bound exchange is a [`ProtocolRequest`](epidb_core::ProtocolRequest)
+//! executed by [`Engine::handle`](epidb_core::Engine::handle) at the
+//! responder, so cost accounting, tracing, and paranoid audits behave
+//! identically under channels, sockets, and in-process calls.
 //!
-//! The runtime injects the failures the protocol is designed to survive:
+//! The runtimes inject the failures the protocol is designed to survive:
 //! message loss, added latency, and node crashes/recoveries.
 //!
 //! ```
@@ -31,7 +35,9 @@
 pub mod message;
 pub mod runtime;
 pub mod tcp;
+pub mod transport;
 
 pub use message::NetMessage;
 pub use runtime::{ClusterConfig, ThreadedCluster};
-pub use tcp::{TcpCluster, TcpConfig};
+pub use tcp::{TcpCluster, TcpConfig, TcpTransport};
+pub use transport::{FaultInjector, MutexHost};

@@ -1,55 +1,24 @@
-//! Messages carried by the threaded runtime.
+//! Messages carried by the threaded runtime's channels.
+//!
+//! The channels carry exactly the engine's request/response enums
+//! ([`ProtocolRequest`] / [`ProtocolResponse`]) plus a reply channel — the
+//! channel transport's analogue of a connected socket.
 
-use epidb_common::NodeId;
-use epidb_core::{OobReply, PropagationResponse};
-use epidb_vv::DbVersionVector;
+use crossbeam::channel::Sender;
+use epidb_common::Result;
+use epidb_core::{ProtocolRequest, ProtocolResponse};
 
 /// A network message between replica threads.
-///
-/// The protocol's two-message pull (§5.1) maps to
-/// [`PullRequest`](NetMessage::PullRequest) /
-/// [`PullResponse`](NetMessage::PullResponse); out-of-bound copying (§5.2)
-/// to the OOB pair.
 #[derive(Debug)]
 pub enum NetMessage {
-    /// Recipient `from` asks the destination to run `SendPropagation`
-    /// against this DBVV.
-    PullRequest {
-        /// The requesting (recipient) node.
-        from: NodeId,
-        /// The recipient's database version vector.
-        dbvv: DbVersionVector,
+    /// One protocol exchange: the request plus the channel the response
+    /// (or the responder's error) travels back on.
+    Request {
+        /// The engine request to execute.
+        req: ProtocolRequest,
+        /// Where the initiator awaits the response.
+        reply: Sender<Result<ProtocolResponse>>,
     },
-    /// The source's reply: "you are current" or the tail vector + items.
-    PullResponse {
-        /// The replying (source) node.
-        from: NodeId,
-        /// The propagation decision/payload.
-        response: PropagationResponse,
-    },
-    /// `from` asks for the destination's newest copy of one item.
-    OobRequest {
-        /// The requesting node.
-        from: NodeId,
-        /// The wanted item.
-        item: epidb_common::ItemId,
-    },
-    /// Reply to an out-of-bound request.
-    OobResponse {
-        /// The replying node.
-        from: NodeId,
-        /// The item copy and its IVV.
-        reply: OobReply,
-    },
-    /// Stop the receiving thread.
+    /// Stop the receiving server thread.
     Shutdown,
-}
-
-/// An addressed message in flight.
-#[derive(Debug)]
-pub struct Envelope {
-    /// Destination node.
-    pub to: NodeId,
-    /// The message.
-    pub msg: NetMessage,
 }

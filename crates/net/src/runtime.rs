@@ -1,15 +1,23 @@
-//! The threaded cluster runtime: one OS thread per replica, crossbeam
+//! The threaded cluster runtime: OS threads per replica, crossbeam
 //! channels for the network, parking_lot mutexes guarding replica state.
+//!
+//! Each node runs two threads: a *server* thread that executes incoming
+//! [`ProtocolRequest`]s through [`Engine::handle`] (the same dispatch
+//! surface every runtime uses), and a *gossip* thread that periodically
+//! drives [`Engine::pull`] against a random peer over a channel
+//! transport. Cost accounting, tracing, and paranoid audits all
+//! happen inside the engine — this runtime only moves the enums.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use epidb_common::costs::wire;
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use epidb_common::{Error, ItemId, NodeId, Result};
-use epidb_core::{messages::request_bytes, OobOutcome, PropagationResponse, Replica};
+use epidb_core::{
+    Engine, OobOutcome, ProtocolRequest, ProtocolResponse, PullOutcome, Replica, Transport,
+};
 use epidb_store::UpdateOp;
 use epidb_vv::VvOrd;
 use parking_lot::Mutex;
@@ -17,6 +25,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::message::NetMessage;
+use crate::transport::{FaultInjector, MutexHost};
 
 /// Tuning and fault-injection knobs for the threaded cluster.
 #[derive(Clone, Copy, Debug)]
@@ -24,12 +33,20 @@ pub struct ClusterConfig {
     /// How often each node initiates an anti-entropy pull from a random
     /// peer.
     pub gossip_interval: Duration,
-    /// Probability that any message is silently dropped in transit.
+    /// Probability that either leg of an exchange is silently dropped.
     pub loss_probability: f64,
-    /// Fixed delay added to every message delivery.
+    /// Fixed delay added to each leg of every exchange.
     pub latency: Duration,
     /// Seed for the per-node RNGs (peer choice, loss).
     pub seed: u64,
+    /// How long an initiator waits for a response before declaring the
+    /// exchange lost (a crashed peer drops requests silently).
+    pub exchange_timeout: Duration,
+    /// Op-cache budget per replica; when non-zero, replicas cache update
+    /// operations and gossip pulls run in delta mode.
+    pub delta_budget: usize,
+    /// Run every replica in paranoid mode (per-step invariant audits).
+    pub paranoid: bool,
 }
 
 impl Default for ClusterConfig {
@@ -39,6 +56,9 @@ impl Default for ClusterConfig {
             loss_probability: 0.0,
             latency: Duration::ZERO,
             seed: 0xE51D,
+            exchange_timeout: Duration::from_millis(500),
+            delta_budget: 0,
+            paranoid: false,
         }
     }
 }
@@ -48,10 +68,37 @@ struct NodeShared {
     alive: AtomicBool,
 }
 
+/// The channel transport: an exchange sends a [`NetMessage::Request`] to
+/// the peer's server thread and blocks on a fresh reply channel, like an
+/// RPC over a connected socket.
+struct ChannelTransport<'a> {
+    peer: NodeId,
+    sender: &'a Sender<NetMessage>,
+    timeout: Duration,
+}
+
+impl Transport for ChannelTransport<'_> {
+    fn peer(&self) -> NodeId {
+        self.peer
+    }
+
+    fn exchange(&mut self, req: ProtocolRequest) -> Result<ProtocolResponse> {
+        let (tx, rx) = unbounded();
+        self.sender
+            .send(NetMessage::Request { req, reply: tx })
+            .map_err(|_| Error::Network(format!("node {} is gone", self.peer)))?;
+        match rx.recv_timeout(self.timeout) {
+            Ok(result) => result,
+            Err(_) => Err(Error::Network(format!("no response from {}", self.peer))),
+        }
+    }
+}
+
 /// A running cluster of replica threads.
 pub struct ThreadedCluster {
     nodes: Vec<Arc<NodeShared>>,
     senders: Vec<Sender<NetMessage>>,
+    running: Arc<AtomicBool>,
     handles: Vec<JoinHandle<()>>,
     config: ClusterConfig,
 }
@@ -62,28 +109,31 @@ impl ThreadedCluster {
         assert!(n_nodes >= 2, "a cluster needs at least two nodes");
         let nodes: Vec<Arc<NodeShared>> = (0..n_nodes)
             .map(|i| {
-                Arc::new(NodeShared {
-                    replica: Mutex::new(Replica::new(NodeId::from_index(i), n_nodes, n_items)),
-                    alive: AtomicBool::new(true),
-                })
+                let mut replica = Replica::new(NodeId::from_index(i), n_nodes, n_items);
+                if config.delta_budget > 0 {
+                    replica.enable_delta(config.delta_budget);
+                }
+                replica.set_paranoid(config.paranoid);
+                Arc::new(NodeShared { replica: Mutex::new(replica), alive: AtomicBool::new(true) })
             })
             .collect();
         let channels: Vec<(Sender<NetMessage>, Receiver<NetMessage>)> =
             (0..n_nodes).map(|_| unbounded()).collect();
         let senders: Vec<Sender<NetMessage>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        let running = Arc::new(AtomicBool::new(true));
 
-        let mut handles = Vec::with_capacity(n_nodes);
+        let mut handles = Vec::with_capacity(2 * n_nodes);
         for (i, (_, rx)) in channels.into_iter().enumerate() {
+            let shared = nodes[i].clone();
+            handles.push(std::thread::spawn(move || serve_loop(shared, rx)));
+
             let me = NodeId::from_index(i);
             let shared = nodes[i].clone();
-            let all_nodes = nodes.clone();
-            let all_senders = senders.clone();
-            let cfg = config;
-            handles.push(std::thread::spawn(move || {
-                node_loop(me, shared, all_nodes, all_senders, rx, cfg);
-            }));
+            let peers = senders.clone();
+            let run = running.clone();
+            handles.push(std::thread::spawn(move || gossip_loop(me, shared, peers, run, config)));
         }
-        ThreadedCluster { nodes, senders, handles, config }
+        ThreadedCluster { nodes, senders, running, handles, config }
     }
 
     /// Number of nodes.
@@ -106,22 +156,50 @@ impl ThreadedCluster {
         Ok(shared.replica.lock().read(item)?.as_bytes().to_vec())
     }
 
+    fn checked(&self, node: NodeId) -> Result<&Arc<NodeShared>> {
+        let shared = self.nodes.get(node.index()).ok_or(Error::UnknownNode(node))?;
+        if !shared.alive.load(Ordering::SeqCst) {
+            return Err(Error::NodeDown(node));
+        }
+        Ok(shared)
+    }
+
+    /// A fault-free transport to `source`'s server thread.
+    fn transport(&self, source: NodeId) -> ChannelTransport<'_> {
+        ChannelTransport {
+            peer: source,
+            sender: &self.senders[source.index()],
+            timeout: self.config.exchange_timeout.max(Duration::from_secs(1)),
+        }
+    }
+
     /// Synchronous out-of-bound fetch: `recipient` obtains `source`'s
-    /// newest copy of `item` right now (the on-demand RPC of §5.2).
+    /// newest copy of `item` right now (the on-demand RPC of §5.2),
+    /// through the engine like every other exchange.
     pub fn oob_fetch(&self, recipient: NodeId, source: NodeId, item: ItemId) -> Result<OobOutcome> {
         if recipient == source {
             return Ok(OobOutcome::AlreadyCurrent);
         }
-        let src = self.nodes.get(source.index()).ok_or(Error::UnknownNode(source))?;
-        if !src.alive.load(Ordering::SeqCst) {
-            return Err(Error::NodeDown(source));
-        }
-        let reply = src.replica.lock().serve_oob(item)?;
-        let dst = self.nodes.get(recipient.index()).ok_or(Error::UnknownNode(recipient))?;
-        if !dst.alive.load(Ordering::SeqCst) {
-            return Err(Error::NodeDown(recipient));
-        }
-        dst.replica.lock().accept_oob(source, reply)
+        self.checked(source)?;
+        let shared = self.checked(recipient)?;
+        Engine::oob(&mut MutexHost(&shared.replica), &mut self.transport(source), item)
+    }
+
+    /// Run one whole-item pull right now (`recipient` from `source`),
+    /// bypassing the gossip schedule — deterministic schedules for tests.
+    pub fn pull_now(&self, recipient: NodeId, source: NodeId) -> Result<PullOutcome> {
+        assert_ne!(recipient, source, "a node cannot pull from itself");
+        self.checked(source)?;
+        let shared = self.checked(recipient)?;
+        Engine::pull(&mut MutexHost(&shared.replica), &mut self.transport(source))
+    }
+
+    /// As [`pull_now`](Self::pull_now), in delta mode.
+    pub fn pull_delta_now(&self, recipient: NodeId, source: NodeId) -> Result<PullOutcome> {
+        assert_ne!(recipient, source, "a node cannot pull from itself");
+        self.checked(source)?;
+        let shared = self.checked(recipient)?;
+        Engine::pull_delta(&mut MutexHost(&shared.replica), &mut self.transport(source))
     }
 
     /// Crash a node: it drops all traffic and initiates nothing until
@@ -178,111 +256,87 @@ impl ThreadedCluster {
 
     /// Stop all threads and return the final replicas.
     pub fn shutdown(mut self) -> Vec<Replica> {
+        self.stop();
+        self.nodes.iter().map(|n| n.replica.lock().clone()).collect()
+    }
+
+    fn stop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
         for s in &self.senders {
             let _ = s.send(NetMessage::Shutdown);
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
-        self.nodes.iter().map(|n| n.replica.lock().clone()).collect()
     }
 }
 
 impl Drop for ThreadedCluster {
     fn drop(&mut self) {
-        for s in &self.senders {
-            let _ = s.send(NetMessage::Shutdown);
-        }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        self.stop();
+    }
+}
+
+/// The server side of a node: execute every incoming request through the
+/// engine. A crashed node silently drops requests (the initiator times
+/// out), like a dead host on a real network.
+fn serve_loop(shared: Arc<NodeShared>, rx: Receiver<NetMessage>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            NetMessage::Shutdown => return,
+            NetMessage::Request { req, reply } => {
+                if !shared.alive.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let result = Engine::handle(&mut shared.replica.lock(), req);
+                let _ = reply.send(result);
+            }
         }
     }
 }
 
-fn node_loop(
+/// The initiator side of a node: periodically pull from a random peer.
+fn gossip_loop(
     me: NodeId,
     shared: Arc<NodeShared>,
-    nodes: Vec<Arc<NodeShared>>,
     senders: Vec<Sender<NetMessage>>,
-    rx: Receiver<NetMessage>,
+    running: Arc<AtomicBool>,
     cfg: ClusterConfig,
 ) {
-    let n = nodes.len();
+    let n = senders.len();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (me.index() as u64).wrapping_mul(0x9E37_79B9));
-    let send = |rng: &mut StdRng, to: NodeId, msg: NetMessage| {
-        if cfg.loss_probability > 0.0 && rng.gen_bool(cfg.loss_probability) {
-            return; // dropped in transit
-        }
-        if cfg.latency > Duration::ZERO {
-            std::thread::sleep(cfg.latency);
-        }
-        let _ = senders[to.index()].send(msg);
-    };
-
-    loop {
-        match rx.recv_timeout(cfg.gossip_interval) {
-            Err(RecvTimeoutError::Timeout) => {
-                // Time for scheduled anti-entropy: pull from a random peer.
-                if !shared.alive.load(Ordering::SeqCst) {
-                    continue;
-                }
-                let mut peer = rng.gen_range(0..n);
-                if peer == me.index() {
-                    peer = (peer + 1) % n;
-                }
-                let dbvv = {
-                    let mut r = shared.replica.lock();
-                    let dbvv = r.dbvv().clone();
-                    r.charge_message(request_bytes(&dbvv), 0);
-                    dbvv
-                };
-                send(
-                    &mut rng,
-                    NodeId::from_index(peer),
-                    NetMessage::PullRequest { from: me, dbvv },
-                );
+    while running.load(Ordering::SeqCst) {
+        // Sleep the gossip interval in small slices so shutdown is prompt
+        // even with long intervals.
+        let wake = Instant::now() + cfg.gossip_interval;
+        while Instant::now() < wake {
+            if !running.load(Ordering::SeqCst) {
+                return;
             }
-            Err(RecvTimeoutError::Disconnected) => return,
-            Ok(NetMessage::Shutdown) => return,
-            Ok(msg) => {
-                if !shared.alive.load(Ordering::SeqCst) {
-                    continue; // a crashed node drops everything
-                }
-                match msg {
-                    NetMessage::PullRequest { from, dbvv } => {
-                        let response = {
-                            let mut r = shared.replica.lock();
-                            let response = r.prepare_propagation(&dbvv);
-                            r.charge_message(
-                                wire::MSG_HEADER + response.control_bytes(),
-                                response.payload_bytes(),
-                            );
-                            response
-                        };
-                        send(&mut rng, from, NetMessage::PullResponse { from: me, response });
-                    }
-                    NetMessage::PullResponse { from, response } => {
-                        if let PropagationResponse::Payload(payload) = response {
-                            let mut r = shared.replica.lock();
-                            // Errors here mean a malformed payload; the
-                            // runtime just drops it (as a codec layer
-                            // would).
-                            let _ = r.accept_propagation(from, payload);
-                        }
-                    }
-                    NetMessage::OobRequest { from, item } => {
-                        let reply = shared.replica.lock().serve_oob(item);
-                        if let Ok(reply) = reply {
-                            send(&mut rng, from, NetMessage::OobResponse { from: me, reply });
-                        }
-                    }
-                    NetMessage::OobResponse { from, reply } => {
-                        let _ = shared.replica.lock().accept_oob(from, reply);
-                    }
-                    NetMessage::Shutdown => return,
-                }
-            }
+            std::thread::sleep((wake - Instant::now()).min(Duration::from_millis(20)));
         }
+        if !shared.alive.load(Ordering::SeqCst) {
+            continue;
+        }
+        let mut peer = rng.gen_range(0..n);
+        if peer == me.index() {
+            peer = (peer + 1) % n;
+        }
+        let channel = ChannelTransport {
+            peer: NodeId::from_index(peer),
+            sender: &senders[peer],
+            timeout: cfg.exchange_timeout,
+        };
+        let mut transport =
+            FaultInjector::new(channel, &mut rng, cfg.loss_probability, cfg.latency);
+        let mut host = MutexHost(&shared.replica);
+        // Loss and crashed peers surface as errors; gossip just retries
+        // on the next tick.
+        let _ = if cfg.delta_budget > 0 {
+            Engine::pull_delta(&mut host, &mut transport)
+        } else {
+            Engine::pull(&mut host, &mut transport)
+        };
     }
 }
 
@@ -370,6 +424,45 @@ mod tests {
             assert_eq!(r.aux_item_count(), 1);
             assert_eq!(r.read_regular(ItemId(1)).unwrap().as_bytes(), b"");
         });
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn delta_gossip_converges() {
+        let cluster = ThreadedCluster::spawn(
+            3,
+            20,
+            ClusterConfig {
+                gossip_interval: Duration::from_millis(1),
+                delta_budget: 1 << 20,
+                paranoid: true,
+                ..ClusterConfig::default()
+            },
+        );
+        for i in 0..6u32 {
+            cluster
+                .update(NodeId((i % 3) as u16), ItemId(i), UpdateOp::set(vec![i as u8; 64]))
+                .unwrap();
+        }
+        assert!(cluster.quiesce(Duration::from_secs(20)), "no quiescence in delta mode");
+        let replicas = cluster.shutdown();
+        for r in &replicas {
+            r.check_invariants().unwrap();
+            assert!(r.audits_run() > 0, "paranoid audits should have run");
+        }
+    }
+
+    #[test]
+    fn explicit_pulls_without_gossip() {
+        let cluster = ThreadedCluster::spawn(
+            2,
+            10,
+            ClusterConfig { gossip_interval: Duration::from_secs(60), ..Default::default() },
+        );
+        cluster.update(NodeId(0), ItemId(2), UpdateOp::set(&b"v"[..])).unwrap();
+        let out = cluster.pull_now(NodeId(1), NodeId(0)).unwrap();
+        assert_eq!(out.copied(), &[ItemId(2)]);
+        assert!(matches!(cluster.pull_now(NodeId(1), NodeId(0)).unwrap(), PullOutcome::UpToDate));
         cluster.shutdown();
     }
 }

@@ -1,11 +1,13 @@
 //! A TCP runtime: the same protocol, over real sockets on localhost.
 //!
-//! Each replica gets a listener thread (serving pull and out-of-bound
-//! requests as framed request/response exchanges) and a gossip thread
-//! (periodically connecting to a random peer and pulling). Frames are a
-//! 4-byte little-endian length followed by a [`codec`]-encoded message —
-//! the byte counts charged by [`Costs`](epidb_common::Costs) correspond to
-//! what actually crosses the socket.
+//! Each replica gets a listener thread (spawning one serving thread per
+//! accepted connection) and a gossip thread (periodically connecting to a
+//! random peer and pulling). Frames are a 4-byte little-endian length
+//! followed by a [`codec`](epidb_core::codec)-encoded engine enum — the
+//! socket carries exactly the [`ProtocolRequest`] / [`ProtocolResponse`]
+//! pairs every other runtime exchanges, and the byte counts charged by
+//! [`Costs`](epidb_common::Costs) inside the engine correspond to what
+//! actually crosses the wire.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -14,39 +16,134 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use epidb_common::costs::wire;
 use epidb_common::{Error, ItemId, NodeId, Result};
-use epidb_core::codec::{decode_message, encode_message, WireMessage};
-use epidb_core::messages::request_bytes;
-use epidb_core::{OobOutcome, PropagationResponse, Replica};
+use epidb_core::codec::{decode_request, decode_response, encode_request, encode_response};
+use epidb_core::{
+    Engine, OobOutcome, ProtocolRequest, ProtocolResponse, PullOutcome, Replica, Transport,
+};
 use epidb_store::UpdateOp;
 use epidb_vv::VvOrd;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::transport::{FaultInjector, MutexHost};
+
 /// Maximum accepted frame size (64 MiB) — guards against corrupt length
 /// prefixes.
 const MAX_FRAME: u32 = 64 << 20;
 
-/// Tuning for the TCP cluster.
+/// Tuning and fault-injection knobs for the TCP cluster.
 #[derive(Clone, Copy, Debug)]
 pub struct TcpConfig {
     /// How often each node initiates a pull from a random peer.
     pub gossip_interval: Duration,
-    /// Seed for peer selection.
+    /// Seed for peer selection and loss injection.
     pub seed: u64,
+    /// Probability that either leg of a gossip exchange is dropped (the
+    /// response is still read off the socket, then discarded — a loss on
+    /// the return path, not a protocol error).
+    pub loss_probability: f64,
+    /// Op-cache budget per replica; when non-zero, gossip runs in delta
+    /// mode.
+    pub delta_budget: usize,
+    /// Run every replica in paranoid mode (per-step invariant audits).
+    pub paranoid: bool,
 }
 
 impl Default for TcpConfig {
     fn default() -> Self {
-        TcpConfig { gossip_interval: Duration::from_millis(5), seed: 0x7C9 }
+        TcpConfig {
+            gossip_interval: Duration::from_millis(5),
+            seed: 0x7C9,
+            loss_probability: 0.0,
+            delta_budget: 0,
+            paranoid: false,
+        }
     }
 }
 
 struct TcpNode {
     replica: Mutex<Replica>,
     alive: AtomicBool,
+}
+
+fn write_frame(stream: &mut TcpStream, body: &[u8]) -> Result<()> {
+    let write = |s: &mut TcpStream| {
+        s.write_all(&(body.len() as u32).to_le_bytes())?;
+        s.write_all(body)?;
+        s.flush()
+    };
+    write(stream).map_err(|e| Error::Network(format!("send frame: {e}")))
+}
+
+fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    stream
+        .read_exact(&mut len_buf)
+        .map_err(|e| Error::Network(format!("read frame length: {e}")))?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(Error::Network(format!("frame of {len} bytes exceeds limit")));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body).map_err(|e| Error::Network(format!("read frame body: {e}")))?;
+    Ok(body)
+}
+
+/// A [`Transport`] over a TCP connection to one peer's server: each
+/// exchange writes a request frame and reads a response frame. The
+/// connection is opened lazily and reused across the exchanges of a sync
+/// round; any I/O error discards it so the next exchange reconnects.
+pub struct TcpTransport {
+    peer: NodeId,
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+}
+
+impl TcpTransport {
+    /// A transport to the server of `peer` listening at `addr`.
+    pub fn new(peer: NodeId, addr: SocketAddr) -> TcpTransport {
+        TcpTransport { peer, addr, stream: None }
+    }
+
+    fn connect(&mut self) -> Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500))
+                .map_err(|e| Error::Network(format!("connect {}: {e}", self.addr)))?;
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .map_err(|e| Error::Network(format!("socket option: {e}")))?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn peer(&self) -> NodeId {
+        self.peer
+    }
+
+    fn exchange(&mut self, req: ProtocolRequest) -> Result<ProtocolResponse> {
+        let round = |stream: &mut TcpStream| -> Result<ProtocolResponse> {
+            write_frame(stream, &encode_request(&req))?;
+            decode_response(&read_frame(stream)?)
+        };
+        let stream = self.connect()?;
+        let resp = match round(stream) {
+            Ok(resp) => resp,
+            Err(e) => {
+                // The connection is in an unknown state; reconnect next time.
+                self.stream = None;
+                return Err(e);
+            }
+        };
+        match resp {
+            ProtocolResponse::Error(msg) => Err(Error::Network(format!("peer error: {msg}"))),
+            resp => Ok(resp),
+        }
+    }
 }
 
 /// A cluster of replicas gossiping over localhost TCP.
@@ -58,29 +155,6 @@ pub struct TcpCluster {
     config: TcpConfig,
 }
 
-/// Write one length-prefixed frame.
-pub fn write_frame(stream: &mut TcpStream, msg: &WireMessage) -> std::io::Result<()> {
-    let body = encode_message(msg);
-    stream.write_all(&(body.len() as u32).to_le_bytes())?;
-    stream.write_all(&body)?;
-    stream.flush()
-}
-
-/// Read one length-prefixed frame.
-pub fn read_frame(stream: &mut TcpStream) -> Result<WireMessage> {
-    let mut len_buf = [0u8; 4];
-    stream
-        .read_exact(&mut len_buf)
-        .map_err(|e| Error::Network(format!("read frame length: {e}")))?;
-    let len = u32::from_le_bytes(len_buf);
-    if len > MAX_FRAME {
-        return Err(Error::Network(format!("frame of {len} bytes exceeds limit")));
-    }
-    let mut body = vec![0u8; len as usize];
-    stream.read_exact(&mut body).map_err(|e| Error::Network(format!("read frame body: {e}")))?;
-    decode_message(&body)
-}
-
 impl TcpCluster {
     /// Bind `n_nodes` listeners on localhost and start gossiping.
     pub fn spawn(n_nodes: usize, n_items: usize, config: TcpConfig) -> Result<TcpCluster> {
@@ -88,10 +162,12 @@ impl TcpCluster {
         let running = Arc::new(AtomicBool::new(true));
         let nodes: Vec<Arc<TcpNode>> = (0..n_nodes)
             .map(|i| {
-                Arc::new(TcpNode {
-                    replica: Mutex::new(Replica::new(NodeId::from_index(i), n_nodes, n_items)),
-                    alive: AtomicBool::new(true),
-                })
+                let mut replica = Replica::new(NodeId::from_index(i), n_nodes, n_items);
+                if config.delta_budget > 0 {
+                    replica.enable_delta(config.delta_budget);
+                }
+                replica.set_paranoid(config.paranoid);
+                Arc::new(TcpNode { replica: Mutex::new(replica), alive: AtomicBool::new(true) })
             })
             .collect();
 
@@ -108,7 +184,7 @@ impl TcpCluster {
 
         let mut handles = Vec::new();
         for (i, listener) in listeners.into_iter().enumerate() {
-            // Server thread.
+            // Listener thread.
             let node = nodes[i].clone();
             let run = running.clone();
             handles.push(std::thread::spawn(move || server_loop(listener, node, run)));
@@ -135,10 +211,7 @@ impl TcpCluster {
 
     /// Apply a user update at `node`.
     pub fn update(&self, node: NodeId, item: ItemId, op: UpdateOp) -> Result<()> {
-        let n = self.nodes.get(node.index()).ok_or(Error::UnknownNode(node))?;
-        if !n.alive.load(Ordering::SeqCst) {
-            return Err(Error::NodeDown(node));
-        }
+        let n = self.checked(node)?;
         n.replica.lock().update(item, op)
     }
 
@@ -148,22 +221,43 @@ impl TcpCluster {
         Ok(n.replica.lock().read(item)?.as_bytes().to_vec())
     }
 
-    /// Out-of-bound fetch over TCP: connect to the source's server, send
-    /// the request frame, apply the reply.
-    pub fn oob_fetch(&self, recipient: NodeId, source: NodeId, item: ItemId) -> Result<OobOutcome> {
-        let addr = self.addr(source);
-        let mut stream =
-            TcpStream::connect(addr).map_err(|e| Error::Network(format!("connect {addr}: {e}")))?;
-        write_frame(&mut stream, &WireMessage::OobRequest { from: recipient, item })
-            .map_err(|e| Error::Network(format!("send oob request: {e}")))?;
-        match read_frame(&mut stream)? {
-            WireMessage::OobResponse { from, reply } => {
-                let node =
-                    self.nodes.get(recipient.index()).ok_or(Error::UnknownNode(recipient))?;
-                node.replica.lock().accept_oob(from, reply)
-            }
-            other => Err(Error::Network(format!("unexpected reply {other:?}"))),
+    fn checked(&self, node: NodeId) -> Result<&Arc<TcpNode>> {
+        let n = self.nodes.get(node.index()).ok_or(Error::UnknownNode(node))?;
+        if !n.alive.load(Ordering::SeqCst) {
+            return Err(Error::NodeDown(node));
         }
+        Ok(n)
+    }
+
+    /// Out-of-bound fetch over TCP, driven through the engine like every
+    /// other exchange.
+    pub fn oob_fetch(&self, recipient: NodeId, source: NodeId, item: ItemId) -> Result<OobOutcome> {
+        if recipient == source {
+            return Ok(OobOutcome::AlreadyCurrent);
+        }
+        self.checked(source)?;
+        let node = self.checked(recipient)?;
+        let mut transport = TcpTransport::new(source, self.addr(source));
+        Engine::oob(&mut MutexHost(&node.replica), &mut transport, item)
+    }
+
+    /// Run one whole-item pull right now (`recipient` from `source`),
+    /// bypassing the gossip schedule — deterministic schedules for tests.
+    pub fn pull_now(&self, recipient: NodeId, source: NodeId) -> Result<PullOutcome> {
+        assert_ne!(recipient, source, "a node cannot pull from itself");
+        self.checked(source)?;
+        let node = self.checked(recipient)?;
+        let mut transport = TcpTransport::new(source, self.addr(source));
+        Engine::pull(&mut MutexHost(&node.replica), &mut transport)
+    }
+
+    /// As [`pull_now`](Self::pull_now), in delta mode.
+    pub fn pull_delta_now(&self, recipient: NodeId, source: NodeId) -> Result<PullOutcome> {
+        assert_ne!(recipient, source, "a node cannot pull from itself");
+        self.checked(source)?;
+        let node = self.checked(recipient)?;
+        let mut transport = TcpTransport::new(source, self.addr(source));
+        Engine::pull_delta(&mut MutexHost(&node.replica), &mut transport)
     }
 
     /// Crash / revive a node (it refuses connections and stops gossiping
@@ -240,43 +334,39 @@ impl Drop for TcpCluster {
 
 fn server_loop(listener: TcpListener, node: Arc<TcpNode>, running: Arc<AtomicBool>) {
     while running.load(Ordering::SeqCst) {
-        let Ok((mut stream, _)) = listener.accept() else {
+        let Ok((stream, _)) = listener.accept() else {
             continue;
         };
         if !running.load(Ordering::SeqCst) {
             return;
         }
-        if !node.alive.load(Ordering::SeqCst) {
-            continue; // crashed: drop the connection
+        let node = node.clone();
+        let run = running.clone();
+        std::thread::spawn(move || serve_conn(stream, node, run));
+    }
+}
+
+/// Serve one connection: a loop of request frame → [`Engine::handle`] →
+/// response frame. A crashed node drops the connection without replying.
+fn serve_conn(mut stream: TcpStream, node: Arc<TcpNode>, running: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    loop {
+        if !running.load(Ordering::SeqCst) || !node.alive.load(Ordering::SeqCst) {
+            return;
         }
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-        let Ok(msg) = read_frame(&mut stream) else {
-            continue;
+        let Ok(body) = read_frame(&mut stream) else {
+            return; // peer closed, timed out, or sent garbage
         };
-        match msg {
-            WireMessage::PullRequest { from: _, dbvv } => {
-                let (me, response) = {
-                    let mut r = node.replica.lock();
-                    let response = r.prepare_propagation(&dbvv);
-                    r.charge_message(
-                        wire::MSG_HEADER + response.control_bytes(),
-                        response.payload_bytes(),
-                    );
-                    (r.id(), response)
-                };
-                let _ = write_frame(&mut stream, &WireMessage::PullResponse { from: me, response });
-            }
-            WireMessage::OobRequest { from: _, item } => {
-                let (me, reply) = {
-                    let r = node.replica.lock();
-                    (r.id(), r.serve_oob(item))
-                };
-                if let Ok(reply) = reply {
-                    let _ = write_frame(&mut stream, &WireMessage::OobResponse { from: me, reply });
-                }
-            }
-            // Requests only; responses arrive on the initiating connection.
-            WireMessage::PullResponse { .. } | WireMessage::OobResponse { .. } => {}
+        if !node.alive.load(Ordering::SeqCst) {
+            return; // crashed between frames: silently drop
+        }
+        let resp = match decode_request(&body) {
+            Ok(req) => Engine::handle(&mut node.replica.lock(), req)
+                .unwrap_or_else(|e| ProtocolResponse::Error(e.to_string())),
+            Err(e) => ProtocolResponse::Error(format!("bad request: {e}")),
+        };
+        if write_frame(&mut stream, &encode_response(&resp)).is_err() {
+            return;
         }
     }
 }
@@ -307,27 +397,16 @@ fn gossip_loop(
         if peer == me.index() {
             peer = (peer + 1) % n;
         }
-        let dbvv = {
-            let mut r = node.replica.lock();
-            let dbvv = r.dbvv().clone();
-            r.charge_message(request_bytes(&dbvv), 0);
-            dbvv
+        let tcp = TcpTransport::new(NodeId::from_index(peer), addrs[peer]);
+        let mut transport = FaultInjector::new(tcp, &mut rng, cfg.loss_probability, Duration::ZERO);
+        let mut host = MutexHost(&node.replica);
+        // Connection failures and injected loss surface as errors; gossip
+        // just retries on the next tick.
+        let _ = if cfg.delta_budget > 0 {
+            Engine::pull_delta(&mut host, &mut transport)
+        } else {
+            Engine::pull(&mut host, &mut transport)
         };
-        let Ok(mut stream) = TcpStream::connect_timeout(&addrs[peer], Duration::from_millis(500))
-        else {
-            continue;
-        };
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-        if write_frame(&mut stream, &WireMessage::PullRequest { from: me, dbvv }).is_err() {
-            continue;
-        }
-        let Ok(WireMessage::PullResponse { from, response }) = read_frame(&mut stream) else {
-            continue;
-        };
-        if let PropagationResponse::Payload(payload) = response {
-            let mut r = node.replica.lock();
-            let _ = r.accept_propagation(from, payload);
-        }
     }
 }
 
@@ -392,5 +471,29 @@ mod tests {
         assert!(cluster.quiesce(Duration::from_secs(30)));
         assert_eq!(cluster.read(NodeId(2), ItemId(0)).unwrap(), b"while-down");
         cluster.shutdown();
+    }
+
+    #[test]
+    fn delta_gossip_over_tcp_converges() {
+        let cluster = TcpCluster::spawn(
+            3,
+            20,
+            TcpConfig {
+                gossip_interval: Duration::from_millis(2),
+                delta_budget: 1 << 20,
+                ..TcpConfig::default()
+            },
+        )
+        .unwrap();
+        for i in 0..6u32 {
+            cluster
+                .update(NodeId((i % 3) as u16), ItemId(i), UpdateOp::set(vec![i as u8; 32]))
+                .unwrap();
+        }
+        assert!(cluster.quiesce(Duration::from_secs(30)), "no quiescence in TCP delta mode");
+        let replicas = cluster.shutdown();
+        for r in &replicas {
+            r.check_invariants().unwrap();
+        }
     }
 }

@@ -4,7 +4,7 @@
 
 use epidb_baselines::{SyncProtocol, SyncReport};
 use epidb_common::{Costs, Error, ItemId, NodeId, Result};
-use epidb_core::{oob_copy, pull, ConflictPolicy, OobOutcome, PullOutcome, Replica};
+use epidb_core::{ConflictPolicy, Engine, LocalTransport, OobOutcome, PullOutcome, Replica};
 use epidb_store::UpdateOp;
 
 /// A cluster of [`Replica`]s running the paper's protocol.
@@ -52,23 +52,25 @@ impl EpidbCluster {
         }
     }
 
-    /// One anti-entropy pull: `recipient` from `source` (§5.1).
+    /// One anti-entropy pull: `recipient` from `source` (§5.1), driven
+    /// through the engine over the in-process [`LocalTransport`] — the
+    /// same dispatch surface the threaded and TCP runtimes use.
     pub fn pull_pair(&mut self, recipient: NodeId, source: NodeId) -> Result<PullOutcome> {
         let (r, s) = self.pair_mut(recipient, source);
-        pull(r, s)
+        Engine::pull(r, &mut LocalTransport::new(s))
     }
 
     /// One out-of-bound copy of `item`: `recipient` from `source` (§5.2).
     pub fn oob(&mut self, recipient: NodeId, source: NodeId, item: ItemId) -> Result<OobOutcome> {
         let (r, s) = self.pair_mut(recipient, source);
-        oob_copy(r, s, item)
+        Engine::oob(r, &mut LocalTransport::new(s), item)
     }
 
     /// One delta-mode pull (§2's update-record shipping, see
     /// `epidb_core::delta`): `recipient` from `source`.
     pub fn pull_delta_pair(&mut self, recipient: NodeId, source: NodeId) -> Result<PullOutcome> {
         let (r, s) = self.pair_mut(recipient, source);
-        epidb_core::pull_delta(r, s)
+        Engine::pull_delta(r, &mut LocalTransport::new(s))
     }
 
     /// Enable the delta op cache on every replica.

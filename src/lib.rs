@@ -19,8 +19,8 @@
 //! | [`vv`] | item & database version vectors (§3, §4.1) |
 //! | [`store`] | items, values, re-doable update operations (§2, §4.4) |
 //! | [`log`] | the log vector and auxiliary log (§4.2, §4.4, Fig. 1) |
-//! | [`core`] | the protocol: replicas, propagation, OOB, tokens (§5) |
-//! | [`net`] | threaded cluster runtime with fault injection |
+//! | [`core`] | the protocol: replicas, propagation, OOB, tokens (§5), the transport-agnostic engine + wire codec |
+//! | [`net`] | threaded and TCP cluster runtimes (engine adapters) with fault injection |
 //! | [`baselines`] | the §8 comparison protocols |
 //! | [`sim`] | simulator, workloads, auditor, experiment suite |
 //!
@@ -61,8 +61,9 @@ pub mod prelude {
     pub use epidb_baselines::{SyncProtocol, SyncReport};
     pub use epidb_common::{ConflictEvent, ConflictSite, Costs, Error, ItemId, NodeId, Result};
     pub use epidb_core::{
-        oob_copy, pull, pull_delta, AcceptOutcome, ConflictPolicy, OobOutcome, PullOutcome,
-        Replica, TokenManager,
+        oob_copy, pull, pull_delta, AcceptOutcome, ConflictPolicy, Engine, LocalTransport,
+        OobOutcome, ProtocolRequest, ProtocolResponse, PullOutcome, Replica, ReplicaHost,
+        TokenManager, Transport,
     };
     pub use epidb_store::{ItemValue, UpdateOp};
     pub use epidb_vv::{DbVersionVector, VersionVector, VvOrd};

@@ -1,0 +1,85 @@
+//! Fault injection over real sockets: the TCP runtime must converge under
+//! message loss combined with a crash/recovery, with paranoid per-step
+//! audits running at every replica throughout.
+
+use epidb::net::{TcpCluster, TcpConfig};
+use epidb::prelude::*;
+use std::time::Duration;
+
+#[test]
+fn tcp_cluster_converges_under_loss_and_crash() {
+    let cluster = TcpCluster::spawn(
+        3,
+        30,
+        TcpConfig {
+            gossip_interval: Duration::from_millis(2),
+            loss_probability: 0.25,
+            paranoid: true,
+            ..TcpConfig::default()
+        },
+    )
+    .unwrap();
+
+    for i in 0..8u32 {
+        cluster
+            .update(NodeId((i % 3) as u16), ItemId(i), UpdateOp::set(vec![i as u8 + 1; 40]))
+            .unwrap();
+    }
+
+    // Crash a node mid-stream; updates keep landing elsewhere.
+    cluster.crash(NodeId(1));
+    assert!(matches!(
+        cluster.update(NodeId(1), ItemId(9), UpdateOp::set(&b"x"[..])),
+        Err(Error::NodeDown(NodeId(1)))
+    ));
+    cluster.update(NodeId(0), ItemId(9), UpdateOp::set(&b"while-down"[..])).unwrap();
+    cluster.update(NodeId(2), ItemId(10), UpdateOp::append(&b"tail"[..])).unwrap();
+    assert!(cluster.quiesce(Duration::from_secs(60)), "survivors did not converge under loss");
+
+    // The crashed node recovers its durable state and catches up through
+    // ordinary anti-entropy.
+    cluster.revive(NodeId(1));
+    assert!(cluster.quiesce(Duration::from_secs(60)), "revived node did not catch up");
+
+    for i in 0..8u32 {
+        for node in 0..3u16 {
+            assert_eq!(cluster.read(NodeId(node), ItemId(i)).unwrap(), vec![i as u8 + 1; 40]);
+        }
+    }
+    assert_eq!(cluster.read(NodeId(1), ItemId(9)).unwrap(), b"while-down");
+    assert_eq!(cluster.read(NodeId(1), ItemId(10)).unwrap(), b"tail");
+
+    let replicas = cluster.shutdown();
+    for r in &replicas {
+        r.check_invariants().unwrap_or_else(|e| panic!("invariant violated at {}: {e}", r.id()));
+        assert!(r.audits_run() > 0, "paranoid audits never ran at {}", r.id());
+        assert_eq!(r.costs().conflicts_detected, 0);
+    }
+}
+
+#[test]
+fn tcp_delta_gossip_converges_under_loss() {
+    let cluster = TcpCluster::spawn(
+        3,
+        20,
+        TcpConfig {
+            gossip_interval: Duration::from_millis(2),
+            loss_probability: 0.2,
+            delta_budget: 1 << 20,
+            paranoid: true,
+            ..TcpConfig::default()
+        },
+    )
+    .unwrap();
+    for i in 0..6u32 {
+        cluster
+            .update(NodeId((i % 3) as u16), ItemId(i), UpdateOp::set(vec![i as u8; 50]))
+            .unwrap();
+    }
+    assert!(cluster.quiesce(Duration::from_secs(60)), "delta gossip did not converge under loss");
+    let replicas = cluster.shutdown();
+    for r in &replicas {
+        r.check_invariants().unwrap();
+        assert!(r.audits_run() > 0);
+    }
+}
