@@ -18,4 +18,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== benches compile =="
+cargo bench --workspace --no-run
+
+echo "== perf_report smoke =="
+cargo run --release -q -p epidb-bench --bin perf_report -- \
+  --smoke --assert-zero-copy --out target/bench_smoke.json
+grep -q '"schema": "epidb-perf-report/v1"' target/bench_smoke.json
+
 echo "CI green."

@@ -1,0 +1,435 @@
+//! `perf_report` — the benchmark trajectory harness.
+//!
+//! Runs the core perf scenarios (codec framing, anti-entropy vs `m`, delta
+//! gossip, large-value out-of-bound copy) in-process with deterministic
+//! inputs and emits a machine-readable JSON report, so every perf PR has
+//! comparable before/after numbers (`BENCH_PR<k>.json` at the repo root).
+//!
+//! Unlike the criterion suites (statistical, interactive), this runner is
+//! a fixed-format trajectory point: small, scriptable, and diffable. A
+//! counting global allocator reports allocation traffic per operation, so
+//! zero-copy claims are checkable, not aspirational.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p epidb-bench --bin perf_report -- \
+//!     [--smoke] [--assert-zero-copy] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! * `--smoke` — tiny sizes and budgets (CI: validates the harness and the
+//!   JSON schema without burning minutes).
+//! * `--assert-zero-copy` — assert that the large-value ship scenarios
+//!   allocate far less than they ship (the steady-state zero-copy
+//!   guarantee); fails loudly if a copy sneaks back into the payload path.
+//! * `--baseline PATH` — a previous report to embed and compute speedups
+//!   against (default `results/bench_pr3_baseline.json` if present).
+//! * `--out PATH` — where to write the report (default `BENCH_PR3.json`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use epidb_common::{ItemId, NodeId};
+use epidb_core::codec::{decode_response_shared, encode_response, encode_response_to, Writer};
+use epidb_core::{oob_copy, pull, pull_delta, ProtocolResponse, PullOutcome, Replica};
+use epidb_store::UpdateOp;
+
+// --- counting allocator -----------------------------------------------------
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (ALLOC_CALLS.load(Ordering::Relaxed), ALLOC_BYTES.load(Ordering::Relaxed))
+}
+
+// --- measurement loop -------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct Measure {
+    name: &'static str,
+    iters: u64,
+    ns_per_op: f64,
+    /// Item-value payload bytes one operation ships (0 when not applicable).
+    payload_bytes_per_op: u64,
+    mb_per_s: f64,
+    alloc_bytes_per_op: f64,
+    allocs_per_op: f64,
+}
+
+/// Run `routine` over per-iteration state from `setup` until `target` time
+/// is spent inside `routine` (setup time and drop time excluded from the
+/// clock but not from the iteration count).
+fn bench<S, R>(
+    name: &'static str,
+    target: Duration,
+    payload_bytes_per_op: u64,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(S) -> R,
+) -> Measure {
+    // Warmup.
+    for _ in 0..2 {
+        black_box(routine(setup()));
+    }
+    let mut spent = Duration::ZERO;
+    let mut iters = 0u64;
+    let mut alloc_calls = 0u64;
+    let mut alloc_bytes = 0u64;
+    while spent < target && iters < 100_000 {
+        let state = setup();
+        let (c0, b0) = alloc_snapshot();
+        let t0 = Instant::now();
+        let out = routine(state);
+        spent += t0.elapsed();
+        let (c1, b1) = alloc_snapshot();
+        black_box(out);
+        alloc_calls += c1 - c0;
+        alloc_bytes += b1 - b0;
+        iters += 1;
+    }
+    let ns_per_op = spent.as_nanos() as f64 / iters as f64;
+    let mb_per_s = if payload_bytes_per_op > 0 {
+        (payload_bytes_per_op as f64 * iters as f64) / (spent.as_secs_f64() * 1e6)
+    } else {
+        0.0
+    };
+    Measure {
+        name,
+        iters,
+        ns_per_op,
+        payload_bytes_per_op,
+        mb_per_s,
+        alloc_bytes_per_op: alloc_bytes as f64 / iters as f64,
+        allocs_per_op: alloc_calls as f64 / iters as f64,
+    }
+}
+
+// --- scenario setup ---------------------------------------------------------
+
+/// Source/destination pair where the source has `m` updated items of
+/// `val_len` bytes each (deterministic contents).
+fn build_pair(n_nodes: usize, n_items: usize, m: usize, val_len: usize) -> (Replica, Replica) {
+    assert!(m <= n_items);
+    let mut src = Replica::new(NodeId(0), n_nodes, n_items);
+    let dst = Replica::new(NodeId(1), n_nodes, n_items);
+    for i in 0..m {
+        src.update(ItemId::from_index(i), UpdateOp::set(vec![(i % 251) as u8; val_len]))
+            .expect("update");
+    }
+    (src, dst)
+}
+
+struct Sizes {
+    target: Duration,
+    codec_m: usize,
+    codec_val: usize,
+    large_val: usize,
+    pull_m: usize,
+    pull_val: usize,
+    delta_m: usize,
+    delta_ops: usize,
+    delta_val: usize,
+}
+
+impl Sizes {
+    fn full() -> Sizes {
+        Sizes {
+            target: Duration::from_millis(300),
+            codec_m: 1_000,
+            codec_val: 64,
+            large_val: 1 << 20,
+            pull_m: 256,
+            pull_val: 4 << 10,
+            delta_m: 64,
+            delta_ops: 4,
+            delta_val: 512,
+        }
+    }
+
+    fn smoke() -> Sizes {
+        Sizes {
+            target: Duration::from_millis(10),
+            codec_m: 32,
+            codec_val: 64,
+            large_val: 1 << 20, // keep 1 MiB so --assert-zero-copy is meaningful
+            pull_m: 16,
+            pull_val: 1 << 10,
+            delta_m: 8,
+            delta_ops: 3,
+            delta_val: 128,
+        }
+    }
+}
+
+// --- scenarios --------------------------------------------------------------
+
+/// Produce the full wire frame for a pull response carrying `m` items and
+/// deliver it to a sink — the ship path from engine response to socket
+/// boundary.
+fn scenario_codec_frame(
+    name: &'static str,
+    s: &Sizes,
+    m: usize,
+    val: usize,
+    extra: usize,
+) -> Measure {
+    let (mut src, dst) = build_pair(4, m.max(1), m, val);
+    let dbvv = dst.dbvv().clone();
+    let resp = ProtocolResponse::Pull(src.prepare_propagation(&dbvv));
+    let payload = resp.payload_bytes();
+    let mut sink = std::io::sink();
+    // The transport's steady state: one reusable writer per connection;
+    // value segments go to the socket straight from the store's buffers.
+    let mut w = Writer::new();
+    bench(
+        name,
+        s.target,
+        payload,
+        || (),
+        |()| {
+            use std::io::Write as _;
+            encode_response_to(&resp, &mut w);
+            sink.write_all(&(w.len() as u32).to_le_bytes()).unwrap();
+            for chunk in w.chunks() {
+                sink.write_all(chunk).unwrap();
+            }
+            w.len() + extra
+        },
+    )
+}
+
+/// Decode the same frame back into a typed response (the receive path).
+fn scenario_codec_decode(name: &'static str, s: &Sizes, m: usize, val: usize) -> Measure {
+    let (mut src, dst) = build_pair(4, m.max(1), m, val);
+    let dbvv = dst.dbvv().clone();
+    let resp = ProtocolResponse::Pull(src.prepare_propagation(&dbvv));
+    let payload = resp.payload_bytes();
+    let encoded = Bytes::from(encode_response(&resp));
+    bench(name, s.target, payload, || (), |()| decode_response_shared(&encoded).unwrap())
+}
+
+/// One full anti-entropy pull shipping `m` items of `val` bytes.
+fn scenario_pull(name: &'static str, s: &Sizes, m: usize, val: usize) -> Measure {
+    let (src, dst0) = build_pair(3, m, m, val);
+    let payload = (m * val) as u64;
+    let mut src = src;
+    bench(
+        name,
+        s.target,
+        payload,
+        || dst0.clone(),
+        |mut dst| {
+            let out = pull(&mut dst, &mut src).unwrap();
+            assert!(matches!(out, PullOutcome::Propagated(_)));
+            dst
+        },
+    )
+}
+
+/// One delta-mode pull shipping operation chains for `m` items.
+fn scenario_delta(name: &'static str, s: &Sizes, m: usize, ops: usize, val: usize) -> Measure {
+    let mut src = Replica::new(NodeId(0), 3, m);
+    src.enable_delta(16 << 20);
+    let mut dst = Replica::new(NodeId(1), 3, m);
+    for i in 0..m {
+        src.update(ItemId::from_index(i), UpdateOp::set(vec![7u8; val])).unwrap();
+    }
+    pull(&mut dst, &mut src).unwrap();
+    for k in 0..ops {
+        for i in 0..m {
+            src.update(ItemId::from_index(i), UpdateOp::append(vec![k as u8; val])).unwrap();
+        }
+    }
+    let payload = (m * ops * val) as u64;
+    let dst0 = dst;
+    bench(
+        name,
+        s.target,
+        payload,
+        || dst0.clone(),
+        |mut dst| {
+            let out = pull_delta(&mut dst, &mut src).unwrap();
+            assert!(matches!(out, PullOutcome::Propagated(_)));
+            dst
+        },
+    )
+}
+
+/// One out-of-bound copy of a single large value to a fresh recipient.
+fn scenario_oob_large(name: &'static str, s: &Sizes) -> Measure {
+    let mut src = Replica::new(NodeId(0), 2, 4);
+    src.update(ItemId(0), UpdateOp::set(vec![0x5A; s.large_val])).unwrap();
+    bench(
+        name,
+        s.target,
+        s.large_val as u64,
+        || Replica::new(NodeId(1), 2, 4),
+        |mut dst| {
+            oob_copy(&mut dst, &mut src, ItemId(0)).unwrap();
+            dst
+        },
+    )
+}
+
+fn run_all(s: &Sizes) -> Vec<Measure> {
+    vec![
+        scenario_codec_frame("codec_frame_many_small", s, s.codec_m, s.codec_val, 0),
+        scenario_codec_frame("codec_frame_large_value", s, 1, s.large_val, 0),
+        scenario_codec_decode("codec_decode_many_small", s, s.codec_m, s.codec_val),
+        scenario_codec_decode("codec_decode_large_value", s, 1, s.large_val),
+        scenario_pull("pull_vs_m", s, s.pull_m, s.pull_val),
+        scenario_pull("pull_large_value", s, 1, s.large_val),
+        scenario_delta("delta_gossip", s, s.delta_m, s.delta_ops, s.delta_val),
+        scenario_oob_large("oob_large_value", s),
+    ]
+}
+
+// --- report emission --------------------------------------------------------
+
+fn scenarios_json(measures: &[Measure]) -> String {
+    let mut out = String::from("{\n");
+    for (i, m) in measures.iter().enumerate() {
+        let comma = if i + 1 == measures.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    \"{}\": {{\"iters\": {}, \"ns_per_op\": {:.1}, \"payload_bytes_per_op\": {}, \
+             \"mb_per_s\": {:.2}, \"alloc_bytes_per_op\": {:.1}, \"allocs_per_op\": {:.1}}}{comma}",
+            m.name,
+            m.iters,
+            m.ns_per_op,
+            m.payload_bytes_per_op,
+            m.mb_per_s,
+            m.alloc_bytes_per_op,
+            m.allocs_per_op,
+        )
+        .unwrap();
+    }
+    out.push_str("  }");
+    out
+}
+
+/// Pull `"<scenario>": {... "ns_per_op": <x> ...}` numbers out of a prior
+/// report without a JSON dependency: the reports are machine-written in a
+/// fixed shape, so a scan is reliable here (and only here).
+fn extract_ns_per_op(report: &str, scenario: &str) -> Option<f64> {
+    let key = format!("\"{scenario}\"");
+    let at = report.find(&key)?;
+    let rest = &report[at..];
+    let field = rest.find("\"ns_per_op\":")?;
+    let tail = rest[field + "\"ns_per_op\":".len()..].trim_start();
+    let end = tail.find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())?;
+    tail[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let opt = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::from)
+    };
+    let smoke = has("--smoke");
+    let out_path = opt("--out").unwrap_or_else(|| "BENCH_PR3.json".into());
+    let baseline_path =
+        opt("--baseline").unwrap_or_else(|| "results/bench_pr3_baseline.json".into());
+
+    let sizes = if smoke { Sizes::smoke() } else { Sizes::full() };
+    eprintln!("perf_report: running {} scenarios...", if smoke { "smoke" } else { "full" });
+    let measures = run_all(&sizes);
+    for m in &measures {
+        eprintln!(
+            "  {:<26} {:>10.0} ns/op {:>10.2} MB/s {:>12.0} alloc B/op ({} iters)",
+            m.name, m.ns_per_op, m.mb_per_s, m.alloc_bytes_per_op, m.iters
+        );
+    }
+
+    if has("--assert-zero-copy") {
+        // The steady-state zero-copy guarantee: shipping a large value from
+        // store to the socket boundary must not allocate (and so cannot
+        // memcpy into fresh buffers) anywhere near the payload it ships.
+        // The bound is generous (25% of one payload) to leave room for
+        // control structures, yet any real per-byte copy of the value blows
+        // straight through it.
+        for name in ["codec_frame_large_value", "oob_large_value", "pull_large_value"] {
+            let m = measures.iter().find(|m| m.name == name).expect("scenario exists");
+            let bound = m.payload_bytes_per_op as f64 / 4.0;
+            assert!(
+                m.alloc_bytes_per_op < bound,
+                "zero-copy regression in `{name}`: {:.0} alloc bytes/op >= {bound:.0} \
+                 (payload {} bytes/op)",
+                m.alloc_bytes_per_op,
+                m.payload_bytes_per_op,
+            );
+        }
+        eprintln!("perf_report: zero-copy allocation assertions hold.");
+    }
+
+    let baseline = std::fs::read_to_string(&baseline_path).ok();
+    let mut report = String::new();
+    report.push_str("{\n");
+    report.push_str("  \"schema\": \"epidb-perf-report/v1\",\n");
+    report.push_str("  \"pr\": 3,\n");
+    writeln!(report, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" }).unwrap();
+    writeln!(report, "  \"scenarios\": {},", scenarios_json(&measures)).unwrap();
+    match &baseline {
+        Some(text) => {
+            let mut speedups = String::from("{\n");
+            let mut first = true;
+            for m in &measures {
+                if let Some(base_ns) = extract_ns_per_op(text, m.name) {
+                    if !first {
+                        speedups.push_str(",\n");
+                    }
+                    first = false;
+                    write!(speedups, "    \"{}\": {:.2}", m.name, base_ns / m.ns_per_op).unwrap();
+                }
+            }
+            speedups.push_str("\n  }");
+            writeln!(report, "  \"speedup_vs_baseline\": {speedups},").unwrap();
+            writeln!(report, "  \"baseline\": {}", text.trim_end()).unwrap();
+        }
+        None => {
+            report.push_str("  \"speedup_vs_baseline\": null,\n");
+            report.push_str("  \"baseline\": null\n");
+        }
+    }
+    report.push_str("}\n");
+
+    std::fs::write(&out_path, &report).expect("write report");
+
+    // Self-validate the emitted schema (the CI smoke run relies on this).
+    let written = std::fs::read_to_string(&out_path).expect("re-read report");
+    assert!(written.contains("\"schema\": \"epidb-perf-report/v1\""));
+    for m in &measures {
+        let ns = extract_ns_per_op(&written, m.name)
+            .unwrap_or_else(|| panic!("scenario `{}` missing from emitted report", m.name));
+        assert!(ns > 0.0, "non-positive timing for `{}`", m.name);
+    }
+    eprintln!("perf_report: wrote {out_path} ({} scenarios, schema validated).", measures.len());
+}

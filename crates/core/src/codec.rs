@@ -8,10 +8,12 @@
 //! The same primitives back the snapshot (persistence) format in
 //! [`crate::snapshot`] and the TCP framing in `epidb-net`.
 
-use bytes::Bytes;
+use std::ops::Range;
+
+use bytes::{Bytes, BytesMut};
 use epidb_common::{Error, ItemId, NodeId, Result};
 use epidb_log::LogRecord;
-use epidb_store::{ItemValue, UpdateOp};
+use epidb_store::UpdateOp;
 use epidb_vv::{DbVersionVector, VersionVector};
 
 use crate::delta::{DeltaItem, DeltaOffer, DeltaOfferResponse, DeltaPayload, DeltaRequest};
@@ -22,10 +24,43 @@ use crate::opcache::CachedOp;
 /// Format version byte embedded in framed messages and snapshots.
 pub const CODEC_VERSION: u8 = 1;
 
+/// Values at or below this size are copied inline into the control buffer
+/// when encoded with [`Writer::value`]; larger ones travel as shared,
+/// refcounted segments. Inlining tiny values is cheaper than the
+/// per-segment bookkeeping (and the iovec entry) they would otherwise
+/// cost; large values must never be memcpy'd.
+pub const INLINE_VALUE_MAX: usize = 128;
+
+/// One stretch of encoded output: either a range of the control buffer or
+/// a shared value segment.
+enum Chunk {
+    Ctl(Range<usize>),
+    Val(Bytes),
+}
+
 /// Growable output buffer with primitive writers.
+///
+/// The writer is *segment-aware*: primitive fields accumulate in a
+/// reusable control buffer ([`BytesMut`]), while large values appended
+/// with [`Writer::value`] are kept as refcounted [`Bytes`] segments
+/// instead of being copied in. The encoded message is the in-order
+/// concatenation of both, exposed either as contiguous bytes
+/// ([`Writer::into_bytes`], which only copies when value segments exist)
+/// or as a sequence of slices ([`Writer::chunks`]) that a transport can
+/// hand to a single vectored write — the zero-copy path from store to
+/// socket.
+///
+/// Writers are meant to be reused: [`Writer::clear`] drops the contents
+/// but keeps the control allocation, so a long-lived connection encodes
+/// every frame into the same buffer.
 #[derive(Default)]
 pub struct Writer {
-    buf: Vec<u8>,
+    ctl: BytesMut,
+    chunks: Vec<Chunk>,
+    /// Start of the control run not yet recorded in `chunks`.
+    mark: usize,
+    /// Total bytes held in `Chunk::Val` segments.
+    val_bytes: usize,
 }
 
 impl Writer {
@@ -34,58 +69,129 @@ impl Writer {
         Writer::default()
     }
 
-    /// Finish and take the encoded bytes.
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+    /// Fresh writer with `capacity` control bytes pre-reserved.
+    pub fn with_capacity(capacity: usize) -> Writer {
+        Writer { ctl: BytesMut::with_capacity(capacity), ..Writer::default() }
     }
 
-    /// Bytes written so far.
+    /// Drop the contents but keep the control allocation, for reuse.
+    pub fn clear(&mut self) {
+        self.ctl.clear();
+        self.chunks.clear();
+        self.mark = 0;
+        self.val_bytes = 0;
+    }
+
+    /// Reserve room for at least `additional` more control bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.ctl.reserve(additional);
+    }
+
+    /// Finish and take the encoded bytes as one contiguous buffer.
+    /// Zero-copy when no value segments were appended (the common case for
+    /// requests and snapshots); otherwise assembles once.
+    pub fn into_bytes(self) -> Vec<u8> {
+        if self.chunks.is_empty() {
+            return self.ctl.into_vec();
+        }
+        let mut out = Vec::with_capacity(self.len());
+        for chunk in &self.chunks {
+            match chunk {
+                Chunk::Ctl(r) => out.extend_from_slice(&self.ctl[r.clone()]),
+                Chunk::Val(b) => out.extend_from_slice(b),
+            }
+        }
+        out.extend_from_slice(&self.ctl[self.mark..]);
+        out
+    }
+
+    /// The encoded message as in-order slices (control runs interleaved
+    /// with shared value segments), for vectored writes.
+    pub fn chunks(&self) -> impl Iterator<Item = &[u8]> {
+        let tail = &self.ctl[self.mark..];
+        self.chunks
+            .iter()
+            .map(move |chunk| match chunk {
+                Chunk::Ctl(r) => &self.ctl[r.clone()],
+                Chunk::Val(b) => &b[..],
+            })
+            .chain(std::iter::once(tail).filter(|s| !s.is_empty()))
+    }
+
+    /// Bytes written so far (control and value segments).
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.ctl.len() + self.val_bytes
     }
 
     /// True if nothing has been written.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
     }
 
     /// Write a raw byte.
     pub fn u8(&mut self, v: u8) {
-        self.buf.push(v);
+        self.ctl.put_u8(v);
     }
 
     /// Write a little-endian u16.
     pub fn u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.ctl.put_u16_le(v);
     }
 
     /// Write a little-endian u32.
     pub fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.ctl.put_u32_le(v);
     }
 
     /// Write a little-endian u64.
     pub fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.ctl.put_u64_le(v);
     }
 
-    /// Write a length-prefixed byte string.
+    /// Write a length-prefixed byte string (always copied into the control
+    /// buffer; use [`Writer::value`] for payload bytes).
     pub fn bytes(&mut self, v: &[u8]) {
         self.u32(v.len() as u32);
-        self.buf.extend_from_slice(v);
+        self.ctl.extend_from_slice(v);
+    }
+
+    /// Write a length-prefixed value payload. Small values are inlined
+    /// into the control buffer; anything larger than [`INLINE_VALUE_MAX`]
+    /// is recorded as a shared segment — a refcount bump, not a copy.
+    pub fn value(&mut self, v: &Bytes) {
+        self.u32(v.len() as u32);
+        if v.len() <= INLINE_VALUE_MAX {
+            self.ctl.extend_from_slice(v);
+        } else {
+            self.chunks.push(Chunk::Ctl(self.mark..self.ctl.len()));
+            self.mark = self.ctl.len();
+            self.chunks.push(Chunk::Val(v.clone()));
+            self.val_bytes += v.len();
+        }
     }
 }
 
 /// Zero-copy input cursor with primitive readers.
+///
+/// Constructed over a plain slice ([`Reader::new`]) or over a shared
+/// frame ([`Reader::shared`]); in the latter mode, [`Reader::value`]
+/// yields sub-views of the frame instead of copies, so decoding a
+/// received message never duplicates payload bytes.
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    backing: Option<&'a Bytes>,
 }
 
 impl<'a> Reader<'a> {
     /// Wrap a byte slice.
     pub fn new(buf: &'a [u8]) -> Reader<'a> {
-        Reader { buf, pos: 0 }
+        Reader { buf, pos: 0, backing: None }
+    }
+
+    /// Wrap a shared frame; values decode as zero-copy sub-views of it.
+    pub fn shared(frame: &'a Bytes) -> Reader<'a> {
+        Reader { buf: frame, pos: 0, backing: Some(frame) }
     }
 
     /// Bytes remaining.
@@ -136,6 +242,19 @@ impl<'a> Reader<'a> {
         let len = self.u32()? as usize;
         self.take(len)
     }
+
+    /// Read a length-prefixed value payload. Zero-copy (a sub-view of the
+    /// frame) when the reader was built with [`Reader::shared`]; a copy
+    /// otherwise.
+    pub fn value(&mut self) -> Result<Bytes> {
+        let len = self.u32()? as usize;
+        let start = self.pos;
+        let slice = self.take(len)?;
+        Ok(match self.backing {
+            Some(frame) => frame.slice(start..start + len),
+            None => Bytes::copy_from_slice(slice),
+        })
+    }
 }
 
 fn decode_err(msg: impl Into<String>) -> Error {
@@ -183,16 +302,16 @@ pub fn put_op(w: &mut Writer, op: &UpdateOp) {
     match op {
         UpdateOp::Set(d) => {
             w.u8(OP_SET);
-            w.bytes(d);
+            w.value(d);
         }
         UpdateOp::WriteRange { offset, data } => {
             w.u8(OP_WRITE_RANGE);
             w.u64(*offset as u64);
-            w.bytes(data);
+            w.value(data);
         }
         UpdateOp::Append(d) => {
             w.u8(OP_APPEND);
-            w.bytes(d);
+            w.value(d);
         }
     }
 }
@@ -200,13 +319,13 @@ pub fn put_op(w: &mut Writer, op: &UpdateOp) {
 /// Decode an update operation.
 pub fn get_op(r: &mut Reader<'_>) -> Result<UpdateOp> {
     match r.u8()? {
-        OP_SET => Ok(UpdateOp::Set(Bytes::copy_from_slice(r.bytes()?))),
+        OP_SET => Ok(UpdateOp::Set(r.value()?)),
         OP_WRITE_RANGE => {
             let offset = r.u64()? as usize;
-            let data = Bytes::copy_from_slice(r.bytes()?);
+            let data = r.value()?;
             Ok(UpdateOp::WriteRange { offset, data })
         }
-        OP_APPEND => Ok(UpdateOp::Append(Bytes::copy_from_slice(r.bytes()?))),
+        OP_APPEND => Ok(UpdateOp::Append(r.value()?)),
         t => Err(decode_err(format!("unknown op tag {t}"))),
     }
 }
@@ -228,14 +347,14 @@ pub fn get_log_record(r: &mut Reader<'_>) -> Result<LogRecord> {
 pub fn put_shipped_item(w: &mut Writer, s: &ShippedItem) {
     w.u32(s.item.0);
     put_vv(w, &s.ivv);
-    w.bytes(s.value.as_bytes());
+    w.value(&s.value);
 }
 
 /// Decode a shipped item.
 pub fn get_shipped_item(r: &mut Reader<'_>) -> Result<ShippedItem> {
     let item = ItemId(r.u32()?);
     let ivv = get_vv(r)?;
-    let value = ItemValue::from_slice(r.bytes()?);
+    let value = r.value()?;
     Ok(ShippedItem { item, ivv, value })
 }
 
@@ -301,7 +420,7 @@ pub fn get_response(r: &mut Reader<'_>) -> Result<PropagationResponse> {
 pub fn put_oob_reply(w: &mut Writer, reply: &OobReply) {
     w.u32(reply.item.0);
     put_vv(w, &reply.ivv);
-    w.bytes(reply.value.as_bytes());
+    w.value(&reply.value);
     w.u8(reply.from_aux as u8);
 }
 
@@ -309,7 +428,7 @@ pub fn put_oob_reply(w: &mut Writer, reply: &OobReply) {
 pub fn get_oob_reply(r: &mut Reader<'_>) -> Result<OobReply> {
     let item = ItemId(r.u32()?);
     let ivv = get_vv(r)?;
-    let value = ItemValue::from_slice(r.bytes()?);
+    let value = r.value()?;
     let from_aux = match r.u8()? {
         0 => false,
         1 => true,
@@ -620,33 +739,77 @@ fn get_response_body(r: &mut Reader<'_>, depth: u8) -> Result<ProtocolResponse> 
     }
 }
 
-/// Encode a framed protocol request (version byte + tagged body). The
-/// length prefix is the transport's job.
+/// Encode a framed protocol request into a caller-supplied (reusable)
+/// writer: the writer is cleared, capacity is pre-reserved from the
+/// message's own size accounting, and the version byte + tagged body are
+/// written. The length prefix is the transport's job.
+pub fn encode_request_to(req: &ProtocolRequest, w: &mut Writer) {
+    w.clear();
+    // Size the control buffer from the message's own accounting, but only
+    // on first use: a reused writer keeps its capacity, and re-walking the
+    // message to compute `control_bytes` every frame costs more than the
+    // amortized growth it would save.
+    if w.ctl.capacity() == 0 {
+        w.reserve(req.control_bytes() as usize + 16);
+    }
+    w.u8(CODEC_VERSION);
+    put_request_body(w, req);
+}
+
+/// Encode a framed protocol request (version byte + tagged body) into a
+/// fresh contiguous buffer. The length prefix is the transport's job.
 pub fn encode_request(req: &ProtocolRequest) -> Vec<u8> {
     let mut w = Writer::new();
-    w.u8(CODEC_VERSION);
-    put_request_body(&mut w, req);
+    encode_request_to(req, &mut w);
     w.into_bytes()
+}
+
+fn check_version(r: &mut Reader<'_>) -> Result<()> {
+    let version = r.u8()?;
+    if version != CODEC_VERSION {
+        return Err(decode_err(format!("unsupported codec version {version}")));
+    }
+    Ok(())
 }
 
 /// Decode a framed protocol request, rejecting unknown versions/tags,
 /// over-deep routing, and trailing garbage.
 pub fn decode_request(buf: &[u8]) -> Result<ProtocolRequest> {
     let mut r = Reader::new(buf);
-    let version = r.u8()?;
-    if version != CODEC_VERSION {
-        return Err(decode_err(format!("unsupported codec version {version}")));
-    }
+    check_version(&mut r)?;
     let req = get_request_body(&mut r, 0)?;
     r.finish()?;
     Ok(req)
 }
 
-/// Encode a framed protocol response (version byte + tagged body).
+/// As [`decode_request`], but over a shared frame: any value payloads in
+/// the message decode as zero-copy sub-views of `frame`.
+pub fn decode_request_shared(frame: &Bytes) -> Result<ProtocolRequest> {
+    let mut r = Reader::shared(frame);
+    check_version(&mut r)?;
+    let req = get_request_body(&mut r, 0)?;
+    r.finish()?;
+    Ok(req)
+}
+
+/// Encode a framed protocol response into a caller-supplied (reusable)
+/// writer; see [`encode_request_to`]. Values above [`INLINE_VALUE_MAX`]
+/// become shared segments ([`Writer::chunks`]), not copies.
+pub fn encode_response_to(resp: &ProtocolResponse, w: &mut Writer) {
+    w.clear();
+    // See `encode_request_to` for why this reserves only on first use.
+    if w.ctl.capacity() == 0 {
+        w.reserve(resp.control_bytes() as usize + 16);
+    }
+    w.u8(CODEC_VERSION);
+    put_response_body(w, resp);
+}
+
+/// Encode a framed protocol response (version byte + tagged body) into a
+/// fresh contiguous buffer.
 pub fn encode_response(resp: &ProtocolResponse) -> Vec<u8> {
     let mut w = Writer::new();
-    w.u8(CODEC_VERSION);
-    put_response_body(&mut w, resp);
+    encode_response_to(resp, &mut w);
     w.into_bytes()
 }
 
@@ -654,10 +817,18 @@ pub fn encode_response(resp: &ProtocolResponse) -> Vec<u8> {
 /// over-deep routing, and trailing garbage.
 pub fn decode_response(buf: &[u8]) -> Result<ProtocolResponse> {
     let mut r = Reader::new(buf);
-    let version = r.u8()?;
-    if version != CODEC_VERSION {
-        return Err(decode_err(format!("unsupported codec version {version}")));
-    }
+    check_version(&mut r)?;
+    let resp = get_response_body(&mut r, 0)?;
+    r.finish()?;
+    Ok(resp)
+}
+
+/// As [`decode_response`], but over a shared frame: item values decode as
+/// zero-copy sub-views of `frame` — the receive half of the zero-copy
+/// payload path.
+pub fn decode_response_shared(frame: &Bytes) -> Result<ProtocolResponse> {
+    let mut r = Reader::shared(frame);
+    check_version(&mut r)?;
     let resp = get_response_body(&mut r, 0)?;
     r.finish()?;
     Ok(resp)
@@ -746,7 +917,7 @@ mod tests {
             items: vec![ShippedItem {
                 item: ItemId(1),
                 ivv: vv(&[3, 0]),
-                value: ItemValue::from_slice(b"contents"),
+                value: Bytes::from_static(b"contents"),
             }],
         };
         let mut w = Writer::new();
@@ -759,7 +930,7 @@ mod tests {
         assert_eq!(back.items.len(), 1);
         assert_eq!(back.items[0].item, ItemId(1));
         assert_eq!(back.items[0].ivv, vv(&[3, 0]));
-        assert_eq!(back.items[0].value.as_bytes(), b"contents");
+        assert_eq!(&back.items[0].value[..], b"contents");
     }
 
     #[test]
@@ -809,14 +980,14 @@ mod tests {
                     DeltaItem::Whole(ShippedItem {
                         item: ItemId(2),
                         ivv: vv(&[0, 1]),
-                        value: ItemValue::from_slice(b"whole"),
+                        value: Bytes::from_static(b"whole"),
                     }),
                 ],
             }),
             ProtocolResponse::Oob(OobReply {
                 item: ItemId(77),
                 ivv: vv(&[1, 2, 3]),
-                value: ItemValue::from_slice(b"v"),
+                value: Bytes::from_static(b"v"),
                 from_aux: true,
             }),
             ProtocolResponse::Databases(vec!["docs".into(), "mail".into()]),
@@ -850,6 +1021,75 @@ mod tests {
         let mut buf = encode_request(&ProtocolRequest::Oob { from: NodeId(0), item: ItemId(0) });
         buf[0] = 99;
         assert!(decode_request(&buf).is_err());
+    }
+
+    fn large_oob(len: usize) -> (ProtocolResponse, Bytes) {
+        let value = Bytes::from(vec![0xC3u8; len]);
+        let resp = ProtocolResponse::Oob(OobReply {
+            item: ItemId(4),
+            ivv: vv(&[2, 1]),
+            value: value.clone(),
+            from_aux: false,
+        });
+        (resp, value)
+    }
+
+    #[test]
+    fn large_value_travels_as_shared_segment() {
+        let (resp, value) = large_oob(INLINE_VALUE_MAX + 1);
+        let mut w = Writer::new();
+        encode_response_to(&resp, &mut w);
+        let segments: Vec<&[u8]> = w.chunks().collect();
+        assert!(segments.len() >= 3, "ctl run, value segment, ctl tail");
+        assert!(
+            segments.iter().any(|s| s.as_ptr() == value.as_ref().as_ptr()),
+            "the value segment must be the store's buffer itself, not a copy"
+        );
+        // The chunk sequence and the contiguous encoding agree byte-for-byte.
+        let concat: Vec<u8> = segments.concat();
+        assert_eq!(concat, encode_response(&resp));
+        assert_eq!(concat.len(), w.len());
+    }
+
+    #[test]
+    fn small_value_is_inlined() {
+        let (resp, _) = large_oob(INLINE_VALUE_MAX);
+        let mut w = Writer::new();
+        encode_response_to(&resp, &mut w);
+        assert_eq!(w.chunks().count(), 1, "at or below the threshold: one contiguous run");
+    }
+
+    #[test]
+    fn shared_decode_is_zero_copy() {
+        let (resp, _) = large_oob(1024);
+        let frame = Bytes::from(encode_response(&resp));
+        match decode_response_shared(&frame).unwrap() {
+            ProtocolResponse::Oob(reply) => {
+                assert!(
+                    reply.value.shares_storage_with(&frame),
+                    "decoded value must be a sub-view of the frame"
+                );
+                assert_eq!(reply.value.len(), 1024);
+            }
+            other => panic!("kind changed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writer_reuse_keeps_capacity_and_resets_segments() {
+        let (resp, _) = large_oob(4096);
+        let mut w = Writer::new();
+        encode_response_to(&resp, &mut w);
+        let first = encode_response(&resp);
+        // Re-encoding a different message into the same writer must fully
+        // reset segment state; a small message then fits in one run.
+        let small = ProtocolResponse::Error("e".into());
+        encode_response_to(&small, &mut w);
+        assert_eq!(w.chunks().count(), 1);
+        assert_eq!(w.chunks().next().unwrap().to_vec(), encode_response(&small));
+        // And the original message still encodes identically afterwards.
+        encode_response_to(&resp, &mut w);
+        assert_eq!(w.chunks().flat_map(|s| s.iter().copied()).collect::<Vec<u8>>(), first);
     }
 
     #[test]

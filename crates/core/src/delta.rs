@@ -187,17 +187,24 @@ impl Replica {
         let mut eval = OfferEvaluation { tails: offer.tails, ..OfferEvaluation::default() };
         for (x, remote_ivv) in offer.offers {
             self.check_item(x)?;
-            let local_ivv = self.store.get(x)?.ivv.clone();
             let mut cmps = 0;
-            let ord = remote_ivv.compare_counted(&local_ivv, &mut cmps);
+            let ord = {
+                let local_ivv = &self.store.get(x)?.ivv;
+                remote_ivv.compare_counted(local_ivv, &mut cmps)
+            };
             self.costs.vv_entry_cmps += cmps;
             match ord {
-                VvOrd::Dominates => request.wants.push((x, local_ivv)),
+                // The IVV is cloned only when the item actually goes on the
+                // want-list (it travels in message 3).
+                VvOrd::Dominates => request.wants.push((x, self.store.get(x)?.ivv.clone())),
                 VvOrd::Equal => self.counters.equal_receipts += 1,
                 VvOrd::DominatedBy => self.counters.stale_receipts += 1,
                 VvOrd::Concurrent => {
                     eval.conflicts += 1;
-                    let offending = remote_ivv.offending_pair(&local_ivv);
+                    let offending = {
+                        let local_ivv = &self.store.get(x)?.ivv;
+                        remote_ivv.offending_pair(local_ivv)
+                    };
                     self.report_conflict(ConflictEvent {
                         item: x,
                         detected_at: self.id,
@@ -212,7 +219,9 @@ impl Replica {
                         ConflictPolicy::Report => {
                             eval.refused.insert(x);
                         }
-                        ConflictPolicy::ResolveLww => request.wants.push((x, local_ivv)),
+                        ConflictPolicy::ResolveLww => {
+                            request.wants.push((x, self.store.get(x)?.ivv.clone()))
+                        }
                     }
                 }
             }
@@ -228,21 +237,25 @@ impl Replica {
         let mut payload = DeltaPayload::default();
         for (x, from_vv) in &request.wants {
             self.check_item(*x)?;
-            let item = self.store.get(*x)?;
+            let value_len = self.store.get(*x)?.value.len();
             // Ship the chain only when it is actually cheaper than the
             // whole value (e.g. a chain of full overwrites is not).
-            let chain = self.op_cache.chain_from_cloned(*x, from_vv).filter(|ops| {
-                ops.iter().map(|c| c.op.payload_len()).sum::<usize>() <= item.value.len()
-            });
+            let chain = self
+                .op_cache
+                .chain_from_cloned(*x, from_vv)
+                .filter(|ops| ops.iter().map(|c| c.op.payload_len()).sum::<usize>() <= value_len);
             if let Some(ops) = chain {
                 self.costs.log_records_examined += ops.len() as u64;
-                payload.items.push(DeltaItem::Ops { item: *x, ops, final_ivv: item.ivv.clone() });
+                let final_ivv = self.store.get(*x)?.ivv.clone();
+                payload.items.push(DeltaItem::Ops { item: *x, ops, final_ivv });
             } else {
                 self.costs.items_scanned += 1;
+                // Whole-value fallback ships a refcounted view, not a copy.
+                let it = self.store.get_mut(*x)?;
                 payload.items.push(DeltaItem::Whole(ShippedItem {
                     item: *x,
-                    ivv: item.ivv.clone(),
-                    value: item.value.clone(),
+                    ivv: it.ivv.clone(),
+                    value: it.value.share(),
                 }));
             }
         }
@@ -283,13 +296,15 @@ impl Replica {
                 }
                 DeltaItem::Ops { item: x, ops, final_ivv } => {
                     self.check_item(x)?;
-                    let local_ivv = self.store.get(x)?.ivv.clone();
                     // Chain must start exactly at the local state and end
                     // strictly ahead of it; anything else means the states
                     // raced between messages 3 and 4 — fall back by
                     // refusing now, a later pull repairs it.
-                    let chain_ok = ops.first().map(|c| c.pre_vv == local_ivv).unwrap_or(false)
-                        && final_ivv.compare(&local_ivv) == VvOrd::Dominates;
+                    let chain_ok = {
+                        let local_ivv = &self.store.get(x)?.ivv;
+                        ops.first().map(|c| &c.pre_vv == local_ivv).unwrap_or(false)
+                            && final_ivv.compare(local_ivv) == VvOrd::Dominates
+                    };
                     if !chain_ok {
                         self.counters.stale_receipts += 1;
                         refused.insert(x);
@@ -297,13 +312,13 @@ impl Replica {
                     }
                     let chain_len = ops.len() as u64;
                     let record_cache = self.op_cache.is_enabled();
-                    {
+                    let prev_ivv = {
                         let stored = self.store.get_mut(x)?;
                         for c in &ops {
                             c.op.apply(&mut stored.value);
                         }
-                        stored.ivv = final_ivv.clone();
-                    }
+                        std::mem::replace(&mut stored.ivv, final_ivv)
+                    };
                     if record_cache {
                         // Extend the local chain so this replica can relay
                         // deltas onward: op i's post-state is op i+1's
@@ -312,7 +327,10 @@ impl Replica {
                             self.op_cache.record(x, c.pre_vv, c.op);
                         }
                     }
-                    self.dbvv.absorb_item_copy(&local_ivv, &final_ivv)?;
+                    {
+                        let cur_ivv = &self.store.get(x)?.ivv;
+                        self.dbvv.absorb_item_copy(&prev_ivv, cur_ivv)?;
+                    }
                     self.costs.items_copied += 1;
                     outcome.copied.push(x);
                     self.trace_record(

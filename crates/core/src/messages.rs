@@ -6,10 +6,10 @@
 //! records refer to, each item carrying its IVV. Out-of-bound copying (§5.2)
 //! is a one-item request/reply.
 
+use bytes::Bytes;
 use epidb_common::costs::wire;
 use epidb_common::ItemId;
 use epidb_log::LogRecord;
-use epidb_store::ItemValue;
 use epidb_vv::{DbVersionVector, VersionVector};
 
 /// One data item shipped during propagation: the member of `S` together
@@ -20,8 +20,11 @@ pub struct ShippedItem {
     pub item: ItemId,
     /// The source's (regular) IVV for the item.
     pub ivv: VersionVector,
-    /// The source's (regular) value — whole-item copying (§2).
-    pub value: ItemValue,
+    /// The source's (regular) value — whole-item copying (§2). A
+    /// refcounted view of the store's buffer, produced by
+    /// [`epidb_store::ItemValue::share`]: building this message never
+    /// copies value bytes.
+    pub value: Bytes,
 }
 
 impl ShippedItem {
@@ -104,8 +107,9 @@ pub struct OobReply {
     pub item: ItemId,
     /// IVV of the returned copy (auxiliary or regular).
     pub ivv: VersionVector,
-    /// Value of the returned copy.
-    pub value: ItemValue,
+    /// Value of the returned copy — a refcounted view, like
+    /// [`ShippedItem::value`].
+    pub value: Bytes,
     /// Whether the source answered from its auxiliary copy (an
     /// optimization: the auxiliary copy is never older than the regular
     /// one).
@@ -142,12 +146,12 @@ mod tests {
                 ShippedItem {
                     item: ItemId(0),
                     ivv: VersionVector::zero(n),
-                    value: ItemValue::from_slice(b"0123456789"),
+                    value: Bytes::from_static(b"0123456789"),
                 },
                 ShippedItem {
                     item: ItemId(1),
                     ivv: VersionVector::zero(n),
-                    value: ItemValue::from_slice(b"abc"),
+                    value: Bytes::from_static(b"abc"),
                 },
             ],
         };
@@ -179,7 +183,7 @@ mod tests {
         let r = OobReply {
             item: ItemId(1),
             ivv: VersionVector::zero(3),
-            value: ItemValue::from_slice(b"v"),
+            value: Bytes::from_static(b"v"),
             from_aux: true,
         };
         assert_eq!(r.control_bytes(), 4 + 24 + 1);

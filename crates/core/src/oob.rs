@@ -30,17 +30,20 @@ impl Replica {
     /// auxiliary copy if one exists (it is never older than the regular
     /// copy — an optimization, not a correctness requirement), else the
     /// regular copy. No log records travel.
-    pub fn serve_oob(&self, x: ItemId) -> Result<OobReply> {
-        if let Some(aux) = self.aux_items.get(&x) {
+    /// Takes `&mut self` only to *share* the served value
+    /// ([`epidb_store::ItemValue::share`] promotes owned storage to a
+    /// refcounted buffer in place); no protocol state changes.
+    pub fn serve_oob(&mut self, x: ItemId) -> Result<OobReply> {
+        if let Some(aux) = self.aux_items.get_mut(&x) {
             return Ok(OobReply {
                 item: x,
                 ivv: aux.ivv.clone(),
-                value: aux.value.clone(),
+                value: aux.value.share(),
                 from_aux: true,
             });
         }
-        let it = self.store.get(x)?;
-        Ok(OobReply { item: x, ivv: it.ivv.clone(), value: it.value.clone(), from_aux: false })
+        let it = self.store.get_mut(x)?;
+        Ok(OobReply { item: x, ivv: it.ivv.clone(), value: it.value.share(), from_aux: false })
     }
 
     /// Accept an out-of-bound reply (§5.2). The received IVV is compared
@@ -56,17 +59,19 @@ impl Replica {
     pub fn accept_oob(&mut self, from: NodeId, reply: OobReply) -> Result<OobOutcome> {
         self.check_item(reply.item)?;
         let x = reply.item;
-        let local_ivv = match self.aux_items.get(&x) {
-            Some(aux) => aux.ivv.clone(),
-            None => self.store.get(x)?.ivv.clone(),
-        };
         let mut cmps = 0;
-        let ord = reply.ivv.compare_counted(&local_ivv, &mut cmps);
+        let ord = {
+            let local_ivv = match self.aux_items.get(&x) {
+                Some(aux) => &aux.ivv,
+                None => &self.store.get(x)?.ivv,
+            };
+            reply.ivv.compare_counted(local_ivv, &mut cmps)
+        };
         self.costs.vv_entry_cmps += cmps;
         let outcome = match ord {
             VvOrd::Dominates => {
                 let from_aux = reply.from_aux;
-                self.aux_items.insert(x, AuxItem { value: reply.value, ivv: reply.ivv });
+                self.aux_items.insert(x, AuxItem { value: reply.value.into(), ivv: reply.ivv });
                 self.trace_record(TraceStep::OobAccept, Some(x), Some(from), OrdTag::Dominates, 0);
                 OobOutcome::Adopted { from_aux }
             }
@@ -76,7 +81,13 @@ impl Replica {
                 OobOutcome::AlreadyCurrent
             }
             VvOrd::Concurrent => {
-                let offending = reply.ivv.offending_pair(&local_ivv);
+                let offending = {
+                    let local_ivv = match self.aux_items.get(&x) {
+                        Some(aux) => &aux.ivv,
+                        None => &self.store.get(x)?.ivv,
+                    };
+                    reply.ivv.offending_pair(local_ivv)
+                };
                 self.report_conflict(ConflictEvent {
                     item: x,
                     detected_at: self.id,

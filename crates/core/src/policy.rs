@@ -15,7 +15,6 @@
 //! local update, so the merged copy dominates both parents and wins
 //! everywhere through normal propagation.
 
-use epidb_store::ItemValue;
 use epidb_vv::VersionVector;
 
 /// What a replica does when `AcceptPropagation` detects inconsistent
@@ -33,24 +32,23 @@ pub enum ConflictPolicy {
     ResolveLww,
 }
 
-/// Deterministically choose the surviving value between two conflicting
-/// copies: the copy that reflects more updates wins; ties break on the
-/// value bytes (larger lexicographically), then in favour of the local
-/// copy. Any deterministic rule works — resolution is installed as a fresh
-/// update that dominates both parents.
-pub fn lww_winner(
-    local_value: &ItemValue,
+/// Deterministically decide whether the *remote* copy survives a conflict:
+/// the copy that reflects more updates wins; ties break on the value bytes
+/// (larger lexicographically), then in favour of the local copy. Any
+/// deterministic rule works — resolution is installed as a fresh update
+/// that dominates both parents.
+///
+/// Borrow-based (no value is cloned to make the decision); the caller
+/// installs whichever copy won.
+pub fn lww_remote_wins(
+    local_value: &[u8],
     local_ivv: &VersionVector,
-    remote_value: &ItemValue,
+    remote_value: &[u8],
     remote_ivv: &VersionVector,
-) -> ItemValue {
+) -> bool {
     let lt = local_ivv.total();
     let rt = remote_ivv.total();
-    if rt > lt || (rt == lt && remote_value.as_bytes() > local_value.as_bytes()) {
-        remote_value.clone()
-    } else {
-        local_value.clone()
-    }
+    rt > lt || (rt == lt && remote_value > local_value)
 }
 
 #[cfg(test)]
@@ -61,54 +59,41 @@ mod tests {
         VersionVector::from_entries(e.to_vec())
     }
 
+    fn winner<'a>(
+        local: &'a [u8],
+        lv: &VersionVector,
+        remote: &'a [u8],
+        rv: &VersionVector,
+    ) -> &'a [u8] {
+        if lww_remote_wins(local, lv, remote, rv) {
+            remote
+        } else {
+            local
+        }
+    }
+
     #[test]
     fn more_updates_wins() {
-        let w = lww_winner(
-            &ItemValue::from_slice(b"local"),
-            &vv(&[1, 0]),
-            &ItemValue::from_slice(b"remote"),
-            &vv(&[0, 3]),
-        );
-        assert_eq!(w.as_bytes(), b"remote");
+        assert_eq!(winner(b"local", &vv(&[1, 0]), b"remote", &vv(&[0, 3])), b"remote");
     }
 
     #[test]
     fn tie_breaks_on_bytes() {
-        let w = lww_winner(
-            &ItemValue::from_slice(b"bbb"),
-            &vv(&[1, 0]),
-            &ItemValue::from_slice(b"aaa"),
-            &vv(&[0, 1]),
-        );
-        assert_eq!(w.as_bytes(), b"bbb");
-        let w = lww_winner(
-            &ItemValue::from_slice(b"aaa"),
-            &vv(&[1, 0]),
-            &ItemValue::from_slice(b"bbb"),
-            &vv(&[0, 1]),
-        );
-        assert_eq!(w.as_bytes(), b"bbb");
+        assert_eq!(winner(b"bbb", &vv(&[1, 0]), b"aaa", &vv(&[0, 1])), b"bbb");
+        assert_eq!(winner(b"aaa", &vv(&[1, 0]), b"bbb", &vv(&[0, 1])), b"bbb");
     }
 
     #[test]
     fn full_tie_keeps_local() {
-        let w = lww_winner(
-            &ItemValue::from_slice(b"same"),
-            &vv(&[1, 0]),
-            &ItemValue::from_slice(b"same"),
-            &vv(&[0, 1]),
-        );
-        assert_eq!(w.as_bytes(), b"same");
+        assert!(!lww_remote_wins(b"same", &vv(&[1, 0]), b"same", &vv(&[0, 1])));
     }
 
     #[test]
     fn winner_is_symmetric_under_swap() {
         // Whatever one side picks, the other side must pick the same value
         // when roles are swapped — determinism across replicas.
-        let a = (ItemValue::from_slice(b"alpha"), vv(&[2, 0]));
-        let b = (ItemValue::from_slice(b"beta"), vv(&[0, 2]));
-        let w1 = lww_winner(&a.0, &a.1, &b.0, &b.1);
-        let w2 = lww_winner(&b.0, &b.1, &a.0, &a.1);
-        assert_eq!(w1, w2);
+        let (a, av) = (b"alpha".as_slice(), vv(&[2, 0]));
+        let (b, bv) = (b"beta".as_slice(), vv(&[0, 2]));
+        assert_eq!(winner(a, &av, b, &bv), winner(b, &bv, a, &av));
     }
 }

@@ -11,7 +11,7 @@ use epidb_vv::DbVersionVector;
 
 use crate::engine::{Engine, LocalTransport};
 use crate::messages::{PropagationPayload, PropagationResponse, ShippedItem};
-use crate::policy::{lww_winner, ConflictPolicy};
+use crate::policy::{lww_remote_wins, ConflictPolicy};
 use crate::replica::Replica;
 
 /// What `AcceptPropagation` (plus the follow-up intra-node propagation)
@@ -95,12 +95,14 @@ impl Replica {
                 }
             }
         }
-        // Flip the flags back and materialize the shipped items.
+        // Flip the flags back and materialize the shipped items. Values are
+        // *shared*, not copied: `ItemValue::share` hands out a refcounted
+        // view, so building `S` costs O(|S|) regardless of value sizes.
         let mut items = Vec::with_capacity(s_items.len());
         for &x in &s_items {
             self.is_selected[x.index()] = false;
-            let it = self.store.get(x).expect("logged item exists");
-            items.push(ShippedItem { item: x, ivv: it.ivv.clone(), value: it.value.clone() });
+            let it = self.store.get_mut(x).expect("logged item exists");
+            items.push(ShippedItem { item: x, ivv: it.ivv.clone(), value: it.value.share() });
         }
         self.costs.items_scanned += s_items.len() as u64;
 
@@ -129,20 +131,22 @@ impl Replica {
         for shipped in payload.items {
             self.check_item(shipped.item)?;
             let x = shipped.item;
-            let (local_ivv, ord) = {
+            let mut cmps = 0;
+            let ord = {
                 let local = self.store.get(x).expect("checked");
-                let mut cmps = 0;
-                let ord = shipped.ivv.compare_counted(&local.ivv, &mut cmps);
-                self.costs.vv_entry_cmps += cmps;
-                (local.ivv.clone(), ord)
+                shipped.ivv.compare_counted(&local.ivv, &mut cmps)
             };
+            self.costs.vv_entry_cmps += cmps;
             match ord {
                 epidb_vv::VvOrd::Dominates => {
                     // Received copy is strictly newer: adopt it and apply
                     // DBVV maintenance rule 3. Whole-item adoption breaks
                     // the local operation chain for delta propagation.
-                    self.dbvv.absorb_item_copy(&local_ivv, &shipped.ivv)?;
-                    self.store.adopt(x, shipped.value, shipped.ivv)?;
+                    {
+                        let local = self.store.get(x).expect("checked");
+                        self.dbvv.absorb_item_copy(&local.ivv, &shipped.ivv)?;
+                    }
+                    self.store.adopt(x, shipped.value.into(), shipped.ivv)?;
                     self.op_cache.clear_item(x);
                     self.costs.items_copied += 1;
                     outcome.copied.push(x);
@@ -181,7 +185,10 @@ impl Replica {
                 }
                 epidb_vv::VvOrd::Concurrent => {
                     outcome.conflicts += 1;
-                    let offending = shipped.ivv.offending_pair(&local_ivv);
+                    let offending = {
+                        let local = self.store.get(x).expect("checked");
+                        shipped.ivv.offending_pair(&local.ivv)
+                    };
                     self.report_conflict(ConflictEvent {
                         item: x,
                         detected_at: self.id,
@@ -250,15 +257,21 @@ impl Replica {
     /// and record the resolution as a fresh local update so it dominates
     /// both parents. Returns the `m` of the resolution's log record.
     fn resolve_lww(&mut self, x: ItemId, shipped: &ShippedItem) -> Result<u64> {
-        let (local_value, local_ivv) = {
-            let it = self.store.get(x)?;
-            (it.value.clone(), it.ivv.clone())
-        };
+        let local_ivv = self.store.get(x)?.ivv.clone();
         let mut merged = local_ivv.clone();
         merged.merge_max(&shipped.ivv)?;
         self.dbvv.absorb_item_copy(&local_ivv, &merged)?;
-        let winner = lww_winner(&local_value, &local_ivv, &shipped.value, &shipped.ivv);
-        self.store.adopt(x, winner, merged)?;
+        let remote_wins = {
+            let it = self.store.get(x)?;
+            lww_remote_wins(it.value.as_bytes(), &local_ivv, &shipped.value, &shipped.ivv)
+        };
+        if remote_wins {
+            // Refcount bump: the shipped value is already a shared buffer.
+            self.store.adopt(x, shipped.value.clone().into(), merged)?;
+        } else {
+            // Local value survives in place; only the IVV merges.
+            self.store.get_mut(x)?.ivv = merged;
+        }
         self.op_cache.clear_item(x);
         // The resolution is a new update performed here.
         let it = self.store.get_mut(x)?;

@@ -13,7 +13,7 @@ use epidb_core::{
     PropagationPayload, PropagationResponse, ProtocolRequest, ProtocolResponse, ShippedItem,
 };
 use epidb_log::LogRecord;
-use epidb_store::{ItemValue, UpdateOp};
+use epidb_store::UpdateOp;
 use epidb_vv::{DbVersionVector, VersionVector};
 use proptest::prelude::*;
 
@@ -53,9 +53,8 @@ fn arb_tails() -> impl Strategy<Value = Vec<Vec<LogRecord>>> {
 }
 
 fn arb_shipped() -> impl Strategy<Value = ShippedItem> {
-    (any::<u32>(), arb_vv(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(i, ivv, v)| {
-        ShippedItem { item: ItemId(i), ivv, value: ItemValue::from_slice(&v) }
-    })
+    (any::<u32>(), arb_vv(), prop::collection::vec(any::<u8>(), 0..64))
+        .prop_map(|(i, ivv, v)| ShippedItem { item: ItemId(i), ivv, value: Bytes::from(v) })
 }
 
 fn arb_payload() -> impl Strategy<Value = PropagationPayload> {
@@ -99,7 +98,7 @@ fn arb_oob_reply() -> impl Strategy<Value = OobReply> {
         |(item, ivv, value, from_aux)| OobReply {
             item: ItemId(item),
             ivv,
-            value: ItemValue::from_slice(&value),
+            value: Bytes::from(value),
             from_aux,
         },
     )
@@ -262,14 +261,14 @@ fn max_size_value_roundtrips() {
     let resp = ProtocolResponse::Oob(OobReply {
         item: ItemId(7),
         ivv: VersionVector::from_entries(vec![3, 0, 9]),
-        value: ItemValue::from_slice(&value),
+        value: Bytes::copy_from_slice(&value),
         from_aux: true,
     });
     let buf = encode_response(&resp);
     assert!(buf.len() > 1 << 20);
     match decode_response(&buf).unwrap() {
         ProtocolResponse::Oob(reply) => {
-            assert_eq!(reply.value.as_bytes(), &value[..]);
+            assert_eq!(&reply.value[..], &value[..]);
             assert!(reply.from_aux);
         }
         other => panic!("kind changed: {other:?}"),

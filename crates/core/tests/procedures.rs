@@ -49,7 +49,7 @@ fn send_propagation_builds_exact_tails_and_item_set() {
     items.sort();
     assert_eq!(items, vec![ItemId(3), ItemId(5)]);
     let x3 = p.items.iter().find(|s| s.item == ItemId(3)).unwrap();
-    assert_eq!(x3.value.as_bytes(), b"c");
+    assert_eq!(&x3.value[..], b"c");
     assert_eq!(x3.ivv.get(NodeId(0)), 2); // two updates to item 3
 }
 

@@ -9,15 +9,18 @@
 //! [`Costs`](epidb_common::Costs) inside the engine correspond to what
 //! actually crosses the wire.
 
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use epidb_common::{Error, ItemId, NodeId, Result};
-use epidb_core::codec::{decode_request, decode_response, encode_request, encode_response};
+use epidb_core::codec::{
+    decode_request, decode_response_shared, encode_request_to, encode_response_to, Writer,
+};
 use epidb_core::{
     Engine, OobOutcome, ProtocolRequest, ProtocolResponse, PullOutcome, Replica, Transport,
 };
@@ -68,16 +71,47 @@ struct TcpNode {
     alive: AtomicBool,
 }
 
-fn write_frame(stream: &mut TcpStream, body: &[u8]) -> Result<()> {
-    let write = |s: &mut TcpStream| {
-        s.write_all(&(body.len() as u32).to_le_bytes())?;
-        s.write_all(body)?;
-        s.flush()
-    };
-    write(stream).map_err(|e| Error::Network(format!("send frame: {e}")))
+/// Write every byte of `bufs` with as few syscalls as the kernel allows:
+/// repeated `write_vectored`, advancing through the slice list by hand
+/// (std's `write_all_vectored` is unstable). In the common case the whole
+/// frame — length prefix, control bytes, and value segments straight out
+/// of the store's refcounted buffers — leaves in one call.
+fn write_all_vectored(stream: &mut TcpStream, mut bufs: Vec<&[u8]>) -> std::io::Result<()> {
+    while !bufs.is_empty() {
+        let iov: Vec<IoSlice<'_>> = bufs.iter().map(|b| IoSlice::new(b)).collect();
+        let mut n = stream.write_vectored(&iov)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "failed to write whole frame",
+            ));
+        }
+        let mut done = 0;
+        while done < bufs.len() && n >= bufs[done].len() {
+            n -= bufs[done].len();
+            done += 1;
+        }
+        bufs.drain(..done);
+        if let Some(first) = bufs.first_mut() {
+            *first = &first[n..];
+        }
+    }
+    stream.flush()
 }
 
-fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>> {
+/// Send one frame: a 4-byte little-endian length followed by the writer's
+/// chunks, in a single vectored write — value segments are never copied
+/// into a contiguous send buffer.
+fn write_frame(stream: &mut TcpStream, w: &Writer) -> Result<()> {
+    let len = (w.len() as u32).to_le_bytes();
+    let mut bufs: Vec<&[u8]> = Vec::with_capacity(8);
+    bufs.push(&len);
+    bufs.extend(w.chunks());
+    write_all_vectored(stream, bufs).map_err(|e| Error::Network(format!("send frame: {e}")))
+}
+
+/// Read one frame body into `body` (reused across frames; only grows).
+fn read_frame_into(stream: &mut TcpStream, body: &mut Vec<u8>) -> Result<()> {
     let mut len_buf = [0u8; 4];
     stream
         .read_exact(&mut len_buf)
@@ -86,8 +120,18 @@ fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>> {
     if len > MAX_FRAME {
         return Err(Error::Network(format!("frame of {len} bytes exceeds limit")));
     }
-    let mut body = vec![0u8; len as usize];
-    stream.read_exact(&mut body).map_err(|e| Error::Network(format!("read frame body: {e}")))?;
+    body.clear();
+    body.resize(len as usize, 0);
+    stream.read_exact(body).map_err(|e| Error::Network(format!("read frame body: {e}")))?;
+    Ok(())
+}
+
+/// Read one frame into a fresh buffer, for response frames: the buffer
+/// becomes the shared backing of the decoded message
+/// ([`decode_response_shared`] slices values out of it instead of copying).
+fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>> {
+    let mut body = Vec::new();
+    read_frame_into(stream, &mut body)?;
     Ok(body)
 }
 
@@ -99,12 +143,15 @@ pub struct TcpTransport {
     peer: NodeId,
     addr: SocketAddr,
     stream: Option<TcpStream>,
+    /// Reusable request encoder: after the first exchange, encoding a
+    /// request performs no allocations.
+    writer: Writer,
 }
 
 impl TcpTransport {
     /// A transport to the server of `peer` listening at `addr`.
     pub fn new(peer: NodeId, addr: SocketAddr) -> TcpTransport {
-        TcpTransport { peer, addr, stream: None }
+        TcpTransport { peer, addr, stream: None, writer: Writer::new() }
     }
 
     fn connect(&mut self) -> Result<&mut TcpStream> {
@@ -126,11 +173,17 @@ impl Transport for TcpTransport {
     }
 
     fn exchange(&mut self, req: ProtocolRequest) -> Result<ProtocolResponse> {
+        encode_request_to(&req, &mut self.writer);
+        self.connect()?;
+        let writer = &self.writer;
+        let stream = self.stream.as_mut().expect("just connected");
         let round = |stream: &mut TcpStream| -> Result<ProtocolResponse> {
-            write_frame(stream, &encode_request(&req))?;
-            decode_response(&read_frame(stream)?)
+            write_frame(stream, writer)?;
+            // The received frame becomes the shared backing of the decoded
+            // response: values are zero-copy sub-views of it.
+            let frame = Bytes::from(read_frame(stream)?);
+            decode_response_shared(&frame)
         };
-        let stream = self.connect()?;
         let resp = match round(stream) {
             Ok(resp) => resp,
             Err(e) => {
@@ -350,13 +403,19 @@ fn server_loop(listener: TcpListener, node: Arc<TcpNode>, running: Arc<AtomicBoo
 /// response frame. A crashed node drops the connection without replying.
 fn serve_conn(mut stream: TcpStream, node: Arc<TcpNode>, running: Arc<AtomicBool>) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    // Per-connection reusable buffers: request frames land in `body`,
+    // responses encode into `writer` — in steady state a served exchange
+    // allocates nothing on the control path and ships values as refcounted
+    // segments in one vectored write.
+    let mut body = Vec::new();
+    let mut writer = Writer::new();
     loop {
         if !running.load(Ordering::SeqCst) || !node.alive.load(Ordering::SeqCst) {
             return;
         }
-        let Ok(body) = read_frame(&mut stream) else {
+        if read_frame_into(&mut stream, &mut body).is_err() {
             return; // peer closed, timed out, or sent garbage
-        };
+        }
         if !node.alive.load(Ordering::SeqCst) {
             return; // crashed between frames: silently drop
         }
@@ -365,7 +424,8 @@ fn serve_conn(mut stream: TcpStream, node: Arc<TcpNode>, running: Arc<AtomicBool
                 .unwrap_or_else(|e| ProtocolResponse::Error(e.to_string())),
             Err(e) => ProtocolResponse::Error(format!("bad request: {e}")),
         };
-        if write_frame(&mut stream, &encode_response(&resp)).is_err() {
+        encode_response_to(&resp, &mut writer);
+        if write_frame(&mut stream, &writer).is_err() {
             return;
         }
     }

@@ -1,0 +1,123 @@
+//! The zero-copy payload path ships *views* of live store buffers, so the
+//! dangerous case is mutate-after-ship: once a value has been handed to a
+//! message (and possibly adopted by another replica's store), any later
+//! in-place mutation must go through copy-on-write and leave every
+//! outstanding alias byte-for-byte intact.
+
+use epidb::prelude::*;
+use proptest::prelude::*;
+
+const N_ITEMS: usize = 16;
+const X: ItemId = ItemId(3);
+
+fn pair() -> (Replica, Replica) {
+    (Replica::new(NodeId(0), 2, N_ITEMS), Replica::new(NodeId(1), 2, N_ITEMS))
+}
+
+/// After a pull through the in-process transport, the recipient's copy
+/// aliases the source's buffer (adoption is a refcount bump); a later
+/// byte-range write at the source must diverge the storage, not the
+/// shipped bytes.
+#[test]
+fn write_after_ship_leaves_recipient_bytes_intact() {
+    let (mut a, mut b) = pair();
+    let original = vec![0xABu8; 4096];
+    a.update(X, UpdateOp::set(original.clone())).unwrap();
+    pull(&mut b, &mut a).unwrap();
+
+    // Zero memcpys source store → recipient store: same allocation.
+    let a_ptr = a.read(X).unwrap().as_bytes().as_ptr();
+    let b_ptr = b.read(X).unwrap().as_bytes().as_ptr();
+    assert_eq!(a_ptr, b_ptr, "adoption must alias the source's buffer");
+
+    a.update(X, UpdateOp::write_range(0, &b"CLOBBER"[..])).unwrap();
+    assert_eq!(a.read(X).unwrap().as_bytes()[..7], b"CLOBBER"[..]);
+    assert_eq!(b.read(X).unwrap().as_bytes(), &original[..], "recipient copy must not move");
+    assert_ne!(
+        a.read(X).unwrap().as_bytes().as_ptr(),
+        b.read(X).unwrap().as_bytes().as_ptr(),
+        "copy-on-write must have diverged the storage"
+    );
+    a.check_invariants().unwrap();
+    b.check_invariants().unwrap();
+}
+
+/// The reverse direction: the *recipient* mutating its adopted (aliased)
+/// copy must not write through into the source's store.
+#[test]
+fn recipient_mutation_does_not_write_through() {
+    let (mut a, mut b) = pair();
+    a.update(X, UpdateOp::set(vec![0x55u8; 1024])).unwrap();
+    pull(&mut b, &mut a).unwrap();
+    b.update(X, UpdateOp::append(&b"-extended"[..])).unwrap();
+    assert_eq!(a.read(X).unwrap().as_bytes(), &[0x55u8; 1024][..]);
+    assert_eq!(b.read(X).unwrap().len(), 1024 + 9);
+}
+
+/// Out-of-bound replies alias the source buffer too: the adopted auxiliary
+/// copy must survive a later source-side overwrite.
+#[test]
+fn oob_reply_survives_source_overwrite() {
+    let (mut a, mut b) = pair();
+    let original = vec![0x77u8; 2048];
+    a.update(X, UpdateOp::set(original.clone())).unwrap();
+    let out = oob_copy(&mut b, &mut a, X).unwrap();
+    assert_eq!(out, OobOutcome::Adopted { from_aux: false });
+    a.update(X, UpdateOp::set(vec![0x99u8; 8])).unwrap();
+    let aux = b.aux_item(X).expect("oob adopted an aux copy");
+    assert_eq!(aux.value.as_bytes(), &original[..]);
+}
+
+/// An LWW conflict resolution that overwrites the local value must not
+/// disturb a copy shipped (and adopted elsewhere) before the conflict.
+#[test]
+fn lww_overwrite_after_ship_leaves_shipped_bytes_intact() {
+    let n = 3;
+    let mut a = Replica::with_policy(NodeId(0), n, N_ITEMS, ConflictPolicy::ResolveLww);
+    let mut b = Replica::with_policy(NodeId(1), n, N_ITEMS, ConflictPolicy::ResolveLww);
+    let mut c = Replica::with_policy(NodeId(2), n, N_ITEMS, ConflictPolicy::ResolveLww);
+
+    let a_value = vec![0x10u8; 512];
+    a.update(X, UpdateOp::set(a_value.clone())).unwrap();
+    // Ship a's copy to c *before* the conflict exists; c now aliases it.
+    pull(&mut c, &mut a).unwrap();
+    assert_eq!(c.read(X).unwrap().as_bytes(), &a_value[..]);
+
+    // Concurrent update at b, then a pulls from b → concurrent IVVs → LWW
+    // resolution overwrites a's copy in place (or adopts b's).
+    b.update(X, UpdateOp::set(vec![0xF0u8; 512])).unwrap();
+    let out = pull(&mut a, &mut b).unwrap();
+    assert!(matches!(out, PullOutcome::Propagated(ref o) if o.conflicts == 1));
+
+    assert_eq!(c.read(X).unwrap().as_bytes(), &a_value[..], "pre-conflict shipment moved");
+    a.check_invariants().unwrap();
+    c.check_invariants().unwrap();
+}
+
+proptest! {
+    /// Any chain of post-ship mutations at either end never alters what
+    /// the other replica holds from the shipment.
+    #[test]
+    fn arbitrary_post_ship_mutations_never_alias(
+        seed in prop::collection::vec(any::<u8>(), 129..512),
+        ops in prop::collection::vec(
+            prop_oneof![
+                (any::<u8>(), prop::collection::vec(any::<u8>(), 1..32))
+                    .prop_map(|(o, d)| UpdateOp::write_range(o as usize, d)),
+                prop::collection::vec(any::<u8>(), 1..32).prop_map(UpdateOp::append),
+                prop::collection::vec(any::<u8>(), 0..64).prop_map(UpdateOp::set),
+            ],
+            1..6,
+        ),
+    ) {
+        let (mut a, mut b) = pair();
+        a.update(X, UpdateOp::set(seed.clone())).unwrap();
+        pull(&mut b, &mut a).unwrap();
+        for op in ops {
+            a.update(X, op).unwrap();
+        }
+        prop_assert_eq!(b.read(X).unwrap().as_bytes(), &seed[..]);
+        a.check_invariants().unwrap();
+        b.check_invariants().unwrap();
+    }
+}

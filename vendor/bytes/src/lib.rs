@@ -2,161 +2,396 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the small slice of the `bytes` API it actually uses: [`Bytes`],
-//! a cheaply clonable, immutable, reference-counted byte buffer. The
-//! semantics match the real crate for every operation provided here;
-//! anything not provided is simply absent (adding it is a compile error,
-//! not a silent behaviour change).
+//! a cheaply clonable, immutable, reference-counted byte buffer, and
+//! [`BytesMut`], a growable buffer that can be frozen into [`Bytes`]
+//! without copying. The semantics match the real crate for every operation
+//! provided here; anything not provided is simply absent (adding it is a
+//! compile error, not a silent behaviour change).
+//!
+//! Representation note: [`Bytes`] is a `(Arc<Vec<u8>>, start, end)` view,
+//! which makes `From<Vec<u8>>`, [`BytesMut::freeze`], and [`Bytes::slice`]
+//! all zero-copy — the properties the zero-copy payload path relies on.
+//! The real crate uses an inline vtable instead of the extra indirection;
+//! for this workspace's value sizes the difference is noise.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::Deref;
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable chunk of contiguous memory.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
-    /// An empty buffer (no allocation).
+    /// An empty buffer (one shared empty backing per call site; never
+    /// reallocated after creation).
+    #[inline]
     pub fn new() -> Bytes {
         Bytes::default()
     }
 
     /// Wrap a static slice. (The real crate is zero-copy here; this shim
     /// copies once — observable only as a one-time allocation.)
+    #[inline]
     pub fn from_static(bytes: &'static [u8]) -> Bytes {
-        Bytes { data: Arc::from(bytes) }
+        Bytes::from(bytes.to_vec())
     }
 
     /// Copy a slice into a new buffer.
+    #[inline]
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes { data: Arc::from(data) }
+        Bytes::from(data.to_vec())
     }
 
     /// Length in bytes.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     /// True when the buffer holds no bytes.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
     /// Copy the contents out into a `Vec<u8>`.
+    #[inline]
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
+    }
+
+    /// A sub-view of this buffer sharing the same backing storage —
+    /// zero-copy, like the real crate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or decreasing.
+    #[inline]
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&i) => i,
+            Bound::Excluded(&i) => i + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&i) => i + 1,
+            Bound::Excluded(&i) => i,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of bounds of {}", self.len());
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+    }
+
+    /// Recover the backing `Vec` without copying, when this handle is the
+    /// sole owner *and* views the whole allocation; otherwise hand `self`
+    /// back. The copy-on-write fast path for "mutate a value nobody else
+    /// holds anymore".
+    #[inline]
+    pub fn try_into_vec(self) -> std::result::Result<Vec<u8>, Bytes> {
+        if self.start != 0 || self.end != self.data.len() {
+            return Err(self);
+        }
+        Arc::try_unwrap(self.data).map_err(|data| {
+            let end = data.len();
+            Bytes { data, start: 0, end }
+        })
+    }
+
+    /// True when `self` and `other` view the same backing allocation (any
+    /// range). A test/diagnostic helper; the real crate spells similar
+    /// checks via pointer comparison on `as_ptr()`.
+    #[inline]
+    pub fn shares_storage_with(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
 
+    #[inline]
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
+    #[inline]
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
+    #[inline]
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: Arc::from(v) }
+        let end = v.len();
+        Bytes { data: Arc::new(v), start: 0, end }
     }
 }
 
 impl From<&'static [u8]> for Bytes {
+    #[inline]
     fn from(s: &'static [u8]) -> Bytes {
         Bytes::from_static(s)
     }
 }
 
 impl From<&'static str> for Bytes {
+    #[inline]
     fn from(s: &'static str) -> Bytes {
         Bytes::from_static(s.as_bytes())
     }
 }
 
 impl From<Box<[u8]>> for Bytes {
+    #[inline]
     fn from(b: Box<[u8]>) -> Bytes {
-        Bytes { data: Arc::from(b) }
+        Bytes::from(b.into_vec())
     }
 }
 
 impl FromIterator<u8> for Bytes {
+    #[inline]
     fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Bytes {
         Bytes::from(iter.into_iter().collect::<Vec<u8>>())
     }
 }
 
 impl PartialEq for Bytes {
+    #[inline]
     fn eq(&self, other: &Bytes) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
+    #[inline]
     fn eq(&self, other: &[u8]) -> bool {
-        &self.data[..] == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
+    #[inline]
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &self.data[..] == other.as_slice()
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    #[inline]
     fn eq(&self, other: &[u8; N]) -> bool {
-        &self.data[..] == other
+        self.as_slice() == other
     }
 }
 
 impl PartialOrd for Bytes {
+    #[inline]
     fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
 impl Ord for Bytes {
+    #[inline]
     fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
-        self.data[..].cmp(&other.data[..])
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl Hash for Bytes {
+    #[inline]
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data[..].hash(state);
+        self.as_slice().hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "b\"")?;
-        for &b in self.data.iter() {
-            if (b' '..=b'~').contains(&b) && b != b'"' && b != b'\\' {
-                write!(f, "{}", b as char)?;
-            } else {
-                write!(f, "\\x{b:02x}")?;
-            }
+        debug_bytes(self.as_slice(), f)
+    }
+}
+
+#[inline]
+fn debug_bytes(data: &[u8], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "b\"")?;
+    for &b in data {
+        if (b' '..=b'~').contains(&b) && b != b'"' && b != b'\\' {
+            write!(f, "{}", b as char)?;
+        } else {
+            write!(f, "\\x{b:02x}")?;
         }
-        write!(f, "\"")
+    }
+    write!(f, "\"")
+}
+
+/// A unique, growable byte buffer that can be [frozen](BytesMut::freeze)
+/// into an immutable [`Bytes`] without copying.
+///
+/// Vendored subset: a thin wrapper over `Vec<u8>` plus the little-endian
+/// `put_*` appenders the wire codec uses. Unlike the real crate there is
+/// no split/unsplit machinery — freeze hands off the whole buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer (no allocation).
+    #[inline]
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `capacity` bytes pre-reserved.
+    #[inline]
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Bytes the buffer can hold without reallocating.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Reserve room for at least `additional` more bytes.
+    #[inline]
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Drop the contents, keeping the allocation for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Resize to `new_len`, filling any growth with `value`.
+    #[inline]
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.data.resize(new_len, value);
+    }
+
+    /// Truncate to at most `len` bytes.
+    #[inline]
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Append a slice.
+    #[inline]
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.data.extend_from_slice(extend);
+    }
+
+    /// Append one byte.
+    #[inline]
+    pub fn put_u8(&mut self, n: u8) {
+        self.data.push(n);
+    }
+
+    /// Append a `u16`, little-endian.
+    #[inline]
+    pub fn put_u16_le(&mut self, n: u16) {
+        self.data.extend_from_slice(&n.to_le_bytes());
+    }
+
+    /// Append a `u32`, little-endian.
+    #[inline]
+    pub fn put_u32_le(&mut self, n: u32) {
+        self.data.extend_from_slice(&n.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    #[inline]
+    pub fn put_u64_le(&mut self, n: u64) {
+        self.data.extend_from_slice(&n.to_le_bytes());
+    }
+
+    /// Convert into an immutable [`Bytes`] — zero-copy; the allocation is
+    /// handed to the `Bytes` as-is.
+    #[inline]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    /// Hand off the underlying `Vec` — zero-copy.
+    #[inline]
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    #[inline]
+    fn from(data: Vec<u8>) -> BytesMut {
+        BytesMut { data }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    #[inline]
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        debug_bytes(&self.data, f)
     }
 }
 
@@ -180,11 +415,76 @@ mod tests {
     fn clone_is_shallow() {
         let a = Bytes::from(vec![7; 1024]);
         let b = a.clone();
-        assert!(Arc::ptr_eq(&a.data, &b.data));
+        assert!(a.shares_storage_with(&b));
+    }
+
+    #[test]
+    fn slice_is_shallow_and_correct() {
+        let a = Bytes::from((0u8..32).collect::<Vec<u8>>());
+        let mid = a.slice(8..16);
+        assert_eq!(&mid[..], &(8u8..16).collect::<Vec<u8>>()[..]);
+        assert!(mid.shares_storage_with(&a));
+        let inner = mid.slice(2..4);
+        assert_eq!(&inner[..], &[10, 11]);
+        assert!(inner.shares_storage_with(&a));
+        assert!(a.slice(..).len() == 32 && a.slice(4..).len() == 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![0; 4]).slice(2..6);
+    }
+
+    #[test]
+    fn try_into_vec_unique_full_range() {
+        let a = Bytes::from(vec![9; 16]);
+        let v = a.try_into_vec().expect("sole owner, full range");
+        assert_eq!(v, vec![9; 16]);
+
+        // Shared: refused.
+        let a = Bytes::from(vec![9; 16]);
+        let b = a.clone();
+        assert!(a.try_into_vec().is_err());
+        assert_eq!(b.len(), 16);
+
+        // Sub-range view: refused even when unique.
+        let c = Bytes::from(vec![1, 2, 3, 4]).slice(1..3);
+        assert!(c.try_into_vec().is_err());
+    }
+
+    #[test]
+    fn freeze_is_zero_copy() {
+        let mut m = BytesMut::with_capacity(64);
+        m.put_u8(1);
+        m.put_u16_le(0x0302);
+        m.put_u32_le(0x07060504);
+        m.put_u64_le(0x0f0e0d0c0b0a0908);
+        m.extend_from_slice(&[16, 17]);
+        let ptr = m.as_ref().as_ptr();
+        assert_eq!(m.len(), 17);
+        let b = m.freeze();
+        assert_eq!(&b[..], &(1u8..=17).collect::<Vec<u8>>()[..]);
+        assert_eq!(b.as_ref().as_ptr(), ptr, "freeze must not copy");
+    }
+
+    #[test]
+    fn bytes_mut_reuse() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(&[1; 100]);
+        let cap = m.capacity();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), cap, "clear keeps the allocation");
+        m.extend_from_slice(&[2; 50]);
+        assert_eq!(m.len(), 50);
     }
 
     #[test]
     fn debug_escapes() {
         assert_eq!(format!("{:?}", Bytes::from_static(b"a\x00")), "b\"a\\x00\"");
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"a\x00");
+        assert_eq!(format!("{m:?}"), "b\"a\\x00\"");
     }
 }
