@@ -26,4 +26,7 @@ cargo run --release -q -p epidb-bench --bin perf_report -- \
   --smoke --assert-zero-copy --out target/bench_smoke.json
 grep -q '"schema": "epidb-perf-report/v1"' target/bench_smoke.json
 
+echo "== chaos soak smoke (seeded, deterministic) =="
+cargo run --release -q -p epidb-bench --bin chaos_soak -- --smoke --seed 42
+
 echo "CI green."

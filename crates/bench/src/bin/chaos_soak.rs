@@ -1,0 +1,538 @@
+//! `chaos_soak` — the seeded chaos soak harness.
+//!
+//! Runs a randomized fault schedule — loss, duplication, reordering,
+//! corruption, mid-exchange resets, healing partitions — over all three
+//! runtimes (in-process, threaded channels, TCP sockets) with paranoid
+//! auditing on, then heals every link and asserts:
+//!
+//! * **convergence** — every replica reads the expected final value of
+//!   every item, DBVVs are equal, and no auxiliary state remains;
+//! * **invariants** — `check_invariants` passes on every replica (which
+//!   includes DBVV == ΣIVV), on top of the per-step paranoid audits that
+//!   ran throughout;
+//! * **accounting** — every corrupted frame the injector produced was
+//!   dropped and counted (`corrupt_frames_dropped` equals the injector's
+//!   ground truth), faults forced retries, and deliberate duplicate
+//!   out-of-bound fetches surfaced as `redundant_deliveries`;
+//! * **determinism** — the whole soak is a pure function of the seed: each
+//!   runtime is run twice and must produce byte-for-byte identical
+//!   [`Costs`] and injection stats.
+//!
+//! The seed is printed on every run; a failing soak replays exactly with
+//! `--seed <printed seed>`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p epidb-bench --bin chaos_soak -- \
+//!     [--smoke] [--seed N] [--rounds N]
+//! ```
+
+use std::time::Duration;
+
+use epidb_common::{Costs, ItemId, NodeId};
+use epidb_core::{ChaosLink, ChaosStats, FaultPlan, PartitionWindow, PullOutcome, RetryPolicy};
+use epidb_net::{ClusterConfig, TcpCluster, TcpConfig, ThreadedCluster};
+use epidb_sim::EpidbCluster;
+use epidb_store::UpdateOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// --- soak parameters --------------------------------------------------------
+
+#[derive(Clone, Copy)]
+struct SoakParams {
+    n_nodes: usize,
+    n_items: usize,
+    rounds: usize,
+    updates_per_round: usize,
+}
+
+const SMOKE: SoakParams = SoakParams { n_nodes: 3, n_items: 24, rounds: 8, updates_per_round: 6 };
+const FULL: SoakParams = SoakParams { n_nodes: 4, n_items: 96, rounds: 40, updates_per_round: 10 };
+
+const DELTA_BUDGET: usize = 1 << 20;
+const MAX_HEAL_SWEEPS: usize = 12;
+
+fn retry_policy() -> RetryPolicy {
+    // Plenty of attempts, no backoff sleeping: the soak is synchronous, so
+    // spinning the round again immediately is both fast and deterministic.
+    RetryPolicy::attempts(48)
+}
+
+/// Derive a non-trivial fault plan from the seed. Probabilities are kept
+/// below the levels where 48 attempts could plausibly fail to land a
+/// round, and partitions are finite windows, so every schedule converges.
+fn derive_plan(rng: &mut StdRng) -> FaultPlan {
+    let pct = |rng: &mut StdRng, lo: u64, hi: u64| rng.gen_range(lo..hi) as f64 / 100.0;
+    let mut partitions = Vec::new();
+    for _ in 0..rng.gen_range(1..3u32) {
+        let from = rng.gen_range(3..40u64);
+        partitions.push(PartitionWindow { from, until: from + rng.gen_range(2..8u64) });
+    }
+    FaultPlan {
+        request_loss: pct(rng, 5, 18),
+        response_loss: pct(rng, 5, 18),
+        duplication: pct(rng, 2, 12),
+        reorder: pct(rng, 2, 12),
+        corruption: pct(rng, 3, 12),
+        reset: pct(rng, 1, 8),
+        latency: Duration::ZERO,
+        partitions,
+    }
+}
+
+// --- runtime abstraction ----------------------------------------------------
+
+/// The slice of each runtime the soak drives: updates, chaos-wrapped delta
+/// pulls, out-of-bound fetches, and inspection.
+trait SoakRuntime {
+    fn update(&mut self, node: NodeId, item: ItemId, value: Vec<u8>);
+    fn pull_chaos(
+        &mut self,
+        recipient: NodeId,
+        source: NodeId,
+        link: &mut ChaosLink,
+        policy: &RetryPolicy,
+    ) -> epidb_common::Result<PullOutcome>;
+    fn oob(&mut self, recipient: NodeId, source: NodeId, item: ItemId);
+    fn value(&self, node: NodeId, item: ItemId) -> Vec<u8>;
+    fn converged(&self, n_nodes: usize) -> bool;
+    fn costs(&self, n_nodes: usize) -> Costs;
+    fn check_invariants(&self, n_nodes: usize);
+}
+
+struct InProc(EpidbCluster);
+
+impl SoakRuntime for InProc {
+    fn update(&mut self, node: NodeId, item: ItemId, value: Vec<u8>) {
+        use epidb_baselines::SyncProtocol;
+        self.0.update(node, item, UpdateOp::set(value)).expect("update");
+    }
+
+    fn pull_chaos(
+        &mut self,
+        recipient: NodeId,
+        source: NodeId,
+        link: &mut ChaosLink,
+        policy: &RetryPolicy,
+    ) -> epidb_common::Result<PullOutcome> {
+        self.0.pull_delta_pair_chaos(recipient, source, link, policy)
+    }
+
+    fn oob(&mut self, recipient: NodeId, source: NodeId, item: ItemId) {
+        self.0.oob(recipient, source, item).expect("oob");
+    }
+
+    fn value(&self, node: NodeId, item: ItemId) -> Vec<u8> {
+        self.0.replica(node).read_regular(item).expect("item").as_bytes().to_vec()
+    }
+
+    fn converged(&self, n_nodes: usize) -> bool {
+        let reference = self.0.replica(NodeId(0)).dbvv().clone();
+        (0..n_nodes).all(|i| {
+            let r = self.0.replica(NodeId::from_index(i));
+            r.aux_item_count() == 0 && r.dbvv().compare(&reference) == epidb_vv::VvOrd::Equal
+        })
+    }
+
+    fn costs(&self, _n_nodes: usize) -> Costs {
+        use epidb_baselines::SyncProtocol;
+        self.0.costs()
+    }
+
+    fn check_invariants(&self, _n_nodes: usize) {
+        self.0.assert_invariants();
+    }
+}
+
+struct Threaded(ThreadedCluster);
+
+impl SoakRuntime for Threaded {
+    fn update(&mut self, node: NodeId, item: ItemId, value: Vec<u8>) {
+        self.0.update(node, item, UpdateOp::set(value)).expect("update");
+    }
+
+    fn pull_chaos(
+        &mut self,
+        recipient: NodeId,
+        source: NodeId,
+        link: &mut ChaosLink,
+        policy: &RetryPolicy,
+    ) -> epidb_common::Result<PullOutcome> {
+        self.0.pull_delta_now_chaos(recipient, source, link, policy)
+    }
+
+    fn oob(&mut self, recipient: NodeId, source: NodeId, item: ItemId) {
+        self.0.oob_fetch(recipient, source, item).expect("oob");
+    }
+
+    fn value(&self, node: NodeId, item: ItemId) -> Vec<u8> {
+        self.0.read(node, item).expect("read")
+    }
+
+    fn converged(&self, n_nodes: usize) -> bool {
+        let reference = self.0.with_replica(NodeId(0), |r| r.dbvv().clone());
+        (0..n_nodes).all(|i| {
+            self.0.with_replica(NodeId::from_index(i), |r| {
+                r.aux_item_count() == 0 && r.dbvv().compare(&reference) == epidb_vv::VvOrd::Equal
+            })
+        })
+    }
+
+    fn costs(&self, n_nodes: usize) -> Costs {
+        (0..n_nodes)
+            .map(|i| self.0.with_replica(NodeId::from_index(i), |r| r.costs()))
+            .fold(Costs::ZERO, |a, b| a + b)
+    }
+
+    fn check_invariants(&self, n_nodes: usize) {
+        for i in 0..n_nodes {
+            self.0
+                .with_replica(NodeId::from_index(i), |r| r.check_invariants())
+                .unwrap_or_else(|e| panic!("invariant violated at node {i}: {e}"));
+        }
+    }
+}
+
+struct Tcp(TcpCluster);
+
+impl SoakRuntime for Tcp {
+    fn update(&mut self, node: NodeId, item: ItemId, value: Vec<u8>) {
+        self.0.update(node, item, UpdateOp::set(value)).expect("update");
+    }
+
+    fn pull_chaos(
+        &mut self,
+        recipient: NodeId,
+        source: NodeId,
+        link: &mut ChaosLink,
+        policy: &RetryPolicy,
+    ) -> epidb_common::Result<PullOutcome> {
+        self.0.pull_delta_now_chaos(recipient, source, link, policy)
+    }
+
+    fn oob(&mut self, recipient: NodeId, source: NodeId, item: ItemId) {
+        self.0.oob_fetch(recipient, source, item).expect("oob");
+    }
+
+    fn value(&self, node: NodeId, item: ItemId) -> Vec<u8> {
+        self.0.read(node, item).expect("read")
+    }
+
+    fn converged(&self, n_nodes: usize) -> bool {
+        let reference = self.0.with_replica(NodeId(0), |r| r.dbvv().clone());
+        (0..n_nodes).all(|i| {
+            self.0.with_replica(NodeId::from_index(i), |r| {
+                r.aux_item_count() == 0 && r.dbvv().compare(&reference) == epidb_vv::VvOrd::Equal
+            })
+        })
+    }
+
+    fn costs(&self, n_nodes: usize) -> Costs {
+        (0..n_nodes)
+            .map(|i| self.0.with_replica(NodeId::from_index(i), |r| r.costs()))
+            .fold(Costs::ZERO, |a, b| a + b)
+    }
+
+    fn check_invariants(&self, n_nodes: usize) {
+        for i in 0..n_nodes {
+            self.0
+                .with_replica(NodeId::from_index(i), |r| r.check_invariants())
+                .unwrap_or_else(|e| panic!("invariant violated at node {i}: {e}"));
+        }
+    }
+}
+
+// --- the soak ---------------------------------------------------------------
+
+struct SoakResult {
+    costs: Costs,
+    stats: ChaosStats,
+    heal_sweeps: usize,
+    double_oobs: u64,
+}
+
+fn sum_stats(links: &[Vec<Option<ChaosLink>>]) -> ChaosStats {
+    let mut total = ChaosStats::default();
+    for row in links {
+        for link in row.iter().flatten() {
+            let s = link.stats;
+            total.exchanges += s.exchanges;
+            total.lost_requests += s.lost_requests;
+            total.lost_responses += s.lost_responses;
+            total.duplicated += s.duplicated;
+            total.reordered += s.reordered;
+            total.redelivered += s.redelivered;
+            total.corrupted += s.corrupted;
+            total.resets += s.resets;
+            total.partitioned += s.partitioned;
+            total.delivered += s.delivered;
+        }
+    }
+    total
+}
+
+/// Run one soak: randomized updates under chaos, then heal and converge.
+/// Deterministic in `(seed, plan, params)`.
+fn run_soak(
+    runtime: &mut dyn SoakRuntime,
+    seed: u64,
+    plan: &FaultPlan,
+    params: SoakParams,
+) -> SoakResult {
+    let SoakParams { n_nodes, n_items, rounds, updates_per_round } = params;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x50A4_0A5E);
+    let policy = retry_policy();
+
+    // One persistent chaos link per directed pair, deterministic per pair.
+    let mut links: Vec<Vec<Option<ChaosLink>>> = (0..n_nodes)
+        .map(|r| {
+            (0..n_nodes)
+                .map(|s| {
+                    (r != s).then(|| {
+                        let link_seed = seed.wrapping_add(
+                            ((r * n_nodes + s) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        ChaosLink::new(link_seed, plan.clone())
+                    })
+                })
+                .collect()
+        })
+        .collect();
+
+    // Per-item single-writer: node i owns items with item % n == i, so
+    // schedules are conflict-free and the expected final value is the last
+    // write. Track it to assert convergence against ground truth.
+    let mut expected: Vec<Vec<u8>> = vec![Vec::new(); n_items];
+    let mut double_oobs = 0u64;
+
+    for _round in 0..rounds {
+        for _ in 0..updates_per_round {
+            let node = rng.gen_range(0..n_nodes);
+            let slot = rng.gen_range(0..n_items.div_ceil(n_nodes));
+            let item = node + slot * n_nodes;
+            if item >= n_items {
+                continue;
+            }
+            // Mix inline values with ones large enough to travel as shared
+            // payload segments.
+            let len = if rng.gen_bool(0.25) { 200 } else { rng.gen_range(1..48usize) };
+            let byte = rng.gen_range(0..=255u64) as u8;
+            let value = vec![byte; len];
+            expected[item] = value.clone();
+            runtime.update(NodeId::from_index(node), ItemId(item as u32), value);
+        }
+
+        // Every node pulls from one random peer, through its chaos link.
+        for (r, row) in links.iter_mut().enumerate() {
+            let mut s = rng.gen_range(0..n_nodes);
+            if s == r {
+                s = (s + 1) % n_nodes;
+            }
+            let link = row[s].as_mut().expect("distinct pair");
+            let _ = runtime.pull_chaos(NodeId::from_index(r), NodeId::from_index(s), link, &policy);
+        }
+
+        // Occasionally fetch a hot item out-of-bound — twice: the second
+        // fetch is already current at the recipient and must be counted as
+        // a redundant delivery.
+        if rng.gen_bool(0.5) {
+            let item = rng.gen_range(0..n_items);
+            let source = item % n_nodes;
+            let mut recipient = rng.gen_range(0..n_nodes);
+            if recipient == source {
+                recipient = (recipient + 1) % n_nodes;
+            }
+            let (recipient, source) = (NodeId::from_index(recipient), NodeId::from_index(source));
+            runtime.oob(recipient, source, ItemId(item as u32));
+            runtime.oob(recipient, source, ItemId(item as u32));
+            double_oobs += 1;
+        }
+    }
+
+    // Heal every link, then sweep full-mesh pulls until quiescent.
+    for row in &mut links {
+        for link in row.iter_mut().flatten() {
+            link.set_plan(FaultPlan::none());
+        }
+    }
+    let mut heal_sweeps = 0;
+    while heal_sweeps < MAX_HEAL_SWEEPS {
+        heal_sweeps += 1;
+        for (r, row) in links.iter_mut().enumerate() {
+            for (s, link) in row.iter_mut().enumerate() {
+                let Some(link) = link.as_mut() else { continue };
+                runtime
+                    .pull_chaos(NodeId::from_index(r), NodeId::from_index(s), link, &policy)
+                    .expect("healed pull must succeed");
+            }
+        }
+        if runtime.converged(n_nodes) {
+            break;
+        }
+    }
+
+    assert!(runtime.converged(n_nodes), "soak did not converge after {MAX_HEAL_SWEEPS} sweeps");
+    for (item, want) in expected.iter().enumerate() {
+        for node in 0..n_nodes {
+            let got = runtime.value(NodeId::from_index(node), ItemId(item as u32));
+            assert_eq!(&got, want, "node {node} disagrees on item {item} after convergence");
+        }
+    }
+    runtime.check_invariants(n_nodes);
+
+    SoakResult { costs: runtime.costs(n_nodes), stats: sum_stats(&links), heal_sweeps, double_oobs }
+}
+
+// --- runtime construction ---------------------------------------------------
+
+const RUNTIMES: [&str; 3] = ["inproc", "threaded", "tcp"];
+
+fn build_runtime(kind: &str, params: SoakParams) -> Box<dyn SoakRuntime> {
+    match kind {
+        "inproc" => {
+            let mut c = EpidbCluster::new(params.n_nodes, params.n_items);
+            c.enable_delta(DELTA_BUDGET);
+            c.set_paranoid(true);
+            Box::new(InProc(c))
+        }
+        "threaded" => {
+            let config = ClusterConfig {
+                // Gossip stays out of the way: the soak drives every
+                // exchange itself so runs are schedule-deterministic.
+                gossip_interval: Duration::from_secs(3600),
+                delta_budget: DELTA_BUDGET,
+                paranoid: true,
+                ..ClusterConfig::default()
+            };
+            Box::new(Threaded(ThreadedCluster::spawn(params.n_nodes, params.n_items, config)))
+        }
+        "tcp" => {
+            let config = TcpConfig {
+                gossip_interval: Duration::from_secs(3600),
+                delta_budget: DELTA_BUDGET,
+                paranoid: true,
+                ..TcpConfig::default()
+            };
+            Box::new(Tcp(TcpCluster::spawn(params.n_nodes, params.n_items, config).expect("spawn")))
+        }
+        other => panic!("unknown runtime {other}"),
+    }
+}
+
+// --- main -------------------------------------------------------------------
+
+fn main() {
+    let mut smoke = false;
+    let mut seed: Option<u64> = None;
+    let mut rounds: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                seed = Some(v.parse().expect("--seed takes a u64"));
+            }
+            "--rounds" => {
+                let v = args.next().expect("--rounds needs a value");
+                rounds = Some(v.parse().expect("--rounds takes a usize"));
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: chaos_soak [--smoke] [--seed N] [--rounds N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let seed = seed.unwrap_or_else(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0xC0FFEE)
+    });
+    let mut params = if smoke { SMOKE } else { FULL };
+    if let Some(r) = rounds {
+        params.rounds = r;
+    }
+
+    let plan = derive_plan(&mut StdRng::seed_from_u64(seed));
+    println!("chaos_soak: seed={seed} (replay with --seed {seed})");
+    println!(
+        "plan: loss={:.2}/{:.2} dup={:.2} reorder={:.2} corrupt={:.2} reset={:.2} partitions={}",
+        plan.request_loss,
+        plan.response_loss,
+        plan.duplication,
+        plan.reorder,
+        plan.corruption,
+        plan.reset,
+        plan.partitions.len()
+    );
+    println!(
+        "params: nodes={} items={} rounds={} updates/round={}{}",
+        params.n_nodes,
+        params.n_items,
+        params.rounds,
+        params.updates_per_round,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    for kind in RUNTIMES {
+        // Two identical runs: the soak must be a pure function of the seed.
+        let mut first: Option<(Costs, ChaosStats)> = None;
+        for pass in 0..2 {
+            let mut runtime = build_runtime(kind, params);
+            let result = run_soak(runtime.as_mut(), seed, &plan, params);
+            drop(runtime);
+
+            let s = result.stats;
+            let c = result.costs;
+            if pass == 0 {
+                println!(
+                    "[{kind}] exchanges={} delivered={} faults={} (lost={}/{} dup={} reorder={} \
+                     corrupt={} reset={} partitioned={}) heal_sweeps={}",
+                    s.exchanges,
+                    s.delivered,
+                    s.faults(),
+                    s.lost_requests,
+                    s.lost_responses,
+                    s.duplicated,
+                    s.reordered,
+                    s.corrupted,
+                    s.resets,
+                    s.partitioned,
+                    result.heal_sweeps
+                );
+                println!("[{kind}] costs: {c}");
+            }
+
+            // Accounting: every injected corruption was dropped and
+            // counted at a replica; errors forced retries; duplicate OOB
+            // fetches registered as redundant deliveries.
+            assert_eq!(
+                c.corrupt_frames_dropped, s.corrupted,
+                "[{kind}] corrupt frame accounting mismatch"
+            );
+            if s.faults() > s.duplicated {
+                assert!(c.retries > 0, "[{kind}] faults occurred but no retries were counted");
+            }
+            assert!(
+                c.redundant_deliveries >= result.double_oobs,
+                "[{kind}] duplicate OOB fetches must count as redundant deliveries"
+            );
+
+            match &first {
+                None => first = Some((c, s)),
+                Some((c0, s0)) => {
+                    assert_eq!(c0, &c, "[{kind}] same seed produced different costs");
+                    assert_eq!(s0, &s, "[{kind}] same seed produced different fault sequence");
+                    println!("[{kind}] replay: identical costs and fault sequence");
+                }
+            }
+        }
+    }
+
+    println!("OK: all runtimes converged under chaos; accounting and replay checks passed");
+}

@@ -51,6 +51,15 @@ pub struct Costs {
     /// Updates silently lost by a protocol that mis-resolves conflicts
     /// (the Lotus behaviour documented in §8.1). Always zero for `epidb`.
     pub lost_updates: u64,
+    /// Exchange attempts repeated after a transient transport failure
+    /// (lost, corrupt, or reset frames). Zero on a fault-free network.
+    pub retries: u64,
+    /// Receipts of state the recipient already held (equal or dominated by
+    /// IVV comparison) — the price of duplicated or retried deliveries.
+    /// Each is a no-op; this counter shows idempotence doing its job.
+    pub redundant_deliveries: u64,
+    /// Frames rejected by the integrity check before decoding.
+    pub corrupt_frames_dropped: u64,
 }
 
 impl Costs {
@@ -66,6 +75,9 @@ impl Costs {
         conflicts_detected: 0,
         aux_replays: 0,
         lost_updates: 0,
+        retries: 0,
+        redundant_deliveries: 0,
+        corrupt_frames_dropped: 0,
     };
 
     /// Total "comparison work" — the quantity the paper's O(N) vs O(m)
@@ -99,6 +111,9 @@ impl Add for Costs {
             conflicts_detected: self.conflicts_detected + rhs.conflicts_detected,
             aux_replays: self.aux_replays + rhs.aux_replays,
             lost_updates: self.lost_updates + rhs.lost_updates,
+            retries: self.retries + rhs.retries,
+            redundant_deliveries: self.redundant_deliveries + rhs.redundant_deliveries,
+            corrupt_frames_dropped: self.corrupt_frames_dropped + rhs.corrupt_frames_dropped,
         }
     }
 }
@@ -127,6 +142,13 @@ impl Sub for Costs {
             conflicts_detected: self.conflicts_detected.saturating_sub(rhs.conflicts_detected),
             aux_replays: self.aux_replays.saturating_sub(rhs.aux_replays),
             lost_updates: self.lost_updates.saturating_sub(rhs.lost_updates),
+            retries: self.retries.saturating_sub(rhs.retries),
+            redundant_deliveries: self
+                .redundant_deliveries
+                .saturating_sub(rhs.redundant_deliveries),
+            corrupt_frames_dropped: self
+                .corrupt_frames_dropped
+                .saturating_sub(rhs.corrupt_frames_dropped),
         }
     }
 }
@@ -135,7 +157,7 @@ impl fmt::Display for Costs {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "vv_cmps={} log_recs={} scans={} copied={} msgs={} bytes={} (ctl {}) conflicts={} replays={} lost={}",
+            "vv_cmps={} log_recs={} scans={} copied={} msgs={} bytes={} (ctl {}) conflicts={} replays={} lost={} retries={} redundant={} corrupt={}",
             self.vv_entry_cmps,
             self.log_records_examined,
             self.items_scanned,
@@ -146,6 +168,9 @@ impl fmt::Display for Costs {
             self.conflicts_detected,
             self.aux_replays,
             self.lost_updates,
+            self.retries,
+            self.redundant_deliveries,
+            self.corrupt_frames_dropped,
         )
     }
 }
@@ -188,6 +213,9 @@ mod tests {
             conflicts_detected: 1,
             aux_replays: 3,
             lost_updates: 0,
+            retries: 5,
+            redundant_deliveries: 6,
+            corrupt_frames_dropped: 7,
         }
     }
 
@@ -232,6 +260,9 @@ mod tests {
         let s = sample().to_string();
         assert!(s.contains("vv_cmps=10"));
         assert!(s.contains("lost=0"));
+        assert!(s.contains("retries=5"));
+        assert!(s.contains("redundant=6"));
+        assert!(s.contains("corrupt=7"));
     }
 
     #[test]

@@ -36,10 +36,27 @@ pub enum Error {
     },
     /// The network (simulated or threaded) failed to deliver a message.
     Network(String),
+    /// A received frame failed its integrity check (bad checksum, bad
+    /// version byte, or malformed interior). Retryable: the sender's state
+    /// is intact and a re-sent frame is expected to pass.
+    CorruptFrame(String),
+    /// A peer could not be reached after the configured connect retries.
+    /// Retryable at a coarser granularity (the peer may come back).
+    PeerUnavailable(NodeId),
     /// A database with this name already exists on the server.
     DatabaseExists(String),
     /// No database with this name exists on the server.
     UnknownDatabase(String),
+}
+
+impl Error {
+    /// Whether a retry of the same exchange can reasonably be expected to
+    /// succeed. Transport-level failures (lost frames, corrupt frames,
+    /// unreachable peers) are transient; everything else reflects protocol
+    /// misuse or durable state and retrying would only repeat it.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Network(_) | Error::CorruptFrame(_) | Error::PeerUnavailable(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -55,6 +72,8 @@ impl fmt::Display for Error {
                 write!(f, "token for {item} is held by {holder}")
             }
             Error::Network(msg) => write!(f, "network error: {msg}"),
+            Error::CorruptFrame(msg) => write!(f, "corrupt frame: {msg}"),
+            Error::PeerUnavailable(n) => write!(f, "peer {n} unavailable"),
             Error::DatabaseExists(name) => write!(f, "database {name:?} already exists"),
             Error::UnknownDatabase(name) => write!(f, "unknown database {name:?}"),
         }
@@ -85,10 +104,25 @@ mod tests {
         );
         assert!(Error::Network("boom".into()).to_string().contains("boom"));
         assert_eq!(
+            Error::CorruptFrame("crc mismatch".into()).to_string(),
+            "corrupt frame: crc mismatch"
+        );
+        assert_eq!(Error::PeerUnavailable(NodeId(3)).to_string(), "peer n3 unavailable");
+        assert_eq!(
             Error::DatabaseExists("mail".into()).to_string(),
             "database \"mail\" already exists"
         );
         assert_eq!(Error::UnknownDatabase("mail".into()).to_string(), "unknown database \"mail\"");
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(Error::Network("x".into()).is_retryable());
+        assert!(Error::CorruptFrame("x".into()).is_retryable());
+        assert!(Error::PeerUnavailable(NodeId(0)).is_retryable());
+        assert!(!Error::UnknownItem(ItemId(0)).is_retryable());
+        assert!(!Error::NodeDown(NodeId(0)).is_retryable());
+        assert!(!Error::UnknownDatabase("x".into()).is_retryable());
     }
 
     #[test]

@@ -24,6 +24,62 @@ use crate::opcache::CachedOp;
 /// Format version byte embedded in framed messages and snapshots.
 pub const CODEC_VERSION: u8 = 1;
 
+// --- frame integrity (CRC32) ------------------------------------------------
+
+/// IEEE CRC32 lookup table (reflected polynomial 0xEDB88320), built at
+/// compile time — no external crate, no runtime init.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming IEEE CRC32 digest. Feed it the encoded frame in as many
+/// slices as the writer holds ([`Writer::chunks`]): the checksum covers
+/// control runs *and* shared value segments without assembling them — the
+/// integrity check rides the same vectored path as the bytes themselves.
+#[derive(Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Fresh digest.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Absorb a slice.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut c = self.0;
+        for &b in data {
+            c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    /// Final checksum value.
+    pub fn finish(self) -> u32 {
+        !self.0
+    }
+}
+
+/// IEEE CRC32 of a contiguous buffer.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
 /// Values at or below this size are copied inline into the control buffer
 /// when encoded with [`Writer::value`]; larger ones travel as shared,
 /// refcounted segments. Inlining tiny values is cheaper than the
@@ -153,6 +209,17 @@ impl Writer {
     pub fn bytes(&mut self, v: &[u8]) {
         self.u32(v.len() as u32);
         self.ctl.extend_from_slice(v);
+    }
+
+    /// IEEE CRC32 over the encoded message, computed by streaming the
+    /// in-order chunks (control runs and shared value segments) through
+    /// the digest — no assembly, no copies. Equal to `crc32(&into_bytes())`.
+    pub fn crc32(&self) -> u32 {
+        let mut c = Crc32::new();
+        for chunk in self.chunks() {
+            c.update(chunk);
+        }
+        c.finish()
     }
 
     /// Write a length-prefixed value payload. Small values are inlined
@@ -834,6 +901,92 @@ pub fn decode_response_shared(frame: &Bytes) -> Result<ProtocolResponse> {
     Ok(resp)
 }
 
+// --- checked frame envelope -------------------------------------------------
+//
+// A checked frame is `crc32 (u32 LE) | versioned body`. The checksum covers
+// the whole body — control bytes and value segments alike — so any flipped
+// bit surfaces as [`Error::CorruptFrame`] instead of a garbage decode. The
+// checksum is always verified *before* the body is decoded (and, in the
+// shared variants, before any zero-copy sub-view aliases the frame).
+
+/// Bytes of the checked-frame header (the CRC32 field).
+pub const CHECKED_HEADER: usize = 4;
+
+/// Verify a checked frame's CRC32 header; on success return the body.
+pub fn verify_checked_frame(buf: &[u8]) -> Result<&[u8]> {
+    if buf.len() < CHECKED_HEADER {
+        return Err(Error::CorruptFrame(format!("frame too short: {} bytes", buf.len())));
+    }
+    let want = u32::from_le_bytes(buf[..CHECKED_HEADER].try_into().expect("len"));
+    let body = &buf[CHECKED_HEADER..];
+    let got = crc32(body);
+    if got != want {
+        return Err(Error::CorruptFrame(format!(
+            "crc mismatch: header {want:#010x}, computed {got:#010x}"
+        )));
+    }
+    Ok(body)
+}
+
+fn corrupt(e: Error) -> Error {
+    // A frame whose checksum matched but whose body fails to decode is
+    // still a corrupt frame from the receiver's perspective (and equally
+    // retryable); fold the decode detail into the message.
+    match e {
+        Error::CorruptFrame(_) => e,
+        other => Error::CorruptFrame(other.to_string()),
+    }
+}
+
+/// Encode a request as a checked frame (CRC32 header + versioned body).
+pub fn encode_request_checked(req: &ProtocolRequest) -> Vec<u8> {
+    let body = encode_request(req);
+    let mut out = Vec::with_capacity(CHECKED_HEADER + body.len());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode a checked request frame; any integrity or decode failure is a
+/// retryable [`Error::CorruptFrame`].
+pub fn decode_request_checked(buf: &[u8]) -> Result<ProtocolRequest> {
+    let body = verify_checked_frame(buf)?;
+    decode_request(body).map_err(corrupt)
+}
+
+/// Encode a response as a checked frame (CRC32 header + versioned body).
+pub fn encode_response_checked(resp: &ProtocolResponse) -> Vec<u8> {
+    let body = encode_response(resp);
+    let mut out = Vec::with_capacity(CHECKED_HEADER + body.len());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode a checked response frame; any integrity or decode failure is a
+/// retryable [`Error::CorruptFrame`].
+pub fn decode_response_checked(buf: &[u8]) -> Result<ProtocolResponse> {
+    let body = verify_checked_frame(buf)?;
+    decode_response(body).map_err(corrupt)
+}
+
+/// As [`decode_response_checked`], but zero-copy: after the checksum
+/// verifies, item values decode as sub-views of `frame`. Verification
+/// happens strictly before aliasing, so a corrupted frame is dropped
+/// whole — no partially-decoded state escapes.
+pub fn decode_response_checked_shared(frame: &Bytes) -> Result<ProtocolResponse> {
+    verify_checked_frame(frame)?;
+    let body = frame.slice(CHECKED_HEADER..);
+    decode_response_shared(&body).map_err(corrupt)
+}
+
+/// As [`decode_request_checked`], but zero-copy over a shared frame.
+pub fn decode_request_checked_shared(frame: &Bytes) -> Result<ProtocolRequest> {
+    verify_checked_frame(frame)?;
+    let body = frame.slice(CHECKED_HEADER..);
+    decode_request_shared(&body).map_err(corrupt)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1090,6 +1243,66 @@ mod tests {
         // And the original message still encodes identically afterwards.
         encode_response_to(&resp, &mut w);
         assert_eq!(w.chunks().flat_map(|s| s.iter().copied()).collect::<Vec<u8>>(), first);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn writer_crc_streams_over_value_segments() {
+        let (resp, _) = large_oob(4096);
+        let mut w = Writer::new();
+        encode_response_to(&resp, &mut w);
+        assert!(w.chunks().count() >= 3, "must actually exercise segmented output");
+        assert_eq!(w.crc32(), crc32(&encode_response(&resp)));
+    }
+
+    #[test]
+    fn checked_frames_roundtrip() {
+        let req = ProtocolRequest::Oob { from: NodeId(1), item: ItemId(9) };
+        let back = decode_request_checked(&encode_request_checked(&req)).unwrap();
+        assert_eq!(format!("{back:?}"), format!("{req:?}"));
+        let (resp, _) = large_oob(1024);
+        let frame = Bytes::from(encode_response_checked(&resp));
+        let back = decode_response_checked_shared(&frame).unwrap();
+        assert_eq!(format!("{back:?}"), format!("{resp:?}"));
+    }
+
+    #[test]
+    fn checked_shared_decode_stays_zero_copy() {
+        let (resp, _) = large_oob(1024);
+        let frame = Bytes::from(encode_response_checked(&resp));
+        match decode_response_checked_shared(&frame).unwrap() {
+            ProtocolResponse::Oob(reply) => {
+                assert!(reply.value.shares_storage_with(&frame));
+            }
+            other => panic!("kind changed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_a_corrupt_frame() {
+        let req = ProtocolRequest::Oob { from: NodeId(2), item: ItemId(3) };
+        let frame = encode_request_checked(&req);
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            match decode_request_checked(&bad) {
+                Err(Error::CorruptFrame(_)) => {}
+                other => panic!("flip at byte {i}: expected CorruptFrame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn short_checked_frames_rejected() {
+        for len in 0..CHECKED_HEADER {
+            assert!(matches!(decode_request_checked(&vec![0u8; len]), Err(Error::CorruptFrame(_))));
+        }
     }
 
     #[test]

@@ -197,8 +197,14 @@ impl Replica {
                 // The IVV is cloned only when the item actually goes on the
                 // want-list (it travels in message 3).
                 VvOrd::Dominates => request.wants.push((x, self.store.get(x)?.ivv.clone())),
-                VvOrd::Equal => self.counters.equal_receipts += 1,
-                VvOrd::DominatedBy => self.counters.stale_receipts += 1,
+                VvOrd::Equal => {
+                    self.counters.equal_receipts += 1;
+                    self.costs.redundant_deliveries += 1;
+                }
+                VvOrd::DominatedBy => {
+                    self.counters.stale_receipts += 1;
+                    self.costs.redundant_deliveries += 1;
+                }
                 VvOrd::Concurrent => {
                     eval.conflicts += 1;
                     let offending = {
@@ -307,6 +313,7 @@ impl Replica {
                     };
                     if !chain_ok {
                         self.counters.stale_receipts += 1;
+                        self.costs.redundant_deliveries += 1;
                         refused.insert(x);
                         continue;
                     }

@@ -22,6 +22,8 @@
 //! protocol tracing, and paranoid post-step audits all live at this
 //! dispatch boundary, so every transport gets them uniformly and for free.
 
+use std::time::Instant;
+
 use epidb_common::costs::wire;
 use epidb_common::trace::{OrdTag, TraceStep};
 use epidb_common::{Error, ItemId, NodeId, Result};
@@ -32,6 +34,7 @@ use crate::messages::{OobReply, PropagationResponse};
 use crate::oob::OobOutcome;
 use crate::propagation::PullOutcome;
 use crate::replica::Replica;
+use crate::retry::RetryPolicy;
 
 /// A request message of the protocol, as executed by [`Engine::handle`]
 /// and serialized by [`crate::codec`].
@@ -223,6 +226,16 @@ pub trait Transport {
     fn exchange(&mut self, req: ProtocolRequest) -> Result<ProtocolResponse>;
 }
 
+impl<T: Transport + ?Sized> Transport for &mut T {
+    fn peer(&self) -> NodeId {
+        (**self).peer()
+    }
+
+    fn exchange(&mut self, req: ProtocolRequest) -> Result<ProtocolResponse> {
+        (**self).exchange(req)
+    }
+}
+
 /// Access to the initiating replica between exchanges.
 ///
 /// Drivers never hold the replica across a blocking
@@ -361,9 +374,77 @@ impl Engine {
         Ok(resp)
     }
 
+    /// The shared retry loop: run `round` until it succeeds, the error is
+    /// not transient, attempts run out, or the deadline passes. Rounds are
+    /// idempotent (each attempt restarts from the recipient's *current*
+    /// DBVV, and re-shipped dominated items are no-ops by IVV comparison),
+    /// so retrying a whole round is always safe.
+    ///
+    /// Accounting happens here, at the same boundary as message charging:
+    /// every extra attempt charges `retries`, and every corrupt frame
+    /// observed — whichever layer detected it — charges
+    /// `corrupt_frames_dropped` on the recipient.
+    fn retry_loop<H, T, R>(
+        recipient: &mut H,
+        transport: &mut T,
+        policy: &RetryPolicy,
+        mut round: impl FnMut(&mut H, &mut T) -> Result<R>,
+    ) -> Result<R>
+    where
+        H: ReplicaHost,
+        T: Transport,
+    {
+        let start = Instant::now();
+        let mut failed = 0u32;
+        loop {
+            match round(recipient, transport) {
+                Ok(out) => return Ok(out),
+                Err(e) => {
+                    if matches!(e, Error::CorruptFrame(_)) {
+                        recipient.with(|r| r.note_corrupt_frame());
+                    }
+                    failed += 1;
+                    if !policy.retryable(&e)
+                        || failed >= policy.max_attempts
+                        || policy.deadline_exceeded(start)
+                    {
+                        return Err(e);
+                    }
+                    recipient.with(|r| r.note_retry());
+                    let pause = policy.backoff(failed);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+            }
+        }
+    }
+
     /// Drive one whole-item anti-entropy pull (§5.1) as the recipient,
-    /// against any transport.
+    /// against any transport. No retries; see [`Engine::pull_with`].
     pub fn pull<H, T>(recipient: &mut H, transport: &mut T) -> Result<PullOutcome>
+    where
+        H: ReplicaHost,
+        T: Transport,
+    {
+        Self::pull_with(recipient, transport, &RetryPolicy::none())
+    }
+
+    /// As [`Engine::pull`], retrying the whole round under `policy` when
+    /// an exchange fails transiently.
+    pub fn pull_with<H, T>(
+        recipient: &mut H,
+        transport: &mut T,
+        policy: &RetryPolicy,
+    ) -> Result<PullOutcome>
+    where
+        H: ReplicaHost,
+        T: Transport,
+    {
+        Self::retry_loop(recipient, transport, policy, Self::pull_round)
+    }
+
+    fn pull_round<H, T>(recipient: &mut H, transport: &mut T) -> Result<PullOutcome>
     where
         H: ReplicaHost,
         T: Transport,
@@ -385,8 +466,44 @@ impl Engine {
     }
 
     /// Drive one delta-mode pull (§2's update-record shipping; messages
-    /// 1–4) as the recipient, against any transport.
+    /// 1–4) as the recipient, against any transport. No retries; see
+    /// [`Engine::pull_delta_with`].
     pub fn pull_delta<H, T>(recipient: &mut H, transport: &mut T) -> Result<PullOutcome>
+    where
+        H: ReplicaHost,
+        T: Transport,
+    {
+        Self::pull_delta_with(recipient, transport, &RetryPolicy::none())
+    }
+
+    /// As [`Engine::pull_delta`], with two layers of resilience: each
+    /// delta round retries under `policy`, and if the four-message delta
+    /// exchange *still* fails transiently, the driver degrades to the
+    /// two-message whole-item pull — fewer exchanges to survive, and the
+    /// recipient catches up with values instead of op chains. (The
+    /// responder-side budget check degrades per *item* inside the delta
+    /// payload; this ladder covers the whole-round failure case.)
+    pub fn pull_delta_with<H, T>(
+        recipient: &mut H,
+        transport: &mut T,
+        policy: &RetryPolicy,
+    ) -> Result<PullOutcome>
+    where
+        H: ReplicaHost,
+        T: Transport,
+    {
+        match Self::retry_loop(recipient, transport, policy, Self::pull_delta_round) {
+            Err(e) if policy.retryable(&e) => {
+                // The degradation is one more attempt at the round, in a
+                // cheaper mode; charge it as such.
+                recipient.with(|r| r.note_retry());
+                Self::pull_with(recipient, transport, policy)
+            }
+            other => other,
+        }
+    }
+
+    fn pull_delta_round<H, T>(recipient: &mut H, transport: &mut T) -> Result<PullOutcome>
     where
         H: ReplicaHost,
         T: Transport,
@@ -420,8 +537,30 @@ impl Engine {
     }
 
     /// Drive one out-of-bound copy of `item` (§5.2) as the recipient,
-    /// against any transport.
+    /// against any transport. No retries; see [`Engine::oob_with`].
     pub fn oob<H, T>(recipient: &mut H, transport: &mut T, item: ItemId) -> Result<OobOutcome>
+    where
+        H: ReplicaHost,
+        T: Transport,
+    {
+        Self::oob_with(recipient, transport, item, &RetryPolicy::none())
+    }
+
+    /// As [`Engine::oob`], retrying the one-item exchange under `policy`.
+    pub fn oob_with<H, T>(
+        recipient: &mut H,
+        transport: &mut T,
+        item: ItemId,
+        policy: &RetryPolicy,
+    ) -> Result<OobOutcome>
+    where
+        H: ReplicaHost,
+        T: Transport,
+    {
+        Self::retry_loop(recipient, transport, policy, |h, t| Self::oob_round(h, t, item))
+    }
+
+    fn oob_round<H, T>(recipient: &mut H, transport: &mut T, item: ItemId) -> Result<OobOutcome>
     where
         H: ReplicaHost,
         T: Transport,
@@ -494,5 +633,119 @@ mod tests {
         assert!(matches!(err, Error::Network(ref m) if m.contains("databases")));
         let err = unexpected("pull", &ProtocolResponse::Error("boom".into()));
         assert!(matches!(err, Error::Network(ref m) if m.contains("boom")));
+    }
+
+    /// Fails the first `failures` exchanges, then behaves; optionally only
+    /// for delta-mode requests (to exercise the degradation ladder).
+    struct Flaky<'a> {
+        inner: LocalTransport<'a>,
+        failures: u32,
+        delta_only: bool,
+    }
+
+    impl Transport for Flaky<'_> {
+        fn peer(&self) -> NodeId {
+            self.inner.peer()
+        }
+
+        fn exchange(&mut self, req: ProtocolRequest) -> Result<ProtocolResponse> {
+            let is_delta = matches!(
+                req,
+                ProtocolRequest::DeltaPull { .. } | ProtocolRequest::DeltaFetch { .. }
+            );
+            if self.failures > 0 && (!self.delta_only || is_delta) {
+                self.failures -= 1;
+                return Err(Error::Network("flaky".into()));
+            }
+            self.inner.exchange(req)
+        }
+    }
+
+    #[test]
+    fn pull_with_retries_through_transient_failures() {
+        let (mut a, mut b) = pair();
+        a.update(ItemId(1), UpdateOp::set(&b"v"[..])).unwrap();
+        let mut t = Flaky { inner: LocalTransport::new(&mut a), failures: 2, delta_only: false };
+        let policy = crate::RetryPolicy::attempts(4);
+        let out = Engine::pull_with(&mut b, &mut t, &policy).unwrap();
+        assert_eq!(out.copied(), &[ItemId(1)]);
+        assert_eq!(b.costs().retries, 2);
+    }
+
+    #[test]
+    fn no_retry_policy_fails_on_first_error() {
+        let (mut a, mut b) = pair();
+        let mut t = Flaky { inner: LocalTransport::new(&mut a), failures: 1, delta_only: false };
+        assert!(Engine::pull(&mut b, &mut t).is_err());
+        assert_eq!(b.costs().retries, 0);
+    }
+
+    #[test]
+    fn exhausted_attempts_surface_the_error() {
+        let (mut a, mut b) = pair();
+        let mut t = Flaky { inner: LocalTransport::new(&mut a), failures: 10, delta_only: false };
+        let policy = crate::RetryPolicy::attempts(3);
+        assert!(Engine::pull_with(&mut b, &mut t, &policy).is_err());
+        assert_eq!(b.costs().retries, 2, "three attempts = two retries");
+    }
+
+    #[test]
+    fn delta_degrades_to_whole_item_pull() {
+        let (mut a, mut b) = pair();
+        a.update(ItemId(2), UpdateOp::set(&b"w"[..])).unwrap();
+        // Delta exchanges always fail; the whole-item path is healthy.
+        let mut t =
+            Flaky { inner: LocalTransport::new(&mut a), failures: u32::MAX, delta_only: true };
+        let policy = crate::RetryPolicy::attempts(2);
+        let out = Engine::pull_delta_with(&mut b, &mut t, &policy).unwrap();
+        assert_eq!(out.copied(), &[ItemId(2)]);
+        assert_eq!(b.read(ItemId(2)).unwrap().as_bytes(), b"w");
+        assert!(b.costs().retries >= 2, "delta retry + degradation both charge");
+    }
+
+    #[test]
+    fn corrupt_frames_are_counted_and_retried() {
+        let (mut a, mut b) = pair();
+        a.update(ItemId(1), UpdateOp::set(&b"v"[..])).unwrap();
+        struct CorruptOnce<'a>(LocalTransport<'a>, bool);
+        impl Transport for CorruptOnce<'_> {
+            fn peer(&self) -> NodeId {
+                self.0.peer()
+            }
+            fn exchange(&mut self, req: ProtocolRequest) -> Result<ProtocolResponse> {
+                if !self.1 {
+                    self.1 = true;
+                    return Err(Error::CorruptFrame("crc mismatch".into()));
+                }
+                self.0.exchange(req)
+            }
+        }
+        let mut t = CorruptOnce(LocalTransport::new(&mut a), false);
+        let policy = crate::RetryPolicy::attempts(3);
+        let out = Engine::pull_with(&mut b, &mut t, &policy).unwrap();
+        assert_eq!(out.copied(), &[ItemId(1)]);
+        assert_eq!(b.costs().corrupt_frames_dropped, 1);
+        assert_eq!(b.costs().retries, 1);
+    }
+
+    #[test]
+    fn non_transient_errors_never_retry() {
+        let (mut a, mut b) = pair();
+        struct Wrong<'a>(LocalTransport<'a>, u32);
+        impl Transport for Wrong<'_> {
+            fn peer(&self) -> NodeId {
+                self.0.peer()
+            }
+            fn exchange(&mut self, _req: ProtocolRequest) -> Result<ProtocolResponse> {
+                self.1 += 1;
+                Err(Error::UnknownItem(ItemId(99)))
+            }
+        }
+        let _ = &mut a;
+        let mut t = Wrong(LocalTransport::new(&mut a), 0);
+        let policy = crate::RetryPolicy::attempts(5);
+        assert!(Engine::pull_with(&mut b, &mut t, &policy).is_err());
+        assert_eq!(t.1, 1, "a non-retryable error must not be retried");
+        assert_eq!(b.costs().retries, 0);
     }
 }

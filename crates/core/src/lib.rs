@@ -48,6 +48,7 @@
 //! assert!(matches!(pull(&mut b, &mut a).unwrap(), PullOutcome::UpToDate));
 //! ```
 
+pub mod chaos;
 pub mod codec;
 pub mod delta;
 pub mod engine;
@@ -58,12 +59,14 @@ pub mod paranoid;
 pub mod policy;
 pub mod propagation;
 pub mod replica;
+pub mod retry;
 pub mod server;
 pub mod snapshot;
 pub mod tokens;
 
 mod intranode;
 
+pub use chaos::{ChaosLink, ChaosStats, ChaosTransport, FaultPlan, PartitionWindow};
 pub use delta::{
     pull_delta, DeltaItem, DeltaOffer, DeltaOfferResponse, DeltaPayload, DeltaRequest,
 };
@@ -78,5 +81,6 @@ pub use paranoid::{AuditCheck, AuditViolation, ParanoidReport, ReplicaAuditor};
 pub use policy::ConflictPolicy;
 pub use propagation::{pull, AcceptOutcome, PullOutcome};
 pub use replica::{AuxItem, ProtocolCounters, Replica};
+pub use retry::RetryPolicy;
 pub use server::{pull_server, pull_server_delta, LocalServerTransport, Server, ServerPullOutcome};
 pub use tokens::TokenManager;

@@ -77,6 +77,7 @@ impl Replica {
             }
             VvOrd::Equal | VvOrd::DominatedBy => {
                 let tag = if ord == VvOrd::Equal { OrdTag::Equal } else { OrdTag::DominatedBy };
+                self.costs.redundant_deliveries += 1;
                 self.trace_record(TraceStep::OobAccept, Some(x), Some(from), tag, 0);
                 OobOutcome::AlreadyCurrent
             }

@@ -162,6 +162,7 @@ impl Replica {
                     // Unreachable in conflict-free operation; harmless no-op
                     // when a previously refused item is re-shipped.
                     self.counters.equal_receipts += 1;
+                    self.costs.redundant_deliveries += 1;
                     self.trace_record(
                         TraceStep::AcceptItem,
                         Some(x),
@@ -175,6 +176,7 @@ impl Replica {
                     // conflict-free operation; reachable only after an
                     // external conflict resolution. Ignore the stale copy.
                     self.counters.stale_receipts += 1;
+                    self.costs.redundant_deliveries += 1;
                     self.trace_record(
                         TraceStep::AcceptItem,
                         Some(x),

@@ -245,6 +245,19 @@ impl Replica {
         self.costs.charge_message(control_bytes, payload_bytes);
     }
 
+    /// Charge one retried round attempt. Called by the engine's retry
+    /// loop; custom recovery layers may call it too.
+    pub fn note_retry(&mut self) {
+        self.costs.retries += 1;
+    }
+
+    /// Charge one frame dropped by the integrity check — at whichever
+    /// layer detected it (checked codec, framed transport, or the engine
+    /// observing a peer's in-band report).
+    pub fn note_corrupt_frame(&mut self) {
+        self.costs.corrupt_frames_dropped += 1;
+    }
+
     /// Rare-outcome counters.
     pub fn counters(&self) -> ProtocolCounters {
         self.counters

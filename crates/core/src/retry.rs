@@ -1,0 +1,178 @@
+//! Retry policy for recipient-driven sync rounds.
+//!
+//! The paper's rounds are idempotent: re-shipping an already-dominated
+//! item is a no-op by IVV comparison, and every exchange is initiated
+//! fresh from the recipient's current DBVV. That makes "retry the whole
+//! round" a safe and complete recovery strategy for every transient
+//! transport failure — lost frames, corrupt frames, reset connections,
+//! unreachable peers. This module provides the policy (bounded attempts,
+//! exponential backoff, deterministic jitter, an optional per-round
+//! deadline); the drivers in [`crate::engine`] provide the loop.
+
+use std::time::{Duration, Instant};
+
+use epidb_common::Error;
+
+/// How a sync round responds to transient transport failure.
+///
+/// Backoff for attempt `k` (1-based, after the `k`-th failure) is
+/// `base_backoff * 2^(k-1)` capped at `max_backoff`, then jittered
+/// deterministically from `jitter_seed` — two runs with the same policy
+/// and the same failures sleep identically, which keeps chaos runs
+/// replayable by seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per round (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff after the first failure.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff pause.
+    pub max_backoff: Duration,
+    /// Give up retrying once a round has spent this long, even with
+    /// attempts remaining. `None` = attempts are the only bound.
+    pub round_deadline: Option<Duration>,
+    /// Seed for the deterministic jitter applied to each backoff.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, fail on the first error. The behaviour of
+    /// every driver before this policy existed.
+    pub const fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            round_deadline: None,
+            jitter_seed: 0,
+        }
+    }
+
+    /// `attempts` tries with no backoff pause — for simulated transports,
+    /// where the fault process is driven by the harness, not by time.
+    pub const fn attempts(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: attempts,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            round_deadline: None,
+            jitter_seed: 0,
+        }
+    }
+
+    /// Whether `err` should be retried at all.
+    pub fn retryable(&self, err: &Error) -> bool {
+        self.max_attempts > 1 && err.is_retryable()
+    }
+
+    /// The pause before attempt `failed + 1`, where `failed` counts
+    /// failures so far (≥ 1). Exponential in `failed`, capped, with
+    /// deterministic ±25% jitter.
+    pub fn backoff(&self, failed: u32) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self.base_backoff.saturating_mul(1u32 << (failed - 1).min(16));
+        let capped = exp.min(self.max_backoff.max(self.base_backoff));
+        let nanos = capped.as_nanos() as u64;
+        // splitmix64 of (seed, attempt) — stable across runs, different
+        // across attempts, no shared state.
+        let mut z =
+            self.jitter_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(failed as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Scale into [0.75, 1.25) of the capped backoff.
+        let jittered = nanos / 4 * 3 + ((z % 512) * nanos / 1024);
+        Duration::from_nanos(jittered)
+    }
+
+    /// Whether a round that started at `start` has exhausted its deadline.
+    pub fn deadline_exceeded(&self, start: Instant) -> bool {
+        match self.round_deadline {
+            Some(d) => start.elapsed() >= d,
+            None => false,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// A conservative live-network default: 4 attempts, 2 ms → 100 ms
+    /// backoff, no deadline.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+            round_deadline: None,
+            jitter_seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_retries() {
+        let p = RetryPolicy::none();
+        assert!(!p.retryable(&Error::Network("lost".into())));
+        assert_eq!(p.backoff(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn only_transient_errors_retry() {
+        let p = RetryPolicy::default();
+        assert!(p.retryable(&Error::Network("lost".into())));
+        assert!(p.retryable(&Error::CorruptFrame("crc".into())));
+        assert!(!p.retryable(&Error::UnknownItem(epidb_common::ItemId(0))));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(16),
+            round_deadline: None,
+            jitter_seed: 7,
+        };
+        // Jitter keeps each pause within [0.75, 1.25) of the nominal value.
+        let within = |d: Duration, nominal_ms: u64| {
+            let n = Duration::from_millis(nominal_ms);
+            d >= n * 3 / 4 && d < n * 5 / 4
+        };
+        assert!(within(p.backoff(1), 2));
+        assert!(within(p.backoff(2), 4));
+        assert!(within(p.backoff(3), 8));
+        assert!(within(p.backoff(4), 16));
+        assert!(within(p.backoff(5), 16), "capped at max_backoff");
+    }
+
+    #[test]
+    fn backoff_is_deterministic() {
+        let p = RetryPolicy { jitter_seed: 42, ..RetryPolicy::default() };
+        let q = RetryPolicy { jitter_seed: 42, ..RetryPolicy::default() };
+        for k in 1..6 {
+            assert_eq!(p.backoff(k), q.backoff(k));
+        }
+    }
+
+    #[test]
+    fn attempts_policy_is_pause_free() {
+        let p = RetryPolicy::attempts(5);
+        assert!(p.retryable(&Error::Network("lost".into())));
+        for k in 1..5 {
+            assert_eq!(p.backoff(k), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn deadline_bounds_a_round() {
+        let p = RetryPolicy { round_deadline: Some(Duration::ZERO), ..RetryPolicy::default() };
+        assert!(p.deadline_exceeded(Instant::now()));
+        let p = RetryPolicy::default();
+        assert!(!p.deadline_exceeded(Instant::now()));
+    }
+}

@@ -9,6 +9,7 @@
 //! protocol once per database they share.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use epidb_common::{Costs, Error, ItemId, NodeId, Result};
 use epidb_store::{ItemValue, UpdateOp};
@@ -19,6 +20,7 @@ use crate::engine::{
 use crate::policy::ConflictPolicy;
 use crate::propagation::PullOutcome;
 use crate::replica::Replica;
+use crate::retry::RetryPolicy;
 
 /// A server hosting one protocol instance per named database.
 #[derive(Clone, Debug)]
@@ -188,17 +190,53 @@ impl Engine {
     /// Drive one anti-entropy session between two servers over any
     /// transport: ask the source which databases it hosts, then run the
     /// protocol once per shared database (a separate instance per
-    /// database, §2) in the chosen shipping mode.
+    /// database, §2) in the chosen shipping mode. No retries; see
+    /// [`Engine::pull_server_with`].
     pub fn pull_server<T: Transport>(
         recipient: &mut Server,
         transport: &mut T,
         mode: SyncMode,
     ) -> Result<ServerPullOutcome> {
-        let list = ProtocolRequest::ListDatabases { from: recipient.id };
-        recipient.meta_costs.charge_message(list.control_bytes(), list.payload_bytes());
-        let names = match transport.exchange(list)? {
-            ProtocolResponse::Databases(names) => names,
-            other => return Err(unexpected("list-databases", &other)),
+        Self::pull_server_with(recipient, transport, mode, &RetryPolicy::none())
+    }
+
+    /// As [`Engine::pull_server`], with `policy` applied independently to
+    /// the database-list prelude (retried here, charged to the server's
+    /// meta costs) and to each per-database round (retried by the replica
+    /// drivers, charged to that database's replica — with the delta mode's
+    /// degradation ladder intact).
+    pub fn pull_server_with<T: Transport>(
+        recipient: &mut Server,
+        transport: &mut T,
+        mode: SyncMode,
+        policy: &RetryPolicy,
+    ) -> Result<ServerPullOutcome> {
+        let start = Instant::now();
+        let mut failed = 0u32;
+        let names = loop {
+            let list = ProtocolRequest::ListDatabases { from: recipient.id };
+            recipient.meta_costs.charge_message(list.control_bytes(), list.payload_bytes());
+            match transport.exchange(list) {
+                Ok(ProtocolResponse::Databases(names)) => break names,
+                Ok(other) => return Err(unexpected("list-databases", &other)),
+                Err(e) => {
+                    if matches!(e, Error::CorruptFrame(_)) {
+                        recipient.meta_costs.corrupt_frames_dropped += 1;
+                    }
+                    failed += 1;
+                    if !policy.retryable(&e)
+                        || failed >= policy.max_attempts
+                        || policy.deadline_exceeded(start)
+                    {
+                        return Err(e);
+                    }
+                    recipient.meta_costs.retries += 1;
+                    let pause = policy.backoff(failed);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+            }
         };
 
         let mut outcome = ServerPullOutcome::default();
@@ -209,8 +247,8 @@ impl Engine {
             };
             let mut routed = DbTransport::new(transport, &name);
             let o = match mode {
-                SyncMode::WholeItem => Engine::pull(replica, &mut routed)?,
-                SyncMode::Delta => Engine::pull_delta(replica, &mut routed)?,
+                SyncMode::WholeItem => Engine::pull_with(replica, &mut routed, policy)?,
+                SyncMode::Delta => Engine::pull_delta_with(replica, &mut routed, policy)?,
             };
             outcome.per_database.push((name, o));
         }

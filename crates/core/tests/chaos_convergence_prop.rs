@@ -1,0 +1,164 @@
+//! Property test: anti-entropy under arbitrary chaos converges.
+//!
+//! For an arbitrary fault plan (loss up to 50% per leg, duplication,
+//! reordering, corruption, resets, healing partitions) and an arbitrary
+//! single-writer update schedule, a cluster of paranoid replicas driven
+//! by chaotic retried pulls and then healed must end with identical
+//! stores on every node — equal DBVVs, equal values, no conflicts, all
+//! invariants intact.
+
+use epidb_common::{ItemId, NodeId};
+use epidb_core::{
+    ChaosLink, Engine, FaultPlan, LocalTransport, PartitionWindow, Replica, RetryPolicy,
+};
+use epidb_store::UpdateOp;
+use epidb_vv::VvOrd;
+use proptest::prelude::*;
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        (0u32..=50, 0u32..=50),
+        (0u32..=30, 0u32..=30, 0u32..=30, 0u32..=20),
+        prop::collection::vec((0u64..30, 1u64..8), 0..3),
+    )
+        .prop_map(|((req, resp), (dup, reorder, corrupt, reset), windows)| FaultPlan {
+            request_loss: req as f64 / 100.0,
+            response_loss: resp as f64 / 100.0,
+            duplication: dup as f64 / 100.0,
+            reorder: reorder as f64 / 100.0,
+            corruption: corrupt as f64 / 100.0,
+            reset: reset as f64 / 100.0,
+            latency: std::time::Duration::ZERO,
+            partitions: windows
+                .into_iter()
+                .map(|(from, len)| PartitionWindow { from, until: from + len })
+                .collect(),
+        })
+}
+
+/// One step of the schedule: an update at a node (single-writer: node `w`
+/// writes only items with `item % n_nodes == w`) or a chaotic pull.
+#[derive(Clone, Debug)]
+enum Step {
+    Update { writer: usize, slot: usize, byte: u8, large: bool },
+    Pull { recipient: usize, source_offset: usize, delta: bool },
+}
+
+fn arb_steps(n_nodes: usize) -> impl Strategy<Value = Vec<Step>> {
+    let update = (0..n_nodes, 0usize..4, any::<u8>(), any::<bool>())
+        .prop_map(|(writer, slot, byte, large)| Step::Update { writer, slot, byte, large });
+    let pull =
+        (0..n_nodes, 1..n_nodes, any::<bool>()).prop_map(|(recipient, source_offset, delta)| {
+            Step::Pull { recipient, source_offset, delta }
+        });
+    prop::collection::vec(prop_oneof![update, pull], 1..40)
+}
+
+fn pull_pair(
+    replicas: &mut [Replica],
+    recipient: usize,
+    source: usize,
+    link: &mut ChaosLink,
+    policy: &RetryPolicy,
+    delta: bool,
+) -> epidb_common::Result<()> {
+    assert_ne!(recipient, source);
+    let (lo, hi) = replicas.split_at_mut(recipient.max(source));
+    let (r, s) = if recipient < source {
+        (&mut lo[recipient], &mut hi[0])
+    } else {
+        (&mut hi[0], &mut lo[source])
+    };
+    let mut transport = epidb_core::ChaosTransport::new(LocalTransport::new(s), link);
+    if delta {
+        Engine::pull_delta_with(r, &mut transport, policy).map(|_| ())
+    } else {
+        Engine::pull_with(r, &mut transport, policy).map(|_| ())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn chaotic_schedules_converge(
+        seed in any::<u64>(),
+        plan in arb_plan(),
+        steps in arb_steps(3),
+    ) {
+        let n_nodes = 3;
+        let n_items = 12;
+        let mut replicas: Vec<Replica> = (0..n_nodes)
+            .map(|i| {
+                let mut r = Replica::new(NodeId::from_index(i), n_nodes, n_items);
+                r.enable_delta(1 << 18);
+                r.set_paranoid(true);
+                r
+            })
+            .collect();
+        let mut links: Vec<Vec<Option<ChaosLink>>> = (0..n_nodes)
+            .map(|r| {
+                (0..n_nodes)
+                    .map(|s| {
+                        (r != s).then(|| {
+                            ChaosLink::new(
+                                seed.wrapping_add((r * n_nodes + s) as u64),
+                                plan.clone(),
+                            )
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        let policy = RetryPolicy::attempts(64);
+        let mut expected = vec![Vec::<u8>::new(); n_items];
+
+        for step in &steps {
+            match *step {
+                Step::Update { writer, slot, byte, large } => {
+                    let item = writer + slot * n_nodes;
+                    if item < n_items {
+                        let len = if large { 192 } else { 5 };
+                        let value = vec![byte; len];
+                        expected[item] = value.clone();
+                        replicas[writer]
+                            .update(ItemId(item as u32), UpdateOp::set(value))
+                            .expect("update");
+                    }
+                }
+                Step::Pull { recipient, source_offset, delta } => {
+                    let source = (recipient + source_offset) % n_nodes;
+                    let link = links[recipient][source].as_mut().expect("distinct");
+                    // Chaotic pulls may exhaust their retries; the healed
+                    // sweep below must still converge.
+                    let _ = pull_pair(&mut replicas, recipient, source, link, &policy, delta);
+                }
+            }
+        }
+
+        // Heal every link, then one full mesh of pulls per direction.
+        for row in &mut links {
+            for link in row.iter_mut().flatten() {
+                link.set_plan(FaultPlan::none());
+            }
+        }
+        for (r, row) in links.iter_mut().enumerate() {
+            for (s, link) in row.iter_mut().enumerate() {
+                let Some(link) = link.as_mut() else { continue };
+                pull_pair(&mut replicas, r, s, link, &policy, true).expect("healed pull failed");
+            }
+        }
+
+        // Identical stores everywhere, no conflicts, invariants intact.
+        let reference = replicas[0].dbvv().clone();
+        for r in &replicas {
+            prop_assert_eq!(r.dbvv().compare(&reference), VvOrd::Equal);
+            prop_assert_eq!(r.costs().conflicts_detected, 0);
+            r.check_invariants().expect("invariants");
+            for (item, want) in expected.iter().enumerate() {
+                let got = r.read_regular(ItemId(item as u32)).expect("item");
+                prop_assert_eq!(got.as_bytes(), &want[..]);
+            }
+        }
+    }
+}

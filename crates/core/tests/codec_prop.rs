@@ -285,3 +285,89 @@ fn empty_delta_offer_roundtrips() {
     let back = decode_response(&encode_response(&resp)).unwrap();
     assert_eq!(format!("{back:?}"), format!("{resp:?}"));
 }
+
+// --- checked (CRC32) envelope fuzzing ---------------------------------------
+
+use epidb_common::Error;
+use epidb_core::codec::{
+    decode_request_checked, decode_request_checked_shared, decode_response_checked,
+    decode_response_checked_shared, encode_request_checked, encode_response_checked,
+};
+
+fn is_corrupt<T: std::fmt::Debug>(r: Result<T, Error>) -> bool {
+    matches!(r, Err(Error::CorruptFrame(_)))
+}
+
+proptest! {
+    /// Flipping any single bit of a checked request frame must surface as
+    /// `CorruptFrame` — never a wrong decode, never a panic.
+    #[test]
+    fn bit_flipped_checked_requests_rejected(
+        req in arb_request(),
+        pos in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let mut frame = encode_request_checked(&req);
+        let idx = (pos % frame.len() as u64) as usize;
+        frame[idx] ^= 1 << bit;
+        prop_assert!(
+            is_corrupt(decode_request_checked(&frame)),
+            "flip at byte {} bit {} not caught", idx, bit
+        );
+        // The shared-buffer decoder must agree.
+        let shared = Bytes::from(frame);
+        prop_assert!(is_corrupt(decode_request_checked_shared(&shared)));
+    }
+
+    #[test]
+    fn bit_flipped_checked_responses_rejected(
+        resp in arb_response(),
+        pos in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let mut frame = encode_response_checked(&resp);
+        let idx = (pos % frame.len() as u64) as usize;
+        frame[idx] ^= 1 << bit;
+        prop_assert!(
+            is_corrupt(decode_response_checked(&frame)),
+            "flip at byte {} bit {} not caught", idx, bit
+        );
+        let shared = Bytes::from(frame);
+        prop_assert!(is_corrupt(decode_response_checked_shared(&shared)));
+    }
+
+    /// Replacing a whole byte with a different value is likewise caught.
+    #[test]
+    fn byte_stomped_checked_frames_rejected(
+        resp in arb_response(),
+        pos in any::<u64>(),
+        replacement in any::<u8>(),
+    ) {
+        let mut frame = encode_response_checked(&resp);
+        let idx = (pos % frame.len() as u64) as usize;
+        if frame[idx] != replacement {
+            frame[idx] = replacement;
+            prop_assert!(is_corrupt(decode_response_checked(&frame)));
+        }
+    }
+
+    /// Intact checked frames still round-trip.
+    #[test]
+    fn checked_requests_roundtrip(req in arb_request()) {
+        let frame = encode_request_checked(&req);
+        let back = decode_request_checked(&frame).unwrap();
+        prop_assert_eq!(format!("{back:?}"), format!("{req:?}"));
+    }
+
+    /// Arbitrary byte soup never panics the checked decoders, and anything
+    /// they reject is reported as a corrupt frame (the retryable shape).
+    #[test]
+    fn checked_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        if let Err(e) = decode_request_checked(&bytes) {
+            prop_assert!(matches!(e, Error::CorruptFrame(_)));
+        }
+        if let Err(e) = decode_response_checked(&bytes) {
+            prop_assert!(matches!(e, Error::CorruptFrame(_)));
+        }
+    }
+}

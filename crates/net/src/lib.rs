@@ -13,8 +13,11 @@
 //! responder, so cost accounting, tracing, and paranoid audits behave
 //! identically under channels, sockets, and in-process calls.
 //!
-//! The runtimes inject the failures the protocol is designed to survive:
-//! message loss, added latency, and node crashes/recoveries.
+//! The runtimes inject the failures the protocol is designed to survive —
+//! via the seed-deterministic [`ChaosTransport`](epidb_core::ChaosTransport)
+//! and its [`FaultPlan`](epidb_core::FaultPlan): message loss, duplication,
+//! reordering, corruption, latency, partitions, mid-exchange resets — plus
+//! node crashes/recoveries at the cluster level.
 //!
 //! ```
 //! use epidb_net::{ClusterConfig, ThreadedCluster};
@@ -39,5 +42,5 @@ pub mod transport;
 
 pub use message::NetMessage;
 pub use runtime::{ClusterConfig, ThreadedCluster};
-pub use tcp::{TcpCluster, TcpConfig, TcpTransport};
-pub use transport::{FaultInjector, MutexHost};
+pub use tcp::{TcpCluster, TcpConfig, TcpSocketOptions, TcpTransport};
+pub use transport::MutexHost;

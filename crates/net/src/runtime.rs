@@ -16,7 +16,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use epidb_common::{Error, ItemId, NodeId, Result};
 use epidb_core::{
-    Engine, OobOutcome, ProtocolRequest, ProtocolResponse, PullOutcome, Replica, Transport,
+    ChaosLink, ChaosTransport, Engine, FaultPlan, OobOutcome, ProtocolRequest, ProtocolResponse,
+    PullOutcome, Replica, RetryPolicy, Transport,
 };
 use epidb_store::UpdateOp;
 use epidb_vv::VvOrd;
@@ -25,19 +26,22 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::message::NetMessage;
-use crate::transport::{FaultInjector, MutexHost};
+use crate::transport::MutexHost;
 
 /// Tuning and fault-injection knobs for the threaded cluster.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ClusterConfig {
     /// How often each node initiates an anti-entropy pull from a random
     /// peer.
     pub gossip_interval: Duration,
-    /// Probability that either leg of an exchange is silently dropped.
+    /// Probability that either leg of an exchange is silently dropped
+    /// (shorthand for a [`FaultPlan::lossy`] plan; ignored when
+    /// `fault_plan` is set).
     pub loss_probability: f64,
-    /// Fixed delay added to each leg of every exchange.
+    /// Fixed delay added to every exchange (folded into the fault plan;
+    /// ignored when `fault_plan` is set).
     pub latency: Duration,
-    /// Seed for the per-node RNGs (peer choice, loss).
+    /// Seed for the per-node RNGs (peer choice) and per-link chaos.
     pub seed: u64,
     /// How long an initiator waits for a response before declaring the
     /// exchange lost (a crashed peer drops requests silently).
@@ -47,6 +51,12 @@ pub struct ClusterConfig {
     pub delta_budget: usize,
     /// Run every replica in paranoid mode (per-step invariant audits).
     pub paranoid: bool,
+    /// Full fault mix for gossip links; overrides `loss_probability` and
+    /// `latency` when set.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry policy the gossip loop applies within each anti-entropy
+    /// round (between rounds, the next tick is the retry).
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -59,7 +69,20 @@ impl Default for ClusterConfig {
             exchange_timeout: Duration::from_millis(500),
             delta_budget: 0,
             paranoid: false,
+            fault_plan: None,
+            retry: RetryPolicy::none(),
         }
+    }
+}
+
+impl ClusterConfig {
+    /// The fault plan gossip links run: `fault_plan` if set, else the
+    /// `loss_probability` / `latency` shorthand.
+    pub fn effective_plan(&self) -> FaultPlan {
+        self.fault_plan.clone().unwrap_or(FaultPlan {
+            latency: self.latency,
+            ..FaultPlan::lossy(self.loss_probability)
+        })
     }
 }
 
@@ -131,7 +154,8 @@ impl ThreadedCluster {
             let shared = nodes[i].clone();
             let peers = senders.clone();
             let run = running.clone();
-            handles.push(std::thread::spawn(move || gossip_loop(me, shared, peers, run, config)));
+            let cfg = config.clone();
+            handles.push(std::thread::spawn(move || gossip_loop(me, shared, peers, run, cfg)));
         }
         ThreadedCluster { nodes, senders, running, handles, config }
     }
@@ -202,6 +226,41 @@ impl ThreadedCluster {
         Engine::pull_delta(&mut MutexHost(&shared.replica), &mut self.transport(source))
     }
 
+    /// One whole-item pull through a caller-owned [`ChaosLink`] with a
+    /// retry policy — the chaos-soak entry point: the harness owns one
+    /// persistent link per (recipient, source) pair, so the fault process
+    /// is continuous and seed-deterministic across rounds.
+    pub fn pull_now_chaos(
+        &self,
+        recipient: NodeId,
+        source: NodeId,
+        link: &mut ChaosLink,
+        policy: &RetryPolicy,
+    ) -> Result<PullOutcome> {
+        assert_ne!(recipient, source, "a node cannot pull from itself");
+        self.checked(source)?;
+        let shared = self.checked(recipient)?;
+        let mut transport = ChaosTransport::new(self.transport(source), link);
+        Engine::pull_with(&mut MutexHost(&shared.replica), &mut transport, policy)
+    }
+
+    /// As [`pull_now_chaos`](Self::pull_now_chaos), in delta mode (with
+    /// the engine's delta-to-whole degradation ladder on retryable
+    /// failures).
+    pub fn pull_delta_now_chaos(
+        &self,
+        recipient: NodeId,
+        source: NodeId,
+        link: &mut ChaosLink,
+        policy: &RetryPolicy,
+    ) -> Result<PullOutcome> {
+        assert_ne!(recipient, source, "a node cannot pull from itself");
+        self.checked(source)?;
+        let shared = self.checked(recipient)?;
+        let mut transport = ChaosTransport::new(self.transport(source), link);
+        Engine::pull_delta_with(&mut MutexHost(&shared.replica), &mut transport, policy)
+    }
+
     /// Crash a node: it drops all traffic and initiates nothing until
     /// revived. Its durable state (the replica) survives, as a recovering
     /// server's disk would.
@@ -225,14 +284,23 @@ impl ThreadedCluster {
     /// reached.
     pub fn quiesce(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
+        // Exponential backoff between probes: start near the gossip
+        // interval, double up to a cap, never sleep past the deadline.
+        let mut pause = self
+            .config
+            .gossip_interval
+            .min(Duration::from_millis(1))
+            .max(Duration::from_micros(100));
         loop {
             if self.is_quiescent() {
                 return true;
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return false;
             }
-            std::thread::sleep(self.config.gossip_interval.min(Duration::from_millis(5)));
+            std::thread::sleep(pause.min(deadline - now));
+            pause = (pause * 2).min(Duration::from_millis(50));
         }
     }
 
@@ -305,6 +373,18 @@ fn gossip_loop(
 ) {
     let n = senders.len();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (me.index() as u64).wrapping_mul(0x9E37_79B9));
+    // One persistent chaos link per peer: the fault process on each link
+    // is continuous across gossip rounds and deterministic in
+    // (seed, me, peer).
+    let plan = cfg.effective_plan();
+    let mut links: Vec<ChaosLink> = (0..n)
+        .map(|peer| {
+            let link_seed = cfg
+                .seed
+                .wrapping_add(((me.index() * n + peer) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            ChaosLink::new(link_seed, plan.clone())
+        })
+        .collect();
     while running.load(Ordering::SeqCst) {
         // Sleep the gossip interval in small slices so shutdown is prompt
         // even with long intervals.
@@ -327,15 +407,14 @@ fn gossip_loop(
             sender: &senders[peer],
             timeout: cfg.exchange_timeout,
         };
-        let mut transport =
-            FaultInjector::new(channel, &mut rng, cfg.loss_probability, cfg.latency);
+        let mut transport = ChaosTransport::new(channel, &mut links[peer]);
         let mut host = MutexHost(&shared.replica);
-        // Loss and crashed peers surface as errors; gossip just retries
-        // on the next tick.
+        // Faults and crashed peers exhaust the in-round retry policy and
+        // surface as errors; gossip then just retries on the next tick.
         let _ = if cfg.delta_budget > 0 {
-            Engine::pull_delta(&mut host, &mut transport)
+            Engine::pull_delta_with(&mut host, &mut transport, &cfg.retry)
         } else {
-            Engine::pull(&mut host, &mut transport)
+            Engine::pull_with(&mut host, &mut transport, &cfg.retry)
         };
     }
 }

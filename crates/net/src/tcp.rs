@@ -3,9 +3,12 @@
 //! Each replica gets a listener thread (spawning one serving thread per
 //! accepted connection) and a gossip thread (periodically connecting to a
 //! random peer and pulling). Frames are a 4-byte little-endian length
-//! followed by a [`codec`](epidb_core::codec)-encoded engine enum — the
+//! followed by the checked envelope of [`codec`](epidb_core::codec): a
+//! CRC32 over the encoded engine enum, then the encoding itself — the
 //! socket carries exactly the [`ProtocolRequest`] / [`ProtocolResponse`]
-//! pairs every other runtime exchanges, and the byte counts charged by
+//! pairs every other runtime exchanges, every frame is verified before it
+//! is decoded (corruption surfaces as the retryable
+//! [`Error::CorruptFrame`]), and the byte counts charged by
 //! [`Costs`](epidb_common::Costs) inside the engine correspond to what
 //! actually crosses the wire.
 
@@ -19,10 +22,12 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use epidb_common::{Error, ItemId, NodeId, Result};
 use epidb_core::codec::{
-    decode_request, decode_response_shared, encode_request_to, encode_response_to, Writer,
+    decode_request_checked, decode_response_checked_shared, encode_request_to, encode_response_to,
+    Writer, CHECKED_HEADER,
 };
 use epidb_core::{
-    Engine, OobOutcome, ProtocolRequest, ProtocolResponse, PullOutcome, Replica, Transport,
+    ChaosLink, ChaosTransport, Engine, FaultPlan, OobOutcome, ProtocolRequest, ProtocolResponse,
+    PullOutcome, Replica, RetryPolicy, Transport,
 };
 use epidb_store::UpdateOp;
 use epidb_vv::VvOrd;
@@ -30,28 +35,67 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::transport::{FaultInjector, MutexHost};
+use crate::transport::MutexHost;
 
 /// Maximum accepted frame size (64 MiB) — guards against corrupt length
 /// prefixes.
 const MAX_FRAME: u32 = 64 << 20;
 
+/// Socket-level tuning for [`TcpTransport`]: every timeout the transport
+/// applies, plus the connect retry schedule. No hardcoded timeouts remain
+/// in the transport itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcpSocketOptions {
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout (both the initiator awaiting a response and
+    /// the server awaiting the next request).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Connect attempts before giving up with
+    /// [`Error::PeerUnavailable`].
+    pub connect_attempts: u32,
+    /// Base pause between connect attempts (doubles per failure).
+    pub connect_backoff: Duration,
+}
+
+impl Default for TcpSocketOptions {
+    fn default() -> Self {
+        TcpSocketOptions {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            connect_attempts: 3,
+            connect_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
 /// Tuning and fault-injection knobs for the TCP cluster.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct TcpConfig {
     /// How often each node initiates a pull from a random peer.
     pub gossip_interval: Duration,
-    /// Seed for peer selection and loss injection.
+    /// Seed for peer selection and per-link chaos.
     pub seed: u64,
-    /// Probability that either leg of a gossip exchange is dropped (the
-    /// response is still read off the socket, then discarded — a loss on
-    /// the return path, not a protocol error).
+    /// Probability that either leg of a gossip exchange is dropped
+    /// (shorthand for a [`FaultPlan::lossy`] plan; ignored when
+    /// `fault_plan` is set).
     pub loss_probability: f64,
     /// Op-cache budget per replica; when non-zero, gossip runs in delta
     /// mode.
     pub delta_budget: usize,
     /// Run every replica in paranoid mode (per-step invariant audits).
     pub paranoid: bool,
+    /// Socket timeouts and connect retry schedule.
+    pub socket: TcpSocketOptions,
+    /// Full fault mix for gossip links; overrides `loss_probability`
+    /// when set.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry policy the gossip loop applies within each anti-entropy
+    /// round (between rounds, the next tick is the retry).
+    pub retry: RetryPolicy,
 }
 
 impl Default for TcpConfig {
@@ -62,7 +106,18 @@ impl Default for TcpConfig {
             loss_probability: 0.0,
             delta_budget: 0,
             paranoid: false,
+            socket: TcpSocketOptions::default(),
+            fault_plan: None,
+            retry: RetryPolicy::none(),
         }
+    }
+}
+
+impl TcpConfig {
+    /// The fault plan gossip links run: `fault_plan` if set, else the
+    /// `loss_probability` shorthand.
+    pub fn effective_plan(&self) -> FaultPlan {
+        self.fault_plan.clone().unwrap_or(FaultPlan::lossy(self.loss_probability))
     }
 }
 
@@ -99,18 +154,23 @@ fn write_all_vectored(stream: &mut TcpStream, mut bufs: Vec<&[u8]>) -> std::io::
     stream.flush()
 }
 
-/// Send one frame: a 4-byte little-endian length followed by the writer's
-/// chunks, in a single vectored write — value segments are never copied
-/// into a contiguous send buffer.
+/// Send one frame: a 4-byte little-endian length, the 4-byte CRC32 of the
+/// body, then the writer's chunks, in a single vectored write — value
+/// segments are never copied into a contiguous send buffer (the checksum
+/// streams over the chunk list, so it costs no copies either).
 fn write_frame(stream: &mut TcpStream, w: &Writer) -> Result<()> {
-    let len = (w.len() as u32).to_le_bytes();
+    let len = ((w.len() + CHECKED_HEADER) as u32).to_le_bytes();
+    let crc = w.crc32().to_le_bytes();
     let mut bufs: Vec<&[u8]> = Vec::with_capacity(8);
     bufs.push(&len);
+    bufs.push(&crc);
     bufs.extend(w.chunks());
     write_all_vectored(stream, bufs).map_err(|e| Error::Network(format!("send frame: {e}")))
 }
 
 /// Read one frame body into `body` (reused across frames; only grows).
+/// The body is the checked envelope — CRC32 followed by the encoding —
+/// still unverified; the checked decoders verify before touching it.
 fn read_frame_into(stream: &mut TcpStream, body: &mut Vec<u8>) -> Result<()> {
     let mut len_buf = [0u8; 4];
     stream
@@ -137,11 +197,14 @@ fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>> {
 
 /// A [`Transport`] over a TCP connection to one peer's server: each
 /// exchange writes a request frame and reads a response frame. The
-/// connection is opened lazily and reused across the exchanges of a sync
+/// connection is opened lazily — retrying per
+/// [`TcpSocketOptions::connect_attempts`], then failing with the typed
+/// [`Error::PeerUnavailable`] — and reused across the exchanges of a sync
 /// round; any I/O error discards it so the next exchange reconnects.
 pub struct TcpTransport {
     peer: NodeId,
     addr: SocketAddr,
+    options: TcpSocketOptions,
     stream: Option<TcpStream>,
     /// Reusable request encoder: after the first exchange, encoding a
     /// request performs no allocations.
@@ -149,19 +212,48 @@ pub struct TcpTransport {
 }
 
 impl TcpTransport {
-    /// A transport to the server of `peer` listening at `addr`.
+    /// A transport to the server of `peer` listening at `addr`, with
+    /// default socket options.
     pub fn new(peer: NodeId, addr: SocketAddr) -> TcpTransport {
-        TcpTransport { peer, addr, stream: None, writer: Writer::new() }
+        TcpTransport::with_options(peer, addr, TcpSocketOptions::default())
+    }
+
+    /// A transport with explicit timeouts and connect retry schedule.
+    pub fn with_options(peer: NodeId, addr: SocketAddr, options: TcpSocketOptions) -> TcpTransport {
+        TcpTransport { peer, addr, options, stream: None, writer: Writer::new() }
+    }
+
+    /// Drop the current connection (if any); the next exchange reconnects.
+    /// Lets tests and harnesses exercise the reconnect path directly.
+    pub fn reset(&mut self) {
+        self.stream = None;
     }
 
     fn connect(&mut self) -> Result<&mut TcpStream> {
         if self.stream.is_none() {
-            let stream = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500))
-                .map_err(|e| Error::Network(format!("connect {}: {e}", self.addr)))?;
-            stream
-                .set_read_timeout(Some(Duration::from_secs(5)))
-                .map_err(|e| Error::Network(format!("socket option: {e}")))?;
-            self.stream = Some(stream);
+            let attempts = self.options.connect_attempts.max(1);
+            let mut backoff = self.options.connect_backoff;
+            for attempt in 1..=attempts {
+                match TcpStream::connect_timeout(&self.addr, self.options.connect_timeout) {
+                    Ok(stream) => {
+                        stream
+                            .set_read_timeout(Some(self.options.read_timeout))
+                            .and_then(|()| {
+                                stream.set_write_timeout(Some(self.options.write_timeout))
+                            })
+                            .map_err(|e| Error::Network(format!("socket option: {e}")))?;
+                        self.stream = Some(stream);
+                        break;
+                    }
+                    Err(_) if attempt < attempts => {
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(Duration::from_secs(1));
+                        }
+                    }
+                    Err(_) => return Err(Error::PeerUnavailable(self.peer)),
+                }
+            }
         }
         Ok(self.stream.as_mut().expect("just connected"))
     }
@@ -180,9 +272,11 @@ impl Transport for TcpTransport {
         let round = |stream: &mut TcpStream| -> Result<ProtocolResponse> {
             write_frame(stream, writer)?;
             // The received frame becomes the shared backing of the decoded
-            // response: values are zero-copy sub-views of it.
+            // response: after the CRC verifies, values are zero-copy
+            // sub-views of it. A failed check is a retryable CorruptFrame
+            // and nothing was aliased.
             let frame = Bytes::from(read_frame(stream)?);
-            decode_response_shared(&frame)
+            decode_response_checked_shared(&frame)
         };
         let resp = match round(stream) {
             Ok(resp) => resp,
@@ -240,13 +334,14 @@ impl TcpCluster {
             // Listener thread.
             let node = nodes[i].clone();
             let run = running.clone();
-            handles.push(std::thread::spawn(move || server_loop(listener, node, run)));
+            let socket = config.socket;
+            handles.push(std::thread::spawn(move || server_loop(listener, node, run, socket)));
             // Gossip thread.
             let node = nodes[i].clone();
             let run = running.clone();
             let peer_addrs = addrs.clone();
             let me = NodeId::from_index(i);
-            let cfg = config;
+            let cfg = config.clone();
             handles.push(std::thread::spawn(move || gossip_loop(me, node, peer_addrs, run, cfg)));
         }
         Ok(TcpCluster { nodes, addrs, running, handles, config })
@@ -282,6 +377,14 @@ impl TcpCluster {
         Ok(n)
     }
 
+    /// A fresh [`TcpTransport`] to `peer`'s server, with the cluster's
+    /// socket options — for tests and harnesses that wrap it (in a
+    /// [`ChaosTransport`], a reset shim, ...) and drive pulls through
+    /// [`pull_now_via`](Self::pull_now_via).
+    pub fn transport_to(&self, peer: NodeId) -> TcpTransport {
+        TcpTransport::with_options(peer, self.addr(peer), self.config.socket)
+    }
+
     /// Out-of-bound fetch over TCP, driven through the engine like every
     /// other exchange.
     pub fn oob_fetch(&self, recipient: NodeId, source: NodeId, item: ItemId) -> Result<OobOutcome> {
@@ -290,7 +393,7 @@ impl TcpCluster {
         }
         self.checked(source)?;
         let node = self.checked(recipient)?;
-        let mut transport = TcpTransport::new(source, self.addr(source));
+        let mut transport = self.transport_to(source);
         Engine::oob(&mut MutexHost(&node.replica), &mut transport, item)
     }
 
@@ -300,7 +403,7 @@ impl TcpCluster {
         assert_ne!(recipient, source, "a node cannot pull from itself");
         self.checked(source)?;
         let node = self.checked(recipient)?;
-        let mut transport = TcpTransport::new(source, self.addr(source));
+        let mut transport = self.transport_to(source);
         Engine::pull(&mut MutexHost(&node.replica), &mut transport)
     }
 
@@ -309,8 +412,63 @@ impl TcpCluster {
         assert_ne!(recipient, source, "a node cannot pull from itself");
         self.checked(source)?;
         let node = self.checked(recipient)?;
-        let mut transport = TcpTransport::new(source, self.addr(source));
+        let mut transport = self.transport_to(source);
         Engine::pull_delta(&mut MutexHost(&node.replica), &mut transport)
+    }
+
+    /// One whole-item pull at `recipient` over a caller-supplied
+    /// transport (typically a wrapped [`transport_to`](Self::transport_to))
+    /// with a retry policy.
+    pub fn pull_now_via<T: Transport>(
+        &self,
+        recipient: NodeId,
+        transport: &mut T,
+        policy: &RetryPolicy,
+    ) -> Result<PullOutcome> {
+        let node = self.checked(recipient)?;
+        Engine::pull_with(&mut MutexHost(&node.replica), transport, policy)
+    }
+
+    /// As [`pull_now_via`](Self::pull_now_via), in delta mode (with the
+    /// engine's delta-to-whole degradation ladder on retryable failures).
+    pub fn pull_delta_now_via<T: Transport>(
+        &self,
+        recipient: NodeId,
+        transport: &mut T,
+        policy: &RetryPolicy,
+    ) -> Result<PullOutcome> {
+        let node = self.checked(recipient)?;
+        Engine::pull_delta_with(&mut MutexHost(&node.replica), transport, policy)
+    }
+
+    /// One whole-item pull through a caller-owned [`ChaosLink`] — the
+    /// chaos-soak entry point, as on
+    /// [`ThreadedCluster`](crate::ThreadedCluster).
+    pub fn pull_now_chaos(
+        &self,
+        recipient: NodeId,
+        source: NodeId,
+        link: &mut ChaosLink,
+        policy: &RetryPolicy,
+    ) -> Result<PullOutcome> {
+        assert_ne!(recipient, source, "a node cannot pull from itself");
+        self.checked(source)?;
+        let mut transport = ChaosTransport::new(self.transport_to(source), link);
+        self.pull_now_via(recipient, &mut transport, policy)
+    }
+
+    /// As [`pull_now_chaos`](Self::pull_now_chaos), in delta mode.
+    pub fn pull_delta_now_chaos(
+        &self,
+        recipient: NodeId,
+        source: NodeId,
+        link: &mut ChaosLink,
+        policy: &RetryPolicy,
+    ) -> Result<PullOutcome> {
+        assert_ne!(recipient, source, "a node cannot pull from itself");
+        self.checked(source)?;
+        let mut transport = ChaosTransport::new(self.transport_to(source), link);
+        self.pull_delta_now_via(recipient, &mut transport, policy)
     }
 
     /// Crash / revive a node (it refuses connections and stops gossiping
@@ -333,6 +491,11 @@ impl TcpCluster {
     /// state remains, or the deadline passes.
     pub fn quiesce(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
+        let mut pause = self
+            .config
+            .gossip_interval
+            .min(Duration::from_millis(1))
+            .max(Duration::from_micros(100));
         loop {
             let alive: Vec<&Arc<TcpNode>> =
                 self.nodes.iter().filter(|n| n.alive.load(Ordering::SeqCst)).collect();
@@ -352,10 +515,14 @@ impl TcpCluster {
             if quiet {
                 return true;
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return false;
             }
-            std::thread::sleep(self.config.gossip_interval.min(Duration::from_millis(5)));
+            // Exponential backoff between probes instead of a tight poll:
+            // quiescing clusters are checked often early, idle ones rarely.
+            std::thread::sleep(pause.min(deadline - now));
+            pause = (pause * 2).min(Duration::from_millis(50));
         }
     }
 
@@ -385,7 +552,12 @@ impl Drop for TcpCluster {
     }
 }
 
-fn server_loop(listener: TcpListener, node: Arc<TcpNode>, running: Arc<AtomicBool>) {
+fn server_loop(
+    listener: TcpListener,
+    node: Arc<TcpNode>,
+    running: Arc<AtomicBool>,
+    socket: TcpSocketOptions,
+) {
     while running.load(Ordering::SeqCst) {
         let Ok((stream, _)) = listener.accept() else {
             continue;
@@ -395,14 +567,22 @@ fn server_loop(listener: TcpListener, node: Arc<TcpNode>, running: Arc<AtomicBoo
         }
         let node = node.clone();
         let run = running.clone();
-        std::thread::spawn(move || serve_conn(stream, node, run));
+        std::thread::spawn(move || serve_conn(stream, node, run, socket));
     }
 }
 
 /// Serve one connection: a loop of request frame → [`Engine::handle`] →
 /// response frame. A crashed node drops the connection without replying.
-fn serve_conn(mut stream: TcpStream, node: Arc<TcpNode>, running: Arc<AtomicBool>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+/// A request that fails its CRC is counted at the serving replica and
+/// refused in-band — the initiator sees a retryable error and re-sends.
+fn serve_conn(
+    mut stream: TcpStream,
+    node: Arc<TcpNode>,
+    running: Arc<AtomicBool>,
+    socket: TcpSocketOptions,
+) {
+    let _ = stream.set_read_timeout(Some(socket.read_timeout));
+    let _ = stream.set_write_timeout(Some(socket.write_timeout));
     // Per-connection reusable buffers: request frames land in `body`,
     // responses encode into `writer` — in steady state a served exchange
     // allocates nothing on the control path and ships values as refcounted
@@ -419,10 +599,15 @@ fn serve_conn(mut stream: TcpStream, node: Arc<TcpNode>, running: Arc<AtomicBool
         if !node.alive.load(Ordering::SeqCst) {
             return; // crashed between frames: silently drop
         }
-        let resp = match decode_request(&body) {
+        let resp = match decode_request_checked(&body) {
             Ok(req) => Engine::handle(&mut node.replica.lock(), req)
                 .unwrap_or_else(|e| ProtocolResponse::Error(e.to_string())),
-            Err(e) => ProtocolResponse::Error(format!("bad request: {e}")),
+            Err(e) => {
+                if matches!(e, Error::CorruptFrame(_)) {
+                    node.replica.lock().note_corrupt_frame();
+                }
+                ProtocolResponse::Error(format!("bad request: {e}"))
+            }
         };
         encode_response_to(&resp, &mut writer);
         if write_frame(&mut stream, &writer).is_err() {
@@ -440,6 +625,16 @@ fn gossip_loop(
 ) {
     let n = addrs.len();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (me.index() as u64).wrapping_mul(0x51_7C_C1));
+    // One persistent chaos link per peer, deterministic in (seed, me, peer).
+    let plan = cfg.effective_plan();
+    let mut links: Vec<ChaosLink> = (0..n)
+        .map(|peer| {
+            let link_seed = cfg
+                .seed
+                .wrapping_add(((me.index() * n + peer) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            ChaosLink::new(link_seed, plan.clone())
+        })
+        .collect();
     while running.load(Ordering::SeqCst) {
         // Sleep the gossip interval in small slices so shutdown is prompt
         // even with long intervals.
@@ -457,15 +652,16 @@ fn gossip_loop(
         if peer == me.index() {
             peer = (peer + 1) % n;
         }
-        let tcp = TcpTransport::new(NodeId::from_index(peer), addrs[peer]);
-        let mut transport = FaultInjector::new(tcp, &mut rng, cfg.loss_probability, Duration::ZERO);
+        let tcp = TcpTransport::with_options(NodeId::from_index(peer), addrs[peer], cfg.socket);
+        let mut transport = ChaosTransport::new(tcp, &mut links[peer]);
         let mut host = MutexHost(&node.replica);
-        // Connection failures and injected loss surface as errors; gossip
-        // just retries on the next tick.
+        // Connection failures and injected faults exhaust the in-round
+        // retry policy and surface as errors; gossip then just retries on
+        // the next tick.
         let _ = if cfg.delta_budget > 0 {
-            Engine::pull_delta(&mut host, &mut transport)
+            Engine::pull_delta_with(&mut host, &mut transport, &cfg.retry)
         } else {
-            Engine::pull(&mut host, &mut transport)
+            Engine::pull_with(&mut host, &mut transport, &cfg.retry)
         };
     }
 }

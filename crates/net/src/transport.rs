@@ -1,13 +1,16 @@
 //! Transport plumbing shared by the threaded and TCP runtimes: the
-//! mutex-guarded [`ReplicaHost`] and the fault-injection wrapper.
+//! mutex-guarded [`ReplicaHost`].
+//!
+//! Fault injection lives in `epidb-core` now — [`ChaosTransport`]
+//! (composable over any [`Transport`](epidb_core::Transport), driven by a
+//! seed-deterministic [`FaultPlan`]) replaced the loss-and-latency-only
+//! `FaultInjector` that used to live here.
+//!
+//! [`ChaosTransport`]: epidb_core::ChaosTransport
+//! [`FaultPlan`]: epidb_core::FaultPlan
 
-use std::time::Duration;
-
-use epidb_common::{Error, Result};
-use epidb_core::{ProtocolRequest, ProtocolResponse, Replica, ReplicaHost, Transport};
+use epidb_core::{Replica, ReplicaHost};
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// A [`ReplicaHost`] over a mutex-guarded replica: each protocol step
 /// locks, runs, and unlocks, so no lock is ever held across a blocking
@@ -17,59 +20,5 @@ pub struct MutexHost<'a>(pub &'a Mutex<Replica>);
 impl ReplicaHost for MutexHost<'_> {
     fn with<R>(&mut self, f: impl FnOnce(&mut Replica) -> R) -> R {
         f(&mut self.0.lock())
-    }
-}
-
-/// Wraps any transport with message loss and fixed latency, applied
-/// independently to the request and the response leg of every exchange —
-/// the same fault model for channels and sockets.
-///
-/// A lost response still executed at the responder (and was charged
-/// there), exactly like a datagram dropped on the return path.
-pub struct FaultInjector<'a, T: Transport> {
-    inner: T,
-    rng: &'a mut StdRng,
-    loss_probability: f64,
-    latency: Duration,
-}
-
-impl<'a, T: Transport> FaultInjector<'a, T> {
-    /// Wrap `inner` with the given loss probability and per-leg latency.
-    pub fn new(
-        inner: T,
-        rng: &'a mut StdRng,
-        loss_probability: f64,
-        latency: Duration,
-    ) -> FaultInjector<'a, T> {
-        FaultInjector { inner, rng, loss_probability, latency }
-    }
-
-    fn lose(&mut self) -> bool {
-        self.loss_probability > 0.0 && self.rng.gen_bool(self.loss_probability)
-    }
-
-    fn delay(&self) {
-        if self.latency > Duration::ZERO {
-            std::thread::sleep(self.latency);
-        }
-    }
-}
-
-impl<T: Transport> Transport for FaultInjector<'_, T> {
-    fn peer(&self) -> epidb_common::NodeId {
-        self.inner.peer()
-    }
-
-    fn exchange(&mut self, req: ProtocolRequest) -> Result<ProtocolResponse> {
-        if self.lose() {
-            return Err(Error::Network("request dropped in transit".into()));
-        }
-        self.delay();
-        let resp = self.inner.exchange(req)?;
-        if self.lose() {
-            return Err(Error::Network("response dropped in transit".into()));
-        }
-        self.delay();
-        Ok(resp)
     }
 }

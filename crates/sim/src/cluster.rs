@@ -4,7 +4,10 @@
 
 use epidb_baselines::{SyncProtocol, SyncReport};
 use epidb_common::{Costs, Error, ItemId, NodeId, Result};
-use epidb_core::{ConflictPolicy, Engine, LocalTransport, OobOutcome, PullOutcome, Replica};
+use epidb_core::{
+    ChaosLink, ChaosTransport, ConflictPolicy, Engine, LocalTransport, OobOutcome, PullOutcome,
+    Replica, RetryPolicy,
+};
 use epidb_store::UpdateOp;
 
 /// A cluster of [`Replica`]s running the paper's protocol.
@@ -71,6 +74,35 @@ impl EpidbCluster {
     pub fn pull_delta_pair(&mut self, recipient: NodeId, source: NodeId) -> Result<PullOutcome> {
         let (r, s) = self.pair_mut(recipient, source);
         Engine::pull_delta(r, &mut LocalTransport::new(s))
+    }
+
+    /// As [`pull_pair`](Self::pull_pair), with the exchange subjected to
+    /// a caller-owned [`ChaosLink`] and the round retried per `policy` —
+    /// the chaos-soak entry point for the in-process runtime.
+    pub fn pull_pair_chaos(
+        &mut self,
+        recipient: NodeId,
+        source: NodeId,
+        link: &mut ChaosLink,
+        policy: &RetryPolicy,
+    ) -> Result<PullOutcome> {
+        let (r, s) = self.pair_mut(recipient, source);
+        let mut transport = ChaosTransport::new(LocalTransport::new(s), link);
+        Engine::pull_with(r, &mut transport, policy)
+    }
+
+    /// As [`pull_delta_pair`](Self::pull_delta_pair), under chaos with
+    /// retries (and the engine's delta-to-whole degradation ladder).
+    pub fn pull_delta_pair_chaos(
+        &mut self,
+        recipient: NodeId,
+        source: NodeId,
+        link: &mut ChaosLink,
+        policy: &RetryPolicy,
+    ) -> Result<PullOutcome> {
+        let (r, s) = self.pair_mut(recipient, source);
+        let mut transport = ChaosTransport::new(LocalTransport::new(s), link);
+        Engine::pull_delta_with(r, &mut transport, policy)
     }
 
     /// Enable the delta op cache on every replica.

@@ -83,3 +83,84 @@ fn tcp_delta_gossip_converges_under_loss() {
         assert!(r.audits_run() > 0);
     }
 }
+
+/// A transport wrapper that kills the TCP connection on one chosen
+/// exchange: the frame never goes out, the socket is dropped, and the
+/// caller sees a network error — a connection dying between the delta
+/// offer and the fetch.
+struct KillNthExchange {
+    inner: epidb::net::TcpTransport,
+    n: usize,
+    count: usize,
+}
+
+impl epidb::core::Transport for KillNthExchange {
+    fn peer(&self) -> NodeId {
+        self.inner.peer()
+    }
+
+    fn exchange(
+        &mut self,
+        req: epidb::core::ProtocolRequest,
+    ) -> Result<epidb::core::ProtocolResponse> {
+        self.count += 1;
+        if self.count == self.n {
+            self.inner.reset();
+            return Err(Error::Network("connection killed mid-exchange".into()));
+        }
+        self.inner.exchange(req)
+    }
+}
+
+/// Kill the connection between the delta offer and the delta fetch: the
+/// recipient saw the offer, the responder never got the fetch. The retry
+/// policy must ride through — the next attempt restarts the round from
+/// the current DBVV, reconnects, and converges — and the responder's
+/// invariants must hold throughout (serving an offer changes nothing).
+#[test]
+fn tcp_kill_between_delta_offer_and_fetch_retries_cleanly() {
+    use epidb::core::RetryPolicy;
+
+    let cluster = TcpCluster::spawn(
+        2,
+        10,
+        TcpConfig {
+            // The harness drives the only pulls.
+            gossip_interval: Duration::from_secs(3600),
+            delta_budget: 1 << 20,
+            paranoid: true,
+            ..TcpConfig::default()
+        },
+    )
+    .unwrap();
+
+    for i in 0..4u32 {
+        cluster.update(NodeId(0), ItemId(i), UpdateOp::set(vec![i as u8 + 1; 40])).unwrap();
+    }
+
+    // Exchange 1 is DeltaPull -> DeltaOffer; exchange 2 is the fetch.
+    let mut transport = KillNthExchange { inner: cluster.transport_to(NodeId(0)), n: 2, count: 0 };
+
+    // Without retries the round fails where the connection died...
+    let policy = RetryPolicy::none();
+    assert!(cluster.pull_delta_now_via(NodeId(1), &mut transport, &policy).is_err());
+
+    // ...and with retries the next attempt completes the round.
+    let mut transport = KillNthExchange { inner: cluster.transport_to(NodeId(0)), n: 2, count: 0 };
+    let policy = RetryPolicy::attempts(4);
+    let outcome = cluster.pull_delta_now_via(NodeId(1), &mut transport, &policy).unwrap();
+    assert!(!outcome.copied().is_empty(), "retry must complete the interrupted round");
+
+    for i in 0..4u32 {
+        assert_eq!(cluster.read(NodeId(1), ItemId(i)).unwrap(), vec![i as u8 + 1; 40]);
+    }
+    cluster.with_replica(NodeId(1), |r| {
+        assert!(r.costs().retries > 0, "the killed exchange must be counted as a retry");
+    });
+
+    let replicas = cluster.shutdown();
+    for r in &replicas {
+        r.check_invariants().unwrap_or_else(|e| panic!("invariant violated at {}: {e}", r.id()));
+        assert_eq!(r.costs().conflicts_detected, 0);
+    }
+}
