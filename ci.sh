@@ -29,4 +29,8 @@ grep -q '"schema": "epidb-perf-report/v1"' target/bench_smoke.json
 echo "== chaos soak smoke (seeded, deterministic) =="
 cargo run --release -q -p epidb-bench --bin chaos_soak -- --smoke --seed 42
 
+echo "== crash-restart recovery soak smoke (durable runtimes) =="
+cargo run --release -q -p epidb-bench --bin chaos_soak -- \
+  --smoke --seed 42 --restart-from-disk
+
 echo "CI green."

@@ -21,17 +21,28 @@
 //! The seed is printed on every run; a failing soak replays exactly with
 //! `--seed <printed seed>`.
 //!
+//! With `--restart-from-disk`, the soak instead runs the durable runtimes
+//! (threaded and TCP, each node journaling to an on-disk WAL with
+//! snapshot checkpoints) under a seeded kill/restart schedule: nodes are
+//! crashed mid-soak — really dropping their in-memory replicas — and
+//! later revived from disk, with paranoid audits on throughout. After the
+//! schedule, every node is revived and the soak asserts convergence to
+//! the per-item ground truth, replica invariants, and byte-identical
+//! [`Costs`] across two same-seed runs.
+//!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p epidb-bench --bin chaos_soak -- \
-//!     [--smoke] [--seed N] [--rounds N]
+//!     [--smoke] [--seed N] [--rounds N] [--restart-from-disk]
 //! ```
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use epidb_common::{Costs, ItemId, NodeId};
 use epidb_core::{ChaosLink, ChaosStats, FaultPlan, PartitionWindow, PullOutcome, RetryPolicy};
+use epidb_durable::DurabilityConfig;
 use epidb_net::{ClusterConfig, TcpCluster, TcpConfig, ThreadedCluster};
 use epidb_sim::EpidbCluster;
 use epidb_store::UpdateOp;
@@ -385,6 +396,279 @@ fn run_soak(
     SoakResult { costs: runtime.costs(n_nodes), stats: sum_stats(&links), heal_sweeps, double_oobs }
 }
 
+// --- the restart-from-disk soak ---------------------------------------------
+
+/// The slice of the durable runtimes the restart soak drives: the regular
+/// soak operations plus kill/restart.
+trait RestartRuntime {
+    fn update(&mut self, node: NodeId, item: ItemId, value: Vec<u8>);
+    fn pull(&mut self, recipient: NodeId, source: NodeId) -> epidb_common::Result<PullOutcome>;
+    fn oob(&mut self, recipient: NodeId, source: NodeId, item: ItemId);
+    fn value(&self, node: NodeId, item: ItemId) -> Vec<u8>;
+    fn converged(&self, n_nodes: usize) -> bool;
+    fn costs(&self, n_nodes: usize) -> Costs;
+    fn check_invariants(&self, n_nodes: usize);
+    fn crash(&mut self, node: NodeId);
+    fn revive(&mut self, node: NodeId);
+}
+
+impl RestartRuntime for Threaded {
+    fn update(&mut self, node: NodeId, item: ItemId, value: Vec<u8>) {
+        SoakRuntime::update(self, node, item, value);
+    }
+    fn pull(&mut self, recipient: NodeId, source: NodeId) -> epidb_common::Result<PullOutcome> {
+        self.0.pull_delta_now(recipient, source)
+    }
+    fn oob(&mut self, recipient: NodeId, source: NodeId, item: ItemId) {
+        SoakRuntime::oob(self, recipient, source, item);
+    }
+    fn value(&self, node: NodeId, item: ItemId) -> Vec<u8> {
+        SoakRuntime::value(self, node, item)
+    }
+    fn converged(&self, n_nodes: usize) -> bool {
+        SoakRuntime::converged(self, n_nodes)
+    }
+    fn costs(&self, n_nodes: usize) -> Costs {
+        SoakRuntime::costs(self, n_nodes)
+    }
+    fn check_invariants(&self, n_nodes: usize) {
+        SoakRuntime::check_invariants(self, n_nodes);
+    }
+    fn crash(&mut self, node: NodeId) {
+        self.0.crash(node);
+    }
+    fn revive(&mut self, node: NodeId) {
+        self.0.revive(node);
+    }
+}
+
+impl RestartRuntime for Tcp {
+    fn update(&mut self, node: NodeId, item: ItemId, value: Vec<u8>) {
+        SoakRuntime::update(self, node, item, value);
+    }
+    fn pull(&mut self, recipient: NodeId, source: NodeId) -> epidb_common::Result<PullOutcome> {
+        self.0.pull_delta_now(recipient, source)
+    }
+    fn oob(&mut self, recipient: NodeId, source: NodeId, item: ItemId) {
+        SoakRuntime::oob(self, recipient, source, item);
+    }
+    fn value(&self, node: NodeId, item: ItemId) -> Vec<u8> {
+        SoakRuntime::value(self, node, item)
+    }
+    fn converged(&self, n_nodes: usize) -> bool {
+        SoakRuntime::converged(self, n_nodes)
+    }
+    fn costs(&self, n_nodes: usize) -> Costs {
+        SoakRuntime::costs(self, n_nodes)
+    }
+    fn check_invariants(&self, n_nodes: usize) {
+        SoakRuntime::check_invariants(self, n_nodes);
+    }
+    fn crash(&mut self, node: NodeId) {
+        self.0.crash(node);
+    }
+    fn revive(&mut self, node: NodeId) {
+        self.0.revive(node);
+    }
+}
+
+struct RestartResult {
+    costs: Costs,
+    crashes: u64,
+    revivals: u64,
+    heal_sweeps: usize,
+}
+
+/// Run one restart soak: randomized single-writer updates, pulls and OOB
+/// fetches among alive nodes, with a seeded kill/restart schedule on top.
+/// Crashing really drops a node's in-memory replica; reviving recovers it
+/// from its WAL + snapshot. Deterministic in `(seed, params)`.
+fn run_restart_soak(
+    runtime: &mut dyn RestartRuntime,
+    seed: u64,
+    params: SoakParams,
+) -> RestartResult {
+    let SoakParams { n_nodes, n_items, rounds, updates_per_round } = params;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD15C_0D1E);
+    let mut alive = vec![true; n_nodes];
+    let mut expected: Vec<Vec<u8>> = vec![Vec::new(); n_items];
+    let mut crashes = 0u64;
+    let mut revivals = 0u64;
+
+    let pick = |rng: &mut StdRng, pool: &[usize]| -> usize { pool[rng.gen_range(0..pool.len())] };
+    let alive_nodes =
+        |alive: &[bool]| -> Vec<usize> { (0..n_nodes).filter(|&i| alive[i]).collect() };
+
+    for _round in 0..rounds {
+        // Maybe revive one crashed node (recovering it from disk mid-soak).
+        let crashed: Vec<usize> = (0..n_nodes).filter(|&i| !alive[i]).collect();
+        if !crashed.is_empty() && rng.gen_bool(0.4) {
+            let node = pick(&mut rng, &crashed);
+            runtime.revive(NodeId::from_index(node));
+            alive[node] = true;
+            revivals += 1;
+        }
+        // Maybe crash one alive node, keeping at least two up so
+        // anti-entropy always has a pair to run on. The first crash is
+        // unconditional: every seed exercises real kill/restart recovery.
+        let up = alive_nodes(&alive);
+        if up.len() > 2 && (crashes == 0 || rng.gen_bool(0.35)) {
+            let node = pick(&mut rng, &up);
+            runtime.crash(NodeId::from_index(node));
+            alive[node] = false;
+            crashes += 1;
+        }
+
+        // Single-writer updates at alive owners (item % n_nodes == owner),
+        // so the expected final value of each item is its last write.
+        let up = alive_nodes(&alive);
+        for _ in 0..updates_per_round {
+            let node = pick(&mut rng, &up);
+            let slot = rng.gen_range(0..n_items.div_ceil(n_nodes));
+            let item = node + slot * n_nodes;
+            if item >= n_items {
+                continue;
+            }
+            let len = if rng.gen_bool(0.25) { 200 } else { rng.gen_range(1..48usize) };
+            let byte = rng.gen_range(0..=255u64) as u8;
+            let value = vec![byte; len];
+            expected[item] = value.clone();
+            runtime.update(NodeId::from_index(node), ItemId(item as u32), value);
+        }
+
+        // Every alive node pulls from one random alive peer.
+        for &r in &up {
+            let others: Vec<usize> = up.iter().copied().filter(|&s| s != r).collect();
+            let s = pick(&mut rng, &others);
+            runtime
+                .pull(NodeId::from_index(r), NodeId::from_index(s))
+                .expect("pull between alive nodes must succeed");
+        }
+
+        // Occasionally fetch an item out-of-bound from its (alive) owner.
+        if rng.gen_bool(0.4) {
+            let node = pick(&mut rng, &up);
+            let slot = rng.gen_range(0..n_items.div_ceil(n_nodes));
+            let item = node + slot * n_nodes;
+            let others: Vec<usize> = up.iter().copied().filter(|&s| s != node).collect();
+            let recipient = pick(&mut rng, &others);
+            if item < n_items {
+                runtime.oob(
+                    NodeId::from_index(recipient),
+                    NodeId::from_index(node),
+                    ItemId(item as u32),
+                );
+            }
+        }
+    }
+
+    // Revive everyone (each recovering from its own disk), then sweep
+    // full-mesh pulls until quiescent.
+    for (node, up) in alive.iter_mut().enumerate() {
+        if !*up {
+            runtime.revive(NodeId::from_index(node));
+            *up = true;
+            revivals += 1;
+        }
+    }
+    let mut heal_sweeps = 0;
+    while heal_sweeps < MAX_HEAL_SWEEPS {
+        heal_sweeps += 1;
+        for r in 0..n_nodes {
+            for s in 0..n_nodes {
+                if s != r {
+                    runtime
+                        .pull(NodeId::from_index(r), NodeId::from_index(s))
+                        .expect("post-recovery pull must succeed");
+                }
+            }
+        }
+        if runtime.converged(n_nodes) {
+            break;
+        }
+    }
+
+    assert!(
+        runtime.converged(n_nodes),
+        "restart soak did not converge after {MAX_HEAL_SWEEPS} sweeps"
+    );
+    for (item, want) in expected.iter().enumerate() {
+        for node in 0..n_nodes {
+            let got = runtime.value(NodeId::from_index(node), ItemId(item as u32));
+            assert_eq!(
+                &got, want,
+                "node {node} disagrees on item {item} after crash-restart recovery"
+            );
+        }
+    }
+    runtime.check_invariants(n_nodes);
+
+    RestartResult { costs: runtime.costs(n_nodes), crashes, revivals, heal_sweeps }
+}
+
+const RESTART_RUNTIMES: [&str; 2] = ["threaded", "tcp"];
+
+/// Build one durable runtime journaling under `dir` (fresh per pass).
+fn build_durable_runtime(kind: &str, params: SoakParams, dir: PathBuf) -> Box<dyn RestartRuntime> {
+    let durability = Some(DurabilityConfig::new(dir));
+    match kind {
+        "threaded" => {
+            let config = ClusterConfig {
+                gossip_interval: Duration::from_secs(3600),
+                delta_budget: DELTA_BUDGET,
+                paranoid: true,
+                durability,
+                ..ClusterConfig::default()
+            };
+            Box::new(Threaded(ThreadedCluster::spawn(params.n_nodes, params.n_items, config)))
+        }
+        "tcp" => {
+            let config = TcpConfig {
+                gossip_interval: Duration::from_secs(3600),
+                delta_budget: DELTA_BUDGET,
+                paranoid: true,
+                durability,
+                ..TcpConfig::default()
+            };
+            Box::new(Tcp(TcpCluster::spawn(params.n_nodes, params.n_items, config).expect("spawn")))
+        }
+        other => panic!("unknown durable runtime {other}"),
+    }
+}
+
+/// The `--restart-from-disk` mode: both durable runtimes, two same-seed
+/// passes each (fresh directories per pass), asserting identical costs.
+fn run_restart_mode(seed: u64, params: SoakParams) {
+    for kind in RESTART_RUNTIMES {
+        let mut first: Option<Costs> = None;
+        for pass in 0..2 {
+            let tmp = epidb_durable::testdir::TempDir::new(&format!("soak-{kind}-{pass}"));
+            let mut runtime = build_durable_runtime(kind, params, tmp.path().clone());
+            let result = run_restart_soak(runtime.as_mut(), seed, params);
+            drop(runtime);
+
+            if pass == 0 {
+                println!(
+                    "[{kind}+disk] crashes={} revivals={} heal_sweeps={}",
+                    result.crashes, result.revivals, result.heal_sweeps
+                );
+                println!("[{kind}+disk] costs: {}", result.costs);
+            }
+            match &first {
+                None => first = Some(result.costs),
+                Some(c0) => {
+                    assert_eq!(
+                        c0, &result.costs,
+                        "[{kind}+disk] same seed produced different costs"
+                    );
+                    println!("[{kind}+disk] replay: identical costs");
+                }
+            }
+        }
+    }
+    println!("OK: durable runtimes converged to ground truth across crash-restart schedules");
+}
+
 // --- runtime construction ---------------------------------------------------
 
 const RUNTIMES: [&str; 3] = ["inproc", "threaded", "tcp"];
@@ -425,12 +709,14 @@ fn build_runtime(kind: &str, params: SoakParams) -> Box<dyn SoakRuntime> {
 
 fn main() {
     let mut smoke = false;
+    let mut restart_from_disk = false;
     let mut seed: Option<u64> = None;
     let mut rounds: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--restart-from-disk" => restart_from_disk = true,
             "--seed" => {
                 let v = args.next().expect("--seed needs a value");
                 seed = Some(v.parse().expect("--seed takes a u64"));
@@ -441,7 +727,9 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: chaos_soak [--smoke] [--seed N] [--rounds N]");
+                eprintln!(
+                    "usage: chaos_soak [--smoke] [--seed N] [--rounds N] [--restart-from-disk]"
+                );
                 std::process::exit(2);
             }
         }
@@ -456,6 +744,20 @@ fn main() {
     let mut params = if smoke { SMOKE } else { FULL };
     if let Some(r) = rounds {
         params.rounds = r;
+    }
+
+    if restart_from_disk {
+        println!("chaos_soak --restart-from-disk: seed={seed} (replay with --seed {seed})");
+        println!(
+            "params: nodes={} items={} rounds={} updates/round={}{}",
+            params.n_nodes,
+            params.n_items,
+            params.rounds,
+            params.updates_per_round,
+            if smoke { " (smoke)" } else { "" }
+        );
+        run_restart_mode(seed, params);
+        return;
     }
 
     let plan = derive_plan(&mut StdRng::seed_from_u64(seed));

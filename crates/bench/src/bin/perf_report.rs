@@ -298,6 +298,22 @@ fn scenario_oob_large(name: &'static str, s: &Sizes) -> Measure {
     )
 }
 
+/// Restore a replica from an in-memory snapshot frame holding one large
+/// value — the crash-recovery load path. With `Reader::shared` aliasing,
+/// the restored value is a sub-view of the frame, not a copy.
+fn scenario_snapshot_restore(name: &'static str, s: &Sizes) -> Measure {
+    let mut src = Replica::new(NodeId(0), 2, 4);
+    src.update(ItemId(0), UpdateOp::set(vec![0xA5; s.large_val])).unwrap();
+    let frame = Bytes::from(src.to_snapshot());
+    bench(
+        name,
+        s.target,
+        s.large_val as u64,
+        || (),
+        |()| Replica::from_snapshot_shared(&frame).unwrap(),
+    )
+}
+
 fn run_all(s: &Sizes) -> Vec<Measure> {
     vec![
         scenario_codec_frame("codec_frame_many_small", s, s.codec_m, s.codec_val, 0),
@@ -308,6 +324,7 @@ fn run_all(s: &Sizes) -> Vec<Measure> {
         scenario_pull("pull_large_value", s, 1, s.large_val),
         scenario_delta("delta_gossip", s, s.delta_m, s.delta_ops, s.delta_val),
         scenario_oob_large("oob_large_value", s),
+        scenario_snapshot_restore("snapshot_restore_large_value", s),
     ]
 }
 
@@ -376,7 +393,12 @@ fn main() {
         // The bound is generous (25% of one payload) to leave room for
         // control structures, yet any real per-byte copy of the value blows
         // straight through it.
-        for name in ["codec_frame_large_value", "oob_large_value", "pull_large_value"] {
+        for name in [
+            "codec_frame_large_value",
+            "oob_large_value",
+            "pull_large_value",
+            "snapshot_restore_large_value",
+        ] {
             let m = measures.iter().find(|m| m.name == name).expect("scenario exists");
             let bound = m.payload_bytes_per_op as f64 / 4.0;
             assert!(

@@ -43,6 +43,12 @@ pub enum Error {
     /// A peer could not be reached after the configured connect retries.
     /// Retryable at a coarser granularity (the peer may come back).
     PeerUnavailable(NodeId),
+    /// Durable state (a snapshot or write-ahead log record) failed its
+    /// integrity or decode checks. NOT retryable: unlike a corrupt frame,
+    /// re-reading the same bytes from disk yields the same corruption, so
+    /// retrying can only repeat the failure. Recovery must fall back to an
+    /// older generation or surface the loss.
+    CorruptSnapshot(String),
     /// A database with this name already exists on the server.
     DatabaseExists(String),
     /// No database with this name exists on the server.
@@ -74,6 +80,7 @@ impl fmt::Display for Error {
             Error::Network(msg) => write!(f, "network error: {msg}"),
             Error::CorruptFrame(msg) => write!(f, "corrupt frame: {msg}"),
             Error::PeerUnavailable(n) => write!(f, "peer {n} unavailable"),
+            Error::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
             Error::DatabaseExists(name) => write!(f, "database {name:?} already exists"),
             Error::UnknownDatabase(name) => write!(f, "unknown database {name:?}"),
         }
@@ -109,6 +116,10 @@ mod tests {
         );
         assert_eq!(Error::PeerUnavailable(NodeId(3)).to_string(), "peer n3 unavailable");
         assert_eq!(
+            Error::CorruptSnapshot("bad magic".into()).to_string(),
+            "corrupt snapshot: bad magic"
+        );
+        assert_eq!(
             Error::DatabaseExists("mail".into()).to_string(),
             "database \"mail\" already exists"
         );
@@ -123,6 +134,9 @@ mod tests {
         assert!(!Error::UnknownItem(ItemId(0)).is_retryable());
         assert!(!Error::NodeDown(NodeId(0)).is_retryable());
         assert!(!Error::UnknownDatabase("x".into()).is_retryable());
+        // Corrupt durable state is permanent: the same bytes re-read from
+        // disk fail the same way, so a retry can never succeed.
+        assert!(!Error::CorruptSnapshot("x".into()).is_retryable());
     }
 
     #[test]

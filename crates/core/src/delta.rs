@@ -162,6 +162,14 @@ pub struct OfferEvaluation {
     conflicts: usize,
 }
 
+impl OfferEvaluation {
+    /// Reconstruct an evaluation from its journaled parts (recovery
+    /// replay). Conflicts are ephemeral and start at zero.
+    pub(crate) fn from_parts(tails: Vec<Vec<LogRecord>>, refused: Vec<ItemId>) -> OfferEvaluation {
+        OfferEvaluation { tails, refused: refused.into_iter().collect(), conflicts: 0 }
+    }
+}
+
 impl Replica {
     /// Step 2 at the source: like
     /// [`prepare_propagation`](Replica::prepare_propagation) but offering
@@ -206,23 +214,31 @@ impl Replica {
                     self.costs.redundant_deliveries += 1;
                 }
                 VvOrd::Concurrent => {
-                    eval.conflicts += 1;
-                    let offending = {
-                        let local_ivv = &self.store.get(x)?.ivv;
-                        remote_ivv.offending_pair(local_ivv)
-                    };
-                    self.report_conflict(ConflictEvent {
-                        item: x,
-                        detected_at: self.id,
-                        peer: Some(source),
-                        site: ConflictSite::Propagation,
-                        offending,
-                    });
                     // In delta mode the LWW policy still needs the remote
                     // value, so the item is requested like a dominating
                     // one; under Report it is refused and stripped.
+                    //
+                    // Each conflict is counted exactly once. Under Report
+                    // the refused item never reaches `accept_propagation`,
+                    // so this is the only place that can count it. Under
+                    // ResolveLww the wanted item comes back as a Whole
+                    // fallback (no op chain starts at a concurrent IVV) and
+                    // `accept_propagation` re-detects, counts, and resolves
+                    // the same pair — counting here too double-counted it.
                     match self.policy {
                         ConflictPolicy::Report => {
+                            eval.conflicts += 1;
+                            let offending = {
+                                let local_ivv = &self.store.get(x)?.ivv;
+                                remote_ivv.offending_pair(local_ivv)
+                            };
+                            self.report_conflict(ConflictEvent {
+                                item: x,
+                                detected_at: self.id,
+                                peer: Some(source),
+                                site: ConflictSite::Propagation,
+                                offending,
+                            });
                             eval.refused.insert(x);
                         }
                         ConflictPolicy::ResolveLww => {
@@ -277,6 +293,16 @@ impl Replica {
         payload: DeltaPayload,
         eval: OfferEvaluation,
     ) -> Result<AcceptOutcome> {
+        self.journal_mutation(|| {
+            let mut refused: Vec<ItemId> = eval.refused.iter().copied().collect();
+            refused.sort();
+            crate::journal::Mutation::Delta {
+                from: source,
+                payload: payload.clone(),
+                tails: eval.tails.clone(),
+                refused,
+            }
+        });
         let mut outcome = AcceptOutcome { conflicts: eval.conflicts, ..AcceptOutcome::default() };
         let mut refused = eval.refused;
 
@@ -284,13 +310,19 @@ impl Replica {
             match item {
                 DeltaItem::Whole(shipped) => {
                     let x = shipped.item;
-                    let sub = self.accept_propagation(
-                        source,
-                        crate::PropagationPayload {
-                            tails: vec![Vec::new(); self.n_nodes()],
-                            items: vec![shipped],
-                        },
-                    )?;
+                    // Sink suspended: this delta exchange already journaled
+                    // one record; the inner whole-item accept must not add
+                    // a second.
+                    let sub = self.with_sink_suspended(|r| {
+                        let n = r.n_nodes();
+                        r.accept_propagation(
+                            source,
+                            crate::PropagationPayload {
+                                tails: vec![Vec::new(); n],
+                                items: vec![shipped],
+                            },
+                        )
+                    })?;
                     outcome.conflicts += sub.conflicts;
                     outcome.replayed += sub.replayed;
                     outcome.aux_discarded.extend(sub.aux_discarded);

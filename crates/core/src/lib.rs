@@ -52,6 +52,7 @@ pub mod chaos;
 pub mod codec;
 pub mod delta;
 pub mod engine;
+pub mod journal;
 pub mod messages;
 pub mod oob;
 pub mod opcache;
@@ -74,6 +75,7 @@ pub use engine::{
     DbTransport, Engine, LocalTransport, ProtocolRequest, ProtocolResponse, ReplicaHost, SyncMode,
     Transport,
 };
+pub use journal::{Mutation, MutationSink, SinkHandle};
 pub use messages::{OobReply, PropagationPayload, PropagationResponse, ShippedItem};
 pub use oob::{oob_copy, OobOutcome};
 pub use opcache::{CachedOp, OpCache};

@@ -125,6 +125,10 @@ impl Replica {
         source: NodeId,
         payload: PropagationPayload,
     ) -> Result<AcceptOutcome> {
+        self.journal_mutation(|| crate::journal::Mutation::Propagation {
+            from: source,
+            payload: payload.clone(),
+        });
         let mut outcome = AcceptOutcome::default();
         let mut refused: HashSet<ItemId> = HashSet::new();
 

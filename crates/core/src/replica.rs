@@ -78,6 +78,9 @@ pub struct Replica {
     /// state with a zero conflict counter; the paranoid auditor uses this
     /// flag to avoid a false aux-dominance alarm in that window.
     pub(crate) restored: bool,
+    /// Write-ahead journal sink (see [`crate::journal`]). `None` (a single
+    /// branch per mutation) unless a durability layer attached one.
+    pub(crate) sink: Option<crate::journal::SinkHandle>,
 }
 
 impl Replica {
@@ -113,6 +116,7 @@ impl Replica {
             trace: TraceRing::disabled(),
             audits_run: 0,
             restored: false,
+            sink: None,
         }
     }
 
@@ -164,6 +168,7 @@ impl Replica {
     /// `v_ii(x)`, bump `V_ii`, and append the log record `(x, V_ii)` to
     /// `L_ii`.
     pub fn update(&mut self, x: ItemId, op: UpdateOp) -> Result<()> {
+        self.journal_mutation(|| crate::journal::Mutation::Update { item: x, op: op.clone() });
         if let Some(aux) = self.aux_items.get_mut(&x) {
             let pre_vv = aux.ivv.clone();
             op.apply(&mut aux.value);

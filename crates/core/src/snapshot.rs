@@ -17,6 +17,7 @@
 //! `IsSelected` flags (always clear between propagations), and the
 //! delta-mode op cache (an optimization, rebuilt warm over time).
 
+use bytes::Bytes;
 use epidb_common::{Error, ItemId, NodeId, Result};
 use epidb_store::ItemValue;
 
@@ -28,6 +29,17 @@ use crate::replica::{AuxItem, Replica};
 
 /// Magic prefix of snapshot files.
 pub const SNAPSHOT_MAGIC: &[u8; 4] = b"EPDB";
+
+/// Collapse any failure during snapshot decoding into the non-retryable
+/// [`Error::CorruptSnapshot`]. Unlike a corrupt *frame*, corrupt durable
+/// state does not heal on retry: re-reading the same bytes reproduces the
+/// same failure, so the retry machinery must not loop on it.
+fn corrupt(e: Error) -> Error {
+    match e {
+        Error::CorruptSnapshot(_) => e,
+        other => Error::CorruptSnapshot(other.to_string()),
+    }
+}
 
 impl Replica {
     /// Serialize the replica's durable state.
@@ -44,10 +56,12 @@ impl Replica {
         });
         put_dbvv(&mut w, &self.dbvv);
 
-        // Regular copies.
+        // Regular copies. Values go through `Writer::value` (wire-identical
+        // to `Writer::bytes`): large shared values become refcounted
+        // segments instead of copies.
         for x in ItemId::all(self.n_items()) {
             let item = self.store.get(x).expect("dense items");
-            w.bytes(item.value.as_bytes());
+            w.value(&item.value.to_bytes());
             put_vv(&mut w, &item.ivv);
         }
 
@@ -66,7 +80,7 @@ impl Replica {
         w.u32(aux.len() as u32);
         for (x, item) in aux {
             w.u32(x.0);
-            w.bytes(item.value.as_bytes());
+            w.value(&item.value.to_bytes());
             put_vv(&mut w, &item.ivv);
         }
 
@@ -81,16 +95,30 @@ impl Replica {
         w.into_bytes()
     }
 
-    /// Recover a replica from a snapshot.
+    /// Recover a replica from a snapshot. Every failure — bad magic,
+    /// unsupported version, decode error, range check, violated invariant —
+    /// surfaces as the non-retryable [`Error::CorruptSnapshot`].
     pub fn from_snapshot(buf: &[u8]) -> Result<Replica> {
-        let mut r = Reader::new(buf);
+        Replica::decode_snapshot(Reader::new(buf)).map_err(corrupt)
+    }
+
+    /// Recover a replica from a refcounted snapshot frame. Identical to
+    /// [`Replica::from_snapshot`] except that item values larger than the
+    /// inline threshold alias the frame (sub-views, refcount bumps) instead
+    /// of being copied — recovering a large replica allocates no per-item
+    /// value buffers.
+    pub fn from_snapshot_shared(frame: &Bytes) -> Result<Replica> {
+        Replica::decode_snapshot(Reader::shared(frame)).map_err(corrupt)
+    }
+
+    fn decode_snapshot(mut r: Reader<'_>) -> Result<Replica> {
         let magic = r.bytes()?;
         if magic != SNAPSHOT_MAGIC {
-            return Err(Error::Network("snapshot: bad magic".into()));
+            return Err(Error::CorruptSnapshot("bad magic".into()));
         }
         let version = r.u8()?;
         if version != CODEC_VERSION {
-            return Err(Error::Network(format!("snapshot: unsupported version {version}")));
+            return Err(Error::CorruptSnapshot(format!("unsupported version {version}")));
         }
         let id = NodeId(r.u16()?);
         let n_nodes = r.u16()? as usize;
@@ -98,7 +126,7 @@ impl Replica {
         let policy = match r.u8()? {
             0 => ConflictPolicy::Report,
             1 => ConflictPolicy::ResolveLww,
-            p => return Err(Error::Network(format!("snapshot: unknown policy {p}"))),
+            p => return Err(Error::CorruptSnapshot(format!("unknown policy {p}"))),
         };
         if id.index() >= n_nodes {
             return Err(Error::UnknownNode(id));
@@ -111,7 +139,7 @@ impl Replica {
         }
 
         for x in ItemId::all(n_items) {
-            let value = ItemValue::from_slice(r.bytes()?);
+            let value = ItemValue::from(r.value()?);
             let ivv = get_vv(&mut r)?;
             if ivv.len() != n_nodes {
                 return Err(Error::DimensionMismatch { left: n_nodes, right: ivv.len() });
@@ -134,7 +162,7 @@ impl Replica {
         let aux_count = r.u32()? as usize;
         for _ in 0..aux_count {
             let x = ItemId(r.u32()?);
-            let value = ItemValue::from_slice(r.bytes()?);
+            let value = ItemValue::from(r.value()?);
             let ivv = get_vv(&mut r)?;
             if x.index() >= n_items {
                 return Err(Error::UnknownItem(x));
@@ -157,7 +185,7 @@ impl Replica {
         replica.restored = true;
         replica
             .check_invariants()
-            .map_err(|e| Error::Network(format!("snapshot: corrupt state: {e}")))?;
+            .map_err(|e| Error::CorruptSnapshot(format!("corrupt state: {e}")))?;
         Ok(replica)
     }
 }
@@ -241,22 +269,52 @@ mod tests {
 
     #[test]
     fn corrupt_snapshots_rejected() {
+        fn assert_corrupt(res: Result<Replica>) {
+            let err = res.unwrap_err();
+            assert!(
+                matches!(err, Error::CorruptSnapshot(_)),
+                "expected CorruptSnapshot, got {err:?}"
+            );
+            assert!(!err.is_retryable(), "corrupt durable state must not be retried");
+        }
         let r = populated_replica();
         let buf = r.to_snapshot();
         // Bad magic.
         let mut bad = buf.clone();
         bad[4] = b'X';
-        assert!(Replica::from_snapshot(&bad).is_err());
+        assert_corrupt(Replica::from_snapshot(&bad));
         // Truncated.
-        assert!(Replica::from_snapshot(&buf[..buf.len() / 2]).is_err());
+        assert_corrupt(Replica::from_snapshot(&buf[..buf.len() / 2]));
         // Trailing garbage.
         let mut long = buf.clone();
         long.push(0);
-        assert!(Replica::from_snapshot(&long).is_err());
+        assert_corrupt(Replica::from_snapshot(&long));
         // Bad version.
         let mut badv = buf;
         badv[8] = 99;
-        assert!(Replica::from_snapshot(&badv).is_err());
+        assert_corrupt(Replica::from_snapshot(&badv));
+    }
+
+    #[test]
+    fn shared_restore_roundtrips_and_aliases_the_frame() {
+        let mut original = populated_replica();
+        // A value comfortably past the inline threshold, so the snapshot
+        // encodes it as a shared segment and the shared restore can alias it.
+        original.update(ItemId(3), UpdateOp::set(vec![0xAB; 4096])).unwrap();
+        let frame = Bytes::from(original.to_snapshot());
+        let restored = Replica::from_snapshot_shared(&frame).unwrap();
+        assert_replicas_equal(&original, &restored);
+        restored.check_invariants().unwrap();
+
+        // The restored large value must be a sub-view of the frame, not a
+        // copy: its backing pointer lies inside the frame's range.
+        let value = restored.read_regular(ItemId(3)).unwrap();
+        let v = value.as_bytes().as_ptr() as usize;
+        let lo = frame.as_ptr() as usize;
+        assert!(
+            v >= lo && v + value.len() <= lo + frame.len(),
+            "restored value was copied instead of aliased"
+        );
     }
 
     #[test]

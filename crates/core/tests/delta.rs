@@ -150,6 +150,83 @@ fn conflicts_detected_in_delta_mode() {
 }
 
 #[test]
+fn conflict_counts_match_whole_mode_under_lww() {
+    // Regression: under ResolveLww, delta mode used to count each conflict
+    // twice — once in `evaluate_delta_offer` and again when the Whole
+    // fallback re-detected the same concurrent pair in
+    // `accept_propagation`. Whole-item and delta propagation must agree on
+    // the paper's conflict accounting for the same schedule.
+    use epidb_core::ConflictPolicy;
+
+    let run = |use_delta: bool| {
+        let mut a = Replica::with_policy(NodeId(0), 2, 10, ConflictPolicy::ResolveLww);
+        let mut b = Replica::with_policy(NodeId(1), 2, 10, ConflictPolicy::ResolveLww);
+        if use_delta {
+            a.enable_delta(1 << 16);
+            b.enable_delta(1 << 16);
+        }
+        // Two independently-updated items → two concurrent pairs.
+        a.update(ItemId(2), UpdateOp::set(&b"a-wrote-2"[..])).unwrap();
+        b.update(ItemId(2), UpdateOp::set(&b"b-wrote-2"[..])).unwrap();
+        a.update(ItemId(7), UpdateOp::set(&b"a-wrote-7"[..])).unwrap();
+        b.update(ItemId(7), UpdateOp::set(&b"b-wrote-7"[..])).unwrap();
+        let PullOutcome::Propagated(out) = (if use_delta {
+            pull_delta(&mut b, &mut a).unwrap()
+        } else {
+            pull(&mut b, &mut a).unwrap()
+        }) else {
+            panic!("expected propagation")
+        };
+        b.check_invariants().unwrap();
+        (
+            out.conflicts,
+            b.costs().conflicts_detected,
+            b.conflicts().len(),
+            b.counters().lww_resolutions,
+            b.read(ItemId(2)).unwrap().as_bytes().to_vec(),
+            b.read(ItemId(7)).unwrap().as_bytes().to_vec(),
+        )
+    };
+
+    let whole = run(false);
+    let delta = run(true);
+    assert_eq!(whole, delta, "whole vs delta conflict accounting diverged");
+    assert_eq!(whole.0, 2, "one conflict per item, counted once");
+    assert_eq!(whole.1, 2);
+    assert_eq!(whole.3, 2, "both conflicts resolved by LWW");
+}
+
+#[test]
+fn conflict_counts_match_whole_mode_under_report() {
+    // Same schedule under Report: the refused item never ships, the
+    // conflict is counted at offer-evaluation time, and both modes agree.
+    use epidb_core::ConflictPolicy;
+
+    let run = |use_delta: bool| {
+        let mut a = Replica::with_policy(NodeId(0), 2, 10, ConflictPolicy::Report);
+        let mut b = Replica::with_policy(NodeId(1), 2, 10, ConflictPolicy::Report);
+        if use_delta {
+            a.enable_delta(1 << 16);
+            b.enable_delta(1 << 16);
+        }
+        a.update(ItemId(4), UpdateOp::set(&b"from-a"[..])).unwrap();
+        b.update(ItemId(4), UpdateOp::set(&b"from-b"[..])).unwrap();
+        let PullOutcome::Propagated(out) = (if use_delta {
+            pull_delta(&mut b, &mut a).unwrap()
+        } else {
+            pull(&mut b, &mut a).unwrap()
+        }) else {
+            panic!("expected propagation")
+        };
+        b.check_invariants().unwrap();
+        (out.conflicts, b.costs().conflicts_detected, b.conflicts().len())
+    };
+
+    assert_eq!(run(false), run(true));
+    assert_eq!(run(false), (1, 1, 1));
+}
+
+#[test]
 fn delta_and_whole_pulls_interleave() {
     let (mut a, mut b) = pair(30, 1 << 16);
     for round in 0..6u8 {

@@ -1,0 +1,38 @@
+//! On-disk durability for epidb replicas.
+//!
+//! The paper's operational model assumes a server can disappear for a long
+//! time and "simply resume anti-entropy from its last durable state". This
+//! crate makes that literal: a per-node directory holding
+//!
+//! * a **write-ahead log** (`wal-<gen>.log`) — an append-only file of
+//!   CRC-framed [`Mutation`](epidb_core::Mutation) records, one per
+//!   durable state change, written *before* the in-memory application
+//!   (see [`epidb_core::journal`]);
+//! * a **snapshot** (`snap-<gen>.epdb`) — the replica's full durable state
+//!   ([`Replica::to_snapshot`](epidb_core::Replica::to_snapshot)) wrapped
+//!   in the same CRC frame, written temp-file → fsync → atomic rename.
+//!
+//! A **checkpoint** rolls the WAL into a new snapshot generation: write
+//! `snap-<g+1>`, start an empty `wal-<g+1>`, then delete the old
+//! generation. Every step is crash-safe — a crash at any point leaves
+//! either the old generation intact or both generations on disk, and
+//! recovery picks the newest one that passes its checks.
+//!
+//! **Recovery** ([`NodeDurability::open`]) = newest valid snapshot + replay
+//! of that generation's WAL. The WAL tail is read tolerantly: a frame with
+//! a short header, short body, or CRC mismatch is a *torn tail* — the file
+//! is truncated to the last valid frame and recovery proceeds with the
+//! clean prefix (truncating the WAL at **any** byte offset yields a valid
+//! prefix, never a panic). A frame whose CRC verifies but whose body does
+//! not decode cannot be a torn write; that is real corruption and surfaces
+//! as the non-retryable
+//! [`Error::CorruptSnapshot`](epidb_common::Error::CorruptSnapshot).
+
+#![warn(missing_docs)]
+
+mod frames;
+mod node;
+pub mod testdir;
+
+pub use frames::{read_frames, write_frame, FrameScan, WAL_FRAME_HEADER};
+pub use node::{DurabilityConfig, NodeDurability, RecoveryReport};

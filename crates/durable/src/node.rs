@@ -1,0 +1,368 @@
+//! Per-node durability: WAL appending, checkpointing, and recovery.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+use epidb_common::{Error, NodeId, Result};
+use epidb_core::codec::{Reader, Writer};
+use epidb_core::journal::{get_mutation, put_mutation};
+use epidb_core::{ConflictPolicy, Mutation, MutationSink, Replica, SinkHandle};
+
+use crate::frames::{read_frames, write_frame};
+
+/// Durability settings for a cluster runtime.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Root directory; each node gets a `node-<id>` subdirectory.
+    pub dir: PathBuf,
+    /// Checkpoint (roll the WAL into a snapshot) after this many WAL
+    /// records. `0` disables automatic checkpointing.
+    pub checkpoint_every: u64,
+    /// Fsync the WAL after every appended record. Off, records are
+    /// buffered by the OS (still crash-consistent thanks to the torn-tail
+    /// rule, but the tail may be lost on power failure).
+    pub fsync: bool,
+}
+
+impl DurabilityConfig {
+    /// Config rooted at `dir` with moderate defaults (checkpoint every 64
+    /// records, no per-record fsync).
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig { dir: dir.into(), checkpoint_every: 64, fsync: false }
+    }
+
+    /// The per-node state directory.
+    pub fn node_dir(&self, id: NodeId) -> PathBuf {
+        self.dir.join(format!("node-{}", id.0))
+    }
+}
+
+/// What recovery found on disk.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The generation recovered into (and now being appended to).
+    pub generation: u64,
+    /// Whether a snapshot file was loaded (false = started from scratch).
+    pub snapshot_loaded: bool,
+    /// WAL records replayed on top of the snapshot.
+    pub wal_records_replayed: u64,
+    /// Bytes discarded from the WAL tail (torn-write truncation).
+    pub wal_bytes_truncated: u64,
+    /// Replayed mutations that returned an error (deterministic replays of
+    /// calls that failed identically when live; noted, not fatal).
+    pub replay_errors: u64,
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::Network(format!("durable {what} {}: {e}", path.display()))
+}
+
+fn snap_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("snap-{generation}.epdb"))
+}
+
+fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("wal-{generation}.log"))
+}
+
+/// List the generations of files in `dir` matching `prefix-<gen>.<ext>`.
+fn list_generations(dir: &Path, prefix: &str, ext: &str) -> Result<Vec<u64>> {
+    let mut gens = Vec::new();
+    for entry in fs::read_dir(dir).map_err(|e| io_err("read dir", dir, e))? {
+        let entry = entry.map_err(|e| io_err("read dir", dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(rest) = name.strip_prefix(prefix).and_then(|r| r.strip_prefix('-')) {
+            if let Some(gen) = rest.strip_suffix(ext).and_then(|g| g.parse::<u64>().ok()) {
+                gens.push(gen);
+            }
+        }
+    }
+    gens.sort_unstable();
+    Ok(gens)
+}
+
+fn fsync_dir(dir: &Path) -> Result<()> {
+    // Durability of creates/renames/deletes requires syncing the directory
+    // itself on POSIX systems.
+    File::open(dir).and_then(|d| d.sync_all()).map_err(|e| io_err("fsync dir", dir, e))
+}
+
+/// Write `bytes` to `path` atomically: temp file in the same directory,
+/// fsync, rename over the target, fsync the directory.
+fn atomic_write(dir: &Path, path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut f = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+    f.write_all(bytes).map_err(|e| io_err("write", &tmp, e))?;
+    f.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| io_err("rename", path, e))?;
+    fsync_dir(dir)
+}
+
+struct Inner {
+    dir: PathBuf,
+    fsync: bool,
+    checkpoint_every: u64,
+    generation: u64,
+    wal: File,
+    /// Records appended to the current WAL since the last checkpoint.
+    wal_records: u64,
+}
+
+/// The durable backing of one replica: an open WAL plus the checkpoint
+/// machinery. Implements [`MutationSink`], so an `Arc<NodeDurability>`
+/// plugs straight into [`Replica::set_mutation_sink`] (via
+/// [`NodeDurability::attach`]).
+pub struct NodeDurability {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for NodeDurability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("NodeDurability")
+            .field("dir", &inner.dir)
+            .field("generation", &inner.generation)
+            .field("wal_records", &inner.wal_records)
+            .finish()
+    }
+}
+
+impl NodeDurability {
+    /// Open the durable state for node `id` under `cfg.dir`, recovering a
+    /// replica from disk: newest valid snapshot generation, plus a
+    /// torn-tail-tolerant replay of that generation's WAL. First start
+    /// (empty directory) yields a fresh replica.
+    ///
+    /// The returned replica has **no sink attached** (so the recovery
+    /// itself is not re-journaled); call [`NodeDurability::attach`] once
+    /// any runtime reconfiguration (delta cache, paranoid mode) is done.
+    pub fn open(
+        cfg: &DurabilityConfig,
+        id: NodeId,
+        n_nodes: usize,
+        n_items: usize,
+        policy: ConflictPolicy,
+    ) -> Result<(Arc<NodeDurability>, Replica, RecoveryReport)> {
+        let dir = cfg.node_dir(id);
+        fs::create_dir_all(&dir).map_err(|e| io_err("create dir", &dir, e))?;
+
+        let snap_gens = list_generations(&dir, "snap", ".epdb")?;
+        let wal_gens = list_generations(&dir, "wal", ".log")?;
+
+        // Newest snapshot that passes every check wins; a corrupt newest
+        // generation (e.g. bit rot, or a rename that never became durable)
+        // falls back to the previous one, which checkpointing deletes only
+        // after its successor is safely in place.
+        let mut report = RecoveryReport::default();
+        let mut replica = None;
+        let mut last_snap_err = None;
+        for &gen in snap_gens.iter().rev() {
+            match load_snapshot(&snap_path(&dir, gen)) {
+                Ok(r) => {
+                    report.generation = gen;
+                    report.snapshot_loaded = true;
+                    replica = Some(r);
+                    break;
+                }
+                Err(e) => last_snap_err = Some(e),
+            }
+        }
+        let mut replica = match replica {
+            Some(r) => r,
+            None => {
+                if let Some(e) = last_snap_err {
+                    // Snapshots existed but none loads: refusing loudly
+                    // beats silently restarting empty and re-serving stale
+                    // anti-entropy as if the node were new.
+                    return Err(e);
+                }
+                // Fresh start (or pre-snapshot crash): replay the newest
+                // WAL, if any, onto an empty replica.
+                report.generation = wal_gens.last().copied().unwrap_or(0);
+                Replica::with_policy(id, n_nodes, n_items, policy)
+            }
+        };
+
+        if replica.id() != id || replica.n_nodes() != n_nodes || replica.n_items() != n_items {
+            return Err(Error::CorruptSnapshot(format!(
+                "recovered state is for node {} ({} nodes, {} items), expected node {id} \
+                 ({n_nodes} nodes, {n_items} items)",
+                replica.id(),
+                replica.n_nodes(),
+                replica.n_items(),
+            )));
+        }
+
+        // Replay the WAL of the recovered generation, truncating the torn
+        // tail so subsequent appends extend the valid prefix.
+        let wal_file = wal_path(&dir, report.generation);
+        if wal_file.exists() {
+            let raw = fs::read(&wal_file).map_err(|e| io_err("read", &wal_file, e))?;
+            let buf = Bytes::from(raw);
+            let scan = read_frames(&buf);
+            report.wal_bytes_truncated = scan.torn_bytes as u64;
+            for body in &scan.bodies {
+                let mut r = Reader::shared(body);
+                let m = decode_wal_record(&mut r, body)?;
+                if replica.replay_mutation(m).is_err() {
+                    report.replay_errors += 1;
+                }
+                report.wal_records_replayed += 1;
+            }
+            if scan.torn_bytes > 0 {
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&wal_file)
+                    .map_err(|e| io_err("open", &wal_file, e))?;
+                f.set_len(scan.valid_len as u64).map_err(|e| io_err("truncate", &wal_file, e))?;
+                f.sync_all().map_err(|e| io_err("fsync", &wal_file, e))?;
+            }
+        }
+
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_file)
+            .map_err(|e| io_err("open", &wal_file, e))?;
+
+        let durability = Arc::new(NodeDurability {
+            inner: Mutex::new(Inner {
+                dir,
+                fsync: cfg.fsync,
+                checkpoint_every: cfg.checkpoint_every,
+                generation: report.generation,
+                wal,
+                wal_records: report.wal_records_replayed,
+            }),
+        });
+        replica.check_invariants().map_err(Error::CorruptSnapshot)?;
+        Ok((durability, replica, report))
+    }
+
+    /// Attach this durability layer as the replica's mutation sink.
+    pub fn attach(self: &Arc<Self>, replica: &mut Replica) {
+        replica.set_mutation_sink(Some(SinkHandle::new(self.clone())));
+    }
+
+    /// The current snapshot/WAL generation.
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().unwrap().generation
+    }
+
+    /// Records in the current WAL (since the last checkpoint).
+    pub fn wal_records(&self) -> u64 {
+        self.inner.lock().unwrap().wal_records
+    }
+
+    /// Checkpoint if the WAL has reached the configured record count.
+    /// Callers invoke this *after* a batch of operations, while still
+    /// holding whatever lock guards `replica` — never from inside the sink
+    /// (the replica is mid-mutation there).
+    pub fn maybe_checkpoint(&self, replica: &Replica) -> Result<bool> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.checkpoint_every == 0 || inner.wal_records < inner.checkpoint_every {
+            return Ok(false);
+        }
+        inner.checkpoint(replica)?;
+        Ok(true)
+    }
+
+    /// Checkpoint unconditionally: roll the WAL into a new snapshot
+    /// generation.
+    pub fn checkpoint(&self, replica: &Replica) -> Result<()> {
+        self.inner.lock().unwrap().checkpoint(replica)
+    }
+}
+
+impl Inner {
+    fn checkpoint(&mut self, replica: &Replica) -> Result<()> {
+        let next = self.generation + 1;
+        let snap = snap_path(&self.dir, next);
+        atomic_write(&self.dir, &snap, &write_frame(&replica.to_snapshot()))?;
+
+        // Fresh WAL for the new generation, durable before the old
+        // generation goes away.
+        let new_wal_path = wal_path(&self.dir, next);
+        let new_wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&new_wal_path)
+            .map_err(|e| io_err("open", &new_wal_path, e))?;
+        new_wal.sync_all().map_err(|e| io_err("fsync", &new_wal_path, e))?;
+        fsync_dir(&self.dir)?;
+
+        let old = self.generation;
+        self.generation = next;
+        self.wal = new_wal;
+        self.wal_records = 0;
+
+        // Old generations are garbage now (crash before these deletes just
+        // leaves extra files; recovery prefers the newest valid snapshot).
+        for gen in list_generations(&self.dir, "snap", ".epdb")? {
+            if gen < next {
+                let _ = fs::remove_file(snap_path(&self.dir, gen));
+            }
+        }
+        for gen in list_generations(&self.dir, "wal", ".log")? {
+            if gen <= old {
+                let _ = fs::remove_file(wal_path(&self.dir, gen));
+            }
+        }
+        Ok(())
+    }
+
+    fn append(&mut self, m: &Mutation) {
+        let mut w = Writer::new();
+        put_mutation(&mut w, m);
+        let frame = write_frame(&w.into_bytes());
+        // The sink API cannot report errors, and dropping a record would
+        // silently break the write-ahead contract: fail loudly instead, as
+        // a real server losing its disk would.
+        self.wal.write_all(&frame).expect("durable: WAL append failed");
+        if self.fsync {
+            self.wal.sync_data().expect("durable: WAL fsync failed");
+        }
+        self.wal_records += 1;
+    }
+}
+
+impl MutationSink for NodeDurability {
+    fn record(&self, m: &Mutation) {
+        self.inner.lock().unwrap().append(m);
+    }
+}
+
+/// Load and fully validate a snapshot file (CRC frame + snapshot decode).
+fn load_snapshot(path: &Path) -> Result<Replica> {
+    let raw = fs::read(path).map_err(|e| io_err("read", path, e))?;
+    let buf = Bytes::from(raw);
+    let scan = read_frames(&buf);
+    if scan.bodies.len() != 1 || scan.torn_bytes != 0 {
+        return Err(Error::CorruptSnapshot(format!(
+            "{}: expected one intact frame, found {} frame(s) and {} torn byte(s)",
+            path.display(),
+            scan.bodies.len(),
+            scan.torn_bytes
+        )));
+    }
+    Replica::from_snapshot_shared(&scan.bodies[0])
+}
+
+/// Decode one CRC-verified WAL frame body. The CRC already passed, so a
+/// decode failure here is corruption, not a torn write.
+fn decode_wal_record(r: &mut Reader<'_>, body: &Bytes) -> Result<Mutation> {
+    let m = get_mutation(r)
+        .map_err(|e| Error::CorruptSnapshot(format!("WAL record ({} bytes): {e}", body.len())))?;
+    if r.remaining() != 0 {
+        return Err(Error::CorruptSnapshot(format!(
+            "WAL record: {} trailing bytes after mutation",
+            r.remaining()
+        )));
+    }
+    Ok(m)
+}

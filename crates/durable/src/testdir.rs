@@ -1,0 +1,38 @@
+//! Throwaway on-disk directories for tests and harnesses (no external
+//! tempfile crate in this build environment).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A freshly created unique directory under the system temp dir. The
+/// caller owns cleanup; [`TempDir`] does it automatically.
+pub fn fresh_dir(label: &str) -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("epidb-{label}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// A unique temp directory removed on drop.
+#[derive(Debug)]
+pub struct TempDir(PathBuf);
+
+impl TempDir {
+    /// Create a fresh directory labelled `label`.
+    pub fn new(label: &str) -> TempDir {
+        TempDir(fresh_dir(label))
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &PathBuf {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}

@@ -16,9 +16,10 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use epidb_common::{Error, ItemId, NodeId, Result};
 use epidb_core::{
-    ChaosLink, ChaosTransport, Engine, FaultPlan, OobOutcome, ProtocolRequest, ProtocolResponse,
-    PullOutcome, Replica, RetryPolicy, Transport,
+    ChaosLink, ChaosTransport, ConflictPolicy, Engine, FaultPlan, OobOutcome, ProtocolRequest,
+    ProtocolResponse, PullOutcome, Replica, RetryPolicy, Transport,
 };
+use epidb_durable::{DurabilityConfig, NodeDurability};
 use epidb_store::UpdateOp;
 use epidb_vv::VvOrd;
 use parking_lot::Mutex;
@@ -57,6 +58,13 @@ pub struct ClusterConfig {
     /// Retry policy the gossip loop applies within each anti-entropy
     /// round (between rounds, the next tick is the retry).
     pub retry: RetryPolicy,
+    /// On-disk durability. When set, every node keeps a write-ahead log
+    /// and checkpointed snapshots under `durability.dir`;
+    /// [`ThreadedCluster::crash`] then actually drops the in-memory
+    /// replica and [`ThreadedCluster::revive`] reconstructs it from disk.
+    /// When `None` (the default), crash/revive only toggle liveness and
+    /// the replica survives in memory.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -71,6 +79,7 @@ impl Default for ClusterConfig {
             paranoid: false,
             fault_plan: None,
             retry: RetryPolicy::none(),
+            durability: None,
         }
     }
 }
@@ -89,6 +98,43 @@ impl ClusterConfig {
 struct NodeShared {
     replica: Mutex<Replica>,
     alive: AtomicBool,
+    /// The node's durability layer; `None` when durability is off, and
+    /// also while a durable node is crashed (the WAL handle is dropped
+    /// with the replica and reopened on revival).
+    durability: Mutex<Option<Arc<NodeDurability>>>,
+}
+
+impl NodeShared {
+    /// Run the checkpoint policy after a durable mutation. Takes the
+    /// replica lock; call only from contexts that do not already hold it.
+    fn after_mutation(&self) {
+        let durability = self.durability.lock().clone();
+        if let Some(d) = durability {
+            let replica = self.replica.lock();
+            d.maybe_checkpoint(&replica).expect("durable: checkpoint failed");
+        }
+    }
+}
+
+/// Recover (or freshly create) one durable node and configure it like the
+/// runtime's in-memory replicas. Shared by the threaded and TCP runtimes.
+pub(crate) fn open_durable_node(
+    cfg: &DurabilityConfig,
+    id: NodeId,
+    n_nodes: usize,
+    n_items: usize,
+    delta_budget: usize,
+    paranoid: bool,
+) -> (Arc<NodeDurability>, Replica) {
+    let (durability, mut replica, _report) =
+        NodeDurability::open(cfg, id, n_nodes, n_items, ConflictPolicy::Report)
+            .expect("durable: recovery failed");
+    if delta_budget > 0 {
+        replica.enable_delta(delta_budget);
+    }
+    replica.set_paranoid(paranoid);
+    durability.attach(&mut replica);
+    (durability, replica)
 }
 
 /// The channel transport: an exchange sends a [`NetMessage::Request`] to
@@ -132,12 +178,33 @@ impl ThreadedCluster {
         assert!(n_nodes >= 2, "a cluster needs at least two nodes");
         let nodes: Vec<Arc<NodeShared>> = (0..n_nodes)
             .map(|i| {
-                let mut replica = Replica::new(NodeId::from_index(i), n_nodes, n_items);
-                if config.delta_budget > 0 {
-                    replica.enable_delta(config.delta_budget);
-                }
-                replica.set_paranoid(config.paranoid);
-                Arc::new(NodeShared { replica: Mutex::new(replica), alive: AtomicBool::new(true) })
+                let id = NodeId::from_index(i);
+                let (durability, replica) = match &config.durability {
+                    Some(cfg) => {
+                        let (d, r) = open_durable_node(
+                            cfg,
+                            id,
+                            n_nodes,
+                            n_items,
+                            config.delta_budget,
+                            config.paranoid,
+                        );
+                        (Some(d), r)
+                    }
+                    None => {
+                        let mut replica = Replica::new(id, n_nodes, n_items);
+                        if config.delta_budget > 0 {
+                            replica.enable_delta(config.delta_budget);
+                        }
+                        replica.set_paranoid(config.paranoid);
+                        (None, replica)
+                    }
+                };
+                Arc::new(NodeShared {
+                    replica: Mutex::new(replica),
+                    alive: AtomicBool::new(true),
+                    durability: Mutex::new(durability),
+                })
             })
             .collect();
         let channels: Vec<(Sender<NetMessage>, Receiver<NetMessage>)> =
@@ -171,12 +238,19 @@ impl ThreadedCluster {
         if !shared.alive.load(Ordering::SeqCst) {
             return Err(Error::NodeDown(node));
         }
-        shared.replica.lock().update(item, op)
+        shared.replica.lock().update(item, op)?;
+        shared.after_mutation();
+        Ok(())
     }
 
-    /// Read the user-visible value of `item` at `node`.
+    /// Read the user-visible value of `item` at `node`. With durability
+    /// on, a crashed node's in-memory replica has been dropped, so reading
+    /// it is an error rather than a stale answer.
     pub fn read(&self, node: NodeId, item: ItemId) -> Result<Vec<u8>> {
         let shared = self.nodes.get(node.index()).ok_or(Error::UnknownNode(node))?;
+        if self.config.durability.is_some() && !shared.alive.load(Ordering::SeqCst) {
+            return Err(Error::NodeDown(node));
+        }
         Ok(shared.replica.lock().read(item)?.as_bytes().to_vec())
     }
 
@@ -206,7 +280,9 @@ impl ThreadedCluster {
         }
         self.checked(source)?;
         let shared = self.checked(recipient)?;
-        Engine::oob(&mut MutexHost(&shared.replica), &mut self.transport(source), item)
+        let out = Engine::oob(&mut MutexHost(&shared.replica), &mut self.transport(source), item)?;
+        shared.after_mutation();
+        Ok(out)
     }
 
     /// Run one whole-item pull right now (`recipient` from `source`),
@@ -215,7 +291,9 @@ impl ThreadedCluster {
         assert_ne!(recipient, source, "a node cannot pull from itself");
         self.checked(source)?;
         let shared = self.checked(recipient)?;
-        Engine::pull(&mut MutexHost(&shared.replica), &mut self.transport(source))
+        let out = Engine::pull(&mut MutexHost(&shared.replica), &mut self.transport(source))?;
+        shared.after_mutation();
+        Ok(out)
     }
 
     /// As [`pull_now`](Self::pull_now), in delta mode.
@@ -223,7 +301,9 @@ impl ThreadedCluster {
         assert_ne!(recipient, source, "a node cannot pull from itself");
         self.checked(source)?;
         let shared = self.checked(recipient)?;
-        Engine::pull_delta(&mut MutexHost(&shared.replica), &mut self.transport(source))
+        let out = Engine::pull_delta(&mut MutexHost(&shared.replica), &mut self.transport(source))?;
+        shared.after_mutation();
+        Ok(out)
     }
 
     /// One whole-item pull through a caller-owned [`ChaosLink`] with a
@@ -241,7 +321,9 @@ impl ThreadedCluster {
         self.checked(source)?;
         let shared = self.checked(recipient)?;
         let mut transport = ChaosTransport::new(self.transport(source), link);
-        Engine::pull_with(&mut MutexHost(&shared.replica), &mut transport, policy)
+        let out = Engine::pull_with(&mut MutexHost(&shared.replica), &mut transport, policy)?;
+        shared.after_mutation();
+        Ok(out)
     }
 
     /// As [`pull_now_chaos`](Self::pull_now_chaos), in delta mode (with
@@ -258,19 +340,48 @@ impl ThreadedCluster {
         self.checked(source)?;
         let shared = self.checked(recipient)?;
         let mut transport = ChaosTransport::new(self.transport(source), link);
-        Engine::pull_delta_with(&mut MutexHost(&shared.replica), &mut transport, policy)
+        let out = Engine::pull_delta_with(&mut MutexHost(&shared.replica), &mut transport, policy)?;
+        shared.after_mutation();
+        Ok(out)
     }
 
     /// Crash a node: it drops all traffic and initiates nothing until
-    /// revived. Its durable state (the replica) survives, as a recovering
-    /// server's disk would.
+    /// revived.
+    ///
+    /// With durability configured this is a real crash: the in-memory
+    /// [`Replica`] is dropped (replaced by an empty placeholder with no
+    /// journal attached) and the WAL handle closed — only the on-disk
+    /// state survives, exactly as a dead server's disk would. Without
+    /// durability, the replica stays in memory (the legacy simulation).
     pub fn crash(&self, node: NodeId) {
-        self.nodes[node.index()].alive.store(false, Ordering::SeqCst);
+        let shared = &self.nodes[node.index()];
+        shared.alive.store(false, Ordering::SeqCst);
+        if self.config.durability.is_some() {
+            let placeholder =
+                Replica::new(node, self.n_nodes(), self.with_replica(node, Replica::n_items));
+            *shared.replica.lock() = placeholder;
+            *shared.durability.lock() = None;
+        }
     }
 
-    /// Revive a crashed node; anti-entropy brings it back up to date.
+    /// Revive a crashed node; with durability configured, the replica is
+    /// first reconstructed from its on-disk snapshot + WAL, then
+    /// anti-entropy brings it the rest of the way up to date.
     pub fn revive(&self, node: NodeId) {
-        self.nodes[node.index()].alive.store(true, Ordering::SeqCst);
+        let shared = &self.nodes[node.index()];
+        if let Some(cfg) = &self.config.durability {
+            let (durability, replica) = open_durable_node(
+                cfg,
+                node,
+                self.n_nodes(),
+                self.with_replica(node, Replica::n_items),
+                self.config.delta_budget,
+                self.config.paranoid,
+            );
+            *shared.replica.lock() = replica;
+            *shared.durability.lock() = Some(durability);
+        }
+        shared.alive.store(true, Ordering::SeqCst);
     }
 
     /// Run a closure over a locked replica (inspection).
@@ -322,10 +433,19 @@ impl ThreadedCluster {
         })
     }
 
-    /// Stop all threads and return the final replicas.
+    /// Stop all threads and return the final replicas (journal sinks
+    /// detached — the clones are for inspection, not for appending to the
+    /// cluster's WALs).
     pub fn shutdown(mut self) -> Vec<Replica> {
         self.stop();
-        self.nodes.iter().map(|n| n.replica.lock().clone()).collect()
+        self.nodes
+            .iter()
+            .map(|n| {
+                let mut r = n.replica.lock().clone();
+                r.set_mutation_sink(None);
+                r
+            })
+            .collect()
     }
 
     fn stop(&mut self) {
@@ -411,11 +531,14 @@ fn gossip_loop(
         let mut host = MutexHost(&shared.replica);
         // Faults and crashed peers exhaust the in-round retry policy and
         // surface as errors; gossip then just retries on the next tick.
-        let _ = if cfg.delta_budget > 0 {
+        let result = if cfg.delta_budget > 0 {
             Engine::pull_delta_with(&mut host, &mut transport, &cfg.retry)
         } else {
             Engine::pull_with(&mut host, &mut transport, &cfg.retry)
         };
+        if result.is_ok() {
+            shared.after_mutation();
+        }
     }
 }
 
@@ -467,12 +590,47 @@ mod tests {
 
     #[test]
     fn crashed_node_catches_up_after_revival() {
-        let cluster = ThreadedCluster::spawn(3, 20, fast_config());
+        // Durable mode: crash() really drops the in-memory replica and
+        // revive() reconstructs it from disk before anti-entropy resumes.
+        let tmp = epidb_durable::testdir::TempDir::new("threaded-crash");
+        let cluster = ThreadedCluster::spawn(
+            3,
+            20,
+            ClusterConfig {
+                gossip_interval: Duration::from_millis(1),
+                durability: Some(DurabilityConfig::new(tmp.path().clone())),
+                ..ClusterConfig::default()
+            },
+        );
+        cluster.update(NodeId(2), ItemId(5), UpdateOp::set(&b"pre-crash"[..])).unwrap();
+        assert!(cluster.quiesce(Duration::from_secs(20)));
         cluster.crash(NodeId(2));
         assert!(matches!(
             cluster.update(NodeId(2), ItemId(0), UpdateOp::set(&b"x"[..])),
             Err(Error::NodeDown(NodeId(2)))
         ));
+        // The in-memory replica is gone: reads fail rather than serving a
+        // placeholder.
+        assert!(matches!(cluster.read(NodeId(2), ItemId(5)), Err(Error::NodeDown(NodeId(2)))));
+        cluster.update(NodeId(0), ItemId(0), UpdateOp::set(&b"while-down"[..])).unwrap();
+        assert!(cluster.quiesce(Duration::from_secs(20)));
+        cluster.revive(NodeId(2));
+        assert!(cluster.quiesce(Duration::from_secs(20)));
+        // Recovered from its own WAL...
+        assert_eq!(cluster.read(NodeId(2), ItemId(5)).unwrap(), b"pre-crash");
+        // ...and caught up on what it missed via anti-entropy.
+        assert_eq!(cluster.read(NodeId(2), ItemId(0)).unwrap(), b"while-down");
+        let replicas = cluster.shutdown();
+        for r in &replicas {
+            r.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn crashed_node_stays_stale_without_durability() {
+        // Legacy simulation: the replica survives the crash in memory.
+        let cluster = ThreadedCluster::spawn(3, 20, fast_config());
+        cluster.crash(NodeId(2));
         cluster.update(NodeId(0), ItemId(0), UpdateOp::set(&b"while-down"[..])).unwrap();
         assert!(cluster.quiesce(Duration::from_secs(20)));
         // The crashed node is excluded from quiescence and still stale.
@@ -480,6 +638,32 @@ mod tests {
         cluster.revive(NodeId(2));
         assert!(cluster.quiesce(Duration::from_secs(20)));
         assert_eq!(cluster.read(NodeId(2), ItemId(0)).unwrap(), b"while-down");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn durable_revive_restores_state_from_disk_alone() {
+        // Gossip effectively disabled: after the crash nothing can refill
+        // node 0 except its own disk.
+        let tmp = epidb_durable::testdir::TempDir::new("threaded-disk-only");
+        let cluster = ThreadedCluster::spawn(
+            2,
+            10,
+            ClusterConfig {
+                gossip_interval: Duration::from_secs(3600),
+                durability: Some(DurabilityConfig::new(tmp.path().clone())),
+                ..ClusterConfig::default()
+            },
+        );
+        for i in 0..4u32 {
+            cluster.update(NodeId(0), ItemId(i), UpdateOp::set(vec![i as u8; 32])).unwrap();
+        }
+        cluster.crash(NodeId(0));
+        cluster.revive(NodeId(0));
+        for i in 0..4u32 {
+            assert_eq!(cluster.read(NodeId(0), ItemId(i)).unwrap(), vec![i as u8; 32]);
+        }
+        cluster.with_replica(NodeId(0), |r| r.check_invariants().unwrap());
         cluster.shutdown();
     }
 

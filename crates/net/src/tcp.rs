@@ -29,12 +29,14 @@ use epidb_core::{
     ChaosLink, ChaosTransport, Engine, FaultPlan, OobOutcome, ProtocolRequest, ProtocolResponse,
     PullOutcome, Replica, RetryPolicy, Transport,
 };
+use epidb_durable::{DurabilityConfig, NodeDurability};
 use epidb_store::UpdateOp;
 use epidb_vv::VvOrd;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::runtime::open_durable_node;
 use crate::transport::MutexHost;
 
 /// Maximum accepted frame size (64 MiB) — guards against corrupt length
@@ -96,6 +98,10 @@ pub struct TcpConfig {
     /// Retry policy the gossip loop applies within each anti-entropy
     /// round (between rounds, the next tick is the retry).
     pub retry: RetryPolicy,
+    /// On-disk durability (WAL + snapshot checkpoints) per node. When
+    /// set, [`crash`](TcpCluster::crash) really drops the in-memory
+    /// replica and [`revive`](TcpCluster::revive) recovers it from disk.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for TcpConfig {
@@ -109,6 +115,7 @@ impl Default for TcpConfig {
             socket: TcpSocketOptions::default(),
             fault_plan: None,
             retry: RetryPolicy::none(),
+            durability: None,
         }
     }
 }
@@ -124,6 +131,22 @@ impl TcpConfig {
 struct TcpNode {
     replica: Mutex<Replica>,
     alive: AtomicBool,
+    /// The node's durability layer; `None` when durability is off, and
+    /// also while a durable node is crashed (the WAL handle is dropped
+    /// with the replica and reopened on revival).
+    durability: Mutex<Option<Arc<NodeDurability>>>,
+}
+
+impl TcpNode {
+    /// Run the checkpoint policy after a durable mutation. Takes the
+    /// replica lock; call only from contexts that do not already hold it.
+    fn after_mutation(&self) {
+        let durability = self.durability.lock().clone();
+        if let Some(d) = durability {
+            let replica = self.replica.lock();
+            d.maybe_checkpoint(&replica).expect("durable: checkpoint failed");
+        }
+    }
 }
 
 /// Write every byte of `bufs` with as few syscalls as the kernel allows:
@@ -309,12 +332,33 @@ impl TcpCluster {
         let running = Arc::new(AtomicBool::new(true));
         let nodes: Vec<Arc<TcpNode>> = (0..n_nodes)
             .map(|i| {
-                let mut replica = Replica::new(NodeId::from_index(i), n_nodes, n_items);
-                if config.delta_budget > 0 {
-                    replica.enable_delta(config.delta_budget);
-                }
-                replica.set_paranoid(config.paranoid);
-                Arc::new(TcpNode { replica: Mutex::new(replica), alive: AtomicBool::new(true) })
+                let id = NodeId::from_index(i);
+                let (durability, replica) = match &config.durability {
+                    Some(cfg) => {
+                        let (d, r) = open_durable_node(
+                            cfg,
+                            id,
+                            n_nodes,
+                            n_items,
+                            config.delta_budget,
+                            config.paranoid,
+                        );
+                        (Some(d), r)
+                    }
+                    None => {
+                        let mut replica = Replica::new(id, n_nodes, n_items);
+                        if config.delta_budget > 0 {
+                            replica.enable_delta(config.delta_budget);
+                        }
+                        replica.set_paranoid(config.paranoid);
+                        (None, replica)
+                    }
+                };
+                Arc::new(TcpNode {
+                    replica: Mutex::new(replica),
+                    alive: AtomicBool::new(true),
+                    durability: Mutex::new(durability),
+                })
             })
             .collect();
 
@@ -360,12 +404,20 @@ impl TcpCluster {
     /// Apply a user update at `node`.
     pub fn update(&self, node: NodeId, item: ItemId, op: UpdateOp) -> Result<()> {
         let n = self.checked(node)?;
-        n.replica.lock().update(item, op)
+        n.replica.lock().update(item, op)?;
+        n.after_mutation();
+        Ok(())
     }
 
-    /// Read the user-visible value at `node`.
+    /// Read the user-visible value at `node`. A crashed durable node has
+    /// no in-memory replica to serve from, so the read fails; without
+    /// durability the surviving in-memory state is readable (the legacy
+    /// simulation behaviour).
     pub fn read(&self, node: NodeId, item: ItemId) -> Result<Vec<u8>> {
         let n = self.nodes.get(node.index()).ok_or(Error::UnknownNode(node))?;
+        if self.config.durability.is_some() && !n.alive.load(Ordering::SeqCst) {
+            return Err(Error::NodeDown(node));
+        }
         Ok(n.replica.lock().read(item)?.as_bytes().to_vec())
     }
 
@@ -394,7 +446,9 @@ impl TcpCluster {
         self.checked(source)?;
         let node = self.checked(recipient)?;
         let mut transport = self.transport_to(source);
-        Engine::oob(&mut MutexHost(&node.replica), &mut transport, item)
+        let out = Engine::oob(&mut MutexHost(&node.replica), &mut transport, item)?;
+        node.after_mutation();
+        Ok(out)
     }
 
     /// Run one whole-item pull right now (`recipient` from `source`),
@@ -404,7 +458,9 @@ impl TcpCluster {
         self.checked(source)?;
         let node = self.checked(recipient)?;
         let mut transport = self.transport_to(source);
-        Engine::pull(&mut MutexHost(&node.replica), &mut transport)
+        let out = Engine::pull(&mut MutexHost(&node.replica), &mut transport)?;
+        node.after_mutation();
+        Ok(out)
     }
 
     /// As [`pull_now`](Self::pull_now), in delta mode.
@@ -413,7 +469,9 @@ impl TcpCluster {
         self.checked(source)?;
         let node = self.checked(recipient)?;
         let mut transport = self.transport_to(source);
-        Engine::pull_delta(&mut MutexHost(&node.replica), &mut transport)
+        let out = Engine::pull_delta(&mut MutexHost(&node.replica), &mut transport)?;
+        node.after_mutation();
+        Ok(out)
     }
 
     /// One whole-item pull at `recipient` over a caller-supplied
@@ -426,7 +484,9 @@ impl TcpCluster {
         policy: &RetryPolicy,
     ) -> Result<PullOutcome> {
         let node = self.checked(recipient)?;
-        Engine::pull_with(&mut MutexHost(&node.replica), transport, policy)
+        let out = Engine::pull_with(&mut MutexHost(&node.replica), transport, policy)?;
+        node.after_mutation();
+        Ok(out)
     }
 
     /// As [`pull_now_via`](Self::pull_now_via), in delta mode (with the
@@ -438,7 +498,9 @@ impl TcpCluster {
         policy: &RetryPolicy,
     ) -> Result<PullOutcome> {
         let node = self.checked(recipient)?;
-        Engine::pull_delta_with(&mut MutexHost(&node.replica), transport, policy)
+        let out = Engine::pull_delta_with(&mut MutexHost(&node.replica), transport, policy)?;
+        node.after_mutation();
+        Ok(out)
     }
 
     /// One whole-item pull through a caller-owned [`ChaosLink`] — the
@@ -471,15 +533,39 @@ impl TcpCluster {
         self.pull_delta_now_via(recipient, &mut transport, policy)
     }
 
-    /// Crash / revive a node (it refuses connections and stops gossiping
-    /// while down; durable state survives).
+    /// Crash a node: it refuses connections and stops gossiping while
+    /// down. With durability configured, the in-memory replica is really
+    /// dropped (only the on-disk WAL + snapshot survive); without it, the
+    /// replica survives in memory (the legacy simulation).
     pub fn crash(&self, node: NodeId) {
-        self.nodes[node.index()].alive.store(false, Ordering::SeqCst);
+        let n = &self.nodes[node.index()];
+        n.alive.store(false, Ordering::SeqCst);
+        if self.config.durability.is_some() {
+            let placeholder =
+                Replica::new(node, self.n_nodes(), self.with_replica(node, Replica::n_items));
+            *n.replica.lock() = placeholder;
+            *n.durability.lock() = None;
+        }
     }
 
-    /// Revive a crashed node.
+    /// Revive a crashed node; with durability configured, the replica is
+    /// first reconstructed from its on-disk snapshot + WAL, then
+    /// anti-entropy brings it the rest of the way up to date.
     pub fn revive(&self, node: NodeId) {
-        self.nodes[node.index()].alive.store(true, Ordering::SeqCst);
+        let n = &self.nodes[node.index()];
+        if let Some(cfg) = &self.config.durability {
+            let (durability, replica) = open_durable_node(
+                cfg,
+                node,
+                self.n_nodes(),
+                self.with_replica(node, Replica::n_items),
+                self.config.delta_budget,
+                self.config.paranoid,
+            );
+            *n.replica.lock() = replica;
+            *n.durability.lock() = Some(durability);
+        }
+        n.alive.store(true, Ordering::SeqCst);
     }
 
     /// Run a closure over a locked replica.
@@ -526,10 +612,19 @@ impl TcpCluster {
         }
     }
 
-    /// Stop all threads and return the final replicas.
+    /// Stop all threads and return the final replicas (journal sinks
+    /// detached — the clones are for inspection, not for appending to the
+    /// cluster's WALs).
     pub fn shutdown(mut self) -> Vec<Replica> {
         self.stop();
-        self.nodes.iter().map(|n| n.replica.lock().clone()).collect()
+        self.nodes
+            .iter()
+            .map(|n| {
+                let mut r = n.replica.lock().clone();
+                r.set_mutation_sink(None);
+                r
+            })
+            .collect()
     }
 
     fn stop(&mut self) {
@@ -658,11 +753,14 @@ fn gossip_loop(
         // Connection failures and injected faults exhaust the in-round
         // retry policy and surface as errors; gossip then just retries on
         // the next tick.
-        let _ = if cfg.delta_budget > 0 {
+        let result = if cfg.delta_budget > 0 {
             Engine::pull_delta_with(&mut host, &mut transport, &cfg.retry)
         } else {
             Engine::pull_with(&mut host, &mut transport, &cfg.retry)
         };
+        if result.is_ok() {
+            node.after_mutation();
+        }
     }
 }
 
@@ -713,6 +811,37 @@ mod tests {
 
     #[test]
     fn crashed_node_refuses_and_recovers() {
+        // Durable mode: the crash drops the in-memory replica; revival
+        // recovers from the node's own WAL, then catches up via gossip.
+        let tmp = epidb_durable::testdir::TempDir::new("tcp-crash");
+        let cluster = TcpCluster::spawn(
+            3,
+            20,
+            TcpConfig {
+                gossip_interval: Duration::from_millis(2),
+                durability: Some(DurabilityConfig::new(tmp.path().clone())),
+                ..TcpConfig::default()
+            },
+        )
+        .unwrap();
+        cluster.update(NodeId(2), ItemId(5), UpdateOp::set(&b"pre-crash"[..])).unwrap();
+        assert!(cluster.quiesce(Duration::from_secs(30)));
+        cluster.crash(NodeId(2));
+        assert!(matches!(cluster.read(NodeId(2), ItemId(5)), Err(Error::NodeDown(NodeId(2)))));
+        cluster.update(NodeId(0), ItemId(0), UpdateOp::set(&b"while-down"[..])).unwrap();
+        assert!(cluster.quiesce(Duration::from_secs(30)));
+        cluster.revive(NodeId(2));
+        assert!(cluster.quiesce(Duration::from_secs(30)));
+        assert_eq!(cluster.read(NodeId(2), ItemId(5)).unwrap(), b"pre-crash");
+        assert_eq!(cluster.read(NodeId(2), ItemId(0)).unwrap(), b"while-down");
+        let replicas = cluster.shutdown();
+        for r in &replicas {
+            r.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn crashed_node_stays_stale_without_durability() {
         let cluster = TcpCluster::spawn(
             3,
             20,

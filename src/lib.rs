@@ -20,6 +20,7 @@
 //! | [`store`] | items, values, re-doable update operations (§2, §4.4) |
 //! | [`log`] | the log vector and auxiliary log (§4.2, §4.4, Fig. 1) |
 //! | [`core`] | the protocol: replicas, propagation, OOB, tokens (§5), the transport-agnostic engine + wire codec |
+//! | [`durable`] | on-disk durability: write-ahead log, atomic snapshot checkpoints, crash recovery |
 //! | [`net`] | threaded and TCP cluster runtimes (engine adapters) with fault injection |
 //! | [`baselines`] | the §8 comparison protocols |
 //! | [`sim`] | simulator, workloads, auditor, experiment suite |
@@ -50,6 +51,7 @@
 pub use epidb_baselines as baselines;
 pub use epidb_common as common;
 pub use epidb_core as core;
+pub use epidb_durable as durable;
 pub use epidb_log as log;
 pub use epidb_net as net;
 pub use epidb_sim as sim;
