@@ -23,7 +23,7 @@ cargo bench --workspace --no-run
 
 echo "== perf_report smoke =="
 cargo run --release -q -p epidb-bench --bin perf_report -- \
-  --smoke --assert-zero-copy --out target/bench_smoke.json
+  --smoke --assert-zero-copy --assert-small-path --out target/bench_smoke.json
 grep -q '"schema": "epidb-perf-report/v1"' target/bench_smoke.json
 
 echo "== chaos soak smoke (seeded, deterministic) =="

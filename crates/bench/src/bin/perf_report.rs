@@ -14,7 +14,7 @@
 //!
 //! ```text
 //! cargo run --release -p epidb-bench --bin perf_report -- \
-//!     [--smoke] [--assert-zero-copy] [--out PATH] [--baseline PATH]
+//!     [--smoke] [--assert-zero-copy] [--assert-small-path] [--out PATH] [--baseline PATH]
 //! ```
 //!
 //! * `--smoke` — tiny sizes and budgets (CI: validates the harness and the
@@ -22,9 +22,13 @@
 //! * `--assert-zero-copy` — assert that the large-value ship scenarios
 //!   allocate far less than they ship (the steady-state zero-copy
 //!   guarantee); fails loudly if a copy sneaks back into the payload path.
+//! * `--assert-small-path` — assert the small-message allocation gates:
+//!   decoding a many-small-items frame is O(1) allocations regardless of
+//!   item count, and a steady-state delta gossip round stays under a fixed
+//!   allocation budget.
 //! * `--baseline PATH` — a previous report to embed and compute speedups
-//!   against (default `results/bench_pr3_baseline.json` if present).
-//! * `--out PATH` — where to write the report (default `BENCH_PR3.json`).
+//!   against (default `BENCH_PR3.json` if present).
+//! * `--out PATH` — where to write the report (default `BENCH_PR6.json`).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -253,33 +257,49 @@ fn scenario_pull(name: &'static str, s: &Sizes, m: usize, val: usize) -> Measure
     )
 }
 
-/// One delta-mode pull shipping operation chains for `m` items.
+/// One steady-state delta gossip round over many small items: each round
+/// patches every item with `ops` small `write_range` updates at the
+/// source, then ships the op chains to a persistent, already-converged
+/// destination — the sustained many-small-updates regime the small-message
+/// fast path targets (no per-round replica clones, no whole-item ships).
 fn scenario_delta(name: &'static str, s: &Sizes, m: usize, ops: usize, val: usize) -> Measure {
+    // Steady-state gossip: a persistent pair of replicas exchanging rounds
+    // of small write-range patches — the workload whose per-round
+    // allocation the small-path gate bounds. The op cache runs with a
+    // bounded budget so its rings reach capacity during warmup instead of
+    // doubling forever, and the patch payloads are shared `Bytes`
+    // (refcount clones), so a measured round charges only the propagation
+    // machinery itself.
+    let patch = 64.min(val.max(1));
     let mut src = Replica::new(NodeId(0), 3, m);
-    src.enable_delta(16 << 20);
+    src.enable_delta(256 << 10);
     let mut dst = Replica::new(NodeId(1), 3, m);
+    dst.enable_delta(256 << 10);
     for i in 0..m {
         src.update(ItemId::from_index(i), UpdateOp::set(vec![7u8; val])).unwrap();
     }
     pull(&mut dst, &mut src).unwrap();
-    for k in 0..ops {
-        for i in 0..m {
-            src.update(ItemId::from_index(i), UpdateOp::append(vec![k as u8; val])).unwrap();
+    let patches: Vec<Bytes> = (0..ops).map(|k| Bytes::from(vec![k as u8; patch])).collect();
+    let mut one_round = || {
+        for (k, p) in patches.iter().enumerate() {
+            for i in 0..m {
+                src.update(
+                    ItemId::from_index(i),
+                    UpdateOp::write_range((k * patch) % val.max(1), p.clone()),
+                )
+                .unwrap();
+            }
         }
+        let out = pull_delta(&mut dst, &mut src).unwrap();
+        assert!(matches!(out, PullOutcome::Propagated(_)));
+        out
+    };
+    // Warm until the op cache hits its byte budget (steady state).
+    for _ in 0..64 {
+        one_round();
     }
-    let payload = (m * ops * val) as u64;
-    let dst0 = dst;
-    bench(
-        name,
-        s.target,
-        payload,
-        || dst0.clone(),
-        |mut dst| {
-            let out = pull_delta(&mut dst, &mut src).unwrap();
-            assert!(matches!(out, PullOutcome::Propagated(_)));
-            dst
-        },
-    )
+    let payload = (m * ops * patch) as u64;
+    bench(name, s.target, payload, || (), |()| one_round())
 }
 
 /// One out-of-bound copy of a single large value to a fresh recipient.
@@ -372,9 +392,8 @@ fn main() {
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::from)
     };
     let smoke = has("--smoke");
-    let out_path = opt("--out").unwrap_or_else(|| "BENCH_PR3.json".into());
-    let baseline_path =
-        opt("--baseline").unwrap_or_else(|| "results/bench_pr3_baseline.json".into());
+    let out_path = opt("--out").unwrap_or_else(|| "BENCH_PR6.json".into());
+    let baseline_path = opt("--baseline").unwrap_or_else(|| "BENCH_PR3.json".into());
 
     let sizes = if smoke { Sizes::smoke() } else { Sizes::full() };
     eprintln!("perf_report: running {} scenarios...", if smoke { "smoke" } else { "full" });
@@ -412,11 +431,34 @@ fn main() {
         eprintln!("perf_report: zero-copy allocation assertions hold.");
     }
 
+    if has("--assert-small-path") {
+        // The small-message fast-path gates: decoding a frame of many
+        // small items must be O(1) allocations (scratch/inline decoding —
+        // any per-item allocation multiplies by the item count and blows
+        // the bound), and one steady-state delta gossip round over many
+        // small updates must stay under a fixed allocation budget.
+        let decode =
+            measures.iter().find(|m| m.name == "codec_decode_many_small").expect("scenario");
+        assert!(
+            decode.allocs_per_op <= 10.0,
+            "small-path regression in `codec_decode_many_small`: {:.1} allocs/op > 10 \
+             (per-item allocation crept back into the decoders)",
+            decode.allocs_per_op,
+        );
+        let gossip = measures.iter().find(|m| m.name == "delta_gossip").expect("scenario");
+        assert!(
+            gossip.alloc_bytes_per_op <= 65_536.0,
+            "small-path regression in `delta_gossip`: {:.0} alloc bytes/round > 65536",
+            gossip.alloc_bytes_per_op,
+        );
+        eprintln!("perf_report: small-path allocation assertions hold.");
+    }
+
     let baseline = std::fs::read_to_string(&baseline_path).ok();
     let mut report = String::new();
     report.push_str("{\n");
     report.push_str("  \"schema\": \"epidb-perf-report/v1\",\n");
-    report.push_str("  \"pr\": 3,\n");
+    report.push_str("  \"pr\": 6,\n");
     writeln!(report, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" }).unwrap();
     writeln!(report, "  \"scenarios\": {},", scenarios_json(&measures)).unwrap();
     match &baseline {

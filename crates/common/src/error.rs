@@ -43,6 +43,17 @@ pub enum Error {
     /// A peer could not be reached after the configured connect retries.
     /// Retryable at a coarser granularity (the peer may come back).
     PeerUnavailable(NodeId),
+    /// A frame exceeded the transport's hard size limit. NOT retryable:
+    /// unlike a corrupt frame, re-sending the same message produces the
+    /// same oversized frame, so a retry deterministically fails again.
+    /// Raised on the *sender* before any bytes hit the wire, and on the
+    /// receiver as a defensive backstop against a non-conforming peer.
+    FrameTooLarge {
+        /// Size of the offending frame in bytes.
+        len: u64,
+        /// The limit it exceeded.
+        limit: u64,
+    },
     /// Durable state (a snapshot or write-ahead log record) failed its
     /// integrity or decode checks. NOT retryable: unlike a corrupt frame,
     /// re-reading the same bytes from disk yields the same corruption, so
@@ -80,6 +91,9 @@ impl fmt::Display for Error {
             Error::Network(msg) => write!(f, "network error: {msg}"),
             Error::CorruptFrame(msg) => write!(f, "corrupt frame: {msg}"),
             Error::PeerUnavailable(n) => write!(f, "peer {n} unavailable"),
+            Error::FrameTooLarge { len, limit } => {
+                write!(f, "frame of {len} bytes exceeds the {limit}-byte limit")
+            }
             Error::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
             Error::DatabaseExists(name) => write!(f, "database {name:?} already exists"),
             Error::UnknownDatabase(name) => write!(f, "unknown database {name:?}"),
@@ -116,6 +130,10 @@ mod tests {
         );
         assert_eq!(Error::PeerUnavailable(NodeId(3)).to_string(), "peer n3 unavailable");
         assert_eq!(
+            Error::FrameTooLarge { len: 100, limit: 64 }.to_string(),
+            "frame of 100 bytes exceeds the 64-byte limit"
+        );
+        assert_eq!(
             Error::CorruptSnapshot("bad magic".into()).to_string(),
             "corrupt snapshot: bad magic"
         );
@@ -137,6 +155,9 @@ mod tests {
         // Corrupt durable state is permanent: the same bytes re-read from
         // disk fail the same way, so a retry can never succeed.
         assert!(!Error::CorruptSnapshot("x".into()).is_retryable());
+        // An oversized frame is deterministic on the sender: re-encoding
+        // the same message re-exceeds the same limit.
+        assert!(!Error::FrameTooLarge { len: 2, limit: 1 }.is_retryable());
     }
 
     #[test]

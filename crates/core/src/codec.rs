@@ -10,7 +10,7 @@
 
 use std::ops::Range;
 
-use bytes::{Bytes, BytesMut};
+use bytes::Bytes;
 use epidb_common::{Error, ItemId, NodeId, Result};
 use epidb_log::LogRecord;
 use epidb_store::UpdateOp;
@@ -23,6 +23,27 @@ use crate::opcache::CachedOp;
 
 /// Format version byte embedded in framed messages and snapshots.
 pub const CODEC_VERSION: u8 = 1;
+
+/// Hard upper bound on a framed message (length prefix + checked header +
+/// body), shared by every transport. Both ends enforce it: a sender must
+/// refuse to emit a larger frame ([`Error::FrameTooLarge`], not
+/// retryable — resending the same oversized message can never succeed),
+/// and a receiver drops anything whose length prefix exceeds it before
+/// allocating a buffer for it.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Sender-side frame-size check: `body_len` is the encoded body (checked
+/// header included); errors with the typed, non-retryable
+/// [`Error::FrameTooLarge`] when the frame would exceed [`MAX_FRAME`].
+/// The arithmetic is in `u64`, so bodies larger than `u32::MAX` are
+/// rejected rather than silently truncated by a cast.
+pub fn check_frame_len(body_len: usize) -> Result<u32> {
+    let len = body_len as u64;
+    if len > MAX_FRAME as u64 {
+        return Err(Error::FrameTooLarge { len, limit: MAX_FRAME as u64 });
+    }
+    Ok(len as u32)
+}
 
 // --- frame integrity (CRC32) ------------------------------------------------
 
@@ -97,7 +118,7 @@ enum Chunk {
 /// Growable output buffer with primitive writers.
 ///
 /// The writer is *segment-aware*: primitive fields accumulate in a
-/// reusable control buffer ([`BytesMut`]), while large values appended
+/// reusable control buffer, while large values appended
 /// with [`Writer::value`] are kept as refcounted [`Bytes`] segments
 /// instead of being copied in. The encoded message is the in-order
 /// concatenation of both, exposed either as contiguous bytes
@@ -111,7 +132,14 @@ enum Chunk {
 /// every frame into the same buffer.
 #[derive(Default)]
 pub struct Writer {
-    ctl: BytesMut,
+    /// Control bytes live in `ctl[..pos]`. The vector is kept at full
+    /// length (equal to its capacity) so every primitive write is a plain
+    /// slice store behind one length check — no per-call `reserve`, no
+    /// `memcpy` dispatch for the fixed-width fields. This is what lets a
+    /// thousand-item frame encode at copy speed.
+    ctl: Vec<u8>,
+    /// One past the last control byte written.
+    pos: usize,
     chunks: Vec<Chunk>,
     /// Start of the control run not yet recorded in `chunks`.
     mark: usize,
@@ -127,12 +155,12 @@ impl Writer {
 
     /// Fresh writer with `capacity` control bytes pre-reserved.
     pub fn with_capacity(capacity: usize) -> Writer {
-        Writer { ctl: BytesMut::with_capacity(capacity), ..Writer::default() }
+        Writer { ctl: vec![0; capacity], ..Writer::default() }
     }
 
     /// Drop the contents but keep the control allocation, for reuse.
     pub fn clear(&mut self) {
-        self.ctl.clear();
+        self.pos = 0;
         self.chunks.clear();
         self.mark = 0;
         self.val_bytes = 0;
@@ -140,15 +168,36 @@ impl Writer {
 
     /// Reserve room for at least `additional` more control bytes.
     pub fn reserve(&mut self, additional: usize) {
-        self.ctl.reserve(additional);
+        if self.pos + additional > self.ctl.len() {
+            self.grow(additional);
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self, need: usize) {
+        let target = (self.pos + need).max(self.ctl.len() * 2).max(64);
+        self.ctl.resize(target, 0);
+    }
+
+    /// Claim `need` control bytes, growing if necessary; returns the
+    /// write offset. The single branch all primitive writers share.
+    #[inline]
+    fn claim(&mut self, need: usize) -> usize {
+        if self.pos + need > self.ctl.len() {
+            self.grow(need);
+        }
+        let p = self.pos;
+        self.pos += need;
+        p
     }
 
     /// Finish and take the encoded bytes as one contiguous buffer.
     /// Zero-copy when no value segments were appended (the common case for
     /// requests and snapshots); otherwise assembles once.
-    pub fn into_bytes(self) -> Vec<u8> {
+    pub fn into_bytes(mut self) -> Vec<u8> {
         if self.chunks.is_empty() {
-            return self.ctl.into_vec();
+            self.ctl.truncate(self.pos);
+            return self.ctl;
         }
         let mut out = Vec::with_capacity(self.len());
         for chunk in &self.chunks {
@@ -157,14 +206,14 @@ impl Writer {
                 Chunk::Val(b) => out.extend_from_slice(b),
             }
         }
-        out.extend_from_slice(&self.ctl[self.mark..]);
+        out.extend_from_slice(&self.ctl[self.mark..self.pos]);
         out
     }
 
     /// The encoded message as in-order slices (control runs interleaved
     /// with shared value segments), for vectored writes.
     pub fn chunks(&self) -> impl Iterator<Item = &[u8]> {
-        let tail = &self.ctl[self.mark..];
+        let tail = &self.ctl[self.mark..self.pos];
         self.chunks
             .iter()
             .map(move |chunk| match chunk {
@@ -176,7 +225,7 @@ impl Writer {
 
     /// Bytes written so far (control and value segments).
     pub fn len(&self) -> usize {
-        self.ctl.len() + self.val_bytes
+        self.pos + self.val_bytes
     }
 
     /// True if nothing has been written.
@@ -184,31 +233,64 @@ impl Writer {
         self.len() == 0
     }
 
+    /// True before the writer's first use (no control buffer yet).
+    fn is_fresh(&self) -> bool {
+        self.ctl.is_empty()
+    }
+
     /// Write a raw byte.
+    #[inline]
     pub fn u8(&mut self, v: u8) {
-        self.ctl.put_u8(v);
+        let p = self.claim(1);
+        self.ctl[p] = v;
     }
 
     /// Write a little-endian u16.
+    #[inline]
     pub fn u16(&mut self, v: u16) {
-        self.ctl.put_u16_le(v);
+        let p = self.claim(2);
+        self.ctl[p..p + 2].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Write a little-endian u32.
+    #[inline]
     pub fn u32(&mut self, v: u32) {
-        self.ctl.put_u32_le(v);
+        let p = self.claim(4);
+        self.ctl[p..p + 4].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Write a little-endian u64.
+    #[inline]
     pub fn u64(&mut self, v: u64) {
-        self.ctl.put_u64_le(v);
+        let p = self.claim(8);
+        self.ctl[p..p + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a run of little-endian u64s with one length check — the bulk
+    /// path behind version-vector encoding.
+    #[inline]
+    pub fn u64_slice(&mut self, vals: &[u64]) {
+        let n = vals.len() * 8;
+        let p = self.claim(n);
+        for (d, v) in self.ctl[p..p + n].chunks_exact_mut(8).zip(vals) {
+            d.copy_from_slice(&v.to_le_bytes());
+        }
     }
 
     /// Write a length-prefixed byte string (always copied into the control
     /// buffer; use [`Writer::value`] for payload bytes).
+    #[inline]
     pub fn bytes(&mut self, v: &[u8]) {
-        self.u32(v.len() as u32);
-        self.ctl.extend_from_slice(v);
+        let p = self.claim(4 + v.len());
+        self.ctl[p..p + 4].copy_from_slice(&(v.len() as u32).to_le_bytes());
+        self.ctl[p + 4..p + 4 + v.len()].copy_from_slice(v);
+    }
+
+    /// Append pre-serialized wire bytes verbatim.
+    #[inline]
+    pub fn raw(&mut self, bytes: &[u8]) {
+        let p = self.claim(bytes.len());
+        self.ctl[p..p + bytes.len()].copy_from_slice(bytes);
     }
 
     /// IEEE CRC32 over the encoded message, computed by streaming the
@@ -223,15 +305,19 @@ impl Writer {
     }
 
     /// Write a length-prefixed value payload. Small values are inlined
-    /// into the control buffer; anything larger than [`INLINE_VALUE_MAX`]
+    /// into the control buffer (coalescing a many-small-item frame into a
+    /// single contiguous chunk); anything larger than [`INLINE_VALUE_MAX`]
     /// is recorded as a shared segment — a refcount bump, not a copy.
+    #[inline]
     pub fn value(&mut self, v: &Bytes) {
-        self.u32(v.len() as u32);
         if v.len() <= INLINE_VALUE_MAX {
-            self.ctl.extend_from_slice(v);
+            let p = self.claim(4 + v.len());
+            self.ctl[p..p + 4].copy_from_slice(&(v.len() as u32).to_le_bytes());
+            self.ctl[p + 4..p + 4 + v.len()].copy_from_slice(v);
         } else {
-            self.chunks.push(Chunk::Ctl(self.mark..self.ctl.len()));
-            self.mark = self.ctl.len();
+            self.u32(v.len() as u32);
+            self.chunks.push(Chunk::Ctl(self.mark..self.pos));
+            self.mark = self.pos;
             self.chunks.push(Chunk::Val(v.clone()));
             self.val_bytes += v.len();
         }
@@ -275,6 +361,7 @@ impl<'a> Reader<'a> {
         }
     }
 
+    #[inline]
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
             return Err(decode_err(format!("need {n} bytes, {} remaining", self.remaining())));
@@ -285,26 +372,31 @@ impl<'a> Reader<'a> {
     }
 
     /// Read one byte.
+    #[inline]
     pub fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
     /// Read a little-endian u16.
+    #[inline]
     pub fn u16(&mut self) -> Result<u16> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len")))
     }
 
     /// Read a little-endian u32.
+    #[inline]
     pub fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len")))
     }
 
     /// Read a little-endian u64.
+    #[inline]
     pub fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len")))
     }
 
     /// Read a length-prefixed byte string.
+    #[inline]
     pub fn bytes(&mut self) -> Result<&'a [u8]> {
         let len = self.u32()? as usize;
         self.take(len)
@@ -330,22 +422,28 @@ fn decode_err(msg: impl Into<String>) -> Error {
 
 // --- version vectors ------------------------------------------------------
 
-/// Encode a version vector.
+/// Encode a version vector (bulk entry write).
+#[inline]
 pub fn put_vv(w: &mut Writer, vv: &VersionVector) {
-    w.u16(vv.len() as u16);
-    for (_, v) in vv.iter() {
-        w.u64(v);
-    }
+    let e = vv.entries();
+    w.u16(e.len() as u16);
+    w.u64_slice(e);
 }
 
-/// Decode a version vector.
+/// Decode a version vector. Allocation-free for vectors up to the inline
+/// cap ([`epidb_vv::VV_INLINE_CAP`] servers) — the entries are read from
+/// one borrowed run of the frame straight into inline storage, so a
+/// thousand-item message decodes its thousand vectors with zero heap
+/// traffic.
 pub fn get_vv(r: &mut Reader<'_>) -> Result<VersionVector> {
     let n = r.u16()? as usize;
-    let mut entries = Vec::with_capacity(n);
-    for _ in 0..n {
-        entries.push(r.u64()?);
+    let raw = r.take(n * 8)?;
+    let mut vv = VersionVector::zero(n);
+    for j in 0..n {
+        let b: [u8; 8] = raw[j * 8..j * 8 + 8].try_into().expect("len");
+        vv.set(NodeId::from_index(j), u64::from_le_bytes(b));
     }
-    Ok(VersionVector::from_entries(entries))
+    Ok(vv)
 }
 
 /// Encode a database version vector.
@@ -400,6 +498,7 @@ pub fn get_op(r: &mut Reader<'_>) -> Result<UpdateOp> {
 // --- propagation messages ---------------------------------------------------
 
 /// Encode a log record.
+#[inline]
 pub fn put_log_record(w: &mut Writer, rec: &LogRecord) {
     w.u32(rec.item.0);
     w.u64(rec.m);
@@ -411,10 +510,33 @@ pub fn get_log_record(r: &mut Reader<'_>) -> Result<LogRecord> {
 }
 
 /// Encode a shipped item (id + IVV + value).
+///
+/// Small items (inline-sized value) take a fused path: one length check
+/// claims the whole record — id, IVV, value header, value bytes — and the
+/// fields are stored straight into the claimed window. Large values fall
+/// back to the field-by-field path, which records the value as a shared
+/// zero-copy segment.
+#[inline]
 pub fn put_shipped_item(w: &mut Writer, s: &ShippedItem) {
-    w.u32(s.item.0);
-    put_vv(w, &s.ivv);
-    w.value(&s.value);
+    let e = s.ivv.entries();
+    let vlen = s.value.len();
+    if vlen <= INLINE_VALUE_MAX {
+        let need = 4 + 2 + e.len() * 8 + 4 + vlen;
+        let p = w.claim(need);
+        let buf = &mut w.ctl[p..p + need];
+        buf[..4].copy_from_slice(&s.item.0.to_le_bytes());
+        buf[4..6].copy_from_slice(&(e.len() as u16).to_le_bytes());
+        let (vv, rest) = buf[6..].split_at_mut(e.len() * 8);
+        for (d, v) in vv.chunks_exact_mut(8).zip(e) {
+            d.copy_from_slice(&v.to_le_bytes());
+        }
+        rest[..4].copy_from_slice(&(vlen as u32).to_le_bytes());
+        rest[4..4 + vlen].copy_from_slice(&s.value);
+    } else {
+        w.u32(s.item.0);
+        put_vv(w, &s.ivv);
+        w.value(&s.value);
+    }
 }
 
 /// Decode a shipped item.
@@ -425,18 +547,27 @@ pub fn get_shipped_item(r: &mut Reader<'_>) -> Result<ShippedItem> {
     Ok(ShippedItem { item, ivv, value })
 }
 
-/// Encode a whole propagation payload.
+/// Encode a whole propagation payload. Each tail is written through one
+/// claimed window (12 bytes per record, no per-field length checks).
 pub fn put_payload(w: &mut Writer, p: &PropagationPayload) {
     w.u16(p.tails.len() as u16);
     for tail in &p.tails {
         w.u32(tail.len() as u32);
-        for rec in tail {
-            put_log_record(w, rec);
-        }
+        put_log_records(w, tail);
     }
     w.u32(p.items.len() as u32);
     for item in &p.items {
         put_shipped_item(w, item);
+    }
+}
+
+/// Encode a run of log records with a single length check.
+pub fn put_log_records(w: &mut Writer, recs: &[LogRecord]) {
+    let n = recs.len() * 12;
+    let p = w.claim(n);
+    for (d, rec) in w.ctl[p..p + n].chunks_exact_mut(12).zip(recs) {
+        d[..4].copy_from_slice(&rec.item.0.to_le_bytes());
+        d[4..].copy_from_slice(&rec.m.to_le_bytes());
     }
 }
 
@@ -524,9 +655,7 @@ pub fn put_delta_offer(w: &mut Writer, o: &DeltaOffer) {
     w.u16(o.tails.len() as u16);
     for tail in &o.tails {
         w.u32(tail.len() as u32);
-        for rec in tail {
-            put_log_record(w, rec);
-        }
+        put_log_records(w, tail);
     }
     w.u32(o.offers.len() as u32);
     for (item, ivv) in &o.offers {
@@ -663,7 +792,12 @@ fn put_string(w: &mut Writer, s: &str) {
 }
 
 fn get_string(r: &mut Reader<'_>) -> Result<String> {
-    String::from_utf8(r.bytes()?.to_vec()).map_err(|e| decode_err(format!("bad utf-8: {e}")))
+    // Validate in place, copy once — nothing is allocated for rejected
+    // input. Strings appear O(1) times per frame (routing names, error
+    // text), never per item, so this is off the small-message fast path.
+    std::str::from_utf8(r.bytes()?)
+        .map(str::to_owned)
+        .map_err(|e| decode_err(format!("bad utf-8: {e}")))
 }
 
 fn put_request_body(w: &mut Writer, req: &ProtocolRequest) {
@@ -816,7 +950,7 @@ pub fn encode_request_to(req: &ProtocolRequest, w: &mut Writer) {
     // on first use: a reused writer keeps its capacity, and re-walking the
     // message to compute `control_bytes` every frame costs more than the
     // amortized growth it would save.
-    if w.ctl.capacity() == 0 {
+    if w.is_fresh() {
         w.reserve(req.control_bytes() as usize + 16);
     }
     w.u8(CODEC_VERSION);
@@ -865,7 +999,7 @@ pub fn decode_request_shared(frame: &Bytes) -> Result<ProtocolRequest> {
 pub fn encode_response_to(resp: &ProtocolResponse, w: &mut Writer) {
     w.clear();
     // See `encode_request_to` for why this reserves only on first use.
-    if w.ctl.capacity() == 0 {
+    if w.is_fresh() {
         w.reserve(resp.control_bytes() as usize + 16);
     }
     w.u8(CODEC_VERSION);
@@ -985,6 +1119,76 @@ pub fn decode_request_checked_shared(frame: &Bytes) -> Result<ProtocolRequest> {
     verify_checked_frame(frame)?;
     let body = frame.slice(CHECKED_HEADER..);
     decode_request_shared(&body).map_err(corrupt)
+}
+
+// --- decode scratch ---------------------------------------------------------
+
+/// Frame buffers above this size are dropped instead of pooled; a giant
+/// whole-item frame must not pin its allocation for the rest of a
+/// connection's life.
+const SCRATCH_MAX_POOLED: usize = 1 << 20;
+
+/// Buffers retained per scratch: one in-flight frame plus a spare is the
+/// steady state of a request/response connection.
+const SCRATCH_MAX_BUFS: usize = 4;
+
+/// Decode-side scratch: a slab of reusable frame buffers, owned by a
+/// connection (or engine) and recycled per frame.
+///
+/// The decoders themselves are O(1) allocations per frame regardless of
+/// item count — version vectors decode into inline storage
+/// ([`get_vv`]), values alias the frame ([`Reader::shared`]), and only
+/// the per-message containers allocate. What remains is the frame buffer
+/// itself: a transport that reads each response into a fresh `Vec`
+/// allocates once per round even when nothing changed. The scratch closes
+/// that gap: [`DecodeScratch::take_buf`] hands out a recycled buffer to
+/// read the frame into, and [`DecodeScratch::recycle`] reclaims it once
+/// the decoded message no longer aliases it (checked via refcount — a
+/// frame whose values were adopted by the store stays alive, untouched).
+#[derive(Default)]
+pub struct DecodeScratch {
+    bufs: Vec<Vec<u8>>,
+}
+
+impl DecodeScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> DecodeScratch {
+        DecodeScratch::default()
+    }
+
+    /// A cleared buffer to read the next frame into — recycled if one is
+    /// pooled, fresh otherwise.
+    pub fn take_buf(&mut self) -> Vec<u8> {
+        self.bufs.pop().unwrap_or_default()
+    }
+
+    /// Reclaim a frame's buffer after its decoded message has been
+    /// consumed. Succeeds (and pools the allocation for the next
+    /// [`DecodeScratch::take_buf`]) only when nothing aliases the frame
+    /// anymore; a frame still backing adopted values is left alone.
+    /// Returns whether the buffer was reclaimed.
+    pub fn recycle(&mut self, frame: Bytes) -> bool {
+        match frame.try_into_vec() {
+            Ok(buf) => {
+                self.recycle_buf(buf);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Pool a plain buffer (the non-shared read path).
+    pub fn recycle_buf(&mut self, mut buf: Vec<u8>) {
+        if buf.capacity() <= SCRATCH_MAX_POOLED && self.bufs.len() < SCRATCH_MAX_BUFS {
+            buf.clear();
+            self.bufs.push(buf);
+        }
+    }
+
+    /// Buffers currently pooled (for tests and diagnostics).
+    pub fn pooled(&self) -> usize {
+        self.bufs.len()
+    }
 }
 
 #[cfg(test)]

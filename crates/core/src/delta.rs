@@ -175,13 +175,23 @@ impl Replica {
     /// [`prepare_propagation`](Replica::prepare_propagation) but offering
     /// item IVVs instead of shipping values.
     pub fn prepare_delta_offer(&mut self, recipient_dbvv: &DbVersionVector) -> DeltaOfferResponse {
-        match self.prepare_propagation(recipient_dbvv) {
-            crate::PropagationResponse::YouAreCurrent => DeltaOfferResponse::YouAreCurrent,
-            crate::PropagationResponse::Payload(p) => DeltaOfferResponse::Offer(DeltaOffer {
-                tails: p.tails,
-                offers: p.items.into_iter().map(|s| (s.item, s.ivv)).collect(),
-            }),
+        let (tails, s_items) = match self.select_tails(recipient_dbvv) {
+            None => return DeltaOfferResponse::YouAreCurrent,
+            Some(sel) => sel,
+        };
+        // Offers carry only (item, IVV) — values are never touched here, so
+        // an offer frame costs one control-sized allocation however large
+        // the items are.
+        let mut offers = Vec::with_capacity(s_items.len());
+        for &x in &s_items {
+            let ivv = self.store.get(x).expect("logged item exists").ivv.clone();
+            offers.push((x, ivv));
         }
+
+        let shipped = offers.len() as u64;
+        self.trace_record(TraceStep::SendPropagation, None, None, OrdTag::NoCompare, shipped);
+        self.post_step_audit("send-propagation");
+        DeltaOfferResponse::Offer(DeltaOffer { tails, offers })
     }
 
     /// Step 3 at the recipient: compare offered IVVs with local state,
@@ -192,6 +202,9 @@ impl Replica {
         offer: DeltaOffer,
     ) -> Result<(DeltaRequest, OfferEvaluation)> {
         let mut request = DeltaRequest::default();
+        // One exact-sized allocation up front; the want-list can only be a
+        // subset of the offers.
+        request.wants.reserve_exact(offer.offers.len());
         let mut eval = OfferEvaluation { tails: offer.tails, ..OfferEvaluation::default() };
         for (x, remote_ivv) in offer.offers {
             self.check_item(x)?;
@@ -255,9 +268,21 @@ impl Replica {
 
     /// Step 4 at the source: answer each want with the operation chain
     /// when the cache still holds it, else the whole value.
+    ///
+    /// The answer is a *prefix* of the wants when the replica's delta
+    /// frame budget ([`set_delta_frame_budget`](Replica::set_delta_frame_budget))
+    /// would be exceeded — at least one item is always served, and the
+    /// initiator re-requests the unserved suffix in its next fetch frame,
+    /// so a bounded frame size costs extra round trips, never progress.
     pub fn serve_delta_request(&mut self, request: &DeltaRequest) -> Result<DeltaPayload> {
         let mut payload = DeltaPayload::default();
+        // Exact-sized up front (the frame budget can only shorten it).
+        payload.items.reserve_exact(request.wants.len());
+        let mut frame_bytes = 0u64;
         for (x, from_vv) in &request.wants {
+            if !payload.items.is_empty() && frame_bytes >= self.delta_frame_budget {
+                break;
+            }
             self.check_item(*x)?;
             let value_len = self.store.get(*x)?.value.len();
             // Ship the chain only when it is actually cheaper than the
@@ -280,6 +305,8 @@ impl Replica {
                     value: it.value.share(),
                 }));
             }
+            let added = payload.items.last().expect("just pushed");
+            frame_bytes += added.control_bytes() + added.payload_bytes();
         }
         Ok(payload)
     }

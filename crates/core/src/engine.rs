@@ -325,6 +325,41 @@ pub(crate) fn unexpected(context: &str, resp: &ProtocolResponse) -> Error {
     }
 }
 
+/// How an initiator coalesces a delta round's want-list into fetch frames.
+///
+/// A gossip round over many small items wants a handful of large frames,
+/// not one frame per item (per-frame costs — header, CRC, syscall —
+/// dominate tiny payloads) and not one unbounded frame (which can trip
+/// the transport's [`crate::codec::MAX_FRAME`] limit). The budget bounds
+/// the *item count* per `DeltaFetch`; the responder's byte budget
+/// ([`Replica::set_delta_frame_budget`]) bounds the reply, and anything
+/// it leaves unserved is re-requested in the next frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GossipBudget {
+    /// Maximum wanted items carried by one `DeltaFetch` frame. Values
+    /// below 1 behave as 1 (a frame that can carry nothing makes no
+    /// progress).
+    pub max_frame_items: usize,
+}
+
+impl GossipBudget {
+    /// No coalescing: the whole want-list rides one fetch frame — the
+    /// exchange shape (and therefore the per-node [`epidb_common::Costs`])
+    /// of the unchunked protocol.
+    pub const UNBOUNDED: GossipBudget = GossipBudget { max_frame_items: usize::MAX };
+
+    /// At most `items` wants per fetch frame.
+    pub const fn per_frame(items: usize) -> GossipBudget {
+        GossipBudget { max_frame_items: items }
+    }
+}
+
+impl Default for GossipBudget {
+    fn default() -> GossipBudget {
+        GossipBudget::UNBOUNDED
+    }
+}
+
 /// The protocol engine. A unit type: all state lives in the replicas; the
 /// engine is the single dispatch surface over them.
 pub struct Engine;
@@ -384,17 +419,20 @@ impl Engine {
     /// every extra attempt charges `retries`, and every corrupt frame
     /// observed — whichever layer detected it — charges
     /// `corrupt_frames_dropped` on the recipient.
+    /// `start` is the round's clock for the deadline check; callers that
+    /// chain loops (the delta→whole degradation) pass one shared start so
+    /// the whole ladder answers to one deadline.
     fn retry_loop<H, T, R>(
         recipient: &mut H,
         transport: &mut T,
         policy: &RetryPolicy,
+        start: Instant,
         mut round: impl FnMut(&mut H, &mut T) -> Result<R>,
     ) -> Result<R>
     where
         H: ReplicaHost,
         T: Transport,
     {
-        let start = Instant::now();
         let mut failed = 0u32;
         loop {
             match round(recipient, transport) {
@@ -441,7 +479,7 @@ impl Engine {
         H: ReplicaHost,
         T: Transport,
     {
-        Self::retry_loop(recipient, transport, policy, Self::pull_round)
+        Self::retry_loop(recipient, transport, policy, Instant::now(), Self::pull_round)
     }
 
     fn pull_round<H, T>(recipient: &mut H, transport: &mut T) -> Result<PullOutcome>
@@ -492,18 +530,46 @@ impl Engine {
         H: ReplicaHost,
         T: Transport,
     {
-        match Self::retry_loop(recipient, transport, policy, Self::pull_delta_round) {
-            Err(e) if policy.retryable(&e) => {
-                // The degradation is one more attempt at the round, in a
-                // cheaper mode; charge it as such.
+        Self::pull_delta_budgeted(recipient, transport, policy, &GossipBudget::UNBOUNDED)
+    }
+
+    /// As [`Engine::pull_delta_with`], coalescing the round's fetches
+    /// under `budget`: at most [`GossipBudget::max_frame_items`] wants per
+    /// `DeltaFetch` frame, with anything the responder leaves unserved
+    /// (its own frame-byte budget) re-requested until the round is whole.
+    pub fn pull_delta_budgeted<H, T>(
+        recipient: &mut H,
+        transport: &mut T,
+        policy: &RetryPolicy,
+        budget: &GossipBudget,
+    ) -> Result<PullOutcome>
+    where
+        H: ReplicaHost,
+        T: Transport,
+    {
+        let start = Instant::now();
+        let delta = Self::retry_loop(recipient, transport, policy, start, |h, t| {
+            Self::pull_delta_round(h, t, budget)
+        });
+        match delta {
+            Err(e) if policy.retryable(&e) && !policy.deadline_exceeded(start) => {
+                // The degradation is exactly one more attempt at the
+                // round, in a cheaper mode, charged against the *same*
+                // round budget: no fresh retry loop, and no attempt at
+                // all once the round's deadline has passed — a degraded
+                // round must never outlive the policy that bounds it.
                 recipient.with(|r| r.note_retry());
-                Self::pull_with(recipient, transport, policy)
+                Self::pull_round(recipient, transport)
             }
             other => other,
         }
     }
 
-    fn pull_delta_round<H, T>(recipient: &mut H, transport: &mut T) -> Result<PullOutcome>
+    fn pull_delta_round<H, T>(
+        recipient: &mut H,
+        transport: &mut T,
+        budget: &GossipBudget,
+    ) -> Result<PullOutcome>
     where
         H: ReplicaHost,
         T: Transport,
@@ -521,19 +587,60 @@ impl Engine {
             ProtocolResponse::DeltaOffer(DeltaOfferResponse::Offer(offer)) => offer,
             other => return Err(unexpected("delta-pull", &other)),
         };
-        let (fetch, eval) = recipient.with(|r| -> Result<_> {
-            let (wants, eval) = r.evaluate_delta_offer(source, offer)?;
-            let fetch = ProtocolRequest::DeltaFetch { from: r.id(), wants };
-            r.charge_message(fetch.control_bytes(), fetch.payload_bytes());
-            Ok((fetch, eval))
-        })?;
-        match transport.exchange(fetch)? {
-            ProtocolResponse::DeltaPayload(payload) => {
-                let outcome = recipient.with(|r| r.apply_delta(source, payload, eval))?;
-                Ok(PullOutcome::Propagated(outcome))
+        let (wants, eval) = recipient.with(|r| r.evaluate_delta_offer(source, offer))?;
+        let mut remaining = wants.wants;
+        let cap = budget.max_frame_items.max(1);
+        let mut items = Vec::with_capacity(remaining.len());
+        let mut first = true;
+        // One fetch frame per `cap`-sized slice of the want-list (always
+        // at least one frame, even for an empty list — the exchange shape
+        // with an unbounded budget is identical to the unchunked
+        // protocol). The responder may answer any fetch with a shorter
+        // prefix (its frame-byte budget); the unserved suffix simply rides
+        // the next frame.
+        while first || !remaining.is_empty() {
+            first = false;
+            let take = remaining.len().min(cap);
+            // The chunk is *moved* into the fetch frame, not cloned — in
+            // the common fully-served case the round allocates nothing per
+            // want. Only the item IDs are kept (for the rare under-served
+            // suffix, whose IVVs are re-derived below: the recipient
+            // applies nothing until the round's single `apply_delta`, so
+            // its IVVs are stable).
+            let rest = remaining.split_off(take);
+            let chunk = std::mem::replace(&mut remaining, rest);
+            let ids: Vec<ItemId> = chunk.iter().map(|(x, _)| *x).collect();
+            let fetch = recipient.with(|r| {
+                let fetch = ProtocolRequest::DeltaFetch {
+                    from: r.id(),
+                    wants: DeltaRequest { wants: chunk },
+                };
+                r.charge_message(fetch.control_bytes(), fetch.payload_bytes());
+                fetch
+            });
+            match transport.exchange(fetch)? {
+                ProtocolResponse::DeltaPayload(payload) => {
+                    let served = payload.items.len().min(take);
+                    if served == 0 && take > 0 {
+                        return Err(Error::Network("delta fetch made no progress".into()));
+                    }
+                    if served < take {
+                        let mut unserved = recipient.with(|r| {
+                            ids[served..]
+                                .iter()
+                                .map(|&x| Ok((x, r.store.get(x)?.ivv.clone())))
+                                .collect::<Result<Vec<_>>>()
+                        })?;
+                        unserved.append(&mut remaining);
+                        remaining = unserved;
+                    }
+                    items.extend(payload.items);
+                }
+                other => return Err(unexpected("delta-fetch", &other)),
             }
-            other => Err(unexpected("delta-fetch", &other)),
         }
+        let outcome = recipient.with(|r| r.apply_delta(source, DeltaPayload { items }, eval))?;
+        Ok(PullOutcome::Propagated(outcome))
     }
 
     /// Drive one out-of-bound copy of `item` (§5.2) as the recipient,
@@ -557,7 +664,9 @@ impl Engine {
         H: ReplicaHost,
         T: Transport,
     {
-        Self::retry_loop(recipient, transport, policy, |h, t| Self::oob_round(h, t, item))
+        Self::retry_loop(recipient, transport, policy, Instant::now(), |h, t| {
+            Self::oob_round(h, t, item)
+        })
     }
 
     fn oob_round<H, T>(recipient: &mut H, transport: &mut T, item: ItemId) -> Result<OobOutcome>
@@ -747,5 +856,120 @@ mod tests {
         assert!(Engine::pull_with(&mut b, &mut t, &policy).is_err());
         assert_eq!(t.1, 1, "a non-retryable error must not be retried");
         assert_eq!(b.costs().retries, 0);
+    }
+
+    /// Always fails, counting every exchange — for pinning the total
+    /// attempt budget of a round including its degradation.
+    struct FailCount(u32);
+    impl Transport for FailCount {
+        fn peer(&self) -> NodeId {
+            NodeId(0)
+        }
+        fn exchange(&mut self, _req: ProtocolRequest) -> Result<ProtocolResponse> {
+            self.0 += 1;
+            Err(Error::Network("down".into()))
+        }
+    }
+
+    #[test]
+    fn degradation_shares_the_round_attempt_budget() {
+        // Regression: the degraded whole-item attempt used to run a
+        // *fresh* retry loop with a fresh deadline, so a failing round
+        // could spend ~2x max_attempts. It is now exactly one extra
+        // exchange: max_attempts delta attempts + 1 degraded pull.
+        let (_, mut b) = pair();
+        let mut t = FailCount(0);
+        let policy = crate::RetryPolicy::attempts(3);
+        assert!(Engine::pull_delta_with(&mut b, &mut t, &policy).is_err());
+        assert_eq!(t.0, 4, "3 delta attempts + 1 degraded whole-item attempt");
+        assert_eq!(b.costs().retries, 3, "2 in-loop retries + the degradation switch");
+    }
+
+    #[test]
+    fn expired_deadline_skips_the_degradation() {
+        // A round whose deadline has passed must not start the degraded
+        // whole-item attempt: one delta attempt, then the error surfaces.
+        let (_, mut b) = pair();
+        let mut t = FailCount(0);
+        let policy = crate::RetryPolicy {
+            round_deadline: Some(std::time::Duration::ZERO),
+            ..crate::RetryPolicy::attempts(5)
+        };
+        assert!(Engine::pull_delta_with(&mut b, &mut t, &policy).is_err());
+        assert_eq!(t.0, 1, "deadline already expired: no retries, no degradation");
+        assert_eq!(b.costs().retries, 0);
+    }
+
+    /// Counts delta exchanges by kind, for pinning frame coalescing.
+    struct Counting<'a> {
+        inner: LocalTransport<'a>,
+        pulls: u32,
+        fetches: u32,
+    }
+    impl Transport for Counting<'_> {
+        fn peer(&self) -> NodeId {
+            self.inner.peer()
+        }
+        fn exchange(&mut self, req: ProtocolRequest) -> Result<ProtocolResponse> {
+            match &req {
+                ProtocolRequest::DeltaPull { .. } => self.pulls += 1,
+                ProtocolRequest::DeltaFetch { .. } => self.fetches += 1,
+                _ => {}
+            }
+            self.inner.exchange(req)
+        }
+    }
+
+    #[test]
+    fn budgeted_rounds_chunk_the_want_list() {
+        let (mut a, mut b) = pair();
+        for i in 0..10 {
+            a.update(ItemId(i), UpdateOp::set(&b"v"[..])).unwrap();
+        }
+        let mut t = Counting { inner: LocalTransport::new(&mut a), pulls: 0, fetches: 0 };
+        let policy = crate::RetryPolicy::none();
+        let out = Engine::pull_delta_budgeted(&mut b, &mut t, &policy, &GossipBudget::per_frame(4))
+            .unwrap();
+        assert_eq!(out.copied().len(), 10);
+        assert_eq!(t.pulls, 1);
+        assert_eq!(t.fetches, 3, "10 wants at 4 per frame = 3 fetch frames");
+        for i in 0..10 {
+            assert_eq!(b.read(ItemId(i)).unwrap().as_bytes(), b"v");
+        }
+    }
+
+    #[test]
+    fn responder_byte_budget_serves_a_prefix_that_is_rerequested() {
+        let (mut a, mut b) = pair();
+        for i in 0..3 {
+            a.update(ItemId(i), UpdateOp::set(&b"value"[..])).unwrap();
+        }
+        // A 1-byte responder budget forces one item per payload frame;
+        // the initiator re-requests the unserved suffix until whole.
+        a.set_delta_frame_budget(1);
+        let mut t = Counting { inner: LocalTransport::new(&mut a), pulls: 0, fetches: 0 };
+        let policy = crate::RetryPolicy::none();
+        let out =
+            Engine::pull_delta_budgeted(&mut b, &mut t, &policy, &GossipBudget::UNBOUNDED).unwrap();
+        assert_eq!(out.copied().len(), 3);
+        assert_eq!(t.fetches, 3, "one served item per fetch under a 1-byte budget");
+        for i in 0..3 {
+            assert_eq!(b.read(ItemId(i)).unwrap().as_bytes(), b"value");
+        }
+    }
+
+    #[test]
+    fn unbounded_budget_matches_the_unchunked_exchange_shape() {
+        // Transport parity depends on the default budget charging exactly
+        // the same messages as the pre-coalescing protocol: one DeltaPull,
+        // one DeltaFetch, regardless of want-list size.
+        let (mut a, mut b) = pair();
+        for i in 0..10 {
+            a.update(ItemId(i), UpdateOp::set(&b"v"[..])).unwrap();
+        }
+        let mut t = Counting { inner: LocalTransport::new(&mut a), pulls: 0, fetches: 0 };
+        let out = Engine::pull_delta(&mut b, &mut t).unwrap();
+        assert_eq!(out.copied().len(), 10);
+        assert_eq!((t.pulls, t.fetches), (1, 1));
     }
 }

@@ -72,8 +72,8 @@ pub use delta::{
     pull_delta, DeltaItem, DeltaOffer, DeltaOfferResponse, DeltaPayload, DeltaRequest,
 };
 pub use engine::{
-    DbTransport, Engine, LocalTransport, ProtocolRequest, ProtocolResponse, ReplicaHost, SyncMode,
-    Transport,
+    DbTransport, Engine, GossipBudget, LocalTransport, ProtocolRequest, ProtocolResponse,
+    ReplicaHost, SyncMode, Transport,
 };
 pub use journal::{Mutation, MutationSink, SinkHandle};
 pub use messages::{OobReply, PropagationPayload, PropagationResponse, ShippedItem};

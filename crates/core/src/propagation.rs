@@ -64,13 +64,43 @@ impl Replica {
     /// Only regular copies are ever included in `S`; auxiliary state never
     /// participates in scheduled propagation (§5.1).
     pub fn prepare_propagation(&mut self, recipient_dbvv: &DbVersionVector) -> PropagationResponse {
+        let (tails, s_items) = match self.select_tails(recipient_dbvv) {
+            None => return PropagationResponse::YouAreCurrent,
+            Some(sel) => sel,
+        };
+        // Materialize the shipped items. Values are *shared*, not copied:
+        // `ItemValue::share` hands out a refcounted view, so building `S`
+        // costs O(|S|) regardless of value sizes.
+        let mut items = Vec::with_capacity(s_items.len());
+        for &x in &s_items {
+            let it = self.store.get_mut(x).expect("logged item exists");
+            items.push(ShippedItem { item: x, ivv: it.ivv.clone(), value: it.value.share() });
+        }
+
+        let shipped = items.len() as u64;
+        self.trace_record(TraceStep::SendPropagation, None, None, OrdTag::NoCompare, shipped);
+        self.post_step_audit("send-propagation");
+        PropagationResponse::Payload(PropagationPayload { tails, items })
+    }
+
+    /// Shared first half of `SendPropagation`: the DBVV comparison, the
+    /// tail vector `D`, and the selected item set `S` — everything up to
+    /// (but excluding) materializing per-item payloads, so the whole-item
+    /// and delta-offer paths can each ship only what they need.
+    ///
+    /// Returns `None` when the recipient is current (the constant-time
+    /// identical-replica detection, with its trace/audit already recorded).
+    pub(crate) fn select_tails(
+        &mut self,
+        recipient_dbvv: &DbVersionVector,
+    ) -> Option<(Vec<Vec<LogRecord>>, Vec<ItemId>)> {
         let mut cmps = 0;
         let ord = recipient_dbvv.compare_counted(&self.dbvv, &mut cmps);
         self.costs.vv_entry_cmps += cmps;
         if ord.dominates_or_equal() {
             self.trace_record(TraceStep::SendUpToDate, None, None, OrdTag::NoCompare, 0);
             self.post_step_audit("send-up-to-date");
-            return PropagationResponse::YouAreCurrent;
+            return None;
         }
 
         let n = self.n_nodes();
@@ -95,21 +125,11 @@ impl Replica {
                 }
             }
         }
-        // Flip the flags back and materialize the shipped items. Values are
-        // *shared*, not copied: `ItemValue::share` hands out a refcounted
-        // view, so building `S` costs O(|S|) regardless of value sizes.
-        let mut items = Vec::with_capacity(s_items.len());
         for &x in &s_items {
             self.is_selected[x.index()] = false;
-            let it = self.store.get_mut(x).expect("logged item exists");
-            items.push(ShippedItem { item: x, ivv: it.ivv.clone(), value: it.value.share() });
         }
         self.costs.items_scanned += s_items.len() as u64;
-
-        let shipped = items.len() as u64;
-        self.trace_record(TraceStep::SendPropagation, None, None, OrdTag::NoCompare, shipped);
-        self.post_step_audit("send-propagation");
-        PropagationResponse::Payload(PropagationPayload { tails, items })
+        Some((tails, s_items))
     }
 
     /// The paper's `AcceptPropagation(D, S)` (Fig. 3), executed at the

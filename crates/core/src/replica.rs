@@ -81,6 +81,14 @@ pub struct Replica {
     /// Write-ahead journal sink (see [`crate::journal`]). `None` (a single
     /// branch per mutation) unless a durability layer attached one.
     pub(crate) sink: Option<crate::journal::SinkHandle>,
+    /// Responder-side byte budget for one delta data frame: serving a
+    /// `DeltaFetch` stops adding items once the accumulated frame reaches
+    /// this size (always serving at least one item, for progress). The
+    /// initiator re-requests the unserved suffix. Unbounded by default —
+    /// a runtime that frames messages for a real wire sets this below the
+    /// transport's frame limit via
+    /// [`set_delta_frame_budget`](Self::set_delta_frame_budget).
+    pub(crate) delta_frame_budget: u64,
 }
 
 impl Replica {
@@ -117,6 +125,7 @@ impl Replica {
             audits_run: 0,
             restored: false,
             sink: None,
+            delta_frame_budget: u64::MAX,
         }
     }
 
@@ -133,6 +142,13 @@ impl Replica {
     /// The delta-mode operation cache (diagnostics).
     pub fn op_cache(&self) -> &OpCache {
         &self.op_cache
+    }
+
+    /// Bound one delta data frame to roughly `bytes` of encoded content
+    /// (see the field docs on `delta_frame_budget`). A budget of
+    /// `u64::MAX` (the default) restores unbounded frames.
+    pub fn set_delta_frame_budget(&mut self, bytes: u64) {
+        self.delta_frame_budget = bytes;
     }
 
     /// This replica's server id.

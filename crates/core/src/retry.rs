@@ -66,13 +66,15 @@ impl RetryPolicy {
     }
 
     /// The pause before attempt `failed + 1`, where `failed` counts
-    /// failures so far (≥ 1). Exponential in `failed`, capped, with
-    /// deterministic ±25% jitter.
+    /// failures so far. Exponential in `failed`, capped, with
+    /// deterministic ±25% jitter. `failed = 0` is tolerated (treated as
+    /// the first failure) rather than relying on every caller to uphold
+    /// the ≥ 1 convention — the subtraction below must never underflow.
     pub fn backoff(&self, failed: u32) -> Duration {
         if self.base_backoff.is_zero() {
             return Duration::ZERO;
         }
-        let exp = self.base_backoff.saturating_mul(1u32 << (failed - 1).min(16));
+        let exp = self.base_backoff.saturating_mul(1u32 << (failed.max(1) - 1).min(16));
         let capped = exp.min(self.max_backoff.max(self.base_backoff));
         let nanos = capped.as_nanos() as u64;
         // splitmix64 of (seed, attempt) — stable across runs, different
@@ -148,6 +150,40 @@ mod tests {
         assert!(within(p.backoff(3), 8));
         assert!(within(p.backoff(4), 16));
         assert!(within(p.backoff(5), 16), "capped at max_backoff");
+    }
+
+    #[test]
+    fn backoff_zero_failures_is_guarded() {
+        // Regression: `backoff(0)` used to compute `failed - 1` and
+        // underflow (a debug-build panic). It now uses the first failure's
+        // exponent: within jitter of `base_backoff`, never zero.
+        let p = RetryPolicy::default();
+        let zero = p.backoff(0);
+        assert!(zero >= p.base_backoff * 3 / 4);
+        assert!(zero < p.base_backoff * 5 / 4);
+    }
+
+    #[test]
+    fn jitter_stays_in_range_at_max_backoff() {
+        // The jitter scaling must keep every pause within [0.75, 1.25) of
+        // the nominal capped backoff, across many seeds, at the cap where
+        // the nanos arithmetic is largest.
+        let cap = Duration::from_millis(100);
+        for seed in 0..256u64 {
+            let p = RetryPolicy {
+                max_attempts: 10,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: cap,
+                round_deadline: None,
+                jitter_seed: seed,
+            };
+            // Failures 7+ saturate the exponential at max_backoff.
+            for failed in 7..12 {
+                let d = p.backoff(failed);
+                assert!(d >= cap * 3 / 4, "seed {seed} failed {failed}: {d:?} below 0.75x");
+                assert!(d < cap * 5 / 4, "seed {seed} failed {failed}: {d:?} at/above 1.25x");
+            }
+        }
     }
 
     #[test]

@@ -371,3 +371,77 @@ proptest! {
         }
     }
 }
+
+// --- scratch-pooled decoding and frame-size bounds --------------------------
+
+use epidb_core::codec::{check_frame_len, DecodeScratch};
+
+proptest! {
+    /// Decoding through a recycled scratch buffer — one that previously
+    /// held a *different* frame — is indistinguishable from decoding a
+    /// fresh allocation, for every request variant. This is the
+    /// connection-lifetime invariant behind the transport's buffer pool:
+    /// no state leaks between frames.
+    #[test]
+    fn scratch_pooled_request_decode_matches_fresh(
+        first in arb_request(),
+        second in arb_request(),
+    ) {
+        let mut scratch = DecodeScratch::new();
+        for req in [&first, &second] {
+            let wire = encode_request_checked(req);
+            let mut buf = scratch.take_buf();
+            buf.extend_from_slice(&wire);
+            let frame = Bytes::from(buf);
+            let pooled = decode_request_checked_shared(&frame).unwrap();
+            let fresh = decode_request_checked(&wire).unwrap();
+            prop_assert_eq!(format!("{pooled:?}"), format!("{fresh:?}"));
+            drop(pooled);
+            prop_assert!(scratch.recycle(frame));
+        }
+        // The second iteration really did reuse the first frame's buffer.
+        prop_assert_eq!(scratch.pooled(), 1);
+    }
+
+    /// As above, for every response variant — including payloads whose
+    /// values decode as zero-copy sub-views of the pooled frame. While
+    /// such views are alive the frame must refuse to recycle (recycling
+    /// would hand aliased memory to the next read); once dropped, the
+    /// buffer pools normally.
+    #[test]
+    fn scratch_pooled_response_decode_matches_fresh(
+        first in arb_response(),
+        second in arb_response(),
+    ) {
+        let mut scratch = DecodeScratch::new();
+        for resp in [&first, &second] {
+            let wire = encode_response_checked(resp);
+            let mut buf = scratch.take_buf();
+            buf.extend_from_slice(&wire);
+            let frame = Bytes::from(buf);
+            let pooled = decode_response_checked_shared(&frame).unwrap();
+            let fresh = decode_response_checked(&wire).unwrap();
+            prop_assert_eq!(format!("{pooled:?}"), format!("{fresh:?}"));
+            drop(pooled);
+            // Nothing aliases the frame once the message is dropped, so
+            // the buffer must actually return to the pool.
+            prop_assert!(scratch.recycle(frame));
+        }
+        prop_assert_eq!(scratch.pooled(), 1);
+    }
+
+    /// Encoded frames for bounded inputs stay far under [`MAX_FRAME`]:
+    /// the sender-side check accepts everything these strategies can
+    /// build, so ordinary traffic never trips the frame limit.
+    #[test]
+    fn bounded_requests_fit_the_frame_limit(req in arb_request()) {
+        let wire = encode_request_checked(&req);
+        prop_assert!(check_frame_len(wire.len()).is_ok());
+    }
+
+    #[test]
+    fn bounded_responses_fit_the_frame_limit(resp in arb_response()) {
+        let wire = encode_response_checked(&resp);
+        prop_assert!(check_frame_len(wire.len()).is_ok());
+    }
+}

@@ -16,8 +16,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use epidb_common::{Error, ItemId, NodeId, Result};
 use epidb_core::{
-    ChaosLink, ChaosTransport, ConflictPolicy, Engine, FaultPlan, OobOutcome, ProtocolRequest,
-    ProtocolResponse, PullOutcome, Replica, RetryPolicy, Transport,
+    ChaosLink, ChaosTransport, ConflictPolicy, Engine, FaultPlan, GossipBudget, OobOutcome,
+    ProtocolRequest, ProtocolResponse, PullOutcome, Replica, RetryPolicy, Transport,
 };
 use epidb_durable::{DurabilityConfig, NodeDurability};
 use epidb_store::UpdateOp;
@@ -65,6 +65,15 @@ pub struct ClusterConfig {
     /// When `None` (the default), crash/revive only toggle liveness and
     /// the replica survives in memory.
     pub durability: Option<DurabilityConfig>,
+    /// Maximum wanted items per `DeltaFetch` frame in delta gossip
+    /// rounds (`usize::MAX` = no coalescing: the exchange shape — and
+    /// therefore the per-node [`Costs`](epidb_common::Costs) — matches
+    /// the unchunked protocol).
+    pub max_frame_items: usize,
+    /// Responder-side byte budget per delta payload frame (`u64::MAX` =
+    /// unbounded). A budgeted responder serves a prefix of the want-list
+    /// and the initiator re-requests the rest.
+    pub delta_frame_bytes: u64,
 }
 
 impl Default for ClusterConfig {
@@ -80,6 +89,8 @@ impl Default for ClusterConfig {
             fault_plan: None,
             retry: RetryPolicy::none(),
             durability: None,
+            max_frame_items: usize::MAX,
+            delta_frame_bytes: u64::MAX,
         }
     }
 }
@@ -179,7 +190,7 @@ impl ThreadedCluster {
         let nodes: Vec<Arc<NodeShared>> = (0..n_nodes)
             .map(|i| {
                 let id = NodeId::from_index(i);
-                let (durability, replica) = match &config.durability {
+                let (durability, mut replica) = match &config.durability {
                     Some(cfg) => {
                         let (d, r) = open_durable_node(
                             cfg,
@@ -200,6 +211,7 @@ impl ThreadedCluster {
                         (None, replica)
                     }
                 };
+                replica.set_delta_frame_budget(config.delta_frame_bytes);
                 Arc::new(NodeShared {
                     replica: Mutex::new(replica),
                     alive: AtomicBool::new(true),
@@ -370,7 +382,7 @@ impl ThreadedCluster {
     pub fn revive(&self, node: NodeId) {
         let shared = &self.nodes[node.index()];
         if let Some(cfg) = &self.config.durability {
-            let (durability, replica) = open_durable_node(
+            let (durability, mut replica) = open_durable_node(
                 cfg,
                 node,
                 self.n_nodes(),
@@ -378,6 +390,7 @@ impl ThreadedCluster {
                 self.config.delta_budget,
                 self.config.paranoid,
             );
+            replica.set_delta_frame_budget(self.config.delta_frame_bytes);
             *shared.replica.lock() = replica;
             *shared.durability.lock() = Some(durability);
         }
@@ -492,6 +505,7 @@ fn gossip_loop(
     cfg: ClusterConfig,
 ) {
     let n = senders.len();
+    let budget = GossipBudget::per_frame(cfg.max_frame_items);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (me.index() as u64).wrapping_mul(0x9E37_79B9));
     // One persistent chaos link per peer: the fault process on each link
     // is continuous across gossip rounds and deterministic in
@@ -532,7 +546,7 @@ fn gossip_loop(
         // Faults and crashed peers exhaust the in-round retry policy and
         // surface as errors; gossip then just retries on the next tick.
         let result = if cfg.delta_budget > 0 {
-            Engine::pull_delta_with(&mut host, &mut transport, &cfg.retry)
+            Engine::pull_delta_budgeted(&mut host, &mut transport, &cfg.retry, &budget)
         } else {
             Engine::pull_with(&mut host, &mut transport, &cfg.retry)
         };
@@ -712,6 +726,40 @@ mod tests {
         for r in &replicas {
             r.check_invariants().unwrap();
             assert!(r.audits_run() > 0, "paranoid audits should have run");
+        }
+    }
+
+    #[test]
+    fn coalesced_delta_gossip_converges() {
+        // Tight budgets on both ends of every gossip link: 2 wants per
+        // fetch frame, 64-byte responder payload budget — same converged
+        // state, just more (smaller) frames per round.
+        let cluster = ThreadedCluster::spawn(
+            3,
+            20,
+            ClusterConfig {
+                gossip_interval: Duration::from_millis(1),
+                delta_budget: 1 << 20,
+                paranoid: true,
+                max_frame_items: 2,
+                delta_frame_bytes: 64,
+                ..ClusterConfig::default()
+            },
+        );
+        for i in 0..10u32 {
+            cluster
+                .update(NodeId((i % 3) as u16), ItemId(i), UpdateOp::set(vec![i as u8; 48]))
+                .unwrap();
+        }
+        assert!(cluster.quiesce(Duration::from_secs(20)), "no quiescence with tight budgets");
+        for i in 0..10u32 {
+            for node in 0..3u16 {
+                assert_eq!(cluster.read(NodeId(node), ItemId(i)).unwrap(), vec![i as u8; 48]);
+            }
+        }
+        let replicas = cluster.shutdown();
+        for r in &replicas {
+            r.check_invariants().unwrap();
         }
     }
 

@@ -22,12 +22,12 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use epidb_common::{Error, ItemId, NodeId, Result};
 use epidb_core::codec::{
-    decode_request_checked, decode_response_checked_shared, encode_request_to, encode_response_to,
-    Writer, CHECKED_HEADER,
+    check_frame_len, decode_request_checked, decode_response_checked_shared, encode_request_to,
+    encode_response_to, DecodeScratch, Writer, CHECKED_HEADER, MAX_FRAME,
 };
 use epidb_core::{
-    ChaosLink, ChaosTransport, Engine, FaultPlan, OobOutcome, ProtocolRequest, ProtocolResponse,
-    PullOutcome, Replica, RetryPolicy, Transport,
+    ChaosLink, ChaosTransport, Engine, FaultPlan, GossipBudget, OobOutcome, ProtocolRequest,
+    ProtocolResponse, PullOutcome, Replica, RetryPolicy, Transport,
 };
 use epidb_durable::{DurabilityConfig, NodeDurability};
 use epidb_store::UpdateOp;
@@ -38,10 +38,6 @@ use rand::{Rng, SeedableRng};
 
 use crate::runtime::open_durable_node;
 use crate::transport::MutexHost;
-
-/// Maximum accepted frame size (64 MiB) — guards against corrupt length
-/// prefixes.
-const MAX_FRAME: u32 = 64 << 20;
 
 /// Socket-level tuning for [`TcpTransport`]: every timeout the transport
 /// applies, plus the connect retry schedule. No hardcoded timeouts remain
@@ -102,6 +98,16 @@ pub struct TcpConfig {
     /// set, [`crash`](TcpCluster::crash) really drops the in-memory
     /// replica and [`revive`](TcpCluster::revive) recovers it from disk.
     pub durability: Option<DurabilityConfig>,
+    /// Maximum wanted items per `DeltaFetch` frame in delta gossip
+    /// rounds (`usize::MAX` = no coalescing: the exchange shape — and
+    /// therefore the per-node [`Costs`](epidb_common::Costs) — matches
+    /// the unchunked protocol).
+    pub max_frame_items: usize,
+    /// Responder-side byte budget per delta payload frame (`u64::MAX` =
+    /// unbounded). A budgeted responder serves a prefix of the want-list
+    /// and the initiator re-requests the rest, keeping every frame under
+    /// the transport's [`MAX_FRAME`] limit.
+    pub delta_frame_bytes: u64,
 }
 
 impl Default for TcpConfig {
@@ -116,6 +122,8 @@ impl Default for TcpConfig {
             fault_plan: None,
             retry: RetryPolicy::none(),
             durability: None,
+            max_frame_items: usize::MAX,
+            delta_frame_bytes: u64::MAX,
         }
     }
 }
@@ -182,7 +190,11 @@ fn write_all_vectored(stream: &mut TcpStream, mut bufs: Vec<&[u8]>) -> std::io::
 /// segments are never copied into a contiguous send buffer (the checksum
 /// streams over the chunk list, so it costs no copies either).
 fn write_frame(stream: &mut TcpStream, w: &Writer) -> Result<()> {
-    let len = ((w.len() + CHECKED_HEADER) as u32).to_le_bytes();
+    // Check *before* any bytes hit the wire: an oversize frame is
+    // deterministic (re-encoding re-exceeds), so it surfaces as the typed,
+    // non-retryable [`Error::FrameTooLarge`] instead of a silent `as u32`
+    // truncation that would desynchronize the stream.
+    let len = check_frame_len(w.len() + CHECKED_HEADER)?.to_le_bytes();
     let crc = w.crc32().to_le_bytes();
     let mut bufs: Vec<&[u8]> = Vec::with_capacity(8);
     bufs.push(&len);
@@ -201,21 +213,14 @@ fn read_frame_into(stream: &mut TcpStream, body: &mut Vec<u8>) -> Result<()> {
         .map_err(|e| Error::Network(format!("read frame length: {e}")))?;
     let len = u32::from_le_bytes(len_buf);
     if len > MAX_FRAME {
-        return Err(Error::Network(format!("frame of {len} bytes exceeds limit")));
+        // Not retryable: a conforming sender never produces this (it has
+        // the same sender-side check), so re-reading cannot succeed.
+        return Err(Error::FrameTooLarge { len: len as u64, limit: MAX_FRAME as u64 });
     }
     body.clear();
     body.resize(len as usize, 0);
     stream.read_exact(body).map_err(|e| Error::Network(format!("read frame body: {e}")))?;
     Ok(())
-}
-
-/// Read one frame into a fresh buffer, for response frames: the buffer
-/// becomes the shared backing of the decoded message
-/// ([`decode_response_shared`] slices values out of it instead of copying).
-fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>> {
-    let mut body = Vec::new();
-    read_frame_into(stream, &mut body)?;
-    Ok(body)
 }
 
 /// A [`Transport`] over a TCP connection to one peer's server: each
@@ -232,6 +237,11 @@ pub struct TcpTransport {
     /// Reusable request encoder: after the first exchange, encoding a
     /// request performs no allocations.
     writer: Writer,
+    /// Pool of response-frame buffers: a frame whose decoded response did
+    /// not alias it (small inlined values, `YouAreCurrent`, ...) is
+    /// reclaimed and backs the next read, so small-message exchanges stop
+    /// allocating a fresh frame buffer per response.
+    scratch: DecodeScratch,
 }
 
 impl TcpTransport {
@@ -243,7 +253,14 @@ impl TcpTransport {
 
     /// A transport with explicit timeouts and connect retry schedule.
     pub fn with_options(peer: NodeId, addr: SocketAddr, options: TcpSocketOptions) -> TcpTransport {
-        TcpTransport { peer, addr, options, stream: None, writer: Writer::new() }
+        TcpTransport {
+            peer,
+            addr,
+            options,
+            stream: None,
+            writer: Writer::new(),
+            scratch: DecodeScratch::new(),
+        }
     }
 
     /// Drop the current connection (if any); the next exchange reconnects.
@@ -291,15 +308,22 @@ impl Transport for TcpTransport {
         encode_request_to(&req, &mut self.writer);
         self.connect()?;
         let writer = &self.writer;
+        let scratch = &mut self.scratch;
         let stream = self.stream.as_mut().expect("just connected");
-        let round = |stream: &mut TcpStream| -> Result<ProtocolResponse> {
+        let mut round = |stream: &mut TcpStream| -> Result<ProtocolResponse> {
             write_frame(stream, writer)?;
             // The received frame becomes the shared backing of the decoded
             // response: after the CRC verifies, values are zero-copy
             // sub-views of it. A failed check is a retryable CorruptFrame
-            // and nothing was aliased.
-            let frame = Bytes::from(read_frame(stream)?);
-            decode_response_checked_shared(&frame)
+            // and nothing was aliased. The buffer comes from (and, when
+            // the response leaves it unaliased, returns to) the scratch
+            // pool, so small responses recycle one buffer forever.
+            let mut buf = scratch.take_buf();
+            read_frame_into(stream, &mut buf)?;
+            let frame = Bytes::from(buf);
+            let resp = decode_response_checked_shared(&frame)?;
+            scratch.recycle(frame);
+            Ok(resp)
         };
         let resp = match round(stream) {
             Ok(resp) => resp,
@@ -333,7 +357,7 @@ impl TcpCluster {
         let nodes: Vec<Arc<TcpNode>> = (0..n_nodes)
             .map(|i| {
                 let id = NodeId::from_index(i);
-                let (durability, replica) = match &config.durability {
+                let (durability, mut replica) = match &config.durability {
                     Some(cfg) => {
                         let (d, r) = open_durable_node(
                             cfg,
@@ -354,6 +378,7 @@ impl TcpCluster {
                         (None, replica)
                     }
                 };
+                replica.set_delta_frame_budget(config.delta_frame_bytes);
                 Arc::new(TcpNode {
                     replica: Mutex::new(replica),
                     alive: AtomicBool::new(true),
@@ -554,7 +579,7 @@ impl TcpCluster {
     pub fn revive(&self, node: NodeId) {
         let n = &self.nodes[node.index()];
         if let Some(cfg) = &self.config.durability {
-            let (durability, replica) = open_durable_node(
+            let (durability, mut replica) = open_durable_node(
                 cfg,
                 node,
                 self.n_nodes(),
@@ -562,6 +587,7 @@ impl TcpCluster {
                 self.config.delta_budget,
                 self.config.paranoid,
             );
+            replica.set_delta_frame_budget(self.config.delta_frame_bytes);
             *n.replica.lock() = replica;
             *n.durability.lock() = Some(durability);
         }
@@ -719,6 +745,7 @@ fn gossip_loop(
     cfg: TcpConfig,
 ) {
     let n = addrs.len();
+    let budget = GossipBudget::per_frame(cfg.max_frame_items);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (me.index() as u64).wrapping_mul(0x51_7C_C1));
     // One persistent chaos link per peer, deterministic in (seed, me, peer).
     let plan = cfg.effective_plan();
@@ -754,7 +781,7 @@ fn gossip_loop(
         // retry policy and surface as errors; gossip then just retries on
         // the next tick.
         let result = if cfg.delta_budget > 0 {
-            Engine::pull_delta_with(&mut host, &mut transport, &cfg.retry)
+            Engine::pull_delta_budgeted(&mut host, &mut transport, &cfg.retry, &budget)
         } else {
             Engine::pull_with(&mut host, &mut transport, &cfg.retry)
         };
@@ -856,6 +883,72 @@ mod tests {
         assert!(cluster.quiesce(Duration::from_secs(30)));
         assert_eq!(cluster.read(NodeId(2), ItemId(0)).unwrap(), b"while-down");
         cluster.shutdown();
+    }
+
+    #[test]
+    fn oversize_frames_are_typed_and_non_retryable() {
+        // Regression: `write_frame` used to truncate the length with
+        // `as u32` (silently corrupting the stream past 4 GiB) and the
+        // receiver rejected oversize frames with a *retryable* Network
+        // error. Both ends now surface the typed, non-retryable
+        // `FrameTooLarge`.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let receiver = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut body = Vec::new();
+            let err = read_frame_into(&mut stream, &mut body).unwrap_err();
+            assert!(matches!(err, Error::FrameTooLarge { .. }), "receiver: {err}");
+            assert!(!err.is_retryable(), "oversize frames must not be retried");
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+
+        // Sender side: the check fires before any bytes hit the wire.
+        let mut w = Writer::new();
+        w.bytes(&vec![0u8; MAX_FRAME as usize + 1]);
+        let err = write_frame(&mut stream, &w).unwrap_err();
+        assert!(matches!(err, Error::FrameTooLarge { .. }), "sender: {err}");
+        assert!(!err.is_retryable());
+
+        // Receiver backstop against a non-conforming peer: hand-send an
+        // oversize length prefix.
+        stream.write_all(&(MAX_FRAME + 1).to_le_bytes()).unwrap();
+        stream.flush().unwrap();
+        receiver.join().unwrap();
+    }
+
+    #[test]
+    fn coalesced_delta_gossip_over_tcp_converges() {
+        // Tight budgets on both ends: at most 2 wants per fetch frame and
+        // a 64-byte responder payload budget — the round chunks and
+        // re-requests its way to the same converged state.
+        let cluster = TcpCluster::spawn(
+            3,
+            20,
+            TcpConfig {
+                gossip_interval: Duration::from_millis(2),
+                delta_budget: 1 << 20,
+                max_frame_items: 2,
+                delta_frame_bytes: 64,
+                ..TcpConfig::default()
+            },
+        )
+        .unwrap();
+        for i in 0..10u32 {
+            cluster
+                .update(NodeId((i % 3) as u16), ItemId(i), UpdateOp::set(vec![i as u8; 48]))
+                .unwrap();
+        }
+        assert!(cluster.quiesce(Duration::from_secs(30)), "no quiescence with tight budgets");
+        for i in 0..10u32 {
+            for node in 0..3u16 {
+                assert_eq!(cluster.read(NodeId(node), ItemId(i)).unwrap(), vec![i as u8; 48]);
+            }
+        }
+        let replicas = cluster.shutdown();
+        for r in &replicas {
+            r.check_invariants().unwrap();
+        }
     }
 
     #[test]

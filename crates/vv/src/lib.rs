@@ -20,4 +20,4 @@ pub mod dbvv;
 pub mod vector;
 
 pub use dbvv::DbVersionVector;
-pub use vector::{VersionVector, VvOrd};
+pub use vector::{VersionVector, VvOrd, VV_INLINE_CAP};

@@ -1,6 +1,7 @@
 //! The per-item version vector (IVV) and its comparison algebra (§3).
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use epidb_common::{Error, NodeId, Result};
 
@@ -50,44 +51,106 @@ impl fmt::Display for VvOrd {
     }
 }
 
+/// Vectors up to this many servers are stored inline (no heap allocation).
+///
+/// Gossip protocols ship a version vector per item; with typical cluster
+/// sizes well under this bound, decoding, cloning, and merging vectors
+/// must not allocate — the small-message fast path depends on it.
+pub const VV_INLINE_CAP: usize = 8;
+
+/// Storage for a vector's entries: inline for small server counts, heap
+/// beyond. Both representations expose the same dense `[u64]` slice; no
+/// observable behavior depends on which one is in use.
+#[derive(Clone, Debug)]
+enum Entries {
+    Inline { len: u8, buf: [u64; VV_INLINE_CAP] },
+    Heap(Vec<u64>),
+}
+
 /// A version vector over a fixed set of `n` servers.
 ///
 /// Entry `j` counts the updates originally performed by server `j` that are
 /// reflected in the associated replica (Theorem 3). The server set is fixed
-/// (§2), so the vector is a dense array.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+/// (§2), so the vector is a dense array — stored inline (allocation-free)
+/// for up to [`VV_INLINE_CAP`] servers, on the heap beyond.
+#[derive(Clone)]
 pub struct VersionVector {
-    entries: Vec<u64>,
+    entries: Entries,
+}
+
+impl Default for VersionVector {
+    fn default() -> VersionVector {
+        VersionVector { entries: Entries::Inline { len: 0, buf: [0; VV_INLINE_CAP] } }
+    }
 }
 
 impl VersionVector {
     /// An all-zero vector for a system of `n` servers (maintenance rule:
     /// "upon initialization, every component is 0").
     pub fn zero(n: usize) -> VersionVector {
-        VersionVector { entries: vec![0; n] }
+        if n <= VV_INLINE_CAP {
+            VersionVector { entries: Entries::Inline { len: n as u8, buf: [0; VV_INLINE_CAP] } }
+        } else {
+            VersionVector { entries: Entries::Heap(vec![0; n]) }
+        }
     }
 
     /// Build from explicit entries (mainly for tests and tools).
     pub fn from_entries(entries: Vec<u64>) -> VersionVector {
-        VersionVector { entries }
+        if entries.len() <= VV_INLINE_CAP {
+            VersionVector::from_slice(&entries)
+        } else {
+            VersionVector { entries: Entries::Heap(entries) }
+        }
+    }
+
+    /// Build from a slice of entries. Allocation-free for up to
+    /// [`VV_INLINE_CAP`] servers — the constructor decoders use.
+    pub fn from_slice(entries: &[u64]) -> VersionVector {
+        if entries.len() <= VV_INLINE_CAP {
+            let mut buf = [0; VV_INLINE_CAP];
+            buf[..entries.len()].copy_from_slice(entries);
+            VersionVector { entries: Entries::Inline { len: entries.len() as u8, buf } }
+        } else {
+            VersionVector { entries: Entries::Heap(entries.to_vec()) }
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u64] {
+        match &self.entries {
+            Entries::Inline { len, buf } => &buf[..*len as usize],
+            Entries::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [u64] {
+        match &mut self.entries {
+            Entries::Inline { len, buf } => &mut buf[..*len as usize],
+            Entries::Heap(v) => v,
+        }
     }
 
     /// Number of servers this vector covers.
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match &self.entries {
+            Entries::Inline { len, .. } => *len as usize,
+            Entries::Heap(v) => v.len(),
+        }
     }
 
     /// True if the vector covers zero servers (degenerate).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Entry for server `j`: how many of `j`'s updates this replica reflects.
     #[inline]
     pub fn get(&self, j: NodeId) -> u64 {
-        self.entries[j.index()]
+        self.as_slice()[j.index()]
     }
 
     /// Set entry for server `j` (used by log/replay machinery; ordinary
@@ -95,7 +158,7 @@ impl VersionVector {
     /// [`merge_max`](Self::merge_max)).
     #[inline]
     pub fn set(&mut self, j: NodeId, v: u64) {
-        self.entries[j.index()] = v;
+        self.as_mut_slice()[j.index()] = v;
     }
 
     /// Record one more local update by server `i`
@@ -103,7 +166,7 @@ impl VersionVector {
     /// update's sequence number at `i`.
     #[inline]
     pub fn bump(&mut self, i: NodeId) -> u64 {
-        let e = &mut self.entries[i.index()];
+        let e = &mut self.as_mut_slice()[i.index()];
         *e += 1;
         *e
     }
@@ -113,7 +176,7 @@ impl VersionVector {
     /// replica obtains missing updates (§3).
     pub fn merge_max(&mut self, other: &VersionVector) -> Result<()> {
         self.check_dims(other)?;
-        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
             if *b > *a {
                 *a = *b;
             }
@@ -127,7 +190,7 @@ impl VersionVector {
     /// its comparison counter here, so the experiments count exactly the
     /// work the paper's complexity analysis charges.
     pub fn compare_counted(&self, other: &VersionVector, cmps: &mut u64) -> VvOrd {
-        *cmps += self.entries.len() as u64;
+        *cmps += self.len() as u64;
         self.compare(other)
     }
 
@@ -137,14 +200,10 @@ impl VersionVector {
     /// Panics if the vectors have different dimensions; vectors of one
     /// database instance always share the fixed server count.
     pub fn compare(&self, other: &VersionVector) -> VvOrd {
-        assert_eq!(
-            self.entries.len(),
-            other.entries.len(),
-            "comparing version vectors of different dimensions"
-        );
+        assert_eq!(self.len(), other.len(), "comparing version vectors of different dimensions");
         let mut less = false;
         let mut greater = false;
-        for (a, b) in self.entries.iter().zip(&other.entries) {
+        for (a, b) in self.as_slice().iter().zip(other.as_slice()) {
             if a < b {
                 less = true;
             } else if a > b {
@@ -174,7 +233,7 @@ impl VersionVector {
     pub fn offending_pair(&self, other: &VersionVector) -> Option<(NodeId, NodeId)> {
         let mut below = None; // a component where self < other
         let mut above = None; // a component where self > other
-        for (idx, (a, b)) in self.entries.iter().zip(&other.entries).enumerate() {
+        for (idx, (a, b)) in self.as_slice().iter().zip(other.as_slice()).enumerate() {
             if a < b && below.is_none() {
                 below = Some(NodeId::from_index(idx));
             } else if a > b && above.is_none() {
@@ -190,34 +249,56 @@ impl VersionVector {
     /// Sum of all entries: the total number of updates (across all origins)
     /// reflected in the replica.
     pub fn total(&self) -> u64 {
-        self.entries.iter().sum()
+        self.as_slice().iter().sum()
     }
 
     /// Iterate `(origin, count)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
-        self.entries.iter().enumerate().map(|(i, &v)| (NodeId::from_index(i), v))
+        self.as_slice().iter().enumerate().map(|(i, &v)| (NodeId::from_index(i), v))
     }
 
     /// Raw entries, in server order.
+    #[inline]
     pub fn entries(&self) -> &[u64] {
-        &self.entries
+        self.as_slice()
     }
 
     fn check_dims(&self, other: &VersionVector) -> Result<()> {
-        if self.entries.len() != other.entries.len() {
-            return Err(Error::DimensionMismatch {
-                left: self.entries.len(),
-                right: other.entries.len(),
-            });
+        if self.len() != other.len() {
+            return Err(Error::DimensionMismatch { left: self.len(), right: other.len() });
         }
         Ok(())
+    }
+}
+
+/// Equality is over the entry slice: the storage representation (inline vs
+/// heap) is never observable.
+impl PartialEq for VersionVector {
+    fn eq(&self, other: &VersionVector) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for VersionVector {}
+
+/// Hashes the entry slice, so equal vectors hash equal across
+/// representations.
+impl Hash for VersionVector {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for VersionVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VersionVector").field("entries", &self.as_slice()).finish()
     }
 }
 
 impl fmt::Display for VersionVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "<")?;
-        for (i, v) in self.entries.iter().enumerate() {
+        for (i, v) in self.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -229,6 +310,8 @@ impl fmt::Display for VersionVector {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::hash_map::DefaultHasher;
+
     use super::*;
 
     fn vv(entries: &[u64]) -> VersionVector {
@@ -321,5 +404,61 @@ mod tests {
     #[should_panic(expected = "different dimensions")]
     fn compare_panics_on_dim_mismatch() {
         let _ = vv(&[1]).compare(&vv(&[1, 2]));
+    }
+
+    // --- inline vs heap representation (small-message fast path) ---
+
+    fn hash_of(v: &VersionVector) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn representations_agree_at_the_inline_boundary() {
+        // n = VV_INLINE_CAP is inline, n = VV_INLINE_CAP + 1 is heap; both
+        // behave identically through the whole API.
+        for n in [VV_INLINE_CAP, VV_INLINE_CAP + 1] {
+            let mut v = VersionVector::zero(n);
+            assert_eq!(v.len(), n);
+            assert!(!v.is_empty());
+            v.bump(NodeId(0));
+            v.set(NodeId::from_index(n - 1), 9);
+            assert_eq!(v.get(NodeId(0)), 1);
+            assert_eq!(v.total(), 10);
+            let entries: Vec<u64> = v.entries().to_vec();
+            let rebuilt = VersionVector::from_entries(entries.clone());
+            assert_eq!(rebuilt, v);
+            assert_eq!(VersionVector::from_slice(&entries), v);
+            assert_eq!(hash_of(&rebuilt), hash_of(&v));
+            assert_eq!(v.compare(&rebuilt), VvOrd::Equal);
+            let mut m = VersionVector::zero(n);
+            m.merge_max(&v).unwrap();
+            assert_eq!(m, v);
+        }
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_representation() {
+        // Same entries via from_slice (inline) and from_entries of a Vec
+        // with spare capacity (heap path is length-based, so both are
+        // inline here) — and a genuinely heap pair above the cap.
+        let small_a = VersionVector::from_slice(&[1, 2, 3]);
+        let small_b = VersionVector::from_entries(vec![1, 2, 3]);
+        assert_eq!(small_a, small_b);
+        assert_eq!(hash_of(&small_a), hash_of(&small_b));
+
+        let big = vec![7u64; VV_INLINE_CAP + 4];
+        let heap_a = VersionVector::from_slice(&big);
+        let heap_b = VersionVector::from_entries(big);
+        assert_eq!(heap_a, heap_b);
+        assert_eq!(hash_of(&heap_a), hash_of(&heap_b));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let v = VersionVector::default();
+        assert!(v.is_empty());
+        assert_eq!(v.entries(), &[] as &[u64]);
     }
 }
