@@ -23,7 +23,8 @@ cargo bench --workspace --no-run
 
 echo "== perf_report smoke =="
 cargo run --release -q -p epidb-bench --bin perf_report -- \
-  --smoke --assert-zero-copy --assert-small-path --out target/bench_smoke.json
+  --smoke --assert-zero-copy --assert-small-path --assert-sharded-gossip \
+  --out target/bench_smoke.json
 grep -q '"schema": "epidb-perf-report/v1"' target/bench_smoke.json
 
 echo "== chaos soak smoke (seeded, deterministic) =="
@@ -32,5 +33,9 @@ cargo run --release -q -p epidb-bench --bin chaos_soak -- --smoke --seed 42
 echo "== crash-restart recovery soak smoke (durable runtimes) =="
 cargo run --release -q -p epidb-bench --bin chaos_soak -- \
   --smoke --seed 42 --restart-from-disk
+
+echo "== sharded chaos soak smoke (2 groups x 2 nodes, all runtimes) =="
+cargo run --release -q -p epidb-bench --bin chaos_soak -- \
+  --smoke --seed 42 --sharded
 
 echo "CI green."

@@ -30,21 +30,36 @@
 //! the per-item ground truth, replica invariants, and byte-identical
 //! [`Costs`] across two same-seed runs.
 //!
+//! With `--sharded`, the soak instead runs a partially replicated
+//! deployment — two replica groups of two nodes each, each group owning
+//! one disjoint shard — over all three sharded runtimes. Per-shard chaos
+//! pulls among co-owners plus occasional cross-group out-of-bound fetches
+//! run with paranoid audits on; the soak then asserts per-shard
+//! convergence to ground truth, replica invariants, fault accounting, and
+//! that the same seed produces byte-identical *per-node* [`Costs`] both
+//! across passes and across all three runtimes.
+//!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p epidb-bench --bin chaos_soak -- \
-//!     [--smoke] [--seed N] [--rounds N] [--restart-from-disk]
+//!     [--smoke] [--seed N] [--rounds N] [--restart-from-disk] [--sharded]
 //! ```
 
 use std::path::PathBuf;
 use std::time::Duration;
 
-use epidb_common::{Costs, ItemId, NodeId};
-use epidb_core::{ChaosLink, ChaosStats, FaultPlan, PartitionWindow, PullOutcome, RetryPolicy};
+use epidb_common::{Costs, ItemId, NodeId, ShardId};
+use epidb_core::{
+    ChaosLink, ChaosStats, FaultPlan, PartitionWindow, PullOutcome, RetryPolicy, ShardMap,
+    ShardedNode,
+};
 use epidb_durable::DurabilityConfig;
-use epidb_net::{ClusterConfig, TcpCluster, TcpConfig, ThreadedCluster};
-use epidb_sim::EpidbCluster;
+use epidb_net::{
+    ClusterConfig, ShardedConfig, ShardedTcpCluster, ShardedThreadedCluster, TcpCluster, TcpConfig,
+    ThreadedCluster,
+};
+use epidb_sim::{EpidbCluster, ShardedSimCluster};
 use epidb_store::UpdateOp;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -669,6 +684,444 @@ fn run_restart_mode(seed: u64, params: SoakParams) {
     println!("OK: durable runtimes converged to ground truth across crash-restart schedules");
 }
 
+// --- the sharded soak -------------------------------------------------------
+
+/// Fixed sharded topology for the soak: two replica groups of two nodes
+/// each, each group owning one disjoint shard. Nodes serve and gossip
+/// only their own shard; the occasional cross-group fetch routes through
+/// the shard map.
+const SHARDED_NODES: usize = 4;
+
+fn sharded_map(items_per_shard: usize) -> ShardMap {
+    ShardMap::new(items_per_shard, vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]])
+}
+
+/// The slice of each sharded runtime the soak drives: globally addressed
+/// updates, per-shard chaos pulls among co-owners, out-of-bound fetches
+/// (within-group adoptions and cross-group copies), and inspection.
+trait ShardedSoakRuntime {
+    fn update(&mut self, node: NodeId, item: ItemId, value: Vec<u8>);
+    fn pull_shard_chaos(
+        &mut self,
+        recipient: NodeId,
+        source: NodeId,
+        shard: ShardId,
+        link: &mut ChaosLink,
+        policy: &RetryPolicy,
+    ) -> epidb_common::Result<PullOutcome>;
+    fn oob(&mut self, recipient: NodeId, source: NodeId, item: ItemId);
+    fn value(&self, node: NodeId, item: ItemId) -> Vec<u8>;
+    fn node_costs(&self, node: NodeId) -> Costs;
+    fn converged(&self, map: &ShardMap) -> bool;
+    fn audits(&self) -> u64;
+    fn check_invariants(&self);
+}
+
+/// Per-shard convergence over a probe: all owners of every shard hold
+/// equal shard DBVVs with no auxiliary state.
+fn sharded_converged(
+    map: &ShardMap,
+    probe: impl Fn(NodeId, ShardId) -> Option<(epidb_vv::DbVersionVector, usize)>,
+) -> bool {
+    ShardId::all(map.n_shards()).all(|shard| {
+        let states: Vec<_> = map.owners(shard).iter().filter_map(|&n| probe(n, shard)).collect();
+        match states.split_first() {
+            None => true,
+            Some(((reference, aux0), rest)) => {
+                *aux0 == 0
+                    && rest.iter().all(|(vv, aux)| {
+                        *aux == 0 && vv.compare(reference) == epidb_vv::VvOrd::Equal
+                    })
+            }
+        }
+    })
+}
+
+struct ShardedInProc(ShardedSimCluster);
+
+impl ShardedSoakRuntime for ShardedInProc {
+    fn update(&mut self, node: NodeId, item: ItemId, value: Vec<u8>) {
+        self.0.update(node, item, UpdateOp::set(value)).expect("update at shard owner");
+    }
+    fn pull_shard_chaos(
+        &mut self,
+        recipient: NodeId,
+        source: NodeId,
+        shard: ShardId,
+        link: &mut ChaosLink,
+        policy: &RetryPolicy,
+    ) -> epidb_common::Result<PullOutcome> {
+        self.0.pull_shard_chaos(recipient, source, shard, link, policy)
+    }
+    fn oob(&mut self, recipient: NodeId, source: NodeId, item: ItemId) {
+        self.0.oob(recipient, source, item).expect("oob");
+    }
+    fn value(&self, node: NodeId, item: ItemId) -> Vec<u8> {
+        self.0.read(node, item).expect("read at shard owner")
+    }
+    fn node_costs(&self, node: NodeId) -> Costs {
+        self.0.node_costs(node)
+    }
+    fn converged(&self, _map: &ShardMap) -> bool {
+        self.0.converged()
+    }
+    fn audits(&self) -> u64 {
+        self.0.paranoid_audits_total()
+    }
+    fn check_invariants(&self) {
+        self.0.assert_invariants();
+    }
+}
+
+struct ShardedThreaded(ShardedThreadedCluster);
+
+impl ShardedSoakRuntime for ShardedThreaded {
+    fn update(&mut self, node: NodeId, item: ItemId, value: Vec<u8>) {
+        self.0.update(node, item, UpdateOp::set(value)).expect("update at shard owner");
+    }
+    fn pull_shard_chaos(
+        &mut self,
+        recipient: NodeId,
+        source: NodeId,
+        shard: ShardId,
+        link: &mut ChaosLink,
+        policy: &RetryPolicy,
+    ) -> epidb_common::Result<PullOutcome> {
+        self.0.pull_shard_now_chaos(recipient, source, shard, link, policy)
+    }
+    fn oob(&mut self, recipient: NodeId, source: NodeId, item: ItemId) {
+        self.0.oob_fetch(recipient, source, item).expect("oob");
+    }
+    fn value(&self, node: NodeId, item: ItemId) -> Vec<u8> {
+        self.0.read(node, item).expect("read at shard owner")
+    }
+    fn node_costs(&self, node: NodeId) -> Costs {
+        self.0.node_costs(node)
+    }
+    fn converged(&self, map: &ShardMap) -> bool {
+        sharded_converged(map, |n, s| {
+            self.0.with_node(n, |node| {
+                node.shard_state(s).map(|r| (r.dbvv().clone(), r.aux_item_count()))
+            })
+        })
+    }
+    fn audits(&self) -> u64 {
+        (0..SHARDED_NODES)
+            .map(|i| self.0.with_node(NodeId::from_index(i), ShardedNode::audits_run))
+            .sum()
+    }
+    fn check_invariants(&self) {
+        for i in 0..SHARDED_NODES {
+            self.0
+                .with_node(NodeId::from_index(i), check_sharded_node)
+                .unwrap_or_else(|e| panic!("invariant violated at node {i}: {e}"));
+        }
+    }
+}
+
+struct ShardedTcp(ShardedTcpCluster);
+
+impl ShardedSoakRuntime for ShardedTcp {
+    fn update(&mut self, node: NodeId, item: ItemId, value: Vec<u8>) {
+        self.0.update(node, item, UpdateOp::set(value)).expect("update at shard owner");
+    }
+    fn pull_shard_chaos(
+        &mut self,
+        recipient: NodeId,
+        source: NodeId,
+        shard: ShardId,
+        link: &mut ChaosLink,
+        policy: &RetryPolicy,
+    ) -> epidb_common::Result<PullOutcome> {
+        self.0.pull_shard_now_chaos(recipient, source, shard, link, policy)
+    }
+    fn oob(&mut self, recipient: NodeId, source: NodeId, item: ItemId) {
+        self.0.oob_fetch(recipient, source, item).expect("oob");
+    }
+    fn value(&self, node: NodeId, item: ItemId) -> Vec<u8> {
+        self.0.read(node, item).expect("read at shard owner")
+    }
+    fn node_costs(&self, node: NodeId) -> Costs {
+        self.0.node_costs(node)
+    }
+    fn converged(&self, map: &ShardMap) -> bool {
+        sharded_converged(map, |n, s| {
+            self.0.with_node(n, |node| {
+                node.shard_state(s).map(|r| (r.dbvv().clone(), r.aux_item_count()))
+            })
+        })
+    }
+    fn audits(&self) -> u64 {
+        (0..SHARDED_NODES)
+            .map(|i| self.0.with_node(NodeId::from_index(i), ShardedNode::audits_run))
+            .sum()
+    }
+    fn check_invariants(&self) {
+        for i in 0..SHARDED_NODES {
+            self.0
+                .with_node(NodeId::from_index(i), check_sharded_node)
+                .unwrap_or_else(|e| panic!("invariant violated at node {i}: {e}"));
+        }
+    }
+}
+
+fn check_sharded_node(node: &ShardedNode) -> Result<(), String> {
+    if node.conflicts_declared() == 0 {
+        node.check_invariants_clean()
+    } else {
+        node.check_invariants()
+    }
+}
+
+struct ShardedSoakResult {
+    node_costs: Vec<Costs>,
+    stats: ChaosStats,
+    heal_sweeps: usize,
+    double_oobs: u64,
+}
+
+/// Run one sharded soak: single-writer updates across both groups,
+/// per-shard chaos pulls among co-owners, within-group duplicate OOB
+/// fetches and cross-group copies, then heal and converge per shard.
+/// Deterministic in `(seed, plan, params)`.
+fn run_sharded_soak(
+    runtime: &mut dyn ShardedSoakRuntime,
+    map: &ShardMap,
+    seed: u64,
+    plan: &FaultPlan,
+    params: SoakParams,
+) -> ShardedSoakResult {
+    let SoakParams { n_items, rounds, updates_per_round, .. } = params;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5AA2_D50A);
+    let policy = retry_policy();
+
+    // One persistent chaos link per directed co-owner pair per shard —
+    // gossip only ever flows within a replica group.
+    let mut links: Vec<(NodeId, NodeId, ShardId, ChaosLink)> = Vec::new();
+    for shard in ShardId::all(map.n_shards()) {
+        let owners = map.owners(shard).to_vec();
+        for &r in &owners {
+            for &s in &owners {
+                if r != s {
+                    let link_seed = seed.wrapping_add(
+                        ((r.index() * SHARDED_NODES + s.index()) as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    links.push((r, s, shard, ChaosLink::new(link_seed, plan.clone())));
+                }
+            }
+        }
+    }
+
+    // Single writer per item: the owners of its shard take turns by local
+    // index, so schedules are conflict-free and the expected final value
+    // is the last write.
+    let writer_of = |item: usize| -> NodeId {
+        let id = ItemId(item as u32);
+        let owners = map.owners(map.shard_of(id).expect("item in universe"));
+        owners[map.local_item(id).index() % owners.len()]
+    };
+    let mut expected: Vec<Vec<u8>> = vec![Vec::new(); n_items];
+    let mut double_oobs = 0u64;
+
+    for _round in 0..rounds {
+        for _ in 0..updates_per_round {
+            let item = rng.gen_range(0..n_items);
+            let len = if rng.gen_bool(0.25) { 200 } else { rng.gen_range(1..48usize) };
+            let byte = rng.gen_range(0..=255u64) as u8;
+            let value = vec![byte; len];
+            expected[item] = value.clone();
+            runtime.update(writer_of(item), ItemId(item as u32), value);
+        }
+
+        // Each co-owner pair pulls its shard through its chaos link.
+        for (r, s, shard, link) in &mut links {
+            let _ = runtime.pull_shard_chaos(*r, *s, *shard, link, &policy);
+        }
+
+        // Occasionally fetch a hot item out-of-bound within its group —
+        // twice, so the second fetch must register as a redundant
+        // delivery — and occasionally copy one across groups.
+        if rng.gen_bool(0.5) {
+            let item = rng.gen_range(0..n_items);
+            let source = writer_of(item);
+            let owners = map.owners(map.shard_of(ItemId(item as u32)).unwrap());
+            let recipient = *owners.iter().find(|&&n| n != source).expect("two owners per shard");
+            runtime.oob(recipient, source, ItemId(item as u32));
+            runtime.oob(recipient, source, ItemId(item as u32));
+            double_oobs += 1;
+        }
+        if rng.gen_bool(0.25) {
+            let item = rng.gen_range(0..n_items);
+            let source = writer_of(item);
+            // A node from the *other* group: cross-group, via the map.
+            let stranger = NodeId::from_index((source.index() + 2) % SHARDED_NODES);
+            runtime.oob(stranger, source, ItemId(item as u32));
+        }
+    }
+
+    // Heal every link, then sweep per-shard co-owner pulls until every
+    // shard has converged across its group.
+    for (_, _, _, link) in &mut links {
+        link.set_plan(FaultPlan::none());
+    }
+    let mut heal_sweeps = 0;
+    while heal_sweeps < MAX_HEAL_SWEEPS {
+        heal_sweeps += 1;
+        for (r, s, shard, link) in &mut links {
+            runtime
+                .pull_shard_chaos(*r, *s, *shard, link, &policy)
+                .expect("healed pull must succeed");
+        }
+        if runtime.converged(map) {
+            break;
+        }
+    }
+
+    assert!(runtime.converged(map), "sharded soak did not converge after {MAX_HEAL_SWEEPS} sweeps");
+    for (item, want) in expected.iter().enumerate() {
+        let shard = map.shard_of(ItemId(item as u32)).unwrap();
+        for &owner in map.owners(shard) {
+            let got = runtime.value(owner, ItemId(item as u32));
+            assert_eq!(
+                &got, want,
+                "owner {owner} disagrees on item {item} after per-shard convergence"
+            );
+        }
+    }
+    runtime.check_invariants();
+    assert!(runtime.audits() > 0, "paranoid audits must have run");
+
+    let mut stats = ChaosStats::default();
+    for (_, _, _, link) in &links {
+        let s = link.stats;
+        stats.exchanges += s.exchanges;
+        stats.lost_requests += s.lost_requests;
+        stats.lost_responses += s.lost_responses;
+        stats.duplicated += s.duplicated;
+        stats.reordered += s.reordered;
+        stats.redelivered += s.redelivered;
+        stats.corrupted += s.corrupted;
+        stats.resets += s.resets;
+        stats.partitioned += s.partitioned;
+        stats.delivered += s.delivered;
+    }
+    let node_costs =
+        (0..SHARDED_NODES).map(|i| runtime.node_costs(NodeId::from_index(i))).collect();
+    ShardedSoakResult { node_costs, stats, heal_sweeps, double_oobs }
+}
+
+fn build_sharded_runtime(kind: &str, map: &ShardMap) -> Box<dyn ShardedSoakRuntime> {
+    match kind {
+        "inproc" => {
+            let mut c = ShardedSimCluster::new(map.clone(), SHARDED_NODES);
+            c.set_paranoid(true);
+            Box::new(ShardedInProc(c))
+        }
+        "threaded" => {
+            let config = ShardedConfig {
+                gossip_interval: Duration::from_secs(3600),
+                paranoid: true,
+                ..ShardedConfig::default()
+            };
+            Box::new(ShardedThreaded(ShardedThreadedCluster::spawn(
+                map.clone(),
+                SHARDED_NODES,
+                config,
+            )))
+        }
+        "tcp" => {
+            let config = ShardedConfig {
+                gossip_interval: Duration::from_secs(3600),
+                paranoid: true,
+                ..ShardedConfig::default()
+            };
+            Box::new(ShardedTcp(
+                ShardedTcpCluster::spawn(map.clone(), SHARDED_NODES, config).expect("spawn"),
+            ))
+        }
+        other => panic!("unknown sharded runtime {other}"),
+    }
+}
+
+/// The `--sharded` mode: all three sharded runtimes, two same-seed passes
+/// each, asserting per-node cost/fault determinism per runtime and
+/// byte-identical per-node costs *across* runtimes.
+fn run_sharded_mode(seed: u64, plan: &FaultPlan, params: SoakParams) {
+    let map = sharded_map(params.n_items.div_ceil(2));
+    let params = SoakParams { n_nodes: SHARDED_NODES, n_items: map.n_items(), ..params };
+    let mut reference: Option<Vec<Costs>> = None;
+
+    for kind in RUNTIMES {
+        let mut first: Option<(Vec<Costs>, ChaosStats)> = None;
+        for pass in 0..2 {
+            let mut runtime = build_sharded_runtime(kind, &map);
+            let result = run_sharded_soak(runtime.as_mut(), &map, seed, plan, params);
+            drop(runtime);
+
+            let s = result.stats;
+            if pass == 0 {
+                println!(
+                    "[{kind}+sharded] exchanges={} delivered={} faults={} heal_sweeps={}",
+                    s.exchanges,
+                    s.delivered,
+                    s.faults(),
+                    result.heal_sweeps
+                );
+                for (i, c) in result.node_costs.iter().enumerate() {
+                    println!("[{kind}+sharded] node {i} costs: {c}");
+                }
+            }
+
+            let total = result.node_costs.iter().fold(Costs::ZERO, |a, b| a + *b);
+            assert_eq!(
+                total.corrupt_frames_dropped, s.corrupted,
+                "[{kind}+sharded] corrupt frame accounting mismatch"
+            );
+            if s.faults() > s.duplicated {
+                assert!(
+                    total.retries > 0,
+                    "[{kind}+sharded] faults occurred but no retries were counted"
+                );
+            }
+            assert!(
+                total.redundant_deliveries >= result.double_oobs,
+                "[{kind}+sharded] duplicate OOB fetches must count as redundant deliveries"
+            );
+
+            match &first {
+                None => first = Some((result.node_costs, s)),
+                Some((c0, s0)) => {
+                    assert_eq!(
+                        c0, &result.node_costs,
+                        "[{kind}+sharded] same seed produced different per-node costs"
+                    );
+                    assert_eq!(
+                        s0, &s,
+                        "[{kind}+sharded] same seed produced different fault sequence"
+                    );
+                    println!("[{kind}+sharded] replay: identical per-node costs and faults");
+                }
+            }
+        }
+
+        // Partial replication parity: every runtime charges every node
+        // byte-identically for the same sharded schedule.
+        let (costs, _) = first.expect("two passes ran");
+        match &reference {
+            None => reference = Some(costs),
+            Some(r) => {
+                assert_eq!(
+                    r, &costs,
+                    "[{kind}+sharded] per-node costs diverge from the in-process runtime"
+                );
+                println!("[{kind}+sharded] parity: per-node costs identical across runtimes");
+            }
+        }
+    }
+    println!("OK: sharded runtimes converged per shard under chaos; per-node parity held");
+}
+
 // --- runtime construction ---------------------------------------------------
 
 const RUNTIMES: [&str; 3] = ["inproc", "threaded", "tcp"];
@@ -710,6 +1163,7 @@ fn build_runtime(kind: &str, params: SoakParams) -> Box<dyn SoakRuntime> {
 fn main() {
     let mut smoke = false;
     let mut restart_from_disk = false;
+    let mut sharded = false;
     let mut seed: Option<u64> = None;
     let mut rounds: Option<usize> = None;
     let mut args = std::env::args().skip(1);
@@ -717,6 +1171,7 @@ fn main() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--restart-from-disk" => restart_from_disk = true,
+            "--sharded" => sharded = true,
             "--seed" => {
                 let v = args.next().expect("--seed needs a value");
                 seed = Some(v.parse().expect("--seed takes a u64"));
@@ -728,7 +1183,8 @@ fn main() {
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
-                    "usage: chaos_soak [--smoke] [--seed N] [--rounds N] [--restart-from-disk]"
+                    "usage: chaos_soak [--smoke] [--seed N] [--rounds N] [--restart-from-disk] \
+                     [--sharded]"
                 );
                 std::process::exit(2);
             }
@@ -761,6 +1217,18 @@ fn main() {
     }
 
     let plan = derive_plan(&mut StdRng::seed_from_u64(seed));
+    if sharded {
+        println!("chaos_soak --sharded: seed={seed} (replay with --seed {seed})");
+        println!(
+            "params: 2 groups x 2 nodes, shards=2 items/shard={} rounds={} updates/round={}{}",
+            params.n_items.div_ceil(2),
+            params.rounds,
+            params.updates_per_round,
+            if smoke { " (smoke)" } else { "" }
+        );
+        run_sharded_mode(seed, &plan, params);
+        return;
+    }
     println!("chaos_soak: seed={seed} (replay with --seed {seed})");
     println!(
         "plan: loss={:.2}/{:.2} dup={:.2} reorder={:.2} corrupt={:.2} reset={:.2} partitions={}",

@@ -14,7 +14,8 @@
 //!
 //! ```text
 //! cargo run --release -p epidb-bench --bin perf_report -- \
-//!     [--smoke] [--assert-zero-copy] [--assert-small-path] [--out PATH] [--baseline PATH]
+//!     [--smoke] [--assert-zero-copy] [--assert-small-path] \
+//!     [--assert-sharded-gossip] [--out PATH] [--baseline PATH]
 //! ```
 //!
 //! * `--smoke` — tiny sizes and budgets (CI: validates the harness and the
@@ -26,9 +27,13 @@
 //!   decoding a many-small-items frame is O(1) allocations regardless of
 //!   item count, and a steady-state delta gossip round stays under a fixed
 //!   allocation budget.
+//! * `--assert-sharded-gossip` — assert the partial-replication scaling
+//!   gate: a node's per-round gossip costs and allocations are a function
+//!   of the shards it *owns*, byte-identical across 2-shard and 8-shard
+//!   universes.
 //! * `--baseline PATH` — a previous report to embed and compute speedups
-//!   against (default `BENCH_PR3.json` if present).
-//! * `--out PATH` — where to write the report (default `BENCH_PR6.json`).
+//!   against (default `BENCH_PR6.json` if present).
+//! * `--out PATH` — where to write the report (default `BENCH_PR7.json`).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -37,9 +42,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use epidb_common::{ItemId, NodeId};
+use epidb_common::{Costs, ItemId, NodeId, ShardId};
 use epidb_core::codec::{decode_response_shared, encode_response, encode_response_to, Writer};
-use epidb_core::{oob_copy, pull, pull_delta, ProtocolResponse, PullOutcome, Replica};
+use epidb_core::{
+    oob_copy, pull, pull_delta, ConflictPolicy, Engine, LocalShardedTransport, ProtocolResponse,
+    PullOutcome, Replica, ShardMap, ShardTransport, ShardedNode,
+};
 use epidb_store::UpdateOp;
 
 // --- counting allocator -----------------------------------------------------
@@ -302,6 +310,108 @@ fn scenario_delta(name: &'static str, s: &Sizes, m: usize, ops: usize, val: usiz
     bench(name, s.target, payload, || (), |()| one_round())
 }
 
+/// A steady-state sharded gossip pair: the two owners of shard 0 in a
+/// deployment of `n_shards` total shards, exchanging delta rounds through
+/// the sharded dispatch path (shard-map routing + shard envelopes). The
+/// measured pair owns ONE shard regardless of `n_shards`; partial
+/// replication promises their gossip work is a function of what they own,
+/// not of the universe size.
+struct ShardedGossipPair {
+    src: ShardedNode,
+    dst: ShardedNode,
+    m: usize,
+    ops: usize,
+    patch: Bytes,
+    val: usize,
+}
+
+fn build_sharded_gossip(s: &Sizes, n_shards: usize) -> ShardedGossipPair {
+    assert!(n_shards >= 2);
+    let m = s.delta_m;
+    // Shard 0 belongs to the measured pair; every other shard to a group
+    // this pair is *not* in, so widening the universe adds only unowned
+    // shards.
+    let mut groups = vec![vec![NodeId(0), NodeId(1)]];
+    groups.extend((1..n_shards).map(|_| vec![NodeId(2), NodeId(3)]));
+    let map = ShardMap::new(m, groups);
+    let mut src = ShardedNode::new(NodeId(0), 4, map.clone(), ConflictPolicy::Report);
+    let mut dst = ShardedNode::new(NodeId(1), 4, map, ConflictPolicy::Report);
+    src.enable_delta(256 << 10);
+    dst.enable_delta(256 << 10);
+    let val = s.delta_val.max(1);
+    for i in 0..m {
+        src.update(ItemId::from_index(i), UpdateOp::set(vec![7u8; val])).unwrap();
+    }
+    let patch = Bytes::from(vec![3u8; 64.min(val)]);
+    let mut pair = ShardedGossipPair { src, dst, m, ops: s.delta_ops, patch, val };
+    // Whole-pull once to converge, then warm the op caches to capacity.
+    {
+        let replica = pair.dst.shard_state_mut(ShardId(0)).unwrap();
+        let mut local = LocalShardedTransport::new(&mut pair.src);
+        let mut transport = ShardTransport::new(&mut local, ShardId(0));
+        Engine::pull(replica, &mut transport).unwrap();
+    }
+    for _ in 0..64 {
+        sharded_gossip_round(&mut pair);
+    }
+    pair
+}
+
+/// One steady-state round: patch every owned item at the source, then one
+/// delta pull of shard 0 at the destination.
+fn sharded_gossip_round(pair: &mut ShardedGossipPair) {
+    let patch_len = pair.patch.len();
+    for k in 0..pair.ops {
+        for i in 0..pair.m {
+            pair.src
+                .update(
+                    ItemId::from_index(i),
+                    UpdateOp::write_range((k * patch_len) % pair.val, pair.patch.clone()),
+                )
+                .unwrap();
+        }
+    }
+    let replica = pair.dst.shard_state_mut(ShardId(0)).unwrap();
+    let mut local = LocalShardedTransport::new(&mut pair.src);
+    let mut transport = ShardTransport::new(&mut local, ShardId(0));
+    let out = Engine::pull_delta(replica, &mut transport).unwrap();
+    assert!(matches!(out, PullOutcome::Propagated(_)));
+}
+
+fn scenario_sharded_gossip(name: &'static str, s: &Sizes, n_shards: usize) -> Measure {
+    let mut pair = build_sharded_gossip(s, n_shards);
+    let payload = (pair.m * pair.ops * pair.patch.len()) as u64;
+    bench(name, s.target, payload, || (), |()| sharded_gossip_round(&mut pair))
+}
+
+/// The ownership-scaling gate behind `--assert-sharded-gossip`: the exact
+/// per-node [`Costs`] of the same per-owned-shard schedule must be
+/// byte-identical whether the universe holds 2 shards or 8 — per-node
+/// gossip traffic is charged per *owned* shard, never per total item.
+fn assert_sharded_ownership_scaling(s: &Sizes) {
+    let mut narrow = build_sharded_gossip(s, 2);
+    let mut wide = build_sharded_gossip(s, 8);
+    for _ in 0..8 {
+        sharded_gossip_round(&mut narrow);
+        sharded_gossip_round(&mut wide);
+    }
+    for (who, a, b) in [
+        ("source", narrow.src.costs(), wide.src.costs()),
+        ("destination", narrow.dst.costs(), wide.dst.costs()),
+    ] {
+        assert!(a != Costs::ZERO && b != Costs::ZERO, "{who} gossip must have been charged");
+        assert_eq!(
+            a, b,
+            "sharded-gossip scaling regression: the {who}'s costs changed with the number \
+             of *unowned* shards (2-shard universe vs 8-shard universe)"
+        );
+    }
+    // And unowned shards cost the other group's members nothing here:
+    // neither measured node even instantiates them.
+    assert_eq!(wide.src.owned_shards(), vec![ShardId(0)]);
+    eprintln!("perf_report: sharded-gossip ownership-scaling assertions hold.");
+}
+
 /// One out-of-bound copy of a single large value to a fresh recipient.
 fn scenario_oob_large(name: &'static str, s: &Sizes) -> Measure {
     let mut src = Replica::new(NodeId(0), 2, 4);
@@ -343,6 +453,8 @@ fn run_all(s: &Sizes) -> Vec<Measure> {
         scenario_pull("pull_vs_m", s, s.pull_m, s.pull_val),
         scenario_pull("pull_large_value", s, 1, s.large_val),
         scenario_delta("delta_gossip", s, s.delta_m, s.delta_ops, s.delta_val),
+        scenario_sharded_gossip("sharded_gossip_2shards", s, 2),
+        scenario_sharded_gossip("sharded_gossip_8shards", s, 8),
         scenario_oob_large("oob_large_value", s),
         scenario_snapshot_restore("snapshot_restore_large_value", s),
     ]
@@ -392,8 +504,8 @@ fn main() {
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::from)
     };
     let smoke = has("--smoke");
-    let out_path = opt("--out").unwrap_or_else(|| "BENCH_PR6.json".into());
-    let baseline_path = opt("--baseline").unwrap_or_else(|| "BENCH_PR3.json".into());
+    let out_path = opt("--out").unwrap_or_else(|| "BENCH_PR7.json".into());
+    let baseline_path = opt("--baseline").unwrap_or_else(|| "BENCH_PR6.json".into());
 
     let sizes = if smoke { Sizes::smoke() } else { Sizes::full() };
     eprintln!("perf_report: running {} scenarios...", if smoke { "smoke" } else { "full" });
@@ -454,11 +566,28 @@ fn main() {
         eprintln!("perf_report: small-path allocation assertions hold.");
     }
 
+    if has("--assert-sharded-gossip") {
+        // Partial replication: a pair owning one shard must do identical
+        // gossip work whether the universe holds 2 shards or 8, and the
+        // wide deployment must not allocate meaningfully more per round.
+        assert_sharded_ownership_scaling(&sizes);
+        let narrow =
+            measures.iter().find(|m| m.name == "sharded_gossip_2shards").expect("scenario");
+        let wide = measures.iter().find(|m| m.name == "sharded_gossip_8shards").expect("scenario");
+        assert!(
+            wide.allocs_per_op <= narrow.allocs_per_op * 1.5 + 16.0,
+            "sharded-gossip scaling regression: {:.1} allocs/round with 8 shards vs {:.1} \
+             with 2 — per-round allocation must track owned shards, not the universe",
+            wide.allocs_per_op,
+            narrow.allocs_per_op,
+        );
+    }
+
     let baseline = std::fs::read_to_string(&baseline_path).ok();
     let mut report = String::new();
     report.push_str("{\n");
     report.push_str("  \"schema\": \"epidb-perf-report/v1\",\n");
-    report.push_str("  \"pr\": 6,\n");
+    report.push_str("  \"pr\": 7,\n");
     writeln!(report, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" }).unwrap();
     writeln!(report, "  \"scenarios\": {},", scenarios_json(&measures)).unwrap();
     match &baseline {

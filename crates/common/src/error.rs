@@ -2,7 +2,26 @@
 
 use std::fmt;
 
-use crate::ids::{ItemId, NodeId};
+use crate::ids::{ItemId, NodeId, ShardId};
+
+/// What a routed request was addressed to: the unit of dispatch a server
+/// failed to resolve locally.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RouteTarget {
+    /// A named database on a multi-database server.
+    Database(String),
+    /// A shard on a sharded (partially replicating) node.
+    Shard(ShardId),
+}
+
+impl fmt::Display for RouteTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteTarget::Database(name) => write!(f, "database {name:?}"),
+            RouteTarget::Shard(shard) => write!(f, "shard {shard}"),
+        }
+    }
+}
 
 /// Errors surfaced by the replication machinery.
 ///
@@ -64,6 +83,25 @@ pub enum Error {
     DatabaseExists(String),
     /// No database with this name exists on the server.
     UnknownDatabase(String),
+    /// A routed request (a `Db` or `Shard` envelope) addressed a target
+    /// this node does not serve. NOT retryable *at the same peer*: the
+    /// peer's placement is deterministic, so the identical request fails
+    /// identically. `owners` carries the responder's view of who does
+    /// serve the target (its shard-map entry), so the caller can redirect
+    /// instead of retrying blindly; it is empty when the responder has no
+    /// placement information (e.g. an unknown database name).
+    NotServedHere {
+        /// The dispatch target the request named.
+        target: RouteTarget,
+        /// Nodes the responder believes serve the target (may be empty).
+        owners: Vec<NodeId>,
+    },
+    /// The shard is mid-handoff between replica groups: reads and writes
+    /// are refused for the duration of the cutover window. Retryable —
+    /// the window is transient, and once the handoff completes the same
+    /// request succeeds (here, or at the new owner after a
+    /// `NotServedHere` redirect).
+    ShardMoving(ShardId),
 }
 
 impl Error {
@@ -72,7 +110,13 @@ impl Error {
     /// unreachable peers) are transient; everything else reflects protocol
     /// misuse or durable state and retrying would only repeat it.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Error::Network(_) | Error::CorruptFrame(_) | Error::PeerUnavailable(_))
+        matches!(
+            self,
+            Error::Network(_)
+                | Error::CorruptFrame(_)
+                | Error::PeerUnavailable(_)
+                | Error::ShardMoving(_)
+        )
     }
 }
 
@@ -97,6 +141,20 @@ impl fmt::Display for Error {
             Error::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
             Error::DatabaseExists(name) => write!(f, "database {name:?} already exists"),
             Error::UnknownDatabase(name) => write!(f, "unknown database {name:?}"),
+            Error::NotServedHere { target, owners } => {
+                write!(f, "{target} is not served here")?;
+                if !owners.is_empty() {
+                    write!(f, " (owners:")?;
+                    for o in owners {
+                        write!(f, " {o}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Error::ShardMoving(shard) => {
+                write!(f, "shard {shard} is mid-handoff; retry after the cutover")
+            }
         }
     }
 }
@@ -142,6 +200,23 @@ mod tests {
             "database \"mail\" already exists"
         );
         assert_eq!(Error::UnknownDatabase("mail".into()).to_string(), "unknown database \"mail\"");
+        assert_eq!(
+            Error::NotServedHere { target: RouteTarget::Database("mail".into()), owners: vec![] }
+                .to_string(),
+            "database \"mail\" is not served here"
+        );
+        assert_eq!(
+            Error::NotServedHere {
+                target: RouteTarget::Shard(ShardId(3)),
+                owners: vec![NodeId(2), NodeId(4)],
+            }
+            .to_string(),
+            "shard s3 is not served here (owners: n2 n4)"
+        );
+        assert_eq!(
+            Error::ShardMoving(ShardId(1)).to_string(),
+            "shard s1 is mid-handoff; retry after the cutover"
+        );
     }
 
     #[test]
@@ -158,6 +233,17 @@ mod tests {
         // An oversized frame is deterministic on the sender: re-encoding
         // the same message re-exceeds the same limit.
         assert!(!Error::FrameTooLarge { len: 2, limit: 1 }.is_retryable());
+        // Routing refusals: placement at one peer is deterministic, so
+        // "not served here" never changes on a blind retry — the caller
+        // must redirect to one of the carried owners instead.
+        assert!(!Error::NotServedHere {
+            target: RouteTarget::Shard(ShardId(0)),
+            owners: vec![NodeId(1)],
+        }
+        .is_retryable());
+        // A mid-handoff shard is a transient window: the same request
+        // succeeds once the cutover completes.
+        assert!(Error::ShardMoving(ShardId(0)).is_retryable());
     }
 
     #[test]

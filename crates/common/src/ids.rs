@@ -52,6 +52,50 @@ impl From<u16> for NodeId {
     }
 }
 
+/// Identifier of a shard: one contiguous slice of the item space,
+/// replicated by one replica group (see `epidb-core`'s `shard` module).
+///
+/// Shards are numbered densely `0..S`. A sharded node runs one full
+/// instance of the paper's protocol per owned shard, so a `ShardId` plays
+/// the same routing role a database name plays for multi-database servers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ShardId(pub u16);
+
+impl ShardId {
+    /// The dense index of this shard, usable directly as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterate over all shard ids in a system of `n` shards.
+    pub fn all(n: usize) -> impl Iterator<Item = ShardId> + Clone {
+        (0..n).map(ShardId::from_index)
+    }
+
+    /// Build a `ShardId` from a dense index.
+    ///
+    /// # Panics
+    /// Panics if `index` exceeds `u16::MAX`.
+    #[inline]
+    pub fn from_index(index: usize) -> ShardId {
+        assert!(index <= u16::MAX as usize, "shard index {index} out of range");
+        ShardId(index as u16)
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u16> for ShardId {
+    fn from(v: u16) -> Self {
+        ShardId(v)
+    }
+}
+
 /// Identifier of a data item in the replicated database.
 ///
 /// Items are numbered densely `0..N`. The paper presents update propagation
@@ -132,5 +176,15 @@ mod tests {
     fn ids_are_ordered() {
         assert!(NodeId(1) < NodeId(2));
         assert!(ItemId(1) < ItemId(2));
+        assert!(ShardId(1) < ShardId(2));
+    }
+
+    #[test]
+    fn shard_id_roundtrip() {
+        let s = ShardId::from_index(3);
+        assert_eq!(s.index(), 3);
+        assert_eq!(s, ShardId(3));
+        assert_eq!(s.to_string(), "s3");
+        assert_eq!(ShardId::all(2).collect::<Vec<_>>(), vec![ShardId(0), ShardId(1)]);
     }
 }

@@ -11,7 +11,7 @@
 use std::ops::Range;
 
 use bytes::Bytes;
-use epidb_common::{Error, ItemId, NodeId, Result};
+use epidb_common::{Error, ItemId, NodeId, Result, RouteTarget, ShardId};
 use epidb_log::LogRecord;
 use epidb_store::UpdateOp;
 use epidb_vv::{DbVersionVector, VersionVector};
@@ -771,6 +771,7 @@ const REQ_DELTA_FETCH: u8 = 3;
 const REQ_OOB: u8 = 4;
 const REQ_LIST_DBS: u8 = 5;
 const REQ_DB: u8 = 6;
+const REQ_SHARD: u8 = 7;
 
 const RESP_PULL: u8 = 1;
 const RESP_DELTA_OFFER: u8 = 2;
@@ -779,12 +780,24 @@ const RESP_OOB: u8 = 4;
 const RESP_DBS: u8 = 5;
 const RESP_DB: u8 = 6;
 const RESP_ERROR: u8 = 7;
+const RESP_SHARD: u8 = 8;
+const RESP_REFUSED: u8 = 9;
 
 const OFFER_CURRENT: u8 = 0;
 const OFFER_OFFER: u8 = 1;
 
-/// One level of database routing is legal (a [`ProtocolRequest::Db`]
-/// envelope around a replica-level message); deeper nesting is rejected.
+// Sub-tags of `RESP_REFUSED`: the two typed routing refusals that must
+// survive a real wire byte-exact (retryability depends on the variant).
+const REFUSED_NOT_SERVED: u8 = 0;
+const REFUSED_MOVING: u8 = 1;
+
+// Sub-tags of a `REFUSED_NOT_SERVED` route target.
+const TARGET_DB: u8 = 0;
+const TARGET_SHARD: u8 = 1;
+
+/// One level of routing is legal (a [`ProtocolRequest::Db`] or
+/// [`ProtocolRequest::Shard`] envelope around a replica-level message);
+/// deeper nesting is rejected.
 const MAX_ROUTE_DEPTH: u8 = 1;
 
 fn put_string(w: &mut Writer, s: &str) {
@@ -831,6 +844,11 @@ fn put_request_body(w: &mut Writer, req: &ProtocolRequest) {
             put_string(w, name);
             put_request_body(w, req);
         }
+        ProtocolRequest::Shard { shard, req } => {
+            w.u8(REQ_SHARD);
+            w.u16(shard.0);
+            put_request_body(w, req);
+        }
     }
 }
 
@@ -860,6 +878,14 @@ fn get_request_body(r: &mut Reader<'_>, depth: u8) -> Result<ProtocolRequest> {
             let name = get_string(r)?;
             let req = get_request_body(r, depth + 1)?;
             Ok(ProtocolRequest::Db { name, req: Box::new(req) })
+        }
+        REQ_SHARD => {
+            if depth >= MAX_ROUTE_DEPTH {
+                return Err(decode_err("nested shard routing"));
+            }
+            let shard = ShardId(r.u16()?);
+            let req = get_request_body(r, depth + 1)?;
+            Ok(ProtocolRequest::Shard { shard, req: Box::new(req) })
         }
         t => Err(decode_err(format!("unknown request tag {t}"))),
     }
@@ -904,6 +930,65 @@ fn put_response_body(w: &mut Writer, resp: &ProtocolResponse) {
             w.u8(RESP_ERROR);
             put_string(w, msg);
         }
+        ProtocolResponse::Shard { shard, resp } => {
+            w.u8(RESP_SHARD);
+            w.u16(shard.0);
+            put_response_body(w, resp);
+        }
+        ProtocolResponse::Refused(e) => {
+            w.u8(RESP_REFUSED);
+            put_refusal(w, e);
+        }
+    }
+}
+
+/// Encode a typed routing refusal. Only the two routing variants exist on
+/// the wire; anything else is a caller bug (the engine folds other errors
+/// into [`ProtocolResponse::Error`] text).
+fn put_refusal(w: &mut Writer, e: &Error) {
+    match e {
+        Error::NotServedHere { target, owners } => {
+            w.u8(REFUSED_NOT_SERVED);
+            match target {
+                RouteTarget::Database(name) => {
+                    w.u8(TARGET_DB);
+                    put_string(w, name);
+                }
+                RouteTarget::Shard(shard) => {
+                    w.u8(TARGET_SHARD);
+                    w.u16(shard.0);
+                }
+            }
+            w.u16(owners.len() as u16);
+            for o in owners {
+                w.u16(o.0);
+            }
+        }
+        Error::ShardMoving(shard) => {
+            w.u8(REFUSED_MOVING);
+            w.u16(shard.0);
+        }
+        other => panic!("refusal {other:?} is not a typed routing refusal"),
+    }
+}
+
+fn get_refusal(r: &mut Reader<'_>) -> Result<Error> {
+    match r.u8()? {
+        REFUSED_NOT_SERVED => {
+            let target = match r.u8()? {
+                TARGET_DB => RouteTarget::Database(get_string(r)?),
+                TARGET_SHARD => RouteTarget::Shard(ShardId(r.u16()?)),
+                t => return Err(decode_err(format!("unknown route target tag {t}"))),
+            };
+            let n = r.u16()? as usize;
+            let mut owners = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                owners.push(NodeId(r.u16()?));
+            }
+            Ok(Error::NotServedHere { target, owners })
+        }
+        REFUSED_MOVING => Ok(Error::ShardMoving(ShardId(r.u16()?))),
+        t => Err(decode_err(format!("unknown refusal tag {t}"))),
     }
 }
 
@@ -936,6 +1021,15 @@ fn get_response_body(r: &mut Reader<'_>, depth: u8) -> Result<ProtocolResponse> 
             Ok(ProtocolResponse::Db { name, resp: Box::new(resp) })
         }
         RESP_ERROR => Ok(ProtocolResponse::Error(get_string(r)?)),
+        RESP_SHARD => {
+            if depth >= MAX_ROUTE_DEPTH {
+                return Err(decode_err("nested shard routing"));
+            }
+            let shard = ShardId(r.u16()?);
+            let resp = get_response_body(r, depth + 1)?;
+            Ok(ProtocolResponse::Shard { shard, resp: Box::new(resp) })
+        }
+        RESP_REFUSED => Ok(ProtocolResponse::Refused(get_refusal(r)?)),
         t => Err(decode_err(format!("unknown response tag {t}"))),
     }
 }
@@ -1307,6 +1401,10 @@ mod tests {
                 name: "mail".into(),
                 req: Box::new(ProtocolRequest::Oob { from: NodeId(2), item: ItemId(5) }),
             },
+            ProtocolRequest::Shard {
+                shard: ShardId(3),
+                req: Box::new(ProtocolRequest::Oob { from: NodeId(2), item: ItemId(5) }),
+            },
         ];
         for req in reqs {
             let buf = encode_request(&req);
@@ -1353,6 +1451,19 @@ mod tests {
                 resp: Box::new(ProtocolResponse::Pull(PropagationResponse::YouAreCurrent)),
             },
             ProtocolResponse::Error("remote failure".into()),
+            ProtocolResponse::Shard {
+                shard: ShardId(7),
+                resp: Box::new(ProtocolResponse::Pull(PropagationResponse::YouAreCurrent)),
+            },
+            ProtocolResponse::Refused(Error::NotServedHere {
+                target: RouteTarget::Shard(ShardId(2)),
+                owners: vec![NodeId(1), NodeId(3)],
+            }),
+            ProtocolResponse::Refused(Error::NotServedHere {
+                target: RouteTarget::Database("mail".into()),
+                owners: vec![],
+            }),
+            ProtocolResponse::Refused(Error::ShardMoving(ShardId(4))),
         ];
         for resp in resps {
             let buf = encode_response(&resp);
@@ -1371,6 +1482,52 @@ mod tests {
             }),
         };
         assert!(decode_request(&encode_request(&req)).is_err());
+    }
+
+    #[test]
+    fn nested_shard_routing_rejected() {
+        let req = ProtocolRequest::Shard {
+            shard: ShardId(0),
+            req: Box::new(ProtocolRequest::Shard {
+                shard: ShardId(1),
+                req: Box::new(ProtocolRequest::ListDatabases { from: NodeId(0) }),
+            }),
+        };
+        assert!(decode_request(&encode_request(&req)).is_err());
+        // Mixed nesting (a shard envelope inside a db envelope) is equally
+        // over-deep: one routing hop total.
+        let req = ProtocolRequest::Db {
+            name: "outer".into(),
+            req: Box::new(ProtocolRequest::Shard {
+                shard: ShardId(1),
+                req: Box::new(ProtocolRequest::ListDatabases { from: NodeId(0) }),
+            }),
+        };
+        assert!(decode_request(&encode_request(&req)).is_err());
+    }
+
+    #[test]
+    fn refusals_roundtrip_typed() {
+        // A refusal that crossed a real wire must still classify correctly.
+        let refusal = ProtocolResponse::Refused(Error::ShardMoving(ShardId(9)));
+        match decode_response(&encode_response(&refusal)).unwrap() {
+            ProtocolResponse::Refused(e) => assert!(e.is_retryable()),
+            other => panic!("kind changed: {other:?}"),
+        }
+        let refusal = ProtocolResponse::Refused(Error::NotServedHere {
+            target: RouteTarget::Shard(ShardId(1)),
+            owners: vec![NodeId(2)],
+        });
+        match decode_response(&encode_response(&refusal)).unwrap() {
+            ProtocolResponse::Refused(e) => {
+                assert!(!e.is_retryable());
+                match e {
+                    Error::NotServedHere { owners, .. } => assert_eq!(owners, vec![NodeId(2)]),
+                    other => panic!("variant changed: {other:?}"),
+                }
+            }
+            other => panic!("kind changed: {other:?}"),
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::time::Instant;
 
 use epidb_common::costs::wire;
 use epidb_common::trace::{OrdTag, TraceStep};
-use epidb_common::{Error, ItemId, NodeId, Result};
+use epidb_common::{Error, ItemId, NodeId, Result, ShardId};
 use epidb_vv::DbVersionVector;
 
 use crate::delta::{DeltaOfferResponse, DeltaPayload, DeltaRequest};
@@ -82,6 +82,15 @@ pub enum ProtocolRequest {
         /// The request to run against that database's replica.
         req: Box<ProtocolRequest>,
     },
+    /// Route a request to one shard of a sharded (partially replicating)
+    /// node — see [`crate::shard`]. A node that does not own the shard
+    /// refuses with [`Error::NotServedHere`] carrying its shard-map entry.
+    Shard {
+        /// The shard the inner request addresses.
+        shard: ShardId,
+        /// The request to run against that shard's replica.
+        req: Box<ProtocolRequest>,
+    },
 }
 
 /// A response message of the protocol, paired with [`ProtocolRequest`].
@@ -104,6 +113,19 @@ pub enum ProtocolResponse {
         /// The response from that database's replica.
         resp: Box<ProtocolResponse>,
     },
+    /// A routed response from one shard of a sharded node.
+    Shard {
+        /// The shard the inner response came from.
+        shard: ShardId,
+        /// The response from that shard's replica.
+        resp: Box<ProtocolResponse>,
+    },
+    /// A typed routing refusal ([`Error::NotServedHere`] or
+    /// [`Error::ShardMoving`]) carried in-band so it survives byte-level
+    /// transports with its structure — owners list, retryability — intact.
+    /// [`Transport::exchange`] implementations convert it back into the
+    /// `Err` it wraps, so drivers never observe it directly.
+    Refused(Error),
     /// The responder failed to execute the request. Real transports carry
     /// the error back in-band; [`Transport::exchange`] implementations
     /// convert it into an [`Error`] so drivers never observe it directly.
@@ -120,7 +142,7 @@ impl ProtocolRequest {
             | ProtocolRequest::DeltaFetch { from, .. }
             | ProtocolRequest::Oob { from, .. }
             | ProtocolRequest::ListDatabases { from } => *from,
-            ProtocolRequest::Db { req, .. } => req.from(),
+            ProtocolRequest::Db { req, .. } | ProtocolRequest::Shard { req, .. } => req.from(),
         }
     }
 
@@ -133,6 +155,7 @@ impl ProtocolRequest {
             ProtocolRequest::Oob { .. } => "oob",
             ProtocolRequest::ListDatabases { .. } => "list-databases",
             ProtocolRequest::Db { .. } => "db",
+            ProtocolRequest::Shard { .. } => "shard",
         }
     }
 
@@ -153,7 +176,9 @@ impl ProtocolRequest {
             ProtocolRequest::DeltaFetch { wants, .. } => wants.control_bytes(),
             ProtocolRequest::Oob { .. } => wire::ITEM_ID,
             ProtocolRequest::ListDatabases { .. } => 0,
-            ProtocolRequest::Db { req, .. } => req.body_control_bytes(),
+            ProtocolRequest::Db { req, .. } | ProtocolRequest::Shard { req, .. } => {
+                req.body_control_bytes()
+            }
         }
     }
 
@@ -174,6 +199,8 @@ impl ProtocolResponse {
             ProtocolResponse::Oob(_) => "oob",
             ProtocolResponse::Databases(_) => "databases",
             ProtocolResponse::Db { .. } => "db",
+            ProtocolResponse::Shard { .. } => "shard",
+            ProtocolResponse::Refused(_) => "refused",
             ProtocolResponse::Error(_) => "error",
         }
     }
@@ -192,7 +219,10 @@ impl ProtocolResponse {
             ProtocolResponse::DeltaPayload(p) => p.control_bytes(),
             ProtocolResponse::Oob(r) => r.control_bytes(),
             ProtocolResponse::Databases(names) => names.iter().map(|n| 4 + n.len() as u64).sum(),
-            ProtocolResponse::Db { resp, .. } => resp.body_control_bytes(),
+            ProtocolResponse::Db { resp, .. } | ProtocolResponse::Shard { resp, .. } => {
+                resp.body_control_bytes()
+            }
+            ProtocolResponse::Refused(e) => e.to_string().len() as u64,
             ProtocolResponse::Error(msg) => msg.len() as u64,
         }
     }
@@ -203,9 +233,12 @@ impl ProtocolResponse {
             ProtocolResponse::Pull(r) => r.payload_bytes(),
             ProtocolResponse::DeltaPayload(p) => p.payload_bytes(),
             ProtocolResponse::Oob(r) => r.value.len() as u64,
-            ProtocolResponse::Db { resp, .. } => resp.payload_bytes(),
+            ProtocolResponse::Db { resp, .. } | ProtocolResponse::Shard { resp, .. } => {
+                resp.payload_bytes()
+            }
             ProtocolResponse::DeltaOffer(_)
             | ProtocolResponse::Databases(_)
+            | ProtocolResponse::Refused(_)
             | ProtocolResponse::Error(_) => 0,
         }
     }
@@ -306,6 +339,35 @@ impl<T: Transport> Transport for DbTransport<'_, T> {
     }
 }
 
+/// A transport that reaches one shard of a sharded node by wrapping every
+/// exchange in the [`ProtocolRequest::Shard`] routing envelope — the
+/// shard-level twin of [`DbTransport`].
+pub struct ShardTransport<'a, T: Transport> {
+    inner: &'a mut T,
+    shard: ShardId,
+}
+
+impl<'a, T: Transport> ShardTransport<'a, T> {
+    /// Route exchanges on `inner` to the peer node's shard `shard`.
+    pub fn new(inner: &'a mut T, shard: ShardId) -> ShardTransport<'a, T> {
+        ShardTransport { inner, shard }
+    }
+}
+
+impl<T: Transport> Transport for ShardTransport<'_, T> {
+    fn peer(&self) -> NodeId {
+        self.inner.peer()
+    }
+
+    fn exchange(&mut self, req: ProtocolRequest) -> Result<ProtocolResponse> {
+        let envelope = ProtocolRequest::Shard { shard: self.shard, req: Box::new(req) };
+        match self.inner.exchange(envelope)? {
+            ProtocolResponse::Shard { resp, .. } => Ok(*resp),
+            other => Err(unexpected("shard-routed exchange", &other)),
+        }
+    }
+}
+
 /// Which shipping mode a sync round uses (§2: whole data copying vs.
 /// applying log records for missing updates).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -321,6 +383,10 @@ pub enum SyncMode {
 pub(crate) fn unexpected(context: &str, resp: &ProtocolResponse) -> Error {
     match resp {
         ProtocolResponse::Error(msg) => Error::Network(format!("{context}: peer error: {msg}")),
+        // A typed refusal a transport let through keeps its type: its
+        // retryability story must not be flattened into a generic network
+        // error.
+        ProtocolResponse::Refused(e) => e.clone(),
         other => Error::Network(format!("{context}: unexpected {} response", other.kind())),
     }
 }
@@ -398,7 +464,9 @@ impl Engine {
                 replica.post_step_audit("serve-oob");
                 ProtocolResponse::Oob(reply)
             }
-            ProtocolRequest::ListDatabases { .. } | ProtocolRequest::Db { .. } => {
+            ProtocolRequest::ListDatabases { .. }
+            | ProtocolRequest::Db { .. }
+            | ProtocolRequest::Shard { .. } => {
                 return Err(Error::Network(format!(
                     "request {:?} requires server-level dispatch",
                     req.kind()
@@ -734,6 +802,34 @@ mod tests {
             ProtocolResponse::Db { name: "a-database".into(), resp: Box::new(plain.clone()) };
         assert_eq!(plain.control_bytes(), routed.control_bytes());
         assert_eq!(plain.payload_bytes(), routed.payload_bytes());
+    }
+
+    #[test]
+    fn shard_envelope_is_cost_transparent() {
+        let dbvv = DbVersionVector::zero(3);
+        let plain = ProtocolRequest::Pull { from: NodeId(0), dbvv: dbvv.clone() };
+        let routed = ProtocolRequest::Shard { shard: ShardId(7), req: Box::new(plain.clone()) };
+        assert_eq!(plain.control_bytes(), routed.control_bytes());
+
+        let plain = ProtocolResponse::Pull(PropagationResponse::YouAreCurrent);
+        let routed = ProtocolResponse::Shard { shard: ShardId(7), resp: Box::new(plain.clone()) };
+        assert_eq!(plain.control_bytes(), routed.control_bytes());
+        assert_eq!(plain.payload_bytes(), routed.payload_bytes());
+    }
+
+    #[test]
+    fn refused_responses_keep_their_typed_error() {
+        let refusal = Error::ShardMoving(ShardId(2));
+        let err = unexpected("pull", &ProtocolResponse::Refused(refusal.clone()));
+        assert_eq!(err, refusal);
+        assert!(err.is_retryable());
+        let refusal = Error::NotServedHere {
+            target: epidb_common::RouteTarget::Shard(ShardId(1)),
+            owners: vec![NodeId(3)],
+        };
+        let err = unexpected("pull", &ProtocolResponse::Refused(refusal.clone()));
+        assert_eq!(err, refusal);
+        assert!(!err.is_retryable());
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod propagation;
 pub mod replica;
 pub mod retry;
 pub mod server;
+pub mod shard;
 pub mod snapshot;
 pub mod tokens;
 
@@ -73,7 +74,7 @@ pub use delta::{
 };
 pub use engine::{
     DbTransport, Engine, GossipBudget, LocalTransport, ProtocolRequest, ProtocolResponse,
-    ReplicaHost, SyncMode, Transport,
+    ReplicaHost, ShardTransport, SyncMode, Transport,
 };
 pub use journal::{Mutation, MutationSink, SinkHandle};
 pub use messages::{OobReply, PropagationPayload, PropagationResponse, ShippedItem};
@@ -85,4 +86,5 @@ pub use propagation::{pull, AcceptOutcome, PullOutcome};
 pub use replica::{AuxItem, ProtocolCounters, Replica};
 pub use retry::RetryPolicy;
 pub use server::{pull_server, pull_server_delta, LocalServerTransport, Server, ServerPullOutcome};
+pub use shard::{LocalShardedTransport, ShardMap, ShardedNode, ShardedOob};
 pub use tokens::TokenManager;

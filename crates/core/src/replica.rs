@@ -156,6 +156,20 @@ impl Replica {
         self.id
     }
 
+    /// Re-identify this replica as `id` — the shard-handoff install step.
+    ///
+    /// A shard snapshot embeds the *source* node's id; the receiving node
+    /// adopts the shipped state as its own replica, which only changes who
+    /// answers for it, not any versioned state (DBVV, IVVs, and log
+    /// records all name *origins* of updates, which are unchanged).
+    ///
+    /// # Panics
+    /// Panics if `id` is outside the replica's fixed server set.
+    pub fn rehome(&mut self, id: NodeId) {
+        assert!(id.index() < self.store.n_nodes(), "replica id out of range");
+        self.id = id;
+    }
+
     /// Number of servers in the system.
     pub fn n_nodes(&self) -> usize {
         self.store.n_nodes()

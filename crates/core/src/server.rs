@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use epidb_common::{Costs, Error, ItemId, NodeId, Result};
+use epidb_common::{Costs, Error, ItemId, NodeId, Result, RouteTarget};
 use epidb_store::{ItemValue, UpdateOp};
 
 use crate::engine::{
@@ -173,10 +173,17 @@ impl Engine {
                 Ok(resp)
             }
             ProtocolRequest::Db { name, req } => {
-                let replica = server
-                    .databases
-                    .get_mut(&name)
-                    .ok_or_else(|| Error::UnknownDatabase(name.clone()))?;
+                // Routing refusals are typed: a `Db` envelope naming a
+                // database this server doesn't host gets the same
+                // `NotServedHere` treatment as an unowned shard, so
+                // callers have one redirect/abort story for both. A
+                // server has no placement map for databases, hence the
+                // empty owners list.
+                let replica =
+                    server.databases.get_mut(&name).ok_or_else(|| Error::NotServedHere {
+                        target: RouteTarget::Database(name.clone()),
+                        owners: vec![],
+                    })?;
                 let resp = Engine::handle(replica, *req)?;
                 Ok(ProtocolResponse::Db { name, resp: Box::new(resp) })
             }
@@ -434,7 +441,14 @@ mod tests {
             name: "nope".into(),
             req: Box::new(ProtocolRequest::ListDatabases { from: NodeId(1) }),
         };
-        assert!(matches!(Engine::handle_server(&mut a, req), Err(Error::UnknownDatabase(_))));
+        match Engine::handle_server(&mut a, req) {
+            Err(e @ Error::NotServedHere { .. }) => {
+                // Same refusal type as an unowned shard, same
+                // classification: redirect, don't blindly retry.
+                assert!(!e.is_retryable());
+            }
+            other => panic!("expected a typed routing refusal, got {other:?}"),
+        }
     }
 
     #[test]

@@ -35,4 +35,4 @@ mod node;
 pub mod testdir;
 
 pub use frames::{read_frames, write_frame, FrameScan, WAL_FRAME_HEADER};
-pub use node::{DurabilityConfig, NodeDurability, RecoveryReport};
+pub use node::{DurabilityConfig, NodeDurability, RecoveryReport, ShardedDurability};

@@ -6,10 +6,10 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
-use epidb_common::{Error, NodeId, Result};
+use epidb_common::{Error, NodeId, Result, ShardId};
 use epidb_core::codec::{Reader, Writer};
 use epidb_core::journal::{get_mutation, put_mutation};
-use epidb_core::{ConflictPolicy, Mutation, MutationSink, Replica, SinkHandle};
+use epidb_core::{ConflictPolicy, Mutation, MutationSink, Replica, ShardedNode, SinkHandle};
 
 use crate::frames::{read_frames, write_frame};
 
@@ -37,6 +37,18 @@ impl DurabilityConfig {
     /// The per-node state directory.
     pub fn node_dir(&self, id: NodeId) -> PathBuf {
         self.dir.join(format!("node-{}", id.0))
+    }
+
+    /// The derived config for one shard of a sharded deployment: same
+    /// knobs, rooted at `<dir>/shard-<id>`. Each shard a node owns gets
+    /// its own WAL/snapshot directory (`<dir>/shard-<s>/node-<n>/`), so
+    /// per-shard journals checkpoint, recover, and hand off independently.
+    pub fn shard_config(&self, shard: ShardId) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: self.dir.join(format!("shard-{}", shard.0)),
+            checkpoint_every: self.checkpoint_every,
+            fsync: self.fsync,
+        }
     }
 }
 
@@ -276,6 +288,97 @@ impl NodeDurability {
     /// generation.
     pub fn checkpoint(&self, replica: &Replica) -> Result<()> {
         self.inner.lock().unwrap().checkpoint(replica)
+    }
+
+    /// Read the current generation's WAL records after the first `skip` —
+    /// the *tail* a shard handoff ships on top of a snapshot taken when
+    /// the WAL held `skip` records (see [`NodeDurability::wal_records`]).
+    /// Torn trailing bytes are ignored, exactly as in recovery.
+    pub fn read_wal_tail(&self, skip: u64) -> Result<Vec<Mutation>> {
+        let (path, records) = {
+            let inner = self.inner.lock().unwrap();
+            (wal_path(&inner.dir, inner.generation), inner.wal_records)
+        };
+        if skip > records {
+            return Err(Error::Network(format!(
+                "durable: WAL tail skip {skip} exceeds {records} records"
+            )));
+        }
+        let raw = fs::read(&path).map_err(|e| io_err("read", &path, e))?;
+        let buf = Bytes::from(raw);
+        let scan = read_frames(&buf);
+        let mut tail = Vec::new();
+        for body in scan.bodies.iter().skip(skip as usize) {
+            let mut r = Reader::shared(body);
+            tail.push(decode_wal_record(&mut r, body)?);
+        }
+        Ok(tail)
+    }
+}
+
+/// Per-shard durability for one sharded node: one [`NodeDurability`] (its
+/// own WAL/snapshot directory) per owned shard.
+pub struct ShardedDurability {
+    shards: std::collections::BTreeMap<ShardId, Arc<NodeDurability>>,
+}
+
+impl ShardedDurability {
+    /// Open (or recover) durable state for every shard `node` owns,
+    /// attach each shard's sink, and return the per-shard recovery
+    /// reports. Shards whose directories don't exist yet start fresh;
+    /// recovered shard replicas replace the node's empty ones.
+    ///
+    /// Attachment happens after each shard's replay, so recovery is never
+    /// re-journaled — the same discipline as [`NodeDurability::open`].
+    pub fn open(
+        cfg: &DurabilityConfig,
+        node: &mut ShardedNode,
+        policy: ConflictPolicy,
+    ) -> Result<(ShardedDurability, std::collections::BTreeMap<ShardId, RecoveryReport>)> {
+        let mut shards = std::collections::BTreeMap::new();
+        let mut reports = std::collections::BTreeMap::new();
+        let items_per_shard = node.map().items_per_shard();
+        let n_nodes = node.n_nodes();
+        for shard in node.owned_shards() {
+            let shard_cfg = cfg.shard_config(shard);
+            let (durability, mut replica, report) =
+                NodeDurability::open(&shard_cfg, node.id(), n_nodes, items_per_shard, policy)?;
+            durability.attach(&mut replica);
+            node.adopt_shard(shard, replica);
+            shards.insert(shard, durability);
+            reports.insert(shard, report);
+        }
+        Ok((ShardedDurability { shards }, reports))
+    }
+
+    /// The durability layer of one owned shard.
+    pub fn shard(&self, shard: ShardId) -> Option<&Arc<NodeDurability>> {
+        self.shards.get(&shard)
+    }
+
+    /// Checkpoint any owned shard whose WAL has reached the configured
+    /// record count. Returns the shards checkpointed.
+    pub fn maybe_checkpoint(&self, node: &ShardedNode) -> Result<Vec<ShardId>> {
+        let mut rolled = Vec::new();
+        for (shard, durability) in &self.shards {
+            if let Some(replica) = node.shard_state(*shard) {
+                if durability.maybe_checkpoint(replica)? {
+                    rolled.push(*shard);
+                }
+            }
+        }
+        Ok(rolled)
+    }
+
+    /// Drop a shard's durability handle (after a handoff away from this
+    /// node). The on-disk directory is left for the operator to reap.
+    pub fn detach_shard(&mut self, shard: ShardId) {
+        self.shards.remove(&shard);
+    }
+
+    /// Attach durability for a shard that just arrived via handoff.
+    pub fn attach_shard(&mut self, shard: ShardId, durability: Arc<NodeDurability>) {
+        self.shards.insert(shard, durability);
     }
 }
 

@@ -37,10 +37,12 @@
 
 pub mod message;
 pub mod runtime;
+pub mod sharded;
 pub mod tcp;
 pub mod transport;
 
 pub use message::NetMessage;
 pub use runtime::{ClusterConfig, ThreadedCluster};
+pub use sharded::{ShardedConfig, ShardedTcpCluster, ShardedThreadedCluster};
 pub use tcp::{TcpCluster, TcpConfig, TcpSocketOptions, TcpTransport};
 pub use transport::MutexHost;

@@ -151,10 +151,10 @@ pub(crate) fn open_durable_node(
 /// The channel transport: an exchange sends a [`NetMessage::Request`] to
 /// the peer's server thread and blocks on a fresh reply channel, like an
 /// RPC over a connected socket.
-struct ChannelTransport<'a> {
-    peer: NodeId,
-    sender: &'a Sender<NetMessage>,
-    timeout: Duration,
+pub(crate) struct ChannelTransport<'a> {
+    pub(crate) peer: NodeId,
+    pub(crate) sender: &'a Sender<NetMessage>,
+    pub(crate) timeout: Duration,
 }
 
 impl Transport for ChannelTransport<'_> {

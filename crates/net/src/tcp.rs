@@ -189,7 +189,7 @@ fn write_all_vectored(stream: &mut TcpStream, mut bufs: Vec<&[u8]>) -> std::io::
 /// body, then the writer's chunks, in a single vectored write — value
 /// segments are never copied into a contiguous send buffer (the checksum
 /// streams over the chunk list, so it costs no copies either).
-fn write_frame(stream: &mut TcpStream, w: &Writer) -> Result<()> {
+pub(crate) fn write_frame(stream: &mut TcpStream, w: &Writer) -> Result<()> {
     // Check *before* any bytes hit the wire: an oversize frame is
     // deterministic (re-encoding re-exceeds), so it surfaces as the typed,
     // non-retryable [`Error::FrameTooLarge`] instead of a silent `as u32`
@@ -206,7 +206,7 @@ fn write_frame(stream: &mut TcpStream, w: &Writer) -> Result<()> {
 /// Read one frame body into `body` (reused across frames; only grows).
 /// The body is the checked envelope — CRC32 followed by the encoding —
 /// still unverified; the checked decoders verify before touching it.
-fn read_frame_into(stream: &mut TcpStream, body: &mut Vec<u8>) -> Result<()> {
+pub(crate) fn read_frame_into(stream: &mut TcpStream, body: &mut Vec<u8>) -> Result<()> {
     let mut len_buf = [0u8; 4];
     stream
         .read_exact(&mut len_buf)
@@ -335,6 +335,11 @@ impl Transport for TcpTransport {
         };
         match resp {
             ProtocolResponse::Error(msg) => Err(Error::Network(format!("peer error: {msg}"))),
+            // Typed routing refusals (`NotServedHere`, `ShardMoving`)
+            // survive the wire: the serving side encodes them in-band and
+            // the initiator gets the original error back, retryability
+            // intact.
+            ProtocolResponse::Refused(e) => Err(e),
             resp => Ok(resp),
         }
     }
@@ -692,6 +697,18 @@ fn server_loop(
     }
 }
 
+/// Fold a serving-side error into its wire form: typed routing refusals
+/// (`NotServedHere`, `ShardMoving`) ride in-band as
+/// [`ProtocolResponse::Refused`] so the initiator recovers the original
+/// error (and its retryability); everything else degrades to the stringly
+/// [`ProtocolResponse::Error`].
+pub(crate) fn refusal_or_error(e: Error) -> ProtocolResponse {
+    match e {
+        e @ (Error::NotServedHere { .. } | Error::ShardMoving(_)) => ProtocolResponse::Refused(e),
+        e => ProtocolResponse::Error(e.to_string()),
+    }
+}
+
 /// Serve one connection: a loop of request frame → [`Engine::handle`] →
 /// response frame. A crashed node drops the connection without replying.
 /// A request that fails its CRC is counted at the serving replica and
@@ -721,8 +738,9 @@ fn serve_conn(
             return; // crashed between frames: silently drop
         }
         let resp = match decode_request_checked(&body) {
-            Ok(req) => Engine::handle(&mut node.replica.lock(), req)
-                .unwrap_or_else(|e| ProtocolResponse::Error(e.to_string())),
+            Ok(req) => {
+                Engine::handle(&mut node.replica.lock(), req).unwrap_or_else(refusal_or_error)
+            }
             Err(e) => {
                 if matches!(e, Error::CorruptFrame(_)) {
                     node.replica.lock().note_corrupt_frame();

@@ -16,6 +16,7 @@ pub mod cluster;
 pub mod driver;
 pub mod experiments;
 pub mod schedule;
+pub mod sharded;
 pub mod table;
 pub mod workload;
 
@@ -23,5 +24,6 @@ pub use audit::{histories_conflict, run_audit, AuditConfig, AuditReport};
 pub use cluster::EpidbCluster;
 pub use driver::{Driver, DriverConfig};
 pub use schedule::Schedule;
+pub use sharded::ShardedSimCluster;
 pub use table::{fmt_count, Table};
 pub use workload::{GeneratedUpdate, Workload, WorkloadKind};

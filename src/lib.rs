@@ -19,9 +19,9 @@
 //! | [`vv`] | item & database version vectors (§3, §4.1) |
 //! | [`store`] | items, values, re-doable update operations (§2, §4.4) |
 //! | [`log`] | the log vector and auxiliary log (§4.2, §4.4, Fig. 1) |
-//! | [`core`] | the protocol: replicas, propagation, OOB, tokens (§5), the transport-agnostic engine + wire codec |
-//! | [`durable`] | on-disk durability: write-ahead log, atomic snapshot checkpoints, crash recovery |
-//! | [`net`] | threaded and TCP cluster runtimes (engine adapters) with fault injection |
+//! | [`core`] | the protocol: replicas, propagation, OOB, tokens (§5), the transport-agnostic engine + wire codec, sharded partial replication (shard maps, routing, handoff) |
+//! | [`durable`] | on-disk durability: write-ahead log, atomic snapshot checkpoints, crash recovery, per-shard WAL/snapshot directories |
+//! | [`net`] | threaded and TCP cluster runtimes (engine adapters) with fault injection, sharded variants gossiping per owned shard |
 //! | [`baselines`] | the §8 comparison protocols |
 //! | [`sim`] | simulator, workloads, auditor, experiment suite |
 //!
@@ -61,11 +61,13 @@ pub use epidb_vv as vv;
 /// The most commonly used items, in one import.
 pub mod prelude {
     pub use epidb_baselines::{SyncProtocol, SyncReport};
-    pub use epidb_common::{ConflictEvent, ConflictSite, Costs, Error, ItemId, NodeId, Result};
+    pub use epidb_common::{
+        ConflictEvent, ConflictSite, Costs, Error, ItemId, NodeId, Result, RouteTarget, ShardId,
+    };
     pub use epidb_core::{
         oob_copy, pull, pull_delta, AcceptOutcome, ConflictPolicy, Engine, LocalTransport,
-        OobOutcome, ProtocolRequest, ProtocolResponse, PullOutcome, Replica, ReplicaHost,
-        TokenManager, Transport,
+        OobOutcome, ProtocolRequest, ProtocolResponse, PullOutcome, Replica, ReplicaHost, ShardMap,
+        ShardedNode, ShardedOob, TokenManager, Transport,
     };
     pub use epidb_store::{ItemValue, UpdateOp};
     pub use epidb_vv::{DbVersionVector, VersionVector, VvOrd};

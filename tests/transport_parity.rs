@@ -5,9 +5,12 @@
 //! drift.
 
 use epidb::common::Costs;
-use epidb::net::{ClusterConfig, TcpCluster, TcpConfig, ThreadedCluster};
+use epidb::net::{
+    ClusterConfig, ShardedConfig, ShardedTcpCluster, ShardedThreadedCluster, TcpCluster, TcpConfig,
+    ThreadedCluster,
+};
 use epidb::prelude::*;
-use epidb::sim::EpidbCluster;
+use epidb::sim::{EpidbCluster, ShardedSimCluster};
 use std::time::Duration;
 
 const N_NODES: usize = 3;
@@ -159,5 +162,149 @@ fn identical_schedule_charges_identical_costs_everywhere() {
         assert_eq!(local[node], tcp[node], "node {node}: in-process vs TCP costs diverge");
     }
     // The schedule actually moved bytes — parity over zeros proves nothing.
+    assert!(local.iter().any(|c| c.bytes_sent > 0 && c.messages_sent > 0));
+}
+
+// ---------------------------------------------------------------------------
+// Sharded parity: the same per-shard schedule on a 2-groups × 2-nodes
+// cluster, across the in-process sharded simulator and both sharded live
+// runtimes.
+// ---------------------------------------------------------------------------
+
+const SHARDED_NODES: usize = 4;
+const ITEMS_PER_SHARD: usize = 8;
+
+fn sharded_map() -> ShardMap {
+    ShardMap::new(ITEMS_PER_SHARD, vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]])
+}
+
+/// The sharded schedule surface: per-shard pulls (whole and delta) and a
+/// cross-group out-of-bound fetch.
+trait ShardedRuntime {
+    fn update(&mut self, node: u16, item: u32, op: UpdateOp);
+    fn pull_shard(&mut self, recipient: u16, source: u16, shard: u16);
+    fn pull_delta_shard(&mut self, recipient: u16, source: u16, shard: u16);
+    fn oob(&mut self, recipient: u16, source: u16, item: u32);
+    fn node_costs(&self, node: u16) -> Costs;
+    fn value(&self, node: u16, item: u32) -> Vec<u8>;
+}
+
+fn run_sharded_schedule<R: ShardedRuntime>(rt: &mut R) -> Vec<Costs> {
+    // Group {0,1} owns shard 0 (items 0..8); group {2,3} owns shard 1
+    // (items 8..16). Updates land at owners, propagate within groups, and
+    // one hot item crosses groups out-of-bound.
+    rt.update(0, 1, UpdateOp::set(&b"shard-zero-value"[..]));
+    rt.update(2, 9, UpdateOp::set(vec![0x33; 200]));
+    rt.pull_shard(1, 0, 0);
+    rt.pull_shard(3, 2, 1);
+    rt.update(1, 1, UpdateOp::append(&b"-amended"[..]));
+    rt.update(3, 12, UpdateOp::set(vec![0x44; 48]));
+    rt.pull_delta_shard(0, 1, 0);
+    rt.pull_delta_shard(2, 3, 1);
+    rt.oob(0, 2, 9); // cross-group: node 0 fetches a shard-1 item
+    assert_eq!(rt.value(0, 1), b"shard-zero-value-amended");
+    assert_eq!(rt.value(2, 12), vec![0x44; 48]);
+    (0..SHARDED_NODES as u16).map(|n| rt.node_costs(n)).collect()
+}
+
+struct ShardedInProcess(ShardedSimCluster);
+
+impl ShardedRuntime for ShardedInProcess {
+    fn update(&mut self, node: u16, item: u32, op: UpdateOp) {
+        self.0.update(NodeId(node), ItemId(item), op).unwrap();
+    }
+    fn pull_shard(&mut self, recipient: u16, source: u16, shard: u16) {
+        self.0.pull_shard(NodeId(recipient), NodeId(source), ShardId(shard)).unwrap();
+    }
+    fn pull_delta_shard(&mut self, recipient: u16, source: u16, shard: u16) {
+        self.0.pull_delta_shard(NodeId(recipient), NodeId(source), ShardId(shard)).unwrap();
+    }
+    fn oob(&mut self, recipient: u16, source: u16, item: u32) {
+        self.0.oob(NodeId(recipient), NodeId(source), ItemId(item)).unwrap();
+    }
+    fn node_costs(&self, node: u16) -> Costs {
+        self.0.node_costs(NodeId(node))
+    }
+    fn value(&self, node: u16, item: u32) -> Vec<u8> {
+        self.0.read(NodeId(node), ItemId(item)).unwrap()
+    }
+}
+
+struct ShardedThreaded(ShardedThreadedCluster);
+
+impl ShardedRuntime for ShardedThreaded {
+    fn update(&mut self, node: u16, item: u32, op: UpdateOp) {
+        self.0.update(NodeId(node), ItemId(item), op).unwrap();
+    }
+    fn pull_shard(&mut self, recipient: u16, source: u16, shard: u16) {
+        self.0.pull_shard_now(NodeId(recipient), NodeId(source), ShardId(shard)).unwrap();
+    }
+    fn pull_delta_shard(&mut self, recipient: u16, source: u16, shard: u16) {
+        self.0.pull_delta_shard_now(NodeId(recipient), NodeId(source), ShardId(shard)).unwrap();
+    }
+    fn oob(&mut self, recipient: u16, source: u16, item: u32) {
+        self.0.oob_fetch(NodeId(recipient), NodeId(source), ItemId(item)).unwrap();
+    }
+    fn node_costs(&self, node: u16) -> Costs {
+        self.0.node_costs(NodeId(node))
+    }
+    fn value(&self, node: u16, item: u32) -> Vec<u8> {
+        self.0.read(NodeId(node), ItemId(item)).unwrap()
+    }
+}
+
+struct ShardedTcp(ShardedTcpCluster);
+
+impl ShardedRuntime for ShardedTcp {
+    fn update(&mut self, node: u16, item: u32, op: UpdateOp) {
+        self.0.update(NodeId(node), ItemId(item), op).unwrap();
+    }
+    fn pull_shard(&mut self, recipient: u16, source: u16, shard: u16) {
+        self.0.pull_shard_now(NodeId(recipient), NodeId(source), ShardId(shard)).unwrap();
+    }
+    fn pull_delta_shard(&mut self, recipient: u16, source: u16, shard: u16) {
+        self.0.pull_delta_shard_now(NodeId(recipient), NodeId(source), ShardId(shard)).unwrap();
+    }
+    fn oob(&mut self, recipient: u16, source: u16, item: u32) {
+        self.0.oob_fetch(NodeId(recipient), NodeId(source), ItemId(item)).unwrap();
+    }
+    fn node_costs(&self, node: u16) -> Costs {
+        self.0.node_costs(NodeId(node))
+    }
+    fn value(&self, node: u16, item: u32) -> Vec<u8> {
+        self.0.read(NodeId(node), ItemId(item)).unwrap()
+    }
+}
+
+fn quiet_sharded() -> ShardedConfig {
+    ShardedConfig {
+        gossip_interval: Duration::from_secs(60),
+        delta_budget: DELTA_BUDGET,
+        ..ShardedConfig::default()
+    }
+}
+
+#[test]
+fn sharded_schedule_charges_identical_costs_everywhere() {
+    let mut in_process = ShardedSimCluster::new(sharded_map(), SHARDED_NODES);
+    in_process.enable_delta(DELTA_BUDGET);
+    let local = run_sharded_schedule(&mut ShardedInProcess(in_process));
+
+    let threaded = run_sharded_schedule(&mut ShardedThreaded(ShardedThreadedCluster::spawn(
+        sharded_map(),
+        SHARDED_NODES,
+        quiet_sharded(),
+    )));
+    let tcp = run_sharded_schedule(&mut ShardedTcp(
+        ShardedTcpCluster::spawn(sharded_map(), SHARDED_NODES, quiet_sharded()).unwrap(),
+    ));
+
+    for node in 0..SHARDED_NODES {
+        assert_eq!(
+            local[node], threaded[node],
+            "node {node}: sharded in-process vs threaded costs diverge"
+        );
+        assert_eq!(local[node], tcp[node], "node {node}: sharded in-process vs TCP costs diverge");
+    }
     assert!(local.iter().any(|c| c.bytes_sent > 0 && c.messages_sent > 0));
 }
