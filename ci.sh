@@ -24,11 +24,16 @@ cargo bench --workspace --no-run
 echo "== perf_report smoke =="
 cargo run --release -q -p epidb-bench --bin perf_report -- \
   --smoke --assert-zero-copy --assert-small-path --assert-sharded-gossip \
+  --assert-group-commit \
   --out target/bench_smoke.json
 grep -q '"schema": "epidb-perf-report/v1"' target/bench_smoke.json
 
 echo "== chaos soak smoke (seeded, deterministic) =="
 cargo run --release -q -p epidb-bench --bin chaos_soak -- --smoke --seed 42
+
+echo "== async reactor chaos soak smoke (loss + mid-exchange resets) =="
+cargo run --release -q -p epidb-bench --bin chaos_soak -- \
+  --smoke --seed 42 --async
 
 echo "== crash-restart recovery soak smoke (durable runtimes) =="
 cargo run --release -q -p epidb-bench --bin chaos_soak -- \

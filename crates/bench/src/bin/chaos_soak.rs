@@ -30,6 +30,13 @@
 //! the per-item ground truth, replica invariants, and byte-identical
 //! [`Costs`] across two same-seed runs.
 //!
+//! With `--async`, the chaos soak runs against the nonblocking reactor
+//! runtime ([`AsyncTcpCluster`]) alone: the same seeded fault schedule —
+//! including message loss and mid-exchange resets tearing sockets out
+//! from under parked connections — with paranoid audits on, asserting the
+//! same convergence, invariant, accounting, and replay-determinism
+//! properties as the three-runtime soak.
+//!
 //! With `--sharded`, the soak instead runs a partially replicated
 //! deployment — two replica groups of two nodes each, each group owning
 //! one disjoint shard — over all three sharded runtimes. Per-shard chaos
@@ -43,7 +50,7 @@
 //!
 //! ```text
 //! cargo run --release -p epidb-bench --bin chaos_soak -- \
-//!     [--smoke] [--seed N] [--rounds N] [--restart-from-disk] [--sharded]
+//!     [--smoke] [--seed N] [--rounds N] [--restart-from-disk] [--sharded] [--async]
 //! ```
 
 use std::path::PathBuf;
@@ -56,8 +63,8 @@ use epidb_core::{
 };
 use epidb_durable::DurabilityConfig;
 use epidb_net::{
-    ClusterConfig, ShardedConfig, ShardedTcpCluster, ShardedThreadedCluster, TcpCluster, TcpConfig,
-    ThreadedCluster,
+    AsyncTcpCluster, AsyncTcpConfig, ClusterConfig, ShardedConfig, ShardedTcpCluster,
+    ShardedThreadedCluster, TcpCluster, TcpConfig, ThreadedCluster,
 };
 use epidb_sim::{EpidbCluster, ShardedSimCluster};
 use epidb_store::UpdateOp;
@@ -224,6 +231,55 @@ impl SoakRuntime for Threaded {
 struct Tcp(TcpCluster);
 
 impl SoakRuntime for Tcp {
+    fn update(&mut self, node: NodeId, item: ItemId, value: Vec<u8>) {
+        self.0.update(node, item, UpdateOp::set(value)).expect("update");
+    }
+
+    fn pull_chaos(
+        &mut self,
+        recipient: NodeId,
+        source: NodeId,
+        link: &mut ChaosLink,
+        policy: &RetryPolicy,
+    ) -> epidb_common::Result<PullOutcome> {
+        self.0.pull_delta_now_chaos(recipient, source, link, policy)
+    }
+
+    fn oob(&mut self, recipient: NodeId, source: NodeId, item: ItemId) {
+        self.0.oob_fetch(recipient, source, item).expect("oob");
+    }
+
+    fn value(&self, node: NodeId, item: ItemId) -> Vec<u8> {
+        self.0.read(node, item).expect("read")
+    }
+
+    fn converged(&self, n_nodes: usize) -> bool {
+        let reference = self.0.with_replica(NodeId(0), |r| r.dbvv().clone());
+        (0..n_nodes).all(|i| {
+            self.0.with_replica(NodeId::from_index(i), |r| {
+                r.aux_item_count() == 0 && r.dbvv().compare(&reference) == epidb_vv::VvOrd::Equal
+            })
+        })
+    }
+
+    fn costs(&self, n_nodes: usize) -> Costs {
+        (0..n_nodes)
+            .map(|i| self.0.with_replica(NodeId::from_index(i), |r| r.costs()))
+            .fold(Costs::ZERO, |a, b| a + b)
+    }
+
+    fn check_invariants(&self, n_nodes: usize) {
+        for i in 0..n_nodes {
+            self.0
+                .with_replica(NodeId::from_index(i), |r| r.check_invariants())
+                .unwrap_or_else(|e| panic!("invariant violated at node {i}: {e}"));
+        }
+    }
+}
+
+struct AsyncTcp(AsyncTcpCluster);
+
+impl SoakRuntime for AsyncTcp {
     fn update(&mut self, node: NodeId, item: ItemId, value: Vec<u8>) {
         self.0.update(node, item, UpdateOp::set(value)).expect("update");
     }
@@ -1154,6 +1210,20 @@ fn build_runtime(kind: &str, params: SoakParams) -> Box<dyn SoakRuntime> {
             };
             Box::new(Tcp(TcpCluster::spawn(params.n_nodes, params.n_items, config).expect("spawn")))
         }
+        "async" => {
+            let config = AsyncTcpConfig {
+                base: TcpConfig {
+                    gossip_interval: Duration::from_secs(3600),
+                    delta_budget: DELTA_BUDGET,
+                    paranoid: true,
+                    ..TcpConfig::default()
+                },
+                worker_threads: 2,
+            };
+            Box::new(AsyncTcp(
+                AsyncTcpCluster::spawn(params.n_nodes, params.n_items, config).expect("spawn"),
+            ))
+        }
         other => panic!("unknown runtime {other}"),
     }
 }
@@ -1164,6 +1234,7 @@ fn main() {
     let mut smoke = false;
     let mut restart_from_disk = false;
     let mut sharded = false;
+    let mut async_only = false;
     let mut seed: Option<u64> = None;
     let mut rounds: Option<usize> = None;
     let mut args = std::env::args().skip(1);
@@ -1172,6 +1243,7 @@ fn main() {
             "--smoke" => smoke = true,
             "--restart-from-disk" => restart_from_disk = true,
             "--sharded" => sharded = true,
+            "--async" => async_only = true,
             "--seed" => {
                 let v = args.next().expect("--seed needs a value");
                 seed = Some(v.parse().expect("--seed takes a u64"));
@@ -1184,7 +1256,7 @@ fn main() {
                 eprintln!("unknown argument {other}");
                 eprintln!(
                     "usage: chaos_soak [--smoke] [--seed N] [--rounds N] [--restart-from-disk] \
-                     [--sharded]"
+                     [--sharded] [--async]"
                 );
                 std::process::exit(2);
             }
@@ -1229,7 +1301,9 @@ fn main() {
         run_sharded_mode(seed, &plan, params);
         return;
     }
-    println!("chaos_soak: seed={seed} (replay with --seed {seed})");
+    let runtimes: &[&str] = if async_only { &["async"] } else { &RUNTIMES };
+    let label = if async_only { "chaos_soak --async" } else { "chaos_soak" };
+    println!("{label}: seed={seed} (replay with --seed {seed})");
     println!(
         "plan: loss={:.2}/{:.2} dup={:.2} reorder={:.2} corrupt={:.2} reset={:.2} partitions={}",
         plan.request_loss,
@@ -1249,7 +1323,7 @@ fn main() {
         if smoke { " (smoke)" } else { "" }
     );
 
-    for kind in RUNTIMES {
+    for &kind in runtimes {
         // Two identical runs: the soak must be a pure function of the seed.
         let mut first: Option<(Costs, ChaosStats)> = None;
         for pass in 0..2 {

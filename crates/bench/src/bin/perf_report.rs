@@ -15,7 +15,8 @@
 //! ```text
 //! cargo run --release -p epidb-bench --bin perf_report -- \
 //!     [--smoke] [--assert-zero-copy] [--assert-small-path] \
-//!     [--assert-sharded-gossip] [--out PATH] [--baseline PATH]
+//!     [--assert-sharded-gossip] [--assert-group-commit] \
+//!     [--out PATH] [--baseline PATH]
 //! ```
 //!
 //! * `--smoke` — tiny sizes and budgets (CI: validates the harness and the
@@ -31,9 +32,12 @@
 //!   gate: a node's per-round gossip costs and allocations are a function
 //!   of the shards it *owns*, byte-identical across 2-shard and 8-shard
 //!   universes.
+//! * `--assert-group-commit` — assert the group-commit durability gate: a
+//!   64-writer batch workload on the async runtime must spend far less
+//!   than one fsync per committed mutation (ratio ≤ 0.1).
 //! * `--baseline PATH` — a previous report to embed and compute speedups
-//!   against (default `BENCH_PR6.json` if present).
-//! * `--out PATH` — where to write the report (default `BENCH_PR7.json`).
+//!   against (default `BENCH_PR7.json` if present).
+//! * `--out PATH` — where to write the report (default `BENCH_PR8.json`).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -45,9 +49,13 @@ use bytes::Bytes;
 use epidb_common::{Costs, ItemId, NodeId, ShardId};
 use epidb_core::codec::{decode_response_shared, encode_response, encode_response_to, Writer};
 use epidb_core::{
-    oob_copy, pull, pull_delta, ConflictPolicy, Engine, LocalShardedTransport, ProtocolResponse,
-    PullOutcome, Replica, ShardMap, ShardTransport, ShardedNode,
+    oob_copy, pull, pull_delta, ConflictPolicy, Engine, LocalShardedTransport, ProtocolRequest,
+    ProtocolResponse, PullOutcome, Replica, RetryPolicy, ShardMap, ShardTransport, ShardedNode,
+    Transport,
 };
+use epidb_durable::testdir::TempDir;
+use epidb_durable::DurabilityConfig;
+use epidb_net::{AsyncTcpCluster, AsyncTcpConfig, TcpConfig, TcpTransport};
 use epidb_store::UpdateOp;
 
 // --- counting allocator -----------------------------------------------------
@@ -168,6 +176,12 @@ struct Sizes {
     delta_m: usize,
     delta_ops: usize,
     delta_val: usize,
+    c10k_conns: usize,
+    c10k_threads: usize,
+    c10k_workers: usize,
+    c10k_val: usize,
+    gc_writers: usize,
+    gc_ops: usize,
 }
 
 impl Sizes {
@@ -182,6 +196,12 @@ impl Sizes {
             delta_m: 64,
             delta_ops: 4,
             delta_val: 512,
+            c10k_conns: 1_024,
+            c10k_threads: 16,
+            c10k_workers: 8,
+            c10k_val: 256,
+            gc_writers: 64,
+            gc_ops: 16,
         }
     }
 
@@ -196,6 +216,12 @@ impl Sizes {
             delta_m: 8,
             delta_ops: 3,
             delta_val: 128,
+            c10k_conns: 128,
+            c10k_threads: 8,
+            c10k_workers: 2,
+            c10k_val: 64,
+            gc_writers: 8,
+            gc_ops: 4,
         }
     }
 }
@@ -444,6 +470,182 @@ fn scenario_snapshot_restore(name: &'static str, s: &Sizes) -> Measure {
     )
 }
 
+/// One sweep of the C10K rig: every pre-opened connection completes one
+/// pull exchange, driven by one client thread per chunk.
+fn c10k_sweep(chunks: &mut [Vec<TcpTransport>], probe: &ProtocolRequest) {
+    std::thread::scope(|scope| {
+        for chunk in chunks.iter_mut() {
+            scope.spawn(move || {
+                for t in chunk.iter_mut() {
+                    let resp = t.exchange(probe.clone()).expect("c10k exchange failed");
+                    assert!(matches!(resp, ProtocolResponse::Pull(_)), "c10k: unexpected response");
+                }
+            });
+        }
+    });
+}
+
+/// The C10K scenario: `c10k_conns` concurrently-open pull clients against
+/// an async 2-node cluster served by a fixed reactor pool (never more
+/// than 8 threads). The measured op is one full sweep — every connection
+/// completes a whole-payload pull exchange (the probe DBVV never
+/// advances, so each response ships the full item) while all sockets stay
+/// parked in the reactor between sweeps.
+fn scenario_c10k(name: &'static str, s: &Sizes) -> Measure {
+    let cluster = AsyncTcpCluster::spawn(
+        2,
+        4,
+        AsyncTcpConfig {
+            base: TcpConfig { gossip_interval: Duration::from_secs(3600), ..TcpConfig::default() },
+            worker_threads: s.c10k_workers,
+        },
+    )
+    .expect("spawn async cluster");
+    assert!(cluster.worker_threads() <= 8, "serving threads must stay bounded");
+    cluster.update(NodeId(0), ItemId(0), UpdateOp::set(vec![0x6B; s.c10k_val])).unwrap();
+    let client = Replica::new(NodeId(1), 2, 4);
+    let probe = ProtocolRequest::Pull { from: NodeId(1), dbvv: client.dbvv().clone() };
+    let threads = s.c10k_threads.max(1);
+    let mut chunks: Vec<Vec<TcpTransport>> = (0..threads).map(|_| Vec::new()).collect();
+    for i in 0..s.c10k_conns {
+        chunks[i % threads].push(cluster.transport_to(NodeId(0)));
+    }
+    // A settling sweep, then require every socket parked in the reactor:
+    // the workload below runs against held-open connections, not a
+    // connect/close churn.
+    c10k_sweep(&mut chunks, &probe);
+    RetryPolicy::default()
+        .poll_until("parked c10k connections", Duration::from_secs(10), || {
+            cluster.open_connections() >= s.c10k_conns
+        })
+        .expect("the reactor must keep every client connection open");
+    let payload = (s.c10k_conns * s.c10k_val) as u64;
+    let measure = bench(name, s.target, payload, || (), |()| c10k_sweep(&mut chunks, &probe));
+    assert!(
+        cluster.open_connections() >= s.c10k_conns,
+        "c10k: connections were dropped during the sweeps ({} open)",
+        cluster.open_connections()
+    );
+    drop(chunks);
+    cluster.shutdown();
+    measure
+}
+
+/// Group-commit durability under concurrent writers: `gc_writers` threads
+/// each commit `gc_ops` updates to their own item on a durable async
+/// node with per-batch fsync on; every update is acknowledged only after
+/// the shared committer's fsync covers its record. The measured op is one
+/// whole batch workload.
+fn scenario_group_commit(name: &'static str, s: &Sizes) -> Measure {
+    let tmp = TempDir::new("perf-group-commit");
+    let mut durability = DurabilityConfig::new(tmp.path());
+    durability.fsync = true;
+    durability.checkpoint_every = u64::MAX;
+    let cluster = AsyncTcpCluster::spawn(
+        2,
+        s.gc_writers.max(1),
+        AsyncTcpConfig {
+            base: TcpConfig {
+                gossip_interval: Duration::from_secs(3600),
+                durability: Some(durability),
+                ..TcpConfig::default()
+            },
+            worker_threads: 2,
+        },
+    )
+    .expect("spawn durable async cluster");
+    const VAL: usize = 32;
+    let payload = (s.gc_writers * s.gc_ops * VAL) as u64;
+    let measure = bench(
+        name,
+        s.target,
+        payload,
+        || (),
+        |()| {
+            std::thread::scope(|scope| {
+                for w in 0..s.gc_writers {
+                    let cluster = &cluster;
+                    scope.spawn(move || {
+                        for k in 0..s.gc_ops {
+                            cluster
+                                .update(
+                                    NodeId(0),
+                                    ItemId::from_index(w),
+                                    UpdateOp::set(vec![k as u8; VAL]),
+                                )
+                                .expect("durable update failed");
+                        }
+                    });
+                }
+            });
+        },
+    );
+    let stats = cluster.group_commit_stats(NodeId(0)).expect("node 0 has a group WAL");
+    assert!(stats.records > 0 && stats.fsyncs > 0, "the workload must have journaled");
+    cluster.shutdown();
+    measure
+}
+
+/// The durability gate behind `--assert-group-commit`: under a 64-writer
+/// batch workload with per-batch fsync on, every acknowledged mutation is
+/// journaled exactly once and the committer spends at most one fsync per
+/// ten committed mutations — the group-commit win is `fsyncs / records`
+/// ≪ 1, never one fsync per mutation.
+fn assert_group_commit_batching() {
+    const WRITERS: usize = 64;
+    const OPS: usize = 16;
+    let tmp = TempDir::new("perf-group-commit-gate");
+    let mut durability = DurabilityConfig::new(tmp.path());
+    durability.fsync = true;
+    durability.checkpoint_every = u64::MAX;
+    let cluster = AsyncTcpCluster::spawn(
+        2,
+        WRITERS,
+        AsyncTcpConfig {
+            base: TcpConfig {
+                gossip_interval: Duration::from_secs(3600),
+                durability: Some(durability),
+                ..TcpConfig::default()
+            },
+            worker_threads: 2,
+        },
+    )
+    .expect("spawn durable async cluster");
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let cluster = &cluster;
+            scope.spawn(move || {
+                for k in 0..OPS {
+                    cluster
+                        .update(NodeId(0), ItemId::from_index(w), UpdateOp::set(vec![k as u8; 24]))
+                        .expect("durable update failed");
+                }
+            });
+        }
+    });
+    let stats = cluster.group_commit_stats(NodeId(0)).expect("node 0 has a group WAL");
+    cluster.shutdown();
+    let total = (WRITERS * OPS) as u64;
+    assert_eq!(
+        stats.records, total,
+        "group commit must journal every acknowledged mutation exactly once"
+    );
+    assert!(stats.fsyncs >= 1, "fsync-on workload must have fsynced");
+    let ratio = stats.fsyncs as f64 / stats.records as f64;
+    assert!(
+        ratio <= 0.1,
+        "group-commit regression: {} fsyncs for {} mutations (ratio {ratio:.3} > 0.1) — \
+         the committer stopped coalescing concurrent writers into shared fsync batches",
+        stats.fsyncs,
+        stats.records,
+    );
+    eprintln!(
+        "perf_report: group-commit assertions hold ({} records, {} batches, {} fsyncs, \
+         {ratio:.3} fsyncs/mutation).",
+        stats.records, stats.batches, stats.fsyncs,
+    );
+}
+
 fn run_all(s: &Sizes) -> Vec<Measure> {
     vec![
         scenario_codec_frame("codec_frame_many_small", s, s.codec_m, s.codec_val, 0),
@@ -457,6 +659,8 @@ fn run_all(s: &Sizes) -> Vec<Measure> {
         scenario_sharded_gossip("sharded_gossip_8shards", s, 8),
         scenario_oob_large("oob_large_value", s),
         scenario_snapshot_restore("snapshot_restore_large_value", s),
+        scenario_c10k("c10k_connections", s),
+        scenario_group_commit("group_commit_fsync", s),
     ]
 }
 
@@ -504,8 +708,8 @@ fn main() {
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::from)
     };
     let smoke = has("--smoke");
-    let out_path = opt("--out").unwrap_or_else(|| "BENCH_PR7.json".into());
-    let baseline_path = opt("--baseline").unwrap_or_else(|| "BENCH_PR6.json".into());
+    let out_path = opt("--out").unwrap_or_else(|| "BENCH_PR8.json".into());
+    let baseline_path = opt("--baseline").unwrap_or_else(|| "BENCH_PR7.json".into());
 
     let sizes = if smoke { Sizes::smoke() } else { Sizes::full() };
     eprintln!("perf_report: running {} scenarios...", if smoke { "smoke" } else { "full" });
@@ -583,11 +787,18 @@ fn main() {
         );
     }
 
+    if has("--assert-group-commit") {
+        // Group-commit durability: the fsyncs-per-mutation ratio gate on
+        // a fixed 64-writer workload (independent of --smoke scaling, so
+        // CI exercises real batching pressure).
+        assert_group_commit_batching();
+    }
+
     let baseline = std::fs::read_to_string(&baseline_path).ok();
     let mut report = String::new();
     report.push_str("{\n");
     report.push_str("  \"schema\": \"epidb-perf-report/v1\",\n");
-    report.push_str("  \"pr\": 7,\n");
+    report.push_str("  \"pr\": 8,\n");
     writeln!(report, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" }).unwrap();
     writeln!(report, "  \"scenarios\": {},", scenarios_json(&measures)).unwrap();
     match &baseline {

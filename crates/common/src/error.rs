@@ -102,6 +102,16 @@ pub enum Error {
     /// request succeeds (here, or at the new owner after a
     /// `NotServedHere` redirect).
     ShardMoving(ShardId),
+    /// A bounded wait (quiescence polling, a durability flush, a drain)
+    /// ran out of time. NOT retryable as-is: the caller chose the bound,
+    /// so an identical re-wait is expected to exhaust it identically —
+    /// retry with a larger deadline or investigate why progress stalled.
+    DeadlineExceeded {
+        /// What the caller was waiting for.
+        waiting_for: String,
+        /// The deadline that was exhausted.
+        after: std::time::Duration,
+    },
 }
 
 impl Error {
@@ -154,6 +164,9 @@ impl fmt::Display for Error {
             }
             Error::ShardMoving(shard) => {
                 write!(f, "shard {shard} is mid-handoff; retry after the cutover")
+            }
+            Error::DeadlineExceeded { waiting_for, after } => {
+                write!(f, "deadline exceeded waiting for {waiting_for} (after {after:?})")
             }
         }
     }
@@ -217,6 +230,14 @@ mod tests {
             Error::ShardMoving(ShardId(1)).to_string(),
             "shard s1 is mid-handoff; retry after the cutover"
         );
+        assert_eq!(
+            Error::DeadlineExceeded {
+                waiting_for: "quiescence".into(),
+                after: std::time::Duration::from_secs(2),
+            }
+            .to_string(),
+            "deadline exceeded waiting for quiescence (after 2s)"
+        );
     }
 
     #[test]
@@ -244,6 +265,13 @@ mod tests {
         // A mid-handoff shard is a transient window: the same request
         // succeeds once the cutover completes.
         assert!(Error::ShardMoving(ShardId(0)).is_retryable());
+        // An exhausted deadline was chosen by the caller: re-waiting the
+        // same bound is expected to exhaust it the same way.
+        assert!(!Error::DeadlineExceeded {
+            waiting_for: "quiescence".into(),
+            after: std::time::Duration::from_secs(1),
+        }
+        .is_retryable());
     }
 
     #[test]

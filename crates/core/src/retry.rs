@@ -11,7 +11,7 @@
 
 use std::time::{Duration, Instant};
 
-use epidb_common::Error;
+use epidb_common::{Error, Result};
 
 /// How a sync round responds to transient transport failure.
 ///
@@ -94,6 +94,44 @@ impl RetryPolicy {
         match self.round_deadline {
             Some(d) => start.elapsed() >= d,
             None => false,
+        }
+    }
+
+    /// Poll `probe` until it returns true, pausing per
+    /// [`RetryPolicy::backoff`] between probes (same exponential +
+    /// deterministic jitter as sync-round retries — probing starts near
+    /// `base_backoff` and decays toward `max_backoff`), for at most
+    /// `deadline`. On timeout returns the typed
+    /// [`Error::DeadlineExceeded`] naming `waiting_for`, so callers can
+    /// distinguish "never converged" from transport failures instead of
+    /// decoding a bare `false`.
+    ///
+    /// The final probe runs exactly at (or just past) the deadline, so a
+    /// condition that becomes true during the last pause is still seen.
+    pub fn poll_until(
+        &self,
+        waiting_for: &str,
+        deadline: Duration,
+        mut probe: impl FnMut() -> bool,
+    ) -> Result<()> {
+        let start = Instant::now();
+        let mut failed = 0u32;
+        loop {
+            if probe() {
+                return Ok(());
+            }
+            failed = failed.saturating_add(1);
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                return Err(Error::DeadlineExceeded {
+                    waiting_for: waiting_for.to_string(),
+                    after: deadline,
+                });
+            }
+            let pause = self.backoff(failed).min(deadline - elapsed);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
         }
     }
 }
@@ -201,6 +239,31 @@ mod tests {
         assert!(p.retryable(&Error::Network("lost".into())));
         for k in 1..5 {
             assert_eq!(p.backoff(k), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn poll_until_sees_late_success_and_types_timeouts() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        };
+        let mut n = 0;
+        p.poll_until("counter", Duration::from_secs(5), || {
+            n += 1;
+            n >= 3
+        })
+        .unwrap();
+        assert_eq!(n, 3);
+
+        let err = p.poll_until("quiescence", Duration::from_millis(2), || false).unwrap_err();
+        match err {
+            Error::DeadlineExceeded { waiting_for, after } => {
+                assert_eq!(waiting_for, "quiescence");
+                assert_eq!(after, Duration::from_millis(2));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
         }
     }
 

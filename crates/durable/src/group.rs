@@ -1,0 +1,770 @@
+//! Group commit: one shared write-ahead log per node, batched fsyncs.
+//!
+//! [`NodeDurability`](crate::NodeDurability) journals one replica to one
+//! WAL and fsyncs inline — correct, but a node hosting many
+//! databases/shards pays one fsync *per mutation per journal*. `GroupWal`
+//! interleaves every stream (database, shard) of a node into a single WAL
+//! file behind a commit queue: appenders enqueue encoded records and
+//! return immediately; a dedicated committer thread drains the queue,
+//! writes the whole batch with one `write`, and issues **one fsync per
+//! batch**. A response is released only after [`GroupWal::wait_durable`]
+//! observes the record's batch land, so the write-ahead guarantee is the
+//! same as the per-replica WAL — only the fsyncs are amortized.
+//!
+//! Record framing reuses the per-replica WAL format (`len | crc32 | body`,
+//! torn-tail rule); bodies are demultiplexed by a leading
+//! [`GROUP_RECORD_TAG`] byte and a `stream` index, so one generation scan
+//! recovers every stream. Checkpoints snapshot *all* streams
+//! (`snap-<g>-<k>.epdb`) and roll the shared WAL together; retention and
+//! the journaled [`WalHeader`] work exactly as in the per-replica layer.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use epidb_common::{Error, NodeId, Result};
+use epidb_core::codec::{Reader, Writer};
+use epidb_core::journal::{get_mutation, put_mutation};
+use epidb_core::{ConflictPolicy, Mutation, MutationSink, Replica, SinkHandle};
+
+use crate::frames::{read_frames, write_frame};
+use crate::header::{decode_header, encode_header, is_header, WalHeader};
+use crate::node::{
+    atomic_write, fsync_dir, io_err, list_generations, load_snapshot, wal_path, DurabilityConfig,
+};
+
+/// First byte of a group WAL record body: distinguishes multiplexed
+/// records (tag + stream index + mutation) from bare mutation records
+/// (tags 0–3) and the header record (`0xEE`).
+pub(crate) const GROUP_RECORD_TAG: u8 = 0xD7;
+
+/// One stream of a group WAL: the shape of the replica journaled under
+/// that stream index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamSpec {
+    /// The node this replica acts as.
+    pub id: NodeId,
+    /// Server-set size the replica's version vectors are dimensioned for.
+    pub n_nodes: usize,
+    /// Item universe size.
+    pub n_items: usize,
+}
+
+/// Commit-path counters, for observing the fsync amortization.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GroupCommitStats {
+    /// Mutation records made durable (written out by the committer).
+    pub records: u64,
+    /// Committer batches (one `write` each).
+    pub batches: u64,
+    /// `fsync` calls issued (one per batch when fsync is on; the
+    /// group-commit win is `fsyncs / records` ≪ 1).
+    pub fsyncs: u64,
+}
+
+/// What group recovery found on disk.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GroupRecoveryReport {
+    /// The generation recovered into (and now being appended to).
+    pub generation: u64,
+    /// Stream snapshots loaded (0 = fresh start; otherwise one per
+    /// stream — checkpoints write all streams or none).
+    pub snapshots_loaded: usize,
+    /// WAL records replayed across all streams.
+    pub wal_records_replayed: u64,
+    /// Bytes discarded from the WAL tail (torn-write truncation).
+    pub wal_bytes_truncated: u64,
+    /// Replayed mutations that returned an error (noted, not fatal).
+    pub replay_errors: u64,
+}
+
+fn group_snap_path(dir: &Path, generation: u64, stream: usize) -> PathBuf {
+    dir.join(format!("snap-{generation}-{stream}.epdb"))
+}
+
+/// Parse `snap-<gen>-<stream>.epdb`.
+fn parse_group_snap(name: &str) -> Option<(u64, usize)> {
+    let rest = name.strip_prefix("snap-")?.strip_suffix(".epdb")?;
+    let (gen, stream) = rest.split_once('-')?;
+    Some((gen.parse().ok()?, stream.parse().ok()?))
+}
+
+/// Map of generation -> (stream -> snapshot path) found in `dir`.
+fn list_group_snaps(dir: &Path) -> Result<BTreeMap<u64, BTreeMap<usize, PathBuf>>> {
+    let mut map: BTreeMap<u64, BTreeMap<usize, PathBuf>> = BTreeMap::new();
+    for entry in fs::read_dir(dir).map_err(|e| io_err("read dir", dir, e))? {
+        let entry = entry.map_err(|e| io_err("read dir", dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some((gen, stream)) = parse_group_snap(name) {
+            map.entry(gen).or_default().insert(stream, entry.path());
+        }
+    }
+    Ok(map)
+}
+
+struct GroupState {
+    /// The current generation's WAL. `Arc` so the committer can write
+    /// outside the state lock; `None` only after [`GroupWal::close`].
+    wal: Option<Arc<File>>,
+    /// Encoded frames enqueued but not yet handed to the committer.
+    pending: Vec<u8>,
+    /// Records inside `pending`.
+    pending_records: u64,
+    /// Sequence number of the last enqueued record.
+    appended_seq: u64,
+    /// Sequence number through which records are durable.
+    durable_seq: u64,
+    /// A batch is out being written/fsynced by the committer.
+    committing: bool,
+    generation: u64,
+    /// Mutation records in the current generation (durable + in flight).
+    wal_records: u64,
+    /// Bytes in the current generation (frames, incl. header + pending).
+    wal_bytes: u64,
+    running: bool,
+    header_frame: Vec<u8>,
+}
+
+struct Shared {
+    dir: PathBuf,
+    fsync: bool,
+    checkpoint_every: u64,
+    checkpoint_bytes: u64,
+    retain_generations: usize,
+    n_streams: usize,
+    state: Mutex<GroupState>,
+    /// Wakes the committer when records are enqueued (or on close).
+    work: Condvar,
+    /// Wakes `wait_durable` callers when a batch lands.
+    durable: Condvar,
+    records: AtomicU64,
+    batches: AtomicU64,
+    fsyncs: AtomicU64,
+}
+
+/// The shared per-node group-commit WAL. One instance serves every
+/// stream (database/shard replica) of a node; see the module docs.
+pub struct GroupWal {
+    shared: Arc<Shared>,
+    committer: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for GroupWal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.shared.state.lock().unwrap();
+        f.debug_struct("GroupWal")
+            .field("dir", &self.shared.dir)
+            .field("generation", &st.generation)
+            .field("wal_records", &st.wal_records)
+            .finish()
+    }
+}
+
+/// The per-stream [`MutationSink`]: encodes a multiplexed record and
+/// enqueues it on the shared commit queue. `record` returns before the
+/// record is durable — callers gate acknowledgements on
+/// [`GroupWal::wait_durable`].
+struct GroupSink {
+    shared: Arc<Shared>,
+    stream: u32,
+}
+
+impl MutationSink for GroupSink {
+    fn record(&self, m: &Mutation) {
+        let mut w = Writer::new();
+        w.u8(GROUP_RECORD_TAG);
+        w.u32(self.stream);
+        put_mutation(&mut w, m);
+        let frame = write_frame(&w.into_bytes());
+        let mut st = self.shared.state.lock().unwrap();
+        // The sink API cannot report errors; losing a record would break
+        // the write-ahead contract silently, so fail loudly (same policy
+        // as the per-replica WAL append).
+        assert!(st.running && st.wal.is_some(), "durable: group WAL is closed");
+        st.pending.extend_from_slice(&frame);
+        st.pending_records += 1;
+        st.appended_seq += 1;
+        st.wal_records += 1;
+        st.wal_bytes += frame.len() as u64;
+        drop(st);
+        self.shared.work.notify_one();
+    }
+}
+
+fn committer_loop(shared: &Shared) {
+    loop {
+        let (file, buf, through_seq, n_records) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if !st.pending.is_empty() {
+                    break;
+                }
+                if !st.running {
+                    return; // closed and drained
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+            let buf = std::mem::take(&mut st.pending);
+            let n = std::mem::replace(&mut st.pending_records, 0);
+            let file = st.wal.clone().expect("durable: group WAL file missing");
+            st.committing = true;
+            (file, buf, st.appended_seq, n)
+        };
+        // Everything enqueued while the previous batch was being written
+        // lands here in ONE write and (at most) ONE fsync: that
+        // coalescing is the whole point of group commit.
+        (&*file).write_all(&buf).expect("durable: group WAL append failed");
+        if shared.fsync {
+            file.sync_data().expect("durable: group WAL fsync failed");
+            shared.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.records.fetch_add(n_records, Ordering::Relaxed);
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        let mut st = shared.state.lock().unwrap();
+        st.durable_seq = st.durable_seq.max(through_seq);
+        st.committing = false;
+        drop(st);
+        shared.durable.notify_all();
+    }
+}
+
+impl GroupWal {
+    /// Open (or recover) the shared WAL under `dir` for the given streams.
+    /// Knobs (`fsync`, checkpoint triggers, retention) come from `cfg`;
+    /// `cfg.dir` is ignored in favor of the explicit group directory.
+    ///
+    /// Recovery mirrors [`NodeDurability::open_with`](crate::NodeDurability::open_with)
+    /// (newest fully-valid snapshot generation, forward replay of every
+    /// retained WAL, torn-tail truncation of the resumed WAL, journaled
+    /// header overriding `policy`/`delta_budget`), except that one WAL
+    /// scan demultiplexes records into all streams and a generation is
+    /// valid only if *every* stream's snapshot loads.
+    ///
+    /// The returned replicas have **no sinks attached**; call
+    /// [`GroupWal::attach`] per stream once runtime reconfiguration is
+    /// done.
+    pub fn open(
+        cfg: &DurabilityConfig,
+        dir: impl Into<PathBuf>,
+        streams: &[StreamSpec],
+        policy: ConflictPolicy,
+        delta_budget: usize,
+    ) -> Result<(Arc<GroupWal>, Vec<Replica>, GroupRecoveryReport)> {
+        assert!(!streams.is_empty(), "durable: group WAL needs at least one stream");
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err("create dir", &dir, e))?;
+
+        // Newest generation whose snapshots ALL load and match their
+        // specs wins; partial generations (a crash mid-checkpoint) and
+        // corrupt ones fall back to older retained generations.
+        let snap_map = list_group_snaps(&dir)?;
+        let mut report = GroupRecoveryReport::default();
+        let mut recovered: Option<Vec<Replica>> = None;
+        let mut last_snap_err = None;
+        for (&gen, by_stream) in snap_map.iter().rev() {
+            match load_generation(by_stream, streams) {
+                Ok(replicas) => {
+                    report.generation = gen;
+                    report.snapshots_loaded = replicas.len();
+                    recovered = Some(replicas);
+                    break;
+                }
+                Err(e) => last_snap_err = Some(e),
+            }
+        }
+        if recovered.is_none() {
+            if let Some(e) = last_snap_err {
+                // Snapshots existed but no generation is whole: refuse
+                // loudly rather than restart empty.
+                return Err(e);
+            }
+        }
+
+        let wal_gens = list_generations(&dir, "wal", ".log")?;
+        let replay_from = if recovered.is_some() {
+            report.generation
+        } else {
+            wal_gens.first().copied().unwrap_or(0)
+        };
+        let resume_gen =
+            report.generation.max(wal_gens.last().copied().unwrap_or(report.generation));
+        let mut header: Option<WalHeader> = None;
+        let mut replay: Vec<Bytes> = Vec::new();
+        let mut final_scan: Option<(PathBuf, usize, usize, u64)> = None;
+        for &gen in wal_gens.iter().filter(|&&g| g >= replay_from) {
+            let wal_file = wal_path(&dir, gen);
+            let raw = fs::read(&wal_file).map_err(|e| io_err("read", &wal_file, e))?;
+            let buf = Bytes::from(raw);
+            let scan = read_frames(&buf);
+            report.wal_bytes_truncated += scan.torn_bytes as u64;
+            let mut records = 0u64;
+            for body in &scan.bodies {
+                if is_header(body) {
+                    header = Some(decode_header(body)?);
+                } else {
+                    replay.push(body.clone());
+                    records += 1;
+                }
+            }
+            if gen == resume_gen {
+                final_scan = Some((wal_file, scan.valid_len, scan.torn_bytes, records));
+            }
+        }
+
+        let effective_policy = match (&recovered, header) {
+            (None, Some(h)) => h.policy,
+            _ => policy,
+        };
+        let mut replicas = match recovered {
+            Some(r) => r,
+            None => {
+                report.generation = resume_gen;
+                streams
+                    .iter()
+                    .map(|s| Replica::with_policy(s.id, s.n_nodes, s.n_items, effective_policy))
+                    .collect()
+            }
+        };
+
+        for body in &replay {
+            let (stream, m) = decode_group_record(body, streams.len())?;
+            if replicas[stream].replay_mutation(m).is_err() {
+                report.replay_errors += 1;
+            }
+            report.wal_records_replayed += 1;
+        }
+        report.generation = resume_gen;
+
+        let resumed_wal = wal_path(&dir, resume_gen);
+        let (mut wal_bytes, mut wal_records) = (0u64, 0u64);
+        if let Some((path, valid_len, torn, records)) = final_scan {
+            if torn > 0 {
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| io_err("open", &path, e))?;
+                f.set_len(valid_len as u64).map_err(|e| io_err("truncate", &path, e))?;
+                f.sync_all().map_err(|e| io_err("fsync", &path, e))?;
+            }
+            wal_bytes = valid_len as u64;
+            wal_records = records;
+        }
+
+        let effective = header
+            .unwrap_or(WalHeader { policy: effective_policy, delta_budget: delta_budget as u64 });
+        if effective.delta_budget > 0 {
+            for r in &mut replicas {
+                r.enable_delta(effective.delta_budget as usize);
+            }
+        }
+        let header_frame = write_frame(&encode_header(&effective));
+
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&resumed_wal)
+            .map_err(|e| io_err("open", &resumed_wal, e))?;
+        if wal_bytes == 0 {
+            (&wal).write_all(&header_frame).map_err(|e| io_err("write", &resumed_wal, e))?;
+            wal.sync_data().map_err(|e| io_err("fsync", &resumed_wal, e))?;
+            wal_bytes = header_frame.len() as u64;
+        }
+
+        for r in &replicas {
+            r.check_invariants().map_err(Error::CorruptSnapshot)?;
+        }
+
+        let shared = Arc::new(Shared {
+            dir,
+            fsync: cfg.fsync,
+            checkpoint_every: cfg.checkpoint_every,
+            checkpoint_bytes: cfg.checkpoint_bytes,
+            retain_generations: cfg.retain_generations.max(1),
+            n_streams: streams.len(),
+            state: Mutex::new(GroupState {
+                wal: Some(Arc::new(wal)),
+                pending: Vec::new(),
+                pending_records: 0,
+                appended_seq: 0,
+                durable_seq: 0,
+                committing: false,
+                generation: resume_gen,
+                wal_records,
+                wal_bytes,
+                running: true,
+                header_frame,
+            }),
+            work: Condvar::new(),
+            durable: Condvar::new(),
+            records: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+        });
+        let committer = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("epidb-group-commit".into())
+                .spawn(move || committer_loop(&shared))
+                .expect("durable: spawn group committer")
+        };
+        let wal = Arc::new(GroupWal { shared, committer: Mutex::new(Some(committer)) });
+        Ok((wal, replicas, report))
+    }
+
+    /// Attach stream `stream`'s sink to its replica. Call after recovery
+    /// and any runtime reconfiguration, with the same index the replica
+    /// had in the `streams` slice passed to [`GroupWal::open`].
+    pub fn attach(self: &Arc<Self>, stream: usize, replica: &mut Replica) {
+        assert!(stream < self.shared.n_streams, "durable: stream {stream} out of range");
+        replica.set_mutation_sink(Some(SinkHandle::new(Arc::new(GroupSink {
+            shared: self.shared.clone(),
+            stream: stream as u32,
+        }))));
+    }
+
+    /// Block until every record enqueued before this call is durable
+    /// (written, and fsynced when fsync is on). This is the
+    /// acknowledgement gate: a mutation's response may be released only
+    /// after `wait_durable` returns, which preserves acked-implies-durable
+    /// while letting the committer batch fsyncs across concurrent writers.
+    pub fn wait_durable(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        let target = st.appended_seq;
+        while st.durable_seq < target {
+            st = self.shared.durable.wait(st).unwrap();
+        }
+    }
+
+    /// Commit-path counters (monotonic since open).
+    pub fn stats(&self) -> GroupCommitStats {
+        GroupCommitStats {
+            records: self.shared.records.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            fsyncs: self.shared.fsyncs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The current snapshot/WAL generation.
+    pub fn generation(&self) -> u64 {
+        self.shared.state.lock().unwrap().generation
+    }
+
+    /// Mutation records in the current WAL generation (incl. enqueued).
+    pub fn wal_records(&self) -> u64 {
+        self.shared.state.lock().unwrap().wal_records
+    }
+
+    /// Checkpoint if the shared WAL has reached the configured record
+    /// count or byte size. Same caller contract as
+    /// [`GroupWal::checkpoint`].
+    pub fn maybe_checkpoint(&self, replicas: &[&Replica]) -> Result<bool> {
+        let st = self.shared.state.lock().unwrap();
+        let by_records =
+            self.shared.checkpoint_every > 0 && st.wal_records >= self.shared.checkpoint_every;
+        let by_bytes =
+            self.shared.checkpoint_bytes > 0 && st.wal_bytes >= self.shared.checkpoint_bytes;
+        if !by_records && !by_bytes {
+            return Ok(false);
+        }
+        self.checkpoint_locked(st, replicas)?;
+        Ok(true)
+    }
+
+    /// Checkpoint unconditionally: drain the commit queue, snapshot every
+    /// stream, roll the shared WAL, prune per retention.
+    ///
+    /// `replicas` must be the group's streams **in stream order**, and the
+    /// caller must hold whatever locks guard them (so no new records can
+    /// be enqueued mid-checkpoint) — the same discipline as
+    /// [`NodeDurability::checkpoint`](crate::NodeDurability::checkpoint),
+    /// widened to all streams at once.
+    pub fn checkpoint(&self, replicas: &[&Replica]) -> Result<()> {
+        let st = self.shared.state.lock().unwrap();
+        self.checkpoint_locked(st, replicas)
+    }
+
+    fn checkpoint_locked(
+        &self,
+        mut st: MutexGuard<'_, GroupState>,
+        replicas: &[&Replica],
+    ) -> Result<()> {
+        assert_eq!(
+            replicas.len(),
+            self.shared.n_streams,
+            "durable: checkpoint needs every stream's replica"
+        );
+        // Drain: let an in-flight batch land, then flush the remaining
+        // queue ourselves so the old generation's WAL is complete before
+        // the snapshots that supersede it are taken.
+        while st.committing {
+            st = self.shared.durable.wait(st).unwrap();
+        }
+        let old_path = wal_path(&self.shared.dir, st.generation);
+        if !st.pending.is_empty() {
+            let buf = std::mem::take(&mut st.pending);
+            let n = std::mem::replace(&mut st.pending_records, 0);
+            let file = st.wal.clone().expect("durable: group WAL file missing");
+            (&*file).write_all(&buf).map_err(|e| io_err("write", &old_path, e))?;
+            if self.shared.fsync {
+                file.sync_data().map_err(|e| io_err("fsync", &old_path, e))?;
+                self.shared.fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
+            self.shared.records.fetch_add(n, Ordering::Relaxed);
+            self.shared.batches.fetch_add(1, Ordering::Relaxed);
+        }
+        st.durable_seq = st.appended_seq;
+        self.shared.durable.notify_all();
+
+        let next = st.generation + 1;
+        for (stream, replica) in replicas.iter().enumerate() {
+            let snap = group_snap_path(&self.shared.dir, next, stream);
+            atomic_write(&self.shared.dir, &snap, &write_frame(&replica.to_snapshot()))?;
+        }
+
+        let new_wal_path = wal_path(&self.shared.dir, next);
+        let new_wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&new_wal_path)
+            .map_err(|e| io_err("open", &new_wal_path, e))?;
+        (&new_wal).write_all(&st.header_frame).map_err(|e| io_err("write", &new_wal_path, e))?;
+        new_wal.sync_all().map_err(|e| io_err("fsync", &new_wal_path, e))?;
+        fsync_dir(&self.shared.dir)?;
+
+        st.generation = next;
+        st.wal = Some(Arc::new(new_wal));
+        st.wal_records = 0;
+        st.wal_bytes = st.header_frame.len() as u64;
+
+        // Prune only now, with the newer generation fully fsynced (same
+        // retention rule as the per-replica WAL).
+        let keep_from = next.saturating_sub(self.shared.retain_generations.max(1) as u64 - 1);
+        let snap_map = list_group_snaps(&self.shared.dir)?;
+        for (&gen, by_stream) in &snap_map {
+            if gen < keep_from {
+                for path in by_stream.values() {
+                    let _ = fs::remove_file(path);
+                }
+            }
+        }
+        for gen in list_generations(&self.shared.dir, "wal", ".log")? {
+            if gen < keep_from {
+                let _ = fs::remove_file(wal_path(&self.shared.dir, gen));
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush the queue and stop the committer. Idempotent; called by
+    /// `Drop`. Records enqueued before `close` are written (and fsynced,
+    /// if configured) before the committer exits; enqueueing after is a
+    /// contract violation and panics.
+    pub fn close(&self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.running = false;
+        }
+        self.shared.work.notify_all();
+        if let Some(h) = self.committer.lock().unwrap().take() {
+            let _ = h.join();
+        }
+        self.shared.state.lock().unwrap().wal = None;
+    }
+}
+
+impl Drop for GroupWal {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Load one full generation: every stream's snapshot must be present,
+/// load cleanly, and match its spec.
+fn load_generation(
+    by_stream: &BTreeMap<usize, PathBuf>,
+    streams: &[StreamSpec],
+) -> Result<Vec<Replica>> {
+    let mut replicas = Vec::with_capacity(streams.len());
+    for (stream, spec) in streams.iter().enumerate() {
+        let Some(path) = by_stream.get(&stream) else {
+            return Err(Error::CorruptSnapshot(format!(
+                "group snapshot generation is missing stream {stream}"
+            )));
+        };
+        let replica = load_snapshot(path)?;
+        if replica.id() != spec.id
+            || replica.n_nodes() != spec.n_nodes
+            || replica.n_items() != spec.n_items
+        {
+            return Err(Error::CorruptSnapshot(format!(
+                "stream {stream} snapshot is for node {} ({} nodes, {} items), expected node {} \
+                 ({} nodes, {} items)",
+                replica.id(),
+                replica.n_nodes(),
+                replica.n_items(),
+                spec.id,
+                spec.n_nodes,
+                spec.n_items,
+            )));
+        }
+        replicas.push(replica);
+    }
+    Ok(replicas)
+}
+
+/// Decode one CRC-verified group record body: tag, stream index, mutation.
+fn decode_group_record(body: &Bytes, n_streams: usize) -> Result<(usize, Mutation)> {
+    let corrupt = |what: String| {
+        Error::CorruptSnapshot(format!("group WAL record ({} bytes): {what}", body.len()))
+    };
+    let mut r = Reader::shared(body);
+    let tag = r.u8().map_err(|e| corrupt(e.to_string()))?;
+    if tag != GROUP_RECORD_TAG {
+        return Err(corrupt(format!("bad tag {tag:#x}")));
+    }
+    let stream = r.u32().map_err(|e| corrupt(e.to_string()))? as usize;
+    if stream >= n_streams {
+        return Err(corrupt(format!("stream {stream} out of range ({n_streams} streams)")));
+    }
+    let m = get_mutation(&mut r).map_err(|e| corrupt(e.to_string()))?;
+    if r.remaining() != 0 {
+        return Err(corrupt(format!("{} trailing bytes after mutation", r.remaining())));
+    }
+    Ok((stream, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdir::TempDir;
+    use epidb_common::ItemId;
+    use epidb_store::UpdateOp;
+    use epidb_vv::VvOrd;
+
+    const N_NODES: usize = 3;
+
+    fn specs() -> Vec<StreamSpec> {
+        vec![
+            StreamSpec { id: NodeId(0), n_nodes: N_NODES, n_items: 8 },
+            StreamSpec { id: NodeId(0), n_nodes: N_NODES, n_items: 4 },
+        ]
+    }
+
+    fn open(cfg: &DurabilityConfig) -> (Arc<GroupWal>, Vec<Replica>, GroupRecoveryReport) {
+        let (wal, mut replicas, report) =
+            GroupWal::open(cfg, cfg.dir.join("group"), &specs(), ConflictPolicy::Report, 1 << 16)
+                .unwrap();
+        for (k, r) in replicas.iter_mut().enumerate() {
+            wal.attach(k, r);
+        }
+        (wal, replicas, report)
+    }
+
+    fn assert_same_state(a: &Replica, b: &Replica) {
+        assert_eq!(a.dbvv().compare(b.dbvv()), VvOrd::Equal);
+        for x in ItemId::all(a.n_items()) {
+            assert_eq!(a.read(x).unwrap(), b.read(x).unwrap());
+        }
+    }
+
+    #[test]
+    fn interleaved_streams_recover_independently() {
+        let tmp = TempDir::new("group-wal");
+        let mut cfg = DurabilityConfig::new(tmp.path());
+        cfg.checkpoint_every = 0; // no checkpoint: pure WAL replay
+        cfg.fsync = true;
+        let (wal, mut replicas, report) = open(&cfg);
+        assert_eq!(report.snapshots_loaded, 0);
+        for i in 0..6u64 {
+            let stream = (i % 2) as usize;
+            let item = ItemId((i / 2) as u32);
+            replicas[stream].update(item, UpdateOp::set(format!("v{i}").into_bytes())).unwrap();
+            wal.wait_durable();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.records, 6);
+        assert!(stats.batches <= stats.records);
+        assert!(stats.fsyncs <= stats.batches);
+        drop(wal);
+
+        let (_wal2, recovered, report) = open(&cfg);
+        assert_eq!(report.wal_records_replayed, 6);
+        assert_eq!(report.replay_errors, 0);
+        assert_same_state(&recovered[0], &replicas[0]);
+        assert_same_state(&recovered[1], &replicas[1]);
+    }
+
+    #[test]
+    fn checkpoint_rolls_all_streams_and_replays_tail() {
+        let tmp = TempDir::new("group-ckpt");
+        let mut cfg = DurabilityConfig::new(tmp.path());
+        cfg.checkpoint_every = 0;
+        cfg.retain_generations = 2;
+        let (wal, mut replicas, _) = open(&cfg);
+        replicas[0].update(ItemId(0), UpdateOp::set(&b"a"[..])).unwrap();
+        replicas[1].update(ItemId(1), UpdateOp::set(&b"b"[..])).unwrap();
+        wal.wait_durable();
+        {
+            let refs: Vec<&Replica> = replicas.iter().collect();
+            wal.checkpoint(&refs).unwrap();
+        }
+        assert_eq!(wal.generation(), 1);
+        // Post-checkpoint mutations land in the new generation's WAL.
+        replicas[0].update(ItemId(2), UpdateOp::set(&b"c"[..])).unwrap();
+        wal.wait_durable();
+        drop(wal);
+
+        let (_wal2, recovered, report) = open(&cfg);
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.snapshots_loaded, 2);
+        assert_eq!(report.wal_records_replayed, 1);
+        assert_same_state(&recovered[0], &replicas[0]);
+        assert_same_state(&recovered[1], &replicas[1]);
+    }
+
+    #[test]
+    fn torn_tail_recovers_clean_prefix() {
+        let tmp = TempDir::new("group-torn");
+        let mut cfg = DurabilityConfig::new(tmp.path());
+        cfg.checkpoint_every = 0;
+        let (wal, mut replicas, _) = open(&cfg);
+        replicas[0].update(ItemId(0), UpdateOp::set(&b"keep"[..])).unwrap();
+        replicas[1].update(ItemId(0), UpdateOp::set(&b"torn"[..])).unwrap();
+        wal.wait_durable();
+        drop(wal);
+
+        // Tear mid-record: shave bytes off the WAL tail.
+        let path = wal_path(&cfg.dir.join("group"), 0);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let (_wal2, recovered, report) = open(&cfg);
+        assert_eq!(report.wal_records_replayed, 1);
+        assert!(report.wal_bytes_truncated > 0);
+        assert_same_state(&recovered[0], &replicas[0]);
+        // Stream 1's torn record is gone: back to the initial value.
+        let fresh = Replica::with_policy(NodeId(0), N_NODES, 4, ConflictPolicy::Report);
+        assert_eq!(recovered[1].read(ItemId(0)).unwrap(), fresh.read(ItemId(0)).unwrap());
+    }
+
+    #[test]
+    fn byte_trigger_checkpoints_via_maybe() {
+        let tmp = TempDir::new("group-bytes");
+        let mut cfg = DurabilityConfig::new(tmp.path());
+        cfg.checkpoint_every = 0;
+        cfg.checkpoint_bytes = 64;
+        let (wal, mut replicas, _) = open(&cfg);
+        replicas[0].update(ItemId(0), UpdateOp::set(vec![7u8; 200])).unwrap();
+        wal.wait_durable();
+        let refs: Vec<&Replica> = replicas.iter().collect();
+        assert!(wal.maybe_checkpoint(&refs).unwrap());
+        assert_eq!(wal.generation(), 1);
+        assert!(!wal.maybe_checkpoint(&refs).unwrap());
+    }
+}

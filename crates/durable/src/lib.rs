@@ -27,12 +27,26 @@
 //! not decode cannot be a torn write; that is real corruption and surfaces
 //! as the non-retryable
 //! [`Error::CorruptSnapshot`](epidb_common::Error::CorruptSnapshot).
+//!
+//! Two extensions on the base layer:
+//!
+//! * every WAL generation opens with a **header record** ([`WalHeader`]):
+//!   the conflict policy and delta budget are journaled, so recovery is
+//!   config-free;
+//! * [`GroupWal`] multiplexes every stream (database/shard) of a node
+//!   into **one shared WAL** behind a commit queue — one fsync per
+//!   *batch* instead of per record (group commit), with
+//!   [`GroupWal::wait_durable`] as the acknowledgement gate.
 
 #![warn(missing_docs)]
 
 mod frames;
+mod group;
+mod header;
 mod node;
 pub mod testdir;
 
 pub use frames::{read_frames, write_frame, FrameScan, WAL_FRAME_HEADER};
+pub use group::{GroupCommitStats, GroupRecoveryReport, GroupWal, StreamSpec};
+pub use header::WalHeader;
 pub use node::{DurabilityConfig, NodeDurability, RecoveryReport, ShardedDurability};

@@ -12,6 +12,7 @@ use epidb_core::journal::{get_mutation, put_mutation};
 use epidb_core::{ConflictPolicy, Mutation, MutationSink, Replica, ShardedNode, SinkHandle};
 
 use crate::frames::{read_frames, write_frame};
+use crate::header::{decode_header, encode_header, is_header, WalHeader};
 
 /// Durability settings for a cluster runtime.
 #[derive(Clone, Debug)]
@@ -19,8 +20,20 @@ pub struct DurabilityConfig {
     /// Root directory; each node gets a `node-<id>` subdirectory.
     pub dir: PathBuf,
     /// Checkpoint (roll the WAL into a snapshot) after this many WAL
-    /// records. `0` disables automatic checkpointing.
+    /// records. `0` disables the record-count trigger.
     pub checkpoint_every: u64,
+    /// Checkpoint once the current WAL holds this many bytes. `0`
+    /// disables the byte trigger. Record-count and byte triggers compose:
+    /// whichever fires first rolls the WAL — bytes bound recovery-replay
+    /// *time* where record counts cannot (one record can be huge).
+    pub checkpoint_bytes: u64,
+    /// Snapshot generations retained after a checkpoint (minimum 1, the
+    /// newest). Older generations are pruned only after the newer
+    /// snapshot and its fresh WAL are fully fsynced, so `N > 1` keeps a
+    /// bit-rot fallback: recovery walks back to the newest generation
+    /// that still passes its checks and replays every retained WAL from
+    /// there forward.
+    pub retain_generations: usize,
     /// Fsync the WAL after every appended record. Off, records are
     /// buffered by the OS (still crash-consistent thanks to the torn-tail
     /// rule, but the tail may be lost on power failure).
@@ -29,9 +42,16 @@ pub struct DurabilityConfig {
 
 impl DurabilityConfig {
     /// Config rooted at `dir` with moderate defaults (checkpoint every 64
-    /// records, no per-record fsync).
+    /// records, no byte trigger, one retained generation, no per-record
+    /// fsync).
     pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
-        DurabilityConfig { dir: dir.into(), checkpoint_every: 64, fsync: false }
+        DurabilityConfig {
+            dir: dir.into(),
+            checkpoint_every: 64,
+            checkpoint_bytes: 0,
+            retain_generations: 1,
+            fsync: false,
+        }
     }
 
     /// The per-node state directory.
@@ -44,11 +64,7 @@ impl DurabilityConfig {
     /// its own WAL/snapshot directory (`<dir>/shard-<s>/node-<n>/`), so
     /// per-shard journals checkpoint, recover, and hand off independently.
     pub fn shard_config(&self, shard: ShardId) -> DurabilityConfig {
-        DurabilityConfig {
-            dir: self.dir.join(format!("shard-{}", shard.0)),
-            checkpoint_every: self.checkpoint_every,
-            fsync: self.fsync,
-        }
+        DurabilityConfig { dir: self.dir.join(format!("shard-{}", shard.0)), ..self.clone() }
     }
 }
 
@@ -59,6 +75,10 @@ pub struct RecoveryReport {
     pub generation: u64,
     /// Whether a snapshot file was loaded (false = started from scratch).
     pub snapshot_loaded: bool,
+    /// The generation of the snapshot that was loaded (0 when none). Can
+    /// trail `generation` when recovery fell back past a corrupt newer
+    /// snapshot and replayed the surviving WALs forward.
+    pub snapshot_generation: u64,
     /// WAL records replayed on top of the snapshot.
     pub wal_records_replayed: u64,
     /// Bytes discarded from the WAL tail (torn-write truncation).
@@ -68,7 +88,7 @@ pub struct RecoveryReport {
     pub replay_errors: u64,
 }
 
-fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
+pub(crate) fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
     Error::Network(format!("durable {what} {}: {e}", path.display()))
 }
 
@@ -76,12 +96,12 @@ fn snap_path(dir: &Path, generation: u64) -> PathBuf {
     dir.join(format!("snap-{generation}.epdb"))
 }
 
-fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+pub(crate) fn wal_path(dir: &Path, generation: u64) -> PathBuf {
     dir.join(format!("wal-{generation}.log"))
 }
 
 /// List the generations of files in `dir` matching `prefix-<gen>.<ext>`.
-fn list_generations(dir: &Path, prefix: &str, ext: &str) -> Result<Vec<u64>> {
+pub(crate) fn list_generations(dir: &Path, prefix: &str, ext: &str) -> Result<Vec<u64>> {
     let mut gens = Vec::new();
     for entry in fs::read_dir(dir).map_err(|e| io_err("read dir", dir, e))? {
         let entry = entry.map_err(|e| io_err("read dir", dir, e))?;
@@ -97,7 +117,7 @@ fn list_generations(dir: &Path, prefix: &str, ext: &str) -> Result<Vec<u64>> {
     Ok(gens)
 }
 
-fn fsync_dir(dir: &Path) -> Result<()> {
+pub(crate) fn fsync_dir(dir: &Path) -> Result<()> {
     // Durability of creates/renames/deletes requires syncing the directory
     // itself on POSIX systems.
     File::open(dir).and_then(|d| d.sync_all()).map_err(|e| io_err("fsync dir", dir, e))
@@ -105,7 +125,7 @@ fn fsync_dir(dir: &Path) -> Result<()> {
 
 /// Write `bytes` to `path` atomically: temp file in the same directory,
 /// fsync, rename over the target, fsync the directory.
-fn atomic_write(dir: &Path, path: &Path, bytes: &[u8]) -> Result<()> {
+pub(crate) fn atomic_write(dir: &Path, path: &Path, bytes: &[u8]) -> Result<()> {
     let tmp = path.with_extension("tmp");
     let mut f = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
     f.write_all(bytes).map_err(|e| io_err("write", &tmp, e))?;
@@ -119,10 +139,16 @@ struct Inner {
     dir: PathBuf,
     fsync: bool,
     checkpoint_every: u64,
+    checkpoint_bytes: u64,
+    retain_generations: usize,
     generation: u64,
     wal: File,
     /// Records appended to the current WAL since the last checkpoint.
     wal_records: u64,
+    /// Bytes in the current WAL (frames, including the header record).
+    wal_bytes: u64,
+    /// The encoded header frame written at the head of every fresh WAL.
+    header_frame: Vec<u8>,
 }
 
 /// The durable backing of one replica: an open WAL plus the checkpoint
@@ -160,6 +186,24 @@ impl NodeDurability {
         n_items: usize,
         policy: ConflictPolicy,
     ) -> Result<(Arc<NodeDurability>, Replica, RecoveryReport)> {
+        NodeDurability::open_with(cfg, id, n_nodes, n_items, policy, 0)
+    }
+
+    /// As [`NodeDurability::open`], with a delta op-cache budget. `policy`
+    /// and `delta_budget` are *fresh-start defaults*: every WAL generation
+    /// starts with a header record journaling the pair, and when a header
+    /// is recovered it overrides the arguments — recovery is config-free
+    /// (the disk says what configuration the journaled mutations assume).
+    /// The returned replica already has its delta cache enabled per the
+    /// effective budget.
+    pub fn open_with(
+        cfg: &DurabilityConfig,
+        id: NodeId,
+        n_nodes: usize,
+        n_items: usize,
+        policy: ConflictPolicy,
+        delta_budget: usize,
+    ) -> Result<(Arc<NodeDurability>, Replica, RecoveryReport)> {
         let dir = cfg.node_dir(id);
         fs::create_dir_all(&dir).map_err(|e| io_err("create dir", &dir, e))?;
 
@@ -168,8 +212,9 @@ impl NodeDurability {
 
         // Newest snapshot that passes every check wins; a corrupt newest
         // generation (e.g. bit rot, or a rename that never became durable)
-        // falls back to the previous one, which checkpointing deletes only
-        // after its successor is safely in place.
+        // falls back to an older one, which checkpointing retains per
+        // `retain_generations` and deletes only after its successors are
+        // safely in place.
         let mut report = RecoveryReport::default();
         let mut replica = None;
         let mut last_snap_err = None;
@@ -178,28 +223,73 @@ impl NodeDurability {
                 Ok(r) => {
                     report.generation = gen;
                     report.snapshot_loaded = true;
+                    report.snapshot_generation = gen;
                     replica = Some(r);
                     break;
                 }
                 Err(e) => last_snap_err = Some(e),
             }
         }
+        if replica.is_none() {
+            if let Some(e) = last_snap_err {
+                // Snapshots existed but none loads: refusing loudly beats
+                // silently restarting empty and re-serving stale
+                // anti-entropy as if the node were new.
+                return Err(e);
+            }
+        }
+
+        // Scan every WAL from the recovered generation forward (snapshot
+        // `g` includes everything up to the end of WAL `g-1`, so WALs
+        // `g..` hold exactly the mutations past the snapshot — possibly
+        // several generations of them when a newer snapshot was lost and
+        // recovery fell back). On a fresh start the scan begins at the
+        // oldest retained WAL.
+        let replay_from = if report.snapshot_loaded {
+            report.generation
+        } else {
+            wal_gens.first().copied().unwrap_or(0)
+        };
+        let resume_gen =
+            report.generation.max(wal_gens.last().copied().unwrap_or(report.generation));
+        let mut header: Option<WalHeader> = None;
+        let mut replay: Vec<Bytes> = Vec::new();
+        let mut final_scan: Option<(PathBuf, usize, usize, u64)> = None;
+        for &gen in wal_gens.iter().filter(|&&g| g >= replay_from) {
+            let wal_file = wal_path(&dir, gen);
+            let raw = fs::read(&wal_file).map_err(|e| io_err("read", &wal_file, e))?;
+            let buf = Bytes::from(raw);
+            let scan = read_frames(&buf);
+            report.wal_bytes_truncated += scan.torn_bytes as u64;
+            let mut records = 0u64;
+            for body in &scan.bodies {
+                if is_header(body) {
+                    // The newest generation's header wins (it is what the
+                    // resumed WAL was journaled under).
+                    header = Some(decode_header(body)?);
+                } else {
+                    replay.push(body.clone());
+                    records += 1;
+                }
+            }
+            if gen == resume_gen {
+                final_scan = Some((wal_file, scan.valid_len, scan.torn_bytes, records));
+            }
+        }
+
+        // Construct (or validate) the replica now that any journaled
+        // header is known: a fresh start adopts the journaled policy.
+        let effective_policy = match (&replica, header) {
+            (None, Some(h)) => h.policy,
+            _ => policy,
+        };
         let mut replica = match replica {
             Some(r) => r,
             None => {
-                if let Some(e) = last_snap_err {
-                    // Snapshots existed but none loads: refusing loudly
-                    // beats silently restarting empty and re-serving stale
-                    // anti-entropy as if the node were new.
-                    return Err(e);
-                }
-                // Fresh start (or pre-snapshot crash): replay the newest
-                // WAL, if any, onto an empty replica.
-                report.generation = wal_gens.last().copied().unwrap_or(0);
-                Replica::with_policy(id, n_nodes, n_items, policy)
+                report.generation = resume_gen;
+                Replica::with_policy(id, n_nodes, n_items, effective_policy)
             }
         };
-
         if replica.id() != id || replica.n_nodes() != n_nodes || replica.n_items() != n_items {
             return Err(Error::CorruptSnapshot(format!(
                 "recovered state is for node {} ({} nodes, {} items), expected node {id} \
@@ -210,46 +300,70 @@ impl NodeDurability {
             )));
         }
 
-        // Replay the WAL of the recovered generation, truncating the torn
-        // tail so subsequent appends extend the valid prefix.
-        let wal_file = wal_path(&dir, report.generation);
-        if wal_file.exists() {
-            let raw = fs::read(&wal_file).map_err(|e| io_err("read", &wal_file, e))?;
-            let buf = Bytes::from(raw);
-            let scan = read_frames(&buf);
-            report.wal_bytes_truncated = scan.torn_bytes as u64;
-            for body in &scan.bodies {
-                let mut r = Reader::shared(body);
-                let m = decode_wal_record(&mut r, body)?;
-                if replica.replay_mutation(m).is_err() {
-                    report.replay_errors += 1;
-                }
-                report.wal_records_replayed += 1;
+        for body in &replay {
+            let mut r = Reader::shared(body);
+            let m = decode_wal_record(&mut r, body)?;
+            if replica.replay_mutation(m).is_err() {
+                report.replay_errors += 1;
             }
-            if scan.torn_bytes > 0 {
+            report.wal_records_replayed += 1;
+        }
+        report.generation = resume_gen;
+
+        // Truncate the resumed WAL's torn tail so appends extend the valid
+        // prefix. Older generations are left as-is: their torn bytes (if
+        // any) are already counted and the files are pruned at the next
+        // checkpoint.
+        let resumed_wal = wal_path(&dir, resume_gen);
+        let (mut wal_bytes, mut wal_records) = (0u64, 0u64);
+        if let Some((path, valid_len, torn, records)) = final_scan {
+            if torn > 0 {
                 let f = OpenOptions::new()
                     .write(true)
-                    .open(&wal_file)
-                    .map_err(|e| io_err("open", &wal_file, e))?;
-                f.set_len(scan.valid_len as u64).map_err(|e| io_err("truncate", &wal_file, e))?;
-                f.sync_all().map_err(|e| io_err("fsync", &wal_file, e))?;
+                    .open(&path)
+                    .map_err(|e| io_err("open", &path, e))?;
+                f.set_len(valid_len as u64).map_err(|e| io_err("truncate", &path, e))?;
+                f.sync_all().map_err(|e| io_err("fsync", &path, e))?;
             }
+            wal_bytes = valid_len as u64;
+            wal_records = records;
         }
+
+        // The effective configuration: journaled header wins, arguments
+        // are the fresh-start default. It seeds the header of this and
+        // every future generation of this WAL.
+        let effective = header
+            .unwrap_or(WalHeader { policy: effective_policy, delta_budget: delta_budget as u64 });
+        if effective.delta_budget > 0 {
+            replica.enable_delta(effective.delta_budget as usize);
+        }
+        let header_frame = write_frame(&encode_header(&effective));
 
         let wal = OpenOptions::new()
             .create(true)
             .append(true)
-            .open(&wal_file)
-            .map_err(|e| io_err("open", &wal_file, e))?;
+            .open(&resumed_wal)
+            .map_err(|e| io_err("open", &resumed_wal, e))?;
+        if wal_bytes == 0 {
+            // Fresh (or fully torn) WAL: write the header record first and
+            // make it durable before any mutation can land behind it.
+            (&wal).write_all(&header_frame).map_err(|e| io_err("write", &resumed_wal, e))?;
+            wal.sync_data().map_err(|e| io_err("fsync", &resumed_wal, e))?;
+            wal_bytes = header_frame.len() as u64;
+        }
 
         let durability = Arc::new(NodeDurability {
             inner: Mutex::new(Inner {
                 dir,
                 fsync: cfg.fsync,
                 checkpoint_every: cfg.checkpoint_every,
-                generation: report.generation,
+                checkpoint_bytes: cfg.checkpoint_bytes,
+                retain_generations: cfg.retain_generations.max(1),
+                generation: resume_gen,
                 wal,
-                wal_records: report.wal_records_replayed,
+                wal_records,
+                wal_bytes,
+                header_frame,
             }),
         });
         replica.check_invariants().map_err(Error::CorruptSnapshot)?;
@@ -271,13 +385,17 @@ impl NodeDurability {
         self.inner.lock().unwrap().wal_records
     }
 
-    /// Checkpoint if the WAL has reached the configured record count.
-    /// Callers invoke this *after* a batch of operations, while still
-    /// holding whatever lock guards `replica` — never from inside the sink
-    /// (the replica is mid-mutation there).
+    /// Checkpoint if the WAL has reached the configured record count or
+    /// byte size (whichever trigger fires first; see
+    /// [`DurabilityConfig::checkpoint_bytes`]). Callers invoke this
+    /// *after* a batch of operations, while still holding whatever lock
+    /// guards `replica` — never from inside the sink (the replica is
+    /// mid-mutation there).
     pub fn maybe_checkpoint(&self, replica: &Replica) -> Result<bool> {
         let mut inner = self.inner.lock().unwrap();
-        if inner.checkpoint_every == 0 || inner.wal_records < inner.checkpoint_every {
+        let by_records = inner.checkpoint_every > 0 && inner.wal_records >= inner.checkpoint_every;
+        let by_bytes = inner.checkpoint_bytes > 0 && inner.wal_bytes >= inner.checkpoint_bytes;
+        if !by_records && !by_bytes {
             return Ok(false);
         }
         inner.checkpoint(replica)?;
@@ -308,7 +426,9 @@ impl NodeDurability {
         let buf = Bytes::from(raw);
         let scan = read_frames(&buf);
         let mut tail = Vec::new();
-        for body in scan.bodies.iter().skip(skip as usize) {
+        // `skip` counts *mutation* records (the unit `wal_records`
+        // reports); the header record is configuration, not state.
+        for body in scan.bodies.iter().filter(|b| !is_header(b)).skip(skip as usize) {
             let mut r = Reader::shared(body);
             tail.push(decode_wal_record(&mut r, body)?);
         }
@@ -388,31 +508,37 @@ impl Inner {
         let snap = snap_path(&self.dir, next);
         atomic_write(&self.dir, &snap, &write_frame(&replica.to_snapshot()))?;
 
-        // Fresh WAL for the new generation, durable before the old
-        // generation goes away.
+        // Fresh WAL for the new generation — header first, durable before
+        // the old generations go away.
         let new_wal_path = wal_path(&self.dir, next);
         let new_wal = OpenOptions::new()
             .create(true)
             .append(true)
             .open(&new_wal_path)
             .map_err(|e| io_err("open", &new_wal_path, e))?;
+        (&new_wal).write_all(&self.header_frame).map_err(|e| io_err("write", &new_wal_path, e))?;
         new_wal.sync_all().map_err(|e| io_err("fsync", &new_wal_path, e))?;
         fsync_dir(&self.dir)?;
 
-        let old = self.generation;
         self.generation = next;
         self.wal = new_wal;
         self.wal_records = 0;
+        self.wal_bytes = self.header_frame.len() as u64;
 
-        // Old generations are garbage now (crash before these deletes just
-        // leaves extra files; recovery prefers the newest valid snapshot).
+        // Prune generations beyond the retention window — only now, with
+        // the newer snapshot and its WAL fully fsynced (a crash before
+        // these deletes just leaves extra files; recovery prefers the
+        // newest valid snapshot). Retaining N > 1 generations keeps
+        // `snap-<g>` *and* `wal-<g>` for each retained `g`: recovering
+        // from snapshot `g` needs every WAL from `g` forward.
+        let keep_from = next.saturating_sub(self.retain_generations.max(1) as u64 - 1);
         for gen in list_generations(&self.dir, "snap", ".epdb")? {
-            if gen < next {
+            if gen < keep_from {
                 let _ = fs::remove_file(snap_path(&self.dir, gen));
             }
         }
         for gen in list_generations(&self.dir, "wal", ".log")? {
-            if gen <= old {
+            if gen < keep_from {
                 let _ = fs::remove_file(wal_path(&self.dir, gen));
             }
         }
@@ -431,6 +557,7 @@ impl Inner {
             self.wal.sync_data().expect("durable: WAL fsync failed");
         }
         self.wal_records += 1;
+        self.wal_bytes += frame.len() as u64;
     }
 }
 
@@ -441,7 +568,7 @@ impl MutationSink for NodeDurability {
 }
 
 /// Load and fully validate a snapshot file (CRC frame + snapshot decode).
-fn load_snapshot(path: &Path) -> Result<Replica> {
+pub(crate) fn load_snapshot(path: &Path) -> Result<Replica> {
     let raw = fs::read(path).map_err(|e| io_err("read", path, e))?;
     let buf = Bytes::from(raw);
     let scan = read_frames(&buf);

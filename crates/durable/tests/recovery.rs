@@ -139,9 +139,11 @@ fn torn_wal_tail_recovers_a_valid_prefix_at_every_byte_offset() {
         let (_d, recovered, report) = open(&case_cfg, NodeId(1));
         recovered.check_invariants().unwrap();
         // Exactly the frames wholly inside the cut are replayed; the rest
-        // is truncated as a torn tail.
+        // is truncated as a torn tail. The first frame is the header
+        // record (configuration, not state), so replayed mutations lag
+        // the complete-frame count by one.
         let complete = frame_ends.iter().filter(|&&e| e <= cut as u64).count() as u64 - 1;
-        assert_eq!(report.wal_records_replayed, complete, "cut at {cut}");
+        assert_eq!(report.wal_records_replayed, complete.saturating_sub(1), "cut at {cut}");
         assert_eq!(report.replay_errors, 0, "cut at {cut}");
         assert_eq!(
             report.wal_bytes_truncated,
@@ -149,7 +151,7 @@ fn torn_wal_tail_recovers_a_valid_prefix_at_every_byte_offset() {
             "cut at {cut}"
         );
     }
-    assert_eq!(scan.bodies.len(), 5, "one frame per entry-point call");
+    assert_eq!(scan.bodies.len(), 6, "the header plus one frame per entry-point call");
 }
 
 #[test]
@@ -233,7 +235,8 @@ fn corrupt_newest_snapshot_falls_back_to_previous_generation() {
 
     let (_d2, recovered, report) = open(&cfg, NodeId(1));
     assert!(report.snapshot_loaded);
-    assert_eq!(report.generation, 1, "fell back past the corrupt newest snapshot");
+    assert_eq!(report.snapshot_generation, 1, "fell back past the corrupt newest snapshot");
+    assert_eq!(report.generation, 2, "but resumed appending to the newest WAL generation");
     assert_eq!(recovered.read(ItemId(0)).unwrap().as_bytes(), b"gen1");
 }
 
@@ -269,6 +272,81 @@ fn recovered_state_for_wrong_topology_is_rejected() {
     let err = NodeDurability::open(&cfg, NodeId(1), N_NODES + 1, N_ITEMS, ConflictPolicy::Report)
         .unwrap_err();
     assert!(matches!(err, Error::CorruptSnapshot(_)), "got {err:?}");
+}
+
+#[test]
+fn retained_generations_survive_loss_of_the_newest_snapshot() {
+    let tmp = TempDir::new("retain");
+    let cfg = DurabilityConfig { retain_generations: 2, ..DurabilityConfig::new(tmp.path()) };
+    let (d, mut node, _) = open(&cfg, NodeId(1));
+    node.update(ItemId(0), UpdateOp::set(&b"one"[..])).unwrap();
+    d.checkpoint(&node).unwrap();
+    node.update(ItemId(1), UpdateOp::set(&b"two"[..])).unwrap();
+    d.checkpoint(&node).unwrap();
+    node.update(ItemId(2), UpdateOp::set(&b"three"[..])).unwrap();
+    d.checkpoint(&node).unwrap();
+    node.update(ItemId(3), UpdateOp::set(&b"tail"[..])).unwrap();
+    drop(d);
+
+    // Retention keeps generations 2 and 3 (and their WALs); 1 is pruned.
+    let node_dir = cfg.node_dir(NodeId(1));
+    assert!(!node_dir.join("snap-1.epdb").exists());
+    assert!(node_dir.join("snap-2.epdb").exists() && node_dir.join("wal-2.log").exists());
+    assert!(node_dir.join("snap-3.epdb").exists() && node_dir.join("wal-3.log").exists());
+
+    // Lose the newest snapshot entirely: recovery falls back to gen 2 and
+    // replays WALs 2 and 3 forward to the identical state.
+    fs::remove_file(node_dir.join("snap-3.epdb")).unwrap();
+    let (_d2, recovered, report) = open(&cfg, NodeId(1));
+    assert_eq!(report.snapshot_generation, 2);
+    assert_eq!(report.generation, 3);
+    assert_eq!(report.wal_records_replayed, 2, "wal-2's record plus wal-3's");
+    assert_same_state(&node, &recovered);
+}
+
+#[test]
+fn byte_trigger_checkpoints_before_record_trigger() {
+    let tmp = TempDir::new("bytes-trigger");
+    let cfg = DurabilityConfig {
+        checkpoint_every: 1_000_000,
+        checkpoint_bytes: 256,
+        ..DurabilityConfig::new(tmp.path())
+    };
+    let (d, mut node, _) = open(&cfg, NodeId(1));
+    node.update(ItemId(0), UpdateOp::set(vec![9u8; 512])).unwrap();
+    assert!(d.maybe_checkpoint(&node).unwrap(), "512-byte record crosses the 256-byte bound");
+    assert_eq!(d.generation(), 1);
+    node.update(ItemId(1), UpdateOp::set(&b"small"[..])).unwrap();
+    assert!(!d.maybe_checkpoint(&node).unwrap(), "small record stays under both triggers");
+}
+
+#[test]
+fn journaled_header_makes_recovery_config_free() {
+    let tmp = TempDir::new("header");
+    let cfg = DurabilityConfig::new(tmp.path());
+    {
+        let (d, mut node, _) = NodeDurability::open_with(
+            &cfg,
+            NodeId(1),
+            N_NODES,
+            N_ITEMS,
+            ConflictPolicy::ResolveLww,
+            1 << 16,
+        )
+        .unwrap();
+        assert!(node.op_cache().is_enabled());
+        d.attach(&mut node);
+        node.update(ItemId(0), UpdateOp::set(&b"v"[..])).unwrap();
+    }
+    // Reopen with *different* arguments: the journaled header wins, so the
+    // node comes back LWW with its delta cache enabled — no snapshot was
+    // ever taken, yet no out-of-band configuration is needed.
+    let (_d2, recovered, report) =
+        NodeDurability::open(&cfg, NodeId(1), N_NODES, N_ITEMS, ConflictPolicy::Report).unwrap();
+    assert!(!report.snapshot_loaded);
+    assert_eq!(report.wal_records_replayed, 1);
+    assert_eq!(recovered.policy(), ConflictPolicy::ResolveLww);
+    assert!(recovered.op_cache().is_enabled());
 }
 
 #[test]

@@ -35,12 +35,16 @@
 //! cluster.shutdown();
 //! ```
 
+pub mod async_tcp;
 pub mod message;
 pub mod runtime;
 pub mod sharded;
 pub mod tcp;
 pub mod transport;
 
+pub use async_tcp::{
+    AsyncServer, AsyncTcpCluster, AsyncTcpConfig, FrameService, ShardedFrameService,
+};
 pub use message::NetMessage;
 pub use runtime::{ClusterConfig, ThreadedCluster};
 pub use sharded::{ShardedConfig, ShardedTcpCluster, ShardedThreadedCluster};

@@ -137,15 +137,29 @@ pub(crate) fn open_durable_node(
     delta_budget: usize,
     paranoid: bool,
 ) -> (Arc<NodeDurability>, Replica) {
+    // `open_with` journals policy + delta budget into the WAL header and
+    // re-enables the delta cache itself on recovery — the arguments here
+    // are only the fresh-start defaults.
     let (durability, mut replica, _report) =
-        NodeDurability::open(cfg, id, n_nodes, n_items, ConflictPolicy::Report)
+        NodeDurability::open_with(cfg, id, n_nodes, n_items, ConflictPolicy::Report, delta_budget)
             .expect("durable: recovery failed");
-    if delta_budget > 0 {
-        replica.enable_delta(delta_budget);
-    }
     replica.set_paranoid(paranoid);
     durability.attach(&mut replica);
     (durability, replica)
+}
+
+/// The probe-pacing policy shared by every runtime's `quiesce`: probes
+/// start near the gossip interval and decay exponentially (with the
+/// standard deterministic jitter) toward a 50 ms cap — converging
+/// clusters are checked often early, idle ones rarely.
+pub(crate) fn quiesce_policy(gossip_interval: Duration) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: u32::MAX,
+        base_backoff: gossip_interval.min(Duration::from_millis(1)).max(Duration::from_micros(100)),
+        max_backoff: Duration::from_millis(50),
+        round_deadline: None,
+        jitter_seed: 0,
+    }
 }
 
 /// The channel transport: an exchange sends a [`NetMessage::Request`] to
@@ -405,27 +419,18 @@ impl ThreadedCluster {
     /// Wait until all *alive* replicas have identical DBVVs and no
     /// auxiliary state (identical databases, by the paper's Theorem 3
     /// corollary), or the deadline passes. Returns whether quiescence was
-    /// reached.
+    /// reached; see [`ThreadedCluster::try_quiesce`] for the typed form.
     pub fn quiesce(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        // Exponential backoff between probes: start near the gossip
-        // interval, double up to a cap, never sleep past the deadline.
-        let mut pause = self
-            .config
-            .gossip_interval
-            .min(Duration::from_millis(1))
-            .max(Duration::from_micros(100));
-        loop {
-            if self.is_quiescent() {
-                return true;
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return false;
-            }
-            std::thread::sleep(pause.min(deadline - now));
-            pause = (pause * 2).min(Duration::from_millis(50));
-        }
+        self.try_quiesce(timeout).is_ok()
+    }
+
+    /// As [`ThreadedCluster::quiesce`], surfacing a timeout as the typed
+    /// [`Error::DeadlineExceeded`]. Probe pacing follows the shared
+    /// [`RetryPolicy`] backoff (exponential from the gossip interval,
+    /// deterministically jittered, capped).
+    pub fn try_quiesce(&self, timeout: Duration) -> Result<()> {
+        quiesce_policy(self.config.gossip_interval)
+            .poll_until("quiescence", timeout, || self.is_quiescent())
     }
 
     fn is_quiescent(&self) -> bool {

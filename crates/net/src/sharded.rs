@@ -130,32 +130,25 @@ fn quiesce_with(
     timeout: Duration,
     probe: impl Fn(NodeId, ShardId) -> Option<(epidb_vv::DbVersionVector, usize)>,
 ) -> bool {
-    let deadline = Instant::now() + timeout;
-    let mut pause = gossip_interval.min(Duration::from_millis(1)).max(Duration::from_micros(100));
-    loop {
-        let quiet = ShardId::all(map.n_shards()).all(|shard| {
-            let states: Vec<_> =
-                map.owners(shard).iter().filter_map(|&n| probe(n, shard)).collect();
-            match states.split_first() {
-                None => true, // every owner crashed: nothing to compare
-                Some(((reference, aux0), rest)) => {
-                    *aux0 == 0
-                        && rest
-                            .iter()
-                            .all(|(vv, aux)| *aux == 0 && vv.compare(reference) == VvOrd::Equal)
+    // Probe pacing via the shared RetryPolicy backoff; the bool form keeps
+    // both sharded runtimes' public `quiesce` signatures.
+    crate::runtime::quiesce_policy(gossip_interval)
+        .poll_until("sharded quiescence", timeout, || {
+            ShardId::all(map.n_shards()).all(|shard| {
+                let states: Vec<_> =
+                    map.owners(shard).iter().filter_map(|&n| probe(n, shard)).collect();
+                match states.split_first() {
+                    None => true, // every owner crashed: nothing to compare
+                    Some(((reference, aux0), rest)) => {
+                        *aux0 == 0
+                            && rest
+                                .iter()
+                                .all(|(vv, aux)| *aux == 0 && vv.compare(reference) == VvOrd::Equal)
+                    }
                 }
-            }
-        });
-        if quiet {
-            return true;
-        }
-        let now = Instant::now();
-        if now >= deadline {
-            return false;
-        }
-        std::thread::sleep(pause.min(deadline - now));
-        pause = (pause * 2).min(Duration::from_millis(50));
-    }
+            })
+        })
+        .is_ok()
 }
 
 // ---------------------------------------------------------------------------

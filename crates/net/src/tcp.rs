@@ -605,42 +605,38 @@ impl TcpCluster {
     }
 
     /// Wait until all alive replicas hold equal DBVVs and no auxiliary
-    /// state remains, or the deadline passes.
+    /// state remains, or the deadline passes. See
+    /// [`TcpCluster::try_quiesce`] for the typed form.
     pub fn quiesce(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        let mut pause = self
-            .config
-            .gossip_interval
-            .min(Duration::from_millis(1))
-            .max(Duration::from_micros(100));
-        loop {
-            let alive: Vec<&Arc<TcpNode>> =
-                self.nodes.iter().filter(|n| n.alive.load(Ordering::SeqCst)).collect();
-            let quiet = if alive.len() < 2 {
-                true
-            } else {
-                let first = alive[0].replica.lock();
-                let reference = first.dbvv().clone();
-                let head_ok = first.aux_item_count() == 0;
-                drop(first);
-                head_ok
-                    && alive[1..].iter().all(|n| {
-                        let r = n.replica.lock();
-                        r.aux_item_count() == 0 && r.dbvv().compare(&reference) == VvOrd::Equal
-                    })
-            };
-            if quiet {
-                return true;
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return false;
-            }
-            // Exponential backoff between probes instead of a tight poll:
-            // quiescing clusters are checked often early, idle ones rarely.
-            std::thread::sleep(pause.min(deadline - now));
-            pause = (pause * 2).min(Duration::from_millis(50));
+        self.try_quiesce(timeout).is_ok()
+    }
+
+    /// As [`TcpCluster::quiesce`], surfacing a timeout as the typed
+    /// [`Error::DeadlineExceeded`]. Probe pacing follows the shared
+    /// [`RetryPolicy`] backoff.
+    pub fn try_quiesce(&self, timeout: Duration) -> Result<()> {
+        crate::runtime::quiesce_policy(self.config.gossip_interval).poll_until(
+            "quiescence",
+            timeout,
+            || self.is_quiescent(),
+        )
+    }
+
+    fn is_quiescent(&self) -> bool {
+        let alive: Vec<&Arc<TcpNode>> =
+            self.nodes.iter().filter(|n| n.alive.load(Ordering::SeqCst)).collect();
+        if alive.len() < 2 {
+            return true;
         }
+        let first = alive[0].replica.lock();
+        let reference = first.dbvv().clone();
+        let head_ok = first.aux_item_count() == 0;
+        drop(first);
+        head_ok
+            && alive[1..].iter().all(|n| {
+                let r = n.replica.lock();
+                r.aux_item_count() == 0 && r.dbvv().compare(&reference) == VvOrd::Equal
+            })
     }
 
     /// Stop all threads and return the final replicas (journal sinks

@@ -6,8 +6,8 @@
 
 use epidb::common::Costs;
 use epidb::net::{
-    ClusterConfig, ShardedConfig, ShardedTcpCluster, ShardedThreadedCluster, TcpCluster, TcpConfig,
-    ThreadedCluster,
+    AsyncTcpCluster, AsyncTcpConfig, ClusterConfig, ShardedConfig, ShardedTcpCluster,
+    ShardedThreadedCluster, TcpCluster, TcpConfig, ThreadedCluster,
 };
 use epidb::prelude::*;
 use epidb::sim::{EpidbCluster, ShardedSimCluster};
@@ -118,6 +118,29 @@ impl Runtime for Tcp {
     }
 }
 
+struct AsyncTcp(AsyncTcpCluster);
+
+impl Runtime for AsyncTcp {
+    fn update(&mut self, node: u16, item: u32, op: UpdateOp) {
+        self.0.update(NodeId(node), ItemId(item), op).unwrap();
+    }
+    fn pull(&mut self, recipient: u16, source: u16) {
+        self.0.pull_now(NodeId(recipient), NodeId(source)).unwrap();
+    }
+    fn pull_delta(&mut self, recipient: u16, source: u16) {
+        self.0.pull_delta_now(NodeId(recipient), NodeId(source)).unwrap();
+    }
+    fn oob(&mut self, recipient: u16, source: u16, item: u32) {
+        self.0.oob_fetch(NodeId(recipient), NodeId(source), ItemId(item)).unwrap();
+    }
+    fn node_costs(&self, node: u16) -> Costs {
+        self.0.with_replica(NodeId(node), |r| r.costs())
+    }
+    fn value(&self, node: u16, item: u32) -> Vec<u8> {
+        self.0.read(NodeId(node), ItemId(item)).unwrap()
+    }
+}
+
 /// Gossip disabled (one-minute interval) so the explicit schedule is the
 /// only protocol traffic.
 fn quiet_threaded() -> ThreadedCluster {
@@ -145,6 +168,22 @@ fn quiet_tcp() -> TcpCluster {
     .unwrap()
 }
 
+fn quiet_async() -> AsyncTcpCluster {
+    AsyncTcpCluster::spawn(
+        N_NODES,
+        N_ITEMS,
+        AsyncTcpConfig {
+            base: TcpConfig {
+                gossip_interval: Duration::from_secs(60),
+                delta_budget: DELTA_BUDGET,
+                ..TcpConfig::default()
+            },
+            worker_threads: 2,
+        },
+    )
+    .unwrap()
+}
+
 #[test]
 fn identical_schedule_charges_identical_costs_everywhere() {
     let mut in_process = EpidbCluster::new(N_NODES, N_ITEMS);
@@ -153,6 +192,7 @@ fn identical_schedule_charges_identical_costs_everywhere() {
 
     let threaded = run_schedule(&mut Threaded(quiet_threaded()));
     let tcp = run_schedule(&mut Tcp(quiet_tcp()));
+    let async_tcp = run_schedule(&mut AsyncTcp(quiet_async()));
 
     for node in 0..N_NODES {
         assert_eq!(
@@ -160,6 +200,10 @@ fn identical_schedule_charges_identical_costs_everywhere() {
             "node {node}: in-process vs threaded costs diverge"
         );
         assert_eq!(local[node], tcp[node], "node {node}: in-process vs TCP costs diverge");
+        assert_eq!(
+            local[node], async_tcp[node],
+            "node {node}: in-process vs async-TCP costs diverge"
+        );
     }
     // The schedule actually moved bytes — parity over zeros proves nothing.
     assert!(local.iter().any(|c| c.bytes_sent > 0 && c.messages_sent > 0));

@@ -1,0 +1,434 @@
+//! Offline readiness-polling shim in the style of the other `vendor/`
+//! crates: the small subset of a readiness API an event-driven server
+//! needs, implemented directly over the Linux `epoll` syscalls (no
+//! external crates — the symbols live in libc, which std already links).
+//!
+//! # Model
+//!
+//! A [`Poller`] owns one epoll instance. File descriptors are registered
+//! with a caller-chosen `u64` key and an [`Interest`] (read and/or write
+//! readiness). Registrations default to **oneshot**: after a readiness
+//! event is delivered for a key, that registration is disarmed until the
+//! caller re-arms it with [`Poller::modify`]. Oneshot is what makes a
+//! *shared* poller safe — any number of worker threads can block in
+//! [`Poller::wait`] on the same instance, and the kernel hands each ready
+//! connection to exactly one of them; nobody races on a socket while
+//! another worker is mid-read. Level-triggered (non-oneshot) registration
+//! is available via [`Interest::level`] for fds that are drained fully on
+//! every wakeup (e.g. an eventfd used as a doorbell).
+//!
+//! [`Notify`] is that doorbell: an `eventfd` whose [`Notify::notify`]
+//! makes the poller's fd readable, waking one blocked waiter — used to
+//! kick workers out of `wait` for shutdown or for newly queued work.
+//!
+//! Only Linux is supported (the epidb live runtimes are Linux-hosted);
+//! on other targets [`Poller::new`] returns `Unsupported` so the crate
+//! still compiles everywhere the workspace builds.
+
+use std::io;
+use std::time::Duration;
+
+/// A readiness event delivered by [`Poller::wait`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The key the fd was registered with.
+    pub key: u64,
+    /// The fd is readable (or has an error/hangup condition — those are
+    /// folded into readability so the owner's next read surfaces them).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+}
+
+/// What readiness to watch a registration for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd becomes readable.
+    pub read: bool,
+    /// Wake when the fd becomes writable.
+    pub write: bool,
+    /// Disarm the registration after one delivered event (re-arm with
+    /// [`Poller::modify`]). Defaults to `true` in all constructors.
+    pub oneshot: bool,
+}
+
+impl Interest {
+    /// Readable, oneshot.
+    pub const fn readable() -> Interest {
+        Interest { read: true, write: false, oneshot: true }
+    }
+
+    /// Writable, oneshot.
+    pub const fn writable() -> Interest {
+        Interest { read: false, write: true, oneshot: true }
+    }
+
+    /// Readable and writable, oneshot.
+    pub const fn both() -> Interest {
+        Interest { read: true, write: true, oneshot: true }
+    }
+
+    /// The same interest, level-triggered (stays armed after events).
+    pub const fn level(mut self) -> Interest {
+        self.oneshot = false;
+        self
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    // The epoll and eventfd syscall surface. These symbols are provided by
+    // glibc/musl, which std links unconditionally on Linux; declaring them
+    // here costs no new dependency.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLONESHOT: u32 = 1 << 30;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interest.read {
+            m |= EPOLLIN;
+        }
+        if interest.write {
+            m |= EPOLLOUT;
+        }
+        if interest.oneshot {
+            m |= EPOLLONESHOT;
+        }
+        m
+    }
+
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    // The epoll fd is safely shared across threads; that is its point.
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent { events: mask(interest), data: key };
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn add(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, key, interest)
+        }
+
+        pub fn modify(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, key, interest)
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            const CAP: usize = 256;
+            let mut raw = [EpollEvent { events: 0, data: 0 }; CAP];
+            let timeout_ms = match timeout {
+                // Round up so a 100µs timeout is a 1ms sleep, not a busy spin.
+                Some(t) => t.as_millis().min(i32::MAX as u128).max(1) as i32,
+                None => -1,
+            };
+            let n = loop {
+                match cvt(unsafe {
+                    epoll_wait(self.epfd, raw.as_mut_ptr(), CAP as i32, timeout_ms)
+                }) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            events.clear();
+            for ev in &raw[..n] {
+                let bits = ev.events;
+                events.push(Event {
+                    key: ev.data,
+                    // Errors and hangups are reported as readability: the
+                    // owner's next read returns 0/err and it tears down.
+                    readable: bits & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    pub struct Notify {
+        fd: RawFd,
+    }
+
+    unsafe impl Send for Notify {}
+    unsafe impl Sync for Notify {}
+
+    impl Notify {
+        pub fn new() -> io::Result<Notify> {
+            let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+            Ok(Notify { fd })
+        }
+
+        pub fn fd(&self) -> RawFd {
+            self.fd
+        }
+
+        pub fn notify(&self) {
+            let one = 1u64.to_ne_bytes();
+            // A full counter (EAGAIN) already guarantees a pending wakeup.
+            unsafe { write(self.fd, one.as_ptr(), 8) };
+        }
+
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+        }
+    }
+
+    impl Drop for Notify {
+        fn drop(&mut self) {
+            unsafe { close(self.fd) };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "polling shim: only Linux is supported"))
+    }
+
+    pub struct Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            unsupported()
+        }
+        pub fn add(&self, _fd: i32, _key: u64, _interest: Interest) -> io::Result<()> {
+            unsupported()
+        }
+        pub fn modify(&self, _fd: i32, _key: u64, _interest: Interest) -> io::Result<()> {
+            unsupported()
+        }
+        pub fn delete(&self, _fd: i32) -> io::Result<()> {
+            unsupported()
+        }
+        pub fn wait(&self, _ev: &mut Vec<Event>, _t: Option<Duration>) -> io::Result<usize> {
+            unsupported()
+        }
+    }
+
+    pub struct Notify {}
+
+    impl Notify {
+        pub fn new() -> io::Result<Notify> {
+            unsupported()
+        }
+        pub fn fd(&self) -> i32 {
+            -1
+        }
+        pub fn notify(&self) {}
+        pub fn drain(&self) {}
+    }
+}
+
+/// A readiness poller: one epoll instance shared by any number of waiting
+/// worker threads. See the crate docs for the oneshot re-arm discipline.
+pub struct Poller {
+    inner: sys::Poller,
+}
+
+impl Poller {
+    /// Create a poller.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { inner: sys::Poller::new()? })
+    }
+
+    /// Register `fd` under `key`. The fd must stay open until
+    /// [`Poller::delete`]; the caller keeps ownership.
+    pub fn add(&self, fd: i32, key: u64, interest: Interest) -> io::Result<()> {
+        self.inner.add(fd, key, interest)
+    }
+
+    /// Re-arm (or change the interest of) an existing registration —
+    /// required after every delivered event for oneshot registrations.
+    pub fn modify(&self, fd: i32, key: u64, interest: Interest) -> io::Result<()> {
+        self.inner.modify(fd, key, interest)
+    }
+
+    /// Remove a registration. Safe to call for fds about to be closed.
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        self.inner.delete(fd)
+    }
+
+    /// Block until at least one registered fd is ready or `timeout`
+    /// expires (`None` = wait forever). Ready events replace the contents
+    /// of `events`; the return value is their number (0 = timeout).
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        self.inner.wait(events, timeout)
+    }
+}
+
+/// An eventfd doorbell for waking [`Poller::wait`] callers. Register
+/// [`Notify::fd`] with a reserved key and level-triggered read interest;
+/// a woken worker calls [`Notify::drain`] and re-checks its run state.
+pub struct Notify {
+    inner: sys::Notify,
+}
+
+impl Notify {
+    /// Create the doorbell.
+    pub fn new() -> io::Result<Notify> {
+        Ok(Notify { inner: sys::Notify::new()? })
+    }
+
+    /// The raw fd to register with a [`Poller`].
+    pub fn fd(&self) -> i32 {
+        self.inner.fd()
+    }
+
+    /// Wake one waiter (readiness stays pending until drained).
+    pub fn notify(&self) {
+        self.inner.notify()
+    }
+
+    /// Consume pending wakeups so the doorbell can fire again.
+    pub fn drain(&self) {
+        self.inner.drain()
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    #[test]
+    fn oneshot_readiness_fires_once_until_rearmed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        use std::os::unix::io::AsRawFd;
+        poller.add(server.as_raw_fd(), 7, Interest::readable()).unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+
+        // Without draining or re-arming, the oneshot registration stays
+        // disarmed: no further events even though data is still pending.
+        let n = poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert_eq!(n, 0);
+
+        // Re-arm, and the (level-ready) data fires again.
+        poller.modify(server.as_raw_fd(), 7, Interest::readable()).unwrap();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+
+        let mut s = server;
+        let mut buf = [0u8; 4];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        poller.delete(s.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_a_waiter() {
+        let poller = Poller::new().unwrap();
+        let notify = Notify::new().unwrap();
+        poller.add(notify.fd(), 0, Interest::readable().level()).unwrap();
+
+        let mut events = Vec::new();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap(), 0);
+
+        notify.notify();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert_eq!(events[0].key, 0);
+        notify.drain();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_interest_reports_writable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        use std::os::unix::io::AsRawFd;
+        poller.add(client.as_raw_fd(), 1, Interest::writable()).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].writable);
+    }
+}
