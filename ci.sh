@@ -28,6 +28,9 @@ cargo run --release -q -p epidb-bench --bin perf_report -- \
   --out target/bench_smoke.json
 grep -q '"schema": "epidb-perf-report/v1"' target/bench_smoke.json
 
+echo "== model checker smoke (exhaustive bounded exploration + self-test) =="
+cargo run --release -q -p epidb-bench --bin mc -- --smoke
+
 echo "== chaos soak smoke (seeded, deterministic) =="
 cargo run --release -q -p epidb-bench --bin chaos_soak -- --smoke --seed 42
 

@@ -23,6 +23,29 @@ impl fmt::Display for RouteTarget {
     }
 }
 
+/// One replica-level invariant violation, found by an invariant predicate
+/// (see `epidb-core`'s `paranoid` module). A plain value, not an [`Error`]
+/// variant: invariant checks are *diagnoses*, consumed by paranoid mode
+/// (which panics with the report) and by the model checker (which records
+/// the violating state and minimizes the event trace that reached it) —
+/// they never travel through the protocol's `Result` plumbing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InvariantViolation {
+    /// The replica the violation was found at.
+    pub node: NodeId,
+    /// Stable kebab-case name of the violated invariant (e.g.
+    /// `"dbvv-sum"`).
+    pub check: &'static str,
+    /// Human-readable specifics (which item / origin / values).
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [{}] {}", self.node, self.check, self.detail)
+    }
+}
+
 /// Errors surfaced by the replication machinery.
 ///
 /// Most protocol-internal situations (older copy received, identical

@@ -24,7 +24,7 @@
 //! conflict handling, intra-node propagation) is exactly the whole-item
 //! protocol, so the §2.1 correctness criteria carry over unchanged.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use epidb_common::costs::wire;
 use epidb_common::trace::{OrdTag, TraceStep};
@@ -155,11 +155,13 @@ impl DeltaPayload {
 }
 
 /// The recipient's evaluation of an offer, carried into the apply step.
+/// `refused` is a `BTreeSet` so anything derived from it (journaled
+/// mutations, state fingerprints) sees a deterministic order.
 #[derive(Clone, Debug, Default)]
 pub struct OfferEvaluation {
-    tails: Vec<Vec<LogRecord>>,
-    refused: HashSet<ItemId>,
-    conflicts: usize,
+    pub(crate) tails: Vec<Vec<LogRecord>>,
+    pub(crate) refused: BTreeSet<ItemId>,
+    pub(crate) conflicts: usize,
 }
 
 impl OfferEvaluation {

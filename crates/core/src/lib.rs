@@ -53,6 +53,7 @@ pub mod codec;
 pub mod delta;
 pub mod engine;
 pub mod journal;
+pub mod mc_state;
 pub mod messages;
 pub mod oob;
 pub mod opcache;
@@ -61,6 +62,7 @@ pub mod policy;
 pub mod propagation;
 pub mod replica;
 pub mod retry;
+pub mod rounds;
 pub mod server;
 pub mod shard;
 pub mod snapshot;
@@ -77,6 +79,7 @@ pub use engine::{
     ReplicaHost, ShardTransport, SyncMode, Transport,
 };
 pub use journal::{Mutation, MutationSink, SinkHandle};
+pub use mc_state::{FnvHasher, McShardedSnapshot, McSnapshot};
 pub use messages::{OobReply, PropagationPayload, PropagationResponse, ShippedItem};
 pub use oob::{oob_copy, OobOutcome};
 pub use opcache::{CachedOp, OpCache};
@@ -85,6 +88,7 @@ pub use policy::ConflictPolicy;
 pub use propagation::{pull, AcceptOutcome, PullOutcome};
 pub use replica::{AuxItem, ProtocolCounters, Replica};
 pub use retry::RetryPolicy;
+pub use rounds::{Round, RoundOutcome, RoundStep};
 pub use server::{pull_server, pull_server_delta, LocalServerTransport, Server, ServerPullOutcome};
 pub use shard::{LocalShardedTransport, ShardMap, ShardedNode, ShardedOob};
 pub use tokens::TokenManager;

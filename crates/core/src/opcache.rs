@@ -18,7 +18,7 @@
 //! across all items (an evicted prefix just means falling back to
 //! whole-item shipping for the affected item).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use epidb_common::ItemId;
 use epidb_store::UpdateOp;
@@ -37,7 +37,8 @@ pub struct CachedOp {
 /// Bounded per-item operation history.
 #[derive(Clone, Debug, Default)]
 pub struct OpCache {
-    per_item: HashMap<ItemId, VecDeque<CachedOp>>,
+    /// A `BTreeMap` so fingerprinting walks the chains in item order.
+    per_item: BTreeMap<ItemId, VecDeque<CachedOp>>,
     /// Global arrival order, for oldest-first eviction.
     order: VecDeque<ItemId>,
     payload_bytes: usize,
@@ -73,6 +74,17 @@ impl OpCache {
     /// Retained operation payload bytes.
     pub fn payload_bytes(&self) -> usize {
         self.payload_bytes
+    }
+
+    /// The configured payload-byte budget (0 = disabled).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Every retained chain, in item order (deterministic — used by state
+    /// fingerprinting).
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, impl Iterator<Item = &CachedOp>)> {
+        self.per_item.iter().map(|(&item, q)| (item, q.iter()))
     }
 
     /// Record an operation just applied to the regular copy of `item`

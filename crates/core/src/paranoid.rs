@@ -1,10 +1,21 @@
 //! Paranoid mode: an always-available replica-level invariant auditor.
 //!
 //! The protocol's correctness rests on a small set of state invariants
-//! (DESIGN §4, §7). The [`ReplicaAuditor`] re-derives each of them from
-//! first principles against a replica's live state, so a test — or a
-//! replica running with [`Replica::set_paranoid`] — can verify after *any*
-//! protocol step that nothing has silently drifted:
+//! (DESIGN §4, §7). Each is implemented as a **pure, side-effect-free
+//! predicate** `check_*(&Replica) -> Result<(), InvariantViolation>` that
+//! re-derives the invariant from first principles against a replica's live
+//! state. Two consumers share them:
+//!
+//! * **paranoid mode** ([`Replica::set_paranoid`]) runs all six after
+//!   every protocol step via [`ReplicaAuditor::audit`] and panics with the
+//!   collected report plus the structured protocol trace
+//!   ([`epidb_common::TraceRing`]), whose last event names the offending
+//!   step;
+//! * the **model checker** (`epidb-mc`) evaluates them at every explored
+//!   state and, on a violation, minimizes the event schedule that reached
+//!   it — which is why the predicates must not panic or mutate.
+//!
+//! The invariants:
 //!
 //! 1. **DBVV = Σ IVV** — the database version vector equals the
 //!    component-wise sum of all regular item version vectors (the defining
@@ -27,17 +38,12 @@
 //!    crash recovery, because conflict reports are ephemeral: a replica
 //!    restored from a snapshot taken mid-conflict holds frozen auxiliary
 //!    state with a reset conflict counter.
-//!
-//! When a paranoid replica's post-step audit finds a violation it panics
-//! with the audit report **and** the structured protocol trace
-//! ([`epidb_common::TraceRing`]), whose last event names the offending
-//! step.
 
 use std::fmt;
 
 use epidb_vv::VvOrd;
 
-use epidb_common::NodeId;
+use epidb_common::{InvariantViolation, NodeId};
 
 use crate::replica::Replica;
 
@@ -81,12 +87,138 @@ impl AuditCheck {
         AuditCheck::AuxStructure,
         AuditCheck::AuxDominance,
     ];
+
+    /// Run this one check against `replica`, returning the first violation
+    /// found (if any).
+    pub fn run(self, replica: &Replica) -> Result<(), InvariantViolation> {
+        match self {
+            AuditCheck::DbvvSum => check_dbvv_sum(replica),
+            AuditCheck::LogStructure => check_log_structure(replica),
+            AuditCheck::MMonotonicity => check_m_monotonicity(replica),
+            AuditCheck::SelectionFlags => check_selection_flags(replica),
+            AuditCheck::AuxStructure => check_aux_structure(replica),
+            AuditCheck::AuxDominance => check_aux_dominance(replica),
+        }
+    }
 }
 
 impl fmt::Display for AuditCheck {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
+}
+
+fn violation(replica: &Replica, check: AuditCheck, detail: String) -> InvariantViolation {
+    InvariantViolation { node: replica.id, check: check.name(), detail }
+}
+
+/// Invariant 1: the DBVV equals the component-wise sum of all regular item
+/// IVVs (§4.1, maintenance rules 1–3).
+pub fn check_dbvv_sum(replica: &Replica) -> Result<(), InvariantViolation> {
+    let sum = replica.store.ivv_sum();
+    if replica.dbvv.as_vector() != &sum {
+        return Err(violation(
+            replica,
+            AuditCheck::DbvvSum,
+            format!("{} != sum of regular IVVs {}", replica.dbvv, sum),
+        ));
+    }
+    Ok(())
+}
+
+/// Invariant 2: the log vector's slot/pointer structure is intact (§4.2).
+pub fn check_log_structure(replica: &Replica) -> Result<(), InvariantViolation> {
+    replica.log.check_invariants().map_err(|e| violation(replica, AuditCheck::LogStructure, e))
+}
+
+/// Invariant 3: within each origin's log component, records are strictly
+/// increasing in `m` and retain at most one record per item.
+pub fn check_m_monotonicity(replica: &Replica) -> Result<(), InvariantViolation> {
+    for j in NodeId::all(replica.n_nodes()) {
+        let mut prev_m: Option<u64> = None;
+        let mut seen = std::collections::HashSet::new();
+        for rec in replica.log.iter_component(j) {
+            if let Some(p) = prev_m {
+                if rec.m <= p {
+                    return Err(violation(
+                        replica,
+                        AuditCheck::MMonotonicity,
+                        format!(
+                            "log component {j}: record ({}, m={}) follows m={p}",
+                            rec.item, rec.m
+                        ),
+                    ));
+                }
+            }
+            prev_m = Some(rec.m);
+            if !seen.insert(rec.item) {
+                return Err(violation(
+                    replica,
+                    AuditCheck::MMonotonicity,
+                    format!("log component {j}: item {} retained more than once", rec.item),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Invariant 4: the `IsSelected` scratch flags are all clear between
+/// propagations (§6).
+pub fn check_selection_flags(replica: &Replica) -> Result<(), InvariantViolation> {
+    if let Some(idx) = replica.is_selected.iter().position(|&f| f) {
+        return Err(violation(
+            replica,
+            AuditCheck::SelectionFlags,
+            format!("IsSelected flag left set for item index {idx}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Invariant 5: the auxiliary log's invariants hold and every auxiliary log
+/// record belongs to an item with an auxiliary copy (§4.3–4.4).
+pub fn check_aux_structure(replica: &Replica) -> Result<(), InvariantViolation> {
+    replica
+        .aux_log
+        .check_invariants()
+        .map_err(|e| violation(replica, AuditCheck::AuxStructure, e))?;
+    for rec in replica.aux_log.iter() {
+        if !replica.aux_items.contains_key(&rec.item) {
+            return Err(violation(
+                replica,
+                AuditCheck::AuxStructure,
+                format!("auxiliary log holds records for {} without an auxiliary copy", rec.item),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Invariant 6: while this replica has never declared a conflict, no
+/// auxiliary copy is older than the regular copy (§4.4, §5.2). Vacuously
+/// true once a conflict was declared or after crash recovery — a declared
+/// conflict legitimately freezes auxiliary state, and conflict reports are
+/// ephemeral across restarts.
+pub fn check_aux_dominance(replica: &Replica) -> Result<(), InvariantViolation> {
+    if replica.costs.conflicts_detected != 0 || replica.restored {
+        return Ok(());
+    }
+    for (&x, aux) in &replica.aux_items {
+        let reg = &replica.store.get(x).expect("aux item exists in store").ivv;
+        if reg.compare(&aux.ivv) == VvOrd::Dominates {
+            return Err(violation(
+                replica,
+                AuditCheck::AuxDominance,
+                format!(
+                    "auxiliary copy of {x} (IVV {}) is older than the regular copy \
+                     (IVV {}) with no conflict declared",
+                    aux.ivv, reg
+                ),
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// One invariant violation found by an audit.
@@ -138,98 +270,15 @@ impl ParanoidReport {
 pub struct ReplicaAuditor;
 
 impl ReplicaAuditor {
-    /// Run every check against `replica` and collect the violations.
+    /// Run every check against `replica` and collect the violations (the
+    /// first violation of each check, in [`AuditCheck::ALL`] order).
     pub fn audit(replica: &Replica) -> ParanoidReport {
         let mut violations = Vec::new();
-
-        // 1. DBVV = Σ IVV.
-        let sum = replica.store.ivv_sum();
-        if replica.dbvv.as_vector() != &sum {
-            violations.push(AuditViolation {
-                check: AuditCheck::DbvvSum,
-                detail: format!("{} != sum of regular IVVs {}", replica.dbvv, sum),
-            });
-        }
-
-        // 2. Log structural invariants.
-        if let Err(e) = replica.log.check_invariants() {
-            violations.push(AuditViolation { check: AuditCheck::LogStructure, detail: e });
-        }
-
-        // 3. Per-origin m-monotonicity and latest-per-item retention.
-        for j in NodeId::all(replica.n_nodes()) {
-            let mut prev_m: Option<u64> = None;
-            let mut seen = std::collections::HashSet::new();
-            for rec in replica.log.iter_component(j) {
-                if let Some(p) = prev_m {
-                    if rec.m <= p {
-                        violations.push(AuditViolation {
-                            check: AuditCheck::MMonotonicity,
-                            detail: format!(
-                                "log component {j}: record ({}, m={}) follows m={p}",
-                                rec.item, rec.m
-                            ),
-                        });
-                    }
-                }
-                prev_m = Some(rec.m);
-                if !seen.insert(rec.item) {
-                    violations.push(AuditViolation {
-                        check: AuditCheck::MMonotonicity,
-                        detail: format!(
-                            "log component {j}: item {} retained more than once",
-                            rec.item
-                        ),
-                    });
-                }
+        for check in AuditCheck::ALL {
+            if let Err(v) = check.run(replica) {
+                violations.push(AuditViolation { check, detail: v.detail });
             }
         }
-
-        // 4. IsSelected flags all clear.
-        if let Some(idx) = replica.is_selected.iter().position(|&f| f) {
-            violations.push(AuditViolation {
-                check: AuditCheck::SelectionFlags,
-                detail: format!("IsSelected flag left set for item index {idx}"),
-            });
-        }
-
-        // 5. Aux-log structure and aux-log/aux-copy agreement.
-        if let Err(e) = replica.aux_log.check_invariants() {
-            violations.push(AuditViolation { check: AuditCheck::AuxStructure, detail: e });
-        }
-        for rec in replica.aux_log.iter() {
-            if !replica.aux_items.contains_key(&rec.item) {
-                violations.push(AuditViolation {
-                    check: AuditCheck::AuxStructure,
-                    detail: format!(
-                        "auxiliary log holds records for {} without an auxiliary copy",
-                        rec.item
-                    ),
-                });
-            }
-        }
-
-        // 6. Aux dominance — only meaningful while this replica has never
-        // seen a conflict: a declared conflict can legitimately freeze an
-        // auxiliary copy behind the regular one. Conflict detection is
-        // ephemeral state, so a replica recovered from a snapshot may hold
-        // frozen aux state with a zero counter — skip the check there too.
-        if replica.costs.conflicts_detected == 0 && !replica.restored {
-            for (&x, aux) in &replica.aux_items {
-                let reg = &replica.store.get(x).expect("aux item exists in store").ivv;
-                if reg.compare(&aux.ivv) == VvOrd::Dominates {
-                    violations.push(AuditViolation {
-                        check: AuditCheck::AuxDominance,
-                        detail: format!(
-                            "auxiliary copy of {x} (IVV {}) is older than the regular copy \
-                             (IVV {}) with no conflict declared",
-                            aux.ivv, reg
-                        ),
-                    });
-                }
-            }
-        }
-
         ParanoidReport { node: replica.id, violations }
     }
 }
@@ -258,6 +307,24 @@ mod tests {
         assert!(!report.is_clean());
         assert_eq!(report.count(AuditCheck::DbvvSum), 1);
         assert!(report.summary().contains("dbvv-sum"));
+    }
+
+    #[test]
+    fn predicates_are_pure_and_typed() {
+        let mut r = Replica::new(NodeId(1), 3, 8);
+        r.update(ItemId(0), UpdateOp::set(&b"v"[..])).unwrap();
+        for check in AuditCheck::ALL {
+            assert!(check.run(&r).is_ok(), "{check} failed on a clean replica");
+        }
+        r.debug_corrupt_dbvv();
+        let before = format!("{:?}", ReplicaAuditor::audit(&r).summary());
+        let v = check_dbvv_sum(&r).unwrap_err();
+        assert_eq!(v.node, NodeId(1));
+        assert_eq!(v.check, "dbvv-sum");
+        assert!(v.to_string().starts_with("n1: [dbvv-sum]"), "{v}");
+        // Running a predicate must not mutate the replica.
+        let after = format!("{:?}", ReplicaAuditor::audit(&r).summary());
+        assert_eq!(before, after);
     }
 
     #[test]

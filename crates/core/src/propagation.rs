@@ -223,6 +223,23 @@ impl Replica {
                         offending,
                     });
                     match self.policy {
+                        ConflictPolicy::Report if self.debug_adopt_conflicts => {
+                            // Seeded mutant (model-checker self-test, see
+                            // `Replica::debug_break_conflict_adopt`): adopt
+                            // the concurrent copy with no DBVV absorb,
+                            // breaking maintenance rule 3.
+                            self.store.adopt(x, shipped.value.into(), shipped.ivv)?;
+                            self.op_cache.clear_item(x);
+                            self.costs.items_copied += 1;
+                            outcome.copied.push(x);
+                            self.trace_record(
+                                TraceStep::AcceptItem,
+                                Some(x),
+                                Some(source),
+                                OrdTag::Concurrent,
+                                0,
+                            );
+                        }
                         ConflictPolicy::Report => {
                             // Strip this item's records from the tail
                             // vector (Fig. 3) and refuse the copy.

@@ -1,6 +1,6 @@
 //! The replica state and the user-update path (§4, §5.3).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use epidb_common::trace::{OrdTag, TraceRing, TraceStep};
 use epidb_common::{ConflictEvent, Costs, Error, ItemId, NodeId, Result};
@@ -48,7 +48,9 @@ pub struct Replica {
     pub(crate) dbvv: DbVersionVector,
     pub(crate) log: LogVector,
     /// Auxiliary copies, keyed by item; absent key = no out-of-bound copy.
-    pub(crate) aux_items: HashMap<ItemId, AuxItem>,
+    /// A `BTreeMap` so every state walk (snapshots, fingerprints, audits)
+    /// sees a deterministic item order.
+    pub(crate) aux_items: BTreeMap<ItemId, AuxItem>,
     pub(crate) aux_log: AuxLog,
     /// The `IsSelected` flags used to compute `S` in O(m) (§6). Kept
     /// all-false between propagation calls.
@@ -81,6 +83,12 @@ pub struct Replica {
     /// Write-ahead journal sink (see [`crate::journal`]). `None` (a single
     /// branch per mutation) unless a durability layer attached one.
     pub(crate) sink: Option<crate::journal::SinkHandle>,
+    /// Seeded-mutant switch for the model checker's self-test: when set,
+    /// a conflicting (concurrent) copy received under
+    /// [`ConflictPolicy::Report`] is **adopted** instead of refused —
+    /// without the DBVV absorb — deliberately breaking DBVV maintenance
+    /// rule 3. Never set outside `debug_break_conflict_adopt`.
+    pub(crate) debug_adopt_conflicts: bool,
     /// Responder-side byte budget for one delta data frame: serving a
     /// `DeltaFetch` stops adding items once the accumulated frame reaches
     /// this size (always serving at least one item, for progress). The
@@ -112,7 +120,7 @@ impl Replica {
             store: ItemStore::new(n_nodes, n_items),
             dbvv: DbVersionVector::zero(n_nodes),
             log: LogVector::new(n_nodes, n_items),
-            aux_items: HashMap::new(),
+            aux_items: BTreeMap::new(),
             aux_log: AuxLog::new(),
             is_selected: vec![false; n_items],
             policy,
@@ -125,6 +133,7 @@ impl Replica {
             audits_run: 0,
             restored: false,
             sink: None,
+            debug_adopt_conflicts: false,
             delta_frame_budget: u64::MAX,
         }
     }
@@ -348,6 +357,13 @@ impl Replica {
         self.audits_run
     }
 
+    /// True if this replica was recovered from a snapshot (conflict
+    /// reports are ephemeral, so some invariants are vacuous post-restore;
+    /// see [`crate::paranoid::check_aux_dominance`]).
+    pub fn is_restored(&self) -> bool {
+        self.restored
+    }
+
     /// Audit this replica's invariants right now, regardless of the
     /// paranoid flag, and return the findings without panicking.
     pub fn audit(&self) -> crate::paranoid::ParanoidReport {
@@ -360,6 +376,20 @@ impl Replica {
     #[doc(hidden)]
     pub fn debug_corrupt_dbvv(&mut self) {
         let _ = self.dbvv.record_local_update(self.id);
+    }
+
+    /// Test hook: seed the protocol **mutant** the model checker's
+    /// self-test must catch. With the switch on, a concurrent copy
+    /// received under [`ConflictPolicy::Report`] is adopted instead of
+    /// refused, *without* the DBVV absorb — a plausible-looking conflict
+    /// rule that silently breaks DBVV maintenance rule 3 (§4.1). The bug
+    /// only fires on a genuine conflicting interleaving (two concurrent
+    /// updates plus a propagation that delivers one onto the other), so a
+    /// checker must explore several events deep to expose it. Never call
+    /// it outside checker self-tests.
+    #[doc(hidden)]
+    pub fn debug_break_conflict_adopt(&mut self, on: bool) {
+        self.debug_adopt_conflicts = on;
     }
 
     /// Internal: record one trace event (single branch when disabled).

@@ -1,0 +1,432 @@
+//! Step-wise (non-blocking) protocol rounds: the initiator side of pull,
+//! delta-pull, and out-of-bound copy as an explicit state machine.
+//!
+//! [`Engine::pull`](crate::Engine::pull) and friends drive a whole round
+//! to completion inside one call — natural for the blocking runtimes, but
+//! opaque to anything that needs to *interleave* rounds: the model checker
+//! must be able to stop a round between messages, fork the system, deliver
+//! a different message first, or crash a node mid-round. A [`Round`] is
+//! the same protocol with the blocking loop turned inside out:
+//!
+//! ```text
+//! let (mut round, req) = Round::start_delta(&mut a, peer, &budget);
+//! // ... req travels, the responder runs Engine::handle, resp returns ...
+//! match round.on_response(&mut a, resp)? {
+//!     RoundStep::Send(next) => { /* another message in flight */ }
+//!     RoundStep::Done(outcome) => { /* round complete */ }
+//! }
+//! ```
+//!
+//! The machine mirrors the engine's drivers *exactly* — the same messages
+//! in the same order with the same charging (initiator charges its
+//! requests at send time; the responder charges responses inside
+//! [`Engine::handle`](crate::Engine::handle)) — so a schedule driven
+//! step-wise produces byte-identical [`Costs`](epidb_common::Costs) and
+//! state fingerprints to the same schedule driven by the blocking engine.
+//! The parity tests at the bottom pin that equivalence; it is what lets
+//! the model checker's conclusions transfer to every production runtime.
+//!
+//! Retries are deliberately *not* part of the machine: a transport failure
+//! aborts the round (the caller may start a fresh one — rounds are
+//! idempotent). The model checker injects losses as first-class events
+//! instead of hiding them behind a retry loop. This is also the shape an
+//! async gossip initiator needs (the ROADMAP's "async initiator" item):
+//! one `Round` per in-flight peer exchange, resumed as responses land.
+
+use epidb_common::{Error, ItemId, NodeId, Result};
+use epidb_vv::VersionVector;
+
+use crate::codec::{put_log_record, put_op, put_vv, Writer};
+use crate::delta::{DeltaItem, DeltaOfferResponse, DeltaPayload, DeltaRequest, OfferEvaluation};
+use crate::engine::{unexpected, GossipBudget, ProtocolRequest, ProtocolResponse};
+use crate::mc_state::FnvHasher;
+use crate::messages::PropagationResponse;
+use crate::oob::OobOutcome;
+use crate::propagation::PullOutcome;
+use crate::replica::Replica;
+
+/// What the initiator must do next after feeding a response into
+/// [`Round::on_response`].
+#[derive(Debug)]
+pub enum RoundStep {
+    /// Another request is in flight — deliver it to the responder and feed
+    /// the response back in.
+    Send(ProtocolRequest),
+    /// The round completed.
+    Done(RoundOutcome),
+}
+
+/// The completed round's result.
+#[derive(Debug)]
+pub enum RoundOutcome {
+    /// A pull or delta-pull round finished.
+    Pull(PullOutcome),
+    /// An out-of-bound copy finished.
+    Oob(OobOutcome),
+}
+
+#[derive(Clone, Debug)]
+enum State {
+    /// Waiting for message 2 of the whole-item pull.
+    AwaitPull,
+    /// Waiting for message 2 of the delta pull (the offer).
+    AwaitOffer,
+    /// Waiting for a delta data frame (message 4, possibly chunked).
+    AwaitDelta {
+        /// Item ids of the in-flight fetch chunk (for under-served
+        /// re-requests).
+        ids: Vec<ItemId>,
+        /// Wants not yet put on the wire.
+        remaining: Vec<(ItemId, VersionVector)>,
+        /// Data collected so far, applied in one `apply_delta` at the end.
+        got: Vec<DeltaItem>,
+        /// The offer evaluation, carried into the apply step.
+        eval: OfferEvaluation,
+    },
+    /// Waiting for the out-of-bound reply.
+    AwaitOob {
+        /// The requested item.
+        item: ItemId,
+    },
+    /// Finished (or aborted by an error).
+    Done,
+}
+
+/// One in-flight initiator-side protocol round. `Clone` so the model
+/// checker can fork a system with rounds mid-flight.
+#[derive(Clone, Debug)]
+pub struct Round {
+    peer: NodeId,
+    /// Fetch-chunk cap ([`GossipBudget::max_frame_items`], min 1).
+    cap: usize,
+    state: State,
+}
+
+impl Round {
+    /// Start a whole-item pull (§5.1) from `initiator` toward `peer`.
+    /// Charges the initiator for message 1 and returns it for delivery.
+    pub fn start_pull(initiator: &mut Replica, peer: NodeId) -> (Round, ProtocolRequest) {
+        let req = ProtocolRequest::Pull { from: initiator.id(), dbvv: initiator.dbvv().clone() };
+        initiator.charge_message(req.control_bytes(), req.payload_bytes());
+        (Round { peer, cap: usize::MAX, state: State::AwaitPull }, req)
+    }
+
+    /// Start a delta-mode pull (messages 1–4) from `initiator` toward
+    /// `peer`, chunking fetches under `budget`.
+    pub fn start_delta(
+        initiator: &mut Replica,
+        peer: NodeId,
+        budget: &GossipBudget,
+    ) -> (Round, ProtocolRequest) {
+        let req =
+            ProtocolRequest::DeltaPull { from: initiator.id(), dbvv: initiator.dbvv().clone() };
+        initiator.charge_message(req.control_bytes(), req.payload_bytes());
+        (Round { peer, cap: budget.max_frame_items.max(1), state: State::AwaitOffer }, req)
+    }
+
+    /// Start an out-of-bound copy of `item` (§5.2) from `initiator` toward
+    /// `peer`.
+    pub fn start_oob(
+        initiator: &mut Replica,
+        peer: NodeId,
+        item: ItemId,
+    ) -> (Round, ProtocolRequest) {
+        let req = ProtocolRequest::Oob { from: initiator.id(), item };
+        initiator.charge_message(req.control_bytes(), req.payload_bytes());
+        (Round { peer, cap: usize::MAX, state: State::AwaitOob { item } }, req)
+    }
+
+    /// The responder this round is exchanging with.
+    pub fn peer(&self) -> NodeId {
+        self.peer
+    }
+
+    /// True once the round has completed or aborted.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+
+    /// Feed the responder's reply to the last sent request into the
+    /// machine. Returns the next request to deliver or the round's
+    /// outcome. On `Err` the round is aborted (state becomes done); the
+    /// error is the same the blocking engine would surface.
+    pub fn on_response(
+        &mut self,
+        initiator: &mut Replica,
+        resp: ProtocolResponse,
+    ) -> Result<RoundStep> {
+        let state = std::mem::replace(&mut self.state, State::Done);
+        match (state, resp) {
+            (State::AwaitPull, ProtocolResponse::Pull(PropagationResponse::YouAreCurrent)) => {
+                Ok(RoundStep::Done(RoundOutcome::Pull(PullOutcome::UpToDate)))
+            }
+            (State::AwaitPull, ProtocolResponse::Pull(PropagationResponse::Payload(payload))) => {
+                let outcome = initiator.accept_propagation(self.peer, payload)?;
+                Ok(RoundStep::Done(RoundOutcome::Pull(PullOutcome::Propagated(outcome))))
+            }
+            (State::AwaitPull, other) => Err(unexpected("pull", &other)),
+
+            (
+                State::AwaitOffer,
+                ProtocolResponse::DeltaOffer(DeltaOfferResponse::YouAreCurrent),
+            ) => Ok(RoundStep::Done(RoundOutcome::Pull(PullOutcome::UpToDate))),
+            (State::AwaitOffer, ProtocolResponse::DeltaOffer(DeltaOfferResponse::Offer(offer))) => {
+                let (wants, eval) = initiator.evaluate_delta_offer(self.peer, offer)?;
+                // The engine always sends at least one fetch, even for an
+                // empty want-list — the exchange shape must match.
+                Ok(RoundStep::Send(self.next_fetch(initiator, wants.wants, Vec::new(), eval)))
+            }
+            (State::AwaitOffer, other) => Err(unexpected("delta-pull", &other)),
+
+            (
+                State::AwaitDelta { ids, mut remaining, mut got, eval },
+                ProtocolResponse::DeltaPayload(payload),
+            ) => {
+                let take = ids.len();
+                let served = payload.items.len().min(take);
+                if served == 0 && take > 0 {
+                    return Err(Error::Network("delta fetch made no progress".into()));
+                }
+                if served < take {
+                    // Under-served suffix: re-derive the IVVs from the
+                    // store (nothing has been applied yet, so they are
+                    // stable) and put them back at the head of the queue.
+                    let mut unserved = ids[served..]
+                        .iter()
+                        .map(|&x| Ok((x, initiator.store.get(x)?.ivv.clone())))
+                        .collect::<Result<Vec<_>>>()?;
+                    unserved.append(&mut remaining);
+                    remaining = unserved;
+                }
+                got.extend(payload.items);
+                if remaining.is_empty() {
+                    let outcome =
+                        initiator.apply_delta(self.peer, DeltaPayload { items: got }, eval)?;
+                    Ok(RoundStep::Done(RoundOutcome::Pull(PullOutcome::Propagated(outcome))))
+                } else {
+                    Ok(RoundStep::Send(self.next_fetch(initiator, remaining, got, eval)))
+                }
+            }
+            (State::AwaitDelta { .. }, other) => Err(unexpected("delta-fetch", &other)),
+
+            (State::AwaitOob { .. }, ProtocolResponse::Oob(reply)) => {
+                let outcome = initiator.accept_oob(self.peer, reply)?;
+                Ok(RoundStep::Done(RoundOutcome::Oob(outcome)))
+            }
+            (State::AwaitOob { .. }, other) => Err(unexpected("oob", &other)),
+
+            (State::Done, _) => {
+                Err(Error::Network("response delivered to a completed round".into()))
+            }
+        }
+    }
+
+    /// Carve the next `cap`-sized chunk off the want-list, charge and
+    /// build its `DeltaFetch`, and park the rest in the state. Mirrors the
+    /// engine's chunk loop: the chunk is *moved* into the frame, only the
+    /// ids are kept.
+    fn next_fetch(
+        &mut self,
+        initiator: &mut Replica,
+        mut remaining: Vec<(ItemId, VersionVector)>,
+        got: Vec<DeltaItem>,
+        eval: OfferEvaluation,
+    ) -> ProtocolRequest {
+        let take = remaining.len().min(self.cap);
+        let rest = remaining.split_off(take);
+        let chunk = std::mem::replace(&mut remaining, rest);
+        let ids: Vec<ItemId> = chunk.iter().map(|(x, _)| *x).collect();
+        let fetch = ProtocolRequest::DeltaFetch {
+            from: initiator.id(),
+            wants: DeltaRequest { wants: chunk },
+        };
+        initiator.charge_message(fetch.control_bytes(), fetch.payload_bytes());
+        self.state = State::AwaitDelta { ids, remaining, got, eval };
+        fetch
+    }
+
+    /// Absorb this round's full state into a fingerprint hasher, via the
+    /// deterministic codec encoding — two rounds hash identically iff a
+    /// future schedule cannot distinguish them.
+    pub fn mc_fingerprint(&self, h: &mut FnvHasher) {
+        h.write_u64(self.peer.index() as u64);
+        h.write_u64(self.cap as u64);
+        let mut w = Writer::new();
+        match &self.state {
+            State::AwaitPull => w.u8(0),
+            State::AwaitOffer => w.u8(1),
+            State::AwaitDelta { ids, remaining, got, eval } => {
+                w.u8(2);
+                w.u32(ids.len() as u32);
+                for x in ids {
+                    w.u32(x.0);
+                }
+                w.u32(remaining.len() as u32);
+                for (x, ivv) in remaining {
+                    w.u32(x.0);
+                    put_vv(&mut w, ivv);
+                }
+                w.u32(got.len() as u32);
+                for item in got {
+                    match item {
+                        DeltaItem::Ops { item, ops, final_ivv } => {
+                            w.u8(0);
+                            w.u32(item.0);
+                            w.u32(ops.len() as u32);
+                            for c in ops {
+                                put_vv(&mut w, &c.pre_vv);
+                                put_op(&mut w, &c.op);
+                            }
+                            put_vv(&mut w, final_ivv);
+                        }
+                        DeltaItem::Whole(s) => {
+                            w.u8(1);
+                            w.u32(s.item.0);
+                            w.value(&s.value);
+                            put_vv(&mut w, &s.ivv);
+                        }
+                    }
+                }
+                w.u32(eval.tails.len() as u32);
+                for tail in &eval.tails {
+                    w.u32(tail.len() as u32);
+                    for rec in tail {
+                        put_log_record(&mut w, rec);
+                    }
+                }
+                w.u32(eval.refused.len() as u32);
+                for x in &eval.refused {
+                    w.u32(x.0);
+                }
+                w.u32(eval.conflicts as u32);
+            }
+            State::AwaitOob { item } => {
+                w.u8(3);
+                w.u32(item.0);
+            }
+            State::Done => w.u8(4),
+        }
+        h.write(&w.into_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, LocalTransport};
+    use epidb_store::UpdateOp;
+
+    /// Drive one round step-wise against `Engine::handle` on the
+    /// responder, exactly as the model checker does.
+    fn drive(
+        initiator: &mut Replica,
+        responder: &mut Replica,
+        (mut round, first): (Round, ProtocolRequest),
+    ) -> Result<RoundOutcome> {
+        let mut req = first;
+        loop {
+            let resp = Engine::handle(responder, req)?;
+            match round.on_response(initiator, resp)? {
+                RoundStep::Send(next) => req = next,
+                RoundStep::Done(outcome) => return Ok(outcome),
+            }
+        }
+    }
+
+    fn seeded_pair(delta: bool) -> (Replica, Replica) {
+        let mut a = Replica::new(NodeId(0), 2, 10);
+        let mut b = Replica::new(NodeId(1), 2, 10);
+        if delta {
+            a.enable_delta(4096);
+            b.enable_delta(4096);
+        }
+        for i in 0..6u32 {
+            b.update(ItemId(i), UpdateOp::set(vec![i as u8; 12])).unwrap();
+        }
+        b.update(ItemId(1), UpdateOp::append(&b"+x"[..])).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn stepwise_pull_matches_engine_exactly() {
+        let (a0, b0) = seeded_pair(false);
+
+        let (mut ae, mut be) = (a0.clone(), b0.clone());
+        Engine::pull(&mut ae, &mut LocalTransport::new(&mut be)).unwrap();
+
+        let (mut ar, mut br) = (a0, b0);
+        let start = Round::start_pull(&mut ar, NodeId(1));
+        let out = drive(&mut ar, &mut br, start).unwrap();
+        assert!(matches!(out, RoundOutcome::Pull(PullOutcome::Propagated(_))));
+
+        assert_eq!(ae.costs(), ar.costs(), "initiator costs diverged");
+        assert_eq!(be.costs(), br.costs(), "responder costs diverged");
+        assert_eq!(ae.fingerprint(), ar.fingerprint());
+        assert_eq!(be.fingerprint(), br.fingerprint());
+    }
+
+    #[test]
+    fn stepwise_delta_matches_engine_exactly() {
+        // A chunked budget exercises the multi-fetch path.
+        for budget in [GossipBudget::UNBOUNDED, GossipBudget::per_frame(2)] {
+            let (a0, b0) = seeded_pair(true);
+
+            let (mut ae, mut be) = (a0.clone(), b0.clone());
+            Engine::pull_delta_budgeted(
+                &mut ae,
+                &mut LocalTransport::new(&mut be),
+                &crate::RetryPolicy::none(),
+                &budget,
+            )
+            .unwrap();
+
+            let (mut ar, mut br) = (a0, b0);
+            let start = Round::start_delta(&mut ar, NodeId(1), &budget);
+            let out = drive(&mut ar, &mut br, start).unwrap();
+            assert!(matches!(out, RoundOutcome::Pull(PullOutcome::Propagated(_))));
+
+            assert_eq!(ae.costs(), ar.costs(), "initiator costs diverged");
+            assert_eq!(be.costs(), br.costs(), "responder costs diverged");
+            assert_eq!(ae.fingerprint(), ar.fingerprint());
+            assert_eq!(be.fingerprint(), br.fingerprint());
+        }
+    }
+
+    #[test]
+    fn stepwise_uptodate_and_oob_match_engine() {
+        let (a0, b0) = seeded_pair(false);
+
+        // Up-to-date pull: b pulls from a, which has nothing for it.
+        let (mut be, mut ae) = (b0.clone(), a0.clone());
+        Engine::pull(&mut be, &mut LocalTransport::new(&mut ae)).unwrap();
+        let (mut br, mut ar) = (b0.clone(), a0.clone());
+        let start = Round::start_pull(&mut br, NodeId(0));
+        let out = drive(&mut br, &mut ar, start).unwrap();
+        assert!(matches!(out, RoundOutcome::Pull(PullOutcome::UpToDate)));
+        assert_eq!(be.costs(), br.costs());
+        assert_eq!(ae.costs(), ar.costs());
+
+        // OOB copy of one item.
+        let (mut ae, mut be) = (a0.clone(), b0.clone());
+        Engine::oob(&mut ae, &mut LocalTransport::new(&mut be), ItemId(2)).unwrap();
+        let (mut ar, mut br) = (a0, b0);
+        let start = Round::start_oob(&mut ar, NodeId(1), ItemId(2));
+        let out = drive(&mut ar, &mut br, start).unwrap();
+        assert!(matches!(out, RoundOutcome::Oob(OobOutcome::Adopted { .. })));
+        assert_eq!(ae.costs(), ar.costs());
+        assert_eq!(be.costs(), br.costs());
+        assert_eq!(ae.fingerprint(), ar.fingerprint());
+    }
+
+    #[test]
+    fn round_fingerprint_distinguishes_states() {
+        let (mut a, _b) = seeded_pair(true);
+        let (pull_round, _) = Round::start_pull(&mut a.clone(), NodeId(1));
+        let (delta_round, _) = Round::start_delta(&mut a, NodeId(1), &GossipBudget::UNBOUNDED);
+        let mut h1 = FnvHasher::new();
+        pull_round.mc_fingerprint(&mut h1);
+        let mut h2 = FnvHasher::new();
+        delta_round.mc_fingerprint(&mut h2);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

@@ -154,19 +154,25 @@ impl ShardMap {
 /// The node-level [`ShardedNode::costs`] is the sum over owned shards
 /// plus the meta-costs of cross-group exchanges, so what a node pays is
 /// exactly what it owns.
+///
+/// `Clone` is derived for the model checker (`epidb-mc`), which forks
+/// whole-system states during exploration; journal sinks are per-shard
+/// [`Replica`] state and clone as shared handles, so a durable node should
+/// not be cloned (the checker only clones sink-free nodes).
+#[derive(Clone)]
 pub struct ShardedNode {
-    id: NodeId,
-    n_nodes: usize,
-    map: ShardMap,
-    shards: BTreeMap<ShardId, Replica>,
+    pub(crate) id: NodeId,
+    pub(crate) n_nodes: usize,
+    pub(crate) map: ShardMap,
+    pub(crate) shards: BTreeMap<ShardId, Replica>,
     /// Shards currently frozen for handoff: present here ⇒ reads, writes,
     /// and routed requests refuse with the retryable [`Error::ShardMoving`].
-    moving: BTreeSet<ShardId>,
+    pub(crate) moving: BTreeSet<ShardId>,
     /// Costs of node-level exchanges that precede shard dispatch
     /// (cross-group OOB requests), kept apart so per-shard accounting
     /// stays exact.
-    meta_costs: Costs,
-    policy: ConflictPolicy,
+    pub(crate) meta_costs: Costs,
+    pub(crate) policy: ConflictPolicy,
 }
 
 impl ShardedNode {

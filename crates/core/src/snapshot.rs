@@ -74,11 +74,10 @@ impl Replica {
             }
         }
 
-        // Auxiliary copies (sorted for deterministic output).
-        let mut aux: Vec<(&ItemId, &AuxItem)> = self.aux_items.iter().collect();
-        aux.sort_by_key(|(x, _)| **x);
-        w.u32(aux.len() as u32);
-        for (x, item) in aux {
+        // Auxiliary copies (the BTreeMap iterates in item order, so the
+        // output is deterministic by construction).
+        w.u32(self.aux_items.len() as u32);
+        for (x, item) in &self.aux_items {
             w.u32(x.0);
             w.value(&item.value.to_bytes());
             put_vv(&mut w, &item.ivv);

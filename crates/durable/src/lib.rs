@@ -49,4 +49,6 @@ pub mod testdir;
 pub use frames::{read_frames, write_frame, FrameScan, WAL_FRAME_HEADER};
 pub use group::{GroupCommitStats, GroupRecoveryReport, GroupWal, StreamSpec};
 pub use header::WalHeader;
-pub use node::{DurabilityConfig, NodeDurability, RecoveryReport, ShardedDurability};
+pub use node::{
+    crash_recovered_twin, DurabilityConfig, NodeDurability, RecoveryReport, ShardedDurability,
+};

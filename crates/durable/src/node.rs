@@ -567,6 +567,36 @@ impl MutationSink for NodeDurability {
     }
 }
 
+/// Build the replica a crash-and-recover of `live` would produce — the
+/// model checker's crash semantics, grounded against this crate's real
+/// disk recovery.
+///
+/// Because every state change is journaled *before* it applies (see
+/// [`epidb_core::journal`]), the WAL always covers the full in-memory
+/// durable state: recovery (snapshot + WAL replay) reconstructs exactly
+/// what [`Replica::to_snapshot`] captures right now. A crash therefore
+/// loses only the ephemeral remainder — cost counters, pending conflict
+/// reports, the op cache, traces — plus any runtime-only configuration
+/// the operator reapplies on restart.
+///
+/// The twin restarts with a cold op cache, re-enabled at `delta_budget`
+/// (matching the journaled WAL-header config). Real recovery is cold too:
+/// [`NodeDurability::open_with`] replays the WAL *before* enabling the
+/// delta cache, so replayed updates cache nothing. A cold cache only
+/// degrades delta rounds to whole-item shipping — it cannot change
+/// protocol correctness, which is what the checker verifies. The
+/// `crash_twin_matches_disk_recovery` tests pin exact state equality (by
+/// [`Replica::fingerprint`]) against a real crash-and-reopen, both from a
+/// checkpoint and from pure WAL replay (where only the `restored` marker
+/// legitimately differs — replay rebuilds state without a snapshot load).
+pub fn crash_recovered_twin(live: &Replica, delta_budget: usize) -> Result<Replica> {
+    let mut twin = Replica::from_snapshot(&live.to_snapshot())?;
+    if delta_budget > 0 {
+        twin.enable_delta(delta_budget);
+    }
+    Ok(twin)
+}
+
 /// Load and fully validate a snapshot file (CRC frame + snapshot decode).
 pub(crate) fn load_snapshot(path: &Path) -> Result<Replica> {
     let raw = fs::read(path).map_err(|e| io_err("read", path, e))?;

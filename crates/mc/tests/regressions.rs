@@ -1,0 +1,149 @@
+//! Regression corpus: historical protocol bugs encoded as fixed minimal
+//! schedules the checker explores green today.
+//!
+//! Two bugs shipped (and were fixed) before the model checker existed:
+//!
+//! * **Delta-LWW conflict double-count** (fixed in the durability PR):
+//!   under `ResolveLww`, a concurrent item arriving through a delta pull
+//!   was counted once by `evaluate_delta_offer` and again when the
+//!   `Whole` fallback re-detected the pair in `accept_propagation` —
+//!   `conflicts_detected` drifted to 2 per conflict while whole-item
+//!   pulls counted 1.
+//! * **Retry double-budget** (fixed in the small-path PR): the delta →
+//!   whole-item degradation ladder ran the degraded pull under a *fresh*
+//!   retry budget, so one failing round could spend up to twice its
+//!   configured attempts.
+//!
+//! The checker would have caught both. The double-count: every schedule
+//! of a conflict-free scenario must pass the strict-clean §2.1 check
+//! (zero conflicts counted), and the fixed schedules below pin the exact
+//! once-only count on a genuine conflict. The double-budget: the checker
+//! models every attempt as an explicit event — a delta round aborted by
+//! loss, then *one* whole-item round — so a second whole-item attempt
+//! materializes as an extra in-flight round and a different (wrong)
+//! event schedule; the corpus pins the single-degraded-attempt schedule
+//! converging with exact accounting.
+//!
+//! Each test (a) replays the minimal schedule through [`System`] and
+//! asserts the once-fixed observable, and (b) explores the containing
+//! scenario exhaustively, asserting no interleaving violates anything
+//! today.
+
+use epidb_core::ConflictPolicy;
+use epidb_mc::{explore, Action, Expectation, Scenario, Strategy, System, Topology};
+use epidb_mc::{Event, Limits};
+
+/// Drive round `rid`'s messages to completion (the fault-free delivery
+/// schedule for that round).
+fn deliver_round(sys: &mut System, sc: &Scenario, rid: u32) {
+    while sys.enabled_events(sc).contains(&Event::Deliver(rid)) {
+        sys.apply(sc, Event::Deliver(rid)).unwrap();
+        assert_eq!(sys.first_violation(), None, "invariants hold at every step");
+    }
+}
+
+#[test]
+fn pr5_delta_lww_conflict_counted_exactly_once() {
+    // The minimal trigger for the old double-count: two concurrent writes
+    // to the same item, one delta pull, LWW policy.
+    let sc = Scenario::two_node_lww_conflict();
+    let mut sys = System::new(&sc).unwrap();
+
+    sys.apply(&sc, Event::Fire(0)).unwrap(); // n0 writes x0
+    sys.apply(&sc, Event::Fire(1)).unwrap(); // n1 writes x0 (concurrent)
+    sys.apply(&sc, Event::Fire(2)).unwrap(); // n1 starts delta pull from n0
+    deliver_round(&mut sys, &sc, 2);
+
+    let puller = sys.replica(1).unwrap();
+    assert_eq!(
+        puller.costs().conflicts_detected,
+        1,
+        "one concurrent pair, counted once (the old bug counted 2 in delta mode)"
+    );
+    assert_eq!(puller.counters().lww_resolutions, 1, "and resolved once");
+
+    // The back-propagating whole pull sees the *resolved* value — LWW
+    // resolution absorbed both writes into n1's IVV, so n1's state now
+    // dominates n0's and no second conflict is (or ever was) detected.
+    sys.apply(&sc, Event::Fire(3)).unwrap();
+    deliver_round(&mut sys, &sc, 3);
+    let other = sys.replica(0).unwrap();
+    assert_eq!(other.costs().conflicts_detected, 0, "resolution already absorbed the pair");
+    assert_eq!(
+        sys.replica(0).unwrap().read(epidb_common::ItemId(0)).unwrap(),
+        sys.replica(1).unwrap().read(epidb_common::ItemId(0)).unwrap(),
+        "both replicas converged on the LWW winner"
+    );
+
+    // And no interleaving of the scenario violates anything today.
+    let report = explore(&sc, Strategy::Bfs, &sc.smoke_limits()).unwrap();
+    assert!(report.is_clean(), "{}", report.counterexample.unwrap().rendered);
+}
+
+/// The PR 6 world as a bounded scenario: a delta pull that the scheduler
+/// may fail (loss budget 1) plus the single degraded whole-item pull.
+fn degradation_scenario() -> Scenario {
+    Scenario {
+        name: "pr6-degradation-budget",
+        topology: Topology::Full { n_nodes: 2, n_items: 2 },
+        policy: ConflictPolicy::Report,
+        delta_budget: 4096,
+        frame_items: 0,
+        crash_budget: 0,
+        loss_budget: 1,
+        mutant: None,
+        actions: vec![
+            Action::Update { node: 0, item: 0, value: b"payload".to_vec() },
+            Action::Delta { node: 1, peer: 0 },
+            Action::Pull { node: 1, peer: 0 },
+        ],
+        expectation: Expectation::ConflictFree,
+    }
+}
+
+#[test]
+fn pr6_degraded_round_is_exactly_one_whole_pull() {
+    // The fixed minimal schedule of the degradation ladder: the delta
+    // round's first message is lost (the transport failure that used to
+    // start a fresh retry budget), then exactly ONE whole-item attempt
+    // completes the sync. With the old double budget, the failing round
+    // would have kept further attempts in flight; here the aborted delta
+    // leaves nothing behind and the single pull finishes the job.
+    let sc = degradation_scenario();
+    let mut sys = System::new(&sc).unwrap();
+
+    sys.apply(&sc, Event::Fire(0)).unwrap(); // n0 writes x0
+    sys.apply(&sc, Event::Fire(1)).unwrap(); // n1 starts delta pull
+    let applied = sys.apply(&sc, Event::Drop(1)).unwrap(); // the attempt fails
+    assert_eq!(applied.aborted_rounds, 1, "a lost exchange aborts the round");
+    assert!(
+        !sys.enabled_events(&sc).iter().any(|e| matches!(e, Event::Deliver(1))),
+        "the failed delta round left no messages in flight"
+    );
+
+    sys.apply(&sc, Event::Fire(2)).unwrap(); // the one degraded whole pull
+    deliver_round(&mut sys, &sc, 2);
+
+    assert!(sys.is_goal(), "schedule quiesces after the single degraded attempt");
+    assert_eq!(sys.first_violation(), None);
+    let puller = sys.replica(1).unwrap();
+    assert_eq!(puller.read(epidb_common::ItemId(0)).unwrap().as_bytes(), b"payload");
+
+    // Exhaustively: every interleaving — including losing the pull
+    // instead, or losing nothing — satisfies the invariants, and every
+    // quiescent schedule satisfies §2.1 with exact update accounting.
+    let report = explore(&sc, Strategy::Bfs, &sc.smoke_limits()).unwrap();
+    assert!(report.is_clean(), "{}", report.counterexample.unwrap().rendered);
+    assert!(!report.stats.state_cap_hit);
+    assert!(report.stats.max_depth_seen < sc.smoke_limits().max_depth, "space exhausted");
+}
+
+#[test]
+fn corpus_schedules_are_within_default_smoke_limits() {
+    // The corpus must stay explorable inside the generic smoke budget so
+    // the CI leg can afford it forever.
+    let sc = degradation_scenario();
+    let limits = Limits::smoke();
+    let report = explore(&sc, Strategy::Bfs, &limits).unwrap();
+    assert!(report.is_clean());
+}

@@ -21,6 +21,7 @@
 //! | [`log`] | the log vector and auxiliary log (§4.2, §4.4, Fig. 1) |
 //! | [`core`] | the protocol: replicas, propagation, OOB, tokens (§5), the transport-agnostic engine + wire codec, sharded partial replication (shard maps, routing, handoff) |
 //! | [`durable`] | on-disk durability: write-ahead log, atomic snapshot checkpoints, crash recovery, per-shard WAL/snapshot directories |
+//! | [`mc`] | exhaustive protocol model checker: bounded exploration of message/crash interleavings with invariant predicates and minimized counterexamples |
 //! | [`net`] | threaded and TCP cluster runtimes (engine adapters) with fault injection, sharded variants gossiping per owned shard |
 //! | [`baselines`] | the §8 comparison protocols |
 //! | [`sim`] | simulator, workloads, auditor, experiment suite |
@@ -53,6 +54,7 @@ pub use epidb_common as common;
 pub use epidb_core as core;
 pub use epidb_durable as durable;
 pub use epidb_log as log;
+pub use epidb_mc as mc;
 pub use epidb_net as net;
 pub use epidb_sim as sim;
 pub use epidb_store as store;
