@@ -24,7 +24,7 @@ cargo bench --workspace --no-run
 echo "== perf_report smoke =="
 cargo run --release -q -p epidb-bench --bin perf_report -- \
   --smoke --assert-zero-copy --assert-small-path --assert-sharded-gossip \
-  --assert-group-commit \
+  --assert-group-commit --assert-cold-start \
   --out target/bench_smoke.json
 grep -q '"schema": "epidb-perf-report/v1"' target/bench_smoke.json
 

@@ -16,7 +16,7 @@
 //! cargo run --release -p epidb-bench --bin perf_report -- \
 //!     [--smoke] [--assert-zero-copy] [--assert-small-path] \
 //!     [--assert-sharded-gossip] [--assert-group-commit] \
-//!     [--out PATH] [--baseline PATH]
+//!     [--assert-cold-start] [--out PATH] [--baseline PATH]
 //! ```
 //!
 //! * `--smoke` — tiny sizes and budgets (CI: validates the harness and the
@@ -35,9 +35,14 @@
 //! * `--assert-group-commit` — assert the group-commit durability gate: a
 //!   64-writer batch workload on the async runtime must spend far less
 //!   than one fsync per committed mutation (ratio ≤ 0.1).
+//! * `--assert-cold-start` — assert the set-reconciliation gate: syncing a
+//!   1000-item replica that is 5 items behind a log-compacted source must
+//!   ship ≥ 10× less payload than the whole-database pull, with total
+//!   traffic bounded by O(diff · log N) — the cold-start degradation rung
+//!   must beat the O(database) bottom rung it shields.
 //! * `--baseline PATH` — a previous report to embed and compute speedups
-//!   against (default `BENCH_PR7.json` if present).
-//! * `--out PATH` — where to write the report (default `BENCH_PR8.json`).
+//!   against (default `BENCH_PR8.json` if present).
+//! * `--out PATH` — where to write the report (default `BENCH_PR10.json`).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -182,6 +187,9 @@ struct Sizes {
     c10k_val: usize,
     gc_writers: usize,
     gc_ops: usize,
+    cold_items: usize,
+    cold_diff: usize,
+    cold_val: usize,
 }
 
 impl Sizes {
@@ -202,6 +210,9 @@ impl Sizes {
             c10k_val: 256,
             gc_writers: 64,
             gc_ops: 16,
+            cold_items: 1_000,
+            cold_diff: 5,
+            cold_val: 256,
         }
     }
 
@@ -222,6 +233,9 @@ impl Sizes {
             c10k_val: 64,
             gc_writers: 8,
             gc_ops: 4,
+            cold_items: 64,
+            cold_diff: 3,
+            cold_val: 64,
         }
     }
 }
@@ -470,6 +484,112 @@ fn scenario_snapshot_restore(name: &'static str, s: &Sizes) -> Measure {
     )
 }
 
+/// A source whose log was compacted past the recipient's coverage, with
+/// the recipient `diff` items behind — the cold-start shape that forces
+/// the degradation ladder below tail-covered pulls (delta → recon →
+/// whole-pull).
+fn build_cold_pair(n_items: usize, diff: usize, val: usize) -> (Replica, Replica) {
+    let mut src = Replica::new(NodeId(0), 2, n_items);
+    let mut dst = Replica::new(NodeId(1), 2, n_items);
+    for i in 0..n_items {
+        src.update(ItemId::from_index(i), UpdateOp::set(vec![(i % 251) as u8; val])).unwrap();
+    }
+    pull(&mut dst, &mut src).expect("shared history pull");
+    src.set_log_retention(1);
+    for k in 0..diff {
+        src.update(ItemId::from_index((k * 97) % n_items), UpdateOp::set(vec![0xC3; val]))
+            .expect("post-compaction update");
+    }
+    (src, dst)
+}
+
+/// Cold-start sync of a slightly-behind replica: the source's compacted
+/// log cannot cover the gap, so a plain pull degrades to the digest-tree
+/// reconciliation and ships only the differing items.
+fn scenario_cold_start_behind(name: &'static str, s: &Sizes) -> Measure {
+    let (mut src, dst0) = build_cold_pair(s.cold_items, s.cold_diff, s.cold_val);
+    let payload = (s.cold_diff * s.cold_val) as u64;
+    bench(
+        name,
+        s.target,
+        payload,
+        || dst0.clone(),
+        |mut dst| {
+            let out = pull(&mut dst, &mut src).unwrap();
+            assert!(matches!(out, PullOutcome::Propagated(_)));
+            dst
+        },
+    )
+}
+
+/// Cold-start sync of an empty replica against the same compacted source:
+/// the reconciliation driver skips the descent (everything differs) and
+/// takes the O(database) whole-pull bottom rung outright.
+fn scenario_cold_start_fresh(name: &'static str, s: &Sizes) -> Measure {
+    let (mut src, _) = build_cold_pair(s.cold_items, s.cold_diff, s.cold_val);
+    let payload = (s.cold_items * s.cold_val) as u64;
+    bench(
+        name,
+        s.target,
+        payload,
+        || Replica::new(NodeId(1), 2, s.cold_items),
+        |mut dst| {
+            let out = pull(&mut dst, &mut src).unwrap();
+            assert!(matches!(out, PullOutcome::Propagated(_)));
+            dst
+        },
+    )
+}
+
+/// The cold-start gate behind `--assert-cold-start`, on fixed sizes
+/// (independent of `--smoke`, so CI exercises the real tree depth): a
+/// 1000-item replica 5 items behind a compacted source must reconcile
+/// with ≥ 10× less payload than the whole-database pull, and its total
+/// two-way traffic — digests, floors, items, and all — must stay within
+/// an O(diff · log N) envelope. This is the scaling claim of the recon
+/// rung: O(d · log N), not O(N).
+fn assert_cold_start_reconciliation() {
+    const N: usize = 1_000;
+    const DIFF: usize = 5;
+    const VAL: usize = 256;
+    let (mut src, mut dst) = build_cold_pair(N, DIFF, VAL);
+    // The bottom rung's price: the payload a whole-database pull ships.
+    let whole_payload = {
+        let mut twin = src.clone();
+        ProtocolResponse::Full(twin.serve_full_pull().expect("serve full pull")).payload_bytes()
+    };
+    let src0 = src.costs();
+    let dst0 = dst.costs();
+    let out = pull(&mut dst, &mut src).expect("cold-start pull");
+    assert!(matches!(out, PullOutcome::Propagated(_)), "the cold-start pull must reconcile");
+    let responses = src.costs().bytes_sent - src0.bytes_sent;
+    let requests = dst.costs().bytes_sent - dst0.bytes_sent;
+    let control = (src.costs().control_bytes - src0.control_bytes)
+        + (dst.costs().control_bytes - dst0.control_bytes);
+    let total = responses + requests;
+    let payload = total - control;
+    assert!(
+        payload * 10 <= whole_payload,
+        "cold-start regression: reconciling a {DIFF}-item diff shipped {payload} payload \
+         bytes, more than a tenth of the {whole_payload}-byte whole-database pull"
+    );
+    let log2n = (usize::BITS - (N - 1).leading_zeros()) as u64;
+    let bound = 256 * DIFF as u64 * log2n + 2048;
+    assert!(
+        total <= bound,
+        "cold-start regression: {total} total bytes for a {DIFF}-item diff over {N} items \
+         exceeds the O(diff * log N) envelope of {bound} bytes — the descent stopped pruning"
+    );
+    for k in 0..DIFF {
+        let x = ItemId::from_index((k * 97) % N);
+        assert_eq!(dst.read(x).unwrap(), src.read(x).unwrap(), "diff item {x:?} reconciled");
+    }
+    eprintln!(
+        "perf_report: cold-start assertions hold ({total} recon bytes, {payload} payload, \
+         vs {whole_payload} whole-pull payload; envelope {bound})."
+    );
+}
+
 /// One sweep of the C10K rig: every pre-opened connection completes one
 /// pull exchange, driven by one client thread per chunk.
 fn c10k_sweep(chunks: &mut [Vec<TcpTransport>], probe: &ProtocolRequest) {
@@ -659,6 +779,8 @@ fn run_all(s: &Sizes) -> Vec<Measure> {
         scenario_sharded_gossip("sharded_gossip_8shards", s, 8),
         scenario_oob_large("oob_large_value", s),
         scenario_snapshot_restore("snapshot_restore_large_value", s),
+        scenario_cold_start_behind("cold_start_behind", s),
+        scenario_cold_start_fresh("cold_start_fresh", s),
         scenario_c10k("c10k_connections", s),
         scenario_group_commit("group_commit_fsync", s),
     ]
@@ -708,8 +830,8 @@ fn main() {
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::from)
     };
     let smoke = has("--smoke");
-    let out_path = opt("--out").unwrap_or_else(|| "BENCH_PR8.json".into());
-    let baseline_path = opt("--baseline").unwrap_or_else(|| "BENCH_PR7.json".into());
+    let out_path = opt("--out").unwrap_or_else(|| "BENCH_PR10.json".into());
+    let baseline_path = opt("--baseline").unwrap_or_else(|| "BENCH_PR8.json".into());
 
     let sizes = if smoke { Sizes::smoke() } else { Sizes::full() };
     eprintln!("perf_report: running {} scenarios...", if smoke { "smoke" } else { "full" });
@@ -794,11 +916,17 @@ fn main() {
         assert_group_commit_batching();
     }
 
+    if has("--assert-cold-start") {
+        // Set reconciliation: the O(diff · log N) cold-start gate on the
+        // fixed 1000-item, 5-behind workload.
+        assert_cold_start_reconciliation();
+    }
+
     let baseline = std::fs::read_to_string(&baseline_path).ok();
     let mut report = String::new();
     report.push_str("{\n");
     report.push_str("  \"schema\": \"epidb-perf-report/v1\",\n");
-    report.push_str("  \"pr\": 8,\n");
+    report.push_str("  \"pr\": 10,\n");
     writeln!(report, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" }).unwrap();
     writeln!(report, "  \"scenarios\": {},", scenarios_json(&measures)).unwrap();
     match &baseline {

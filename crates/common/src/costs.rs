@@ -190,6 +190,13 @@ pub mod wire {
     pub const SEQNO: u64 = 8;
     /// One timestamp.
     pub const TIMESTAMP: u64 = 8;
+    /// One digest-tree range `[start, end)`: two `u32` item indices.
+    pub const RECON_RANGE: u64 = 8;
+    /// One digest-tree node in a recon reply: its range + a 64-bit digest.
+    pub const RECON_DIGEST: u64 = RECON_RANGE + 8;
+    /// One retained log record shipped with a reconciled item
+    /// (origin `u16` + sequence number `u64`).
+    pub const RECON_RECORD: u64 = 10;
 
     /// Size of a version vector over `n` servers.
     pub fn vv(n: usize) -> u64 {

@@ -64,6 +64,15 @@ pub enum TraceStep {
     /// Delta mode: an operation chain was applied (`detail` = chain
     /// length).
     DeltaOps,
+    /// `SendPropagation` found the recipient's gap no longer covered by
+    /// the (retention-pruned) log vector and asked it to reconcile.
+    SendNeedRecon,
+    /// This replica served a reconciliation request (`detail` = digests
+    /// returned plus items shipped).
+    ReconServe,
+    /// Reconciliation descent finished at the recipient (`detail` =
+    /// items fetched).
+    ReconAccept,
 }
 
 impl TraceStep {
@@ -85,6 +94,9 @@ impl TraceStep {
             TraceStep::OobAccept => "oob-accept",
             TraceStep::DeltaOffer => "delta-offer",
             TraceStep::DeltaOps => "delta-ops",
+            TraceStep::SendNeedRecon => "send-need-recon",
+            TraceStep::ReconServe => "recon-serve",
+            TraceStep::ReconAccept => "recon-accept",
         }
     }
 }

@@ -18,7 +18,10 @@ use epidb_vv::{DbVersionVector, VersionVector};
 
 use crate::delta::{DeltaItem, DeltaOffer, DeltaOfferResponse, DeltaPayload, DeltaRequest};
 use crate::engine::{ProtocolRequest, ProtocolResponse};
-use crate::messages::{OobReply, PropagationPayload, PropagationResponse, ShippedItem};
+use crate::messages::{
+    FullPullReply, OobReply, PropagationPayload, PropagationResponse, ReconItem, ReconReply,
+    ShippedItem,
+};
 use crate::opcache::CachedOp;
 
 /// Format version byte embedded in framed messages and snapshots.
@@ -593,6 +596,7 @@ pub fn get_payload(r: &mut Reader<'_>) -> Result<PropagationPayload> {
 
 const RESP_CURRENT: u8 = 0;
 const RESP_PAYLOAD: u8 = 1;
+const RESP_NEED_RECON: u8 = 2;
 
 /// Encode a propagation response.
 pub fn put_response(w: &mut Writer, resp: &PropagationResponse) {
@@ -602,6 +606,7 @@ pub fn put_response(w: &mut Writer, resp: &PropagationResponse) {
             w.u8(RESP_PAYLOAD);
             put_payload(w, p);
         }
+        PropagationResponse::NeedRecon => w.u8(RESP_NEED_RECON),
     }
 }
 
@@ -610,8 +615,108 @@ pub fn get_response(r: &mut Reader<'_>) -> Result<PropagationResponse> {
     match r.u8()? {
         RESP_CURRENT => Ok(PropagationResponse::YouAreCurrent),
         RESP_PAYLOAD => Ok(PropagationResponse::Payload(get_payload(r)?)),
+        RESP_NEED_RECON => Ok(PropagationResponse::NeedRecon),
         t => Err(decode_err(format!("unknown response tag {t}"))),
     }
+}
+
+// --- reconciliation messages -------------------------------------------------
+
+/// Encode one reconciliation item (id + IVV + retained records + value).
+pub fn put_recon_item(w: &mut Writer, s: &ReconItem) {
+    w.u32(s.item.0);
+    put_vv(w, &s.ivv);
+    w.u16(s.records.len() as u16);
+    for (k, m) in &s.records {
+        w.u16(k.0);
+        w.u64(*m);
+    }
+    w.value(&s.value);
+}
+
+/// Decode one reconciliation item.
+pub fn get_recon_item(r: &mut Reader<'_>) -> Result<ReconItem> {
+    let item = ItemId(r.u32()?);
+    let ivv = get_vv(r)?;
+    let n = r.u16()? as usize;
+    let mut records = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let k = NodeId(r.u16()?);
+        records.push((k, r.u64()?));
+    }
+    let value = r.value()?;
+    Ok(ReconItem { item, ivv, value, records })
+}
+
+/// Encode a coverage-floor vector (one u64 per origin).
+pub fn put_floor(w: &mut Writer, floor: &[u64]) {
+    w.u16(floor.len() as u16);
+    w.u64_slice(floor);
+}
+
+/// Decode a coverage-floor vector.
+pub fn get_floor(r: &mut Reader<'_>) -> Result<Vec<u64>> {
+    let n = r.u16()? as usize;
+    let mut floor = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        floor.push(r.u64()?);
+    }
+    Ok(floor)
+}
+
+/// Encode a reconciliation descent reply.
+pub fn put_recon_reply(w: &mut Writer, reply: &ReconReply) {
+    w.u32(reply.digests.len() as u32);
+    for (s, e, d) in &reply.digests {
+        w.u32(*s);
+        w.u32(*e);
+        w.u64(*d);
+    }
+    w.u32(reply.items.len() as u32);
+    for item in &reply.items {
+        put_recon_item(w, item);
+    }
+    put_floor(w, &reply.floor);
+    w.u64(reply.cut);
+}
+
+/// Decode a reconciliation descent reply.
+pub fn get_recon_reply(r: &mut Reader<'_>) -> Result<ReconReply> {
+    let n = r.u32()? as usize;
+    let mut digests = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let s = r.u32()?;
+        let e = r.u32()?;
+        digests.push((s, e, r.u64()?));
+    }
+    let n = r.u32()? as usize;
+    let mut items = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        items.push(get_recon_item(r)?);
+    }
+    let floor = get_floor(r)?;
+    let cut = r.u64()?;
+    Ok(ReconReply { digests, items, floor, cut })
+}
+
+/// Encode a whole-database pull reply.
+pub fn put_full_pull_reply(w: &mut Writer, reply: &FullPullReply) {
+    w.u32(reply.items.len() as u32);
+    for item in &reply.items {
+        put_recon_item(w, item);
+    }
+    put_floor(w, &reply.floor);
+}
+
+/// Decode a whole-database pull reply.
+pub fn get_full_pull_reply(r: &mut Reader<'_>) -> Result<FullPullReply> {
+    let n = r.u32()? as usize;
+    let mut items = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        items.push(get_recon_item(r)?);
+    }
+    let floor = get_floor(r)?;
+    Ok(FullPullReply { items, floor })
 }
 
 /// Encode an out-of-bound reply.
@@ -772,6 +877,8 @@ const REQ_OOB: u8 = 4;
 const REQ_LIST_DBS: u8 = 5;
 const REQ_DB: u8 = 6;
 const REQ_SHARD: u8 = 7;
+const REQ_RECON: u8 = 8;
+const REQ_FULL_PULL: u8 = 9;
 
 const RESP_PULL: u8 = 1;
 const RESP_DELTA_OFFER: u8 = 2;
@@ -782,9 +889,12 @@ const RESP_DB: u8 = 6;
 const RESP_ERROR: u8 = 7;
 const RESP_SHARD: u8 = 8;
 const RESP_REFUSED: u8 = 9;
+const RESP_RECON: u8 = 10;
+const RESP_FULL: u8 = 11;
 
 const OFFER_CURRENT: u8 = 0;
 const OFFER_OFFER: u8 = 1;
+const OFFER_NEED_RECON: u8 = 2;
 
 // Sub-tags of `RESP_REFUSED`: the two typed routing refusals that must
 // survive a real wire byte-exact (retryability depends on the variant).
@@ -849,6 +959,23 @@ fn put_request_body(w: &mut Writer, req: &ProtocolRequest) {
             w.u16(shard.0);
             put_request_body(w, req);
         }
+        ProtocolRequest::Recon { from, ranges, fetch } => {
+            w.u8(REQ_RECON);
+            w.u16(from.0);
+            w.u32(ranges.len() as u32);
+            for (s, e) in ranges {
+                w.u32(*s);
+                w.u32(*e);
+            }
+            w.u32(fetch.len() as u32);
+            for item in fetch {
+                w.u32(item.0);
+            }
+        }
+        ProtocolRequest::FullPull { from } => {
+            w.u8(REQ_FULL_PULL);
+            w.u16(from.0);
+        }
     }
 }
 
@@ -887,6 +1014,22 @@ fn get_request_body(r: &mut Reader<'_>, depth: u8) -> Result<ProtocolRequest> {
             let req = get_request_body(r, depth + 1)?;
             Ok(ProtocolRequest::Shard { shard, req: Box::new(req) })
         }
+        REQ_RECON => {
+            let from = NodeId(r.u16()?);
+            let n = r.u32()? as usize;
+            let mut ranges = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let s = r.u32()?;
+                ranges.push((s, r.u32()?));
+            }
+            let n = r.u32()? as usize;
+            let mut fetch = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                fetch.push(ItemId(r.u32()?));
+            }
+            Ok(ProtocolRequest::Recon { from, ranges, fetch })
+        }
+        REQ_FULL_PULL => Ok(ProtocolRequest::FullPull { from: NodeId(r.u16()?) }),
         t => Err(decode_err(format!("unknown request tag {t}"))),
     }
 }
@@ -905,6 +1048,10 @@ fn put_response_body(w: &mut Writer, resp: &ProtocolResponse) {
             w.u8(RESP_DELTA_OFFER);
             w.u8(OFFER_OFFER);
             put_delta_offer(w, o);
+        }
+        ProtocolResponse::DeltaOffer(DeltaOfferResponse::NeedRecon) => {
+            w.u8(RESP_DELTA_OFFER);
+            w.u8(OFFER_NEED_RECON);
         }
         ProtocolResponse::DeltaPayload(p) => {
             w.u8(RESP_DELTA_PAYLOAD);
@@ -938,6 +1085,14 @@ fn put_response_body(w: &mut Writer, resp: &ProtocolResponse) {
         ProtocolResponse::Refused(e) => {
             w.u8(RESP_REFUSED);
             put_refusal(w, e);
+        }
+        ProtocolResponse::Recon(reply) => {
+            w.u8(RESP_RECON);
+            put_recon_reply(w, reply);
+        }
+        ProtocolResponse::Full(reply) => {
+            w.u8(RESP_FULL);
+            put_full_pull_reply(w, reply);
         }
     }
 }
@@ -1000,6 +1155,7 @@ fn get_response_body(r: &mut Reader<'_>, depth: u8) -> Result<ProtocolResponse> 
             OFFER_OFFER => {
                 Ok(ProtocolResponse::DeltaOffer(DeltaOfferResponse::Offer(get_delta_offer(r)?)))
             }
+            OFFER_NEED_RECON => Ok(ProtocolResponse::DeltaOffer(DeltaOfferResponse::NeedRecon)),
             t => Err(decode_err(format!("unknown offer tag {t}"))),
         },
         RESP_DELTA_PAYLOAD => Ok(ProtocolResponse::DeltaPayload(get_delta_payload(r)?)),
@@ -1030,6 +1186,8 @@ fn get_response_body(r: &mut Reader<'_>, depth: u8) -> Result<ProtocolResponse> 
             Ok(ProtocolResponse::Shard { shard, resp: Box::new(resp) })
         }
         RESP_REFUSED => Ok(ProtocolResponse::Refused(get_refusal(r)?)),
+        RESP_RECON => Ok(ProtocolResponse::Recon(get_recon_reply(r)?)),
+        RESP_FULL => Ok(ProtocolResponse::Full(get_full_pull_reply(r)?)),
         t => Err(decode_err(format!("unknown response tag {t}"))),
     }
 }
@@ -1405,6 +1563,13 @@ mod tests {
                 shard: ShardId(3),
                 req: Box::new(ProtocolRequest::Oob { from: NodeId(2), item: ItemId(5) }),
             },
+            ProtocolRequest::Recon {
+                from: NodeId(1),
+                ranges: vec![(0, 8), (8, 16)],
+                fetch: vec![ItemId(3), ItemId(11)],
+            },
+            ProtocolRequest::Recon { from: NodeId(0), ranges: vec![], fetch: vec![] },
+            ProtocolRequest::FullPull { from: NodeId(2) },
         ];
         for req in reqs {
             let buf = encode_request(&req);
@@ -1464,6 +1629,37 @@ mod tests {
                 owners: vec![],
             }),
             ProtocolResponse::Refused(Error::ShardMoving(ShardId(4))),
+            ProtocolResponse::DeltaOffer(DeltaOfferResponse::NeedRecon),
+            ProtocolResponse::Pull(PropagationResponse::NeedRecon),
+            ProtocolResponse::Recon(ReconReply {
+                digests: vec![(0, 4, 0xDEAD_BEEF), (4, 8, 7)],
+                items: vec![ReconItem {
+                    item: ItemId(5),
+                    ivv: vv(&[2, 0, 1]),
+                    value: Bytes::from_static(b"reconciled"),
+                    records: vec![(NodeId(0), 2), (NodeId(2), 1)],
+                }],
+                floor: vec![1, 0, 0],
+                cut: 13,
+            }),
+            ProtocolResponse::Recon(ReconReply::default()),
+            ProtocolResponse::Full(FullPullReply {
+                items: vec![
+                    ReconItem {
+                        item: ItemId(0),
+                        ivv: vv(&[1, 0]),
+                        value: Bytes::from_static(b"a"),
+                        records: vec![(NodeId(0), 1)],
+                    },
+                    ReconItem {
+                        item: ItemId(1),
+                        ivv: vv(&[0, 0]),
+                        value: Bytes::new(),
+                        records: vec![],
+                    },
+                ],
+                floor: vec![0, 3],
+            }),
         ];
         for resp in resps {
             let buf = encode_response(&resp);

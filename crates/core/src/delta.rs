@@ -35,7 +35,7 @@ use epidb_vv::{DbVersionVector, VersionVector, VvOrd};
 use crate::engine::{Engine, LocalTransport};
 use crate::opcache::CachedOp;
 use crate::policy::ConflictPolicy;
-use crate::propagation::{AcceptOutcome, PullOutcome};
+use crate::propagation::{AcceptOutcome, PullOutcome, TailSelection};
 use crate::replica::Replica;
 use crate::ShippedItem;
 
@@ -65,13 +65,16 @@ pub enum DeltaOfferResponse {
     YouAreCurrent,
     /// Items on offer.
     Offer(DeltaOffer),
+    /// The source's retention-pruned log no longer covers the
+    /// recipient's gap; the recipient must degrade to reconciliation.
+    NeedRecon,
 }
 
 impl DeltaOfferResponse {
     /// Control bytes of the response message body.
     pub fn control_bytes(&self) -> u64 {
         match self {
-            DeltaOfferResponse::YouAreCurrent => 0,
+            DeltaOfferResponse::YouAreCurrent | DeltaOfferResponse::NeedRecon => 0,
             DeltaOfferResponse::Offer(o) => o.control_bytes(),
         }
     }
@@ -178,8 +181,9 @@ impl Replica {
     /// item IVVs instead of shipping values.
     pub fn prepare_delta_offer(&mut self, recipient_dbvv: &DbVersionVector) -> DeltaOfferResponse {
         let (tails, s_items) = match self.select_tails(recipient_dbvv) {
-            None => return DeltaOfferResponse::YouAreCurrent,
-            Some(sel) => sel,
+            TailSelection::Current => return DeltaOfferResponse::YouAreCurrent,
+            TailSelection::Uncovered => return DeltaOfferResponse::NeedRecon,
+            TailSelection::Tails(tails, s_items) => (tails, s_items),
         };
         // Offers carry only (item, IVV) — values are never touched here, so
         // an offer frame costs one control-sized allocation however large
@@ -422,6 +426,7 @@ impl Replica {
                 self.log.add_record(k, *rec);
                 self.costs.log_records_examined += 1;
             }
+            self.enforce_log_retention(k);
         }
 
         let intra = self.intra_node_propagation(&outcome.copied);

@@ -30,9 +30,10 @@ use epidb_common::{Error, ItemId, NodeId, Result, ShardId};
 use epidb_vv::DbVersionVector;
 
 use crate::delta::{DeltaOfferResponse, DeltaPayload, DeltaRequest};
-use crate::messages::{OobReply, PropagationResponse};
+use crate::messages::{FullPullReply, OobReply, PropagationResponse, ReconReply};
 use crate::oob::OobOutcome;
 use crate::propagation::PullOutcome;
+use crate::recon::{ReconDriver, ReconStep};
 use crate::replica::Replica;
 use crate::retry::RetryPolicy;
 
@@ -69,6 +70,23 @@ pub enum ProtocolRequest {
         /// The wanted item.
         item: ItemId,
     },
+    /// One step of the cold-start reconciliation descent (see
+    /// [`crate::recon`]): probe digest-tree ranges and fetch differing
+    /// leaves.
+    Recon {
+        /// The requesting (recipient) node.
+        from: NodeId,
+        /// Half-open item ranges whose child digests are wanted.
+        ranges: Vec<(u32, u32)>,
+        /// Differing leaves whose full items are wanted.
+        fetch: Vec<ItemId>,
+    },
+    /// A whole-database pull — the O(N) bottom rung of the degradation
+    /// ladder (delta → recon → whole-pull).
+    FullPull {
+        /// The requesting (recipient) node.
+        from: NodeId,
+    },
     /// Ask a multi-database server which databases it hosts (the prelude
     /// to server-level anti-entropy, §2's one-instance-per-database rule).
     ListDatabases {
@@ -104,6 +122,10 @@ pub enum ProtocolResponse {
     DeltaPayload(DeltaPayload),
     /// Reply to an out-of-bound request.
     Oob(OobReply),
+    /// Reply to one reconciliation descent step.
+    Recon(ReconReply),
+    /// Reply to a whole-database pull.
+    Full(FullPullReply),
     /// The database names a server hosts, sorted.
     Databases(Vec<String>),
     /// A routed response from one named database.
@@ -141,6 +163,8 @@ impl ProtocolRequest {
             | ProtocolRequest::DeltaPull { from, .. }
             | ProtocolRequest::DeltaFetch { from, .. }
             | ProtocolRequest::Oob { from, .. }
+            | ProtocolRequest::Recon { from, .. }
+            | ProtocolRequest::FullPull { from }
             | ProtocolRequest::ListDatabases { from } => *from,
             ProtocolRequest::Db { req, .. } | ProtocolRequest::Shard { req, .. } => req.from(),
         }
@@ -153,6 +177,8 @@ impl ProtocolRequest {
             ProtocolRequest::DeltaPull { .. } => "delta-pull",
             ProtocolRequest::DeltaFetch { .. } => "delta-fetch",
             ProtocolRequest::Oob { .. } => "oob",
+            ProtocolRequest::Recon { .. } => "recon",
+            ProtocolRequest::FullPull { .. } => "full-pull",
             ProtocolRequest::ListDatabases { .. } => "list-databases",
             ProtocolRequest::Db { .. } => "db",
             ProtocolRequest::Shard { .. } => "shard",
@@ -175,6 +201,10 @@ impl ProtocolRequest {
             }
             ProtocolRequest::DeltaFetch { wants, .. } => wants.control_bytes(),
             ProtocolRequest::Oob { .. } => wire::ITEM_ID,
+            ProtocolRequest::Recon { ranges, fetch, .. } => {
+                ranges.len() as u64 * wire::RECON_RANGE + fetch.len() as u64 * wire::ITEM_ID
+            }
+            ProtocolRequest::FullPull { .. } => 0,
             ProtocolRequest::ListDatabases { .. } => 0,
             ProtocolRequest::Db { req, .. } | ProtocolRequest::Shard { req, .. } => {
                 req.body_control_bytes()
@@ -197,6 +227,8 @@ impl ProtocolResponse {
             ProtocolResponse::DeltaOffer(_) => "delta-offer",
             ProtocolResponse::DeltaPayload(_) => "delta-payload",
             ProtocolResponse::Oob(_) => "oob",
+            ProtocolResponse::Recon(_) => "recon",
+            ProtocolResponse::Full(_) => "full",
             ProtocolResponse::Databases(_) => "databases",
             ProtocolResponse::Db { .. } => "db",
             ProtocolResponse::Shard { .. } => "shard",
@@ -218,6 +250,8 @@ impl ProtocolResponse {
             ProtocolResponse::DeltaOffer(r) => r.control_bytes(),
             ProtocolResponse::DeltaPayload(p) => p.control_bytes(),
             ProtocolResponse::Oob(r) => r.control_bytes(),
+            ProtocolResponse::Recon(r) => r.control_bytes(),
+            ProtocolResponse::Full(r) => r.control_bytes(),
             ProtocolResponse::Databases(names) => names.iter().map(|n| 4 + n.len() as u64).sum(),
             ProtocolResponse::Db { resp, .. } | ProtocolResponse::Shard { resp, .. } => {
                 resp.body_control_bytes()
@@ -233,6 +267,8 @@ impl ProtocolResponse {
             ProtocolResponse::Pull(r) => r.payload_bytes(),
             ProtocolResponse::DeltaPayload(p) => p.payload_bytes(),
             ProtocolResponse::Oob(r) => r.value.len() as u64,
+            ProtocolResponse::Recon(r) => r.payload_bytes(),
+            ProtocolResponse::Full(r) => r.payload_bytes(),
             ProtocolResponse::Db { resp, .. } | ProtocolResponse::Shard { resp, .. } => {
                 resp.payload_bytes()
             }
@@ -464,6 +500,10 @@ impl Engine {
                 replica.post_step_audit("serve-oob");
                 ProtocolResponse::Oob(reply)
             }
+            ProtocolRequest::Recon { ranges, fetch, .. } => {
+                ProtocolResponse::Recon(replica.serve_recon(&ranges, &fetch)?)
+            }
+            ProtocolRequest::FullPull { .. } => ProtocolResponse::Full(replica.serve_full_pull()?),
             ProtocolRequest::ListDatabases { .. }
             | ProtocolRequest::Db { .. }
             | ProtocolRequest::Shard { .. } => {
@@ -567,7 +607,69 @@ impl Engine {
                 let outcome = recipient.with(|r| r.accept_propagation(source, payload))?;
                 Ok(PullOutcome::Propagated(outcome))
             }
+            ProtocolResponse::Pull(PropagationResponse::NeedRecon) => {
+                // The responder's retention-pruned log cannot cover our
+                // gap: degrade to set reconciliation within this attempt.
+                Self::recon_round(recipient, transport, &GossipBudget::UNBOUNDED)
+            }
             other => Err(unexpected("pull", &other)),
+        }
+    }
+
+    /// Drive one cold-start reconciliation (digest-tree descent, possibly
+    /// degrading to the whole-database pull) as the recipient, against any
+    /// transport. No retries; see [`Engine::pull_recon_with`].
+    pub fn pull_recon<H, T>(recipient: &mut H, transport: &mut T) -> Result<PullOutcome>
+    where
+        H: ReplicaHost,
+        T: Transport,
+    {
+        Self::pull_recon_with(recipient, transport, &RetryPolicy::none(), &GossipBudget::UNBOUNDED)
+    }
+
+    /// As [`Engine::pull_recon`], retrying the whole descent under
+    /// `policy` (descents are idempotent: a fresh attempt restarts from
+    /// the recipient's *current* state, so already-adopted items prune
+    /// out) and capping request frames under `budget` — at most
+    /// [`GossipBudget::max_frame_items`] range probes plus leaf fetches
+    /// per `Recon` frame.
+    pub fn pull_recon_with<H, T>(
+        recipient: &mut H,
+        transport: &mut T,
+        policy: &RetryPolicy,
+        budget: &GossipBudget,
+    ) -> Result<PullOutcome>
+    where
+        H: ReplicaHost,
+        T: Transport,
+    {
+        Self::retry_loop(recipient, transport, policy, Instant::now(), |h, t| {
+            Self::recon_round(h, t, budget)
+        })
+    }
+
+    /// One reconciliation round: the blocking loop over the shared
+    /// [`ReconDriver`] — the same machine the step-wise
+    /// [`Round`](crate::rounds::Round) runs, so costs are byte-identical
+    /// across runtimes by construction.
+    fn recon_round<H, T>(
+        recipient: &mut H,
+        transport: &mut T,
+        budget: &GossipBudget,
+    ) -> Result<PullOutcome>
+    where
+        H: ReplicaHost,
+        T: Transport,
+    {
+        let peer = transport.peer();
+        let (mut driver, first) = recipient.with(|r| ReconDriver::start(r, budget.max_frame_items));
+        let mut req = first;
+        loop {
+            let resp = transport.exchange(req)?;
+            match recipient.with(|r| driver.on_response(r, peer, resp))? {
+                ReconStep::Send(next) => req = next,
+                ReconStep::Done(outcome) => return Ok(outcome),
+            }
         }
     }
 
@@ -651,6 +753,11 @@ impl Engine {
         let offer = match transport.exchange(req)? {
             ProtocolResponse::DeltaOffer(DeltaOfferResponse::YouAreCurrent) => {
                 return Ok(PullOutcome::UpToDate);
+            }
+            ProtocolResponse::DeltaOffer(DeltaOfferResponse::NeedRecon) => {
+                // Coverage lost at the source: this round continues as a
+                // reconciliation descent under the same frame budget.
+                return Self::recon_round(recipient, transport, budget);
             }
             ProtocolResponse::DeltaOffer(DeltaOfferResponse::Offer(offer)) => offer,
             other => return Err(unexpected("delta-pull", &other)),

@@ -34,11 +34,12 @@ use epidb_log::LogRecord;
 use epidb_store::UpdateOp;
 
 use crate::codec::{
-    get_delta_payload, get_log_record, get_oob_reply, get_op, get_payload, put_delta_payload,
-    put_log_record, put_oob_reply, put_op, put_payload, Reader, Writer,
+    get_delta_payload, get_floor, get_log_record, get_oob_reply, get_op, get_payload,
+    get_recon_item, put_delta_payload, put_floor, put_log_record, put_oob_reply, put_op,
+    put_payload, put_recon_item, Reader, Writer,
 };
 use crate::delta::{DeltaPayload, OfferEvaluation};
-use crate::messages::{OobReply, PropagationPayload};
+use crate::messages::{OobReply, PropagationPayload, ReconItem};
 use crate::replica::Replica;
 
 /// One durable mutation of a replica: the owned inputs of one of the four
@@ -78,12 +79,23 @@ pub enum Mutation {
         /// The reply as received.
         reply: OobReply,
     },
+    /// Items adopted (and the floor learned) from a set-reconciliation
+    /// descent or whole-database pull.
+    Recon {
+        /// The source server.
+        from: NodeId,
+        /// The items shipped in the step being journaled.
+        items: Vec<ReconItem>,
+        /// The source's per-origin coverage floor.
+        floor: Vec<u64>,
+    },
 }
 
 const MUT_UPDATE: u8 = 0;
 const MUT_PROPAGATION: u8 = 1;
 const MUT_DELTA: u8 = 2;
 const MUT_OOB: u8 = 3;
+const MUT_RECON: u8 = 4;
 
 /// Encode a mutation into `w` (the body of one WAL record; framing and
 /// integrity are the journal owner's concern).
@@ -120,6 +132,15 @@ pub fn put_mutation(w: &mut Writer, m: &Mutation) {
             w.u16(from.0);
             put_oob_reply(w, reply);
         }
+        Mutation::Recon { from, items, floor } => {
+            w.u8(MUT_RECON);
+            w.u16(from.0);
+            w.u32(items.len() as u32);
+            for item in items {
+                put_recon_item(w, item);
+            }
+            put_floor(w, floor);
+        }
     }
 }
 
@@ -151,6 +172,16 @@ pub fn get_mutation(r: &mut Reader<'_>) -> Result<Mutation> {
             Ok(Mutation::Delta { from, payload, tails, refused })
         }
         MUT_OOB => Ok(Mutation::Oob { from: NodeId(r.u16()?), reply: get_oob_reply(r)? }),
+        MUT_RECON => {
+            let from = NodeId(r.u16()?);
+            let n = r.u32()? as usize;
+            let mut items = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                items.push(get_recon_item(r)?);
+            }
+            let floor = get_floor(r)?;
+            Ok(Mutation::Recon { from, items, floor })
+        }
         t => Err(epidb_common::Error::CorruptSnapshot(format!("unknown mutation tag {t}"))),
     }
 }
@@ -242,6 +273,9 @@ impl Replica {
                 .apply_delta(from, payload, OfferEvaluation::from_parts(tails, refused))
                 .map(|_| ()),
             Mutation::Oob { from, reply } => r.accept_oob(from, reply).map(|_| ()),
+            Mutation::Recon { from, items, floor } => {
+                r.apply_recon_items(from, items, &floor).map(|_| ())
+            }
         })
     }
 }

@@ -60,6 +60,7 @@ pub mod opcache;
 pub mod paranoid;
 pub mod policy;
 pub mod propagation;
+pub mod recon;
 pub mod replica;
 pub mod retry;
 pub mod rounds;
@@ -80,12 +81,16 @@ pub use engine::{
 };
 pub use journal::{Mutation, MutationSink, SinkHandle};
 pub use mc_state::{FnvHasher, McShardedSnapshot, McSnapshot};
-pub use messages::{OobReply, PropagationPayload, PropagationResponse, ShippedItem};
+pub use messages::{
+    FullPullReply, OobReply, PropagationPayload, PropagationResponse, ReconItem, ReconReply,
+    ShippedItem,
+};
 pub use oob::{oob_copy, OobOutcome};
 pub use opcache::{CachedOp, OpCache};
 pub use paranoid::{AuditCheck, AuditViolation, ParanoidReport, ReplicaAuditor};
 pub use policy::ConflictPolicy;
 pub use propagation::{pull, AcceptOutcome, PullOutcome};
+pub use recon::{pull_recon, ReconDriver, ReconStep};
 pub use replica::{AuxItem, ProtocolCounters, Replica};
 pub use retry::RetryPolicy;
 pub use rounds::{Round, RoundOutcome, RoundStep};

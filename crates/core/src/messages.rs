@@ -8,7 +8,7 @@
 
 use bytes::Bytes;
 use epidb_common::costs::wire;
-use epidb_common::ItemId;
+use epidb_common::{ItemId, NodeId};
 use epidb_log::LogRecord;
 use epidb_vv::{DbVersionVector, VersionVector};
 
@@ -73,13 +73,16 @@ pub enum PropagationResponse {
     YouAreCurrent,
     /// Updates to propagate.
     Payload(PropagationPayload),
+    /// The source's retention-pruned log cannot cover the recipient's
+    /// DBVV gap; the recipient must degrade to set reconciliation.
+    NeedRecon,
 }
 
 impl PropagationResponse {
     /// Control bytes of the response message (excluding the envelope).
     pub fn control_bytes(&self) -> u64 {
         match self {
-            PropagationResponse::YouAreCurrent => 0,
+            PropagationResponse::YouAreCurrent | PropagationResponse::NeedRecon => 0,
             PropagationResponse::Payload(p) => p.control_bytes(),
         }
     }
@@ -87,7 +90,7 @@ impl PropagationResponse {
     /// Payload bytes of the response message.
     pub fn payload_bytes(&self) -> u64 {
         match self {
-            PropagationResponse::YouAreCurrent => 0,
+            PropagationResponse::YouAreCurrent | PropagationResponse::NeedRecon => 0,
             PropagationResponse::Payload(p) => p.payload_bytes(),
         }
     }
@@ -126,6 +129,103 @@ impl OobReply {
 /// Bytes of an out-of-bound request (just the item id).
 pub fn oob_request_bytes() -> u64 {
     wire::MSG_HEADER + wire::ITEM_ID
+}
+
+/// One item shipped by set reconciliation or a whole-database pull: the
+/// value and IVV (as in [`ShippedItem`]) plus the source's *retained* log
+/// records for the item, so an adopting recipient rebuilds the same log
+/// state a tail-covered pull would have produced.
+#[derive(Clone, Debug)]
+pub struct ReconItem {
+    /// The item's id.
+    pub item: ItemId,
+    /// The source's (regular) IVV for the item.
+    pub ivv: VersionVector,
+    /// The source's (regular) value — a refcounted view, never a copy.
+    pub value: Bytes,
+    /// The source's retained `(origin, m)` log records for this item,
+    /// in ascending origin order.
+    pub records: Vec<(NodeId, u64)>,
+}
+
+impl ReconItem {
+    /// Control bytes (id + IVV + shipped records); the value is payload.
+    pub fn control_bytes(&self) -> u64 {
+        wire::ITEM_ID + wire::vv(self.ivv.len()) + self.records.len() as u64 * wire::RECON_RECORD
+    }
+}
+
+/// Reply to one reconciliation descent step: child digests for the
+/// ranges still being narrowed, full items for the differing leaves the
+/// recipient asked to fetch, and the source's coverage floor (so the
+/// recipient does not re-serve evicted history to third parties).
+#[derive(Clone, Debug, Default)]
+pub struct ReconReply {
+    /// `(start, end, digest)` triples — the two child digests of every
+    /// range the recipient probed (a width-1 range yields its own leaf
+    /// digest).
+    pub digests: Vec<(u32, u32, u64)>,
+    /// The items fetched this step.
+    pub items: Vec<ReconItem>,
+    /// The source's per-origin coverage floor.
+    pub floor: Vec<u64>,
+    /// The source's DBVV total at serve time — the cut stamp. Digests in
+    /// different replies of one descent are only comparable when their
+    /// cuts match; a change means the source mutated mid-descent and the
+    /// recipient must fall back to the atomic whole-database pull, or its
+    /// DBVV could absorb a *non-prefix* subset of an origin's updates that
+    /// tail-covered pulls can never repair.
+    pub cut: u64,
+}
+
+impl ReconReply {
+    /// Control bytes: digest nodes + per-item control + the floor vector
+    /// + the cut stamp.
+    pub fn control_bytes(&self) -> u64 {
+        self.digests.len() as u64 * wire::RECON_DIGEST
+            + self.items.iter().map(ReconItem::control_bytes).sum::<u64>()
+            + wire::vv(self.floor.len())
+            + 8
+    }
+
+    /// Payload bytes: the item values being copied.
+    pub fn payload_bytes(&self) -> u64 {
+        self.items.iter().map(|s| s.value.len() as u64).sum()
+    }
+}
+
+/// Reply to a whole-database pull — the genuine O(N) bottom rung of the
+/// degradation ladder: every item with its IVV, value, and retained
+/// records, plus the source's coverage floor.
+#[derive(Clone, Debug, Default)]
+pub struct FullPullReply {
+    /// All items, in id order.
+    pub items: Vec<ReconItem>,
+    /// The source's per-origin coverage floor.
+    pub floor: Vec<u64>,
+}
+
+impl FullPullReply {
+    /// Control bytes: per-item control + the floor vector.
+    pub fn control_bytes(&self) -> u64 {
+        self.items.iter().map(ReconItem::control_bytes).sum::<u64>() + wire::vv(self.floor.len())
+    }
+
+    /// Payload bytes: the item values being copied.
+    pub fn payload_bytes(&self) -> u64 {
+        self.items.iter().map(|s| s.value.len() as u64).sum()
+    }
+}
+
+/// Bytes of one reconciliation descent request: the probed ranges plus
+/// the leaf fetch list.
+pub fn recon_request_bytes(ranges: usize, fetch: usize) -> u64 {
+    wire::MSG_HEADER + ranges as u64 * wire::RECON_RANGE + fetch as u64 * wire::ITEM_ID
+}
+
+/// Bytes of a whole-database pull request (header only).
+pub fn full_pull_request_bytes() -> u64 {
+    wire::MSG_HEADER
 }
 
 #[cfg(test)]
@@ -176,6 +276,56 @@ mod tests {
         let large = DbVersionVector::zero(64);
         assert_eq!(request_bytes(&small), 16 + 16);
         assert_eq!(request_bytes(&large), 16 + 512);
+    }
+
+    #[test]
+    fn recon_reply_byte_accounting() {
+        let reply = ReconReply {
+            digests: vec![(0, 4, 7), (4, 8, 9)],
+            items: vec![ReconItem {
+                item: ItemId(3),
+                ivv: VersionVector::zero(3),
+                value: Bytes::from_static(b"hello"),
+                records: vec![(NodeId(0), 4), (NodeId(2), 1)],
+            }],
+            floor: vec![0, 0, 0],
+            cut: 9,
+        };
+        // 2 digests · 16 + (id 4 + ivv 24 + 2 records · 10) + floor 24 + cut 8.
+        assert_eq!(reply.control_bytes(), 2 * 16 + (4 + 24 + 20) + 24 + 8);
+        assert_eq!(reply.payload_bytes(), 5);
+        assert_eq!(recon_request_bytes(2, 1), 16 + 2 * 8 + 4);
+        assert_eq!(full_pull_request_bytes(), 16);
+    }
+
+    #[test]
+    fn full_pull_reply_byte_accounting() {
+        let reply = FullPullReply {
+            items: vec![
+                ReconItem {
+                    item: ItemId(0),
+                    ivv: VersionVector::zero(2),
+                    value: Bytes::from_static(b"ab"),
+                    records: vec![(NodeId(1), 2)],
+                },
+                ReconItem {
+                    item: ItemId(1),
+                    ivv: VersionVector::zero(2),
+                    value: Bytes::new(),
+                    records: vec![],
+                },
+            ],
+            floor: vec![3, 0],
+        };
+        assert_eq!(reply.control_bytes(), (4 + 16 + 10) + (4 + 16) + 16);
+        assert_eq!(reply.payload_bytes(), 2);
+    }
+
+    #[test]
+    fn need_recon_is_constant_size() {
+        let resp = PropagationResponse::NeedRecon;
+        assert_eq!(resp.control_bytes(), 0);
+        assert_eq!(resp.payload_bytes(), 0);
     }
 
     #[test]

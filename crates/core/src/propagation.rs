@@ -51,6 +51,20 @@ impl PullOutcome {
     }
 }
 
+/// Outcome of the shared `SendPropagation` first half: the recipient is
+/// current, tails can be served, or the retention-pruned log no longer
+/// covers the recipient's gap and the source must punt to reconciliation.
+pub(crate) enum TailSelection {
+    /// The recipient's DBVV dominates or equals: nothing to send.
+    Current,
+    /// Per-origin tails plus the selected item set `S`.
+    Tails(Vec<Vec<LogRecord>>, Vec<ItemId>),
+    /// Some gapped origin `k` has `floor[k] > recipient_dbvv[k]`: records
+    /// the recipient needs were evicted by log retention, so the tail
+    /// vector cannot cover the gap.
+    Uncovered,
+}
+
 impl Replica {
     /// The paper's `SendPropagation(i, V_i)` (Fig. 2), executed at the
     /// *source* `j = self` when recipient `i` asks to propagate.
@@ -65,8 +79,9 @@ impl Replica {
     /// participates in scheduled propagation (§5.1).
     pub fn prepare_propagation(&mut self, recipient_dbvv: &DbVersionVector) -> PropagationResponse {
         let (tails, s_items) = match self.select_tails(recipient_dbvv) {
-            None => return PropagationResponse::YouAreCurrent,
-            Some(sel) => sel,
+            TailSelection::Current => return PropagationResponse::YouAreCurrent,
+            TailSelection::Uncovered => return PropagationResponse::NeedRecon,
+            TailSelection::Tails(tails, s_items) => (tails, s_items),
         };
         // Materialize the shipped items. Values are *shared*, not copied:
         // `ItemValue::share` hands out a refcounted view, so building `S`
@@ -88,22 +103,35 @@ impl Replica {
     /// (but excluding) materializing per-item payloads, so the whole-item
     /// and delta-offer paths can each ship only what they need.
     ///
-    /// Returns `None` when the recipient is current (the constant-time
-    /// identical-replica detection, with its trace/audit already recorded).
-    pub(crate) fn select_tails(
-        &mut self,
-        recipient_dbvv: &DbVersionVector,
-    ) -> Option<(Vec<Vec<LogRecord>>, Vec<ItemId>)> {
+    /// Returns [`TailSelection::Current`] when the recipient is current
+    /// (the constant-time identical-replica detection, with its
+    /// trace/audit already recorded), and [`TailSelection::Uncovered`]
+    /// when log retention has evicted records inside the recipient's gap
+    /// — the caller must degrade to set reconciliation.
+    pub(crate) fn select_tails(&mut self, recipient_dbvv: &DbVersionVector) -> TailSelection {
         let mut cmps = 0;
         let ord = recipient_dbvv.compare_counted(&self.dbvv, &mut cmps);
         self.costs.vv_entry_cmps += cmps;
         if ord.dominates_or_equal() {
             self.trace_record(TraceStep::SendUpToDate, None, None, OrdTag::NoCompare, 0);
             self.post_step_audit("send-up-to-date");
-            return None;
+            return TailSelection::Current;
         }
 
         let n = self.n_nodes();
+        // Coverage check: for every gapped origin `k` the tail
+        // `(recipient_dbvv[k], dbvv[k]]` must still be fully retained,
+        // i.e. no eviction reached past the recipient's watermark.
+        for k in NodeId::all(n) {
+            if self.dbvv.get(k) > recipient_dbvv.get(k)
+                && self.floor[k.index()] > recipient_dbvv.get(k)
+            {
+                self.trace_record(TraceStep::SendNeedRecon, None, None, OrdTag::NoCompare, 0);
+                self.post_step_audit("send-need-recon");
+                return TailSelection::Uncovered;
+            }
+        }
+
         let mut tails: Vec<Vec<LogRecord>> = vec![Vec::new(); n];
         let mut examined = 0;
         for k in NodeId::all(n) {
@@ -129,7 +157,7 @@ impl Replica {
             self.is_selected[x.index()] = false;
         }
         self.costs.items_scanned += s_items.len() as u64;
-        Some((tails, s_items))
+        TailSelection::Tails(tails, s_items)
     }
 
     /// The paper's `AcceptPropagation(D, S)` (Fig. 3), executed at the
@@ -281,6 +309,7 @@ impl Replica {
                 self.costs.log_records_examined += 1;
                 appended += 1;
             }
+            self.enforce_log_retention(k);
         }
         self.trace_record(TraceStep::AppendTails, None, Some(source), OrdTag::NoCompare, appended);
 
@@ -299,7 +328,7 @@ impl Replica {
     /// (the generalized rule 3), install the deterministic winner value,
     /// and record the resolution as a fresh local update so it dominates
     /// both parents. Returns the `m` of the resolution's log record.
-    fn resolve_lww(&mut self, x: ItemId, shipped: &ShippedItem) -> Result<u64> {
+    pub(crate) fn resolve_lww(&mut self, x: ItemId, shipped: &ShippedItem) -> Result<u64> {
         let local_ivv = self.store.get(x)?.ivv.clone();
         let mut merged = local_ivv.clone();
         merged.merge_max(&shipped.ivv)?;

@@ -97,6 +97,20 @@ pub struct Replica {
     /// transport's frame limit via
     /// [`set_delta_frame_budget`](Self::set_delta_frame_budget).
     pub(crate) delta_frame_budget: u64,
+    /// Per-origin log retention cap: each log component `L_ij` keeps at
+    /// most this many records, evicting the oldest. `0` (the default) is
+    /// unbounded — the paper's behaviour, where §4.2's one-record-per-item
+    /// bound is the only limit. Bounding it trades log memory for tail
+    /// coverage: once a record is evicted, tails below the coverage floor
+    /// can no longer be served and pulls from far-behind peers degrade to
+    /// digest-tree reconciliation ([`crate::recon`]).
+    pub(crate) log_retention: usize,
+    /// Per-origin coverage floor: `floor[k]` is the largest `m` whose
+    /// record was evicted from `L_ik` (or adopted from a peer's floor
+    /// during reconciliation). A tail `D_k` computed from a threshold
+    /// `t < floor[k]` cannot be proven complete, so propagation refuses
+    /// it with `NeedRecon` instead of shipping a lossy tail.
+    pub(crate) floor: Vec<u64>,
 }
 
 impl Replica {
@@ -135,6 +149,8 @@ impl Replica {
             sink: None,
             debug_adopt_conflicts: false,
             delta_frame_budget: u64::MAX,
+            log_retention: 0,
+            floor: vec![0; n_nodes],
         }
     }
 
@@ -158,6 +174,57 @@ impl Replica {
     /// `u64::MAX` (the default) restores unbounded frames.
     pub fn set_delta_frame_budget(&mut self, bytes: u64) {
         self.delta_frame_budget = bytes;
+    }
+
+    /// Bound each log component to at most `keep` records, evicting the
+    /// oldest immediately and after every future append. `0` restores the
+    /// unbounded default. Eviction raises the per-origin coverage floor
+    /// (see [`coverage_floor`](Self::coverage_floor)): tails below the
+    /// floor are refused and the puller falls back to digest-tree
+    /// reconciliation. Like [`enable_delta`](Self::enable_delta) this is
+    /// node configuration, not journaled state — a recovering runtime
+    /// re-applies it (the floor itself is durable, in the snapshot).
+    pub fn set_log_retention(&mut self, keep: usize) {
+        self.log_retention = keep;
+        if keep > 0 {
+            for j in NodeId::all(self.n_nodes()) {
+                self.enforce_log_retention(j);
+            }
+        }
+    }
+
+    /// The log retention cap (`0` = unbounded).
+    pub fn log_retention(&self) -> usize {
+        self.log_retention
+    }
+
+    /// The per-origin coverage floor: `floor[k]` is the largest origin-`k`
+    /// sequence number whose log record this replica no longer retains.
+    /// All-zero while retention is unbounded and no peer floor was adopted.
+    pub fn coverage_floor(&self) -> &[u64] {
+        &self.floor
+    }
+
+    /// Internal: prune component `j` down to the retention cap, raising
+    /// the coverage floor past everything evicted. A no-op while retention
+    /// is unbounded.
+    #[inline]
+    pub(crate) fn enforce_log_retention(&mut self, j: NodeId) {
+        if self.log_retention == 0 {
+            return;
+        }
+        if let Some(evicted) = self.log.prune_component(j, self.log_retention) {
+            self.raise_floor(j, evicted);
+        }
+    }
+
+    /// Internal: raise the coverage floor for origin `k` to at least `m`.
+    #[inline]
+    pub(crate) fn raise_floor(&mut self, k: NodeId, m: u64) {
+        let e = &mut self.floor[k.index()];
+        if m > *e {
+            *e = m;
+        }
     }
 
     /// This replica's server id.
@@ -227,6 +294,7 @@ impl Replica {
         self.store.apply_local_update(self.id, x, &op)?;
         let m = self.dbvv.record_local_update(self.id);
         self.log.add_record(self.id, LogRecord { item: x, m });
+        self.enforce_log_retention(self.id);
         if let Some(pre_vv) = pre_vv {
             self.op_cache.record(x, pre_vv, op);
         }
@@ -445,6 +513,25 @@ impl Replica {
             return Err(format!("DBVV {} != sum of IVVs {} at {}", self.dbvv, sum, self.id));
         }
         self.log.check_invariants()?;
+        if self.floor.len() != self.n_nodes() {
+            return Err(format!(
+                "coverage floor has {} entries for {} servers",
+                self.floor.len(),
+                self.n_nodes()
+            ));
+        }
+        if self.log_retention > 0 {
+            for j in NodeId::all(self.n_nodes()) {
+                if self.log.component_len(j) > self.log_retention {
+                    return Err(format!(
+                        "log component {} holds {} records over the retention cap {}",
+                        j,
+                        self.log.component_len(j),
+                        self.log_retention
+                    ));
+                }
+            }
+        }
         if self.is_selected.iter().any(|&f| f) {
             return Err("IsSelected flag left set between propagations".into());
         }
@@ -477,6 +564,14 @@ impl Replica {
                     "log component {} has record m={} beyond DBVV entry {}",
                     j,
                     self.log.max_m(j),
+                    self.dbvv.get(j)
+                ));
+            }
+            if self.floor[j.index()] > self.dbvv.get(j) {
+                return Err(format!(
+                    "coverage floor for {} is {} beyond DBVV entry {}",
+                    j,
+                    self.floor[j.index()],
                     self.dbvv.get(j)
                 ));
             }

@@ -76,7 +76,7 @@ impl RetryPolicy {
         }
         let exp = self.base_backoff.saturating_mul(1u32 << (failed.max(1) - 1).min(16));
         let capped = exp.min(self.max_backoff.max(self.base_backoff));
-        let nanos = capped.as_nanos() as u64;
+        let nanos = capped.as_nanos();
         // splitmix64 of (seed, attempt) — stable across runs, different
         // across attempts, no shared state.
         let mut z =
@@ -84,9 +84,18 @@ impl RetryPolicy {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
-        // Scale into [0.75, 1.25) of the capped backoff.
-        let jittered = nanos / 4 * 3 + ((z % 512) * nanos / 1024);
-        Duration::from_nanos(jittered)
+        // Scale into [0.75, 1.25) of the capped backoff, entirely in u128:
+        // in u64 the product `(z % 512) * nanos` wraps once the capped
+        // backoff exceeds ~2^55 ns (~417 days), collapsing a huge backoff
+        // into a near-zero pause.
+        let jittered = nanos / 4 * 3 + (z % 512) as u128 * nanos / 1024;
+        let secs = jittered / 1_000_000_000;
+        match u64::try_from(secs) {
+            Ok(s) => Duration::new(s, (jittered % 1_000_000_000) as u32),
+            // ≥ 1.0× jitter of a near-Duration::MAX backoff can exceed
+            // what Duration represents; saturate.
+            Err(_) => Duration::MAX,
+        }
     }
 
     /// Whether a round that started at `start` has exhausted its deadline.
@@ -221,6 +230,55 @@ mod tests {
                 assert!(d >= cap * 3 / 4, "seed {seed} failed {failed}: {d:?} below 0.75x");
                 assert!(d < cap * 5 / 4, "seed {seed} failed {failed}: {d:?} at/above 1.25x");
             }
+        }
+    }
+
+    #[test]
+    fn giant_backoffs_do_not_wrap() {
+        // Regression: the jitter product `(z % 512) * nanos` was computed
+        // in u64 and wrapped once the capped backoff exceeded ~2^55 ns
+        // (~417 days), collapsing the pause to nearly zero.
+        let cap = Duration::from_secs(60 * 60 * 24 * 500); // 500 days
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: cap,
+            max_backoff: cap,
+            round_deadline: None,
+            jitter_seed: 3,
+        };
+        let d = p.backoff(1);
+        assert!(d >= cap * 3 / 4, "wrapped to {d:?}");
+        assert!(d < cap * 5 / 4);
+    }
+
+    proptest::proptest! {
+        /// The jittered pause stays within [0.75, 1.25) of the capped
+        /// nominal backoff for arbitrary durations (far past the ~417-day
+        /// u64 overflow point), seeds, and failure counts.
+        #[test]
+        fn backoff_jitter_stays_in_range(
+            base_ns in 1u64..u64::MAX,
+            cap_ns in 1u64..u64::MAX,
+            seed in proptest::prelude::any::<u64>(),
+            failed in 0u32..40,
+        ) {
+            let p = RetryPolicy {
+                max_attempts: 10,
+                base_backoff: Duration::from_nanos(base_ns),
+                max_backoff: Duration::from_nanos(cap_ns),
+                round_deadline: None,
+                jitter_seed: seed,
+            };
+            // Recompute the nominal capped backoff the same way, then
+            // check the bounds in exact u128 nanosecond arithmetic
+            // (allowing the implementation's two integer truncations,
+            // each worth < 4 ns, on the low side).
+            let exp = p.base_backoff.saturating_mul(1u32 << (failed.max(1) - 1).min(16));
+            let capped = exp.min(p.max_backoff.max(p.base_backoff));
+            let n = capped.as_nanos();
+            let d = p.backoff(failed).as_nanos();
+            proptest::prop_assert!(d + 4 >= n * 3 / 4, "{d} ns below 0.75 x {n} ns");
+            proptest::prop_assert!(d * 1024 < n * 1280, "{d} ns at/above 1.25 x {n} ns");
         }
     }
 

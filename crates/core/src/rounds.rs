@@ -43,6 +43,7 @@ use crate::mc_state::FnvHasher;
 use crate::messages::PropagationResponse;
 use crate::oob::OobOutcome;
 use crate::propagation::PullOutcome;
+use crate::recon::{ReconDriver, ReconStep};
 use crate::replica::Replica;
 
 /// What the initiator must do next after feeding a response into
@@ -88,6 +89,10 @@ enum State {
         /// The requested item.
         item: ItemId,
     },
+    /// Running a set-reconciliation descent (entered directly via
+    /// [`Round::start_recon`] or by degradation when a pull or offer
+    /// answers `NeedRecon`).
+    Recon(ReconDriver),
     /// Finished (or aborted by an error).
     Done,
 }
@@ -122,6 +127,19 @@ impl Round {
             ProtocolRequest::DeltaPull { from: initiator.id(), dbvv: initiator.dbvv().clone() };
         initiator.charge_message(req.control_bytes(), req.payload_bytes());
         (Round { peer, cap: budget.max_frame_items.max(1), state: State::AwaitOffer }, req)
+    }
+
+    /// Start a set-reconciliation round from `initiator` toward `peer`,
+    /// capping request frames under `budget` — the step-wise twin of
+    /// [`Engine::pull_recon`](crate::Engine::pull_recon).
+    pub fn start_recon(
+        initiator: &mut Replica,
+        peer: NodeId,
+        budget: &GossipBudget,
+    ) -> (Round, ProtocolRequest) {
+        let cap = budget.max_frame_items.max(1);
+        let (driver, req) = ReconDriver::start(initiator, cap);
+        (Round { peer, cap, state: State::Recon(driver) }, req)
     }
 
     /// Start an out-of-bound copy of `item` (§5.2) from `initiator` toward
@@ -164,6 +182,13 @@ impl Round {
                 let outcome = initiator.accept_propagation(self.peer, payload)?;
                 Ok(RoundStep::Done(RoundOutcome::Pull(PullOutcome::Propagated(outcome))))
             }
+            (State::AwaitPull, ProtocolResponse::Pull(PropagationResponse::NeedRecon)) => {
+                // Degrade exactly as the blocking engine: a plain pull
+                // reconciles unbudgeted.
+                let (driver, req) = ReconDriver::start(initiator, usize::MAX);
+                self.state = State::Recon(driver);
+                Ok(RoundStep::Send(req))
+            }
             (State::AwaitPull, other) => Err(unexpected("pull", &other)),
 
             (
@@ -175,6 +200,13 @@ impl Round {
                 // The engine always sends at least one fetch, even for an
                 // empty want-list — the exchange shape must match.
                 Ok(RoundStep::Send(self.next_fetch(initiator, wants.wants, Vec::new(), eval)))
+            }
+            (State::AwaitOffer, ProtocolResponse::DeltaOffer(DeltaOfferResponse::NeedRecon)) => {
+                // Degrade under the round's own frame cap, like
+                // `pull_delta_round`.
+                let (driver, req) = ReconDriver::start(initiator, self.cap);
+                self.state = State::Recon(driver);
+                Ok(RoundStep::Send(req))
             }
             (State::AwaitOffer, other) => Err(unexpected("delta-pull", &other)),
 
@@ -214,6 +246,16 @@ impl Round {
                 Ok(RoundStep::Done(RoundOutcome::Oob(outcome)))
             }
             (State::AwaitOob { .. }, other) => Err(unexpected("oob", &other)),
+
+            (State::Recon(mut driver), resp) => {
+                match driver.on_response(initiator, self.peer, resp)? {
+                    ReconStep::Send(req) => {
+                        self.state = State::Recon(driver);
+                        Ok(RoundStep::Send(req))
+                    }
+                    ReconStep::Done(outcome) => Ok(RoundStep::Done(RoundOutcome::Pull(outcome))),
+                }
+            }
 
             (State::Done, _) => {
                 Err(Error::Network("response delivered to a completed round".into()))
@@ -305,6 +347,12 @@ impl Round {
                 w.u32(item.0);
             }
             State::Done => w.u8(4),
+            State::Recon(driver) => {
+                w.u8(5);
+                h.write(&w.into_bytes());
+                driver.mc_fingerprint(h);
+                return;
+            }
         }
         h.write(&w.into_bytes());
     }
@@ -416,6 +464,64 @@ mod tests {
         assert_eq!(ae.costs(), ar.costs());
         assert_eq!(be.costs(), br.costs());
         assert_eq!(ae.fingerprint(), ar.fingerprint());
+    }
+
+    #[test]
+    fn stepwise_recon_matches_engine_exactly() {
+        for budget in [GossipBudget::UNBOUNDED, GossipBudget::per_frame(2)] {
+            let mut a0 = Replica::new(NodeId(0), 2, 32);
+            let mut b0 = Replica::new(NodeId(1), 2, 32);
+            for i in 0..32u32 {
+                b0.update(ItemId(i), UpdateOp::set(vec![i as u8; 8])).unwrap();
+            }
+            Engine::pull(&mut a0, &mut LocalTransport::new(&mut b0)).unwrap();
+            for i in [2u32, 17, 30] {
+                b0.update(ItemId(i), UpdateOp::append(&b"+late"[..])).unwrap();
+            }
+
+            let (mut ae, mut be) = (a0.clone(), b0.clone());
+            Engine::pull_recon_with(
+                &mut ae,
+                &mut LocalTransport::new(&mut be),
+                &crate::RetryPolicy::none(),
+                &budget,
+            )
+            .unwrap();
+
+            let (mut ar, mut br) = (a0, b0);
+            let start = Round::start_recon(&mut ar, NodeId(1), &budget);
+            let out = drive(&mut ar, &mut br, start).unwrap();
+            assert!(matches!(out, RoundOutcome::Pull(PullOutcome::Propagated(_))));
+
+            assert_eq!(ae.costs(), ar.costs(), "initiator costs diverged");
+            assert_eq!(be.costs(), br.costs(), "responder costs diverged");
+            assert_eq!(ae.fingerprint(), ar.fingerprint());
+            assert_eq!(be.fingerprint(), br.fingerprint());
+        }
+    }
+
+    #[test]
+    fn stepwise_pull_degrades_to_recon_like_the_engine() {
+        let mut a0 = Replica::new(NodeId(0), 2, 16);
+        let mut b0 = Replica::new(NodeId(1), 2, 16);
+        b0.set_log_retention(1);
+        for i in 0..16u32 {
+            b0.update(ItemId(i), UpdateOp::set(vec![i as u8; 8])).unwrap();
+        }
+        a0.update(ItemId(0), UpdateOp::set(&b"mine"[..])).unwrap();
+
+        let (mut ae, mut be) = (a0.clone(), b0.clone());
+        Engine::pull(&mut ae, &mut LocalTransport::new(&mut be)).unwrap();
+
+        let (mut ar, mut br) = (a0, b0);
+        let start = Round::start_pull(&mut ar, NodeId(1));
+        let out = drive(&mut ar, &mut br, start).unwrap();
+        assert!(matches!(out, RoundOutcome::Pull(PullOutcome::Propagated(_))));
+
+        assert_eq!(ae.costs(), ar.costs(), "initiator costs diverged");
+        assert_eq!(be.costs(), br.costs(), "responder costs diverged");
+        assert_eq!(ae.fingerprint(), ar.fingerprint());
+        assert_eq!(be.fingerprint(), br.fingerprint());
     }
 
     #[test]

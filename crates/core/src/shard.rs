@@ -315,6 +315,15 @@ impl ShardedNode {
         }
     }
 
+    /// Bound log-vector retention to `keep` records per (origin, item)
+    /// component on every owned shard, raising coverage floors as pruning
+    /// proceeds. Pulls against compacted shards may degrade to recon.
+    pub fn set_log_retention(&mut self, keep: usize) {
+        for r in self.shards.values_mut() {
+            r.set_log_retention(keep);
+        }
+    }
+
     /// Total paranoid audits run across owned shards.
     pub fn audits_run(&self) -> u64 {
         self.shards.values().map(Replica::audits_run).sum()
@@ -422,6 +431,27 @@ impl ShardedNode {
     /// map has been reassigned).
     pub fn complete_handoff(&mut self, shard: ShardId) {
         self.moving.remove(&shard);
+    }
+
+    /// Abort an in-flight handoff: reopen the cutover window closed by
+    /// [`ShardedNode::freeze_shard`] so this node serves the shard again.
+    ///
+    /// Without this, a failed [`ShardedNode::install_shard`] on the target
+    /// wedged the handoff forever — the source had already frozen the
+    /// shard and had no path back to serving it short of completing a
+    /// handoff that could no longer complete. Errors with
+    /// [`Error::NotServedHere`] if this node holds no state for the shard
+    /// (an abort cannot conjure a replica; a target whose install failed
+    /// has nothing to serve and simply stays out of the group).
+    pub fn abort_handoff(&mut self, shard: ShardId) -> Result<()> {
+        if !self.shards.contains_key(&shard) {
+            return Err(Error::NotServedHere {
+                target: RouteTarget::Shard(shard),
+                owners: self.map.owners(shard).to_vec(),
+            });
+        }
+        self.moving.remove(&shard);
+        Ok(())
     }
 }
 
@@ -730,6 +760,40 @@ mod tests {
         assert_eq!(n3.read(ItemId(0)).unwrap().as_bytes(), b"pre");
         assert_eq!(n3.read(ItemId(1)).unwrap().as_bytes(), b"tail");
         n3.check_invariants_clean().unwrap();
+    }
+
+    #[test]
+    fn failed_install_aborts_and_source_serves_again() {
+        // Regression: a failed `install_shard` on the target used to wedge
+        // the handoff forever — the source had frozen the shard and had no
+        // abort path back to serving it.
+        let mut n0 = node(0);
+        let mut n2 = node(2);
+        n0.update(ItemId(0), UpdateOp::set(&b"survives"[..])).unwrap();
+
+        let snapshot = n0.shard_snapshot(ShardId(0)).unwrap();
+        n0.freeze_shard(ShardId(0)).unwrap();
+        assert!(matches!(n0.read(ItemId(0)), Err(Error::ShardMoving(_))), "window closed");
+
+        // The shipped snapshot is truncated in flight; the install fails
+        // and must leave the target without shard-0 state.
+        let corrupt = &snapshot[..snapshot.len() - 8];
+        assert!(n2.install_shard(ShardId(0), corrupt, &[]).is_err());
+        assert!(n2.shard_state(ShardId(0)).is_none());
+
+        // The source aborts the handoff and serves again, state intact.
+        n0.abort_handoff(ShardId(0)).unwrap();
+        assert!(!n0.is_moving(ShardId(0)));
+        assert_eq!(n0.read(ItemId(0)).unwrap().as_bytes(), b"survives");
+        n0.update(ItemId(1), UpdateOp::set(&b"post-abort"[..])).unwrap();
+        n0.check_invariants_clean().unwrap();
+
+        // A node without state for the shard cannot "abort" into serving
+        // it: the failed target redirects instead.
+        match n2.abort_handoff(ShardId(0)) {
+            Err(Error::NotServedHere { .. }) => {}
+            other => panic!("expected NotServedHere, got {other:?}"),
+        }
     }
 
     #[test]

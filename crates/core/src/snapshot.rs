@@ -91,6 +91,14 @@ impl Replica {
             put_op(&mut w, &rec.op);
         }
 
+        // Log retention and the coverage floor (§4.2 compaction state). The
+        // floor is durable protocol state: losing it across a crash would
+        // let a recovered replica serve tails it cannot prove complete.
+        w.u32(self.log_retention as u32);
+        for k in NodeId::all(self.n_nodes()) {
+            w.u64(self.floor[k.index()]);
+        }
+
         w.into_bytes()
     }
 
@@ -178,6 +186,11 @@ impl Replica {
                 return Err(Error::UnknownItem(x));
             }
             replica.aux_log.push(x, vv, op);
+        }
+
+        replica.log_retention = r.u32()? as usize;
+        for k in NodeId::all(n_nodes) {
+            replica.floor[k.index()] = r.u64()?;
         }
 
         r.finish()?;
@@ -314,6 +327,22 @@ mod tests {
             v >= lo && v + value.len() <= lo + frame.len(),
             "restored value was copied instead of aliased"
         );
+    }
+
+    #[test]
+    fn retention_and_floor_survive() {
+        let mut r = Replica::new(NodeId(0), 3, 8);
+        r.set_log_retention(2);
+        for i in 0..6u32 {
+            r.update(ItemId(i), UpdateOp::set(vec![i as u8; 8])).unwrap();
+        }
+        assert_eq!(r.log().component_len(NodeId(0)), 2);
+        assert_eq!(r.coverage_floor(), &[4, 0, 0]);
+        let restored = Replica::from_snapshot(&r.to_snapshot()).unwrap();
+        assert_eq!(restored.log_retention(), 2);
+        assert_eq!(restored.coverage_floor(), &[4, 0, 0]);
+        assert_replicas_equal(&r, &restored);
+        restored.check_invariants().unwrap();
     }
 
     #[test]

@@ -9,8 +9,9 @@ use epidb_core::codec::{
     put_op, put_payload, put_vv, Reader, Writer,
 };
 use epidb_core::{
-    CachedOp, DeltaItem, DeltaOffer, DeltaOfferResponse, DeltaPayload, DeltaRequest, OobReply,
-    PropagationPayload, PropagationResponse, ProtocolRequest, ProtocolResponse, ShippedItem,
+    CachedOp, DeltaItem, DeltaOffer, DeltaOfferResponse, DeltaPayload, DeltaRequest, FullPullReply,
+    OobReply, PropagationPayload, PropagationResponse, ProtocolRequest, ProtocolResponse,
+    ReconItem, ReconReply, ShippedItem,
 };
 use epidb_log::LogRecord;
 use epidb_store::UpdateOp;
@@ -75,9 +76,40 @@ fn arb_delta_item() -> impl Strategy<Value = DeltaItem> {
     ]
 }
 
+fn arb_recon_item() -> impl Strategy<Value = ReconItem> {
+    (
+        any::<u32>(),
+        arb_vv(),
+        prop::collection::vec(any::<u8>(), 0..64),
+        prop::collection::vec((any::<u16>(), any::<u64>()), 0..4),
+    )
+        .prop_map(|(item, ivv, value, records)| ReconItem {
+            item: ItemId(item),
+            ivv,
+            value: Bytes::from(value),
+            records: records.into_iter().map(|(k, m)| (NodeId(k), m)).collect(),
+        })
+}
+
+fn arb_recon_reply() -> impl Strategy<Value = ReconReply> {
+    (
+        prop::collection::vec((any::<u32>(), any::<u32>(), any::<u64>()), 0..6),
+        prop::collection::vec(arb_recon_item(), 0..4),
+        prop::collection::vec(any::<u64>(), 0..5),
+        any::<u64>(),
+    )
+        .prop_map(|(digests, items, floor, cut)| ReconReply { digests, items, floor, cut })
+}
+
+fn arb_full_pull_reply() -> impl Strategy<Value = FullPullReply> {
+    (prop::collection::vec(arb_recon_item(), 0..5), prop::collection::vec(any::<u64>(), 0..5))
+        .prop_map(|(items, floor)| FullPullReply { items, floor })
+}
+
 fn arb_delta_offer() -> impl Strategy<Value = DeltaOfferResponse> {
     prop_oneof![
         Just(DeltaOfferResponse::YouAreCurrent),
+        Just(DeltaOfferResponse::NeedRecon),
         (
             arb_tails(),
             prop::collection::vec((any::<u32>(), arb_vv()), 0..5)
@@ -116,6 +148,17 @@ fn arb_flat_request() -> impl Strategy<Value = ProtocolRequest> {
         (any::<u16>(), any::<u32>())
             .prop_map(|(n, i)| ProtocolRequest::Oob { from: NodeId(n), item: ItemId(i) }),
         any::<u16>().prop_map(|n| ProtocolRequest::ListDatabases { from: NodeId(n) }),
+        (
+            any::<u16>(),
+            prop::collection::vec((any::<u32>(), any::<u32>()), 0..6),
+            prop::collection::vec(any::<u32>(), 0..6),
+        )
+            .prop_map(|(n, ranges, fetch)| ProtocolRequest::Recon {
+                from: NodeId(n),
+                ranges,
+                fetch: fetch.into_iter().map(ItemId).collect(),
+            }),
+        any::<u16>().prop_map(|n| ProtocolRequest::FullPull { from: NodeId(n) }),
     ]
 }
 
@@ -133,6 +176,7 @@ fn arb_flat_response() -> impl Strategy<Value = ProtocolResponse> {
     prop_oneof![
         prop_oneof![
             Just(PropagationResponse::YouAreCurrent),
+            Just(PropagationResponse::NeedRecon),
             arb_payload().prop_map(PropagationResponse::Payload),
         ]
         .prop_map(ProtocolResponse::Pull),
@@ -140,6 +184,8 @@ fn arb_flat_response() -> impl Strategy<Value = ProtocolResponse> {
         prop::collection::vec(arb_delta_item(), 0..4)
             .prop_map(|items| ProtocolResponse::DeltaPayload(DeltaPayload { items })),
         arb_oob_reply().prop_map(ProtocolResponse::Oob),
+        arb_recon_reply().prop_map(ProtocolResponse::Recon),
+        arb_full_pull_reply().prop_map(ProtocolResponse::Full),
         prop::collection::vec(arb_name(), 0..4).prop_map(ProtocolResponse::Databases),
         arb_name().prop_map(ProtocolResponse::Error),
     ]

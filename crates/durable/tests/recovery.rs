@@ -74,6 +74,55 @@ fn wal_replay_recovers_every_mutation_kind() {
 }
 
 #[test]
+fn recon_pull_and_coverage_floor_survive_crash_recovery() {
+    // A compacted peer forces the durable node down the degradation
+    // ladder (NeedRecon → digest descent); the committed reconciliation
+    // journals as one `Mutation::Recon` frame carrying the adopted items,
+    // their retained records, and the inherited coverage floor — all of
+    // which must replay to the identical state after a crash.
+    let tmp = TempDir::new("recon-replay");
+    let cfg = DurabilityConfig::new(tmp.path());
+    let (d, mut node, _) = open(&cfg, NodeId(1));
+
+    let mut peer = Replica::new(NodeId(0), N_NODES, N_ITEMS);
+    for x in 0..6u32 {
+        peer.update(ItemId(x), UpdateOp::set(vec![x as u8; 32])).unwrap();
+    }
+    pull(&mut node, &mut peer).unwrap();
+    node.update(ItemId(2), UpdateOp::set(&b"mine"[..])).unwrap();
+
+    // The peer compacts its log and moves on — its floor climbs past the
+    // node's coverage, so a plain pull must reconcile instead.
+    peer.set_log_retention(1);
+    for x in [0u32, 4] {
+        peer.update(ItemId(x), UpdateOp::append(&b"+late"[..])).unwrap();
+        peer.update(ItemId(x), UpdateOp::append(&b"+later"[..])).unwrap();
+    }
+    assert!(peer.coverage_floor()[0] > 0, "compaction raised the peer's floor");
+    let wal_before = d.wal_records();
+    let out = pull(&mut node, &mut peer).unwrap();
+    assert!(matches!(out, epidb_core::PullOutcome::Propagated(_)));
+    assert!(node.coverage_floor()[0] >= peer.coverage_floor()[0] - 1);
+    assert!(d.wal_records() > wal_before, "the reconciliation was journaled");
+    drop(d); // crash
+
+    let (_d2, recovered, report) = open(&cfg, NodeId(1));
+    assert_eq!(report.replay_errors, 0);
+    assert_same_state(&node, &recovered);
+    assert_eq!(node.coverage_floor(), recovered.coverage_floor(), "floor replayed");
+    for k in NodeId::all(N_NODES) {
+        for x in ItemId::all(N_ITEMS) {
+            assert_eq!(
+                node.log().retained(k, x),
+                recovered.log().retained(k, x),
+                "retained record for origin {k:?} item {x:?} replayed"
+            );
+        }
+    }
+    recovered.check_invariants().unwrap();
+}
+
+#[test]
 fn checkpoint_rotates_generations_and_recovery_uses_snapshot() {
     let tmp = TempDir::new("checkpoint");
     let cfg = DurabilityConfig { checkpoint_every: 4, ..DurabilityConfig::new(tmp.path()) };

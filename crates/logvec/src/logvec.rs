@@ -201,6 +201,33 @@ impl LogVector {
         ComponentIter { log: self, cur: self.components[j.index()].head }
     }
 
+    /// Evict the oldest records of component `L_ij` until at most `keep`
+    /// remain (`keep == 0` empties the component). Returns the largest `m`
+    /// evicted, or `None` when nothing was evicted.
+    ///
+    /// Eviction *forgets which item* an old update touched: a tail computed
+    /// from a threshold below the returned `m` can no longer be proven
+    /// complete, so callers that prune must raise their coverage floor to
+    /// the returned value and refuse to serve tails below it.
+    pub fn prune_component(&mut self, j: NodeId, keep: usize) -> Option<u64> {
+        let jj = j.index();
+        let mut max_evicted = None;
+        // The component ascends in `m`, so the head is always the oldest
+        // record and the last eviction carries the largest evicted `m`.
+        while self.components[jj].len > keep {
+            let head = self.components[jj].head;
+            let (item, m) = {
+                let s = &self.slots[head as usize];
+                (s.item, s.m)
+            };
+            self.unlink(jj, head);
+            self.p[jj][item.index()] = NIL;
+            self.free.push(head);
+            max_evicted = Some(m);
+        }
+        max_evicted
+    }
+
     /// The largest `m` in component `j` (the latest update by `j` this node
     /// has logged), or 0 if the component is empty.
     pub fn max_m(&self, j: NodeId) -> u64 {
@@ -484,6 +511,37 @@ mod tests {
         log.add_record(NodeId(0), rec(0, 9));
         log.add_record(NodeId(0), rec(1, 2));
         assert_eq!(collect(&log, 0), vec![(1, 2), (0, 9)]);
+        log.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn prune_component_evicts_oldest_and_reports_floor() {
+        let mut log = LogVector::new(2, 5);
+        let j = NodeId(0);
+        for (x, m) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)] {
+            log.add_record(j, rec(x, m));
+        }
+        // Keep the two newest; the floor is the largest evicted m.
+        assert_eq!(log.prune_component(j, 2), Some(3));
+        assert_eq!(collect(&log, 0), vec![(3, 4), (4, 5)]);
+        assert_eq!(log.component_len(j), 2);
+        // Pruned items vanish from the pointer array too.
+        assert_eq!(log.retained(j, ItemId(0)), None);
+        assert_eq!(log.retained(j, ItemId(3)), Some(rec(3, 4)));
+        // Other components are untouched; re-pruning at the cap is a no-op.
+        assert_eq!(log.component_len(NodeId(1)), 0);
+        assert_eq!(log.prune_component(j, 2), None);
+        log.check_invariants().unwrap();
+
+        // Evicted slots are recycled by later adds.
+        let slots_before = log.slots.len();
+        log.add_record(j, rec(0, 6));
+        assert_eq!(log.slots.len(), slots_before);
+
+        // keep == 0 empties the component.
+        assert_eq!(log.prune_component(j, 0), Some(6));
+        assert_eq!(log.component_len(j), 0);
+        assert_eq!(log.max_m(j), 0);
         log.check_invariants().unwrap();
     }
 

@@ -77,6 +77,14 @@ pub enum Action {
         /// Source node index.
         peer: usize,
     },
+    /// `node` starts a digest-tree set-reconciliation pull from `peer` —
+    /// the cold-start rung below whole-pull (§15).
+    ReconPull {
+        /// Initiating (recipient) node index.
+        node: usize,
+        /// Source node index.
+        peer: usize,
+    },
     /// `node` requests an out-of-bound copy of `item` from `peer` (§5.2).
     Oob {
         /// Initiating node index.
@@ -117,6 +125,7 @@ impl Action {
             Action::Update { node, .. }
             | Action::Pull { node, .. }
             | Action::Delta { node, .. }
+            | Action::ReconPull { node, .. }
             | Action::Oob { node, .. }
             | Action::ShardPull { node, .. }
             | Action::CrossOob { node, .. } => *node,
@@ -162,6 +171,11 @@ pub struct Scenario {
     pub crash_budget: u32,
     /// How many in-flight messages the scheduler may lose.
     pub loss_budget: u32,
+    /// Log-vector retention bound applied to every replica at start
+    /// (records kept per (origin, item) component); 0 means unbounded.
+    /// With a bound, compaction raises coverage floors and pulls against
+    /// stale recipients degrade to set reconciliation.
+    pub log_retention: usize,
     /// Node index whose replica runs with the seeded protocol mutation
     /// (adopt-concurrent-without-absorb; see
     /// `Replica::debug_break_conflict_adopt`) — the checker's self-test.
@@ -187,6 +201,7 @@ impl Scenario {
             frame_items: 1,
             crash_budget: 1,
             loss_budget: 1,
+            log_retention: 0,
             mutant: None,
             actions: vec![
                 Action::Update { node: 0, item: 0, value: b"a0".to_vec() },
@@ -211,6 +226,7 @@ impl Scenario {
             frame_items: 0,
             crash_budget: 1,
             loss_budget: 1,
+            log_retention: 0,
             mutant: None,
             actions: vec![
                 Action::Update { node: 0, item: 0, value: b"x".to_vec() },
@@ -235,6 +251,7 @@ impl Scenario {
             frame_items: 0,
             crash_budget: 1,
             loss_budget: 0,
+            log_retention: 0,
             mutant: None,
             actions: vec![
                 Action::Update { node: 0, item: 0, value: b"from-a".to_vec() },
@@ -276,6 +293,7 @@ impl Scenario {
             frame_items: 0,
             crash_budget: 1,
             loss_budget: 0,
+            log_retention: 0,
             mutant: None,
             actions: vec![
                 Action::Update { node: 0, item: 0, value: b"g0".to_vec() },
@@ -283,6 +301,34 @@ impl Scenario {
                 Action::ShardPull { node: 1, peer: 0, shard: 0 },
                 Action::ShardPull { node: 3, peer: 2, shard: 1 },
                 Action::CrossOob { node: 0, peer: 2, item: 2 },
+            ],
+            expectation: Expectation::ConflictFree,
+        }
+    }
+
+    /// Cold-start reconciliation: node 0 accumulates writes (two to the
+    /// same item, so retention-1 compaction prunes a record and raises its
+    /// coverage floor), node 1 holds one write of its own, and node 1
+    /// reconciles from node 0 via the digest tree — under one crash and
+    /// one loss. Healing pulls against the compacted node must degrade to
+    /// recon on their own, so every schedule still converges exactly.
+    pub fn cold_start_recon() -> Scenario {
+        Scenario {
+            name: "cold-start-recon",
+            topology: Topology::Full { n_nodes: 2, n_items: 4 },
+            policy: ConflictPolicy::Report,
+            delta_budget: 0,
+            frame_items: 0,
+            crash_budget: 1,
+            loss_budget: 1,
+            log_retention: 1,
+            mutant: None,
+            actions: vec![
+                Action::Update { node: 0, item: 0, value: b"r0".to_vec() },
+                Action::Update { node: 0, item: 0, value: b"r0-again".to_vec() },
+                Action::Update { node: 0, item: 1, value: b"r1".to_vec() },
+                Action::Update { node: 1, item: 2, value: b"s2".to_vec() },
+                Action::ReconPull { node: 1, peer: 0 },
             ],
             expectation: Expectation::ConflictFree,
         }
@@ -301,6 +347,7 @@ impl Scenario {
             frame_items: 0,
             crash_budget: 0,
             loss_budget: 0,
+            log_retention: 0,
             mutant: Some(0),
             actions: vec![
                 Action::Update { node: 0, item: 0, value: b"mine".to_vec() },
@@ -323,6 +370,10 @@ impl Scenario {
                 // Whole-item and shard pulls exchange VVs, then fetch; delta
                 // pulls may ship several frames (frame_items bounds each).
                 Action::Pull { .. } | Action::ShardPull { .. } | Action::Delta { .. } => 5,
+                // Recon descends the digest tree level by level: fire plus
+                // one request/response exchange per level, plus the leaf
+                // fetch — bounded by the small worlds checked here.
+                Action::ReconPull { .. } => 9,
                 Action::Oob { .. } | Action::CrossOob { .. } => 3,
             };
         }
@@ -352,6 +403,7 @@ impl Scenario {
             Scenario::two_node_lww_conflict(),
             Scenario::two_node_report_conflict(),
             Scenario::sharded_two_group(),
+            Scenario::cold_start_recon(),
         ]
     }
 }

@@ -136,7 +136,9 @@ pub(crate) enum Pending {
 #[derive(Clone)]
 pub(crate) enum RoundKind {
     /// A replica-level round (pull / delta / OOB), possibly shard-routed.
-    Replica(Round),
+    /// Boxed: the recon driver's staging buffers make `Round` large, and
+    /// most contexts are `CrossFetch`-sized.
+    Replica(Box<Round>),
     /// A cross-group OOB fetch: the response completes the read without
     /// touching the initiator's replica state.
     CrossFetch,
@@ -194,6 +196,9 @@ impl System {
                     if sc.delta_budget > 0 {
                         r.enable_delta(sc.delta_budget);
                     }
+                    if sc.log_retention > 0 {
+                        r.set_log_retention(sc.log_retention);
+                    }
                     if sc.mutant == Some(i) {
                         r.debug_break_conflict_adopt(true);
                     }
@@ -216,6 +221,9 @@ impl System {
                         );
                         if sc.delta_budget > 0 {
                             n.enable_delta(sc.delta_budget);
+                        }
+                        if sc.log_retention > 0 {
+                            n.set_log_retention(sc.log_retention);
                         }
                         Slot::Up(Node::Sharded(n))
                     })
@@ -352,6 +360,15 @@ impl System {
                 let (round, req) = Round::start_delta(r, peer_id, &budget);
                 self.insert_round(i, *node, *peer, None, round, req);
             }
+            Action::ReconPull { node, peer } => {
+                let peer_id = NodeId::from_index(*peer);
+                let budget = gossip_budget(sc);
+                let Node::Full(r) = self.up_node_mut(*node) else {
+                    unreachable!("ReconPull action in a sharded scenario")
+                };
+                let (round, req) = Round::start_recon(r, peer_id, &budget);
+                self.insert_round(i, *node, *peer, None, round, req);
+            }
             Action::Oob { node, peer, item } => {
                 let peer_id = NodeId::from_index(*peer);
                 match self.up_node_mut(*node) {
@@ -415,7 +432,7 @@ impl System {
                 initiator,
                 responder,
                 shard,
-                kind: RoundKind::Replica(round),
+                kind: RoundKind::Replica(Box::new(round)),
                 pending: Pending::Request(req),
             },
         );
@@ -592,6 +609,9 @@ impl System {
                     Action::Pull { node, peer } => format!("n{node} starts pull from n{peer}"),
                     Action::Delta { node, peer } => {
                         format!("n{node} starts delta pull from n{peer}")
+                    }
+                    Action::ReconPull { node, peer } => {
+                        format!("n{node} starts recon pull from n{peer}")
                     }
                     Action::Oob { node, peer, item } => {
                         format!("n{node} requests OOB copy of x{item} from n{peer}")

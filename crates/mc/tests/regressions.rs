@@ -91,6 +91,7 @@ fn degradation_scenario() -> Scenario {
         frame_items: 0,
         crash_budget: 0,
         loss_budget: 1,
+        log_retention: 0,
         mutant: None,
         actions: vec![
             Action::Update { node: 0, item: 0, value: b"payload".to_vec() },

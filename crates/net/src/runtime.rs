@@ -332,6 +332,26 @@ impl ThreadedCluster {
         Ok(out)
     }
 
+    /// As [`pull_now`](Self::pull_now), via digest-tree set
+    /// reconciliation — the cold-start rung below whole-pull.
+    pub fn pull_recon_now(&self, recipient: NodeId, source: NodeId) -> Result<PullOutcome> {
+        assert_ne!(recipient, source, "a node cannot pull from itself");
+        self.checked(source)?;
+        let shared = self.checked(recipient)?;
+        let out = Engine::pull_recon(&mut MutexHost(&shared.replica), &mut self.transport(source))?;
+        shared.after_mutation();
+        Ok(out)
+    }
+
+    /// Bound log-vector retention at `node` to `keep` records per
+    /// (origin, item) component.
+    pub fn set_log_retention(&self, node: NodeId, keep: usize) -> Result<()> {
+        let shared = self.checked(node)?;
+        shared.replica.lock().set_log_retention(keep);
+        shared.after_mutation();
+        Ok(())
+    }
+
     /// One whole-item pull through a caller-owned [`ChaosLink`] with a
     /// retry policy — the chaos-soak entry point: the harness owns one
     /// persistent link per (recipient, source) pair, so the fault process

@@ -287,6 +287,35 @@ impl ShardedThreadedCluster {
         Engine::pull_delta(&mut host, &mut transport)
     }
 
+    /// As [`pull_shard_now`](Self::pull_shard_now), via digest-tree set
+    /// reconciliation — the cold-start rung below whole-pull.
+    pub fn pull_recon_shard_now(
+        &self,
+        recipient: NodeId,
+        source: NodeId,
+        shard: ShardId,
+    ) -> Result<PullOutcome> {
+        assert_ne!(recipient, source, "a node cannot pull from itself");
+        self.checked(source)?;
+        let node = self.checked(recipient)?;
+        let mut channel = ChannelTransport {
+            peer: source,
+            sender: &self.senders[source.index()],
+            timeout: self.config.exchange_timeout,
+        };
+        let mut transport = ShardTransport::new(&mut channel, shard);
+        let mut host = ShardHost { node: &node.node, shard };
+        Engine::pull_recon(&mut host, &mut transport)
+    }
+
+    /// Bound log retention to `keep` records per component on every shard
+    /// `node` owns.
+    pub fn set_log_retention(&self, node: NodeId, keep: usize) -> Result<()> {
+        let node = self.checked(node)?;
+        node.node.lock().set_log_retention(keep);
+        Ok(())
+    }
+
     /// One whole pull of `shard` through a caller-owned [`ChaosLink`] —
     /// the chaos-soak entry point.
     pub fn pull_shard_now_chaos(
@@ -619,6 +648,31 @@ impl ShardedTcpCluster {
         let mut transport = ShardTransport::new(&mut tcp, shard);
         let mut host = ShardHost { node: &node.node, shard };
         Engine::pull_delta(&mut host, &mut transport)
+    }
+
+    /// As [`pull_shard_now`](Self::pull_shard_now), via digest-tree set
+    /// reconciliation — the cold-start rung below whole-pull.
+    pub fn pull_recon_shard_now(
+        &self,
+        recipient: NodeId,
+        source: NodeId,
+        shard: ShardId,
+    ) -> Result<PullOutcome> {
+        assert_ne!(recipient, source, "a node cannot pull from itself");
+        self.checked(source)?;
+        let node = self.checked(recipient)?;
+        let mut tcp = self.transport_to(source);
+        let mut transport = ShardTransport::new(&mut tcp, shard);
+        let mut host = ShardHost { node: &node.node, shard };
+        Engine::pull_recon(&mut host, &mut transport)
+    }
+
+    /// Bound log retention to `keep` records per component on every shard
+    /// `node` owns.
+    pub fn set_log_retention(&self, node: NodeId, keep: usize) -> Result<()> {
+        let node = self.checked(node)?;
+        node.node.lock().set_log_retention(keep);
+        Ok(())
     }
 
     /// One whole pull of `shard` through a caller-owned [`ChaosLink`].

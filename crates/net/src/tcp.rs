@@ -504,6 +504,27 @@ impl TcpCluster {
         Ok(out)
     }
 
+    /// As [`pull_now`](Self::pull_now), via digest-tree set
+    /// reconciliation — the cold-start rung below whole-pull.
+    pub fn pull_recon_now(&self, recipient: NodeId, source: NodeId) -> Result<PullOutcome> {
+        assert_ne!(recipient, source, "a node cannot pull from itself");
+        self.checked(source)?;
+        let node = self.checked(recipient)?;
+        let mut transport = self.transport_to(source);
+        let out = Engine::pull_recon(&mut MutexHost(&node.replica), &mut transport)?;
+        node.after_mutation();
+        Ok(out)
+    }
+
+    /// Bound log-vector retention at `node` to `keep` records per
+    /// (origin, item) component.
+    pub fn set_log_retention(&self, node: NodeId, keep: usize) -> Result<()> {
+        let node = self.checked(node)?;
+        node.replica.lock().set_log_retention(keep);
+        node.after_mutation();
+        Ok(())
+    }
+
     /// One whole-item pull at `recipient` over a caller-supplied
     /// transport (typically a wrapped [`transport_to`](Self::transport_to))
     /// with a retry policy.

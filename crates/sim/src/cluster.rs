@@ -76,6 +76,21 @@ impl EpidbCluster {
         Engine::pull_delta(r, &mut LocalTransport::new(s))
     }
 
+    /// One set-reconciliation pull (§15 of the protocol doc): `recipient`
+    /// from `source`, descending the digest tree and shipping only the
+    /// differing items — the cold-start rung below whole-pull.
+    pub fn pull_recon_pair(&mut self, recipient: NodeId, source: NodeId) -> Result<PullOutcome> {
+        let (r, s) = self.pair_mut(recipient, source);
+        Engine::pull_recon(r, &mut LocalTransport::new(s))
+    }
+
+    /// Bound log-vector retention at `node` to `keep` records per
+    /// (origin, item) component, raising its coverage floor as pruning
+    /// proceeds. Pulls against this node may then degrade to recon.
+    pub fn set_log_retention(&mut self, node: NodeId, keep: usize) {
+        self.replicas[node.index()].set_log_retention(keep);
+    }
+
     /// As [`pull_pair`](Self::pull_pair), with the exchange subjected to
     /// a caller-owned [`ChaosLink`] and the round retried per `policy` —
     /// the chaos-soak entry point for the in-process runtime.
@@ -241,6 +256,25 @@ mod tests {
         c.sync(NodeId(1), NodeId(0)).unwrap();
         assert_eq!(c.aux_items_total(), 0);
         assert!(c.fully_converged());
+    }
+
+    #[test]
+    fn recon_pull_converges_compacted_pair() {
+        let mut c = EpidbCluster::new(2, 32);
+        for i in 0..32 {
+            c.update(NodeId(0), ItemId(i), UpdateOp::set(vec![i as u8])).unwrap();
+        }
+        c.pull_pair(NodeId(1), NodeId(0)).unwrap();
+        // Advance a few items, then compact the source's log so a plain
+        // pull could no longer cover the recipient's gap.
+        for i in 0..3 {
+            c.update(NodeId(0), ItemId(i), UpdateOp::set(&b"new"[..])).unwrap();
+        }
+        c.set_log_retention(NodeId(0), 1);
+        let out = c.pull_recon_pair(NodeId(1), NodeId(0)).unwrap();
+        assert!(matches!(out, PullOutcome::Propagated(_)));
+        assert!(c.converged());
+        c.assert_invariants();
     }
 
     #[test]

@@ -119,6 +119,28 @@ impl ShardedSimCluster {
         Engine::pull_delta(replica, &mut transport)
     }
 
+    /// As [`pull_shard`](Self::pull_shard), via digest-tree set
+    /// reconciliation — the cold-start rung for a shard whose source log
+    /// no longer covers the recipient.
+    pub fn pull_recon_shard(
+        &mut self,
+        recipient: NodeId,
+        source: NodeId,
+        shard: ShardId,
+    ) -> Result<PullOutcome> {
+        let (r, s) = self.pair_mut(recipient, source);
+        let replica = r.shard_state_mut(shard).ok_or(Error::ShardMoving(shard))?;
+        let mut local = LocalShardedTransport::new(s);
+        let mut transport = ShardTransport::new(&mut local, shard);
+        Engine::pull_recon(replica, &mut transport)
+    }
+
+    /// Bound log retention to `keep` records per component on every shard
+    /// `node` owns, raising coverage floors as pruning proceeds.
+    pub fn set_log_retention(&mut self, node: NodeId, keep: usize) {
+        self.nodes[node.index()].set_log_retention(keep);
+    }
+
     /// As [`pull_shard`](Self::pull_shard), with the exchange subjected
     /// to a caller-owned [`ChaosLink`] and the round retried per
     /// `policy` — the chaos-soak entry point for the in-process runtime.
@@ -233,6 +255,21 @@ mod tests {
         assert_eq!(c.read(NodeId(3), ItemId(5)).unwrap(), b"right");
         c.assert_invariants();
         assert!(c.paranoid_audits_total() > 0);
+    }
+
+    #[test]
+    fn recon_pull_heals_compacted_shard() {
+        let mut c = ShardedSimCluster::new(two_group_map(), 4);
+        for i in 0..4 {
+            c.update(NodeId(0), ItemId(i), UpdateOp::set(vec![i as u8])).unwrap();
+        }
+        c.pull_shard(NodeId(1), NodeId(0), ShardId(0)).unwrap();
+        c.update(NodeId(0), ItemId(2), UpdateOp::set(&b"new"[..])).unwrap();
+        c.set_log_retention(NodeId(0), 1);
+        let out = c.pull_recon_shard(NodeId(1), NodeId(0), ShardId(0)).unwrap();
+        assert!(matches!(out, PullOutcome::Propagated(_)));
+        assert_eq!(c.read(NodeId(1), ItemId(2)).unwrap(), b"new");
+        c.assert_invariants();
     }
 
     #[test]

@@ -24,6 +24,8 @@ trait Runtime {
     fn update(&mut self, node: u16, item: u32, op: UpdateOp);
     fn pull(&mut self, recipient: u16, source: u16);
     fn pull_delta(&mut self, recipient: u16, source: u16);
+    fn pull_recon(&mut self, recipient: u16, source: u16);
+    fn set_log_retention(&mut self, node: u16, keep: usize);
     fn oob(&mut self, recipient: u16, source: u16, item: u32);
     fn node_costs(&self, node: u16) -> Costs;
     fn value(&self, node: u16, item: u32) -> Vec<u8>;
@@ -49,6 +51,27 @@ fn run_schedule<R: Runtime>(rt: &mut R) -> Vec<Costs> {
     (0..N_NODES as u16).map(|n| rt.node_costs(n)).collect()
 }
 
+/// The recon schedule: seed a divergent pair, compact the source's log so
+/// a plain pull can no longer cover the recipient, then reconcile — first
+/// explicitly, then via a plain pull that must degrade to recon on its
+/// own (the ladder's bottom rung).
+fn run_recon_schedule<R: Runtime>(rt: &mut R) -> Vec<Costs> {
+    for item in 0..N_ITEMS as u32 {
+        rt.update(0, item, UpdateOp::set(vec![item as u8 ^ 0x5a; 24]));
+    }
+    rt.pull(1, 0);
+    rt.update(0, 3, UpdateOp::set(&b"recon-three"[..]));
+    rt.update(0, 11, UpdateOp::append(&b"-tail"[..]));
+    rt.set_log_retention(0, 1);
+    rt.pull_recon(1, 0);
+    assert_eq!(rt.value(1, 3), b"recon-three");
+    // A second recipient that never synced: plain pull degrades to recon.
+    rt.update(0, 7, UpdateOp::set(&b"recon-seven"[..]));
+    rt.pull(2, 0);
+    assert_eq!(rt.value(2, 7), b"recon-seven");
+    (0..N_NODES as u16).map(|n| rt.node_costs(n)).collect()
+}
+
 struct InProcess(EpidbCluster);
 
 impl Runtime for InProcess {
@@ -60,6 +83,12 @@ impl Runtime for InProcess {
     }
     fn pull_delta(&mut self, recipient: u16, source: u16) {
         self.0.pull_delta_pair(NodeId(recipient), NodeId(source)).unwrap();
+    }
+    fn pull_recon(&mut self, recipient: u16, source: u16) {
+        self.0.pull_recon_pair(NodeId(recipient), NodeId(source)).unwrap();
+    }
+    fn set_log_retention(&mut self, node: u16, keep: usize) {
+        self.0.set_log_retention(NodeId(node), keep);
     }
     fn oob(&mut self, recipient: u16, source: u16, item: u32) {
         self.0.oob(NodeId(recipient), NodeId(source), ItemId(item)).unwrap();
@@ -84,6 +113,12 @@ impl Runtime for Threaded {
     fn pull_delta(&mut self, recipient: u16, source: u16) {
         self.0.pull_delta_now(NodeId(recipient), NodeId(source)).unwrap();
     }
+    fn pull_recon(&mut self, recipient: u16, source: u16) {
+        self.0.pull_recon_now(NodeId(recipient), NodeId(source)).unwrap();
+    }
+    fn set_log_retention(&mut self, node: u16, keep: usize) {
+        self.0.set_log_retention(NodeId(node), keep).unwrap();
+    }
     fn oob(&mut self, recipient: u16, source: u16, item: u32) {
         self.0.oob_fetch(NodeId(recipient), NodeId(source), ItemId(item)).unwrap();
     }
@@ -107,6 +142,12 @@ impl Runtime for Tcp {
     fn pull_delta(&mut self, recipient: u16, source: u16) {
         self.0.pull_delta_now(NodeId(recipient), NodeId(source)).unwrap();
     }
+    fn pull_recon(&mut self, recipient: u16, source: u16) {
+        self.0.pull_recon_now(NodeId(recipient), NodeId(source)).unwrap();
+    }
+    fn set_log_retention(&mut self, node: u16, keep: usize) {
+        self.0.set_log_retention(NodeId(node), keep).unwrap();
+    }
     fn oob(&mut self, recipient: u16, source: u16, item: u32) {
         self.0.oob_fetch(NodeId(recipient), NodeId(source), ItemId(item)).unwrap();
     }
@@ -129,6 +170,12 @@ impl Runtime for AsyncTcp {
     }
     fn pull_delta(&mut self, recipient: u16, source: u16) {
         self.0.pull_delta_now(NodeId(recipient), NodeId(source)).unwrap();
+    }
+    fn pull_recon(&mut self, recipient: u16, source: u16) {
+        self.0.pull_recon_now(NodeId(recipient), NodeId(source)).unwrap();
+    }
+    fn set_log_retention(&mut self, node: u16, keep: usize) {
+        self.0.set_log_retention(NodeId(node), keep).unwrap();
     }
     fn oob(&mut self, recipient: u16, source: u16, item: u32) {
         self.0.oob_fetch(NodeId(recipient), NodeId(source), ItemId(item)).unwrap();
@@ -209,6 +256,33 @@ fn identical_schedule_charges_identical_costs_everywhere() {
     assert!(local.iter().any(|c| c.bytes_sent > 0 && c.messages_sent > 0));
 }
 
+#[test]
+fn recon_schedule_charges_identical_costs_everywhere() {
+    let mut in_process = EpidbCluster::new(N_NODES, N_ITEMS);
+    in_process.enable_delta(DELTA_BUDGET);
+    let local = run_recon_schedule(&mut InProcess(in_process));
+
+    let threaded = run_recon_schedule(&mut Threaded(quiet_threaded()));
+    let tcp = run_recon_schedule(&mut Tcp(quiet_tcp()));
+    let async_tcp = run_recon_schedule(&mut AsyncTcp(quiet_async()));
+
+    for node in 0..N_NODES {
+        assert_eq!(
+            local[node], threaded[node],
+            "node {node}: recon in-process vs threaded costs diverge"
+        );
+        assert_eq!(local[node], tcp[node], "node {node}: recon in-process vs TCP costs diverge");
+        assert_eq!(
+            local[node], async_tcp[node],
+            "node {node}: recon in-process vs async-TCP costs diverge"
+        );
+    }
+    // The schedule really exercised recon: the source walked its digest
+    // tree (items_scanned) rather than just shipping records.
+    assert!(local.iter().any(|c| c.items_scanned > 0));
+    assert!(local.iter().any(|c| c.bytes_sent > 0 && c.messages_sent > 0));
+}
+
 // ---------------------------------------------------------------------------
 // Sharded parity: the same per-shard schedule on a 2-groups × 2-nodes
 // cluster, across the in-process sharded simulator and both sharded live
@@ -228,6 +302,8 @@ trait ShardedRuntime {
     fn update(&mut self, node: u16, item: u32, op: UpdateOp);
     fn pull_shard(&mut self, recipient: u16, source: u16, shard: u16);
     fn pull_delta_shard(&mut self, recipient: u16, source: u16, shard: u16);
+    fn pull_recon_shard(&mut self, recipient: u16, source: u16, shard: u16);
+    fn set_log_retention(&mut self, node: u16, keep: usize);
     fn oob(&mut self, recipient: u16, source: u16, item: u32);
     fn node_costs(&self, node: u16) -> Costs;
     fn value(&self, node: u16, item: u32) -> Vec<u8>;
@@ -248,6 +324,12 @@ fn run_sharded_schedule<R: ShardedRuntime>(rt: &mut R) -> Vec<Costs> {
     rt.oob(0, 2, 9); // cross-group: node 0 fetches a shard-1 item
     assert_eq!(rt.value(0, 1), b"shard-zero-value-amended");
     assert_eq!(rt.value(2, 12), vec![0x44; 48]);
+    // Recon rung: compact node 0's shard logs, advance an item, and let
+    // node 1 reconcile shard 0 via the digest tree.
+    rt.update(0, 2, UpdateOp::set(&b"recon-two"[..]));
+    rt.set_log_retention(0, 1);
+    rt.pull_recon_shard(1, 0, 0);
+    assert_eq!(rt.value(1, 2), b"recon-two");
     (0..SHARDED_NODES as u16).map(|n| rt.node_costs(n)).collect()
 }
 
@@ -262,6 +344,12 @@ impl ShardedRuntime for ShardedInProcess {
     }
     fn pull_delta_shard(&mut self, recipient: u16, source: u16, shard: u16) {
         self.0.pull_delta_shard(NodeId(recipient), NodeId(source), ShardId(shard)).unwrap();
+    }
+    fn pull_recon_shard(&mut self, recipient: u16, source: u16, shard: u16) {
+        self.0.pull_recon_shard(NodeId(recipient), NodeId(source), ShardId(shard)).unwrap();
+    }
+    fn set_log_retention(&mut self, node: u16, keep: usize) {
+        self.0.set_log_retention(NodeId(node), keep);
     }
     fn oob(&mut self, recipient: u16, source: u16, item: u32) {
         self.0.oob(NodeId(recipient), NodeId(source), ItemId(item)).unwrap();
@@ -286,6 +374,12 @@ impl ShardedRuntime for ShardedThreaded {
     fn pull_delta_shard(&mut self, recipient: u16, source: u16, shard: u16) {
         self.0.pull_delta_shard_now(NodeId(recipient), NodeId(source), ShardId(shard)).unwrap();
     }
+    fn pull_recon_shard(&mut self, recipient: u16, source: u16, shard: u16) {
+        self.0.pull_recon_shard_now(NodeId(recipient), NodeId(source), ShardId(shard)).unwrap();
+    }
+    fn set_log_retention(&mut self, node: u16, keep: usize) {
+        self.0.set_log_retention(NodeId(node), keep).unwrap();
+    }
     fn oob(&mut self, recipient: u16, source: u16, item: u32) {
         self.0.oob_fetch(NodeId(recipient), NodeId(source), ItemId(item)).unwrap();
     }
@@ -308,6 +402,12 @@ impl ShardedRuntime for ShardedTcp {
     }
     fn pull_delta_shard(&mut self, recipient: u16, source: u16, shard: u16) {
         self.0.pull_delta_shard_now(NodeId(recipient), NodeId(source), ShardId(shard)).unwrap();
+    }
+    fn pull_recon_shard(&mut self, recipient: u16, source: u16, shard: u16) {
+        self.0.pull_recon_shard_now(NodeId(recipient), NodeId(source), ShardId(shard)).unwrap();
+    }
+    fn set_log_retention(&mut self, node: u16, keep: usize) {
+        self.0.set_log_retention(NodeId(node), keep).unwrap();
     }
     fn oob(&mut self, recipient: u16, source: u16, item: u32) {
         self.0.oob_fetch(NodeId(recipient), NodeId(source), ItemId(item)).unwrap();
